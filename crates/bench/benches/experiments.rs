@@ -1,0 +1,27 @@
+//! `cargo bench` entry point that regenerates every derived table and
+//! figure (E1–E15, A1–A3) in quick mode.
+//!
+//! The full-size run is `cargo run -p chanos-bench --release --bin
+//! repro`; this bench target exists so `cargo bench --workspace`
+//! reproduces the whole evaluation, as the reproduction contract
+//! requires. Results land in `results/` as CSV next to the markdown
+//! printed here.
+
+use std::path::PathBuf;
+
+fn main() {
+    // Criterion-style filter arguments are ignored: this target
+    // always runs the full suite, quickly.
+    let results_dir = PathBuf::from(
+        std::env::var("CHANOS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()),
+    );
+    println!("# chanos derived evaluation (quick mode, via cargo bench)");
+    for e in chanos_bench::all() {
+        println!("\n## {} — {}", e.id.to_uppercase(), e.what);
+        let start = std::time::Instant::now();
+        for t in (e.run)(true) {
+            t.emit(&results_dir);
+        }
+        println!("[{} done in {:.1}s]", e.id, start.elapsed().as_secs_f32());
+    }
+}

@@ -1,0 +1,79 @@
+//! Real-hardware companion to E1: on actual OS threads, is sending a
+//! message "comparable in scope to making a procedure call"?
+//!
+//! Uses the `chanos-parchan` runtime. Reported in EXPERIMENTS.md next
+//! to the simulated E1 numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use chanos_parchan::{channel, Capacity, Runtime};
+
+#[inline(never)]
+fn callee(x: u64) -> u64 {
+    std::hint::black_box(x.wrapping_mul(2654435761).rotate_left(13))
+}
+
+fn bench_procedure_call(c: &mut Criterion) {
+    c.bench_function("procedure_call", |b| {
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = callee(std::hint::black_box(acc));
+            acc
+        });
+    });
+}
+
+fn bench_channel_round_trip(c: &mut Criterion) {
+    let rt = Runtime::new(2);
+    // Echo server task.
+    let (req_tx, req_rx) = channel::<(u64, chanos_parchan::Sender<u64>)>(Capacity::Unbounded);
+    let _server = rt.spawn(async move {
+        while let Ok((x, reply)) = req_rx.recv().await {
+            let _ = reply.send(callee(x)).await;
+        }
+    });
+    c.bench_function("channel_rpc_round_trip", |b| {
+        b.iter_batched(
+            || channel::<u64>(Capacity::Bounded(1)),
+            |(rtx, rrx)| {
+                rt.block_on(async {
+                    req_tx.send((7, rtx)).await.unwrap();
+                    rrx.recv().await.unwrap()
+                })
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_unbounded_send_recv(c: &mut Criterion) {
+    let rt = Runtime::new(2);
+    let (tx, rx) = channel::<u64>(Capacity::Unbounded);
+    c.bench_function("unbounded_send_then_recv_same_task", |b| {
+        b.iter(|| {
+            rt.block_on(async {
+                tx.send(1).await.unwrap();
+                rx.recv().await.unwrap()
+            })
+        });
+    });
+}
+
+fn bench_spawn_join(c: &mut Criterion) {
+    let rt = Runtime::new(4);
+    c.bench_function("spawn_join_lightweight_thread", |b| {
+        b.iter(|| {
+            let h = rt.spawn(async { 1u64 });
+            rt.block_on(h.join()).unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_procedure_call,
+    bench_channel_round_trip,
+    bench_unbounded_send_recv,
+    bench_spawn_join
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! The experiment runner: regenerates the derived tables/figures.
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.to_lowercase())
+        .collect();
+
+    let results_dir = PathBuf::from(
+        std::env::var("CHANOS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()),
+    );
+
+    let experiments = chanos_bench::all();
+    let selected: Vec<_> = experiments
+        .iter()
+        .filter(|e| wanted.is_empty() || wanted.iter().any(|w| w == e.id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("unknown experiment id(s): {wanted:?}");
+        eprintln!("available:");
+        for e in &experiments {
+            eprintln!("  {:4} {}", e.id, e.what);
+        }
+        std::process::exit(2);
+    }
+
+    println!("# chanos derived-evaluation run ({} mode)", if quick { "quick" } else { "full" });
+    for e in selected {
+        println!("\n## {} — {}", e.id.to_uppercase(), e.what);
+        let start = std::time::Instant::now();
+        let tables = (e.run)(quick);
+        for t in &tables {
+            t.emit(&results_dir);
+        }
+        println!(
+            "\n[{} finished in {:.1}s wall clock; CSV in {}]",
+            e.id,
+            start.elapsed().as_secs_f32(),
+            results_dir.display()
+        );
+    }
+}

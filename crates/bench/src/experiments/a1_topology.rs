@@ -1,0 +1,148 @@
+//! A1 (ablation) — how much does the interconnect topology matter to
+//! the message-passing OS?
+//!
+//! §4 supposes "future hardware will have native support for sending
+//! and receiving messages" but says nothing about its shape; DESIGN.md
+//! calls the topology a modelling choice. This ablation re-runs a
+//! communication workload over every topology `chanos-noc` models, at
+//! the same core count and cost model, so the reproduction's headline
+//! numbers can be read with their sensitivity attached.
+//!
+//! Two traffic patterns bracket real kernels: **uniform** random
+//! pairs (pipelines spread across the die) and **hotspot** (every
+//! core calling one central service — the shape of a centralized
+//! lock manager or single-threaded server, §4's warning case).
+
+use chanos_csp::{channel, request, Capacity, ReplyTo};
+use chanos_noc::{Bus, CostModel, Crossbar, Hypercube, Interconnect, Mesh2D, Ring, Torus2D};
+use chanos_sim::{self as sim, Config, CoreId, Simulation};
+
+use crate::table::{ops_per_mcycle, Table};
+
+const CORES: usize = 64;
+
+fn machine(ic: Interconnect) -> Simulation {
+    let s = Simulation::with_config(Config { cores: CORES, ctx_switch: 20, ..Config::default() });
+    chanos_csp::install(&s, ic);
+    s
+}
+
+fn topologies() -> Vec<(&'static str, Interconnect)> {
+    let cost = CostModel::default();
+    vec![
+        ("bus", Interconnect::new(Bus::new(CORES), cost.clone())),
+        ("ring", Interconnect::new(Ring::new(CORES), cost.clone())),
+        ("mesh 8x8", Interconnect::new(Mesh2D::new(8, 8), cost.clone())),
+        ("torus 8x8", Interconnect::new(Torus2D::new(8, 8), cost.clone())),
+        ("hypercube d6", Interconnect::new(Hypercube::new(6), cost.clone())),
+        ("crossbar", Interconnect::new(Crossbar::new(CORES), cost)),
+    ]
+}
+
+struct Req {
+    reply: ReplyTo<u64>,
+}
+
+/// Runs A1.
+pub fn run(quick: bool) -> Vec<Table> {
+    let msgs: u64 = if quick { 200 } else { 1_500 };
+    let mut t = Table::new(
+        "A1",
+        "topology ablation: same OS workload, different interconnect (64 cores)",
+        &["topology", "uniform ops/Mcycle", "hotspot ops/Mcycle", "diameter (hops)"],
+    );
+    for (name, ic) in topologies() {
+        // Diameter before the interconnect moves into the machine.
+        let diameter = (0..CORES)
+            .map(|c| ic.hops(0, c))
+            .max()
+            .unwrap_or(0);
+        let mut s = machine(ic);
+        let (uni_ops, uni_cycles, hot_ops, hot_cycles) = s
+            .block_on(async move {
+                // Uniform: 32 disjoint pairs.
+                let mut rng = sim::with_rng(|r| r.clone());
+                let mut cores: Vec<u32> = (0..CORES as u32).collect();
+                rng.shuffle(&mut cores);
+                let t0 = sim::now();
+                let mut joins = Vec::new();
+                for pair in cores.chunks(2) {
+                    let (a, b) = (CoreId(pair[0]), CoreId(pair[1]));
+                    let (tx, rx) = channel::<Req>(Capacity::Bounded(1));
+                    sim::spawn_daemon_on("a1-server", b, async move {
+                        while let Ok(req) = rx.recv().await {
+                            sim::delay(20).await;
+                            let _ = req.reply.send(1).await;
+                        }
+                    });
+                    joins.push(sim::spawn_on(a, async move {
+                        for _ in 0..msgs {
+                            request(&tx, |reply| Req { reply }).await.unwrap();
+                        }
+                    }));
+                }
+                for j in joins {
+                    j.join().await.unwrap();
+                }
+                let uni_cycles = sim::now() - t0;
+                let uni_ops = msgs * (CORES as u64 / 2);
+
+                // Hotspot: everyone calls core 0.
+                let (tx, rx) = channel::<Req>(Capacity::Unbounded);
+                sim::spawn_daemon_on("a1-hotspot", CoreId(0), async move {
+                    while let Ok(req) = rx.recv().await {
+                        sim::delay(20).await;
+                        let _ = req.reply.send(1).await;
+                    }
+                });
+                let hot_msgs = msgs / 4;
+                let t1 = sim::now();
+                let mut joins = Vec::new();
+                for c in 1..CORES as u32 {
+                    let tx = tx.clone();
+                    joins.push(sim::spawn_on(CoreId(c), async move {
+                        for _ in 0..hot_msgs {
+                            request(&tx, |reply| Req { reply }).await.unwrap();
+                        }
+                    }));
+                }
+                for j in joins {
+                    j.join().await.unwrap();
+                }
+                let hot_cycles = sim::now() - t1;
+                let hot_ops = hot_msgs * (CORES as u64 - 1);
+                (uni_ops, uni_cycles, hot_ops, hot_cycles)
+            })
+            .unwrap();
+        t.row(vec![
+            name.to_string(),
+            ops_per_mcycle(uni_ops, uni_cycles),
+            ops_per_mcycle(hot_ops, hot_cycles),
+            diameter.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a1_shape_holds() {
+        let t = &super::run(true)[0];
+        assert_eq!(t.rows.len(), 6);
+        let col = |name: &str, idx: usize| -> f64 {
+            t.rows.iter().find(|r| r[0] == name).unwrap()[idx].parse().unwrap()
+        };
+        // Low-diameter fabrics beat the ring on uniform traffic.
+        assert!(col("crossbar", 1) > col("ring", 1));
+        assert!(col("hypercube d6", 1) > col("ring", 1));
+        // Diameters are as expected.
+        let diam = |name: &str| -> u32 {
+            t.rows.iter().find(|r| r[0] == name).unwrap()[3].parse().unwrap()
+        };
+        assert_eq!(diam("crossbar"), 1);
+        assert_eq!(diam("hypercube d6"), 6);
+        assert_eq!(diam("ring"), 32);
+        assert_eq!(diam("mesh 8x8"), 14);
+    }
+}

@@ -1,0 +1,155 @@
+//! A2 (ablation) — what should a channel's buffering discipline be?
+//!
+//! §3 leaves the choice open: "Blocking send is easier to implement
+//! in a low-level environment (no buffering) and is more powerful;
+//! however, non-blocking send tends to be easier to use and, being
+//! less synchronous, is probably faster." E7 settles the two-party
+//! question; this ablation asks how the answer changes in the
+//! structure §4 actually builds — a multi-stage service pipeline —
+//! and what the memory price of the "probably faster" answer is.
+//!
+//! A 6-stage pipeline crosses six cores; each stage does fixed work.
+//! We sweep the inter-stage capacity from rendezvous to unbounded and
+//! report throughput *and* peak in-flight records (the buffering the
+//! discipline silently buys).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use chanos_csp::{channel, Capacity};
+use chanos_noc::Interconnect;
+use chanos_sim::{self as sim, Config, CoreId, Simulation};
+
+use crate::table::{ops_per_mcycle, Table};
+
+const CORES: usize = 8;
+const STAGES: usize = 6;
+/// Per-record work at each stage; uneven to create natural bursts.
+const STAGE_WORK: [u64; STAGES] = [30, 80, 30, 120, 30, 50];
+
+fn machine() -> Simulation {
+    let s = Simulation::with_config(Config { cores: CORES, ctx_switch: 20, ..Config::default() });
+    chanos_csp::install(&s, Interconnect::mesh_for(CORES));
+    s
+}
+
+fn capacity_name(cap: Capacity) -> String {
+    match cap {
+        Capacity::Rendezvous => "rendezvous".to_string(),
+        Capacity::Bounded(n) => format!("bounded({n})"),
+        Capacity::Unbounded => "unbounded".to_string(),
+    }
+}
+
+/// Runs the pipeline; returns (cycles, peak in-flight records).
+fn run_pipeline(cap: Capacity, records: u64) -> (u64, u64) {
+    let mut s = machine();
+    s.block_on(async move {
+        let sent = Rc::new(Cell::new(0u64));
+        let done = Rc::new(Cell::new(0u64));
+        let peak = Rc::new(Cell::new(0u64));
+
+        let (first_tx, mut rx) = channel::<u64>(cap);
+        for stage in 0..STAGES {
+            let (ntx, nrx) = channel::<u64>(cap);
+            let in_rx = rx;
+            rx = nrx;
+            let work = STAGE_WORK[stage];
+            sim::spawn_daemon_on(
+                &format!("a2-stage{stage}"),
+                CoreId((stage + 1) as u32 % CORES as u32),
+                async move {
+                    while let Ok(v) = in_rx.recv().await {
+                        sim::delay(work).await;
+                        if ntx.send(v).await.is_err() {
+                            break;
+                        }
+                    }
+                },
+            );
+        }
+        let sink_done = Rc::clone(&done);
+        let sink = sim::spawn_on(CoreId(7), async move {
+            let mut got = 0u64;
+            while rx.recv().await.is_ok() {
+                got += 1;
+                sink_done.set(got);
+            }
+            got
+        });
+
+        let t0 = sim::now();
+        let src_sent = Rc::clone(&sent);
+        let src_done = Rc::clone(&done);
+        let src_peak = Rc::clone(&peak);
+        let source = sim::spawn_on(CoreId(0), async move {
+            for i in 0..records {
+                first_tx.send(i).await.unwrap();
+                src_sent.set(i + 1);
+                let in_flight = (i + 1) - src_done.get();
+                if in_flight > src_peak.get() {
+                    src_peak.set(in_flight);
+                }
+            }
+        });
+        source.join().await.unwrap();
+        let got = sink.join().await.unwrap();
+        assert_eq!(got, records);
+        (sim::now() - t0, peak.get())
+    })
+    .unwrap()
+}
+
+/// Runs A2.
+pub fn run(quick: bool) -> Vec<Table> {
+    let records: u64 = if quick { 500 } else { 4_000 };
+    let mut t = Table::new(
+        "A2",
+        "channel capacity ablation: 6-stage pipeline across cores",
+        &["capacity", "Mcycles", "records/Mcycle", "peak in-flight"],
+    );
+    for cap in [
+        Capacity::Rendezvous,
+        Capacity::Bounded(1),
+        Capacity::Bounded(4),
+        Capacity::Bounded(16),
+        Capacity::Bounded(64),
+        Capacity::Unbounded,
+    ] {
+        let (cycles, peak) = run_pipeline(cap, records);
+        t.row(vec![
+            capacity_name(cap),
+            crate::table::f2(cycles as f64 / 1e6),
+            ops_per_mcycle(records, cycles),
+            peak.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a2_shape_holds() {
+        let t = &super::run(true)[0];
+        let thr = |name: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == name).unwrap()[2].parse().unwrap()
+        };
+        let peak = |name: &str| -> u64 {
+            t.rows.iter().find(|r| r[0] == name).unwrap()[3].parse().unwrap()
+        };
+        // §3's "probably faster": unbounded beats rendezvous.
+        assert!(
+            thr("unbounded") > thr("rendezvous"),
+            "non-blocking send should be faster: unb {} vs rdv {}",
+            thr("unbounded"),
+            thr("rendezvous")
+        );
+        // A modest buffer already recovers most of the win.
+        assert!(thr("bounded(16)") > thr("rendezvous"));
+        // The price: unbounded buffers more records than bounded(4).
+        assert!(peak("unbounded") > peak("bounded(4)"));
+        // Bounded(1) keeps at most a handful per stage.
+        assert!(peak("bounded(1)") <= 2 * super::STAGES as u64 + 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! E1 — Is a send "comparable in scope to making a procedure call"?
+//!
+//! §3: *"in this model sending a message is an action comparable in
+//! scope to making a procedure call"*, and §2 contrasts this with
+//! middleweight messages that cost "a system call or network packet"
+//! (Mach). We measure a request/response round trip through four
+//! mechanisms at several payload sizes. The claim holds if the local
+//! channel round trip lands within a small factor of the call, far
+//! below the middleweight IPC.
+
+use chanos_csp::{channel_with_bytes, Capacity, ReplyTo};
+use chanos_sim::{delay, spawn_daemon_on, Config, CoreId, Simulation};
+
+use crate::table::Table;
+
+const CALL_WORK: u64 = 20;
+const MODE_SWITCH: u64 = 700;
+
+fn sim() -> Simulation {
+    Simulation::with_config(Config {
+        cores: 4,
+        ctx_switch: 0,
+        ..Config::default()
+    })
+}
+
+/// Round-trip cost of a plain procedure call evaluating f.
+async fn procedure_call(n: u64) -> u64 {
+    let t0 = chanos_sim::now();
+    for _ in 0..n {
+        // The "callee": same thread, same core.
+        delay(CALL_WORK).await;
+    }
+    (chanos_sim::now() - t0) / n
+}
+
+struct Req {
+    payload: Vec<u8>,
+    reply: ReplyTo<u64>,
+}
+
+/// Round-trip through a channel to a server on `server_core`.
+async fn channel_rpc(n: u64, bytes: usize, server_core: CoreId) -> u64 {
+    // Price the message at its true payload size.
+    let (tx, rx) = channel_with_bytes::<Req>(Capacity::Unbounded, bytes + 32);
+    spawn_daemon_on("e1-server", server_core, async move {
+        while let Ok(req) = rx.recv().await {
+            delay(CALL_WORK).await;
+            let _ = req.reply.send(req.payload.len() as u64).await;
+        }
+    });
+    let t0 = chanos_sim::now();
+    for _ in 0..n {
+        let payload = vec![0u8; bytes];
+        chanos_csp::request(&tx, move |reply| Req { payload, reply })
+            .await
+            .unwrap();
+    }
+    (chanos_sim::now() - t0) / n
+}
+
+/// Middleweight IPC: each direction pays a mode switch (Mach-style
+/// port send through the kernel) plus the channel transit.
+async fn middleweight_rpc(n: u64, bytes: usize, server_core: CoreId) -> u64 {
+    let (tx, rx) = channel_with_bytes::<Req>(Capacity::Unbounded, bytes + 32);
+    spawn_daemon_on("e1-mach-server", server_core, async move {
+        while let Ok(req) = rx.recv().await {
+            delay(MODE_SWITCH).await; // Kernel copies the message in.
+            delay(CALL_WORK).await;
+            delay(MODE_SWITCH).await; // And back out.
+            let _ = req.reply.send(req.payload.len() as u64).await;
+        }
+    });
+    let t0 = chanos_sim::now();
+    for _ in 0..n {
+        delay(MODE_SWITCH).await; // Trap to send.
+        let payload = vec![0u8; bytes];
+        chanos_csp::request(&tx, move |reply| Req { payload, reply })
+            .await
+            .unwrap();
+        delay(MODE_SWITCH).await; // Trap to receive.
+    }
+    (chanos_sim::now() - t0) / n
+}
+
+/// Runs E1.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n: u64 = if quick { 200 } else { 2000 };
+    let mut t = Table::new(
+        "E1",
+        "round-trip cost by mechanism (cycles/op)",
+        &["payload B", "procedure call", "channel same-core", "channel 1-hop", "middleweight IPC"],
+    );
+    for bytes in [8usize, 64, 256, 1024] {
+        let mut s = sim();
+        let row = s
+            .block_on(async move {
+                let call = procedure_call(n).await;
+                let local = channel_rpc(n, bytes, CoreId(0)).await;
+                let remote = channel_rpc(n, bytes, CoreId(1)).await;
+                let mach = middleweight_rpc(n, bytes, CoreId(1)).await;
+                (call, local, remote, mach)
+            })
+            .unwrap();
+        t.row(vec![
+            bytes.to_string(),
+            row.0.to_string(),
+            row.1.to_string(),
+            row.2.to_string(),
+            row.3.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e1_shape_holds() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        // For the 8-byte row: call < channel < middleweight, and the
+        // channel is within ~20x of a call while IPC is far beyond.
+        let row = &t.rows[0];
+        let call: f64 = row[1].parse().unwrap();
+        let local: f64 = row[2].parse().unwrap();
+        let mach: f64 = row[4].parse().unwrap();
+        assert!(call < local);
+        assert!(
+            local < call * 20.0,
+            "channel ({local}) should be within 20x of a call ({call})"
+        );
+        assert!(
+            mach > local * 5.0,
+            "middleweight IPC ({mach}) should dwarf the lightweight channel ({local})"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! E3 — "It is no longer necessary to transition to kernel mode to
+//! make system calls" (§4; FlexSC \[22\]).
+//!
+//! Null-syscall (getpid) and I/O-syscall throughput for the trap
+//! kernel vs the message kernel, sweeping the number of application
+//! threads and the mode-switch cost. The FlexSC-shaped expectation:
+//! messages win once mode-switch + pollution exceed a message round
+//! trip, and keep winning as concurrency rises because kernel cores
+//! batch work without disturbing application caches.
+
+use chanos_kernel::{boot, BootCfg, FsKind, KernelCosts, KernelKind};
+use chanos_sim::{Config, CoreId, RunEnd, Simulation};
+
+use crate::table::{ops_per_mcycle, Table};
+
+const CORES: usize = 16;
+const KCORES: usize = 4;
+
+fn machine() -> Simulation {
+    Simulation::with_config(Config {
+        cores: CORES,
+        ctx_switch: 20,
+        ..Config::default()
+    })
+}
+
+fn kernel_cores() -> Vec<CoreId> {
+    (0..KCORES as u32).map(CoreId).collect()
+}
+
+fn null_throughput(kind: KernelKind, apps: usize, costs: KernelCosts, per: u64) -> String {
+    let mut s = machine();
+    let mut cfg = BootCfg::new(kind, FsKind::BigLock, kernel_cores());
+    cfg.costs = costs;
+    let h = s.spawn_on(CoreId(KCORES as u32), async move {
+        let os = boot(cfg).await;
+        let t0 = chanos_sim::now();
+        let mut handles = Vec::new();
+        for a in 0..apps {
+            let core = CoreId((KCORES + a % (CORES - KCORES)) as u32);
+            let (_pid, h) = os.procs.spawn_process(core, move |env| async move {
+                for _ in 0..per {
+                    env.getpid().await;
+                }
+            });
+            handles.push(h);
+        }
+        for h in handles {
+            let _ = h.join().await;
+        }
+        chanos_sim::now() - t0
+    });
+    let out = s.run_until_idle();
+    assert_eq!(out.end, RunEnd::Completed);
+    let took = h.try_take().unwrap().unwrap();
+    ops_per_mcycle(apps as u64 * per, took)
+}
+
+fn io_throughput(kind: KernelKind, apps: usize, per: u64) -> String {
+    let mut s = machine();
+    let h = {
+        let cfg = BootCfg::new(kind, FsKind::Sharded, kernel_cores());
+        s.spawn_on(CoreId(KCORES as u32), async move {
+            let os = boot(cfg).await;
+            // Seed one file per app.
+            for a in 0..apps {
+                let ino = os.vfs.create(&format!("/f{a}")).await.unwrap();
+                os.vfs.write(ino, 0, &vec![7u8; 4096]).await.unwrap();
+            }
+            let t0 = chanos_sim::now();
+            let mut handles = Vec::new();
+            for a in 0..apps {
+                let core = CoreId((KCORES + a % (CORES - KCORES)) as u32);
+                let (_pid, h) = os.procs.spawn_process(core, move |env| async move {
+                    let mut fd = env.open(&format!("/f{a}")).await.unwrap();
+                    for i in 0..per {
+                        // Re-read the same hot block (cache hit path:
+                        // isolates syscall transport costs).
+                        let _ = env.read(fd, 512).await.unwrap();
+                        if (i + 1) % 8 == 0 {
+                            // Rewind by reopening.
+                            let _ = env.close(fd).await;
+                            fd = env.open(&format!("/f{a}")).await.unwrap();
+                        }
+                    }
+                });
+                handles.push(h);
+            }
+            for h in handles {
+                let _ = h.join().await;
+            }
+            chanos_sim::now() - t0
+        })
+    };
+    let out = s.run_until_idle();
+    assert_eq!(out.end, RunEnd::Completed);
+    let took = h.try_take().unwrap().unwrap();
+    ops_per_mcycle(apps as u64 * per, took)
+}
+
+/// Runs E3.
+pub fn run(quick: bool) -> Vec<Table> {
+    let per: u64 = if quick { 50 } else { 300 };
+    let app_counts: &[usize] = if quick { &[1, 4, 12] } else { &[1, 2, 4, 8, 12] };
+
+    let mut t1 = Table::new(
+        "E3a",
+        "null syscall throughput (ops/Mcycle) vs app threads",
+        &["app threads", "trap", "message"],
+    );
+    for &apps in app_counts {
+        t1.row(vec![
+            apps.to_string(),
+            null_throughput(KernelKind::Trap, apps, KernelCosts::default(), per),
+            null_throughput(KernelKind::Message, apps, KernelCosts::default(), per),
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        "E3b",
+        "null syscall throughput vs mode-switch cost (8 app threads)",
+        &["mode-switch cycles", "trap", "message"],
+    );
+    for &ms in if quick { &[200u64, 2000][..] } else { &[100, 400, 700, 1400, 2800][..] } {
+        let costs = KernelCosts {
+            mode_switch: ms,
+            pollution: ms, // Pollution tracks switch cost.
+            ..KernelCosts::default()
+        };
+        t2.row(vec![
+            ms.to_string(),
+            null_throughput(KernelKind::Trap, 8, costs.clone(), per),
+            null_throughput(KernelKind::Message, 8, costs, per),
+        ]);
+    }
+
+    let mut t3 = Table::new(
+        "E3c",
+        "read() syscall throughput (ops/Mcycle) vs app threads",
+        &["app threads", "trap", "message"],
+    );
+    for &apps in app_counts {
+        t3.row(vec![
+            apps.to_string(),
+            io_throughput(KernelKind::Trap, apps, per.min(100)),
+            io_throughput(KernelKind::Message, apps, per.min(100)),
+        ]);
+    }
+    vec![t1, t2, t3]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e3_message_kernel_wins_null_syscalls() {
+        let tables = super::run(true);
+        let t1 = &tables[0];
+        // At every app count the message kernel should beat the trap
+        // kernel on null syscalls with default (realistic) costs.
+        for row in &t1.rows {
+            let trap: f64 = row[1].parse().unwrap();
+            let msg: f64 = row[2].parse().unwrap();
+            assert!(
+                msg > trap,
+                "apps={}: message ({msg}) should beat trap ({trap})",
+                row[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! E6 — choice: cost versus fan-in, and fairness (§3, §5).
+//!
+//! §5 predicts *"implementing choice effectively is always somewhat
+//! difficult"*. We measure `select_all` over N ready channels (the
+//! server's inner loop shape) as N grows, and the fairness of the
+//! rotation when every arm is perpetually ready.
+
+use chanos_csp::{channel, select_all, Capacity, Receiver, Sender};
+use chanos_sim::{Config, CoreId, Simulation};
+
+use crate::table::{f2, Table};
+
+fn machine() -> Simulation {
+    Simulation::with_config(Config {
+        cores: 4,
+        ctx_switch: 0,
+        ..Config::default()
+    })
+}
+
+/// Mean cycles per select over `fan_in` channels, all pre-loaded.
+fn select_cost(fan_in: usize, rounds: u64) -> (f64, f64) {
+    let mut s = machine();
+    let h = s.spawn_on(CoreId(0), async move {
+        let chans: Vec<(Sender<u64>, Receiver<u64>)> = (0..fan_in)
+            .map(|_| channel::<u64>(Capacity::Unbounded))
+            .collect();
+        // Keep every channel non-empty for the whole run.
+        for (tx, _) in &chans {
+            for _ in 0..rounds {
+                tx.send(1).await.unwrap();
+            }
+        }
+        // Wait out all transits so arms are *ready*, isolating choice
+        // overhead from delivery latency.
+        chanos_sim::sleep(100_000).await;
+        let mut wins = vec![0u64; fan_in];
+        let t0 = chanos_sim::now();
+        for _ in 0..rounds {
+            let futs: Vec<_> = chans.iter().map(|(_, rx)| rx.recv()).collect();
+            let (i, v) = select_all(futs).await;
+            assert!(v.is_ok());
+            wins[i] += 1;
+        }
+        let elapsed = chanos_sim::now() - t0;
+        let per_op = elapsed as f64 / rounds as f64;
+        // Fairness: max/min win ratio over arms (1.0 = perfectly
+        // fair). Guard against zero wins.
+        let max = *wins.iter().max().expect("non-empty") as f64;
+        let min = *wins.iter().min().expect("non-empty") as f64;
+        let fairness = if min == 0.0 { f64::INFINITY } else { max / min };
+        (per_op, fairness)
+    });
+    s.run_until_idle();
+    h.try_take().unwrap().unwrap()
+}
+
+/// Runs E6.
+pub fn run(quick: bool) -> Vec<Table> {
+    let fan_ins: &[usize] = if quick { &[2, 16, 64] } else { &[2, 4, 8, 16, 32, 64, 128, 256] };
+    let rounds: u64 = if quick { 256 } else { 1024 };
+    let mut t = Table::new(
+        "E6",
+        "choose over N ready channels",
+        &["fan-in N", "cycles/choice", "fairness (max/min wins)"],
+    );
+    for &n in fan_ins {
+        let rounds = rounds.max(n as u64 * 8); // Enough samples per arm.
+        let (cost, fairness) = select_cost(n, rounds);
+        t.row(vec![n.to_string(), f2(cost), f2(fairness)]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e6_choice_is_fair_and_flat_cost() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        for row in &t.rows {
+            let fairness: f64 = row[2].parse().unwrap();
+            assert!(
+                fairness < 3.0,
+                "fan-in {}: rotation should keep arms within 3x ({fairness})",
+                row[0]
+            );
+        }
+        // Virtual-time cost per choice should not grow with fan-in
+        // (the cost model charges delivery, not polling; host-time
+        // polling cost is measured by the criterion bench instead).
+        let first: f64 = t.rows[0][1].parse().unwrap();
+        let last: f64 = t.rows[t.rows.len() - 1][1].parse().unwrap();
+        assert!(
+            last <= first * 3.0,
+            "virtual-time choice cost should stay flat: {first} -> {last}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! E7 — "Blocking send … is more powerful; however, non-blocking send
+//! tends to be easier to use and, being less synchronous, is probably
+//! faster" (§3).
+//!
+//! A four-stage pipeline across four cores pushes N messages through
+//! channels of each capacity. Rendezvous pays a full ack round trip
+//! per hop; buffering amortizes it. The paper's "probably faster"
+//! becomes a measured crossover: throughput rises with buffer depth
+//! and saturates.
+
+use chanos_csp::{channel, Capacity, Receiver, Sender};
+use chanos_sim::{Config, CoreId, RunEnd, Simulation};
+
+use crate::table::{f2, ops_per_mcycle, Table};
+
+const STAGES: usize = 4;
+const STAGE_WORK: u64 = 50;
+
+fn machine() -> Simulation {
+    Simulation::with_config(Config {
+        cores: STAGES + 1,
+        ctx_switch: 0,
+        ..Config::default()
+    })
+}
+
+fn pipeline(cap: Capacity, msgs: u64) -> (String, f64) {
+    let mut s = machine();
+    let h = s.spawn_on(CoreId(0), async move {
+        // Build stage channels: source -> s1 -> s2 -> s3 -> sink.
+        let mut txs: Vec<Sender<(u64, u64)>> = Vec::new();
+        let mut rxs: Vec<Receiver<(u64, u64)>> = Vec::new();
+        for _ in 0..STAGES {
+            let (tx, rx) = channel::<(u64, u64)>(cap);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        // Intermediate stages: receive, work, forward.
+        for i in 0..STAGES - 1 {
+            let rx = rxs[i].clone();
+            let tx = txs[i + 1].clone();
+            chanos_sim::spawn_daemon_on(
+                &format!("stage{i}"),
+                CoreId((i + 1) as u32),
+                async move {
+                    while let Ok(msg) = rx.recv().await {
+                        chanos_sim::delay(STAGE_WORK).await;
+                        if tx.send(msg).await.is_err() {
+                            break;
+                        }
+                    }
+                },
+            );
+        }
+        // Sink on the last stage core.
+        let sink_rx = rxs[STAGES - 1].clone();
+        let sink = chanos_sim::spawn_on(CoreId(STAGES as u32), async move {
+            let mut latency_sum = 0u64;
+            let mut got = 0u64;
+            while got < msgs {
+                match sink_rx.recv().await {
+                    Ok((_, sent_at)) => {
+                        got += 1;
+                        latency_sum += chanos_sim::now() - sent_at;
+                    }
+                    Err(_) => break,
+                }
+            }
+            latency_sum as f64 / got.max(1) as f64
+        });
+        // Source.
+        let t0 = chanos_sim::now();
+        for i in 0..msgs {
+            txs[0].send((i, chanos_sim::now())).await.unwrap();
+        }
+        let mean_latency = sink.join().await.unwrap();
+        (chanos_sim::now() - t0, mean_latency)
+    });
+    let out = s.run_until_idle();
+    assert_eq!(out.end, RunEnd::Completed);
+    let (cycles, mean_latency) = h.try_take().unwrap().unwrap();
+    (ops_per_mcycle(msgs, cycles), mean_latency)
+}
+
+/// Runs E7.
+pub fn run(quick: bool) -> Vec<Table> {
+    let msgs: u64 = if quick { 200 } else { 1000 };
+    let mut t = Table::new(
+        "E7",
+        "4-stage pipeline: send semantics vs throughput and latency",
+        &["channel", "msgs/Mcycle", "mean end-to-end latency (cycles)"],
+    );
+    let cases: &[(&str, Capacity)] = &[
+        ("rendezvous", Capacity::Rendezvous),
+        ("bounded(1)", Capacity::Bounded(1)),
+        ("bounded(8)", Capacity::Bounded(8)),
+        ("bounded(64)", Capacity::Bounded(64)),
+        ("unbounded", Capacity::Unbounded),
+    ];
+    for (name, cap) in cases {
+        let (thr, lat) = pipeline(*cap, msgs);
+        t.row(vec![name.to_string(), thr, f2(lat)]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e7_buffered_beats_rendezvous_on_throughput() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        let thr = |row: usize| -> f64 { t.rows[row][1].parse().unwrap() };
+        let rendezvous = thr(0);
+        let bounded8 = thr(2);
+        let unbounded = thr(4);
+        assert!(
+            bounded8 > rendezvous,
+            "bounded(8) ({bounded8}) should out-run rendezvous ({rendezvous})"
+        );
+        assert!(
+            unbounded >= bounded8 * 0.8,
+            "unbounded ({unbounded}) should be at least near bounded(8) ({bounded8})"
+        );
+    }
+}

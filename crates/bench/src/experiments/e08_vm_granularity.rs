@@ -1,0 +1,158 @@
+//! E8 — "One might build a virtual memory system with a thread for
+//! every page of physical memory in the system; that would produce
+//! too many threads no matter how many cores are available" (§5).
+//!
+//! A fault storm (several app tasks touching distinct pages) against
+//! the VM service at each granularity, plus the libOS (aggressive)
+//! design. Reported: fault throughput, service threads spawned, and
+//! modeled thread-stack memory — the per-page column is the cliff the
+//! paper warns about.
+
+use chanos_sim::{Config, CoreId, RunEnd, Simulation};
+use chanos_vm::{FrameAlloc, Granularity, LibOsSpace, VmCfg, VmService, PAGE_SIZE, THREAD_STACK_BYTES};
+
+use crate::table::{ops_per_mcycle, Table};
+
+const CORES: usize = 12;
+const SERVICE: usize = 4;
+
+fn machine() -> Simulation {
+    Simulation::with_config(Config {
+        cores: CORES,
+        ctx_switch: 20,
+        ..Config::default()
+    })
+}
+
+fn storm(g: Granularity, faulters: usize, pages_each: u64) -> (String, u64, u64) {
+    let mut s = machine();
+    let h = s.spawn_on(CoreId(SERVICE as u32), async move {
+        let vm = VmService::start(VmCfg {
+            granularity: g,
+            fault_work: 300,
+            frames: faulters as u64 * pages_each + 64,
+            service_cores: (0..SERVICE as u32).map(CoreId).collect(),
+            thread_spawn_cost: 800,
+        });
+        let space = vm.create_space(1);
+        space
+            .map_region(0, faulters as u64 * pages_each * PAGE_SIZE)
+            .await
+            .unwrap();
+        let t0 = chanos_sim::now();
+        let hs: Vec<_> = (0..faulters)
+            .map(|f| {
+                let space = space.clone();
+                chanos_sim::spawn_on(CoreId((SERVICE + f % (CORES - SERVICE)) as u32), async move {
+                    let base = f as u64 * pages_each;
+                    for p in 0..pages_each {
+                        space.touch((base + p) * PAGE_SIZE).await.unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().await.unwrap();
+        }
+        chanos_sim::now() - t0
+    });
+    let out = s.run_until_idle();
+    assert_eq!(out.end, RunEnd::Completed, "{}", g.name());
+    let cycles = h.try_take().unwrap().unwrap();
+    let st = s.stats();
+    let threads = st.counter("vm.service_threads");
+    (
+        ops_per_mcycle(faulters as u64 * pages_each, cycles),
+        threads,
+        threads * THREAD_STACK_BYTES / 1024,
+    )
+}
+
+fn libos_storm(faulters: usize, pages_each: u64) -> (String, u64, u64) {
+    let mut s = machine();
+    let h = s.spawn_on(CoreId(SERVICE as u32), async move {
+        let frames = FrameAlloc::spawn(faulters as u64 * pages_each + 64, CoreId(0));
+        let t0 = chanos_sim::now();
+        let hs: Vec<_> = (0..faulters)
+            .map(|f| {
+                let frames = frames.clone();
+                chanos_sim::spawn_on(CoreId((SERVICE + f % (CORES - SERVICE)) as u32), async move {
+                    // Aggressive design: each process manages its own
+                    // address space.
+                    let mut space = LibOsSpace::new(frames, 300);
+                    space.map_region(0, pages_each * PAGE_SIZE);
+                    for p in 0..pages_each {
+                        space.touch(p * PAGE_SIZE).await.unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().await.unwrap();
+        }
+        chanos_sim::now() - t0
+    });
+    let out = s.run_until_idle();
+    assert_eq!(out.end, RunEnd::Completed);
+    let cycles = h.try_take().unwrap().unwrap();
+    (
+        ops_per_mcycle(faulters as u64 * pages_each, cycles),
+        0,
+        0,
+    )
+}
+
+/// Runs E8.
+pub fn run(quick: bool) -> Vec<Table> {
+    let faulters = if quick { 4 } else { 8 };
+    let pages: u64 = if quick { 64 } else { 400 };
+    let mut t = Table::new(
+        "E8",
+        "VM fault storm by service granularity",
+        &["design", "faults/Mcycle", "service threads", "thread stacks (KiB)"],
+    );
+    for g in [
+        Granularity::Centralized,
+        Granularity::PerSpace,
+        Granularity::PerRegion,
+        Granularity::PerPage,
+    ] {
+        let (thr, threads, kib) = storm(g, faulters, pages);
+        t.row(vec![
+            g.name().to_string(),
+            thr,
+            threads.to_string(),
+            kib.to_string(),
+        ]);
+    }
+    let (thr, threads, kib) = libos_storm(faulters, pages);
+    t.row(vec![
+        "libOS (aggressive)".to_string(),
+        thr,
+        threads.to_string(),
+        kib.to_string(),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e8_per_page_spawns_a_thread_cliff() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        let threads = |row: usize| -> u64 { t.rows[row][2].parse().unwrap() };
+        // centralized(0), per-space(1), per-region(2), per-page(3).
+        assert!(threads(3) > 100, "per-page must explode in threads");
+        assert!(threads(3) > threads(2) * 10);
+        let thr = |row: usize| -> f64 { t.rows[row][1].parse().unwrap() };
+        assert!(
+            thr(3) < thr(1),
+            "per-page ({}) should underperform per-space ({})",
+            thr(3),
+            thr(1)
+        );
+        // The libOS row avoids service threads entirely.
+        assert_eq!(threads(4), 0);
+    }
+}

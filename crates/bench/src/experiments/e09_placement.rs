@@ -1,0 +1,140 @@
+//! E9 — "Scheduling in general, and the specific problem of deciding
+//! which threads to place on which cores … is likely to present a new
+//! range of difficulties" (§5).
+//!
+//! A communication-heavy workload (many 4-stage pipelines) on a
+//! 64-core mesh under each placement policy. Reported: throughput and
+//! mean NoC hops per message — affinity placement keeps messages
+//! local; random placement pays the diameter.
+
+use chanos_csp::{channel, Capacity};
+use chanos_kernel::Policy;
+use chanos_noc::Interconnect;
+use chanos_sim::{Config, CoreId, RunEnd, Simulation};
+
+use crate::table::{f2, ops_per_mcycle, Table};
+
+const CORES: usize = 64;
+const STAGES: usize = 4;
+
+fn machine() -> Simulation {
+    let s = Simulation::with_config(Config {
+        cores: CORES,
+        ctx_switch: 20,
+        ..Config::default()
+    });
+    chanos_csp::install(&s, Interconnect::mesh_for(CORES));
+    s
+}
+
+fn run_policy(policy: Policy, pipelines: usize, msgs: u64) -> (String, f64) {
+    let mut s = machine();
+    s.set_placer(policy.build());
+    // The driver task is explicitly placed; worker stages use the
+    // policy via plain `spawn`.
+    let h = s.spawn_on(CoreId(0), async move {
+        let t0 = chanos_sim::now();
+        let mut joins = Vec::new();
+        for p in 0..pipelines {
+            joins.push(chanos_sim::spawn_named(&format!("pipe{p}-src"), async move {
+                let (mut tx, mut rx) = channel::<u64>(Capacity::Bounded(8));
+                let first_tx = tx;
+                // Build the chain: each stage spawned via the policy.
+                let mut stage_joins = Vec::new();
+                for st in 0..STAGES {
+                    let (ntx, nrx) = channel::<u64>(Capacity::Bounded(8));
+                    let in_rx = rx;
+                    rx = nrx;
+                    tx = ntx.clone();
+                    let out_tx = ntx;
+                    stage_joins.push(chanos_sim::spawn_named(
+                        &format!("pipe{p}-stage{st}"),
+                        async move {
+                            while let Ok(v) = in_rx.recv().await {
+                                chanos_sim::delay(30).await;
+                                if out_tx.send(v).await.is_err() {
+                                    break;
+                                }
+                            }
+                        },
+                    ));
+                }
+                let _ = tx;
+                // Source + sink in this task.
+                let sink = chanos_sim::spawn_named(&format!("pipe{p}-sink"), async move {
+                    let mut got = 0u64;
+                    while got < msgs {
+                        if rx.recv().await.is_err() {
+                            break;
+                        }
+                        got += 1;
+                    }
+                });
+                for i in 0..msgs {
+                    first_tx.send(i).await.unwrap();
+                }
+                drop(first_tx);
+                let _ = sink.join().await;
+                for j in stage_joins {
+                    let _ = j.join().await;
+                }
+            }));
+        }
+        for j in joins {
+            j.join().await.unwrap();
+        }
+        chanos_sim::now() - t0
+    });
+    let out = s.run_until_idle();
+    assert_eq!(out.end, RunEnd::Completed, "{}", policy.name());
+    let cycles = h.try_take().unwrap().unwrap();
+    let st = s.stats();
+    let recvs = st.counter("csp.recvs").max(1);
+    let hops = st.counter("csp.hops") as f64 / recvs as f64;
+    let total_msgs = pipelines as u64 * msgs * (STAGES as u64 + 1);
+    (ops_per_mcycle(total_msgs, cycles), hops)
+}
+
+/// Runs E9.
+pub fn run(quick: bool) -> Vec<Table> {
+    let pipelines = if quick { 8 } else { 16 };
+    let msgs: u64 = if quick { 50 } else { 200 };
+    let mut t = Table::new(
+        "E9",
+        "placement policy on a 64-core mesh (16 pipelines)",
+        &["policy", "msgs/Mcycle", "mean hops/message"],
+    );
+    for policy in [
+        Policy::Random,
+        Policy::RoundRobin,
+        Policy::Inherit,
+        Policy::Partitioned { kernel_cores: 8 },
+    ] {
+        let (thr, hops) = run_policy(policy, pipelines, msgs);
+        t.row(vec![policy.name().to_string(), thr, f2(hops)]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e9_affinity_reduces_hops() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        let hops = |name: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .expect("policy present")[2]
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            hops("inherit") < hops("random"),
+            "communication affinity should cut NoC traffic: inherit {} vs random {}",
+            hops("inherit"),
+            hops("random")
+        );
+    }
+}

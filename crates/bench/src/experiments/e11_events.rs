@@ -1,0 +1,101 @@
+//! E11 — asynchronous event delivery: signals vs channels (§3.1).
+//!
+//! Sweeps the event arrival rate against the two delivery models from
+//! `chanos_kernel::events`. The signal column pays "abandon and
+//! unwind everything that was in progress in the kernel … then redo
+//! all the work it just unwound"; the channel column never discards
+//! kernel work.
+
+use chanos_kernel::{run_channel_model, run_signal_model, EventExpCfg};
+use chanos_sim::{Config, Simulation};
+
+use crate::table::{f2, Table};
+
+fn run_one(mean_gap: u64, n_ops: u32) -> (Vec<String>, Vec<String>) {
+    let cfg = EventExpCfg {
+        event_mean_gap: mean_gap,
+        n_ops,
+        ..EventExpCfg::default()
+    };
+    let mut s1 = Simulation::with_config(Config {
+        cores: 3,
+        ctx_switch: 10,
+        ..Config::default()
+    });
+    let c1 = cfg.clone();
+    let sig = s1.block_on(async move { run_signal_model(&c1).await }).unwrap();
+    let mut s2 = Simulation::with_config(Config {
+        cores: 3,
+        ctx_switch: 10,
+        ..Config::default()
+    });
+    let c2 = cfg.clone();
+    let chan = s2
+        .block_on(async move { run_channel_model(&c2).await })
+        .unwrap();
+    (
+        vec![
+            sig.total_time.to_string(),
+            sig.wasted_kernel_cycles.to_string(),
+            sig.restarts.to_string(),
+            f2(sig.mean_event_latency),
+        ],
+        vec![
+            chan.total_time.to_string(),
+            chan.wasted_kernel_cycles.to_string(),
+            f2(chan.mean_event_latency),
+        ],
+    )
+}
+
+/// Runs E11.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n_ops: u32 = if quick { 30 } else { 150 };
+    let gaps: &[u64] = if quick {
+        &[16_000, 4_000]
+    } else {
+        &[32_000, 16_000, 8_000, 4_000, 2_000]
+    };
+    let mut t = Table::new(
+        "E11",
+        "event delivery: signals (unwind+redo) vs channels",
+        &[
+            "mean event gap",
+            "signal: time",
+            "signal: wasted cycles",
+            "signal: restarts",
+            "signal: ev latency",
+            "channel: time",
+            "channel: wasted",
+            "channel: ev latency",
+        ],
+    );
+    for &gap in gaps {
+        let (sig, chan) = run_one(gap, n_ops);
+        let mut row = vec![gap.to_string()];
+        row.extend(sig);
+        row.extend(chan);
+        t.row(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e11_signal_waste_grows_with_event_rate() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        let wasted = |row: usize| -> u64 { t.rows[row][2].parse().unwrap() };
+        let chan_wasted = |row: usize| -> u64 { t.rows[row][6].parse().unwrap() };
+        // Higher event rate (smaller gap, later row) wastes more.
+        assert!(wasted(1) > wasted(0));
+        for r in 0..t.rows.len() {
+            assert_eq!(chan_wasted(r), 0, "channels never waste kernel work");
+        }
+        // Total time: signal model slower at the high event rate.
+        let sig_time: u64 = t.rows[1][1].parse().unwrap();
+        let chan_time: u64 = t.rows[1][5].parse().unwrap();
+        assert!(sig_time > chan_time);
+    }
+}

@@ -1,0 +1,154 @@
+//! E12 — "Existing single-threaded code that is not performance
+//! critical can run unchanged" (§1); "legacy code can be linked
+//! against a compatibility library and used unchanged" (§4).
+//!
+//! A file copy through the message kernel, two ways: the legacy shape
+//! (sequential read/write via the compat layer — one outstanding
+//! syscall at a time) and the restructured shape (reader and writer
+//! tasks pipelined through a channel). Correctness must be identical;
+//! the difference is the price of not restructuring.
+
+use chanos_csp::{channel, Capacity};
+use chanos_kernel::{boot, compat_copy, BootCfg, Env, FsKind, KernelKind};
+use chanos_sim::{Config, CoreId, RunEnd, Simulation};
+
+use crate::table::{ops_per_mcycle, Table};
+
+const KCORES: usize = 3;
+const FILE_BYTES: usize = 256 * 1024;
+const CHUNK: usize = 4096;
+
+fn machine() -> Simulation {
+    Simulation::with_config(Config {
+        cores: KCORES + 3,
+        ctx_switch: 20,
+        ..Config::default()
+    })
+}
+
+async fn seed_source(env: &Env) -> Vec<u8> {
+    let data: Vec<u8> = (0..FILE_BYTES).map(|i| (i % 251) as u8).collect();
+    let fd = env.create("/src").await.unwrap();
+    // Write in chunks (the file exceeds one message comfortably).
+    for (i, chunk) in data.chunks(16 * 1024).enumerate() {
+        let n = env.write(fd, chunk).await.unwrap();
+        assert_eq!(n, chunk.len(), "chunk {i}");
+    }
+    env.close(fd).await.unwrap();
+    data
+}
+
+/// Pipelined copy: a reader task and a writer task connected by a
+/// bounded channel — the "new code" shape.
+async fn pipelined_copy(env: &Env, src: &str, dst: &str) -> u64 {
+    let (tx, rx) = channel::<Vec<u8>>(Capacity::Bounded(8));
+    let renv = env.clone();
+    let src = src.to_string();
+    let reader = chanos_sim::spawn(async move {
+        let fd = renv.open(&src).await.unwrap();
+        loop {
+            let buf = renv.read(fd, CHUNK).await.unwrap();
+            if buf.is_empty() {
+                break;
+            }
+            if tx.send(buf).await.is_err() {
+                break;
+            }
+        }
+        renv.close(fd).await.unwrap();
+    });
+    let wenv = env.clone();
+    let dst = dst.to_string();
+    let writer = chanos_sim::spawn(async move {
+        let fd = wenv.create(&dst).await.unwrap();
+        let mut total = 0u64;
+        while let Ok(buf) = rx.recv().await {
+            total += buf.len() as u64;
+            wenv.write(fd, &buf).await.unwrap();
+        }
+        wenv.close(fd).await.unwrap();
+        total
+    });
+    reader.join().await.unwrap();
+    writer.join().await.unwrap()
+}
+
+/// Runs E12.
+pub fn run(_quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "E12",
+        "legacy sequential copy vs pipelined copy (message kernel)",
+        &["shape", "bytes copied", "KiB/Mcycle", "correct"],
+    );
+    let mut s = machine();
+    let h = s.spawn_on(CoreId(KCORES as u32), async move {
+        let os = boot(BootCfg::new(
+            KernelKind::Message,
+            FsKind::Message,
+            (0..KCORES as u32).map(CoreId).collect(),
+        ))
+        .await;
+        let (_pid, h) = os.procs.spawn_process(CoreId((KCORES + 1) as u32), |env| async move {
+            let data = seed_source(&env).await;
+
+            let t0 = chanos_sim::now();
+            let n1 = compat_copy(&env, "/src", "/dst_legacy", CHUNK).await.unwrap();
+            let legacy_cycles = chanos_sim::now() - t0;
+
+            let t1 = chanos_sim::now();
+            let n2 = pipelined_copy(&env, "/src", "/dst_pipelined").await;
+            let pipe_cycles = chanos_sim::now() - t1;
+
+            // Verify both copies byte-for-byte.
+            let mut ok = true;
+            for dst in ["/dst_legacy", "/dst_pipelined"] {
+                let fd = env.open(dst).await.unwrap();
+                let mut got = Vec::new();
+                loop {
+                    let b = env.read(fd, 32 * 1024).await.unwrap();
+                    if b.is_empty() {
+                        break;
+                    }
+                    got.extend(b);
+                }
+                ok &= got == data;
+            }
+            (n1, legacy_cycles, n2, pipe_cycles, ok)
+        });
+        h.join().await.unwrap()
+    });
+    let out = s.run_until_idle();
+    assert_eq!(out.end, RunEnd::Completed);
+    let (n1, c1, n2, c2, ok) = h.try_take().unwrap().unwrap();
+    t.row(vec![
+        "legacy (compat)".into(),
+        n1.to_string(),
+        ops_per_mcycle(n1 / 1024, c1),
+        ok.to_string(),
+    ]);
+    t.row(vec![
+        "pipelined".into(),
+        n2.to_string(),
+        ops_per_mcycle(n2 / 1024, c2),
+        ok.to_string(),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e12_legacy_correct_but_slower() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        assert_eq!(t.rows[0][3], "true");
+        assert_eq!(t.rows[1][3], "true");
+        assert_eq!(t.rows[0][1], t.rows[1][1], "same bytes copied");
+        let legacy: f64 = t.rows[0][2].parse().unwrap();
+        let pipelined: f64 = t.rows[1][2].parse().unwrap();
+        assert!(
+            pipelined > legacy,
+            "pipelining should beat sequential legacy code: {pipelined} vs {legacy}"
+        );
+    }
+}

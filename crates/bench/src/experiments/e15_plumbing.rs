@@ -1,0 +1,199 @@
+//! E15 — "Note that channels can be sent through channels. This makes
+//! it possible to, for example, plumb a connection by passing around
+//! a channel to be used to carry data, and then afterwards move the
+//! data directly to its destination by a single send operation" (§3).
+//!
+//! A producer on one corner of the mesh streams records to a consumer
+//! on the opposite corner, brokered by a directory service in the
+//! middle. Two builds:
+//!
+//! * **relay** — the conventional layered structure: every record
+//!   flows producer → broker → consumer. In a strict message-passing
+//!   system the broker *copies* each record through its own memory
+//!   (§3: "threads send messages through channels by copying"), so it
+//!   pays a per-byte touch cost on top of its bookkeeping;
+//! * **plumbed** — the producer sends a fresh channel endpoint
+//!   *through* the broker; records then move producer → consumer
+//!   directly, and the broker never touches the data path again.
+//!
+//! Reported: total cycles (throughput) and mean end-to-end record
+//! latency. The relay loses twice — its broker becomes a copying
+//! bottleneck as records grow, and every record pays two transits of
+//! latency instead of one.
+
+use chanos_csp::{channel, channel_with_bytes, Capacity, Receiver};
+use chanos_noc::Interconnect;
+use chanos_sim::{self as sim, Config, CoreId, Simulation};
+
+use crate::table::{f2, Table};
+
+const CORES: usize = 64;
+/// Broker bookkeeping per relayed record (routing, queueing).
+const BROKER_TOUCH: u64 = 60;
+/// Copy throughput of the broker: cycles per 4 bytes moved in+out.
+const COPY_BYTES_PER_CYCLE: u64 = 4;
+
+/// A record: (virtual send time, payload).
+type Record = (u64, Vec<u8>);
+
+fn machine() -> Simulation {
+    let s = Simulation::with_config(Config { cores: CORES, ctx_switch: 20, ..Config::default() });
+    chanos_csp::install(&s, Interconnect::mesh_for(CORES));
+    s
+}
+
+/// Producer corner, broker center, consumer corner of the 8x8 mesh.
+const PRODUCER: CoreId = CoreId(0);
+const BROKER: CoreId = CoreId(27);
+const CONSUMER: CoreId = CoreId(63);
+
+/// Returns (total cycles, mean end-to-end latency).
+fn run_relay(records: u64, bytes: usize) -> (u64, u64) {
+    let mut s = machine();
+    s.block_on(async move {
+        let (to_broker_tx, to_broker_rx) =
+            channel_with_bytes::<Record>(Capacity::Bounded(8), bytes);
+        let (to_consumer_tx, to_consumer_rx) =
+            channel_with_bytes::<Record>(Capacity::Bounded(8), bytes);
+        sim::spawn_daemon_on("broker", BROKER, async move {
+            while let Ok(rec) = to_broker_rx.recv().await {
+                // Receive-copy and send-copy through broker memory.
+                sim::delay(BROKER_TOUCH + rec.1.len() as u64 / COPY_BYTES_PER_CYCLE).await;
+                if to_consumer_tx.send(rec).await.is_err() {
+                    break;
+                }
+            }
+        });
+        let consumer = sim::spawn_on(CONSUMER, async move {
+            let (mut n, mut lat_sum) = (0u64, 0u64);
+            while let Ok((sent_at, _payload)) = to_consumer_rx.recv().await {
+                n += 1;
+                lat_sum += sim::now() - sent_at;
+            }
+            (n, lat_sum)
+        });
+        let t0 = sim::now();
+        let producer = sim::spawn_on(PRODUCER, async move {
+            for _ in 0..records {
+                let rec = (sim::now(), vec![0u8; bytes]);
+                to_broker_tx.send(rec).await.unwrap();
+            }
+        });
+        producer.join().await.unwrap();
+        let (got, lat_sum) = consumer.join().await.unwrap();
+        assert_eq!(got, records);
+        (sim::now() - t0, lat_sum / records)
+    })
+    .unwrap()
+}
+
+/// An introduction request: "give the consumer this endpoint".
+enum BrokerMsg {
+    Introduce(Receiver<Record>),
+}
+
+/// Returns (total cycles, mean end-to-end latency).
+fn run_plumbed(records: u64, bytes: usize) -> (u64, u64) {
+    let mut s = machine();
+    s.block_on(async move {
+        // Control channels are small; the data channel is priced at
+        // record size.
+        let (ctl_tx, ctl_rx) = channel::<BrokerMsg>(Capacity::Bounded(1));
+        let (hand_tx, hand_rx) = channel::<Receiver<Record>>(Capacity::Bounded(1));
+        sim::spawn_daemon_on("broker", BROKER, async move {
+            // The broker only brokers: it forwards the endpoint once
+            // and never touches the data path again.
+            while let Ok(BrokerMsg::Introduce(data_rx)) = ctl_rx.recv().await {
+                sim::delay(BROKER_TOUCH).await;
+                if hand_tx.send(data_rx).await.is_err() {
+                    break;
+                }
+            }
+        });
+        let consumer = sim::spawn_on(CONSUMER, async move {
+            let data_rx = hand_rx.recv().await.expect("introduction");
+            let (mut n, mut lat_sum) = (0u64, 0u64);
+            while let Ok((sent_at, _payload)) = data_rx.recv().await {
+                n += 1;
+                lat_sum += sim::now() - sent_at;
+            }
+            (n, lat_sum)
+        });
+        let t0 = sim::now();
+        let producer = sim::spawn_on(PRODUCER, async move {
+            let (data_tx, data_rx) = channel_with_bytes::<Record>(Capacity::Bounded(8), bytes);
+            // Plumb the connection: the channel travels through the
+            // broker...
+            assert!(
+                ctl_tx.send(BrokerMsg::Introduce(data_rx)).await.is_ok(),
+                "introduction must reach the broker"
+            );
+            // ...then the data moves directly to its destination.
+            for _ in 0..records {
+                let rec = (sim::now(), vec![0u8; bytes]);
+                data_tx.send(rec).await.unwrap();
+            }
+        });
+        producer.join().await.unwrap();
+        let (got, lat_sum) = consumer.join().await.unwrap();
+        assert_eq!(got, records);
+        (sim::now() - t0, lat_sum / records)
+    })
+    .unwrap()
+}
+
+/// Runs E15.
+pub fn run(quick: bool) -> Vec<Table> {
+    let records: u64 = if quick { 300 } else { 2_000 };
+    let mut t = Table::new(
+        "E15",
+        "plumbed channel vs relay through a broker (producer->consumer across the mesh)",
+        &[
+            "record B",
+            "relay Mcycles",
+            "plumbed Mcycles",
+            "thr speedup",
+            "relay lat (cyc)",
+            "plumbed lat (cyc)",
+            "lat speedup",
+        ],
+    );
+    for bytes in [64usize, 1024, 8192, 65536] {
+        let (relay, relay_lat) = run_relay(records, bytes);
+        let (plumbed, plumbed_lat) = run_plumbed(records, bytes);
+        t.row(vec![
+            bytes.to_string(),
+            f2(relay as f64 / 1e6),
+            f2(plumbed as f64 / 1e6),
+            format!("{}x", f2(relay as f64 / plumbed as f64)),
+            relay_lat.to_string(),
+            plumbed_lat.to_string(),
+            format!("{}x", f2(relay_lat as f64 / plumbed_lat as f64)),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e15_shape_holds() {
+        let t = &super::run(true)[0];
+        let x = |cell: &str| -> f64 { cell.trim_end_matches('x').parse().unwrap() };
+        // Latency: the relay pays the broker hop on every record.
+        for row in &t.rows {
+            assert!(
+                x(&row[6]) > 1.3,
+                "plumbing should cut latency clearly at {} B: {row:?}",
+                row[0]
+            );
+        }
+        // Throughput: once records are big, the copying broker is the
+        // bottleneck and plumbing wins there too.
+        let big = &t.rows[3];
+        assert!(
+            x(&big[3]) > 1.5,
+            "at 64 KiB the relay broker should throttle throughput: {big:?}"
+        );
+    }
+}

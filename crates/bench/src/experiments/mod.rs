@@ -1,0 +1,134 @@
+//! The derived experiment suite (see DESIGN.md §4 for the
+//! claim-to-experiment mapping).
+//!
+//! The paper (HotOS XIII) has no tables or figures; each experiment
+//! here operationalizes one of its falsifiable claims. `repro <id>`
+//! regenerates a "derived figure/table" as markdown + CSV.
+
+pub mod e01_msg_vs_call;
+pub mod e02_lock_scaling;
+pub mod e03_syscalls;
+pub mod e04_fs_scaling;
+pub mod e05_drivers;
+pub mod e06_choice;
+pub mod e07_send_semantics;
+pub mod e08_vm_granularity;
+pub mod e09_placement;
+pub mod e10_availability;
+pub mod e11_events;
+pub mod e12_compat;
+pub mod e13_verification;
+pub mod e14_vm_cluster;
+pub mod e15_plumbing;
+
+pub mod a1_topology;
+pub mod a2_capacity;
+pub mod a3_recovery;
+
+use crate::table::Table;
+
+/// An experiment produces one or more tables.
+pub struct Experiment {
+    /// Id, e.g. "e2".
+    pub id: &'static str,
+    /// One-line description.
+    pub what: &'static str,
+    /// Runner; `quick` shrinks parameters for CI.
+    pub run: fn(quick: bool) -> Vec<Table>,
+}
+
+/// Every experiment, in order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e1",
+            what: "message send vs procedure call vs middleweight IPC (§3)",
+            run: e01_msg_vs_call::run,
+        },
+        Experiment {
+            id: "e2",
+            what: "shared-counter scaling: locks vs messages, 1..1024 cores (§1)",
+            run: e02_lock_scaling::run,
+        },
+        Experiment {
+            id: "e3",
+            what: "system calls: trap vs message kernel (§4, FlexSC)",
+            run: e03_syscalls::run,
+        },
+        Experiment {
+            id: "e4",
+            what: "file-system scaling: vnode threads vs locks (§4)",
+            run: e04_fs_scaling::run,
+        },
+        Experiment {
+            id: "e5",
+            what: "driver structure: single thread vs locked vs racy (§4)",
+            run: e05_drivers::run,
+        },
+        Experiment {
+            id: "e6",
+            what: "choose: cost vs fan-in, fairness (§3, §5)",
+            run: e06_choice::run,
+        },
+        Experiment {
+            id: "e7",
+            what: "blocking vs non-blocking send (§3)",
+            run: e07_send_semantics::run,
+        },
+        Experiment {
+            id: "e8",
+            what: "VM service granularity: the too-many-threads cliff (§5)",
+            run: e08_vm_granularity::run,
+        },
+        Experiment {
+            id: "e9",
+            what: "thread placement policies on a mesh (§5)",
+            run: e09_placement::run,
+        },
+        Experiment {
+            id: "e10",
+            what: "availability under fault injection: supervision trees (§5)",
+            run: e10_availability::run,
+        },
+        Experiment {
+            id: "e11",
+            what: "async events: signals (unwind+redo) vs channels (§3.1)",
+            run: e11_events::run,
+        },
+        Experiment {
+            id: "e12",
+            what: "legacy compatibility: sequential code vs pipelined (§1/§4)",
+            run: e12_compat::run,
+        },
+        Experiment {
+            id: "e13",
+            what: "protocol verification: static, monitor, trace, watchdog (§4/§5)",
+            run: e13_verification::run,
+        },
+        Experiment {
+            id: "e14",
+            what: "one message-passing OS vs a box of VM partitions (§1/§6)",
+            run: e14_vm_cluster::run,
+        },
+        Experiment {
+            id: "e15",
+            what: "plumbing a connection: channel-through-channel vs relay (§3)",
+            run: e15_plumbing::run,
+        },
+        Experiment {
+            id: "a1",
+            what: "ablation: interconnect topology sensitivity",
+            run: a1_topology::run,
+        },
+        Experiment {
+            id: "a2",
+            what: "ablation: channel capacity in a service pipeline (§3)",
+            run: a2_capacity::run,
+        },
+        Experiment {
+            id: "a3",
+            what: "ablation: transport loss recovery, go-back-N vs hole-fill",
+            run: a3_recovery::run,
+        },
+    ]
+}

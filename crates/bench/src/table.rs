@@ -1,0 +1,159 @@
+//! Result tables: markdown to stdout, CSV to `results/`.
+
+use std::fmt::Write as _;
+
+/// One result table of a derived figure/table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. "E2".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n### {} — {}\n", self.id, self.title);
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(4)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                let _ = write!(line, " {c:>w$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r));
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Prints markdown and writes `results/<id>_<slug>.csv`.
+    pub fn emit(&self, results_dir: &std::path::Path) {
+        print!("{}", self.to_markdown());
+        let slug: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_");
+        let _ = std::fs::create_dir_all(results_dir);
+        let path = results_dir.join(format!("{}_{}.csv", self.id.to_lowercase(), slug));
+        if let Err(e) = std::fs::write(&path, self.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Formats a throughput as ops per million cycles.
+pub fn ops_per_mcycle(ops: u64, cycles: u64) -> String {
+    if cycles == 0 {
+        "inf".to_string()
+    } else {
+        format!("{:.2}", ops as f64 * 1_000_000.0 / cycles as f64)
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec!["1".into(), "two".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a |") || md.contains("|  a |") || md.contains("| a"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("a,b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("E0", "demo", &["a"]);
+        t.row(vec!["x,y".into()]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+}

@@ -1,0 +1,108 @@
+//! Channel runtime configuration: how message operations map to
+//! simulated cycles.
+//!
+//! # Cost model
+//!
+//! The paper assumes hardware support for message delivery (§4:
+//! *"we can reasonably suppose that future hardware will have native
+//! support for sending and receiving messages"*). Accordingly, channel
+//! operations do **not** occupy the CPU core; their cost appears as
+//! *latency*: a message sent at time `t` from core `s` becomes
+//! available to a receiver on core `r` at
+//!
+//! ```text
+//! t + send_overhead + transit(s, r, bytes) + recv_overhead
+//! ```
+//!
+//! where `transit` comes from the installed [`Interconnect`]. A
+//! rendezvous (blocking) send additionally waits for the acknowledgment
+//! to travel back (`transit(r, s, ack_bytes)`), which is why §3 calls
+//! non-blocking send "probably faster" — experiment E7 measures this.
+//!
+//! Server-side *processing* cost is explicit application work
+//! (`delay(n)`), which is what bounds server throughput in the
+//! experiments.
+
+use std::rc::Rc;
+
+use chanos_noc::Interconnect;
+use chanos_sim::Simulation;
+
+/// Tunable cost parameters of the channel runtime.
+#[derive(Debug, Clone)]
+pub struct CspConfig {
+    /// Cycles of sender-side overhead added to every message.
+    pub send_overhead: u64,
+    /// Cycles of receiver-side overhead added to every message.
+    pub recv_overhead: u64,
+    /// Size of the rendezvous acknowledgment, in bytes.
+    pub ack_bytes: usize,
+}
+
+impl Default for CspConfig {
+    fn default() -> Self {
+        CspConfig {
+            send_overhead: 10,
+            recv_overhead: 10,
+            ack_bytes: 8,
+        }
+    }
+}
+
+/// The channel runtime attached to a simulation (via the extension
+/// registry): interconnect plus cost parameters.
+pub struct CspRuntime {
+    ic: Interconnect,
+    cfg: CspConfig,
+}
+
+impl CspRuntime {
+    /// Returns the runtime of the current simulation, installing a
+    /// default (square mesh over the machine's cores, default costs)
+    /// on first use.
+    pub fn current() -> Rc<CspRuntime> {
+        if let Some(rt) = chanos_sim::ext_get::<CspRuntime>() {
+            return rt;
+        }
+        let cores = chanos_sim::real_cores();
+        let rt = CspRuntime {
+            ic: Interconnect::mesh_for(cores),
+            cfg: CspConfig::default(),
+        };
+        chanos_sim::ext_insert(rt);
+        chanos_sim::ext_get::<CspRuntime>().expect("just inserted")
+    }
+
+    /// One-way latency for `bytes` from core `from` to core `to`.
+    pub fn latency(&self, from: usize, to: usize, bytes: usize) -> u64 {
+        self.cfg.send_overhead + self.ic.transit(from, to, bytes) + self.cfg.recv_overhead
+    }
+
+    /// Latency of the rendezvous acknowledgment from `from` to `to`.
+    pub fn ack_latency(&self, from: usize, to: usize) -> u64 {
+        self.ic.transit(from, to, self.cfg.ack_bytes)
+    }
+
+    /// Hop count between two cores.
+    pub fn hops(&self, from: usize, to: usize) -> u32 {
+        self.ic.hops(from, to)
+    }
+
+    /// The interconnect in use.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.ic
+    }
+}
+
+/// Installs an interconnect (with default costs) into a simulation.
+///
+/// Must be called before the first channel is created; otherwise a
+/// default mesh is installed lazily.
+pub fn install(sim: &Simulation, ic: Interconnect) {
+    install_with(sim, ic, CspConfig::default());
+}
+
+/// Installs an interconnect with explicit cost parameters.
+pub fn install_with(sim: &Simulation, ic: Interconnect, cfg: CspConfig) {
+    sim.ext_insert(CspRuntime { ic, cfg });
+}

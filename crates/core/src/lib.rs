@@ -1,0 +1,75 @@
+//! # chanos-csp — lightweight messages and channels
+//!
+//! The primary contribution of Holland & Seltzer, *Multicore OSes:
+//! Looking Forward from 1991, er, 2011* (HotOS XIII), is an argument
+//! for structuring operating systems around **lightweight message
+//! channels** — Hoare's CSP and Milner's pi-calculus as realized in
+//! Erlang, occam, Newsqueak and Go — instead of shared memory and
+//! locks. This crate implements that model (§3 of the paper):
+//!
+//! * **Channels** ([`channel`], [`Sender`], [`Receiver`]) are
+//!   first-class values; sending one through another is how
+//!   connections are plumbed and RPC replies are routed.
+//! * **Send and receive** are `c <- v` / `v <- c`: [`Sender::send`],
+//!   [`Receiver::recv`]. Blocking (rendezvous), bounded, and
+//!   non-blocking (unbounded) send semantics are all provided
+//!   ([`Capacity`]).
+//! * **Choice** is the re-exported [`choose!`] macro (§3's `choose`
+//!   statement), plus [`select_all`]/[`race`] combinators.
+//! * **Lightweight threads** (`start { foo(); }`) are
+//!   [`spawn`]/[`spawn_on`] of async tasks on the deterministic
+//!   many-core simulator `chanos-sim`.
+//!
+//! Message costs (latency by interconnect distance and size) follow
+//! the model in [`config`]; install a topology with
+//! [`config::install`].
+//!
+//! ## Example: the paper's RPC derivation
+//!
+//! ```
+//! use chanos_csp::{channel, request, Capacity, ReplyTo};
+//! use chanos_sim::{spawn, Simulation};
+//!
+//! enum Req {
+//!     Add(u32, u32, ReplyTo<u32>),
+//! }
+//!
+//! let mut sim = Simulation::new(4);
+//! let sum = sim
+//!     .block_on(async {
+//!         let (tx, rx) = channel::<Req>(Capacity::Unbounded);
+//!         // Listener thread on channel `c` that evaluates `f`.
+//!         spawn(async move {
+//!             while let Ok(Req::Add(a, b, reply)) = rx.recv().await {
+//!                 let _ = reply.send(a + b).await;
+//!             }
+//!         });
+//!         // `c <- (a, b, c1); r <- c1;`
+//!         request(&tx, |reply| Req::Add(2, 3, reply)).await.unwrap()
+//!     })
+//!     .unwrap();
+//! assert_eq!(sum, 5);
+//! ```
+
+mod chan;
+pub mod config;
+mod oneshot;
+mod timer;
+
+pub use chan::{
+    channel, channel_with_bytes, Capacity, Receiver, RecvError, RecvFut, SendError, SendFut,
+    Sender, TryRecvError, TrySendError,
+};
+pub use config::{install, install_with, CspConfig, CspRuntime};
+pub use oneshot::{reply_channel, request, Reply, ReplyTo};
+pub use timer::{after, ticker};
+
+// The rest of the §3 model, re-exported so users of the paper's
+// programming model need only this crate.
+pub use chanos_noc as noc;
+pub use chanos_select::{choose, join2, join_all, race, select_all, Either};
+pub use chanos_sim::{
+    current_core, current_task, delay, migrate, now, sleep, spawn, spawn_daemon,
+    spawn_daemon_on, spawn_named, spawn_named_on, spawn_on, yield_now, CoreId, Cycles, Join,
+    JoinError, JoinHandle, TaskId,
+};

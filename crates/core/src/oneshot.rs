@@ -1,0 +1,80 @@
+//! Reply channels: the §3 RPC pattern.
+//!
+//! The paper derives procedure calls from messages: *"A function call
+//! `r = f(a, b);` is equivalent, given a listener thread on channel
+//! `c` that evaluates `f`, to writing `c <- (a, b, c1); r <- c1;`,
+//! where `c1` is a fresh channel used to send the return value back."*
+//!
+//! [`reply_channel`] creates that fresh `c1`: a single-use pair whose
+//! sending half travels inside the request message. [`request`] wraps
+//! the whole round trip.
+
+use crate::chan::{channel, Capacity, Receiver, RecvError, SendError, Sender};
+
+/// Creates a single-use reply channel.
+///
+/// The [`ReplyTo`] half is embedded in a request message; the
+/// [`Reply`] half is awaited by the requester.
+pub fn reply_channel<T>() -> (ReplyTo<T>, Reply<T>) {
+    let (tx, rx) = channel(Capacity::Bounded(1));
+    (ReplyTo { tx }, Reply { rx })
+}
+
+/// The responding half of a reply channel; consumed by `send`.
+pub struct ReplyTo<T> {
+    tx: Sender<T>,
+}
+
+impl<T> ReplyTo<T> {
+    /// Sends the reply, consuming the endpoint.
+    ///
+    /// Returns the value if the requester has gone away.
+    pub async fn send(self, value: T) -> Result<(), T> {
+        self.tx.send(value).await.map_err(SendError::into_inner)
+    }
+}
+
+impl<T> std::fmt::Debug for ReplyTo<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ReplyTo")
+    }
+}
+
+/// The requesting half of a reply channel; consumed by `recv`.
+pub struct Reply<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Reply<T> {
+    /// Awaits the reply, consuming the endpoint.
+    ///
+    /// Returns an error if the responder was dropped without replying.
+    pub async fn recv(self) -> Result<T, RecvError> {
+        self.rx.recv().await
+    }
+}
+
+impl<T> std::fmt::Debug for Reply<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Reply")
+    }
+}
+
+/// Performs one RPC over a server channel: builds the request with a
+/// fresh reply channel, sends it, and awaits the response.
+///
+/// ```ignore
+/// let fd = request(&vfs, |reply| VfsMsg::Open { path, reply }).await?;
+/// ```
+///
+/// Returns `None` if the server is gone (channel closed in either
+/// direction).
+pub async fn request<Req, Resp>(
+    server: &Sender<Req>,
+    make: impl FnOnce(ReplyTo<Resp>) -> Req,
+) -> Option<Resp> {
+    let (reply_to, reply) = reply_channel();
+    let msg = make(reply_to);
+    server.send(msg).await.ok()?;
+    reply.recv().await.ok()
+}

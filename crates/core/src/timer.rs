@@ -1,0 +1,33 @@
+//! Timer arms for `choose!`.
+
+use chanos_sim::{sleep, Cycles, Sleep};
+
+/// A future that completes after `n` cycles of virtual time, without
+/// occupying the core — the timeout arm of a `choose!`:
+///
+/// ```ignore
+/// choose! {
+///     req = rx.recv() => Some(req),
+///     _ = after(1_000) => None,   // timed out
+/// }
+/// ```
+pub fn after(n: Cycles) -> Sleep {
+    sleep(n)
+}
+
+/// Creates a periodic tick source: a daemon task that sends `()` on
+/// the returned channel every `period` cycles, starting one period
+/// from now. The ticker stops when the receiver is dropped.
+pub fn ticker(period: Cycles) -> crate::Receiver<()> {
+    assert!(period > 0, "ticker period must be positive");
+    let (tx, rx) = crate::channel::<()>(crate::Capacity::Unbounded);
+    chanos_sim::spawn_daemon("ticker", async move {
+        loop {
+            chanos_sim::sleep(period).await;
+            if tx.send(()).await.is_err() {
+                break;
+            }
+        }
+    });
+    rx
+}

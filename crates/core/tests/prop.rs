@@ -1,0 +1,139 @@
+//! Property tests for channel invariants: whatever the interleaving,
+//! messages are neither lost nor duplicated, and FIFO order holds per
+//! sender.
+
+use proptest::prelude::*;
+
+use chanos_csp::{channel, Capacity};
+use chanos_sim::{Config, CoreId, Simulation};
+
+fn run_exchange(
+    seed: u64,
+    cap: Capacity,
+    producers: usize,
+    consumers: usize,
+    per_producer: usize,
+) -> Vec<u64> {
+    let mut s = Simulation::with_config(Config {
+        cores: 8,
+        ctx_switch: 10,
+        seed,
+        ..Config::default()
+    });
+    s.block_on(async move {
+        let (tx, rx) = channel::<u64>(cap);
+        let consumers: Vec<_> = (0..consumers)
+            .map(|c| {
+                let rx = rx.clone();
+                chanos_sim::spawn_on(CoreId((c % 4) as u32), async move {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv().await {
+                        got.push(v);
+                        // Random pacing to vary interleavings.
+                        let pause = chanos_sim::with_rng(|r| r.range(0, 40));
+                        if pause > 0 {
+                            chanos_sim::sleep(pause).await;
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        let producers: Vec<_> = (0..producers)
+            .map(|p| {
+                let tx = tx.clone();
+                chanos_sim::spawn_on(CoreId((4 + p % 4) as u32), async move {
+                    for i in 0..per_producer {
+                        let v = (p as u64) << 32 | i as u64;
+                        tx.send(v).await.unwrap();
+                        let pause = chanos_sim::with_rng(|r| r.range(0, 25));
+                        if pause > 0 {
+                            chanos_sim::sleep(pause).await;
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        for p in producers {
+            p.join().await.unwrap();
+        }
+        let mut all = Vec::new();
+        for c in consumers {
+            all.extend(c.join().await.unwrap());
+        }
+        all
+    })
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unbounded MPMC: the received multiset equals the sent multiset.
+    #[test]
+    fn no_loss_no_duplication_unbounded(
+        seed in any::<u64>(),
+        producers in 1usize..4,
+        consumers in 1usize..4,
+        per in 1usize..30,
+    ) {
+        let mut got = run_exchange(seed, Capacity::Unbounded, producers, consumers, per);
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..producers)
+            .flat_map(|p| (0..per).map(move |i| (p as u64) << 32 | i as u64))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Bounded channels under backpressure: same invariant.
+    #[test]
+    fn no_loss_no_duplication_bounded(
+        seed in any::<u64>(),
+        depth in 1usize..5,
+        producers in 1usize..4,
+        per in 1usize..25,
+    ) {
+        let mut got = run_exchange(seed, Capacity::Bounded(depth), producers, 2, per);
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..producers)
+            .flat_map(|p| (0..per).map(move |i| (p as u64) << 32 | i as u64))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Rendezvous channels: same invariant (every handoff paired).
+    #[test]
+    fn no_loss_no_duplication_rendezvous(
+        seed in any::<u64>(),
+        producers in 1usize..3,
+        per in 1usize..15,
+    ) {
+        let mut got = run_exchange(seed, Capacity::Rendezvous, producers, 2, per);
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..producers)
+            .flat_map(|p| (0..per).map(move |i| (p as u64) << 32 | i as u64))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// With one consumer, per-producer FIFO order is preserved.
+    #[test]
+    fn per_sender_fifo(seed in any::<u64>(), producers in 1usize..4, per in 2usize..25) {
+        let got = run_exchange(seed, Capacity::Unbounded, producers, 1, per);
+        for p in 0..producers as u64 {
+            let seq: Vec<u64> = got
+                .iter()
+                .filter(|&&v| v >> 32 == p)
+                .map(|&v| v & 0xFFFF_FFFF)
+                .collect();
+            let mut sorted = seq.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(seq, sorted, "producer {} out of order", p);
+        }
+    }
+}

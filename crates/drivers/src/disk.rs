@@ -1,0 +1,338 @@
+//! The disk device model: a block device with seek/transfer latency,
+//! a register-file programming interface, and interrupt completion.
+//!
+//! The register interface is deliberately a *multi-step* MMIO
+//! protocol (LBA, count, DMA buffer, GO), each step taking time. A
+//! correctly structured driver — the paper's single driver thread
+//! (§4) — serializes programming trivially. A carelessly locked or
+//! unlocked multi-threaded driver can interleave register writes from
+//! two requests, which the device punishes exactly like real hardware:
+//! the GO snapshot mixes fields, and a GO while busy clobbers the
+//! in-flight command (experiment E5 counts these).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use chanos_csp::{channel, Capacity, Receiver, Sender};
+use chanos_sim::{self as sim, delay, sleep, CoreId, Cycles};
+
+/// Size of one disk block, in bytes.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Latency parameters of the disk model (cycles; 1 cycle ~ 1ns).
+#[derive(Debug, Clone)]
+pub struct DiskParams {
+    /// Fixed cost of any command (controller + flash lookup).
+    pub base: Cycles,
+    /// Extra cost per block transferred.
+    pub per_block: Cycles,
+    /// Extra cost proportional to LBA distance from the previous
+    /// command (a light seek model; ~0 for SSDs).
+    pub seek_per_1k_lba: Cycles,
+    /// Cost of one MMIO register write from the driver.
+    pub mmio_write: Cycles,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams {
+            base: 25_000,
+            per_block: 2_000,
+            seek_per_1k_lba: 100,
+            mmio_write: 200,
+        }
+    }
+}
+
+/// Errors reported by the disk stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// LBA or length outside the device.
+    OutOfRange,
+    /// The device or driver went away.
+    Gone,
+    /// Completion carried the wrong tag (a symptom of driver races).
+    BadTag,
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::OutOfRange => write!(f, "block address out of range"),
+            DiskError::Gone => write!(f, "device unavailable"),
+            DiskError::BadTag => write!(f, "completion tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Operation code in the command register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskOp {
+    /// Read `count` blocks starting at `lba`.
+    Read,
+    /// Write the DMA buffer to `count` blocks starting at `lba`.
+    Write,
+}
+
+/// A completion interrupt from the device.
+#[derive(Debug)]
+pub struct DiskIrq {
+    /// Tag from the command's snapshot of the tag register.
+    pub tag: u64,
+    /// Data read (for reads), empty for writes.
+    pub data: Vec<u8>,
+    /// Whether the command succeeded.
+    pub ok: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Regs {
+    lba: u64,
+    count: u32,
+    op: DiskOp,
+    tag: u64,
+    dma: Vec<u8>,
+}
+
+struct DeviceState {
+    store: Vec<u8>,
+    blocks: u64,
+    regs: Regs,
+    /// In-flight command generation; a GO while busy bumps it,
+    /// aborting the previous command.
+    generation: u64,
+    busy: bool,
+    head_lba: u64,
+}
+
+/// Handle to the disk hardware: the register file plus the interrupt
+/// line. Cloneable so multiple (buggy) driver threads can share it.
+pub struct DiskHw {
+    params: Rc<DiskParams>,
+    state: Rc<RefCell<DeviceState>>,
+    irq_tx: Sender<DiskIrq>,
+    dev_core: CoreId,
+}
+
+impl Clone for DiskHw {
+    fn clone(&self) -> Self {
+        DiskHw {
+            params: self.params.clone(),
+            state: self.state.clone(),
+            irq_tx: self.irq_tx.clone(),
+            dev_core: self.dev_core,
+        }
+    }
+}
+
+/// Creates a disk of `blocks` blocks and returns the hardware handle
+/// plus the interrupt receive channel.
+///
+/// `dev_core` must be a device pseudo-core (see
+/// [`chanos_sim::Simulation::add_device_core`]).
+pub fn install_disk(blocks: u64, params: DiskParams, dev_core: CoreId) -> (DiskHw, Receiver<DiskIrq>) {
+    let (irq_tx, irq_rx) = channel::<DiskIrq>(Capacity::Unbounded);
+    let state = Rc::new(RefCell::new(DeviceState {
+        store: vec![0; (blocks as usize) * BLOCK_SIZE],
+        blocks,
+        regs: Regs {
+            lba: 0,
+            count: 0,
+            op: DiskOp::Read,
+            tag: 0,
+            dma: Vec::new(),
+        },
+        generation: 0,
+        busy: false,
+        head_lba: 0,
+    }));
+    (
+        DiskHw {
+            params: Rc::new(params),
+            state,
+            irq_tx,
+            dev_core,
+        },
+        irq_rx,
+    )
+}
+
+impl DiskHw {
+    /// Number of blocks on the device.
+    pub fn blocks(&self) -> u64 {
+        self.state.borrow().blocks
+    }
+
+    /// Programs the LBA register.
+    pub async fn write_lba(&self, lba: u64) {
+        delay(self.params.mmio_write).await;
+        self.state.borrow_mut().regs.lba = lba;
+    }
+
+    /// Programs the block-count register.
+    pub async fn write_count(&self, count: u32) {
+        delay(self.params.mmio_write).await;
+        self.state.borrow_mut().regs.count = count;
+    }
+
+    /// Programs the operation register.
+    pub async fn write_op(&self, op: DiskOp) {
+        delay(self.params.mmio_write).await;
+        self.state.borrow_mut().regs.op = op;
+    }
+
+    /// Programs the completion-tag register.
+    pub async fn write_tag(&self, tag: u64) {
+        delay(self.params.mmio_write).await;
+        self.state.borrow_mut().regs.tag = tag;
+    }
+
+    /// Stages the DMA buffer for a write command.
+    pub async fn write_dma(&self, data: Vec<u8>) {
+        delay(self.params.mmio_write).await;
+        self.state.borrow_mut().regs.dma = data;
+    }
+
+    /// Fires the command currently in the register file.
+    ///
+    /// If the device is busy, the in-flight command is **clobbered**
+    /// (it will never complete) — the hazard a correct driver must
+    /// serialize against.
+    pub async fn go(&self) {
+        delay(self.params.mmio_write).await;
+        let (snapshot, generation) = {
+            let mut st = self.state.borrow_mut();
+            if st.busy {
+                sim::stat_incr("disk.clobbered_commands");
+            }
+            st.generation += 1;
+            st.busy = true;
+            (st.regs.clone(), st.generation)
+        };
+        let hw = self.clone();
+        sim::spawn_daemon_on("disk-engine", self.dev_core, async move {
+            hw.execute(snapshot, generation).await;
+        });
+    }
+
+    /// Runs one command to completion on the device core.
+    async fn execute(&self, cmd: Regs, generation: u64) {
+        let latency = {
+            let st = self.state.borrow();
+            let distance = st.head_lba.abs_diff(cmd.lba);
+            self.params.base
+                + self.params.per_block * Cycles::from(cmd.count)
+                + self.params.seek_per_1k_lba * (distance / 1024)
+        };
+        sleep(latency).await;
+        let mut st = self.state.borrow_mut();
+        if st.generation != generation {
+            // We were clobbered mid-flight; drop silently, as real
+            // hardware would.
+            return;
+        }
+        st.busy = false;
+        st.head_lba = cmd.lba;
+        let in_range = cmd
+            .lba
+            .checked_add(Cycles::from(cmd.count))
+            .map(|end| end <= st.blocks)
+            .unwrap_or(false);
+        let irq = if !in_range {
+            DiskIrq {
+                tag: cmd.tag,
+                data: Vec::new(),
+                ok: false,
+            }
+        } else {
+            let start = (cmd.lba as usize) * BLOCK_SIZE;
+            let len = (cmd.count as usize) * BLOCK_SIZE;
+            match cmd.op {
+                DiskOp::Read => {
+                    let data = st.store[start..start + len].to_vec();
+                    sim::stat_incr("disk.reads");
+                    DiskIrq {
+                        tag: cmd.tag,
+                        data,
+                        ok: true,
+                    }
+                }
+                DiskOp::Write => {
+                    let n = cmd.dma.len().min(len);
+                    st.store[start..start + n].copy_from_slice(&cmd.dma[..n]);
+                    sim::stat_incr("disk.writes");
+                    DiskIrq {
+                        tag: cmd.tag,
+                        data: Vec::new(),
+                        ok: true,
+                    }
+                }
+            }
+        };
+        drop(st);
+        let _ = self.irq_tx.try_send(irq);
+    }
+
+    /// Test/debug access to the raw store (no cost model).
+    pub fn peek_block(&self, lba: u64) -> Vec<u8> {
+        let st = self.state.borrow();
+        let start = (lba as usize) * BLOCK_SIZE;
+        st.store[start..start + BLOCK_SIZE].to_vec()
+    }
+}
+
+/// A request to the disk driver.
+pub enum DiskReq {
+    /// Read `count` blocks at `lba`.
+    Read {
+        /// Starting block address.
+        lba: u64,
+        /// Number of blocks.
+        count: u32,
+        /// Where the data goes.
+        reply: chanos_csp::ReplyTo<Result<Vec<u8>, DiskError>>,
+    },
+    /// Write `data` (multiple of [`BLOCK_SIZE`]) at `lba`.
+    Write {
+        /// Starting block address.
+        lba: u64,
+        /// Data to write.
+        data: Vec<u8>,
+        /// Completion notification.
+        reply: chanos_csp::ReplyTo<Result<(), DiskError>>,
+    },
+}
+
+/// A cloneable client handle to a disk driver.
+#[derive(Clone)]
+pub struct DiskClient {
+    tx: Sender<DiskReq>,
+}
+
+impl DiskClient {
+    /// Wraps a driver request channel.
+    pub fn new(tx: Sender<DiskReq>) -> Self {
+        DiskClient { tx }
+    }
+
+    /// Reads `count` blocks starting at `lba`.
+    pub async fn read(&self, lba: u64, count: u32) -> Result<Vec<u8>, DiskError> {
+        chanos_csp::request(&self.tx, |reply| DiskReq::Read { lba, count, reply })
+            .await
+            .unwrap_or(Err(DiskError::Gone))
+    }
+
+    /// Writes `data` starting at block `lba`.
+    pub async fn write(&self, lba: u64, data: Vec<u8>) -> Result<(), DiskError> {
+        chanos_csp::request(&self.tx, |reply| DiskReq::Write { lba, data, reply })
+            .await
+            .unwrap_or(Err(DiskError::Gone))
+    }
+
+    /// The raw request channel (for supervisors that restart drivers).
+    pub fn sender(&self) -> &Sender<DiskReq> {
+        &self.tx
+    }
+}

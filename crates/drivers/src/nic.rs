@@ -1,0 +1,113 @@
+//! A NIC model: Poisson packet arrivals into a bounded RX ring, a TX
+//! path with completion interrupts, and the single-threaded driver
+//! joining both with `choose!`.
+
+use chanos_csp::{channel, channel_with_bytes, choose, Capacity, Receiver, ReplyTo, Sender};
+use chanos_sim::{self as sim, sleep, CoreId, Cycles};
+
+/// A network packet (payload modeled by size only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Monotonic id assigned by the generator.
+    pub id: u64,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// NIC model parameters.
+#[derive(Debug, Clone)]
+pub struct NicParams {
+    /// Mean inter-arrival time of received packets (cycles).
+    pub mean_interarrival: Cycles,
+    /// RX ring depth; arrivals beyond a full ring are dropped.
+    pub rx_ring: usize,
+    /// Cost to transmit one packet.
+    pub tx_cost: Cycles,
+    /// Packet size range (uniform).
+    pub min_bytes: usize,
+    /// Largest generated packet.
+    pub max_bytes: usize,
+    /// Number of packets to generate (0 = unlimited).
+    pub rx_total: u64,
+}
+
+impl Default for NicParams {
+    fn default() -> Self {
+        NicParams {
+            mean_interarrival: 5_000,
+            rx_ring: 64,
+            tx_cost: 2_000,
+            min_bytes: 64,
+            max_bytes: 1500,
+            rx_total: 0,
+        }
+    }
+}
+
+/// A transmit request to the NIC driver.
+pub struct TxReq {
+    /// The frame to send.
+    pub packet: Packet,
+    /// Completion notification.
+    pub reply: ReplyTo<()>,
+}
+
+/// Installs the NIC device: starts the RX generator on `dev_core` and
+/// returns (rx ring receiver, tx hardware channel sender side is
+/// internal).
+pub fn install_nic(params: NicParams, dev_core: CoreId) -> Receiver<Packet> {
+    let (rx_tx, rx_rx) = channel_with_bytes::<Packet>(Capacity::Bounded(params.rx_ring), 64);
+    sim::spawn_daemon_on("nic-rx-engine", dev_core, async move {
+        let mut rng = sim::with_rng(|r| r.clone());
+        let mut id = 0u64;
+        loop {
+            let gap = rng.exp(params.mean_interarrival as f64).max(1.0) as Cycles;
+            sleep(gap).await;
+            id += 1;
+            let bytes = rng.range(params.min_bytes as u64, params.max_bytes as u64 + 1) as usize;
+            let pkt = Packet { id, bytes };
+            match rx_tx.try_send(pkt) {
+                Ok(()) => sim::stat_incr("nic.rx_packets"),
+                Err(_) => sim::stat_incr("nic.rx_dropped"),
+            }
+            if params.rx_total > 0 && id >= params.rx_total {
+                break;
+            }
+        }
+    });
+    rx_rx
+}
+
+/// Spawns the single-threaded NIC driver: delivers received packets
+/// to the returned stack channel and serves transmit requests on the
+/// returned sender.
+pub fn spawn_nic_driver(
+    rx_ring: Receiver<Packet>,
+    tx_cost: Cycles,
+    core: CoreId,
+) -> (Sender<TxReq>, Receiver<Packet>) {
+    let (tx_tx, tx_rx) = channel::<TxReq>(Capacity::Unbounded);
+    let (stack_tx, stack_rx) = channel_with_bytes::<Packet>(Capacity::Unbounded, 64);
+    sim::spawn_daemon_on("nic-driver", core, async move {
+        loop {
+            choose! {
+                pkt = rx_ring.recv() => {
+                    let Ok(pkt) = pkt else { break };
+                    sim::stat_incr("nic.delivered");
+                    if stack_tx.send(pkt).await.is_err() {
+                        break;
+                    }
+                },
+                req = tx_rx.recv() => {
+                    let Ok(TxReq { packet, reply }) = req else { break };
+                    // Program the TX descriptor and wait the wire time.
+                    chanos_sim::delay(500).await;
+                    sleep(tx_cost + packet.bytes as Cycles).await;
+                    sim::stat_incr("nic.tx_packets");
+                    let _ = reply.send(()).await;
+                },
+            }
+        }
+    });
+    (tx_tx, stack_rx)
+}

@@ -1,0 +1,123 @@
+//! The paper's driver architecture: one thread per device (§4).
+//!
+//! *"Drivers would receive and queue requests from elsewhere in the
+//! kernel; the code to process the requests can then be written as
+//! simple active procedural code, with no need for further
+//! synchronization except to wait for interrupts. This eliminates a
+//! fertile source of driver bugs."*
+//!
+//! The driver below is exactly that: a single task owning the device
+//! registers outright, joining its request channel and its interrupt
+//! channel with `choose!`. There is no lock and there can be no
+//! register-interleaving bug by construction.
+
+use std::collections::VecDeque;
+
+use chanos_csp::{channel, choose, Capacity, Receiver, ReplyTo};
+use chanos_sim::{self as sim, CoreId};
+
+use crate::disk::{DiskClient, DiskError, DiskHw, DiskIrq, DiskOp, DiskReq};
+
+enum Pending {
+    Read {
+        lba: u64,
+        count: u32,
+        reply: ReplyTo<Result<Vec<u8>, DiskError>>,
+    },
+    Write {
+        lba: u64,
+        data: Vec<u8>,
+        reply: ReplyTo<Result<(), DiskError>>,
+    },
+}
+
+async fn issue(hw: &DiskHw, p: &Pending, tag: u64) {
+    match p {
+        Pending::Read { lba, count, .. } => {
+            hw.write_lba(*lba).await;
+            hw.write_count(*count).await;
+            hw.write_op(DiskOp::Read).await;
+            hw.write_tag(tag).await;
+            hw.go().await;
+        }
+        Pending::Write { lba, data, .. } => {
+            hw.write_lba(*lba).await;
+            hw.write_count((data.len() / crate::disk::BLOCK_SIZE) as u32).await;
+            hw.write_op(DiskOp::Write).await;
+            hw.write_tag(tag).await;
+            hw.write_dma(data.clone()).await;
+            hw.go().await;
+        }
+    }
+}
+
+async fn complete(p: Pending, irq: DiskIrq, expect_tag: u64) {
+    let tag_ok = irq.tag == expect_tag;
+    if !tag_ok {
+        sim::stat_incr("driver.tag_mismatches");
+    }
+    match p {
+        Pending::Read { reply, .. } => {
+            let r = if !tag_ok {
+                Err(DiskError::BadTag)
+            } else if irq.ok {
+                Ok(irq.data)
+            } else {
+                Err(DiskError::OutOfRange)
+            };
+            let _ = reply.send(r).await;
+        }
+        Pending::Write { reply, .. } => {
+            let r = if !tag_ok {
+                Err(DiskError::BadTag)
+            } else if irq.ok {
+                Ok(())
+            } else {
+                Err(DiskError::OutOfRange)
+            };
+            let _ = reply.send(r).await;
+        }
+    }
+}
+
+/// Spawns the single-threaded disk driver on `core`; returns the
+/// client handle the rest of the kernel uses.
+pub fn spawn_disk_driver(hw: DiskHw, irq_rx: Receiver<DiskIrq>, core: CoreId) -> DiskClient {
+    let (tx, rx) = channel::<DiskReq>(Capacity::Unbounded);
+    sim::spawn_daemon_on("disk-driver", core, async move {
+        let mut queue: VecDeque<Pending> = VecDeque::new();
+        let mut inflight: Option<(u64, Pending)> = None;
+        let mut next_tag: u64 = 1;
+        loop {
+            choose! {
+                req = rx.recv() => {
+                    let Ok(req) = req else { break };
+                    let p = match req {
+                        DiskReq::Read { lba, count, reply } => Pending::Read { lba, count, reply },
+                        DiskReq::Write { lba, data, reply } => Pending::Write { lba, data, reply },
+                    };
+                    queue.push_back(p);
+                    sim::stat_incr("driver.requests");
+                },
+                irq = irq_rx.recv() => {
+                    let Ok(irq) = irq else { break };
+                    if let Some((tag, p)) = inflight.take() {
+                        complete(p, irq, tag).await;
+                    } else {
+                        sim::stat_incr("driver.spurious_irqs");
+                    }
+                },
+            }
+            // Keep the device fed: one outstanding command.
+            if inflight.is_none() {
+                if let Some(p) = queue.pop_front() {
+                    let tag = next_tag;
+                    next_tag += 1;
+                    issue(&hw, &p, tag).await;
+                    inflight = Some((tag, p));
+                }
+            }
+        }
+    });
+    DiskClient::new(tx)
+}

@@ -1,0 +1,44 @@
+//! A console (TTY) device and its single-threaded driver.
+
+use chanos_csp::{channel, Capacity, ReplyTo, Sender};
+use chanos_sim::{self as sim, sleep, CoreId, Cycles};
+
+/// A request to write a line to the console.
+pub struct TtyWrite {
+    /// Bytes to emit.
+    pub bytes: Vec<u8>,
+    /// Completion notification.
+    pub reply: ReplyTo<()>,
+}
+
+/// Cloneable client handle to the console driver.
+#[derive(Clone)]
+pub struct TtyClient {
+    tx: Sender<TtyWrite>,
+}
+
+impl TtyClient {
+    /// Writes a string to the console, waiting for it to drain.
+    pub async fn write(&self, s: &str) {
+        let _ = chanos_csp::request(&self.tx, |reply| TtyWrite {
+            bytes: s.as_bytes().to_vec(),
+            reply,
+        })
+        .await;
+    }
+}
+
+/// Spawns the console driver on `core`; `per_byte` is the UART drain
+/// cost per byte. Output is collected into the `tty.bytes_written`
+/// statistic (the simulation has no real console).
+pub fn spawn_tty_driver(per_byte: Cycles, core: CoreId) -> TtyClient {
+    let (tx, rx) = channel::<TtyWrite>(Capacity::Unbounded);
+    sim::spawn_daemon_on("tty-driver", core, async move {
+        while let Ok(TtyWrite { bytes, reply }) = rx.recv().await {
+            sleep(per_byte * bytes.len() as Cycles).await;
+            sim::stat_add("tty.bytes_written", bytes.len() as u64);
+            let _ = reply.send(()).await;
+        }
+    });
+    TtyClient { tx }
+}

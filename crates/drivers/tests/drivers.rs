@@ -1,0 +1,263 @@
+//! Integration tests for device models and the three driver designs.
+
+use chanos_drivers::{
+    install_disk, install_nic, read_with_timeout, spawn_disk_driver, spawn_locked_disk_driver,
+    spawn_nic_driver, spawn_racy_disk_driver, spawn_tty_driver, write_with_timeout, DiskError,
+    DiskParams, NicParams, BLOCK_SIZE,
+};
+use chanos_sim::{Config, CoreId, Simulation};
+
+fn sim(cores: usize) -> Simulation {
+    Simulation::with_config(Config {
+        cores,
+        ctx_switch: 0,
+        ..Config::default()
+    })
+}
+
+fn block_of(byte: u8) -> Vec<u8> {
+    vec![byte; BLOCK_SIZE]
+}
+
+#[test]
+fn single_driver_write_read_roundtrip() {
+    let mut s = sim(2);
+    let dev = s.add_device_core();
+    let got = s
+        .block_on(async move {
+            let (hw, irq) = install_disk(128, DiskParams::default(), dev);
+            let disk = spawn_disk_driver(hw, irq, CoreId(1));
+            disk.write(5, block_of(0xAB)).await.unwrap();
+            disk.read(5, 1).await.unwrap()
+        })
+        .unwrap();
+    assert_eq!(got.len(), BLOCK_SIZE);
+    assert!(got.iter().all(|&b| b == 0xAB));
+}
+
+#[test]
+fn disk_latency_includes_base_cost() {
+    let mut s = sim(2);
+    let dev = s.add_device_core();
+    let elapsed = s
+        .block_on(async move {
+            let params = DiskParams::default();
+            let base = params.base;
+            let (hw, irq) = install_disk(16, params, dev);
+            let disk = spawn_disk_driver(hw, irq, CoreId(1));
+            let t0 = chanos_sim::now();
+            disk.read(0, 1).await.unwrap();
+            (chanos_sim::now() - t0, base)
+        })
+        .unwrap();
+    assert!(
+        elapsed.0 >= elapsed.1,
+        "read took {} but device base cost is {}",
+        elapsed.0,
+        elapsed.1
+    );
+}
+
+#[test]
+fn out_of_range_is_reported() {
+    let mut s = sim(2);
+    let dev = s.add_device_core();
+    let got = s
+        .block_on(async move {
+            let (hw, irq) = install_disk(8, DiskParams::default(), dev);
+            let disk = spawn_disk_driver(hw, irq, CoreId(1));
+            disk.read(7, 4).await
+        })
+        .unwrap();
+    assert_eq!(got, Err(DiskError::OutOfRange));
+}
+
+#[test]
+fn single_driver_serves_many_clients_without_clobbers() {
+    let mut s = sim(8);
+    let dev = s.add_device_core();
+    let ok = s
+        .block_on(async move {
+            let (hw, irq) = install_disk(256, DiskParams::default(), dev);
+            let disk = spawn_disk_driver(hw, irq, CoreId(0));
+            let hs: Vec<_> = (0..6)
+                .map(|c| {
+                    let disk = disk.clone();
+                    chanos_sim::spawn_on(CoreId(c + 1), async move {
+                        for i in 0..10u64 {
+                            let lba = u64::from(c) * 32 + i;
+                            let pat = (lba % 251) as u8;
+                            disk.write(lba, block_of(pat)).await.unwrap();
+                            let back = disk.read(lba, 1).await.unwrap();
+                            assert!(back.iter().all(|&b| b == pat), "lba {lba} corrupted");
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().await.unwrap();
+            }
+            true
+        })
+        .unwrap();
+    assert!(ok);
+    let st = s.stats();
+    assert_eq!(st.counter("disk.clobbered_commands"), 0);
+    assert_eq!(st.counter("driver.tag_mismatches"), 0);
+}
+
+#[test]
+fn locked_driver_is_also_correct() {
+    let mut s = sim(8);
+    let dev = s.add_device_core();
+    s.block_on(async move {
+        let (hw, irq) = install_disk(256, DiskParams::default(), dev);
+        let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let disk = spawn_locked_disk_driver(hw, irq, 4, &cores);
+        // Let the bootstrap task spawn workers.
+        chanos_sim::sleep(1_000).await;
+        let hs: Vec<_> = (0..4)
+            .map(|c| {
+                let disk = disk.clone();
+                chanos_sim::spawn_on(CoreId(c + 4), async move {
+                    for i in 0..8u64 {
+                        let lba = u64::from(c) * 16 + i;
+                        let pat = (lba % 249) as u8 + 1;
+                        disk.write(lba, block_of(pat)).await.unwrap();
+                        let back = disk.read(lba, 1).await.unwrap();
+                        assert!(back.iter().all(|&b| b == pat), "lba {lba} corrupted");
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().await.unwrap();
+        }
+    })
+    .unwrap();
+    let st = s.stats();
+    assert_eq!(st.counter("disk.clobbered_commands"), 0);
+    assert_eq!(st.counter("driver.tag_mismatches"), 0);
+}
+
+#[test]
+fn racy_driver_corrupts_under_load() {
+    let mut s = sim(8);
+    let dev = s.add_device_core();
+    let (completed, failed) = s
+        .block_on(async move {
+            let (hw, irq) = install_disk(4096, DiskParams::default(), dev);
+            let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+            let disk = spawn_racy_disk_driver(hw, irq, 4, &cores);
+            let mut handles = Vec::new();
+            for c in 0..4u32 {
+                let disk = disk.clone();
+                handles.push(chanos_sim::spawn_on(CoreId(c + 4), async move {
+                    let mut done = 0u32;
+                    let mut bad = 0u32;
+                    for i in 0..20u64 {
+                        let lba = u64::from(c) * 64 + i;
+                        match write_with_timeout(&disk, lba, block_of(7), 3_000_000).await {
+                            Some(Ok(())) => {}
+                            _ => {
+                                bad += 1;
+                                continue;
+                            }
+                        }
+                        match read_with_timeout(&disk, lba, 1, 3_000_000).await {
+                            Some(Ok(data)) if data.iter().all(|&b| b == 7) => done += 1,
+                            _ => bad += 1,
+                        }
+                    }
+                    (done, bad)
+                }));
+            }
+            let mut done = 0;
+            let mut bad = 0;
+            for h in handles {
+                let (d, b) = h.join().await.unwrap();
+                done += d;
+                bad += b;
+            }
+            (done, bad)
+        })
+        .unwrap();
+    let st = s.stats();
+    let damage = st.counter("disk.clobbered_commands")
+        + st.counter("driver.tag_mismatches")
+        + st.counter("driver.request_timeouts");
+    assert!(
+        damage > 0,
+        "the racy driver should misbehave under concurrent load \
+         (completed={completed}, failed={failed})"
+    );
+}
+
+#[test]
+fn nic_delivers_packets_and_counts_drops() {
+    let mut s = sim(2);
+    let dev = s.add_device_core();
+    let received = s
+        .block_on(async move {
+            let rx_ring = install_nic(
+                NicParams {
+                    mean_interarrival: 1_000,
+                    rx_ring: 4,
+                    rx_total: 200,
+                    ..NicParams::default()
+                },
+                dev,
+            );
+            let (_tx, stack) = spawn_nic_driver(rx_ring, 2_000, CoreId(1));
+            let mut got = 0u32;
+            while got < 50 {
+                if stack.recv().await.is_err() {
+                    break;
+                }
+                got += 1;
+            }
+            got
+        })
+        .unwrap();
+    assert_eq!(received, 50);
+    assert!(s.stats().counter("nic.rx_packets") >= 50);
+}
+
+#[test]
+fn nic_tx_completes() {
+    let mut s = sim(2);
+    let dev = s.add_device_core();
+    s.block_on(async move {
+        let rx_ring = install_nic(
+            NicParams {
+                rx_total: 1,
+                ..NicParams::default()
+            },
+            dev,
+        );
+        let (tx, _stack) = spawn_nic_driver(rx_ring, 1_000, CoreId(1));
+        let t0 = chanos_sim::now();
+        chanos_csp::request(&tx, |reply| chanos_drivers::TxReq {
+            packet: chanos_drivers::Packet { id: 1, bytes: 100 },
+            reply,
+        })
+        .await
+        .unwrap();
+        assert!(chanos_sim::now() - t0 >= 1_000);
+    })
+    .unwrap();
+}
+
+#[test]
+fn tty_writes_drain_at_per_byte_cost() {
+    let mut s = sim(2);
+    s.block_on(async move {
+        let tty = spawn_tty_driver(10, CoreId(1));
+        let t0 = chanos_sim::now();
+        tty.write("hello chanos\n").await;
+        let took = chanos_sim::now() - t0;
+        assert!(took >= 130, "13 bytes at 10 cycles each, took {took}");
+    })
+    .unwrap();
+    assert_eq!(s.stats().counter("tty.bytes_written"), 13);
+}

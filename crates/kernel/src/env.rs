@@ -1,0 +1,248 @@
+//! The process environment: the libc-like system-call stubs a
+//! "program" uses, over either kernel architecture.
+//!
+//! §4: *"legacy code can be linked against a compatibility library
+//! and used unchanged"* — a program written against [`Env`] cannot
+//! tell whether its calls trap (conventional kernel) or become
+//! messages to kernel cores (the proposal); only its performance
+//! differs.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use chanos_csp::request;
+use chanos_sim::{self as sim, CoreId, JoinHandle};
+use chanos_vfs::Stat;
+
+use crate::syscall::{MsgKernel, Syscall, TrapKernel};
+use crate::types::{Fd, KError, Pid};
+
+/// Which kernel a process talks to.
+#[derive(Clone)]
+pub enum KernelHandle {
+    /// System calls are messages to kernel-core servers.
+    Msg(MsgKernel),
+    /// System calls trap and run on the caller's core.
+    Trap(Rc<TrapKernel>),
+}
+
+/// A process's view of the OS.
+#[derive(Clone)]
+pub struct Env {
+    /// This process's id.
+    pub pid: Pid,
+    kernel: KernelHandle,
+}
+
+impl Env {
+    /// Builds an environment for `pid` over the given kernel.
+    pub fn new(pid: Pid, kernel: KernelHandle) -> Env {
+        Env { pid, kernel }
+    }
+
+    /// Opens an existing file.
+    pub async fn open(&self, path: &str) -> Result<Fd, KError> {
+        match &self.kernel {
+            KernelHandle::Trap(k) => k.open(self.pid, path).await,
+            KernelHandle::Msg(k) => {
+                let pid = self.pid;
+                let path = path.to_string();
+                request(k.server_for(pid), move |reply| Syscall::Open {
+                    pid,
+                    path,
+                    reply,
+                })
+                .await
+                .unwrap_or(Err(KError::Gone))
+            }
+        }
+    }
+
+    /// Creates and opens a file.
+    pub async fn create(&self, path: &str) -> Result<Fd, KError> {
+        match &self.kernel {
+            KernelHandle::Trap(k) => k.create(self.pid, path).await,
+            KernelHandle::Msg(k) => {
+                let pid = self.pid;
+                let path = path.to_string();
+                request(k.server_for(pid), move |reply| Syscall::Create {
+                    pid,
+                    path,
+                    reply,
+                })
+                .await
+                .unwrap_or(Err(KError::Gone))
+            }
+        }
+    }
+
+    /// Reads up to `len` bytes at the descriptor's offset.
+    pub async fn read(&self, fd: Fd, len: usize) -> Result<Vec<u8>, KError> {
+        match &self.kernel {
+            KernelHandle::Trap(k) => k.read(self.pid, fd, len).await,
+            KernelHandle::Msg(k) => {
+                let pid = self.pid;
+                request(k.server_for(pid), move |reply| Syscall::Read {
+                    pid,
+                    fd,
+                    len,
+                    reply,
+                })
+                .await
+                .unwrap_or(Err(KError::Gone))
+            }
+        }
+    }
+
+    /// Writes `data` at the descriptor's offset.
+    pub async fn write(&self, fd: Fd, data: &[u8]) -> Result<usize, KError> {
+        match &self.kernel {
+            KernelHandle::Trap(k) => k.write(self.pid, fd, data).await,
+            KernelHandle::Msg(k) => {
+                let pid = self.pid;
+                let data = data.to_vec();
+                request(k.server_for(pid), move |reply| Syscall::Write {
+                    pid,
+                    fd,
+                    data,
+                    reply,
+                })
+                .await
+                .unwrap_or(Err(KError::Gone))
+            }
+        }
+    }
+
+    /// Closes a descriptor.
+    pub async fn close(&self, fd: Fd) -> Result<(), KError> {
+        match &self.kernel {
+            KernelHandle::Trap(k) => k.close(self.pid, fd).await,
+            KernelHandle::Msg(k) => {
+                let pid = self.pid;
+                request(k.server_for(pid), move |reply| Syscall::Close {
+                    pid,
+                    fd,
+                    reply,
+                })
+                .await
+                .unwrap_or(Err(KError::Gone))
+            }
+        }
+    }
+
+    /// Stats an open descriptor.
+    pub async fn fstat(&self, fd: Fd) -> Result<Stat, KError> {
+        match &self.kernel {
+            KernelHandle::Trap(k) => k.fstat(self.pid, fd).await,
+            KernelHandle::Msg(k) => {
+                let pid = self.pid;
+                request(k.server_for(pid), move |reply| Syscall::Fstat {
+                    pid,
+                    fd,
+                    reply,
+                })
+                .await
+                .unwrap_or(Err(KError::Gone))
+            }
+        }
+    }
+
+    /// Creates a directory.
+    pub async fn mkdir(&self, path: &str) -> Result<(), KError> {
+        match &self.kernel {
+            KernelHandle::Trap(k) => k.mkdir(self.pid, path).await,
+            KernelHandle::Msg(k) => {
+                let pid = self.pid;
+                let path = path.to_string();
+                request(k.server_for(pid), move |reply| Syscall::Mkdir {
+                    pid,
+                    path,
+                    reply,
+                })
+                .await
+                .unwrap_or(Err(KError::Gone))
+            }
+        }
+    }
+
+    /// Removes a file or empty directory.
+    pub async fn unlink(&self, path: &str) -> Result<(), KError> {
+        match &self.kernel {
+            KernelHandle::Trap(k) => k.unlink(self.pid, path).await,
+            KernelHandle::Msg(k) => {
+                let pid = self.pid;
+                let path = path.to_string();
+                request(k.server_for(pid), move |reply| Syscall::Unlink {
+                    pid,
+                    path,
+                    reply,
+                })
+                .await
+                .unwrap_or(Err(KError::Gone))
+            }
+        }
+    }
+
+    /// Lists a directory.
+    pub async fn readdir(&self, path: &str) -> Result<Vec<String>, KError> {
+        match &self.kernel {
+            KernelHandle::Trap(k) => k.readdir(self.pid, path).await,
+            KernelHandle::Msg(k) => {
+                let pid = self.pid;
+                let path = path.to_string();
+                request(k.server_for(pid), move |reply| Syscall::ReadDir {
+                    pid,
+                    path,
+                    reply,
+                })
+                .await
+                .unwrap_or(Err(KError::Gone))
+            }
+        }
+    }
+
+    /// The null system call.
+    pub async fn getpid(&self) -> Pid {
+        match &self.kernel {
+            KernelHandle::Trap(k) => k.getpid(self.pid).await,
+            KernelHandle::Msg(k) => {
+                let pid = self.pid;
+                request(k.server_for(pid), move |reply| Syscall::GetPid { pid, reply })
+                    .await
+                    .unwrap_or(pid)
+            }
+        }
+    }
+}
+
+/// Allocates process ids and launches processes.
+pub struct ProcessTable {
+    kernel: KernelHandle,
+    next_pid: Cell<u32>,
+}
+
+impl ProcessTable {
+    /// Creates a process table over a kernel.
+    pub fn new(kernel: KernelHandle) -> ProcessTable {
+        ProcessTable {
+            kernel,
+            next_pid: Cell::new(1),
+        }
+    }
+
+    /// Launches a "program" (any async closure over its [`Env`]) as a
+    /// process pinned to `core`; returns (pid, join handle).
+    pub fn spawn_process<F, Fut, T>(&self, core: CoreId, body: F) -> (Pid, JoinHandle<T>)
+    where
+        F: FnOnce(Env) -> Fut,
+        Fut: std::future::Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let pid = Pid(self.next_pid.get());
+        self.next_pid.set(pid.0 + 1);
+        let env = Env::new(pid, self.kernel.clone());
+        let h = sim::spawn_named_on(&format!("proc{}", pid.0), core, body(env));
+        sim::stat_incr("kernel.processes_spawned");
+        (pid, h)
+    }
+}

@@ -1,0 +1,263 @@
+//! Asynchronous kernel→application event delivery: Unix signals vs
+//! message channels (§3.1, experiment E11).
+//!
+//! *"If the process or thread receiving a signal is working in the
+//! kernel, it must abandon and unwind everything that was in progress
+//! in the kernel to deliver the signal. Then, typically, the process
+//! must restart the system call and redo all the work it just
+//! unwound. This is unnecessarily wasteful."*
+//!
+//! Both models run the same workload: a process issues long kernel
+//! operations while I/O-completion events arrive at Poisson times.
+//!
+//! * **Signal model** — an event interrupts the in-flight operation;
+//!   the kernel abandons its partial work (counted as waste), returns
+//!   `EINTR`, the process handles the event and *redoes the whole
+//!   call*.
+//! * **Channel model** — events queue on an ordinary channel; the
+//!   process `choose!`s between the pending call's reply and the
+//!   event channel. No kernel work is ever discarded.
+
+use chanos_csp::{channel, reply_channel, Capacity, Receiver, ReplyTo, Sender};
+use chanos_sim::{self as sim, delay, sleep, CoreId, Cycles};
+
+/// Workload parameters for the event-delivery experiment.
+#[derive(Debug, Clone)]
+pub struct EventExpCfg {
+    /// Slices per kernel operation (abort granularity).
+    pub op_slices: u32,
+    /// Cycles of kernel work per slice.
+    pub slice_cycles: Cycles,
+    /// Operations the process must complete.
+    pub n_ops: u32,
+    /// Mean inter-arrival time of events.
+    pub event_mean_gap: Cycles,
+    /// Cycles to handle one event in the application.
+    pub handle_cycles: Cycles,
+    /// Core running the kernel server.
+    pub kernel_core: CoreId,
+    /// Core running the process.
+    pub app_core: CoreId,
+}
+
+impl Default for EventExpCfg {
+    fn default() -> Self {
+        EventExpCfg {
+            op_slices: 10,
+            slice_cycles: 500,
+            n_ops: 100,
+            event_mean_gap: 4_000,
+            handle_cycles: 200,
+            kernel_core: CoreId(0),
+            app_core: CoreId(1),
+        }
+    }
+}
+
+/// Results of one event-delivery run.
+#[derive(Debug, Clone)]
+pub struct EventExpResult {
+    /// Virtual time to finish all operations.
+    pub total_time: Cycles,
+    /// Kernel cycles discarded by aborted operations.
+    pub wasted_kernel_cycles: u64,
+    /// Events handled.
+    pub events_handled: u64,
+    /// Mean event delivery latency (arrival to handled).
+    pub mean_event_latency: f64,
+    /// Times an operation had to be restarted.
+    pub restarts: u64,
+}
+
+/// An event with its creation time (for latency measurement).
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// When the event was generated.
+    pub at: Cycles,
+}
+
+struct OpReq {
+    abort: Receiver<()>,
+    reply: ReplyTo<Result<(), Interrupted>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interrupted;
+
+/// Spawns the event generator: `n` events at exponential gaps.
+fn spawn_event_source(mean_gap: Cycles, n: u64, core: CoreId) -> Receiver<Event> {
+    let (tx, rx) = channel::<Event>(Capacity::Unbounded);
+    sim::spawn_daemon_on("event-source", core, async move {
+        let mut rng = sim::with_rng(|r| r.clone());
+        for _ in 0..n {
+            let gap = rng.exp(mean_gap as f64).max(1.0) as Cycles;
+            sleep(gap).await;
+            let _ = tx.send(Event { at: sim::now() }).await;
+        }
+    });
+    rx
+}
+
+/// Spawns the interruptible kernel server.
+fn spawn_kernel_server(cfg: &EventExpCfg) -> Sender<OpReq> {
+    let (tx, rx) = channel::<OpReq>(Capacity::Unbounded);
+    let slices = cfg.op_slices;
+    let slice = cfg.slice_cycles;
+    sim::spawn_daemon_on("event-kernel-server", cfg.kernel_core, async move {
+        while let Ok(OpReq { abort, reply }) = rx.recv().await {
+            let mut aborted = false;
+            for s in 0..slices {
+                delay(slice).await;
+                if abort.try_recv().is_ok() {
+                    // Unwind: everything done so far is wasted.
+                    sim::stat_add("events.wasted_kernel_cycles", u64::from(s + 1) * slice);
+                    aborted = true;
+                    break;
+                }
+            }
+            let _ = reply
+                .send(if aborted { Err(Interrupted) } else { Ok(()) })
+                .await;
+        }
+    });
+    tx
+}
+
+/// Runs the Unix-signal delivery model; must be called inside a
+/// simulation.
+pub async fn run_signal_model(cfg: &EventExpCfg) -> EventExpResult {
+    let server = spawn_kernel_server(cfg);
+    let expected_events =
+        (u64::from(cfg.n_ops) * u64::from(cfg.op_slices) * cfg.slice_cycles) / cfg.event_mean_gap;
+    let events = spawn_event_source(cfg.event_mean_gap, expected_events.max(1), cfg.kernel_core);
+    let t0 = sim::now();
+    let mut done = 0u32;
+    let mut handled = 0u64;
+    let mut latency_sum = 0u64;
+    let mut restarts = 0u64;
+    while done < cfg.n_ops {
+        let (abort_tx, abort_rx) = channel::<()>(Capacity::Bounded(1));
+        let (reply_to, reply) = reply_channel::<Result<(), Interrupted>>();
+        if server
+            .send(OpReq {
+                abort: abort_rx,
+                reply: reply_to,
+            })
+            .await
+            .is_err()
+        {
+            break;
+        }
+        let mut reply_fut = Box::pin(reply.recv());
+        let mut events_open = true;
+        let interrupted = loop {
+            if !events_open {
+                // The event source has shut down; just finish the call
+                // (a perpetually-ready closed arm must not be selected
+                // on, or the choose loop spins).
+                break !matches!(reply_fut.as_mut().await, Ok(Ok(())));
+            }
+            chanos_csp::choose! {
+                r = reply_fut.as_mut() => {
+                    break !matches!(r, Ok(Ok(())));
+                },
+                ev = events.recv() => match ev {
+                    Ok(ev) => {
+                        // Signal: interrupt the in-flight call. The
+                        // handler may only run once the call unwinds.
+                        let _ = abort_tx.try_send(());
+                        delay(cfg.handle_cycles).await;
+                        handled += 1;
+                        latency_sum += sim::now() - ev.at;
+                    }
+                    Err(_) => events_open = false,
+                },
+            }
+        };
+        if interrupted {
+            restarts += 1;
+            sim::stat_incr("events.signal_restarts");
+        } else {
+            done += 1;
+        }
+    }
+    EventExpResult {
+        total_time: sim::now() - t0,
+        wasted_kernel_cycles: sim_stat("events.wasted_kernel_cycles"),
+        events_handled: handled,
+        mean_event_latency: if handled == 0 {
+            0.0
+        } else {
+            latency_sum as f64 / handled as f64
+        },
+        restarts,
+    }
+}
+
+/// Runs the channel delivery model; must be called inside a
+/// simulation.
+pub async fn run_channel_model(cfg: &EventExpCfg) -> EventExpResult {
+    let server = spawn_kernel_server(cfg);
+    let expected_events =
+        (u64::from(cfg.n_ops) * u64::from(cfg.op_slices) * cfg.slice_cycles) / cfg.event_mean_gap;
+    let events = spawn_event_source(cfg.event_mean_gap, expected_events.max(1), cfg.kernel_core);
+    let t0 = sim::now();
+    let mut done = 0u32;
+    let mut handled = 0u64;
+    let mut latency_sum = 0u64;
+    while done < cfg.n_ops {
+        // Never-aborted op: the abort channel stays silent.
+        let (_abort_tx, abort_rx) = channel::<()>(Capacity::Bounded(1));
+        let (reply_to, reply) = reply_channel::<Result<(), Interrupted>>();
+        if server
+            .send(OpReq {
+                abort: abort_rx,
+                reply: reply_to,
+            })
+            .await
+            .is_err()
+        {
+            break;
+        }
+        let mut reply_fut = Box::pin(reply.recv());
+        let mut events_open = true;
+        loop {
+            if !events_open {
+                let _ = reply_fut.as_mut().await;
+                done += 1;
+                break;
+            }
+            chanos_csp::choose! {
+                _r = reply_fut.as_mut() => {
+                    done += 1;
+                    break;
+                },
+                ev = events.recv() => match ev {
+                    Ok(ev) => {
+                        // Handle immediately; the kernel op continues
+                        // undisturbed on its own core.
+                        delay(cfg.handle_cycles).await;
+                        handled += 1;
+                        latency_sum += sim::now() - ev.at;
+                    }
+                    Err(_) => events_open = false,
+                },
+            }
+        }
+    }
+    EventExpResult {
+        total_time: sim::now() - t0,
+        wasted_kernel_cycles: sim_stat("events.wasted_kernel_cycles"),
+        events_handled: handled,
+        mean_event_latency: if handled == 0 {
+            0.0
+        } else {
+            latency_sum as f64 / handled as f64
+        },
+        restarts: 0,
+    }
+}
+
+fn sim_stat(name: &str) -> u64 {
+    sim::stat_get(name)
+}

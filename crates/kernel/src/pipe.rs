@@ -1,0 +1,186 @@
+//! Inter-process pipes — without the kernel.
+//!
+//! §4: *"It is unlike a microkernel because the central function of a
+//! microkernel, conveying IPCs from one process to another, is
+//! relegated to hardware."* A pipe here is nothing but a bounded
+//! channel of byte chunks handed to two processes; no kernel thread
+//! ever sees the data. This is the aggressive design's answer to
+//! `pipe(2)`: same byte-stream semantics (ordering, backpressure, EOF
+//! on writer close), zero kernel involvement.
+
+use chanos_csp::{channel_with_bytes, Capacity, Receiver, SendError, Sender};
+
+use crate::types::KError;
+
+/// Default pipe buffering: chunks in flight before writers block.
+pub const PIPE_DEPTH: usize = 16;
+
+/// Creates a pipe; hand the ends to different processes at spawn
+/// time (the message-world equivalent of fork-inheriting fds).
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let (tx, rx) = channel_with_bytes::<Vec<u8>>(Capacity::Bounded(PIPE_DEPTH), 512);
+    (
+        PipeWriter { tx },
+        PipeReader {
+            rx,
+            pending: Vec::new(),
+        },
+    )
+}
+
+/// The writing end of a pipe. Dropping it signals EOF.
+pub struct PipeWriter {
+    tx: Sender<Vec<u8>>,
+}
+
+impl PipeWriter {
+    /// Writes all of `data` (chunked); blocks when the pipe is full.
+    ///
+    /// Returns `Err` if the read end is gone (EPIPE).
+    pub async fn write_all(&self, data: &[u8]) -> Result<(), KError> {
+        for chunk in data.chunks(4096) {
+            match self.tx.send(chunk.to_vec()).await {
+                Ok(()) => {}
+                Err(SendError::Closed(_)) => return Err(KError::Gone),
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the pipe explicitly (EOF for the reader).
+    pub fn close(self) {}
+}
+
+/// The reading end of a pipe.
+pub struct PipeReader {
+    rx: Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+}
+
+impl PipeReader {
+    /// Reads up to `max` bytes; returns an empty vector at EOF
+    /// (writer closed and stream drained).
+    pub async fn read(&mut self, max: usize) -> Vec<u8> {
+        if self.pending.is_empty() {
+            match self.rx.recv().await {
+                Ok(chunk) => self.pending = chunk,
+                Err(_) => return Vec::new(), // EOF.
+            }
+        }
+        if self.pending.len() <= max {
+            std::mem::take(&mut self.pending)
+        } else {
+            let rest = self.pending.split_off(max);
+            std::mem::replace(&mut self.pending, rest)
+        }
+    }
+
+    /// Reads until EOF, collecting everything.
+    pub async fn read_to_end(&mut self) -> Vec<u8> {
+        let mut out = std::mem::take(&mut self.pending);
+        while let Ok(chunk) = self.rx.recv().await {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chanos_sim::{CoreId, Simulation};
+
+    #[test]
+    fn pipe_streams_bytes_in_order() {
+        let mut s = Simulation::new(2);
+        let got = s
+            .block_on(async {
+                let (w, mut r) = pipe();
+                let producer = chanos_sim::spawn_on(CoreId(1), async move {
+                    for i in 0..10u8 {
+                        w.write_all(&[i; 1000]).await.unwrap();
+                    }
+                });
+                let mut got = Vec::new();
+                loop {
+                    let chunk = r.read(512).await;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    got.extend(chunk);
+                }
+                producer.join().await.unwrap();
+                got
+            })
+            .unwrap();
+        assert_eq!(got.len(), 10_000);
+        // Byte i*1000..(i+1)*1000 must all be i.
+        for (i, chunk) in got.chunks(1000).enumerate() {
+            assert!(chunk.iter().all(|&b| b == i as u8), "chunk {i} corrupt");
+        }
+    }
+
+    #[test]
+    fn reader_sees_eof_after_writer_drops() {
+        let mut s = Simulation::new(1);
+        s.block_on(async {
+            let (w, mut r) = pipe();
+            w.write_all(b"tail").await.unwrap();
+            drop(w);
+            assert_eq!(r.read(10).await, b"tail");
+            assert!(r.read(10).await.is_empty(), "EOF expected");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn writer_fails_when_reader_gone() {
+        let mut s = Simulation::new(1);
+        s.block_on(async {
+            let (w, r) = pipe();
+            drop(r);
+            assert_eq!(w.write_all(b"x").await, Err(KError::Gone));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pipe_applies_backpressure() {
+        let mut s = Simulation::new(2);
+        let (write_done_at, read_start) = s
+            .block_on(async {
+                let (w, mut r) = pipe();
+                let writer = chanos_sim::spawn_on(CoreId(0), async move {
+                    // More chunks than PIPE_DEPTH: must block until
+                    // the reader drains.
+                    let big = vec![7u8; 4096 * (PIPE_DEPTH + 8)];
+                    w.write_all(&big).await.unwrap();
+                    chanos_sim::now()
+                });
+                chanos_sim::sleep(50_000).await;
+                let read_start = chanos_sim::now();
+                let all = r.read_to_end().await;
+                assert_eq!(all.len(), 4096 * (PIPE_DEPTH + 8));
+                (writer.join().await.unwrap(), read_start)
+            })
+            .unwrap();
+        assert!(
+            write_done_at > read_start,
+            "writer ({write_done_at}) must have waited for the reader ({read_start})"
+        );
+    }
+
+    #[test]
+    fn short_reads_resume_mid_chunk() {
+        let mut s = Simulation::new(1);
+        s.block_on(async {
+            let (w, mut r) = pipe();
+            w.write_all(b"abcdefgh").await.unwrap();
+            drop(w);
+            assert_eq!(r.read(3).await, b"abc");
+            assert_eq!(r.read(3).await, b"def");
+            assert_eq!(r.read(3).await, b"gh");
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,497 @@
+//! The system-call layer, in both architectures §4 discusses.
+//!
+//! **Message kernel** (the proposal): *"Making a system call involves
+//! sending a message from an application thread running on an
+//! application core to a kernel thread running on a kernel core. This
+//! can be done without any mode transitions."* System calls are
+//! ordinary messages carrying a reply channel; per-process kernel
+//! state (the fd table) is owned by the server that process hashes
+//! to, so no locks exist anywhere on the path.
+//!
+//! **Trap kernel** (the baseline): the conventional design. Each call
+//! pays a mode-switch in and out, runs the kernel code *on the
+//! caller's core*, takes the fd-table lock, and — following the FlexSC
+//! observation \[22\] — pays a cache-pollution penalty on return to user
+//! mode.
+
+use std::collections::HashMap;
+
+use chanos_csp::{channel, Capacity, ReplyTo, Sender};
+use chanos_shmem::SimMutex;
+use chanos_sim::{self as sim, delay, CoreId, Cycles};
+use chanos_vfs::{FsError, Stat, Vfs};
+
+use crate::types::{Fd, KError, Pid};
+
+/// One system call message. The reply channel rides inside, exactly
+/// as §3's RPC derivation prescribes.
+pub enum Syscall {
+    /// Opens an existing file.
+    Open {
+        /// Calling process.
+        pid: Pid,
+        /// Absolute path.
+        path: String,
+        /// Completion channel.
+        reply: ReplyTo<Result<Fd, KError>>,
+    },
+    /// Creates and opens a new file.
+    Create {
+        /// Calling process.
+        pid: Pid,
+        /// Absolute path.
+        path: String,
+        /// Completion channel.
+        reply: ReplyTo<Result<Fd, KError>>,
+    },
+    /// Reads from the descriptor's current offset.
+    Read {
+        /// Calling process.
+        pid: Pid,
+        /// Descriptor to read.
+        fd: Fd,
+        /// Maximum bytes.
+        len: usize,
+        /// Completion channel.
+        reply: ReplyTo<Result<Vec<u8>, KError>>,
+    },
+    /// Writes at the descriptor's current offset.
+    Write {
+        /// Calling process.
+        pid: Pid,
+        /// Descriptor to write.
+        fd: Fd,
+        /// Bytes to write.
+        data: Vec<u8>,
+        /// Completion channel.
+        reply: ReplyTo<Result<usize, KError>>,
+    },
+    /// Closes a descriptor.
+    Close {
+        /// Calling process.
+        pid: Pid,
+        /// Descriptor to close.
+        fd: Fd,
+        /// Completion channel.
+        reply: ReplyTo<Result<(), KError>>,
+    },
+    /// Stats an open descriptor.
+    Fstat {
+        /// Calling process.
+        pid: Pid,
+        /// Descriptor to stat.
+        fd: Fd,
+        /// Completion channel.
+        reply: ReplyTo<Result<Stat, KError>>,
+    },
+    /// Creates a directory.
+    Mkdir {
+        /// Calling process.
+        pid: Pid,
+        /// Absolute path.
+        path: String,
+        /// Completion channel.
+        reply: ReplyTo<Result<(), KError>>,
+    },
+    /// Removes a file or empty directory.
+    Unlink {
+        /// Calling process.
+        pid: Pid,
+        /// Absolute path.
+        path: String,
+        /// Completion channel.
+        reply: ReplyTo<Result<(), KError>>,
+    },
+    /// Lists a directory's entry names.
+    ReadDir {
+        /// Calling process.
+        pid: Pid,
+        /// Absolute path.
+        path: String,
+        /// Completion channel.
+        reply: ReplyTo<Result<Vec<String>, KError>>,
+    },
+    /// The null system call (the classic microbenchmark).
+    GetPid {
+        /// Calling process.
+        pid: Pid,
+        /// Completion channel.
+        reply: ReplyTo<Pid>,
+    },
+}
+
+/// Kernel cost parameters shared by both architectures.
+#[derive(Debug, Clone)]
+pub struct KernelCosts {
+    /// CPU cycles of kernel work per system call (dispatch,
+    /// validation, fd table) beyond the file-system work itself.
+    pub syscall_cpu: Cycles,
+    /// Trap kernel only: one mode switch (entry or exit).
+    pub mode_switch: Cycles,
+    /// Trap kernel only: cache/TLB pollution penalty charged to the
+    /// caller after returning to user mode (FlexSC's motivation).
+    pub pollution: Cycles,
+}
+
+impl Default for KernelCosts {
+    fn default() -> Self {
+        KernelCosts {
+            syscall_cpu: 300,
+            mode_switch: 700,
+            pollution: 900,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenFile {
+    ino: u64,
+    offset: u64,
+}
+
+/// Per-server state: fd tables of the processes this server owns.
+struct ServerState {
+    vfs: Vfs,
+    costs: KernelCosts,
+    files: HashMap<(Pid, Fd), OpenFile>,
+    next_fd: HashMap<Pid, u32>,
+}
+
+impl ServerState {
+    fn alloc_fd(&mut self, pid: Pid) -> Fd {
+        let n = self.next_fd.entry(pid).or_insert(3); // 0..2 reserved.
+        let fd = Fd(*n);
+        *n += 1;
+        fd
+    }
+
+    async fn handle(&mut self, call: Syscall) {
+        delay(self.costs.syscall_cpu).await;
+        sim::stat_incr("kernel.syscalls");
+        match call {
+            Syscall::Open { pid, path, reply } => {
+                let out = match self.vfs.lookup(&path).await {
+                    Ok(ino) => {
+                        let fd = self.alloc_fd(pid);
+                        self.files.insert((pid, fd), OpenFile { ino, offset: 0 });
+                        Ok(fd)
+                    }
+                    Err(e) => Err(KError::Fs(e)),
+                };
+                let _ = reply.send(out).await;
+            }
+            Syscall::Create { pid, path, reply } => {
+                let out = match self.vfs.create(&path).await {
+                    Ok(ino) => {
+                        let fd = self.alloc_fd(pid);
+                        self.files.insert((pid, fd), OpenFile { ino, offset: 0 });
+                        Ok(fd)
+                    }
+                    Err(e) => Err(KError::Fs(e)),
+                };
+                let _ = reply.send(out).await;
+            }
+            Syscall::Read { pid, fd, len, reply } => {
+                let out = match self.files.get(&(pid, fd)).cloned() {
+                    None => Err(KError::BadFd),
+                    Some(of) => match self.vfs.read(of.ino, of.offset, len).await {
+                        Ok(data) => {
+                            self.files
+                                .get_mut(&(pid, fd))
+                                .expect("checked above")
+                                .offset += data.len() as u64;
+                            Ok(data)
+                        }
+                        Err(e) => Err(KError::Fs(e)),
+                    },
+                };
+                let _ = reply.send(out).await;
+            }
+            Syscall::Write { pid, fd, data, reply } => {
+                let out = match self.files.get(&(pid, fd)).cloned() {
+                    None => Err(KError::BadFd),
+                    Some(of) => match self.vfs.write(of.ino, of.offset, &data).await {
+                        Ok(()) => {
+                            self.files
+                                .get_mut(&(pid, fd))
+                                .expect("checked above")
+                                .offset += data.len() as u64;
+                            Ok(data.len())
+                        }
+                        Err(e) => Err(KError::Fs(e)),
+                    },
+                };
+                let _ = reply.send(out).await;
+            }
+            Syscall::Close { pid, fd, reply } => {
+                let out = self
+                    .files
+                    .remove(&(pid, fd))
+                    .map(|_| ())
+                    .ok_or(KError::BadFd);
+                let _ = reply.send(out).await;
+            }
+            Syscall::Fstat { pid, fd, reply } => {
+                let out = match self.files.get(&(pid, fd)) {
+                    None => Err(KError::BadFd),
+                    Some(of) => self.vfs.stat(of.ino).await.map_err(KError::Fs),
+                };
+                let _ = reply.send(out).await;
+            }
+            Syscall::Mkdir { path, reply, .. } => {
+                let out = self.vfs.mkdir(&path).await.map(|_| ()).map_err(KError::Fs);
+                let _ = reply.send(out).await;
+            }
+            Syscall::Unlink { path, reply, .. } => {
+                let out = self.vfs.unlink(&path).await.map_err(KError::Fs);
+                let _ = reply.send(out).await;
+            }
+            Syscall::ReadDir { path, reply, .. } => {
+                let out = match self.vfs.readdir(&path).await {
+                    Ok(entries) => Ok(entries.into_iter().map(|e| e.name).collect()),
+                    Err(e) => Err(KError::Fs(e)),
+                };
+                let _ = reply.send(out).await;
+            }
+            Syscall::GetPid { pid, reply } => {
+                let _ = reply.send(pid).await;
+            }
+        }
+    }
+}
+
+/// The message-kernel: syscall server tasks on dedicated kernel
+/// cores.
+#[derive(Clone)]
+pub struct MsgKernel {
+    servers: std::rc::Rc<Vec<Sender<Syscall>>>,
+}
+
+impl MsgKernel {
+    /// Spawns one syscall server per entry of `kernel_cores`.
+    ///
+    /// A process's calls always go to the same server (hash by pid),
+    /// which therefore owns that process's fd table outright.
+    pub fn spawn(vfs: Vfs, costs: KernelCosts, kernel_cores: &[CoreId]) -> MsgKernel {
+        assert!(!kernel_cores.is_empty());
+        let mut servers = Vec::with_capacity(kernel_cores.len());
+        for (i, &core) in kernel_cores.iter().enumerate() {
+            let (tx, rx) = channel::<Syscall>(Capacity::Unbounded);
+            let vfs = vfs.clone();
+            let costs = costs.clone();
+            sim::spawn_daemon_on(&format!("syscall-server{i}"), core, async move {
+                let mut st = ServerState {
+                    vfs,
+                    costs,
+                    files: HashMap::new(),
+                    next_fd: HashMap::new(),
+                };
+                while let Ok(call) = rx.recv().await {
+                    st.handle(call).await;
+                }
+            });
+            servers.push(tx);
+        }
+        MsgKernel {
+            servers: std::rc::Rc::new(servers),
+        }
+    }
+
+    /// The server channel responsible for `pid`.
+    pub fn server_for(&self, pid: Pid) -> &Sender<Syscall> {
+        &self.servers[(pid.0 as usize) % self.servers.len()]
+    }
+}
+
+/// The trap-kernel baseline: kernel code runs on the caller's core
+/// behind mode switches and an fd-table lock.
+pub struct TrapKernel {
+    vfs: Vfs,
+    costs: KernelCosts,
+    // One global fd-table lock — the classic shared kernel structure.
+    files: SimMutex<HashMap<(Pid, Fd), OpenFile>>,
+    next_fd: std::cell::RefCell<HashMap<Pid, u32>>,
+}
+
+impl TrapKernel {
+    /// Creates the trap kernel. Must be called inside the simulation.
+    pub fn new(vfs: Vfs, costs: KernelCosts) -> std::rc::Rc<TrapKernel> {
+        std::rc::Rc::new(TrapKernel {
+            vfs,
+            costs,
+            files: SimMutex::new(HashMap::new()),
+            next_fd: std::cell::RefCell::new(HashMap::new()),
+        })
+    }
+
+    async fn enter(&self) {
+        delay(self.costs.mode_switch).await;
+        delay(self.costs.syscall_cpu).await;
+        sim::stat_incr("kernel.syscalls");
+    }
+
+    async fn exit(&self) {
+        delay(self.costs.mode_switch).await;
+        // FlexSC: returning to user mode finds the caches trashed.
+        delay(self.costs.pollution).await;
+    }
+
+    fn alloc_fd(&self, pid: Pid) -> Fd {
+        let mut t = self.next_fd.borrow_mut();
+        let n = t.entry(pid).or_insert(3);
+        let fd = Fd(*n);
+        *n += 1;
+        fd
+    }
+
+    /// `open(2)`.
+    pub async fn open(&self, pid: Pid, path: &str) -> Result<Fd, KError> {
+        self.enter().await;
+        let out = match self.vfs.lookup(path).await {
+            Ok(ino) => {
+                let fd = self.alloc_fd(pid);
+                let g = self.files.lock().await;
+                g.with(|f| f.insert((pid, fd), OpenFile { ino, offset: 0 }));
+                Ok(fd)
+            }
+            Err(e) => Err(KError::Fs(e)),
+        };
+        self.exit().await;
+        out
+    }
+
+    /// `creat(2)`.
+    pub async fn create(&self, pid: Pid, path: &str) -> Result<Fd, KError> {
+        self.enter().await;
+        let out = match self.vfs.create(path).await {
+            Ok(ino) => {
+                let fd = self.alloc_fd(pid);
+                let g = self.files.lock().await;
+                g.with(|f| f.insert((pid, fd), OpenFile { ino, offset: 0 }));
+                Ok(fd)
+            }
+            Err(e) => Err(KError::Fs(e)),
+        };
+        self.exit().await;
+        out
+    }
+
+    /// `read(2)`.
+    pub async fn read(&self, pid: Pid, fd: Fd, len: usize) -> Result<Vec<u8>, KError> {
+        self.enter().await;
+        let of = {
+            let g = self.files.lock().await;
+            g.with(|f| f.get(&(pid, fd)).cloned())
+        };
+        let out = match of {
+            None => Err(KError::BadFd),
+            Some(of) => match self.vfs.read(of.ino, of.offset, len).await {
+                Ok(data) => {
+                    let g = self.files.lock().await;
+                    g.with(|f| {
+                        if let Some(e) = f.get_mut(&(pid, fd)) {
+                            e.offset += data.len() as u64;
+                        }
+                    });
+                    Ok(data)
+                }
+                Err(e) => Err(KError::Fs(e)),
+            },
+        };
+        self.exit().await;
+        out
+    }
+
+    /// `write(2)`.
+    pub async fn write(&self, pid: Pid, fd: Fd, data: &[u8]) -> Result<usize, KError> {
+        self.enter().await;
+        let of = {
+            let g = self.files.lock().await;
+            g.with(|f| f.get(&(pid, fd)).cloned())
+        };
+        let out = match of {
+            None => Err(KError::BadFd),
+            Some(of) => match self.vfs.write(of.ino, of.offset, data).await {
+                Ok(()) => {
+                    let g = self.files.lock().await;
+                    g.with(|f| {
+                        if let Some(e) = f.get_mut(&(pid, fd)) {
+                            e.offset += data.len() as u64;
+                        }
+                    });
+                    Ok(data.len())
+                }
+                Err(e) => Err(KError::Fs(e)),
+            },
+        };
+        self.exit().await;
+        out
+    }
+
+    /// `close(2)`.
+    pub async fn close(&self, pid: Pid, fd: Fd) -> Result<(), KError> {
+        self.enter().await;
+        let g = self.files.lock().await;
+        let out = g.with(|f| f.remove(&(pid, fd)).map(|_| ()).ok_or(KError::BadFd));
+        drop(g);
+        self.exit().await;
+        out
+    }
+
+    /// `fstat(2)`.
+    pub async fn fstat(&self, pid: Pid, fd: Fd) -> Result<Stat, KError> {
+        self.enter().await;
+        let of = {
+            let g = self.files.lock().await;
+            g.with(|f| f.get(&(pid, fd)).cloned())
+        };
+        let out = match of {
+            None => Err(KError::BadFd),
+            Some(of) => self.vfs.stat(of.ino).await.map_err(KError::Fs),
+        };
+        self.exit().await;
+        out
+    }
+
+    /// `mkdir(2)`.
+    pub async fn mkdir(&self, pid: Pid, path: &str) -> Result<(), KError> {
+        let _ = pid;
+        self.enter().await;
+        let out = self.vfs.mkdir(path).await.map(|_| ()).map_err(KError::Fs);
+        self.exit().await;
+        out
+    }
+
+    /// `unlink(2)`.
+    pub async fn unlink(&self, pid: Pid, path: &str) -> Result<(), KError> {
+        let _ = pid;
+        self.enter().await;
+        let out = self.vfs.unlink(path).await.map_err(KError::Fs);
+        self.exit().await;
+        out
+    }
+
+    /// `readdir(3)`.
+    pub async fn readdir(&self, pid: Pid, path: &str) -> Result<Vec<String>, KError> {
+        let _ = pid;
+        self.enter().await;
+        let out = match self.vfs.readdir(path).await {
+            Ok(entries) => Ok(entries.into_iter().map(|e| e.name).collect()),
+            Err(e) => Err(KError::Fs(e)),
+        };
+        self.exit().await;
+        out
+    }
+
+    /// `getpid(2)` — the null syscall.
+    pub async fn getpid(&self, pid: Pid) -> Pid {
+        self.enter().await;
+        self.exit().await;
+        pid
+    }
+}
+
+/// Convenience conversion used by engine-generic code.
+pub fn fs_err(e: FsError) -> KError {
+    KError::Fs(e)
+}

@@ -1,0 +1,56 @@
+//! Kernel identifier and error types.
+
+use chanos_vfs::FsError;
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// File descriptor, per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u32);
+
+impl std::fmt::Display for Fd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// Errors surfaced by system calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KError {
+    /// Unknown or closed file descriptor.
+    BadFd,
+    /// A file-system error.
+    Fs(FsError),
+    /// The call was interrupted by a signal (the baseline event
+    /// model; never produced by the channel event model).
+    Interrupted,
+    /// The kernel service handling the call went away.
+    Gone,
+}
+
+impl std::fmt::Display for KError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KError::BadFd => write!(f, "bad file descriptor"),
+            KError::Fs(e) => write!(f, "{e}"),
+            KError::Interrupted => write!(f, "interrupted system call"),
+            KError::Gone => write!(f, "kernel service unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for KError {}
+
+impl From<FsError> for KError {
+    fn from(e: FsError) -> Self {
+        KError::Fs(e)
+    }
+}

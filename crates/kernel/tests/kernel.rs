@@ -1,0 +1,388 @@
+//! End-to-end kernel tests: boot, system calls over both
+//! architectures, supervision, and event delivery.
+
+use chanos_kernel::{
+    boot, run_channel_model, run_signal_model, BootCfg, ChildSpec, EventExpCfg, FsKind, KError,
+    KernelKind, Restart, Strategy, Supervisor, SupervisorExit,
+};
+use chanos_sim::{Config, CoreId, Simulation};
+
+fn sim(cores: usize) -> Simulation {
+    Simulation::with_config(Config {
+        cores,
+        ctx_switch: 10,
+        ..Config::default()
+    })
+}
+
+fn kernel_cores(n: usize) -> Vec<CoreId> {
+    (0..n as u32).map(CoreId).collect()
+}
+
+#[test]
+fn boot_and_hello_world_on_every_configuration() {
+    for kernel in [KernelKind::Message, KernelKind::Trap] {
+        for fs in [FsKind::Message, FsKind::BigLock, FsKind::Sharded] {
+            let mut s = sim(6);
+            let got = s
+                .block_on(async move {
+                    let os = boot(BootCfg::new(kernel, fs, kernel_cores(2))).await;
+                    let (_pid, h) = os.procs.spawn_process(CoreId(4), |env| async move {
+                        let fd = env.create("/greeting").await.unwrap();
+                        env.write(fd, b"hello from userspace").await.unwrap();
+                        env.close(fd).await.unwrap();
+                        let fd = env.open("/greeting").await.unwrap();
+                        let data = env.read(fd, 64).await.unwrap();
+                        env.close(fd).await.unwrap();
+                        data
+                    });
+                    h.join().await.unwrap()
+                })
+                .unwrap();
+            assert_eq!(
+                got, b"hello from userspace",
+                "kernel={kernel:?} fs={fs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn read_advances_offset_like_unix() {
+    let mut s = sim(6);
+    s.block_on(async {
+        let os = boot(BootCfg::new(
+            KernelKind::Message,
+            FsKind::Message,
+            kernel_cores(2),
+        ))
+        .await;
+        let (_pid, h) = os.procs.spawn_process(CoreId(4), |env| async move {
+            let fd = env.create("/seq").await.unwrap();
+            env.write(fd, b"abcdefgh").await.unwrap();
+            env.close(fd).await.unwrap();
+            let fd = env.open("/seq").await.unwrap();
+            let a = env.read(fd, 3).await.unwrap();
+            let b = env.read(fd, 3).await.unwrap();
+            let c = env.read(fd, 10).await.unwrap();
+            (a, b, c)
+        });
+        let (a, b, c) = h.join().await.unwrap();
+        assert_eq!(a, b"abc");
+        assert_eq!(b, b"def");
+        assert_eq!(c, b"gh");
+    })
+    .unwrap();
+}
+
+#[test]
+fn bad_fd_is_reported() {
+    let mut s = sim(6);
+    s.block_on(async {
+        let os = boot(BootCfg::new(
+            KernelKind::Message,
+            FsKind::BigLock,
+            kernel_cores(2),
+        ))
+        .await;
+        let (_pid, h) = os.procs.spawn_process(CoreId(4), |env| async move {
+            env.read(chanos_kernel::Fd(99), 10).await
+        });
+        assert_eq!(h.join().await.unwrap(), Err(KError::BadFd));
+    })
+    .unwrap();
+}
+
+#[test]
+fn processes_have_isolated_fd_tables() {
+    let mut s = sim(6);
+    s.block_on(async {
+        let os = boot(BootCfg::new(
+            KernelKind::Message,
+            FsKind::Message,
+            kernel_cores(2),
+        ))
+        .await;
+        // Process A opens a file; process B must not see A's fd.
+        let (_p1, h1) = os.procs.spawn_process(CoreId(4), |env| async move {
+            let fd = env.create("/a-file").await.unwrap();
+            env.write(fd, b"A data").await.unwrap();
+            fd
+        });
+        let fd_of_a = h1.join().await.unwrap();
+        let (_p2, h2) = os.procs.spawn_process(CoreId(5), move |env| async move {
+            env.read(fd_of_a, 10).await
+        });
+        assert_eq!(h2.join().await.unwrap(), Err(KError::BadFd));
+    })
+    .unwrap();
+}
+
+#[test]
+fn many_processes_hammer_the_kernel_concurrently() {
+    let mut s = sim(10);
+    s.block_on(async {
+        let os = boot(BootCfg::new(
+            KernelKind::Message,
+            FsKind::Message,
+            kernel_cores(4),
+        ))
+        .await;
+        let mut handles = Vec::new();
+        for p in 0..12u32 {
+            let core = CoreId(4 + (p % 6));
+            let (_pid, h) = os.procs.spawn_process(core, move |env| async move {
+                let path = format!("/p{p}");
+                let fd = env.create(&path).await.unwrap();
+                let data = vec![p as u8; 2000];
+                env.write(fd, &data).await.unwrap();
+                env.close(fd).await.unwrap();
+                let fd = env.open(&path).await.unwrap();
+                let back = env.read(fd, 2000).await.unwrap();
+                assert_eq!(back, data);
+                env.getpid().await
+            });
+            handles.push(h);
+        }
+        let mut pids: Vec<u32> = Vec::new();
+        for h in handles {
+            pids.push(h.join().await.unwrap().0);
+        }
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids.len(), 12, "pids must be unique");
+    })
+    .unwrap();
+}
+
+#[test]
+fn supervisor_restarts_crashing_child() {
+    let mut s = sim(2);
+    let (exit, runs) = s
+        .block_on(async {
+            let runs = std::rc::Rc::new(std::cell::Cell::new(0u32));
+            let r2 = runs.clone();
+            let sup = Supervisor::new(Strategy::OneForOne)
+                .intensity(10, 1_000_000)
+                .child(ChildSpec::new("flaky", Restart::Transient, move || {
+                    let r = r2.clone();
+                    chanos_sim::spawn_named("flaky", async move {
+                        let n = r.get();
+                        r.set(n + 1);
+                        chanos_sim::delay(100).await;
+                        if n < 3 {
+                            panic!("crash #{n}");
+                        }
+                    })
+                }));
+            let exit = sup.run().await;
+            (exit, runs.get())
+        })
+        .unwrap();
+    assert_eq!(exit, SupervisorExit::AllChildrenDone);
+    assert_eq!(runs, 4, "three crashes then one clean run");
+    assert_eq!(s.stats().counter("supervisor.restarts"), 3);
+}
+
+#[test]
+fn supervisor_gives_up_after_intensity_limit() {
+    let mut s = sim(2);
+    let exit = s
+        .block_on(async {
+            let sup = Supervisor::new(Strategy::OneForOne)
+                .intensity(3, 1_000_000)
+                .child(ChildSpec::new("hopeless", Restart::Permanent, || {
+                    chanos_sim::spawn_named("hopeless", async {
+                        chanos_sim::delay(10).await;
+                        panic!("always");
+                    })
+                }));
+            sup.run().await
+        })
+        .unwrap();
+    assert_eq!(exit, SupervisorExit::TooManyRestarts);
+}
+
+#[test]
+fn one_for_all_restarts_siblings() {
+    let mut s = sim(2);
+    let (a_runs, b_runs) = s
+        .block_on(async {
+            let a = std::rc::Rc::new(std::cell::Cell::new(0u32));
+            let b = std::rc::Rc::new(std::cell::Cell::new(0u32));
+            let (a2, b2) = (a.clone(), b.clone());
+            let sup = Supervisor::new(Strategy::OneForAll)
+                .intensity(10, 10_000_000)
+                .child(ChildSpec::new("stable", Restart::Transient, move || {
+                    let a = a2.clone();
+                    chanos_sim::spawn_named("stable", async move {
+                        a.set(a.get() + 1);
+                        chanos_sim::sleep(100_000).await;
+                    })
+                }))
+                .child(ChildSpec::new("crasher", Restart::Transient, move || {
+                    let b = b2.clone();
+                    chanos_sim::spawn_named("crasher", async move {
+                        let n = b.get();
+                        b.set(n + 1);
+                        chanos_sim::delay(500).await;
+                        if n == 0 {
+                            panic!("first run dies");
+                        }
+                    })
+                }));
+            let _ = sup.run().await;
+            (a.get(), b.get())
+        })
+        .unwrap();
+    assert_eq!(b_runs, 2, "crasher restarted once");
+    assert_eq!(a_runs, 2, "one-for-all restarted the stable sibling too");
+}
+
+#[test]
+fn temporary_children_are_never_restarted() {
+    let mut s = sim(2);
+    let runs = s
+        .block_on(async {
+            let runs = std::rc::Rc::new(std::cell::Cell::new(0u32));
+            let r2 = runs.clone();
+            let sup = Supervisor::new(Strategy::OneForOne).child(ChildSpec::new(
+                "once",
+                Restart::Temporary,
+                move || {
+                    let r = r2.clone();
+                    chanos_sim::spawn_named("once", async move {
+                        r.set(r.get() + 1);
+                        panic!("dies");
+                    })
+                },
+            ));
+            let exit = sup.run().await;
+            assert_eq!(exit, SupervisorExit::AllChildrenDone);
+            runs.get()
+        })
+        .unwrap();
+    assert_eq!(runs, 1);
+}
+
+#[test]
+fn nested_supervision_tree_contains_failure() {
+    let mut s = sim(2);
+    let exit = s
+        .block_on(async {
+            // Inner supervisor with a flaky child; outer supervises
+            // the inner as a single child.
+            let inner_factory = || {
+                chanos_sim::spawn_named("inner-sup", async {
+                    let count = std::rc::Rc::new(std::cell::Cell::new(0u32));
+                    let sup = Supervisor::new(Strategy::OneForOne)
+                        .intensity(5, 10_000_000)
+                        .child(ChildSpec::new("worker", Restart::Transient, move || {
+                            let c = count.clone();
+                            chanos_sim::spawn_named("worker", async move {
+                                let n = c.get();
+                                c.set(n + 1);
+                                chanos_sim::delay(50).await;
+                                if n < 2 {
+                                    panic!("flaky");
+                                }
+                            })
+                        }));
+                    let _ = sup.run().await;
+                })
+            };
+            Supervisor::new(Strategy::OneForOne)
+                .child(ChildSpec::new("inner", Restart::Transient, inner_factory))
+                .run()
+                .await
+        })
+        .unwrap();
+    assert_eq!(exit, SupervisorExit::AllChildrenDone);
+}
+
+#[test]
+fn channel_events_waste_nothing_signals_waste_plenty() {
+    let cfg = EventExpCfg::default();
+    let mut s1 = sim(3);
+    let c1 = cfg.clone();
+    let signal = s1.block_on(async move { run_signal_model(&c1).await }).unwrap();
+    let mut s2 = sim(3);
+    let c2 = cfg.clone();
+    let channel = s2.block_on(async move { run_channel_model(&c2).await }).unwrap();
+
+    assert_eq!(channel.wasted_kernel_cycles, 0, "channels never discard work");
+    assert!(
+        signal.wasted_kernel_cycles > 0,
+        "signals must abandon in-flight kernel work"
+    );
+    assert!(signal.restarts > 0);
+    assert_eq!(channel.restarts, 0);
+    assert!(
+        signal.total_time > channel.total_time,
+        "redo makes the signal model slower: {} vs {}",
+        signal.total_time,
+        channel.total_time
+    );
+}
+
+#[test]
+fn compat_copy_runs_unchanged_code() {
+    let mut s = sim(6);
+    let copied = s
+        .block_on(async {
+            let os = boot(BootCfg::new(
+                KernelKind::Message,
+                FsKind::Message,
+                kernel_cores(2),
+            ))
+            .await;
+            let (_pid, h) = os.procs.spawn_process(CoreId(4), |env| async move {
+                // Seed a source file.
+                let fd = env.create("/src").await.unwrap();
+                let data = vec![0x5Au8; 10_000];
+                env.write(fd, &data).await.unwrap();
+                env.close(fd).await.unwrap();
+                // Legacy-style copy.
+                let n = chanos_kernel::compat_copy(&env, "/src", "/dst", 4096)
+                    .await
+                    .unwrap();
+                // Verify.
+                let fd = env.open("/dst").await.unwrap();
+                let back = env.read(fd, 10_000).await.unwrap();
+                assert_eq!(back, data);
+                n
+            });
+            h.join().await.unwrap()
+        })
+        .unwrap();
+    assert_eq!(copied, 10_000);
+}
+
+#[test]
+fn trap_kernel_charges_mode_switches() {
+    // Null syscall cost: trap must exceed message on the same machine
+    // when kernel work is trivial (mode switch + pollution dominate).
+    let cost = |kind: KernelKind| {
+        let mut s = sim(6);
+        s.block_on(async move {
+            let os = boot(BootCfg::new(kind, FsKind::BigLock, kernel_cores(2))).await;
+            let (_pid, h) = os.procs.spawn_process(CoreId(4), |env| async move {
+                let t0 = chanos_sim::now();
+                for _ in 0..100 {
+                    env.getpid().await;
+                }
+                chanos_sim::now() - t0
+            });
+            h.join().await.unwrap()
+        })
+        .unwrap()
+    };
+    let trap = cost(KernelKind::Trap);
+    let msg = cost(KernelKind::Message);
+    // Default costs: trap pays 2*700 mode switch + 900 pollution per
+    // call; the message path pays two channel flights.
+    assert!(
+        trap > msg,
+        "null syscall: trap ({trap}) should cost more than message ({msg})"
+    );
+}

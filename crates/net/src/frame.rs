@@ -1,0 +1,298 @@
+//! Datagram frames: the unit the cluster fabric moves.
+//!
+//! A frame is the *middleweight* message of §2 — "comparable to a
+//! system call or network packet". It carries explicit addressing
+//! (node and port), transport state (connection, sequence,
+//! cumulative acknowledgment), and a checksum, all of which the
+//! lightweight on-die channels of `chanos-csp` get for free from the
+//! language. The difference in header machinery *is* the weight
+//! difference the paper describes.
+
+use std::fmt;
+
+use crate::wire::{take, Wire};
+
+/// Identifies one shared-nothing node of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Frame type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Connection request (client to listener port).
+    Syn,
+    /// Connection accept; `src_port` carries the server's data port.
+    SynAck,
+    /// A payload segment; consumes one sequence number.
+    Data,
+    /// Cumulative acknowledgment; `ack` is the next expected seq.
+    Ack,
+    /// Sender is finished; consumes one sequence number.
+    Fin,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Syn => 1,
+            FrameKind::SynAck => 2,
+            FrameKind::Data => 3,
+            FrameKind::Ack => 4,
+            FrameKind::Fin => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<FrameKind, FrameError> {
+        Ok(match v {
+            1 => FrameKind::Syn,
+            2 => FrameKind::SynAck,
+            3 => FrameKind::Data,
+            4 => FrameKind::Ack,
+            5 => FrameKind::Fin,
+            _ => return Err(FrameError::Malformed("frame kind")),
+        })
+    }
+}
+
+/// Frame addressing and transport state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Sending port (for SynAck, the server's fresh data port).
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Connection identifier chosen by the client.
+    pub conn: u32,
+    /// Sequence number (Data/Fin consume one each).
+    pub seq: u32,
+    /// Cumulative acknowledgment: next sequence number expected.
+    pub ack: u32,
+    /// True if this Data frame continues in the next segment
+    /// (message segmentation).
+    pub more: bool,
+}
+
+/// A datagram frame: header plus payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Addressing and transport state.
+    pub header: FrameHeader,
+    /// Payload (empty for control frames).
+    pub payload: Vec<u8>,
+}
+
+/// Error from [`Frame::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than a complete frame.
+    Truncated,
+    /// Unknown kind, bad flag, or length mismatch.
+    Malformed(&'static str),
+    /// Checksum mismatch: the frame was corrupted in flight.
+    BadChecksum,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => f.write_str("frame truncated"),
+            FrameError::Malformed(what) => write!(f, "malformed {what}"),
+            FrameError::BadChecksum => f.write_str("bad checksum"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Fixed encoded header size: kind(1) + flags(1) + src(4) + dst(4) +
+/// ports(2+2) + conn(4) + seq(4) + ack(4) + payload len(4).
+pub const HEADER_LEN: usize = 30;
+
+/// Checksum trailer size.
+pub const TRAILER_LEN: usize = 4;
+
+/// FNV-1a over the encoded frame; cheap and deterministic.
+fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+impl Frame {
+    /// Builds a control frame (no payload).
+    pub fn control(kind: FrameKind, src: NodeId, dst: NodeId) -> Frame {
+        Frame {
+            header: FrameHeader {
+                kind,
+                src,
+                dst,
+                src_port: 0,
+                dst_port: 0,
+                conn: 0,
+                seq: 0,
+                ack: 0,
+                more: false,
+            },
+            payload: Vec::new(),
+        }
+    }
+
+    /// Size of this frame on the wire (header + payload + checksum).
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len() + TRAILER_LEN
+    }
+
+    /// Encodes header, payload, and checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let h = &self.header;
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.push(h.kind.to_u8());
+        out.push(u8::from(h.more));
+        h.src.0.encode(&mut out);
+        h.dst.0.encode(&mut out);
+        h.src_port.encode(&mut out);
+        h.dst_port.encode(&mut out);
+        h.conn.encode(&mut out);
+        h.seq.encode(&mut out);
+        h.ack.encode(&mut out);
+        (self.payload.len() as u32).encode(&mut out);
+        out.extend_from_slice(&self.payload);
+        let sum = checksum(&out);
+        sum.encode(&mut out);
+        out
+    }
+
+    /// Decodes and verifies a frame.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(FrameError::Truncated);
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - TRAILER_LEN);
+        let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+        if checksum(body) != stored {
+            return Err(FrameError::BadChecksum);
+        }
+        let mut input = body;
+        let kind = FrameKind::from_u8(u8::decode(&mut input).expect("length checked"))?;
+        let more = match u8::decode(&mut input).expect("length checked") {
+            0 => false,
+            1 => true,
+            _ => return Err(FrameError::Malformed("flags")),
+        };
+        let word = |input: &mut &[u8]| u32::decode(input).map_err(|_| FrameError::Truncated);
+        let src = NodeId(word(&mut input)?);
+        let dst = NodeId(word(&mut input)?);
+        let src_port = u16::decode(&mut input).map_err(|_| FrameError::Truncated)?;
+        let dst_port = u16::decode(&mut input).map_err(|_| FrameError::Truncated)?;
+        let conn = word(&mut input)?;
+        let seq = word(&mut input)?;
+        let ack = word(&mut input)?;
+        let len = word(&mut input)? as usize;
+        let payload = take(&mut input, len).map_err(|_| FrameError::Truncated)?.to_vec();
+        if !input.is_empty() {
+            return Err(FrameError::Malformed("trailing bytes"));
+        }
+        Ok(Frame {
+            header: FrameHeader { kind, src, dst, src_port, dst_port, conn, seq, ack, more },
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame {
+            header: FrameHeader {
+                kind: FrameKind::Data,
+                src: NodeId(3),
+                dst: NodeId(7),
+                src_port: 4096,
+                dst_port: 80,
+                conn: 11,
+                seq: 42,
+                ack: 17,
+                more: true,
+            },
+            payload: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample();
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), f.wire_len());
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let f = Frame::control(FrameKind::Ack, NodeId(0), NodeId(1));
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), HEADER_LEN + TRAILER_LEN);
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        for kind in
+            [FrameKind::Syn, FrameKind::SynAck, FrameKind::Data, FrameKind::Ack, FrameKind::Fin]
+        {
+            let f = Frame::control(kind, NodeId(1), NodeId(2));
+            assert_eq!(Frame::decode(&f.encode()).unwrap().header.kind, kind);
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = sample().encode();
+        bytes[HEADER_LEN] ^= 0xff; // Flip a payload byte.
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadChecksum));
+    }
+
+    #[test]
+    fn header_corruption_detected() {
+        let mut bytes = sample().encode();
+        bytes[2] ^= 0x01; // Flip a src bit.
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadChecksum));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().encode();
+        assert_eq!(Frame::decode(&bytes[..10]), Err(FrameError::Truncated));
+        assert_eq!(Frame::decode(&[]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn bad_kind_detected() {
+        let f = sample();
+        let mut bytes = f.encode();
+        // Overwrite kind and fix up the checksum so only the kind is
+        // wrong.
+        bytes[0] = 99;
+        let body_len = bytes.len() - TRAILER_LEN;
+        let sum = super::checksum(&bytes[..body_len]);
+        let trailer = bytes.len() - TRAILER_LEN;
+        bytes[trailer..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::Malformed("frame kind")));
+    }
+}

@@ -1,0 +1,72 @@
+//! Link cost model: how the cluster fabric prices and mistreats
+//! frames.
+//!
+//! §3's parenthetical is the calibration target: lightweight channel
+//! messages are *"lighter weight than the messages typically used on
+//! supercomputers; however, communicating between cores on the same
+//! die is also lighter weight than communicating between cluster
+//! nodes in a rack."* A [`LinkParams`] therefore starts orders of
+//! magnitude above on-die transit and adds the two failure modes
+//! on-die channels do not have: loss and reordering.
+
+use chanos_sim::Cycles;
+
+/// Cost and fault model of one cluster link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkParams {
+    /// Fixed propagation latency per frame (cycles).
+    pub latency: Cycles,
+    /// Serialization cost per encoded byte (cycles).
+    pub per_byte: Cycles,
+    /// Probability a frame is silently dropped.
+    pub loss: f64,
+    /// Uniform extra delay in `[0, jitter)`; nonzero jitter reorders
+    /// frames.
+    pub jitter: Cycles,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        // ~20k cycles ≈ a few microseconds at GHz clocks: datacenter
+        // fabric, versus ~10²-cycle on-die channel hops.
+        LinkParams { latency: 20_000, per_byte: 4, loss: 0.0, jitter: 0 }
+    }
+}
+
+impl LinkParams {
+    /// A lossy, jittery link for protocol torture tests.
+    pub fn lossy(loss: f64) -> LinkParams {
+        LinkParams { loss, jitter: 5_000, ..LinkParams::default() }
+    }
+
+    /// Transit time for a frame of `wire_len` bytes, before jitter.
+    pub fn transit(&self, wire_len: usize) -> Cycles {
+        self.latency + self.per_byte * wire_len as Cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_scales_with_size() {
+        let p = LinkParams { latency: 100, per_byte: 2, loss: 0.0, jitter: 0 };
+        assert_eq!(p.transit(0), 100);
+        assert_eq!(p.transit(10), 120);
+    }
+
+    #[test]
+    fn default_is_far_heavier_than_on_die() {
+        // The paper's weight taxonomy: a cluster frame must dwarf the
+        // ~100-cycle on-die message.
+        assert!(LinkParams::default().transit(64) > 10_000);
+    }
+
+    #[test]
+    fn lossy_preset_sets_loss_and_jitter() {
+        let p = LinkParams::lossy(0.1);
+        assert!((p.loss - 0.1).abs() < f64::EPSILON);
+        assert!(p.jitter > 0);
+    }
+}

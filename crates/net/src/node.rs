@@ -1,0 +1,386 @@
+//! Shared-nothing cluster nodes and the switch fabric joining them.
+//!
+//! §1 of the paper: parallel supercomputers "developed into massive
+//! shared-nothing clusters that communicate by message passing, like
+//! BlueGene", and §6 warns that the default future is "turning such a
+//! chip into a cluster of hundreds of apparently separate virtual
+//! machines". A [`Cluster`] models that world: N nodes that share
+//! nothing and exchange [`Frame`]s through a switch that charges
+//! [`LinkParams`] costs and injects its faults.
+//!
+//! Each node owns an [`Iface`]: a frame transmit queue plus a port
+//! table a demultiplexer daemon delivers into. Everything above
+//! frames — reliability, ordering, connections — lives in
+//! [`rdt`](crate::rdt).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use chanos_csp::{channel, Capacity, Receiver, Sender};
+use chanos_sim as sim;
+
+use crate::frame::{Frame, NodeId};
+use crate::link::LinkParams;
+
+/// Error type for fabric and transport operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The fabric, connection, or peer has gone away.
+    Closed,
+    /// The requested port is already bound on this node.
+    PortInUse(u16),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Closed => f.write_str("connection closed"),
+            NetError::PortInUse(p) => write!(f, "port {p} already bound"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// First port handed out by [`Iface::bind_ephemeral`].
+pub const EPHEMERAL_BASE: u16 = 32768;
+
+struct PortTable {
+    map: BTreeMap<u16, Sender<Frame>>,
+    next_ephemeral: u16,
+}
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterParams {
+    /// Number of shared-nothing nodes.
+    pub nodes: u32,
+    /// Cost/fault model applied to every frame.
+    pub link: LinkParams,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams { nodes: 2, link: LinkParams::default() }
+    }
+}
+
+/// A cluster of shared-nothing nodes joined by a switch.
+///
+/// Must be created inside a running simulation (it spawns the switch
+/// and per-node demultiplexer daemons).
+pub struct Cluster {
+    ifaces: Vec<Iface>,
+    params: ClusterParams,
+}
+
+impl Cluster {
+    /// Builds the fabric: one switch daemon, one demux daemon and
+    /// [`Iface`] per node.
+    pub fn new(params: ClusterParams) -> Cluster {
+        assert!(params.nodes >= 1, "a cluster needs at least one node");
+        let dev = sim::system_device_core();
+        let (ingress_tx, ingress_rx) = channel::<Frame>(Capacity::Unbounded);
+
+        let mut egress_txs: Vec<Sender<Frame>> = Vec::new();
+        let mut ifaces: Vec<Iface> = Vec::new();
+        for n in 0..params.nodes {
+            let (eg_tx, eg_rx) = channel::<Frame>(Capacity::Unbounded);
+            egress_txs.push(eg_tx);
+            let ports = Rc::new(RefCell::new(PortTable {
+                map: BTreeMap::new(),
+                next_ephemeral: EPHEMERAL_BASE,
+            }));
+            // The demultiplexer: this node's share of the "hardware
+            // support for receiving messages" §4 supposes.
+            let demux_ports = Rc::clone(&ports);
+            sim::spawn_daemon_on(&format!("net-demux-{n}"), dev, async move {
+                while let Ok(frame) = eg_rx.recv().await {
+                    let dst_port = frame.header.dst_port;
+                    let target = demux_ports.borrow().map.get(&dst_port).cloned();
+                    match target {
+                        Some(tx) => {
+                            if tx.send(frame).await.is_err() {
+                                // Receiver vanished between lookup and
+                                // delivery; treat as an unbound port.
+                                sim::stat_incr("net.no_port");
+                            }
+                        }
+                        None => sim::stat_incr("net.no_port"),
+                    }
+                }
+            });
+            ifaces.push(Iface { node: NodeId(n), to_switch: ingress_tx.clone(), ports });
+        }
+
+        // The switch: prices every frame, loses and delays per the
+        // link model, and forwards to the destination node's demux.
+        let link = params.link;
+        let node_count = params.nodes;
+        sim::spawn_daemon_on("net-switch", dev, async move {
+            // Arrival horizon per ordered (src, dst) pair: with zero
+            // jitter a link is FIFO, so a small frame must not
+            // overtake a large one sent earlier on the same path.
+            let mut horizon: BTreeMap<(u32, u32), sim::Cycles> = BTreeMap::new();
+            while let Ok(frame) = ingress_rx.recv().await {
+                if frame.header.dst.0 >= node_count {
+                    sim::stat_incr("net.bad_dst");
+                    continue;
+                }
+                if link.loss > 0.0 && sim::with_rng(|r| r.chance(link.loss)) {
+                    sim::stat_incr("net.frames_lost");
+                    continue;
+                }
+                let mut delay = link.transit(frame.wire_len());
+                if link.jitter > 0 {
+                    delay += sim::with_rng(|r| r.bounded(link.jitter));
+                }
+                let mut arrival = sim::now() + delay;
+                if link.jitter == 0 {
+                    let slot = horizon
+                        .entry((frame.header.src.0, frame.header.dst.0))
+                        .or_insert(0);
+                    arrival = arrival.max(*slot);
+                    *slot = arrival;
+                }
+                let wait = arrival - sim::now();
+                let out = egress_txs[frame.header.dst.0 as usize].clone();
+                // Per-frame delivery task: frames on different paths
+                // overlap in flight; jitter can reorder even one path.
+                sim::spawn_daemon_on("net-wire", dev, async move {
+                    sim::sleep(wait).await;
+                    sim::stat_incr("net.frames_delivered");
+                    let _ = out.send(frame).await;
+                });
+            }
+        });
+
+        Cluster { ifaces, params }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.params.nodes
+    }
+
+    /// The link model in force.
+    pub fn link(&self) -> LinkParams {
+        self.params.link
+    }
+
+    /// A handle to `node`'s network interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn iface(&self, node: NodeId) -> Iface {
+        self.ifaces[node.0 as usize].clone()
+    }
+}
+
+/// One node's network interface: transmit path plus port table.
+#[derive(Clone)]
+pub struct Iface {
+    node: NodeId,
+    to_switch: Sender<Frame>,
+    ports: Rc<RefCell<PortTable>>,
+}
+
+impl Iface {
+    /// The node this interface belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Queues a frame into the fabric.
+    ///
+    /// The fabric may still lose it; "sent" only means the NIC took
+    /// it.
+    pub async fn send_frame(&self, frame: Frame) -> Result<(), NetError> {
+        sim::stat_incr("net.frames_sent");
+        self.to_switch.send(frame).await.map_err(|_| NetError::Closed)
+    }
+
+    /// Binds `port`, returning the stream of frames addressed to it.
+    pub fn bind(&self, port: u16) -> Result<Receiver<Frame>, NetError> {
+        let mut t = self.ports.borrow_mut();
+        if t.map.contains_key(&port) {
+            return Err(NetError::PortInUse(port));
+        }
+        let (tx, rx) = channel::<Frame>(Capacity::Unbounded);
+        t.map.insert(port, tx);
+        Ok(rx)
+    }
+
+    /// Binds the next free ephemeral port.
+    pub fn bind_ephemeral(&self) -> (u16, Receiver<Frame>) {
+        loop {
+            let candidate = {
+                let mut t = self.ports.borrow_mut();
+                let c = t.next_ephemeral;
+                t.next_ephemeral = t.next_ephemeral.checked_add(1).unwrap_or(EPHEMERAL_BASE);
+                c
+            };
+            if let Ok(rx) = self.bind(candidate) {
+                return (candidate, rx);
+            }
+        }
+    }
+
+    /// Releases a bound port.
+    pub fn unbind(&self, port: u16) {
+        self.ports.borrow_mut().map.remove(&port);
+    }
+}
+
+impl fmt::Debug for Iface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Iface({})", self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameKind;
+    use chanos_sim::Simulation;
+
+    fn data_frame(src: u32, dst: u32, dst_port: u16, payload: Vec<u8>) -> Frame {
+        let mut f = Frame::control(FrameKind::Data, NodeId(src), NodeId(dst));
+        f.header.dst_port = dst_port;
+        f.payload = payload;
+        f
+    }
+
+    #[test]
+    fn frame_reaches_bound_port() {
+        let mut s = Simulation::new(4);
+        s.block_on(async {
+            let cluster = Cluster::new(ClusterParams::default());
+            let rx = cluster.iface(NodeId(1)).bind(80).unwrap();
+            let a = cluster.iface(NodeId(0));
+            a.send_frame(data_frame(0, 1, 80, vec![9, 9])).await.unwrap();
+            let got = rx.recv().await.unwrap();
+            assert_eq!(got.payload, vec![9, 9]);
+            assert_eq!(got.header.src, NodeId(0));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn transit_cost_is_cluster_scale() {
+        let mut s = Simulation::new(4);
+        s.block_on(async {
+            let cluster = Cluster::new(ClusterParams::default());
+            let rx = cluster.iface(NodeId(1)).bind(80).unwrap();
+            let a = cluster.iface(NodeId(0));
+            let t0 = sim::now();
+            a.send_frame(data_frame(0, 1, 80, vec![0; 64])).await.unwrap();
+            rx.recv().await.unwrap();
+            let elapsed = sim::now() - t0;
+            assert!(elapsed >= 20_000, "cluster transit took only {elapsed} cycles");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unbound_port_counts_drop() {
+        let mut s = Simulation::new(4);
+        s.block_on(async {
+            let cluster = Cluster::new(ClusterParams::default());
+            let a = cluster.iface(NodeId(0));
+            a.send_frame(data_frame(0, 1, 4242, vec![1])).await.unwrap();
+            // Give the fabric time to deliver (and drop) it.
+            sim::sleep(100_000).await;
+            assert_eq!(sim::stat_get("net.no_port"), 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bad_destination_counted() {
+        let mut s = Simulation::new(4);
+        s.block_on(async {
+            let cluster = Cluster::new(ClusterParams { nodes: 2, ..Default::default() });
+            let a = cluster.iface(NodeId(0));
+            a.send_frame(data_frame(0, 9, 80, vec![])).await.unwrap();
+            sim::sleep(100_000).await;
+            assert_eq!(sim::stat_get("net.bad_dst"), 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_configured_fraction() {
+        let mut s = Simulation::new(4);
+        s.block_on(async {
+            let link = LinkParams { loss: 0.3, ..Default::default() };
+            let cluster = Cluster::new(ClusterParams { nodes: 2, link });
+            let rx = cluster.iface(NodeId(1)).bind(80).unwrap();
+            let a = cluster.iface(NodeId(0));
+            let total = 1000u32;
+            for _ in 0..total {
+                a.send_frame(data_frame(0, 1, 80, vec![0; 16])).await.unwrap();
+            }
+            sim::sleep(1_000_000).await;
+            let mut got = 0u32;
+            while rx.try_recv().is_ok() {
+                got += 1;
+            }
+            let lost = total - got;
+            let frac = f64::from(lost) / f64::from(total);
+            assert!(
+                (0.2..0.4).contains(&frac),
+                "expected ~30% loss, saw {frac:.2} ({lost}/{total})"
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn port_collision_rejected_and_ephemeral_advances() {
+        let mut s = Simulation::new(4);
+        s.block_on(async {
+            let cluster = Cluster::new(ClusterParams::default());
+            let iface = cluster.iface(NodeId(0));
+            let _rx = iface.bind(80).unwrap();
+            assert_eq!(iface.bind(80).unwrap_err(), NetError::PortInUse(80));
+            let (p1, _r1) = iface.bind_ephemeral();
+            let (p2, _r2) = iface.bind_ephemeral();
+            assert_ne!(p1, p2);
+            assert!(p1 >= EPHEMERAL_BASE);
+            iface.unbind(80);
+            assert!(iface.bind(80).is_ok());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn jitter_can_reorder_frames() {
+        let mut s = Simulation::with_config(chanos_sim::Config {
+            cores: 4,
+            seed: 7,
+            ..Default::default()
+        });
+        s.block_on(async {
+            let link = LinkParams { jitter: 50_000, ..Default::default() };
+            let cluster = Cluster::new(ClusterParams { nodes: 2, link });
+            let rx = cluster.iface(NodeId(1)).bind(80).unwrap();
+            let a = cluster.iface(NodeId(0));
+            for i in 0..20u8 {
+                a.send_frame(data_frame(0, 1, 80, vec![i])).await.unwrap();
+            }
+            let mut order = Vec::new();
+            for _ in 0..20 {
+                order.push(rx.recv().await.unwrap().payload[0]);
+            }
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..20).collect::<Vec<_>>(), "all frames arrive");
+            assert_ne!(order, sorted, "jitter should reorder at least one pair");
+        })
+        .unwrap();
+    }
+}

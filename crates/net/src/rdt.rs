@@ -1,0 +1,955 @@
+//! Reliable message transport over the unreliable fabric.
+//!
+//! The cluster world of §1 does not get the on-die channel's
+//! delivery guarantees for free: frames are lost and reordered, so
+//! reliability has to be built — which is exactly the machinery that
+//! makes cluster messages *middleweight* (§2). This module implements
+//! a message-oriented go-back-N protocol:
+//!
+//! * [`connect`] / [`listen`] perform a Syn/SynAck handshake; the
+//!   SynAck carries the server's fresh data port.
+//! * Messages are segmented into MTU-sized [`Frame`]s; `more` marks
+//!   continuation segments; the receiver reassembles in order.
+//! * The sender keeps a window of unacknowledged frames,
+//!   retransmitting all of them on timeout (with capped exponential
+//!   backoff); the receiver acknowledges cumulatively and discards
+//!   out-of-order frames.
+//! * A Fin consumes a sequence number; the connection ends when the
+//!   local Fin is acknowledged and the remote Fin has arrived, after
+//!   which the endpoint lingers briefly to re-acknowledge
+//!   retransmitted Fins.
+//!
+//! Sequence numbers are 32-bit and do not wrap: a connection carries
+//! at most 2³²−1 frames, far beyond any simulation here.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use chanos_csp::{after, channel, choose, Capacity, Receiver, Sender};
+use chanos_sim::{self as sim, Cycles};
+
+use crate::frame::{Frame, FrameHeader, FrameKind, NodeId};
+use crate::node::{Iface, NetError};
+
+/// Loss-recovery discipline of the transport (ablation A3 measures
+/// the difference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdtMode {
+    /// Classic go-back-N: the receiver discards out-of-order frames;
+    /// on timeout the sender retransmits its entire window.
+    GoBackN,
+    /// TCP-like hole filling: the receiver buffers up to a window of
+    /// out-of-order frames; on timeout the sender retransmits only
+    /// the oldest unacknowledged frame.
+    HoleFill,
+}
+
+/// Transport tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RdtParams {
+    /// Send window, in frames.
+    pub window: usize,
+    /// Largest payload per frame, in bytes.
+    pub mtu: usize,
+    /// Base retransmission timeout (cycles).
+    pub rto: Cycles,
+    /// Consecutive timeouts before the connection aborts.
+    pub max_retries: u32,
+    /// Syn retransmissions before [`connect`] gives up.
+    pub syn_retries: u32,
+    /// Loss-recovery discipline.
+    pub mode: RdtMode,
+}
+
+impl Default for RdtParams {
+    fn default() -> Self {
+        RdtParams {
+            window: 16,
+            mtu: 1024,
+            rto: 150_000,
+            max_retries: 20,
+            syn_retries: 8,
+            mode: RdtMode::HoleFill,
+        }
+    }
+}
+
+/// Error from [`connect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectError {
+    /// No SynAck after all retries.
+    Timeout,
+    /// The fabric has gone away.
+    Closed,
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectError::Timeout => f.write_str("connect timed out"),
+            ConnectError::Closed => f.write_str("fabric closed"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+thread_local! {
+    static NEXT_CONN: Cell<u32> = const { Cell::new(1) };
+}
+
+fn next_conn_id() -> u32 {
+    NEXT_CONN.with(|c| {
+        let v = c.get();
+        c.set(v.wrapping_add(1).max(1));
+        v
+    })
+}
+
+/// A reliable, message-oriented, bidirectional connection.
+///
+/// Dropping the `Conn` (or calling [`finish`](Conn::finish)) queues a
+/// Fin; already-queued messages are still delivered reliably.
+pub struct Conn {
+    out: RefCell<Option<Sender<Vec<u8>>>>,
+    in_rx: Receiver<Vec<u8>>,
+    peer: (NodeId, u16),
+    local_port: u16,
+}
+
+impl Conn {
+    /// Queues `msg` for reliable, in-order delivery.
+    ///
+    /// Applies backpressure when the send window is full.
+    pub async fn send(&self, msg: Vec<u8>) -> Result<(), NetError> {
+        let tx = self.out.borrow().clone();
+        match tx {
+            Some(tx) => tx.send(msg).await.map_err(|_| NetError::Closed),
+            None => Err(NetError::Closed),
+        }
+    }
+
+    /// Receives the next message; `Closed` after the peer's Fin (or
+    /// an abort) once all delivered data is drained.
+    pub async fn recv(&self) -> Result<Vec<u8>, NetError> {
+        self.in_rx.recv().await.map_err(|_| NetError::Closed)
+    }
+
+    /// Half-close: no more sends, but receiving continues.
+    pub fn finish(&self) {
+        self.out.borrow_mut().take();
+    }
+
+    /// Peer node and port.
+    pub fn peer(&self) -> (NodeId, u16) {
+        self.peer
+    }
+
+    /// Local data port.
+    pub fn local_port(&self) -> u16 {
+        self.local_port
+    }
+}
+
+impl fmt::Debug for Conn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Conn(:{} -> {}:{})", self.local_port, self.peer.0, self.peer.1)
+    }
+}
+
+/// Accepts connections on a bound port.
+pub struct Listener {
+    accept_rx: Receiver<Conn>,
+    port: u16,
+}
+
+impl Listener {
+    /// Waits for the next established connection.
+    pub async fn accept(&self) -> Result<Conn, NetError> {
+        self.accept_rx.recv().await.map_err(|_| NetError::Closed)
+    }
+
+    /// The listening port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+}
+
+/// Starts listening on `port`.
+///
+/// Spawns a daemon that answers Syns (idempotently — a retransmitted
+/// Syn gets its SynAck re-sent) and hands established [`Conn`]s to
+/// [`Listener::accept`].
+pub fn listen(iface: &Iface, port: u16, params: RdtParams) -> Result<Listener, NetError> {
+    let rx = iface.bind(port)?;
+    let (accept_tx, accept_rx) = channel::<Conn>(Capacity::Bounded(64));
+    let iface = iface.clone();
+    sim::spawn_daemon(&format!("rdt-listen-{port}"), async move {
+        // (src node, src port, conn id) -> server data port, kept so
+        // duplicate Syns re-send the same SynAck instead of opening a
+        // second connection.
+        let mut established: BTreeMap<(NodeId, u16, u32), u16> = BTreeMap::new();
+        while let Ok(syn) = rx.recv().await {
+            if syn.header.kind != FrameKind::Syn {
+                sim::stat_incr("net.listener_stray");
+                continue;
+            }
+            let key = (syn.header.src, syn.header.src_port, syn.header.conn);
+            let data_port = match established.get(&key) {
+                Some(&p) => p,
+                None => {
+                    let (data_port, drx) = iface.bind_ephemeral();
+                    established.insert(key, data_port);
+                    let conn = spawn_conn(
+                        iface.clone(),
+                        drx,
+                        data_port,
+                        (syn.header.src, syn.header.src_port),
+                        syn.header.conn,
+                        params,
+                    );
+                    if accept_tx.send(conn).await.is_err() {
+                        break; // Listener dropped.
+                    }
+                    data_port
+                }
+            };
+            let synack = Frame {
+                header: FrameHeader {
+                    kind: FrameKind::SynAck,
+                    src: iface.node(),
+                    dst: syn.header.src,
+                    src_port: data_port,
+                    dst_port: syn.header.src_port,
+                    conn: syn.header.conn,
+                    seq: 0,
+                    ack: 0,
+                    more: false,
+                },
+                payload: Vec::new(),
+            };
+            if iface.send_frame(synack).await.is_err() {
+                break;
+            }
+        }
+    });
+    Ok(Listener { accept_rx, port })
+}
+
+/// Opens a connection to `dst:dst_port`.
+///
+/// Retries the Syn up to `params.syn_retries` times, one RTO apart.
+pub async fn connect(
+    iface: &Iface,
+    dst: NodeId,
+    dst_port: u16,
+    params: RdtParams,
+) -> Result<Conn, ConnectError> {
+    let (local_port, rx) = iface.bind_ephemeral();
+    let conn_id = next_conn_id();
+    let syn = Frame {
+        header: FrameHeader {
+            kind: FrameKind::Syn,
+            src: iface.node(),
+            dst,
+            src_port: local_port,
+            dst_port,
+            conn: conn_id,
+            seq: 0,
+            ack: 0,
+            more: false,
+        },
+        payload: Vec::new(),
+    };
+    let mut attempts = 0u32;
+    loop {
+        if iface.send_frame(syn.clone()).await.is_err() {
+            iface.unbind(local_port);
+            return Err(ConnectError::Closed);
+        }
+        let got = choose! {
+            f = rx.recv() => f.ok(),
+            _ = after(params.rto) => None,
+        };
+        match got {
+            Some(f) if f.header.kind == FrameKind::SynAck && f.header.conn == conn_id => {
+                let server_port = f.header.src_port;
+                return Ok(spawn_conn(
+                    iface.clone(),
+                    rx,
+                    local_port,
+                    (dst, server_port),
+                    conn_id,
+                    params,
+                ));
+            }
+            Some(_stray) => {
+                // Not our SynAck; keep waiting within this attempt.
+                sim::stat_incr("net.connect_stray");
+            }
+            None => {
+                attempts += 1;
+                sim::stat_incr("net.syn_retransmits");
+                if attempts > params.syn_retries {
+                    iface.unbind(local_port);
+                    return Err(ConnectError::Timeout);
+                }
+            }
+        }
+    }
+}
+
+/// What the connection daemon's `choose!` produced.
+enum Event {
+    Net(Option<Frame>),
+    App(Option<Vec<u8>>),
+    Timeout,
+}
+
+struct ConnState {
+    iface: Iface,
+    local_port: u16,
+    peer: (NodeId, u16),
+    conn_id: u32,
+    params: RdtParams,
+    // Send side.
+    next_seq: u32,
+    send_base: u32,
+    unsent: VecDeque<Frame>,
+    inflight: VecDeque<Frame>,
+    rto_deadline: Option<Cycles>,
+    retries: u32,
+    app_closed: bool,
+    fin_queued: bool,
+    // Receive side.
+    expected: u32,
+    partial: Vec<u8>,
+    remote_fin: bool,
+    deliver: Option<Sender<Vec<u8>>>,
+    /// Out-of-order frames held for reassembly (`rx_buffer` mode).
+    rx_held: BTreeMap<u32, Frame>,
+}
+
+impl ConnState {
+    fn header(&self, kind: FrameKind, seq: u32, more: bool) -> FrameHeader {
+        FrameHeader {
+            kind,
+            src: self.iface.node(),
+            dst: self.peer.0,
+            src_port: self.local_port,
+            dst_port: self.peer.1,
+            conn: self.conn_id,
+            seq,
+            ack: self.expected,
+            more,
+        }
+    }
+
+    /// Segments one application message into Data frames.
+    fn queue_message(&mut self, msg: Vec<u8>) {
+        sim::stat_incr("net.msgs_queued");
+        let chunks: Vec<&[u8]> = if msg.is_empty() {
+            vec![&[][..]]
+        } else {
+            msg.chunks(self.params.mtu.max(1)).collect()
+        };
+        let last = chunks.len() - 1;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.unsent.push_back(Frame {
+                header: self.header(FrameKind::Data, seq, i != last),
+                payload: chunk.to_vec(),
+            });
+        }
+    }
+
+    fn queue_fin(&mut self) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.unsent.push_back(Frame {
+            header: self.header(FrameKind::Fin, seq, false),
+            payload: Vec::new(),
+        });
+        self.fin_queued = true;
+    }
+
+    /// True when our Fin has been sent and acknowledged.
+    fn fin_acked(&self) -> bool {
+        self.fin_queued && self.unsent.is_empty() && self.inflight.is_empty()
+    }
+
+    async fn send_ack(&self) {
+        let ack = Frame {
+            header: self.header(FrameKind::Ack, 0, false),
+            payload: Vec::new(),
+        };
+        sim::stat_incr("net.acks_sent");
+        let _ = self.iface.send_frame(ack).await;
+    }
+
+    /// Consumes one exactly-in-order Data or Fin frame.
+    async fn accept_in_order(&mut self, frame: Frame) {
+        self.expected += 1;
+        if frame.header.kind == FrameKind::Data {
+            self.partial.extend_from_slice(&frame.payload);
+            if !frame.header.more {
+                let msg = std::mem::take(&mut self.partial);
+                sim::stat_incr("net.msgs_delivered");
+                if let Some(tx) = &self.deliver {
+                    if tx.send(msg).await.is_err() {
+                        // App stopped reading; keep acking so the
+                        // peer can finish cleanly.
+                        self.deliver = None;
+                    }
+                }
+            }
+        } else {
+            self.remote_fin = true;
+            self.deliver = None; // Close the delivery stream.
+        }
+    }
+
+    /// Handles one incoming frame. Returns `false` if the fabric is
+    /// unusable and the connection should abort.
+    async fn handle_frame(&mut self, frame: Frame) -> bool {
+        match frame.header.kind {
+            FrameKind::Data | FrameKind::Fin => {
+                if frame.header.seq == self.expected {
+                    self.accept_in_order(frame).await;
+                    // Drain anything buffered that is now in order.
+                    loop {
+                        let Some(next) = self.rx_held.remove(&self.expected) else { break };
+                        self.accept_in_order(next).await;
+                    }
+                } else if frame.header.seq > self.expected {
+                    let seq = frame.header.seq;
+                    if self.params.mode == RdtMode::HoleFill
+                        && self.rx_held.len() < self.params.window
+                        && !self.rx_held.contains_key(&seq)
+                    {
+                        sim::stat_incr("net.ooo_buffered");
+                        self.rx_held.insert(seq, frame);
+                    } else {
+                        sim::stat_incr("net.ooo_dropped");
+                    }
+                } else {
+                    sim::stat_incr("net.dup_frames");
+                }
+                self.send_ack().await;
+            }
+            FrameKind::Ack => {
+                if frame.header.ack > self.send_base {
+                    while self
+                        .inflight
+                        .front()
+                        .is_some_and(|f| f.header.seq < frame.header.ack)
+                    {
+                        self.inflight.pop_front();
+                    }
+                    self.send_base = frame.header.ack;
+                    self.retries = 0;
+                    self.rto_deadline = if self.inflight.is_empty() {
+                        None
+                    } else {
+                        Some(sim::now() + self.params.rto)
+                    };
+                }
+            }
+            FrameKind::SynAck => {
+                // Duplicate of the handshake (our first Ack/Data may
+                // not have reached the listener yet); harmless.
+                sim::stat_incr("net.dup_synack");
+            }
+            FrameKind::Syn => sim::stat_incr("net.conn_stray"),
+        }
+        true
+    }
+
+    /// Retransmits per the recovery discipline. Returns `false` when
+    /// the retry budget is exhausted.
+    async fn on_timeout(&mut self) -> bool {
+        self.retries += 1;
+        if self.retries > self.params.max_retries {
+            sim::stat_incr("net.conn_aborted");
+            return false;
+        }
+        match self.params.mode {
+            RdtMode::GoBackN => {
+                // The receiver discarded everything after the hole:
+                // resend the entire window.
+                sim::stat_add("net.retransmits", self.inflight.len() as u64);
+                for f in self.inflight.iter() {
+                    if self.iface.send_frame(f.clone()).await.is_err() {
+                        return false;
+                    }
+                }
+            }
+            RdtMode::HoleFill => {
+                // The receiver is holding the rest: resend only the
+                // oldest unacknowledged frame.
+                if let Some(f) = self.inflight.front() {
+                    sim::stat_incr("net.retransmits");
+                    if self.iface.send_frame(f.clone()).await.is_err() {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Capped exponential backoff.
+        let backoff = self.params.rto << self.retries.min(4);
+        self.rto_deadline = Some(sim::now() + backoff);
+        true
+    }
+
+    /// Moves frames from `unsent` into the window and transmits them.
+    async fn pump(&mut self) -> bool {
+        while self.inflight.len() < self.params.window {
+            let Some(f) = self.unsent.pop_front() else { break };
+            sim::stat_incr("net.data_sent");
+            if self.iface.send_frame(f.clone()).await.is_err() {
+                return false;
+            }
+            self.inflight.push_back(f);
+            if self.rto_deadline.is_none() {
+                self.rto_deadline = Some(sim::now() + self.params.rto);
+            }
+        }
+        true
+    }
+}
+
+fn spawn_conn(
+    iface: Iface,
+    net_rx: Receiver<Frame>,
+    local_port: u16,
+    peer: (NodeId, u16),
+    conn_id: u32,
+    params: RdtParams,
+) -> Conn {
+    let (app_out_tx, app_out_rx) = channel::<Vec<u8>>(Capacity::Bounded(params.window.max(1)));
+    let (app_in_tx, app_in_rx) = channel::<Vec<u8>>(Capacity::Unbounded);
+    let mut st = ConnState {
+        iface: iface.clone(),
+        local_port,
+        peer,
+        conn_id,
+        params,
+        next_seq: 1,
+        send_base: 1,
+        unsent: VecDeque::new(),
+        inflight: VecDeque::new(),
+        rto_deadline: None,
+        retries: 0,
+        app_closed: false,
+        fin_queued: false,
+        expected: 1,
+        partial: Vec::new(),
+        remote_fin: false,
+        deliver: Some(app_in_tx),
+        rx_held: BTreeMap::new(),
+    };
+    sim::spawn_daemon(&format!("rdt-conn-{local_port}"), async move {
+        let healthy = loop {
+            if st.fin_acked() && st.remote_fin {
+                break true; // Clean shutdown.
+            }
+            // Which choose! arms are live this iteration?
+            let want_app = !st.app_closed && st.unsent.len() < st.params.window;
+            let deadline = st.rto_deadline;
+            let event = match (want_app, deadline) {
+                (true, Some(d)) => {
+                    let wait = d.saturating_sub(sim::now()).max(1);
+                    choose! {
+                        f = net_rx.recv() => Event::Net(f.ok()),
+                        m = app_out_rx.recv() => Event::App(m.ok()),
+                        _ = after(wait) => Event::Timeout,
+                    }
+                }
+                (true, None) => choose! {
+                    f = net_rx.recv() => Event::Net(f.ok()),
+                    m = app_out_rx.recv() => Event::App(m.ok()),
+                },
+                (false, Some(d)) => {
+                    let wait = d.saturating_sub(sim::now()).max(1);
+                    choose! {
+                        f = net_rx.recv() => Event::Net(f.ok()),
+                        _ = after(wait) => Event::Timeout,
+                    }
+                }
+                (false, None) => choose! {
+                    f = net_rx.recv() => Event::Net(f.ok()),
+                },
+            };
+            let ok = match event {
+                Event::Net(None) => break false, // Fabric gone.
+                Event::Net(Some(frame)) => st.handle_frame(frame).await,
+                Event::App(None) => {
+                    st.app_closed = true;
+                    st.queue_fin();
+                    true
+                }
+                Event::App(Some(msg)) => {
+                    st.queue_message(msg);
+                    true
+                }
+                Event::Timeout => st.on_timeout().await,
+            };
+            if !ok {
+                break false;
+            }
+            if !st.pump().await {
+                break false;
+            }
+        };
+        if healthy {
+            // Linger: our final Ack may have been lost; re-ack
+            // retransmitted Fins for a few RTOs so the peer can also
+            // finish cleanly.
+            let linger_until = sim::now() + st.params.rto * 6;
+            loop {
+                let remaining = linger_until.saturating_sub(sim::now());
+                if remaining == 0 {
+                    break;
+                }
+                let again = choose! {
+                    f = net_rx.recv() => f.ok(),
+                    _ = after(remaining) => None,
+                };
+                match again {
+                    Some(f)
+                        if matches!(f.header.kind, FrameKind::Data | FrameKind::Fin) =>
+                    {
+                        st.send_ack().await;
+                    }
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+        }
+        st.iface.unbind(st.local_port);
+    });
+    Conn {
+        out: RefCell::new(Some(app_out_tx)),
+        in_rx: app_in_rx,
+        peer,
+        local_port,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkParams;
+    use crate::node::{Cluster, ClusterParams};
+    use chanos_sim::Simulation;
+
+    fn cluster(loss: f64, seed: u64) -> (Simulation, ClusterParams) {
+        let sim = Simulation::with_config(chanos_sim::Config {
+            cores: 4,
+            seed,
+            ..Default::default()
+        });
+        let link = if loss > 0.0 { LinkParams::lossy(loss) } else { LinkParams::default() };
+        (sim, ClusterParams { nodes: 2, link })
+    }
+
+    /// Echo server on node 1; client on node 0 sends `msgs` and
+    /// checks the echoes.
+    fn run_echo(loss: f64, seed: u64, msgs: Vec<Vec<u8>>) {
+        let (mut s, params) = cluster(loss, seed);
+        s.block_on(async move {
+            let cl = Cluster::new(params);
+            let server_iface = cl.iface(NodeId(1));
+            let listener = listen(&server_iface, 80, RdtParams::default()).unwrap();
+            sim::spawn_daemon("echo-server", async move {
+                while let Ok(conn) = listener.accept().await {
+                    sim::spawn_daemon("echo-conn", async move {
+                        while let Ok(msg) = conn.recv().await {
+                            if conn.send(msg).await.is_err() {
+                                break;
+                            }
+                        }
+                        conn.finish();
+                    });
+                }
+            });
+            let client_iface = cl.iface(NodeId(0));
+            let conn = connect(&client_iface, NodeId(1), 80, RdtParams::default())
+                .await
+                .expect("connect");
+            for msg in &msgs {
+                conn.send(msg.clone()).await.unwrap();
+                let echo = conn.recv().await.unwrap();
+                assert_eq!(&echo, msg, "echo must match (loss={loss})");
+            }
+            conn.finish();
+            assert_eq!(conn.recv().await, Err(NetError::Closed));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn echo_over_perfect_link() {
+        run_echo(0.0, 1, vec![b"hello".to_vec(), b"world".to_vec(), vec![], vec![7; 100]]);
+    }
+
+    #[test]
+    fn echo_with_segmentation() {
+        // 10 KiB messages split across ~10 frames each.
+        run_echo(0.0, 2, (0..4).map(|i| vec![i as u8; 10_000]).collect());
+    }
+
+    #[test]
+    fn echo_over_lossy_link() {
+        run_echo(0.15, 3, (0..10).map(|i| vec![i as u8; 200]).collect());
+    }
+
+    #[test]
+    fn pure_go_back_n_is_also_correct_under_loss() {
+        let (mut s, params) = cluster(0.2, 31);
+        s.block_on(async move {
+            let cl = Cluster::new(params);
+            let rdt = RdtParams { mode: RdtMode::GoBackN, ..Default::default() };
+            let listener = listen(&cl.iface(NodeId(1)), 80, rdt).unwrap();
+            let sink = sim::spawn(async move {
+                let conn = listener.accept().await.unwrap();
+                let mut got = Vec::new();
+                while let Ok(m) = conn.recv().await {
+                    got.push(m);
+                }
+                got
+            });
+            let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, rdt).await.unwrap();
+            for i in 0..20u8 {
+                conn.send(vec![i; 500]).await.unwrap();
+            }
+            conn.finish();
+            let got = sink.join().await.unwrap();
+            assert_eq!(got.len(), 20);
+            for (i, m) in got.iter().enumerate() {
+                assert_eq!(m, &vec![i as u8; 500]);
+            }
+            // Go-back-N never buffers out of order.
+            assert_eq!(sim::stat_get("net.ooo_buffered"), 0);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn hole_fill_buffers_instead_of_dropping() {
+        let (mut s, params) = cluster(0.2, 32);
+        s.block_on(async move {
+            let cl = Cluster::new(params);
+            let rdt = RdtParams::default(); // HoleFill.
+            let listener = listen(&cl.iface(NodeId(1)), 80, rdt).unwrap();
+            let sink = sim::spawn(async move {
+                let conn = listener.accept().await.unwrap();
+                let mut n = 0;
+                while conn.recv().await.is_ok() {
+                    n += 1;
+                }
+                n
+            });
+            let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, rdt).await.unwrap();
+            for i in 0..40u8 {
+                conn.send(vec![i; 500]).await.unwrap();
+            }
+            conn.finish();
+            assert_eq!(sink.join().await.unwrap(), 40);
+            assert!(
+                sim::stat_get("net.ooo_buffered") > 0,
+                "20% loss over 40 messages must create holes to buffer"
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn connection_aborts_when_the_link_goes_black() {
+        // 100% loss after the handshake: the sender exhausts its
+        // retries and both ends observe Closed.
+        let mut s = Simulation::with_config(chanos_sim::Config {
+            cores: 4,
+            seed: 33,
+            ..Default::default()
+        });
+        s.block_on(async move {
+            // Total loss; connect() itself would never succeed, so
+            // use a fabric that works and then rely on per-frame loss
+            // being certain afterwards. Simplest: loss=1.0 and drive
+            // connect by hand-delivering… instead, use loss high
+            // enough that the handshake (retried 8 times) almost
+            // surely succeeds but 20 data frames + 20 retries do not:
+            // loss=0.93, retries=3.
+            let link = LinkParams { loss: 0.93, ..Default::default() };
+            let cl = Cluster::new(ClusterParams { nodes: 2, link });
+            let rdt = RdtParams {
+                rto: 20_000,
+                max_retries: 3,
+                syn_retries: 200,
+                ..Default::default()
+            };
+            let listener = listen(&cl.iface(NodeId(1)), 80, rdt).unwrap();
+            sim::spawn_daemon("blackhole-sink", async move {
+                while let Ok(conn) = listener.accept().await {
+                    sim::spawn_daemon("bh-conn", async move {
+                        while conn.recv().await.is_ok() {}
+                    });
+                }
+            });
+            let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, rdt)
+                .await
+                .expect("handshake retries enough to get through");
+            for i in 0..20u8 {
+                if conn.send(vec![i; 100]).await.is_err() {
+                    break; // Window filled after the abort: expected.
+                }
+            }
+            conn.finish();
+            // Wait out the retries; the connection must abort.
+            sim::sleep(50_000_000).await;
+            assert!(
+                sim::stat_get("net.conn_aborted") >= 1,
+                "sender must give up on a black link"
+            );
+            assert_eq!(conn.recv().await, Err(NetError::Closed));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn dropping_the_listener_refuses_new_connections_eventually() {
+        let (mut s, params) = cluster(0.0, 34);
+        s.block_on(async move {
+            let cl = Cluster::new(params);
+            let fast = RdtParams { rto: 10_000, syn_retries: 2, ..Default::default() };
+            let listener = listen(&cl.iface(NodeId(1)), 80, fast).unwrap();
+            drop(listener);
+            // The listener daemon exits once its accept queue is
+            // gone; subsequent connects time out.
+            let err = connect(&cl.iface(NodeId(0)), NodeId(1), 80, fast).await;
+            // Either outcome is acceptable depending on when the
+            // daemon notices: what may NOT happen is a hang or a
+            // phantom established connection that then works.
+            if let Ok(conn) = err {
+                assert!(conn.send(vec![1]).await.is_err() || conn.recv().await.is_err());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn echo_over_very_lossy_link_with_large_messages() {
+        run_echo(0.3, 4, (0..3).map(|i| vec![i as u8; 5_000]).collect());
+    }
+
+    #[test]
+    fn retransmissions_happen_under_loss() {
+        let (mut s, params) = cluster(0.25, 5);
+        s.block_on(async move {
+            let cl = Cluster::new(params);
+            let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
+            sim::spawn_daemon("sink", async move {
+                while let Ok(conn) = listener.accept().await {
+                    sim::spawn_daemon("sink-conn", async move {
+                        while conn.recv().await.is_ok() {}
+                    });
+                }
+            });
+            let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, RdtParams::default())
+                .await
+                .unwrap();
+            for i in 0..30u8 {
+                conn.send(vec![i; 300]).await.unwrap();
+            }
+            conn.finish();
+            // Wait for the transport to finish its work.
+            sim::sleep(30_000_000).await;
+            assert!(
+                sim::stat_get("net.retransmits") > 0,
+                "25% loss must force retransmissions"
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn connect_times_out_without_listener() {
+        let (mut s, params) = cluster(0.0, 6);
+        s.block_on(async move {
+            let cl = Cluster::new(params);
+            let fast = RdtParams { rto: 10_000, syn_retries: 2, ..Default::default() };
+            let err = connect(&cl.iface(NodeId(0)), NodeId(1), 4242, fast).await.unwrap_err();
+            assert_eq!(err, ConnectError::Timeout);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn many_connections_multiplex_on_one_listener() {
+        let (mut s, params) = cluster(0.0, 7);
+        s.block_on(async move {
+            let cl = Cluster::new(params);
+            let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
+            sim::spawn_daemon("multi-server", async move {
+                while let Ok(conn) = listener.accept().await {
+                    sim::spawn_daemon("multi-conn", async move {
+                        while let Ok(msg) = conn.recv().await {
+                            let mut reply = msg;
+                            reply.push(0xAA);
+                            if conn.send(reply).await.is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+            });
+            let iface = cl.iface(NodeId(0));
+            let mut handles = Vec::new();
+            for i in 0..8u8 {
+                let iface = iface.clone();
+                handles.push(sim::spawn(async move {
+                    let conn =
+                        connect(&iface, NodeId(1), 80, RdtParams::default()).await.unwrap();
+                    conn.send(vec![i]).await.unwrap();
+                    let reply = conn.recv().await.unwrap();
+                    assert_eq!(reply, vec![i, 0xAA]);
+                }));
+            }
+            for h in handles {
+                h.join().await.unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn ordering_preserved_under_jitter_reordering() {
+        let (mut s, _) = cluster(0.0, 8);
+        s.block_on(async move {
+            let link = LinkParams { jitter: 60_000, ..Default::default() };
+            let cl = Cluster::new(ClusterParams { nodes: 2, link });
+            let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
+            let collect = sim::spawn(async move {
+                let conn = listener.accept().await.unwrap();
+                let mut got = Vec::new();
+                while let Ok(msg) = conn.recv().await {
+                    got.push(msg[0]);
+                }
+                got
+            });
+            let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, RdtParams::default())
+                .await
+                .unwrap();
+            for i in 0..50u8 {
+                conn.send(vec![i]).await.unwrap();
+            }
+            conn.finish();
+            let got = collect.join().await.unwrap();
+            assert_eq!(got, (0..50).collect::<Vec<_>>(), "delivery must be in order");
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! The message cost model: hops and bytes to cycles.
+
+use crate::topology::Topology;
+
+/// Cost parameters for hardware message delivery.
+///
+/// Calibration rationale (in cycles, loosely following published
+/// on-die interconnect numbers from the era the paper targets):
+/// a core-local handoff is tens of cycles — "comparable in scope to
+/// making a procedure call" (§3) — while cross-die delivery pays a
+/// fixed injection cost plus a couple of cycles per router hop and a
+/// per-byte serialization term.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Cost of a send/receive between tasks on the *same* core.
+    pub local: u64,
+    /// Fixed cost to inject a message into the network.
+    pub injection: u64,
+    /// Cycles per router hop.
+    pub per_hop: u64,
+    /// Cycles per payload byte (serialization + link occupancy).
+    pub per_byte: u64,
+    /// Hop count assumed for device pseudo-cores (DMA engines and
+    /// device models live "one memory controller away").
+    pub device_hops: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            local: 20,
+            injection: 30,
+            per_hop: 4,
+            per_byte: 1,
+            device_hops: 4,
+        }
+    }
+}
+
+impl CostModel {
+    /// Transit cycles for `bytes` of payload from core `from` to core
+    /// `to`, where core indices `>= topo.cores()` denote device
+    /// pseudo-cores.
+    pub fn transit(&self, topo: &dyn Topology, from: usize, to: usize, bytes: usize) -> u64 {
+        if from == to {
+            return self.local + self.per_byte * bytes as u64;
+        }
+        let n = topo.cores();
+        let hops = if from >= n || to >= n {
+            self.device_hops
+        } else {
+            topo.hops(from, to)
+        };
+        self.injection + self.per_hop * u64::from(hops) + self.per_byte * bytes as u64
+    }
+
+    /// Hop count between two cores under this model (device cores
+    /// report `device_hops`).
+    pub fn hops(&self, topo: &dyn Topology, from: usize, to: usize) -> u32 {
+        let n = topo.cores();
+        if from == to {
+            0
+        } else if from >= n || to >= n {
+            self.device_hops
+        } else {
+            topo.hops(from, to)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Mesh2D;
+
+    #[test]
+    fn local_is_cheapest() {
+        let m = CostModel::default();
+        let topo = Mesh2D::new(8, 8);
+        let local = m.transit(&topo, 5, 5, 16);
+        let remote = m.transit(&topo, 0, 63, 16);
+        assert!(local < remote);
+    }
+
+    #[test]
+    fn cost_grows_with_distance() {
+        let m = CostModel::default();
+        let topo = Mesh2D::new(8, 8);
+        let near = m.transit(&topo, 0, 1, 16);
+        let far = m.transit(&topo, 0, 63, 16);
+        assert!(near < far);
+        assert_eq!(far - near, u64::from(topo.hops(0, 63) - 1) * m.per_hop);
+    }
+
+    #[test]
+    fn cost_grows_with_size() {
+        let m = CostModel::default();
+        let topo = Mesh2D::new(4, 4);
+        let small = m.transit(&topo, 0, 15, 8);
+        let big = m.transit(&topo, 0, 15, 4096);
+        assert_eq!(big - small, (4096 - 8) * m.per_byte);
+    }
+
+    #[test]
+    fn device_cores_use_fixed_hops() {
+        let m = CostModel::default();
+        let topo = Mesh2D::new(4, 4);
+        // Core 20 is beyond the 16-core mesh: a device core.
+        assert_eq!(m.hops(&topo, 3, 20), m.device_hops);
+        assert_eq!(m.hops(&topo, 20, 3), m.device_hops);
+    }
+
+    #[test]
+    fn zero_byte_local_message_costs_local() {
+        let m = CostModel::default();
+        let topo = Mesh2D::new(2, 2);
+        assert_eq!(m.transit(&topo, 1, 1, 0), m.local);
+    }
+}

@@ -1,0 +1,294 @@
+//! Interconnect topologies.
+//!
+//! A topology maps a pair of cores to a hop count; the
+//! [`crate::CostModel`] turns hops and message size into cycles. The
+//! paper (§4) assumes "future hardware will have native support for
+//! sending and receiving messages"; distance-dependent delivery cost
+//! is the property the proposed OS architecture must live with, and
+//! the one the placement experiment (E9) exercises.
+
+/// A network-on-chip topology over `cores` cores.
+pub trait Topology {
+    /// Number of cores the topology connects.
+    fn cores(&self) -> usize;
+
+    /// Hop count between two cores; zero when `a == b`.
+    fn hops(&self, a: usize, b: usize) -> u32;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Largest hop count between any two cores.
+    fn diameter(&self) -> u32 {
+        let n = self.cores();
+        let mut d = 0;
+        for a in 0..n {
+            for b in 0..n {
+                d = d.max(self.hops(a, b));
+            }
+        }
+        d
+    }
+}
+
+/// A shared bus: every remote access is one hop.
+///
+/// Models small-scale SMPs (the "four- and six-core boxes" of §1).
+#[derive(Debug, Clone)]
+pub struct Bus {
+    cores: usize,
+}
+
+impl Bus {
+    /// Creates a bus connecting `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0);
+        Bus { cores }
+    }
+}
+
+impl Topology for Bus {
+    fn cores(&self) -> usize {
+        self.cores
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        u32::from(a != b)
+    }
+    fn name(&self) -> &'static str {
+        "bus"
+    }
+}
+
+/// A bidirectional ring.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    cores: usize,
+}
+
+impl Ring {
+    /// Creates a ring of `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0);
+        Ring { cores }
+    }
+}
+
+impl Topology for Ring {
+    fn cores(&self) -> usize {
+        self.cores
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        let n = self.cores;
+        let d = a.abs_diff(b) % n;
+        d.min(n - d) as u32
+    }
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+}
+
+/// A 2D mesh with X-Y (dimension-ordered) routing.
+///
+/// The default topology for the large-core-count experiments: this is
+/// what tiled many-core chips (Tilera, Intel SCC, KNL) shipped.
+#[derive(Debug, Clone)]
+pub struct Mesh2D {
+    width: usize,
+    height: usize,
+}
+
+impl Mesh2D {
+    /// Creates a `width x height` mesh.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        Mesh2D { width, height }
+    }
+
+    /// Creates a near-square mesh with at least `cores` cores.
+    pub fn square_for(cores: usize) -> Self {
+        assert!(cores > 0);
+        let side = (cores as f64).sqrt().ceil() as usize;
+        let height = cores.div_ceil(side);
+        Mesh2D::new(side, height)
+    }
+
+    fn coords(&self, c: usize) -> (usize, usize) {
+        (c % self.width, c / self.width)
+    }
+}
+
+impl Topology for Mesh2D {
+    fn cores(&self) -> usize {
+        self.width * self.height
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+    }
+    fn name(&self) -> &'static str {
+        "mesh2d"
+    }
+}
+
+/// A 2D torus (mesh with wraparound links).
+#[derive(Debug, Clone)]
+pub struct Torus2D {
+    width: usize,
+    height: usize,
+}
+
+impl Torus2D {
+    /// Creates a `width x height` torus.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        Torus2D { width, height }
+    }
+
+    fn coords(&self, c: usize) -> (usize, usize) {
+        (c % self.width, c / self.width)
+    }
+}
+
+impl Topology for Torus2D {
+    fn cores(&self) -> usize {
+        self.width * self.height
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let dx = ax.abs_diff(bx);
+        let dy = ay.abs_diff(by);
+        (dx.min(self.width - dx) + dy.min(self.height - dy)) as u32
+    }
+    fn name(&self) -> &'static str {
+        "torus2d"
+    }
+}
+
+/// A full crossbar: one hop between any two distinct cores.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    cores: usize,
+}
+
+impl Crossbar {
+    /// Creates a crossbar connecting `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0);
+        Crossbar { cores }
+    }
+}
+
+impl Topology for Crossbar {
+    fn cores(&self) -> usize {
+        self.cores
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        u32::from(a != b)
+    }
+    fn name(&self) -> &'static str {
+        "crossbar"
+    }
+}
+
+/// A hypercube of dimension `dim` (2^dim cores); hop count is the
+/// Hamming distance between core ids.
+#[derive(Debug, Clone)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Creates a hypercube with `2^dim` cores.
+    pub fn new(dim: u32) -> Self {
+        assert!(dim < 32);
+        Hypercube { dim }
+    }
+}
+
+impl Topology for Hypercube {
+    fn cores(&self) -> usize {
+        1usize << self.dim
+    }
+    fn hops(&self, a: usize, b: usize) -> u32 {
+        (a ^ b).count_ones()
+    }
+    fn name(&self) -> &'static str {
+        "hypercube"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_metric(t: &dyn Topology) {
+        let n = t.cores().min(32);
+        for a in 0..n {
+            assert_eq!(t.hops(a, a), 0, "{}: self-distance", t.name());
+            for b in 0..n {
+                assert_eq!(
+                    t.hops(a, b),
+                    t.hops(b, a),
+                    "{}: symmetry {a}<->{b}",
+                    t.name()
+                );
+                if a != b {
+                    assert!(t.hops(a, b) >= 1, "{}: distinct cores 1+ hop", t.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_topologies_are_metrics() {
+        check_metric(&Bus::new(16));
+        check_metric(&Ring::new(16));
+        check_metric(&Mesh2D::new(4, 4));
+        check_metric(&Torus2D::new(4, 4));
+        check_metric(&Crossbar::new(16));
+        check_metric(&Hypercube::new(4));
+    }
+
+    #[test]
+    fn ring_takes_shortest_way_around() {
+        let r = Ring::new(10);
+        assert_eq!(r.hops(0, 9), 1);
+        assert_eq!(r.hops(0, 5), 5);
+        assert_eq!(r.hops(2, 8), 4);
+    }
+
+    #[test]
+    fn mesh_is_manhattan() {
+        let m = Mesh2D::new(4, 4);
+        assert_eq!(m.hops(0, 15), 6); // (0,0) -> (3,3)
+        assert_eq!(m.hops(0, 3), 3);
+        assert_eq!(m.hops(5, 6), 1);
+        assert_eq!(m.diameter(), 6);
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let t = Torus2D::new(4, 4);
+        assert_eq!(t.hops(0, 3), 1); // Wraps in x.
+        assert_eq!(t.hops(0, 12), 1); // Wraps in y.
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn hypercube_is_hamming() {
+        let h = Hypercube::new(4);
+        assert_eq!(h.cores(), 16);
+        assert_eq!(h.hops(0b0000, 0b1111), 4);
+        assert_eq!(h.hops(0b0101, 0b0100), 1);
+    }
+
+    #[test]
+    fn square_for_covers_requested_cores() {
+        for n in [1, 2, 5, 16, 64, 100, 1000] {
+            let m = Mesh2D::square_for(n);
+            assert!(m.cores() >= n, "square_for({n}) gave {}", m.cores());
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! MPMC channels over real threads, with the same semantics as the
+//! simulator channels: rendezvous / bounded / unbounded capacities,
+//! cancel-safe futures (usable as `choose!` arms), close on either
+//! side.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+/// Buffering discipline of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Capacity {
+    /// No buffer: send completes when a receiver takes the value.
+    Rendezvous,
+    /// Fixed-depth buffer with backpressure.
+    Bounded(usize),
+    /// Unlimited buffer: send never waits.
+    Unbounded,
+}
+
+/// Error returned by `send`; the value comes back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendError<T> {
+    /// Channel closed or all receivers dropped.
+    Closed(T),
+}
+
+impl<T> SendError<T> {
+    /// Recovers the unsent value.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendError::Closed(v) => v,
+        }
+    }
+}
+
+/// Error returned by `recv`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// Channel closed and drained.
+    Closed,
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+struct RecvWaiter {
+    id: u64,
+    waker: Waker,
+}
+
+struct SendEntry<T> {
+    id: u64,
+    waker: Waker,
+    /// Rendezvous: the parked value. `None` for bounded space-waiters.
+    value: Option<T>,
+    /// Set when a receiver takes a rendezvous value.
+    taken: bool,
+}
+
+struct State<T> {
+    cap: Capacity,
+    queue: VecDeque<T>,
+    recv_waiters: VecDeque<RecvWaiter>,
+    send_waiters: VecDeque<SendEntry<T>>,
+    senders: usize,
+    receivers: usize,
+    closed: bool,
+}
+
+impl<T> State<T> {
+    fn wake_one_recv(&mut self) {
+        if let Some(w) = self.recv_waiters.pop_front() {
+            w.waker.wake();
+        }
+    }
+
+    fn wake_one_send(&mut self) {
+        if let Some(e) = self.send_waiters.front() {
+            e.waker.wake_by_ref();
+        }
+    }
+
+    fn wake_everyone(&mut self) {
+        for w in self.recv_waiters.drain(..) {
+            w.waker.wake();
+        }
+        for e in self.send_waiters.iter() {
+            e.waker.wake_by_ref();
+        }
+    }
+
+    fn drained_shut(&self) -> bool {
+        (self.closed || self.senders == 0)
+            && self.queue.is_empty()
+            && self.send_waiters.iter().all(|e| e.value.is_none())
+    }
+
+    fn send_shut(&self) -> bool {
+        self.closed || self.receivers == 0
+    }
+}
+
+type Shared<T> = Arc<Mutex<State<T>>>;
+
+/// Creates a channel of the given capacity.
+pub fn channel<T: Send>(cap: Capacity) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Mutex::new(State {
+        cap,
+        queue: VecDeque::new(),
+        recv_waiters: VecDeque::new(),
+        send_waiters: VecDeque::new(),
+        senders: 1,
+        receivers: 1,
+        closed: false,
+    }));
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Sending endpoint; clone freely across tasks and threads.
+pub struct Sender<T> {
+    shared: Shared<T>,
+}
+
+/// Receiving endpoint; clone freely across tasks and threads.
+pub struct Receiver<T> {
+    shared: Shared<T>,
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.lock();
+        f.debug_struct("Sender")
+            .field("queued", &st.queue.len())
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.lock();
+        f.debug_struct("Receiver")
+            .field("queued", &st.queue.len())
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            st.wake_everyone();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            st.wake_everyone();
+        }
+    }
+}
+
+impl<T: Send> Sender<T> {
+    /// Sends a value according to the channel discipline.
+    pub fn send(&self, value: T) -> SendFut<'_, T> {
+        SendFut {
+            shared: &self.shared,
+            value: Some(value),
+            entry_id: None,
+        }
+    }
+
+    /// Attempts a non-waiting send.
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        let mut st = self.shared.lock();
+        if st.send_shut() {
+            return Err(value);
+        }
+        match st.cap {
+            Capacity::Unbounded => {
+                st.queue.push_back(value);
+                st.wake_one_recv();
+                Ok(())
+            }
+            Capacity::Bounded(n) => {
+                if st.queue.len() < n {
+                    st.queue.push_back(value);
+                    st.wake_one_recv();
+                    Ok(())
+                } else {
+                    Err(value)
+                }
+            }
+            Capacity::Rendezvous => {
+                if st.recv_waiters.is_empty() {
+                    Err(value)
+                } else {
+                    st.queue.push_back(value);
+                    st.wake_one_recv();
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Closes the channel.
+    pub fn close(&self) {
+        let mut st = self.shared.lock();
+        st.closed = true;
+        st.wake_everyone();
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Receives the next value.
+    pub fn recv(&self) -> RecvFut<'_, T> {
+        RecvFut {
+            shared: &self.shared,
+            waiter_id: None,
+        }
+    }
+
+    /// Attempts a non-waiting receive.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.shared.lock();
+        if let Some(v) = st.queue.pop_front() {
+            st.wake_one_send();
+            return Some(v);
+        }
+        // Rendezvous: take from a parked sender.
+        let taken = take_from_parked_sender(&mut st);
+        taken
+    }
+
+    /// Closes the channel.
+    pub fn close(&self) {
+        let mut st = self.shared.lock();
+        st.closed = true;
+        st.wake_everyone();
+    }
+}
+
+fn take_from_parked_sender<T>(st: &mut State<T>) -> Option<T> {
+    for e in st.send_waiters.iter_mut() {
+        if let Some(v) = e.value.take() {
+            e.taken = true;
+            e.waker.wake_by_ref();
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Future returned by [`Sender::send`]; cancel-safe.
+pub struct SendFut<'a, T> {
+    shared: &'a Shared<T>,
+    value: Option<T>,
+    entry_id: Option<u64>,
+}
+
+impl<T> Unpin for SendFut<'_, T> {}
+
+impl<T: Send> Future for SendFut<'_, T> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = &mut *self;
+        let mut st = this.shared.lock();
+
+        // Registered already?
+        if let Some(id) = this.entry_id {
+            let pos = st.send_waiters.iter().position(|e| e.id == id);
+            match pos {
+                None => {
+                    // Entry vanished: only possible after rendezvous
+                    // take-and-remove... we never remove, so absent
+                    // means a racing cleanup; treat as closed.
+                    return Poll::Ready(Err(SendError::Closed(
+                        this.value.take().expect("value retained"),
+                    )));
+                }
+                Some(i) => {
+                    if st.send_waiters[i].taken {
+                        st.send_waiters.remove(i);
+                        this.entry_id = None;
+                        return Poll::Ready(Ok(()));
+                    }
+                    if st.send_shut() {
+                        let mut e = st.send_waiters.remove(i).expect("present");
+                        this.entry_id = None;
+                        let v = e
+                            .value
+                            .take()
+                            .or_else(|| this.value.take())
+                            .expect("waiting send holds its value");
+                        return Poll::Ready(Err(SendError::Closed(v)));
+                    }
+                    // Bounded space-waiter: retry the commit.
+                    if let Capacity::Bounded(n) = st.cap {
+                        if st.queue.len() < n {
+                            let v = this.value.take().expect("bounded keeps value in future");
+                            st.queue.push_back(v);
+                            st.send_waiters.remove(i);
+                            this.entry_id = None;
+                            st.wake_one_recv();
+                            return Poll::Ready(Ok(()));
+                        }
+                    }
+                    // Refresh the waker and keep waiting.
+                    st.send_waiters[i].waker = cx.waker().clone();
+                    return Poll::Pending;
+                }
+            }
+        }
+
+        if st.send_shut() {
+            return Poll::Ready(Err(SendError::Closed(
+                this.value.take().expect("unsent value present"),
+            )));
+        }
+        match st.cap {
+            Capacity::Unbounded => {
+                st.queue
+                    .push_back(this.value.take().expect("unsent value present"));
+                st.wake_one_recv();
+                Poll::Ready(Ok(()))
+            }
+            Capacity::Bounded(n) => {
+                if st.queue.len() < n {
+                    st.queue
+                        .push_back(this.value.take().expect("unsent value present"));
+                    st.wake_one_recv();
+                    Poll::Ready(Ok(()))
+                } else {
+                    let id = fresh_id();
+                    st.send_waiters.push_back(SendEntry {
+                        id,
+                        waker: cx.waker().clone(),
+                        value: None,
+                        taken: false,
+                    });
+                    this.entry_id = Some(id);
+                    Poll::Pending
+                }
+            }
+            Capacity::Rendezvous => {
+                if !st.recv_waiters.is_empty() {
+                    // Hand off through the queue; the woken receiver
+                    // takes it.
+                    st.queue
+                        .push_back(this.value.take().expect("unsent value present"));
+                    st.wake_one_recv();
+                    return Poll::Ready(Ok(()));
+                }
+                let id = fresh_id();
+                st.send_waiters.push_back(SendEntry {
+                    id,
+                    waker: cx.waker().clone(),
+                    value: Some(this.value.take().expect("unsent value present")),
+                    taken: false,
+                });
+                this.entry_id = Some(id);
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<T> Drop for SendFut<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.entry_id {
+            let mut st = self.shared.lock();
+            st.send_waiters.retain(|e| e.id != id);
+        }
+    }
+}
+
+/// Future returned by [`Receiver::recv`]; cancel-safe.
+pub struct RecvFut<'a, T> {
+    shared: &'a Shared<T>,
+    waiter_id: Option<u64>,
+}
+
+impl<T> Unpin for RecvFut<'_, T> {}
+
+impl<T: Send> Future for RecvFut<'_, T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = &mut *self;
+        let mut st = this.shared.lock();
+        if let Some(v) = st.queue.pop_front() {
+            deregister_recv(&mut st, &mut this.waiter_id);
+            st.wake_one_send();
+            return Poll::Ready(Ok(v));
+        }
+        if let Some(v) = take_from_parked_sender(&mut st) {
+            deregister_recv(&mut st, &mut this.waiter_id);
+            return Poll::Ready(Ok(v));
+        }
+        if st.drained_shut() {
+            deregister_recv(&mut st, &mut this.waiter_id);
+            return Poll::Ready(Err(RecvError::Closed));
+        }
+        match this.waiter_id {
+            Some(id) => {
+                if let Some(w) = st.recv_waiters.iter_mut().find(|w| w.id == id) {
+                    w.waker = cx.waker().clone();
+                } else {
+                    // We were popped by a wake that raced with this
+                    // poll finding nothing; re-register.
+                    let id = fresh_id();
+                    st.recv_waiters.push_back(RecvWaiter {
+                        id,
+                        waker: cx.waker().clone(),
+                    });
+                    this.waiter_id = Some(id);
+                }
+            }
+            None => {
+                let id = fresh_id();
+                st.recv_waiters.push_back(RecvWaiter {
+                    id,
+                    waker: cx.waker().clone(),
+                });
+                this.waiter_id = Some(id);
+            }
+        }
+        Poll::Pending
+    }
+}
+
+fn deregister_recv<T>(st: &mut State<T>, waiter_id: &mut Option<u64>) {
+    if let Some(id) = waiter_id.take() {
+        st.recv_waiters.retain(|w| w.id != id);
+    }
+}
+
+impl<T> Drop for RecvFut<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.waiter_id {
+            let mut st = self.shared.lock();
+            st.recv_waiters.retain(|w| w.id != id);
+            // Pass the baton if work remains for other waiters.
+            if !st.queue.is_empty() {
+                st.wake_one_recv();
+            }
+        }
+    }
+}

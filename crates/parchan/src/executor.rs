@@ -1,0 +1,427 @@
+//! An M:N executor: lightweight tasks over a pool of worker threads
+//! with work stealing.
+//!
+//! This is the §3 model on *real* hardware: `start { foo(); }` is
+//! [`Runtime::spawn`], threads are cheap (a heap allocation, not a
+//! stack and a kernel object), and all communication happens through
+//! the channels in [`crate::chan`].
+
+use std::future::Future;
+use std::panic::{self, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+/// Task lifecycle states (see `TaskCell::state`).
+const IDLE: u8 = 0;
+const SCHEDULED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const COMPLETE: u8 = 4;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+struct TaskCell {
+    future: Mutex<Option<BoxFuture>>,
+    state: AtomicU8,
+    rt: std::sync::Weak<RtInner>,
+}
+
+impl Wake for TaskCell {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, SCHEDULED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        if let Some(rt) = self.rt.upgrade() {
+                            rt.injector.push(self.clone());
+                            rt.unpark_one();
+                        }
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already notified, or finished.
+                SCHEDULED | NOTIFIED | COMPLETE => return,
+                _ => unreachable!("invalid task state"),
+            }
+        }
+    }
+}
+
+struct RtInner {
+    injector: Injector<Arc<TaskCell>>,
+    stealers: Vec<Stealer<Arc<TaskCell>>>,
+    sleep_lock: Mutex<usize>,
+    sleep_cv: Condvar,
+    shutdown: AtomicBool,
+    live_tasks: AtomicUsize,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl RtInner {
+    fn unpark_one(&self) {
+        let sleepers = self.sleep_lock.lock();
+        if *sleepers > 0 {
+            self.sleep_cv.notify_one();
+        }
+    }
+
+    fn unpark_all(&self) {
+        let _g = self.sleep_lock.lock();
+        self.sleep_cv.notify_all();
+    }
+}
+
+/// A handle to the runtime; clone freely, spawn from any thread.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RtInner>,
+    threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Runtime {
+    /// Starts a runtime with `workers` OS worker threads.
+    pub fn new(workers: usize) -> Runtime {
+        assert!(workers > 0);
+        let locals: Vec<Worker<Arc<TaskCell>>> =
+            (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers = locals.iter().map(|w| w.stealer()).collect();
+        let inner = Arc::new(RtInner {
+            injector: Injector::new(),
+            stealers,
+            sleep_lock: Mutex::new(0),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            live_tasks: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let mut threads = Vec::with_capacity(workers);
+        for (i, local) in locals.into_iter().enumerate() {
+            let rt = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("parchan-worker{i}"))
+                    .spawn(move || worker_loop(rt, local, i))
+                    .expect("spawn worker thread"),
+            );
+        }
+        Runtime {
+            inner,
+            threads: Arc::new(Mutex::new(threads)),
+        }
+    }
+
+    /// Starts a runtime with one worker per available CPU.
+    pub fn new_per_core() -> Runtime {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        Runtime::new(n)
+    }
+
+    /// Spawns a lightweight task; returns a handle to its result.
+    pub fn spawn<T, F>(&self, fut: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: Future<Output = T> + Send + 'static,
+    {
+        let join = Arc::new(JoinState {
+            slot: Mutex::new(JoinSlot {
+                result: None,
+                waiters: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+        let join2 = join.clone();
+        let rt = self.inner.clone();
+        let wrapped = async move {
+            let out = AssertUnwindSafe(fut).catch_unwind_lite().await;
+            let mut slot = join2.slot.lock();
+            slot.result = Some(out);
+            let waiters = std::mem::take(&mut slot.waiters);
+            drop(slot);
+            join2.cv.notify_all();
+            for w in waiters {
+                w.wake();
+            }
+            rt.live_tasks.fetch_sub(1, Ordering::AcqRel);
+            let _g = rt.idle_lock.lock();
+            rt.idle_cv.notify_all();
+        };
+        self.inner.live_tasks.fetch_add(1, Ordering::AcqRel);
+        let cell = Arc::new(TaskCell {
+            future: Mutex::new(Some(Box::pin(wrapped))),
+            state: AtomicU8::new(SCHEDULED),
+            rt: Arc::downgrade(&self.inner),
+        });
+        self.inner.injector.push(cell);
+        self.inner.unpark_one();
+        JoinHandle { state: join }
+    }
+
+    /// Drives a future on the calling thread until it completes,
+    /// while workers run spawned tasks.
+    pub fn block_on<T, F: Future<Output = T>>(&self, fut: F) -> T {
+        let parker = Arc::new(ThreadParker {
+            thread: std::thread::current(),
+            notified: AtomicBool::new(false),
+        });
+        let waker = Waker::from(parker.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = std::pin::pin!(fut);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => {
+                    while !parker.notified.swap(false, Ordering::AcqRel) {
+                        std::thread::park();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocks the calling thread until no live tasks remain.
+    pub fn wait_idle(&self) {
+        let mut g = self.inner.idle_lock.lock();
+        while self.inner.live_tasks.load(Ordering::Acquire) > 0 {
+            self.inner.idle_cv.wait(&mut g);
+        }
+    }
+
+    /// Shuts the runtime down, joining all workers. Live tasks are
+    /// abandoned.
+    pub fn shutdown(self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.unpark_all();
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+struct ThreadParker {
+    thread: std::thread::Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadParker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+fn worker_loop(rt: Arc<RtInner>, local: Worker<Arc<TaskCell>>, me: usize) {
+    loop {
+        if rt.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let task = local.pop().or_else(|| find_work(&rt, &local, me));
+        let Some(task) = task else {
+            // Park until someone pushes work.
+            let mut sleepers = rt.sleep_lock.lock();
+            // Re-check with the lock held to avoid lost wakeups.
+            if !rt.injector.is_empty() || rt.shutdown.load(Ordering::Acquire) {
+                continue;
+            }
+            *sleepers += 1;
+            rt.sleep_cv.wait(&mut sleepers);
+            *sleepers -= 1;
+            continue;
+        };
+        run_task(task, &local);
+    }
+}
+
+fn find_work(
+    rt: &Arc<RtInner>,
+    local: &Worker<Arc<TaskCell>>,
+    me: usize,
+) -> Option<Arc<TaskCell>> {
+    // Injector first, then steal from siblings.
+    loop {
+        match rt.injector.steal_batch_and_pop(local) {
+            Steal::Success(t) => return Some(t),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    for (i, s) in rt.stealers.iter().enumerate() {
+        if i == me {
+            continue;
+        }
+        loop {
+            match s.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+fn run_task(task: Arc<TaskCell>, local: &Worker<Arc<TaskCell>>) {
+    task.state.store(RUNNING, Ordering::Release);
+    let waker = Waker::from(task.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = {
+        let mut slot = task.future.lock();
+        match slot.take() {
+            Some(f) => f,
+            None => return, // Completed elsewhere.
+        }
+    };
+    let poll = panic::catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+    match poll {
+        Ok(Poll::Ready(())) | Err(_) => {
+            // Panics are surfaced through the JoinHandle by the
+            // catch in the wrapper; a panic reaching here means the
+            // wrapper itself failed, which we treat as completion.
+            task.state.store(COMPLETE, Ordering::Release);
+        }
+        Ok(Poll::Pending) => {
+            *task.future.lock() = Some(fut);
+            // Were we woken during the poll?
+            match task.state.compare_exchange(
+                RUNNING,
+                IDLE,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {}
+                Err(NOTIFIED) => {
+                    task.state.store(SCHEDULED, Ordering::Release);
+                    local.push(task);
+                }
+                Err(s) => unreachable!("bad state after poll: {s}"),
+            }
+        }
+    }
+}
+
+struct JoinSlot<T> {
+    result: Option<Result<T, Panicked>>,
+    waiters: Vec<Waker>,
+}
+
+struct JoinState<T> {
+    slot: Mutex<JoinSlot<T>>,
+    cv: Condvar,
+}
+
+/// A task failed with a panic; carries the panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Panicked(pub String);
+
+impl std::fmt::Display for Panicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.0)
+    }
+}
+
+impl std::error::Error for Panicked {}
+
+/// Handle to a spawned task's result.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks the calling OS thread until the task finishes.
+    pub fn join_blocking(self) -> Result<T, Panicked> {
+        let mut slot = self.state.slot.lock();
+        loop {
+            if let Some(r) = slot.result.take() {
+                return r;
+            }
+            self.state.cv.wait(&mut slot);
+        }
+    }
+
+    /// Awaits the task's completion from another task.
+    pub async fn join(self) -> Result<T, Panicked> {
+        std::future::poll_fn(move |cx| {
+            let mut slot = self.state.slot.lock();
+            if let Some(r) = slot.result.take() {
+                return Poll::Ready(r);
+            }
+            if !slot.waiters.iter().any(|w| w.will_wake(cx.waker())) {
+                slot.waiters.push(cx.waker().clone());
+            }
+            Poll::Pending
+        })
+        .await
+    }
+
+    /// Returns `true` once the task has finished.
+    pub fn is_finished(&self) -> bool {
+        self.state.slot.lock().result.is_some()
+    }
+}
+
+/// Minimal catch-unwind for futures (poll-level catch), avoiding a
+/// dependency on the `futures` crate.
+trait CatchUnwindLite: Future + Sized {
+    fn catch_unwind_lite(self) -> CatchUnwind<Self> {
+        CatchUnwind { inner: self }
+    }
+}
+
+impl<F: Future> CatchUnwindLite for AssertUnwindSafe<F> {}
+
+struct CatchUnwind<F> {
+    inner: F,
+}
+
+impl<F: Future> Future for CatchUnwind<AssertUnwindSafe<F>> {
+    type Output = Result<F::Output, Panicked>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning of the only field; we never move
+        // it after this projection.
+        let inner = unsafe { self.map_unchecked_mut(|s| &mut s.inner.0) };
+        match panic::catch_unwind(AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(payload) => {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "unknown panic payload".to_string()
+                };
+                Poll::Ready(Err(Panicked(msg)))
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # chanos-parchan — the channels model on real threads
+//!
+//! The simulator runtime (`chanos-csp`) demonstrates the paper's
+//! model at hundreds of cores; this crate is the same programming
+//! model on the machine you actually have, so the library is usable
+//! outside experiments and so microbenchmark E1 ("a send is
+//! comparable in scope to a procedure call") can run on real
+//! hardware:
+//!
+//! * [`Runtime`] — M:N scheduling of lightweight tasks over a
+//!   work-stealing OS thread pool (`start { foo(); }`).
+//! * [`channel`] — MPMC channels with rendezvous / bounded /
+//!   unbounded send, identical semantics to the simulator's.
+//! * [`choose!`] — the same macro; arms are cancel-safe here too.
+//! * [`after`] — wall-clock timeouts for `choose!`.
+//!
+//! ## Example
+//!
+//! ```
+//! use chanos_parchan::{channel, Capacity, Runtime};
+//!
+//! let rt = Runtime::new(4);
+//! let (tx, rx) = channel::<u32>(Capacity::Unbounded);
+//! let consumer = rt.spawn(async move {
+//!     let mut sum = 0;
+//!     while let Ok(v) = rx.recv().await {
+//!         sum += v;
+//!     }
+//!     sum
+//! });
+//! rt.block_on(async move {
+//!     for i in 1..=10 {
+//!         tx.send(i).await.unwrap();
+//!     }
+//! });
+//! // Dropping the last sender closes the channel.
+//! assert_eq!(consumer.join_blocking().unwrap(), 55);
+//! rt.shutdown();
+//! ```
+
+mod chan;
+mod executor;
+mod timer;
+
+pub use chan::{channel, Capacity, Receiver, RecvError, RecvFut, SendError, SendFut, Sender};
+pub use chanos_select::{choose, join2, join_all, race, select_all, Either};
+pub use executor::{JoinHandle, Panicked, Runtime};
+pub use timer::{after, Sleep};

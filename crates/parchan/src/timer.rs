@@ -1,0 +1,118 @@
+//! Wall-clock timers for `choose!` timeouts, backed by one shared
+//! timer thread.
+
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+struct TimerEntry {
+    deadline: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    // Reversed: BinaryHeap pops the earliest deadline.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.deadline, other.seq).cmp(&(self.deadline, self.seq))
+    }
+}
+
+struct TimerShared {
+    heap: Mutex<BinaryHeap<TimerEntry>>,
+    cv: Condvar,
+    seq: AtomicU64,
+}
+
+fn timer() -> &'static Arc<TimerShared> {
+    static TIMER: OnceLock<Arc<TimerShared>> = OnceLock::new();
+    TIMER.get_or_init(|| {
+        let shared = Arc::new(TimerShared {
+            heap: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+            seq: AtomicU64::new(0),
+        });
+        let s = shared.clone();
+        std::thread::Builder::new()
+            .name("parchan-timer".to_string())
+            .spawn(move || loop {
+                let mut heap = s.heap.lock();
+                let now = Instant::now();
+                while let Some(front) = heap.peek() {
+                    if front.deadline <= now {
+                        let e = heap.pop().expect("peeked");
+                        e.waker.wake();
+                    } else {
+                        break;
+                    }
+                }
+                match heap.peek().map(|e| e.deadline) {
+                    Some(next) => {
+                        let wait = next.saturating_duration_since(Instant::now());
+                        s.cv.wait_for(&mut heap, wait);
+                    }
+                    None => {
+                        s.cv.wait(&mut heap);
+                    }
+                }
+            })
+            .expect("spawn timer thread");
+        shared
+    })
+}
+
+/// Completes after `d` of wall-clock time; usable as a `choose!` arm.
+pub fn after(d: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + d,
+        registered: false,
+    }
+}
+
+/// Future returned by [`after`].
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: Instant,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        // (Re-)register; duplicate entries are harmless (stale wakes
+        // re-poll and re-check the deadline).
+        let t = timer();
+        {
+            let mut heap = t.heap.lock();
+            heap.push(TimerEntry {
+                deadline: self.deadline,
+                seq: t.seq.fetch_add(1, Ordering::Relaxed),
+                waker: cx.waker().clone(),
+            });
+        }
+        t.cv.notify_one();
+        self.registered = true;
+        Poll::Pending
+    }
+}

@@ -1,0 +1,378 @@
+//! Static compatibility checking of two protocol roles.
+//!
+//! §4 of the paper: *"the use of messages, channels, and defined
+//! protocols offers some potential for static verification using
+//! techniques developed for networking software."* This module is
+//! that technique: it explores the synchronous product of two
+//! [`Protocol`] automata and reports, with witness traces,
+//!
+//! * **unexpected messages** — one side may emit a tag the other
+//!   cannot accept in its current state (session-type safety: the
+//!   sender's choices must be a subset of the receiver's offers);
+//! * **deadlocks** — a reachable product state where neither side is
+//!   finished and no matched step exists (e.g. both waiting to
+//!   receive);
+//! * **orphan ends** — one side has finished while the other still
+//!   expects to converse.
+//!
+//! A protocol is always compatible with its own
+//! [dual](Protocol::dual); the checker earns its keep when the peer
+//! is implemented independently (the usual way protocol bugs are
+//! born).
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::spec::{Dir, Protocol, StateId};
+
+/// Which of the two roles a diagnostic refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The first protocol passed to [`check_compatible`].
+    Left,
+    /// The second protocol passed to [`check_compatible`].
+    Right,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Left => f.write_str("left"),
+            Role::Right => f.write_str("right"),
+        }
+    }
+}
+
+/// One step of a witness trace: `role` sent `tag`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The sending role.
+    pub sender: Role,
+    /// The message tag.
+    pub tag: String,
+}
+
+/// A protocol incompatibility, with the trace that reaches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `sender` may emit `tag`, which the peer cannot accept.
+    UnexpectedMessage {
+        /// Role free to emit the message.
+        sender: Role,
+        /// The unacceptable tag.
+        tag: String,
+        /// Product state `(left, right)` where this occurs.
+        at: (StateId, StateId),
+        /// Message sequence reaching `at`.
+        witness: Vec<TraceStep>,
+    },
+    /// Neither side is at an end state and no step can be taken.
+    Deadlock {
+        /// Product state `(left, right)` that is stuck.
+        at: (StateId, StateId),
+        /// Message sequence reaching `at`.
+        witness: Vec<TraceStep>,
+    },
+    /// `finished` reached its end state while the peer still expects
+    /// to receive or may send.
+    OrphanEnd {
+        /// The role that finished early.
+        finished: Role,
+        /// Product state `(left, right)` where this occurs.
+        at: (StateId, StateId),
+        /// Message sequence reaching `at`.
+        witness: Vec<TraceStep>,
+    },
+}
+
+impl Violation {
+    /// The witness trace leading to the violation.
+    pub fn witness(&self) -> &[TraceStep] {
+        match self {
+            Violation::UnexpectedMessage { witness, .. }
+            | Violation::Deadlock { witness, .. }
+            | Violation::OrphanEnd { witness, .. } => witness,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let trace = |w: &[TraceStep]| {
+            w.iter()
+                .map(|s| format!("{}!{}", s.sender, s.tag))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        match self {
+            Violation::UnexpectedMessage { sender, tag, at, witness } => write!(
+                f,
+                "unexpected message: {sender} may send {tag} at ({}, {}) after [{}]",
+                at.0,
+                at.1,
+                trace(witness)
+            ),
+            Violation::Deadlock { at, witness } => {
+                write!(f, "deadlock at ({}, {}) after [{}]", at.0, at.1, trace(witness))
+            }
+            Violation::OrphanEnd { finished, at, witness } => write!(
+                f,
+                "{finished} finished at ({}, {}) while peer expects more, after [{}]",
+                at.0,
+                at.1,
+                trace(witness)
+            ),
+        }
+    }
+}
+
+/// Report from [`check_compatible`].
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All violations found, each with a witness trace.
+    pub violations: Vec<Violation>,
+    /// Number of reachable product states explored.
+    pub states_explored: usize,
+}
+
+impl Report {
+    /// True if no violations were found.
+    pub fn is_compatible(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks two roles for compatibility under synchronous (rendezvous)
+/// semantics.
+///
+/// Explores every reachable product state once (breadth-first, so
+/// witness traces are shortest). Both protocols' full reachable space
+/// is bounded by `|left| * |right|` states.
+///
+/// # Examples
+///
+/// ```
+/// use chanos_proto::{check_compatible, rpc_loop};
+///
+/// let client = rpc_loop("fs", "Read", "Data", Some("Close"));
+/// let report = check_compatible(&client, &client.dual());
+/// assert!(report.is_compatible());
+/// ```
+pub fn check_compatible(left: &Protocol, right: &Protocol) -> Report {
+    let mut report = Report::default();
+    let mut seen: BTreeSet<(StateId, StateId)> = BTreeSet::new();
+    // Queue of (left state, right state, witness trace).
+    let mut queue: VecDeque<(StateId, StateId, Vec<TraceStep>)> = VecDeque::new();
+    seen.insert((left.start, right.start));
+    queue.push_back((left.start, right.start, Vec::new()));
+
+    while let Some((ls, rs, witness)) = queue.pop_front() {
+        report.states_explored += 1;
+        let l_end = left.is_end(ls);
+        let r_end = right.is_end(rs);
+        if l_end && r_end {
+            continue; // Clean joint termination.
+        }
+        if l_end != r_end {
+            // One side finished. The other side may still be fine if
+            // *all* its options are sends the finished side can no
+            // longer receive — that is an orphan; receives that can
+            // never be satisfied are an orphan too. Either way the
+            // conversation cannot continue.
+            report.violations.push(Violation::OrphanEnd {
+                finished: if l_end { Role::Left } else { Role::Right },
+                at: (ls, rs),
+                witness,
+            });
+            continue;
+        }
+
+        // Both sides still alive: enumerate matched steps and check
+        // that every available send is accepted.
+        let mut progressed = false;
+
+        for t in &left.states[ls.0].transitions {
+            if t.dir != Dir::Send {
+                continue;
+            }
+            match right.step(rs, Dir::Recv, &t.tag) {
+                Some(rnext) => {
+                    progressed = true;
+                    let key = (t.to, rnext);
+                    if seen.insert(key) {
+                        let mut w = witness.clone();
+                        w.push(TraceStep { sender: Role::Left, tag: t.tag.clone() });
+                        queue.push_back((t.to, rnext, w));
+                    }
+                }
+                None => report.violations.push(Violation::UnexpectedMessage {
+                    sender: Role::Left,
+                    tag: t.tag.clone(),
+                    at: (ls, rs),
+                    witness: witness.clone(),
+                }),
+            }
+        }
+        for t in &right.states[rs.0].transitions {
+            if t.dir != Dir::Send {
+                continue;
+            }
+            match left.step(ls, Dir::Recv, &t.tag) {
+                Some(lnext) => {
+                    progressed = true;
+                    let key = (lnext, t.to);
+                    if seen.insert(key) {
+                        let mut w = witness.clone();
+                        w.push(TraceStep { sender: Role::Right, tag: t.tag.clone() });
+                        queue.push_back((lnext, t.to, w));
+                    }
+                }
+                None => report.violations.push(Violation::UnexpectedMessage {
+                    sender: Role::Right,
+                    tag: t.tag.clone(),
+                    at: (ls, rs),
+                    witness: witness.clone(),
+                }),
+            }
+        }
+
+        if !progressed
+            && left.states[ls.0].transitions.iter().all(|t| t.dir == Dir::Recv)
+            && right.states[rs.0].transitions.iter().all(|t| t.dir == Dir::Recv)
+        {
+            // Both sides only want to receive: classic deadlock.
+            report.violations.push(Violation::Deadlock { at: (ls, rs), witness });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ProtocolBuilder, rpc_loop};
+
+    #[test]
+    fn dual_is_always_compatible() {
+        let p = rpc_loop("fs", "Read", "Data", Some("Close"));
+        let r = check_compatible(&p, &p.dual());
+        assert!(r.is_compatible(), "{:?}", r.violations);
+        assert!(r.states_explored >= 3);
+    }
+
+    #[test]
+    fn unexpected_message_caught_with_witness() {
+        // Client sends Read then Write; server only understands Read.
+        let mut c = ProtocolBuilder::new("client");
+        let c0 = c.state("idle");
+        let c1 = c.state("read-sent");
+        let c2 = c.state("write-sent");
+        c.send(c0, "Read", c1);
+        c.recv(c1, "Data", c2);
+        c.send(c2, "Write", c0);
+        let client = c.build(c0).unwrap();
+
+        let mut s = ProtocolBuilder::new("server");
+        let s0 = s.state("idle");
+        let s1 = s.state("replying");
+        s.recv(s0, "Read", s1);
+        s.send(s1, "Data", s0);
+        let server = s.build(s0).unwrap();
+
+        let r = check_compatible(&client, &server);
+        assert!(!r.is_compatible());
+        let v = &r.violations[0];
+        match v {
+            Violation::UnexpectedMessage { sender, tag, witness, .. } => {
+                assert_eq!(*sender, Role::Left);
+                assert_eq!(tag, "Write");
+                // Shortest witness: Read then Data.
+                assert_eq!(witness.len(), 2);
+                assert_eq!(witness[0].tag, "Read");
+                assert_eq!(witness[1].tag, "Data");
+            }
+            other => panic!("wrong violation kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_recv_deadlock_caught() {
+        // Both sides start by waiting for the other to speak.
+        let mut a = ProtocolBuilder::new("a");
+        let a0 = a.state("wait");
+        let a1 = a.state("done");
+        a.recv(a0, "Hello", a1);
+        let left = a.build(a0).unwrap();
+
+        let mut b = ProtocolBuilder::new("b");
+        let b0 = b.state("wait");
+        let b1 = b.state("done");
+        b.recv(b0, "Hello", b1);
+        let right = b.build(b0).unwrap();
+
+        let r = check_compatible(&left, &right);
+        assert!(matches!(r.violations[0], Violation::Deadlock { .. }));
+    }
+
+    #[test]
+    fn orphan_end_caught() {
+        // Client sends one request and stops; server expects to reply.
+        let mut c = ProtocolBuilder::new("client");
+        let c0 = c.state("idle");
+        let c1 = c.state("done");
+        c.send(c0, "Req", c1);
+        let client = c.build(c0).unwrap();
+
+        let mut s = ProtocolBuilder::new("server");
+        let s0 = s.state("idle");
+        let s1 = s.state("replying");
+        let s2 = s.state("done");
+        s.recv(s0, "Req", s1);
+        s.send(s1, "Resp", s2);
+        let server = s.build(s0).unwrap();
+
+        let r = check_compatible(&client, &server);
+        assert!(
+            r.violations.iter().any(|v| matches!(
+                v,
+                Violation::OrphanEnd { finished: Role::Left, .. }
+            )),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn mixed_choice_peers_are_compatible() {
+        // Each side may either speak or listen; choices are dual.
+        let mut a = ProtocolBuilder::new("a");
+        let a0 = a.state("s");
+        let a1 = a.state("t");
+        a.send(a0, "Ping", a1);
+        a.recv(a0, "Pong", a1);
+        let left = a.build(a0).unwrap();
+        let r = check_compatible(&left, &left.dual());
+        assert!(r.is_compatible(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn infinite_protocols_terminate_exploration() {
+        // Loops forever; product space is finite, so checking must too.
+        let p = rpc_loop("daemon", "Tick", "Tock", None);
+        let r = check_compatible(&p, &p.dual());
+        assert!(r.is_compatible());
+        assert_eq!(r.states_explored, 2);
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let mut a = ProtocolBuilder::new("a");
+        let a0 = a.state("w");
+        let a1 = a.state("d");
+        a.recv(a0, "X", a1);
+        let left = a.build(a0).unwrap();
+        let r = check_compatible(&left, &left);
+        let text = format!("{}", r.violations[0]);
+        assert!(text.contains("deadlock"));
+    }
+}

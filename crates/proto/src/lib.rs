@@ -1,0 +1,51 @@
+//! # chanos-proto — defined protocols and their verification
+//!
+//! §4 of Holland & Seltzer (HotOS XIII 2011) observes that in a
+//! message-passing kernel, *"the use of messages, channels, and
+//! defined protocols offers some potential for static verification
+//! using techniques developed for networking software"*; §5 predicts
+//! that *"waiting for channels to become ready will likely be a
+//! source of hassles"*. This crate supplies both halves:
+//!
+//! * [`Protocol`] / [`ProtocolBuilder`] — a protocol is a finite
+//!   state machine over message tags, written once and shared by
+//!   both parties (the peer runs the [dual](Protocol::dual));
+//! * [`check_compatible`] — static verification: explores the
+//!   synchronous product of two roles and reports unexpected
+//!   messages, deadlocks, and orphaned endpoints, each with a
+//!   shortest witness trace;
+//! * [`session`] / [`Endpoint`] — runtime monitors: endpoints that
+//!   advance the automaton on every send/receive and refuse
+//!   ill-formed traffic before it reaches the wire;
+//! * [`conforms`] / [`Recorder`] — conformance testing of recorded
+//!   traces, the networking-world complement to static checking;
+//! * [`deadlock`] — a wait-for-graph detector for cyclic channel
+//!   waits, with a sampling [watchdog](deadlock::watch) that confirms
+//!   persistent cycles.
+//!
+//! ## The three nets, one bug each
+//!
+//! ```
+//! use chanos_proto::{check_compatible, rpc_loop};
+//!
+//! // A disk-driver conversation: Read until Close.
+//! let client = rpc_loop("disk", "Read", "Data", Some("Close"));
+//!
+//! // Static: the dual is compatible, a foreign server may not be.
+//! assert!(check_compatible(&client, &client.dual()).is_compatible());
+//! ```
+//!
+//! Runtime monitoring and deadlock watching are exercised in
+//! `examples/protocol_checked.rs` and benchmarked in experiment E13.
+
+mod check;
+pub mod deadlock;
+mod monitor;
+mod spec;
+mod trace;
+
+pub use check::{check_compatible, Report, Role, TraceStep, Violation};
+pub use deadlock::{BlockedOp, SessionId, Side, Snapshot, WaitGraph, WatchReport};
+pub use monitor::{session, Endpoint, MonRecvError, MonSendError, NotAtEnd, Tagged, ViolationInfo};
+pub use spec::{rpc_loop, Dir, Protocol, ProtocolBuilder, SpecError, State, StateId, Transition};
+pub use trace::{conforms, conforms_complete, ConformanceError, Recorder, TraceEvent};

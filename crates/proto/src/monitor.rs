@@ -1,0 +1,581 @@
+//! Runtime-monitored session endpoints.
+//!
+//! A [`session`] is a pair of [`Endpoint`]s wired back-to-back with
+//! two channels, one per direction. Each endpoint carries its role's
+//! [`Protocol`] automaton and advances it on every operation:
+//!
+//! * sending a value whose [tag](Tagged::tag) the current state does
+//!   not allow fails *before* the message leaves (the peer never sees
+//!   ill-formed traffic);
+//! * receiving a value the current state does not expect returns a
+//!   violation carrying the offending value;
+//! * [`Endpoint::close`] fails unless the automaton is at an end
+//!   state, catching conversations abandoned halfway.
+//!
+//! Blocked operations are registered with the
+//! [deadlock detector](crate::deadlock), and every operation can be
+//! recorded into a [`Recorder`](crate::Recorder) for offline
+//! conformance checking — the runtime complement to the static
+//! [`check_compatible`](crate::check_compatible).
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+use chanos_csp::{channel, Capacity, Receiver, Sender};
+use chanos_sim as sim;
+
+use crate::deadlock::{self, SessionId, Side};
+use crate::spec::{Dir, Protocol, StateId};
+use crate::trace::Recorder;
+
+/// Modeled cost of one automaton step check: a bounds check plus a
+/// small transition-table walk, charged on every monitored send and
+/// receive so experiments price the monitor honestly.
+pub const CHECK_COST: chanos_sim::Cycles = 12;
+
+/// Modeled cost of appending one event to an attached [`Recorder`].
+pub const RECORD_COST: chanos_sim::Cycles = 8;
+
+/// Types that expose a protocol tag.
+///
+/// The tag is the message's discriminant as named in the
+/// [`Protocol`] specification; deriving it by hand is a one-line
+/// `match` per message enum.
+pub trait Tagged {
+    /// The protocol tag of this value.
+    fn tag(&self) -> &'static str;
+}
+
+/// Details of a protocol violation detected by a monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViolationInfo {
+    /// Automaton state when the violation occurred.
+    pub state: StateId,
+    /// Name of that state in the specification.
+    pub state_name: String,
+    /// Direction of the offending operation.
+    pub dir: Dir,
+    /// Tag that was not allowed.
+    pub tag: String,
+    /// Session in which it happened.
+    pub session: SessionId,
+}
+
+impl fmt::Display for ViolationInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}{} not allowed in state {} ({})",
+            self.session, self.dir, self.tag, self.state, self.state_name
+        )
+    }
+}
+
+/// Error from [`Endpoint::send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum MonSendError<T> {
+    /// The send would violate the protocol; the value is returned.
+    Violation {
+        /// The rejected value.
+        value: T,
+        /// What rule it broke.
+        info: ViolationInfo,
+    },
+    /// The underlying channel is closed; the value is returned.
+    Closed(T),
+}
+
+impl<T> MonSendError<T> {
+    /// Recovers the unsent value.
+    pub fn into_inner(self) -> T {
+        match self {
+            MonSendError::Violation { value, .. } | MonSendError::Closed(value) => value,
+        }
+    }
+}
+
+/// Error from [`Endpoint::recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum MonRecvError<T> {
+    /// A value arrived that the protocol does not allow here.
+    Violation {
+        /// The offending value (already consumed from the channel).
+        value: T,
+        /// What rule it broke.
+        info: ViolationInfo,
+    },
+    /// The underlying channel is closed and drained.
+    Closed,
+}
+
+/// Error from [`Endpoint::close`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotAtEnd {
+    /// State the automaton was actually in.
+    pub state: StateId,
+    /// Its specification name.
+    pub state_name: String,
+}
+
+impl fmt::Display for NotAtEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session closed in non-final state {} ({})", self.state, self.state_name)
+    }
+}
+
+impl std::error::Error for NotAtEnd {}
+
+/// One side of a monitored session.
+///
+/// `Out` is the message type this endpoint emits, `In` the type it
+/// consumes. The endpoint is deliberately *not* `Clone`: a session is
+/// a linear resource, and sharing one would let two tasks race the
+/// automaton.
+pub struct Endpoint<Out: Tagged, In: Tagged> {
+    session: SessionId,
+    side: Side,
+    proto: Rc<Protocol>,
+    state: Cell<StateId>,
+    tx: Sender<Out>,
+    rx: Receiver<In>,
+    recorder: Option<Recorder>,
+}
+
+impl<Out: Tagged, In: Tagged> Endpoint<Out, In> {
+    /// The session this endpoint belongs to.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Current automaton state.
+    pub fn state(&self) -> StateId {
+        self.state.get()
+    }
+
+    /// The protocol this endpoint enforces.
+    pub fn protocol(&self) -> &Protocol {
+        &self.proto
+    }
+
+    /// True if the conversation may stop here.
+    pub fn at_end(&self) -> bool {
+        self.proto.is_end(self.state.get())
+    }
+
+    /// Attaches a trace recorder; subsequent operations are logged.
+    pub fn record_into(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    fn violation(&self, dir: Dir, tag: &str) -> ViolationInfo {
+        sim::stat_incr("proto.violations");
+        ViolationInfo {
+            state: self.state.get(),
+            state_name: self.proto.states[self.state.get().0].name.clone(),
+            dir,
+            tag: tag.to_string(),
+            session: self.session,
+        }
+    }
+
+    /// Sends `value` if the protocol allows its tag here.
+    ///
+    /// On violation the value never reaches the wire and is handed
+    /// back inside the error.
+    pub async fn send(&self, value: Out) -> Result<(), MonSendError<Out>> {
+        sim::delay(CHECK_COST).await;
+        let tag = value.tag();
+        let next = match self.proto.step(self.state.get(), Dir::Send, tag) {
+            Some(next) => next,
+            None => {
+                let info = self.violation(Dir::Send, tag);
+                return Err(MonSendError::Violation { value, info });
+            }
+        };
+        let me = sim::current_task();
+        deadlock::note_owner(self.session, self.side, me);
+        let guard = deadlock::block(self.session, self.side, me, Dir::Send);
+        let result = self.tx.send(value).await;
+        drop(guard);
+        match result {
+            Ok(()) => {
+                sim::stat_incr("proto.monitored_sends");
+                if let Some(r) = &self.recorder {
+                    sim::delay(RECORD_COST).await;
+                    r.log(Dir::Send, tag);
+                }
+                self.state.set(next);
+                Ok(())
+            }
+            Err(e) => Err(MonSendError::Closed(e.into_inner())),
+        }
+    }
+
+    /// Receives the next value, checking its tag against the
+    /// protocol.
+    ///
+    /// A value with a disallowed tag is still consumed (it has
+    /// already crossed the wire) but is returned inside the error so
+    /// the caller can quarantine it.
+    pub async fn recv(&self) -> Result<In, MonRecvError<In>> {
+        let me = sim::current_task();
+        deadlock::note_owner(self.session, self.side, me);
+        let guard = deadlock::block(self.session, self.side, me, Dir::Recv);
+        let result = self.rx.recv().await;
+        drop(guard);
+        let value = match result {
+            Ok(v) => v,
+            Err(_) => return Err(MonRecvError::Closed),
+        };
+        sim::delay(CHECK_COST).await;
+        let tag = value.tag();
+        match self.proto.step(self.state.get(), Dir::Recv, tag) {
+            Some(next) => {
+                sim::stat_incr("proto.monitored_recvs");
+                if let Some(r) = &self.recorder {
+                    sim::delay(RECORD_COST).await;
+                    r.log(Dir::Recv, tag);
+                }
+                self.state.set(next);
+                Ok(value)
+            }
+            None => {
+                let info = self.violation(Dir::Recv, tag);
+                Err(MonRecvError::Violation { value, info })
+            }
+        }
+    }
+
+    /// Ends the session, verifying the automaton reached an end
+    /// state.
+    pub fn close(self) -> Result<(), NotAtEnd> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            sim::stat_incr("proto.premature_closes");
+            Err(NotAtEnd {
+                state: self.state.get(),
+                state_name: self.proto.states[self.state.get().0].name.clone(),
+            })
+        }
+    }
+}
+
+impl<Out: Tagged, In: Tagged> Drop for Endpoint<Out, In> {
+    fn drop(&mut self) {
+        deadlock::drop_side(self.session, self.side);
+    }
+}
+
+impl<Out: Tagged, In: Tagged> fmt::Debug for Endpoint<Out, In> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Endpoint({}, {:?}, state {})",
+            self.session,
+            self.side,
+            self.state.get()
+        )
+    }
+}
+
+/// Creates a monitored session for `proto`.
+///
+/// The first endpoint plays `proto` as written; the second plays its
+/// [dual](Protocol::dual). Both directions use channels of capacity
+/// `cap`.
+///
+/// # Examples
+///
+/// ```
+/// use chanos_proto::{rpc_loop, session, Tagged};
+/// use chanos_csp::Capacity;
+/// use chanos_sim::{spawn, Simulation};
+///
+/// #[derive(Debug)]
+/// enum Req { Get(u32) }
+/// #[derive(Debug)]
+/// enum Resp { Val(u32) }
+/// impl Tagged for Req {
+///     fn tag(&self) -> &'static str { "Get" }
+/// }
+/// impl Tagged for Resp {
+///     fn tag(&self) -> &'static str { "Val" }
+/// }
+///
+/// let proto = rpc_loop("kv", "Get", "Val", None);
+/// let mut sim = Simulation::new(2);
+/// let got = sim
+///     .block_on(async move {
+///         let (client, server) = session::<Req, Resp>(&proto, Capacity::Bounded(1));
+///         spawn(async move {
+///             while let Ok(Req::Get(k)) = server.recv().await {
+///                 server.send(Resp::Val(k * 10)).await.unwrap();
+///             }
+///         });
+///         client.send(Req::Get(4)).await.unwrap();
+///         match client.recv().await.unwrap() {
+///             Resp::Val(v) => v,
+///         }
+///     })
+///     .unwrap();
+/// assert_eq!(got, 40);
+/// ```
+pub fn session<Out: Tagged, In: Tagged>(
+    proto: &Protocol,
+    cap: Capacity,
+) -> (Endpoint<Out, In>, Endpoint<In, Out>) {
+    let id = deadlock::next_session_id();
+    let (a2b_tx, a2b_rx) = channel::<Out>(cap);
+    let (b2a_tx, b2a_rx) = channel::<In>(cap);
+    let left = Endpoint {
+        session: id,
+        side: Side::Left,
+        proto: Rc::new(proto.clone()),
+        state: Cell::new(proto.start),
+        tx: a2b_tx,
+        rx: b2a_rx,
+        recorder: None,
+    };
+    let dual = proto.dual();
+    let right = Endpoint {
+        session: id,
+        side: Side::Right,
+        state: Cell::new(dual.start),
+        proto: Rc::new(dual),
+        tx: b2a_tx,
+        rx: a2b_rx,
+        recorder: None,
+    };
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{rpc_loop, ProtocolBuilder};
+    use chanos_sim::Simulation;
+
+    #[derive(Debug, PartialEq)]
+    enum Req {
+        Read(u64),
+        Write(u64),
+        Close,
+    }
+    impl Tagged for Req {
+        fn tag(&self) -> &'static str {
+            match self {
+                Req::Read(_) => "Read",
+                Req::Write(_) => "Write",
+                Req::Close => "Close",
+            }
+        }
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Resp {
+        Data(u64),
+    }
+    impl Tagged for Resp {
+        fn tag(&self) -> &'static str {
+            "Data"
+        }
+    }
+
+    fn read_proto() -> Protocol {
+        rpc_loop("fs", "Read", "Data", Some("Close"))
+    }
+
+    #[test]
+    fn conforming_conversation_passes() {
+        let proto = read_proto();
+        let mut s = Simulation::new(2);
+        s.block_on(async move {
+            let (client, server) = session::<Req, Resp>(&proto, Capacity::Bounded(1));
+            sim::spawn(async move {
+                loop {
+                    match server.recv().await {
+                        Ok(Req::Read(b)) => {
+                            server.send(Resp::Data(b + 1)).await.unwrap();
+                        }
+                        Ok(Req::Close) => {
+                            server.close().unwrap();
+                            break;
+                        }
+                        Ok(other) => panic!("unexpected {other:?}"),
+                        Err(MonRecvError::Closed) => break,
+                        Err(e) => panic!("{e:?}"),
+                    }
+                }
+            });
+            for i in 0..5 {
+                client.send(Req::Read(i)).await.unwrap();
+                assert_eq!(client.recv().await.unwrap(), Resp::Data(i + 1));
+            }
+            client.send(Req::Close).await.unwrap();
+            client.close().unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn wrong_send_rejected_before_wire() {
+        let proto = read_proto();
+        let mut s = Simulation::new(2);
+        s.block_on(async move {
+            let (client, server) = session::<Req, Resp>(&proto, Capacity::Bounded(1));
+            // Write is not part of the protocol at all.
+            match client.send(Req::Write(3)).await {
+                Err(MonSendError::Violation { value, info }) => {
+                    assert_eq!(value, Req::Write(3));
+                    assert_eq!(info.tag, "Write");
+                    assert_eq!(info.dir, Dir::Send);
+                }
+                other => panic!("expected violation, got {other:?}"),
+            }
+            // The server never saw anything; the session is still usable.
+            sim::spawn(async move {
+                if let Ok(Req::Read(b)) = server.recv().await {
+                    server.send(Resp::Data(b)).await.unwrap();
+                }
+            });
+            client.send(Req::Read(9)).await.unwrap();
+            assert_eq!(client.recv().await.unwrap(), Resp::Data(9));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn out_of_order_send_rejected() {
+        let proto = read_proto();
+        let mut s = Simulation::new(2);
+        s.block_on(async move {
+            let (client, _server) = session::<Req, Resp>(&proto, Capacity::Bounded(4));
+            client.send(Req::Read(1)).await.unwrap();
+            // Second Read without awaiting Data: protocol says wait.
+            match client.send(Req::Read(2)).await {
+                Err(MonSendError::Violation { info, .. }) => {
+                    assert_eq!(info.state_name, "awaiting-reply");
+                }
+                other => panic!("expected violation, got {other:?}"),
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn premature_close_detected() {
+        let proto = read_proto();
+        let mut s = Simulation::new(2);
+        s.block_on(async move {
+            let (client, _server) = session::<Req, Resp>(&proto, Capacity::Bounded(1));
+            client.send(Req::Read(1)).await.unwrap();
+            let err = client.close().unwrap_err();
+            assert_eq!(err.state_name, "awaiting-reply");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn unexpected_recv_flagged_with_value() {
+        // Server that answers Read with two Datas; the client's
+        // monitor flags the second.
+        let proto = read_proto();
+        let mut s = Simulation::new(2);
+        s.block_on(async move {
+            let (client, server) = session::<Req, Resp>(&proto, Capacity::Bounded(4));
+            sim::spawn(async move {
+                let _ = server.recv().await;
+                // First reply is legal...
+                server.send(Resp::Data(1)).await.unwrap();
+                // ...the second violates the *server's* own monitor.
+                match server.send(Resp::Data(2)).await {
+                    Err(MonSendError::Violation { .. }) => {
+                        // Bypass the monitor to model a buggy/foreign
+                        // peer: push straight into the raw channel.
+                        server.tx.send(Resp::Data(2)).await.unwrap();
+                    }
+                    other => panic!("server monitor should object: {other:?}"),
+                }
+            });
+            client.send(Req::Read(0)).await.unwrap();
+            assert_eq!(client.recv().await.unwrap(), Resp::Data(1));
+            match client.recv().await {
+                Err(MonRecvError::Violation { value, info }) => {
+                    assert_eq!(value, Resp::Data(2));
+                    assert_eq!(info.dir, Dir::Recv);
+                    assert_eq!(info.tag, "Data");
+                }
+                other => panic!("expected violation, got {other:?}"),
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn deadlocked_session_confirmed_by_watchdog() {
+        crate::deadlock::reset();
+        // Both sides receive first: the checker would flag this
+        // statically; at runtime the watchdog confirms the cycle.
+        let mut b = ProtocolBuilder::new("both-wait");
+        let w = b.state("wait");
+        let d = b.state("done");
+        b.recv(w, "Hello", d);
+        b.send(d, "Hello", d); // Unreachable in practice.
+        let proto = b.build(w).unwrap();
+
+        #[derive(Debug)]
+        struct Hello;
+        impl Tagged for Hello {
+            fn tag(&self) -> &'static str {
+                "Hello"
+            }
+        }
+
+        let mut s = Simulation::new(2);
+        let report = s
+            .block_on(async move {
+                let (left, right) = session::<Hello, Hello>(&proto, Capacity::Bounded(1));
+                sim::spawn_daemon("left", async move {
+                    let _ = left.recv().await;
+                });
+                sim::spawn_daemon("right", async move {
+                    let _ = right.recv().await;
+                });
+                crate::deadlock::watch(1_000, 10_000).await
+            })
+            .unwrap();
+        assert_eq!(report.confirmed.len(), 1, "cycle should persist and be confirmed");
+        assert_eq!(report.confirmed[0].len(), 2);
+        crate::deadlock::reset();
+    }
+
+    #[test]
+    fn healthy_session_never_confirmed_as_deadlock() {
+        crate::deadlock::reset();
+        let proto = read_proto();
+        let mut s = Simulation::new(2);
+        let report = s
+            .block_on(async move {
+                let (client, server) = session::<Req, Resp>(&proto, Capacity::Bounded(1));
+                sim::spawn_daemon("server", async move {
+                    while let Ok(Req::Read(b)) = server.recv().await {
+                        server.send(Resp::Data(b)).await.unwrap();
+                    }
+                });
+                sim::spawn_daemon("client", async move {
+                    for i in 0..200 {
+                        client.send(Req::Read(i)).await.unwrap();
+                        let _ = client.recv().await.unwrap();
+                        chanos_sim::sleep(97).await;
+                    }
+                });
+                crate::deadlock::watch(500, 30_000).await
+            })
+            .unwrap();
+        assert!(report.confirmed.is_empty(), "no deadlock in a live session");
+        assert!(report.samples > 10);
+        crate::deadlock::reset();
+    }
+}

@@ -1,0 +1,428 @@
+//! Protocol specifications: finite state machines over message tags.
+//!
+//! A [`Protocol`] describes one role's view of a two-party
+//! conversation: from each state the role may *send* or *receive*
+//! messages identified by tag, each moving the automaton to a
+//! successor state. A state with no transitions is an *end* state —
+//! the conversation is complete there.
+//!
+//! The peer's view is the [dual](Protocol::dual): every send becomes
+//! a receive and vice versa. A hand-written implementation of the
+//! peer can be checked against the dual with
+//! [`check_compatible`](crate::check_compatible).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Direction of a message from the perspective of the role that owns
+/// the specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dir {
+    /// The role emits the message.
+    Send,
+    /// The role consumes the message.
+    Recv,
+}
+
+impl Dir {
+    /// The opposite direction (what the peer does for this step).
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Send => Dir::Recv,
+            Dir::Recv => Dir::Send,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dir::Send => f.write_str("!"),
+            Dir::Recv => f.write_str("?"),
+        }
+    }
+}
+
+/// Index of a state inside a [`Protocol`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub usize);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One labelled edge of the automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Whether this role sends or receives the message.
+    pub dir: Dir,
+    /// Message tag (the discriminant a [`Tagged`](crate::Tagged)
+    /// value reports).
+    pub tag: String,
+    /// Successor state.
+    pub to: StateId,
+}
+
+/// A named protocol state and its outgoing transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// Human-readable name (used in diagnostics).
+    pub name: String,
+    /// Outgoing edges; empty means this is an end state.
+    pub transitions: Vec<Transition>,
+}
+
+impl State {
+    /// True if the conversation may stop here.
+    pub fn is_end(&self) -> bool {
+        self.transitions.is_empty()
+    }
+}
+
+/// Errors detected while building a protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Two transitions from one state share a direction and tag.
+    Nondeterministic {
+        /// State with the clash.
+        state: StateId,
+        /// Clashing direction.
+        dir: Dir,
+        /// Clashing tag.
+        tag: String,
+    },
+    /// A transition points at a state that does not exist.
+    DanglingTarget {
+        /// State holding the bad edge.
+        state: StateId,
+        /// The missing target.
+        to: StateId,
+    },
+    /// The protocol has no states.
+    Empty,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Nondeterministic { state, dir, tag } => {
+                write!(f, "state {state}: duplicate transition {dir}{tag}")
+            }
+            SpecError::DanglingTarget { state, to } => {
+                write!(f, "state {state}: transition to nonexistent {to}")
+            }
+            SpecError::Empty => f.write_str("protocol has no states"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One role's view of a two-party protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Protocol {
+    /// Protocol name (diagnostics only).
+    pub name: String,
+    /// State table; indices are [`StateId`]s.
+    pub states: Vec<State>,
+    /// Initial state.
+    pub start: StateId,
+}
+
+impl Protocol {
+    /// The peer's view: every send becomes a receive and vice versa.
+    pub fn dual(&self) -> Protocol {
+        Protocol {
+            name: format!("dual({})", self.name),
+            states: self
+                .states
+                .iter()
+                .map(|s| State {
+                    name: s.name.clone(),
+                    transitions: s
+                        .transitions
+                        .iter()
+                        .map(|t| Transition {
+                            dir: t.dir.flip(),
+                            tag: t.tag.clone(),
+                            to: t.to,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            start: self.start,
+        }
+    }
+
+    /// Looks up the successor for `(dir, tag)` at `state`.
+    pub fn step(&self, state: StateId, dir: Dir, tag: &str) -> Option<StateId> {
+        self.states[state.0]
+            .transitions
+            .iter()
+            .find(|t| t.dir == dir && t.tag == tag)
+            .map(|t| t.to)
+    }
+
+    /// All tags this role may send from `state`.
+    pub fn sends_from(&self, state: StateId) -> Vec<&str> {
+        self.states[state.0]
+            .transitions
+            .iter()
+            .filter(|t| t.dir == Dir::Send)
+            .map(|t| t.tag.as_str())
+            .collect()
+    }
+
+    /// All tags this role may receive in `state`.
+    pub fn recvs_from(&self, state: StateId) -> Vec<&str> {
+        self.states[state.0]
+            .transitions
+            .iter()
+            .filter(|t| t.dir == Dir::Recv)
+            .map(|t| t.tag.as_str())
+            .collect()
+    }
+
+    /// True if `state` has no outgoing transitions.
+    pub fn is_end(&self, state: StateId) -> bool {
+        self.states[state.0].is_end()
+    }
+
+    /// States unreachable from `start` (diagnostic; an implementation
+    /// bug in the spec itself).
+    pub fn unreachable_states(&self) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack = vec![self.start];
+        seen[self.start.0] = true;
+        while let Some(s) = stack.pop() {
+            for t in &self.states[s.0].transitions {
+                if !seen[t.to.0] {
+                    seen[t.to.0] = true;
+                    stack.push(t.to);
+                }
+            }
+        }
+        (0..self.states.len())
+            .filter(|&i| !seen[i])
+            .map(StateId)
+            .collect()
+    }
+
+    /// Renders the automaton in a compact `state: !a -> s1, ?b -> s2`
+    /// form for diagnostics.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "protocol {} (start {})", self.name, self.start);
+        for (i, s) in self.states.iter().enumerate() {
+            let edges: Vec<String> = s
+                .transitions
+                .iter()
+                .map(|t| format!("{}{} -> s{}", t.dir, t.tag, t.to.0))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  s{i} {:12} {}",
+                s.name,
+                if edges.is_empty() { "(end)".to_string() } else { edges.join(", ") }
+            );
+        }
+        out
+    }
+}
+
+/// Incremental construction of a [`Protocol`].
+///
+/// # Examples
+///
+/// ```
+/// use chanos_proto::{Dir, ProtocolBuilder};
+///
+/// let mut b = ProtocolBuilder::new("disk-client");
+/// let idle = b.state("idle");
+/// let wait = b.state("awaiting-data");
+/// let done = b.state("done");
+/// b.send(idle, "Read", wait);
+/// b.recv(wait, "Data", idle);
+/// b.send(idle, "Close", done);
+/// let proto = b.build(idle).unwrap();
+/// assert_eq!(proto.sends_from(idle), vec!["Read", "Close"]);
+/// assert!(proto.is_end(done));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProtocolBuilder {
+    name: String,
+    states: Vec<State>,
+}
+
+impl ProtocolBuilder {
+    /// Starts a new builder for a protocol named `name`.
+    pub fn new(name: &str) -> ProtocolBuilder {
+        ProtocolBuilder { name: name.to_string(), states: Vec::new() }
+    }
+
+    /// Adds a state named `name`, returning its id.
+    pub fn state(&mut self, name: &str) -> StateId {
+        self.states.push(State { name: name.to_string(), transitions: Vec::new() });
+        StateId(self.states.len() - 1)
+    }
+
+    /// Adds a transition with explicit direction.
+    pub fn edge(&mut self, from: StateId, dir: Dir, tag: &str, to: StateId) -> &mut Self {
+        self.states[from.0].transitions.push(Transition { dir, tag: tag.to_string(), to });
+        self
+    }
+
+    /// Adds a send edge: in `from`, this role may emit `tag` and move
+    /// to `to`.
+    pub fn send(&mut self, from: StateId, tag: &str, to: StateId) -> &mut Self {
+        self.edge(from, Dir::Send, tag, to)
+    }
+
+    /// Adds a receive edge: in `from`, this role may consume `tag`
+    /// and move to `to`.
+    pub fn recv(&mut self, from: StateId, tag: &str, to: StateId) -> &mut Self {
+        self.edge(from, Dir::Recv, tag, to)
+    }
+
+    /// Validates and produces the protocol with `start` as the
+    /// initial state.
+    pub fn build(self, start: StateId) -> Result<Protocol, SpecError> {
+        if self.states.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        if start.0 >= self.states.len() {
+            return Err(SpecError::DanglingTarget { state: start, to: start });
+        }
+        for (i, s) in self.states.iter().enumerate() {
+            let mut seen: BTreeMap<(Dir, &str), ()> = BTreeMap::new();
+            for t in &s.transitions {
+                if t.to.0 >= self.states.len() {
+                    return Err(SpecError::DanglingTarget { state: StateId(i), to: t.to });
+                }
+                if seen.insert((t.dir, t.tag.as_str()), ()).is_some() {
+                    return Err(SpecError::Nondeterministic {
+                        state: StateId(i),
+                        dir: t.dir,
+                        tag: t.tag.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Protocol { name: self.name, states: self.states, start })
+    }
+}
+
+/// Convenience: a linear request/response protocol
+/// `!req ?resp !req ?resp ...` with an optional closing send.
+///
+/// This is the client view of the classic RPC loop; servers use the
+/// [dual](Protocol::dual).
+pub fn rpc_loop(name: &str, req: &str, resp: &str, close: Option<&str>) -> Protocol {
+    let mut b = ProtocolBuilder::new(name);
+    let idle = b.state("idle");
+    let wait = b.state("awaiting-reply");
+    b.send(idle, req, wait);
+    b.recv(wait, resp, idle);
+    if let Some(c) = close {
+        let done = b.state("done");
+        b.send(idle, c, done);
+    }
+    b.build(idle).expect("rpc_loop is well-formed by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ping_pong() -> Protocol {
+        let mut b = ProtocolBuilder::new("ping");
+        let a = b.state("a");
+        let w = b.state("w");
+        b.send(a, "Ping", w);
+        b.recv(w, "Pong", a);
+        b.build(a).unwrap()
+    }
+
+    #[test]
+    fn build_and_step() {
+        let p = ping_pong();
+        assert_eq!(p.step(StateId(0), Dir::Send, "Ping"), Some(StateId(1)));
+        assert_eq!(p.step(StateId(1), Dir::Recv, "Pong"), Some(StateId(0)));
+        assert_eq!(p.step(StateId(0), Dir::Recv, "Ping"), None);
+        assert_eq!(p.step(StateId(0), Dir::Send, "Pong"), None);
+    }
+
+    #[test]
+    fn dual_flips_directions() {
+        let p = ping_pong();
+        let d = p.dual();
+        assert_eq!(d.step(StateId(0), Dir::Recv, "Ping"), Some(StateId(1)));
+        assert_eq!(d.step(StateId(1), Dir::Send, "Pong"), Some(StateId(0)));
+        // Dual is an involution.
+        assert_eq!(d.dual().states, p.states);
+    }
+
+    #[test]
+    fn nondeterminism_rejected() {
+        let mut b = ProtocolBuilder::new("bad");
+        let a = b.state("a");
+        b.send(a, "X", a);
+        b.send(a, "X", a);
+        assert!(matches!(b.build(a), Err(SpecError::Nondeterministic { .. })));
+    }
+
+    #[test]
+    fn same_tag_both_directions_is_fine() {
+        let mut b = ProtocolBuilder::new("echo");
+        let a = b.state("a");
+        b.send(a, "X", a);
+        b.recv(a, "X", a);
+        assert!(b.build(a).is_ok());
+    }
+
+    #[test]
+    fn dangling_target_rejected() {
+        let mut b = ProtocolBuilder::new("bad");
+        let a = b.state("a");
+        b.send(a, "X", StateId(7));
+        assert!(matches!(b.build(a), Err(SpecError::DanglingTarget { .. })));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let b = ProtocolBuilder::new("empty");
+        assert!(matches!(b.build(StateId(0)), Err(SpecError::Empty)));
+    }
+
+    #[test]
+    fn unreachable_states_reported() {
+        let mut b = ProtocolBuilder::new("orphan");
+        let a = b.state("a");
+        let _orphan = b.state("orphan");
+        b.send(a, "X", a);
+        let p = b.build(a).unwrap();
+        assert_eq!(p.unreachable_states(), vec![StateId(1)]);
+    }
+
+    #[test]
+    fn rpc_loop_shape() {
+        let p = rpc_loop("fs", "Read", "Data", Some("Close"));
+        assert_eq!(p.sends_from(p.start), vec!["Read", "Close"]);
+        assert_eq!(p.recvs_from(StateId(1)), vec!["Data"]);
+        assert!(p.is_end(StateId(2)));
+        assert!(p.unreachable_states().is_empty());
+    }
+
+    #[test]
+    fn describe_mentions_all_states() {
+        let p = rpc_loop("fs", "Read", "Data", None);
+        let d = p.describe();
+        assert!(d.contains("idle"));
+        assert!(d.contains("awaiting-reply"));
+        assert!(d.contains("!Read"));
+        assert!(d.contains("?Data"));
+    }
+}

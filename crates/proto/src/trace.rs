@@ -1,0 +1,200 @@
+//! Trace recording and offline conformance checking.
+//!
+//! Networking protocol work verifies implementations two ways:
+//! exploring the specification (see [`check_compatible`]) and
+//! checking observed traffic against it (conformance testing). This
+//! module is the second: a [`Recorder`] collects the tag sequence one
+//! endpoint actually performed, and [`conforms`] replays it through
+//! the [`Protocol`] automaton.
+//!
+//! [`check_compatible`]: crate::check_compatible
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use chanos_sim::Cycles;
+
+use crate::spec::{Dir, Protocol, StateId};
+
+/// One observed protocol action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Direction from the recording endpoint's perspective.
+    pub dir: Dir,
+    /// Message tag.
+    pub tag: String,
+    /// Virtual time of the operation.
+    pub at: Cycles,
+}
+
+/// A shared, append-only log of protocol actions.
+///
+/// Cloning shares the log; attach one clone to an
+/// [`Endpoint`](crate::Endpoint) with
+/// [`record_into`](crate::Endpoint::record_into) and keep the other
+/// to inspect afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    events: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Appends an event at the current virtual time.
+    pub fn log(&self, dir: Dir, tag: &str) {
+        let at = if chanos_sim::in_sim() { chanos_sim::now() } else { 0 };
+        self.events.borrow_mut().push(TraceEvent { dir, tag: tag.to_string(), at });
+    }
+
+    /// Copies the events out.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+}
+
+/// Where and why a trace diverged from the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformanceError {
+    /// Index of the offending event in the trace.
+    pub index: usize,
+    /// Automaton state before the offending event.
+    pub state: StateId,
+    /// Direction of the offending event.
+    pub dir: Dir,
+    /// Tag of the offending event.
+    pub tag: String,
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace event {} ({}{}) not allowed in state {}",
+            self.index, self.dir, self.tag, self.state
+        )
+    }
+}
+
+impl std::error::Error for ConformanceError {}
+
+/// Replays `trace` through `proto`, returning the final state.
+///
+/// # Examples
+///
+/// ```
+/// use chanos_proto::{conforms, rpc_loop, Dir, TraceEvent};
+///
+/// let proto = rpc_loop("fs", "Read", "Data", None);
+/// let ev = |dir, tag: &str| TraceEvent { dir, tag: tag.into(), at: 0 };
+/// let trace = [ev(Dir::Send, "Read"), ev(Dir::Recv, "Data")];
+/// assert!(conforms(&proto, &trace).is_ok());
+///
+/// let bad = [ev(Dir::Send, "Read"), ev(Dir::Send, "Read")];
+/// assert_eq!(conforms(&proto, &bad).unwrap_err().index, 1);
+/// ```
+pub fn conforms(proto: &Protocol, trace: &[TraceEvent]) -> Result<StateId, ConformanceError> {
+    let mut state = proto.start;
+    for (index, ev) in trace.iter().enumerate() {
+        match proto.step(state, ev.dir, &ev.tag) {
+            Some(next) => state = next,
+            None => {
+                return Err(ConformanceError {
+                    index,
+                    state,
+                    dir: ev.dir,
+                    tag: ev.tag.clone(),
+                })
+            }
+        }
+    }
+    Ok(state)
+}
+
+/// Checks that a trace both conforms and ends at an end state (a
+/// complete conversation).
+pub fn conforms_complete(proto: &Protocol, trace: &[TraceEvent]) -> Result<(), ConformanceError> {
+    let last = conforms(proto, trace)?;
+    if proto.is_end(last) {
+        Ok(())
+    } else {
+        Err(ConformanceError {
+            index: trace.len(),
+            state: last,
+            dir: Dir::Send,
+            tag: "<end-of-trace>".to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::rpc_loop;
+
+    fn ev(dir: Dir, tag: &str) -> TraceEvent {
+        TraceEvent { dir, tag: tag.to_string(), at: 0 }
+    }
+
+    #[test]
+    fn empty_trace_conforms_at_start() {
+        let p = rpc_loop("fs", "Read", "Data", None);
+        assert_eq!(conforms(&p, &[]), Ok(p.start));
+    }
+
+    #[test]
+    fn long_loop_conforms() {
+        let p = rpc_loop("fs", "Read", "Data", Some("Close"));
+        let mut trace = Vec::new();
+        for _ in 0..50 {
+            trace.push(ev(Dir::Send, "Read"));
+            trace.push(ev(Dir::Recv, "Data"));
+        }
+        trace.push(ev(Dir::Send, "Close"));
+        assert!(conforms_complete(&p, &trace).is_ok());
+    }
+
+    #[test]
+    fn wrong_direction_caught() {
+        let p = rpc_loop("fs", "Read", "Data", None);
+        let err = conforms(&p, &[ev(Dir::Recv, "Read")]).unwrap_err();
+        assert_eq!(err.index, 0);
+        assert_eq!(err.state, p.start);
+    }
+
+    #[test]
+    fn incomplete_conversation_caught_by_complete_check() {
+        let p = rpc_loop("fs", "Read", "Data", Some("Close"));
+        let trace = [ev(Dir::Send, "Read")];
+        assert!(conforms(&p, &trace).is_ok());
+        let err = conforms_complete(&p, &trace).unwrap_err();
+        assert_eq!(err.tag, "<end-of-trace>");
+    }
+
+    #[test]
+    fn recorder_appends_and_shares() {
+        let r = Recorder::new();
+        let r2 = r.clone();
+        r.log(Dir::Send, "A");
+        r2.log(Dir::Recv, "B");
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        let evs = r2.events();
+        assert_eq!(evs[0].tag, "A");
+        assert_eq!(evs[1].dir, Dir::Recv);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for protocol specification, checking, and
+//! deadlock detection.
+
+use std::collections::BTreeSet;
+
+use chanos_proto::{
+    check_compatible, conforms, Dir, Protocol, ProtocolBuilder, TraceEvent, WaitGraph,
+};
+use proptest::prelude::*;
+
+const TAGS: [&str; 5] = ["A", "B", "C", "D", "E"];
+
+/// A raw edge before deduplication: (from, dir-as-bool, tag index,
+/// to).
+type RawEdge = (usize, bool, usize, usize);
+
+/// Generates a well-formed, fully reachable protocol: a chain
+/// guarantees reachability, extra edges add branching and loops.
+fn arb_protocol() -> impl Strategy<Value = Protocol> {
+    (2usize..7).prop_flat_map(|n| {
+        let chain = proptest::collection::vec((any::<bool>(), 0usize..TAGS.len()), n - 1);
+        let extras = proptest::collection::vec(
+            (0usize..n, any::<bool>(), 0usize..TAGS.len(), 0usize..n),
+            0..(2 * n),
+        );
+        (chain, extras).prop_map(move |(chain, extras)| build_protocol(n, &chain, &extras))
+    })
+}
+
+fn build_protocol(n: usize, chain: &[(bool, usize)], extras: &[RawEdge]) -> Protocol {
+    let mut b = ProtocolBuilder::new("random");
+    let states: Vec<_> = (0..n).map(|i| b.state(&format!("s{i}"))).collect();
+    let mut seen: BTreeSet<(usize, bool, usize)> = BTreeSet::new();
+    for (i, &(dir, tag)) in chain.iter().enumerate() {
+        seen.insert((i, dir, tag));
+        let d = if dir { Dir::Send } else { Dir::Recv };
+        b.edge(states[i], d, TAGS[tag], states[i + 1]);
+    }
+    for &(from, dir, tag, to) in extras {
+        if seen.insert((from, dir, tag)) {
+            let d = if dir { Dir::Send } else { Dir::Recv };
+            b.edge(states[from], d, TAGS[tag], states[to]);
+        }
+    }
+    b.build(states[0]).expect("deduplicated edges are well-formed")
+}
+
+proptest! {
+    /// Dual is an involution on the state table.
+    #[test]
+    fn dual_dual_is_identity(p in arb_protocol()) {
+        prop_assert_eq!(&p.dual().dual().states, &p.states);
+    }
+
+    /// Every protocol is compatible with its own dual: the checker
+    /// never reports false positives for the canonical pairing.
+    #[test]
+    fn dual_always_compatible(p in arb_protocol()) {
+        let report = check_compatible(&p, &p.dual());
+        prop_assert!(report.is_compatible(), "violations: {:?}", report.violations);
+    }
+
+    /// The product of p with dual(p) advances in lock-step, so it
+    /// explores exactly the reachable states of p.
+    #[test]
+    fn product_explores_reachable_states(p in arb_protocol()) {
+        let report = check_compatible(&p, &p.dual());
+        let reachable = p.states.len() - p.unreachable_states().len();
+        prop_assert_eq!(report.states_explored, reachable);
+        // The generator's chain makes everything reachable.
+        prop_assert_eq!(reachable, p.states.len());
+    }
+
+    /// Renaming one transition tag in the dual to a fresh name always
+    /// breaks compatibility, and the checker finds it.
+    #[test]
+    fn mutated_dual_is_caught(p in arb_protocol(), pick in any::<proptest::sample::Index>()) {
+        let mut peer = p.dual();
+        let edges: Vec<(usize, usize)> = peer
+            .states
+            .iter()
+            .enumerate()
+            .flat_map(|(si, s)| (0..s.transitions.len()).map(move |ti| (si, ti)))
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let (si, ti) = edges[pick.index(edges.len())];
+        peer.states[si].transitions[ti].tag = "ZZZ".to_string();
+        let report = check_compatible(&p, &peer);
+        prop_assert!(
+            !report.is_compatible(),
+            "mutation at state {si} transition {ti} went unnoticed"
+        );
+        // Every violation carries a replayable witness.
+        for v in &report.violations {
+            let _ = v.witness();
+        }
+    }
+
+    /// A random walk through the protocol always conforms to it.
+    #[test]
+    fn random_walk_conforms(p in arb_protocol(), steps in proptest::collection::vec(any::<proptest::sample::Index>(), 0..40)) {
+        let mut state = p.start;
+        let mut trace = Vec::new();
+        for pick in steps {
+            let ts = &p.states[state.0].transitions;
+            if ts.is_empty() {
+                break;
+            }
+            let t = &ts[pick.index(ts.len())];
+            trace.push(TraceEvent { dir: t.dir, tag: t.tag.clone(), at: 0 });
+            state = t.to;
+        }
+        prop_assert_eq!(conforms(&p, &trace), Ok(state));
+    }
+
+    /// Perturbing one step of a conforming walk into a fresh tag
+    /// makes conformance fail at exactly that index.
+    #[test]
+    fn perturbed_walk_fails_at_right_index(
+        p in arb_protocol(),
+        steps in proptest::collection::vec(any::<proptest::sample::Index>(), 1..30),
+        at in any::<proptest::sample::Index>(),
+    ) {
+        let mut state = p.start;
+        let mut trace = Vec::new();
+        for pick in steps {
+            let ts = &p.states[state.0].transitions;
+            if ts.is_empty() {
+                break;
+            }
+            let t = &ts[pick.index(ts.len())];
+            trace.push(TraceEvent { dir: t.dir, tag: t.tag.clone(), at: 0 });
+            state = t.to;
+        }
+        prop_assume!(!trace.is_empty());
+        let idx = at.index(trace.len());
+        trace[idx].tag = "ZZZ".to_string();
+        let err = conforms(&p, &trace).unwrap_err();
+        prop_assert_eq!(err.index, idx);
+    }
+
+    /// On functional graphs (every node exactly one successor), the
+    /// wait-graph cycle finder agrees with a brute-force walk.
+    #[test]
+    fn cycles_match_brute_force_on_functional_graphs(succ in proptest::collection::vec(0usize..12, 1..12)) {
+        let n = succ.len();
+        let succ: Vec<usize> = succ.into_iter().map(|s| s % n).collect();
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, succ[i])).collect();
+        let found: BTreeSet<Vec<usize>> = WaitGraph::from_edges(edges).cycles().into_iter().collect();
+
+        // Brute force: walk from every node until a repeat; extract
+        // the cycle; normalize to min-first rotation.
+        let mut expected: BTreeSet<Vec<usize>> = BTreeSet::new();
+        for start in 0..n {
+            let mut seen_at = vec![usize::MAX; n];
+            let (mut cur, mut step) = (start, 0usize);
+            while seen_at[cur] == usize::MAX {
+                seen_at[cur] = step;
+                cur = succ[cur];
+                step += 1;
+            }
+            // Rebuild the cycle from `cur`.
+            let mut cyc = vec![cur];
+            let mut next = succ[cur];
+            while next != cur {
+                cyc.push(next);
+                next = succ[next];
+            }
+            let min_pos = cyc
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, v)| **v)
+                .map(|(i, _)| i)
+                .unwrap();
+            cyc.rotate_left(min_pos);
+            expected.insert(cyc);
+        }
+        prop_assert_eq!(found, expected);
+    }
+}

@@ -1,0 +1,35 @@
+//! # chanos-shmem — the shared-memory world the paper argues against
+//!
+//! Holland & Seltzer's §1 claim is that *"conventional thread
+//! programming using locks and shared memory does not scale to
+//! hundreds of cores."* To test that claim (experiments E2, E4, E5),
+//! this crate provides the conventional toolkit over a MESI-style
+//! coherence **cost model** ([`Directory`]): every read/write of a
+//! shared cache line charges the cycles its coherence traffic would
+//! cost on the same interconnect the message runtime uses.
+//!
+//! Primitives:
+//!
+//! * [`SimAtomicU64`] — atomics (the shared counter of E2).
+//! * [`SimMutex`] — blocking (futex-style) mutex; waiters release
+//!   their core.
+//! * [`TasSpinlock`], [`TicketLock`], [`McsLock`] — spinlocks whose
+//!   waiters *hold* their core, with the classical traffic signatures
+//!   (O(N), O(N), O(1) per handoff).
+//! * [`SimRwLock`] — reader-writer lock.
+//!
+//! None of these prevent *logical* races — mutual exclusion is only as
+//! good as the locking discipline — which is exactly the class of
+//! driver bug experiment E5 demonstrates.
+
+mod atomic;
+mod mutex;
+mod runtime;
+mod rwlock;
+mod spinlock;
+
+pub use atomic::SimAtomicU64;
+pub use mutex::{MutexGuard, SimMutex};
+pub use runtime::{install, install_with, CoherenceCosts, Directory, ShmemRuntime};
+pub use rwlock::{ReadGuard, SimRwLock, WriteGuard};
+pub use spinlock::{McsGuard, McsLock, TasGuard, TasSpinlock, TicketGuard, TicketLock};

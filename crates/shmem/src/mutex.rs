@@ -1,0 +1,294 @@
+//! A blocking (futex-style) mutex over the coherence cost model.
+//!
+//! Acquisition pays a CAS (coherence write) on the lock line; waiters
+//! block with their core *released* (the OS-assisted slow path), in
+//! contrast to the spinlocks in [`crate::spinlock`] which burn their
+//! core while waiting.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use chanos_sim::{self as sim, delay, TaskId};
+
+use crate::runtime::ShmemRuntime;
+
+struct MutexState {
+    locked: bool,
+    waiters: VecDeque<TaskId>,
+}
+
+/// A simulated blocking mutex protecting a `T`.
+///
+/// Clones share the same lock and value (like an `Arc<Mutex<T>>`).
+pub struct SimMutex<T> {
+    rt: Rc<ShmemRuntime>,
+    line: u64,
+    st: Rc<RefCell<MutexState>>,
+    value: Rc<RefCell<T>>,
+}
+
+impl<T> Clone for SimMutex<T> {
+    fn clone(&self) -> Self {
+        SimMutex {
+            rt: self.rt.clone(),
+            line: self.line,
+            st: self.st.clone(),
+            value: self.value.clone(),
+        }
+    }
+}
+
+impl<T> SimMutex<T> {
+    /// Creates a mutex on a fresh cache line.
+    pub fn new(value: T) -> Self {
+        let rt = ShmemRuntime::current();
+        let line = rt.fresh_line();
+        SimMutex {
+            rt,
+            line,
+            st: Rc::new(RefCell::new(MutexState {
+                locked: false,
+                waiters: VecDeque::new(),
+            })),
+            value: Rc::new(RefCell::new(value)),
+        }
+    }
+
+    /// Acquires the mutex, blocking (core released) while contended.
+    pub async fn lock(&self) -> MutexGuard<'_, T> {
+        let me = sim::current_task();
+        loop {
+            // CAS attempt: exclusive ownership of the lock line.
+            let who = sim::current_core().index();
+            let cost = self.rt.write_cost(self.line, who);
+            delay(cost).await;
+            {
+                let mut st = self.st.borrow_mut();
+                if !st.locked {
+                    st.locked = true;
+                    sim::stat_incr("shmem.mutex_acquires");
+                    return MutexGuard { mutex: self };
+                }
+                st.waiters.push_back(me);
+                sim::stat_incr("shmem.mutex_contended");
+            }
+            Park {
+                st: &self.st,
+                me,
+                parked: true,
+            }
+            .await;
+        }
+    }
+
+    /// Attempts to acquire without waiting (still pays the CAS cost).
+    pub async fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let who = sim::current_core().index();
+        let cost = self.rt.write_cost(self.line, who);
+        delay(cost).await;
+        let mut st = self.st.borrow_mut();
+        if st.locked {
+            None
+        } else {
+            st.locked = true;
+            drop(st);
+            Some(MutexGuard { mutex: self })
+        }
+    }
+}
+
+/// Waits until removed from the waiter queue by an unlock (or a drop).
+struct Park<'a> {
+    st: &'a Rc<RefCell<MutexState>>,
+    me: TaskId,
+    parked: bool,
+}
+
+impl Future for Park<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let waiting = self.st.borrow().waiters.contains(&self.me);
+        if waiting {
+            Poll::Pending
+        } else {
+            self.parked = false;
+            Poll::Ready(())
+        }
+    }
+}
+
+impl Drop for Park<'_> {
+    fn drop(&mut self) {
+        if self.parked {
+            self.st.borrow_mut().waiters.retain(|&t| t != self.me);
+        }
+    }
+}
+
+/// RAII guard; unlocks on drop (waking the next waiter).
+///
+/// The protected value is reached with [`MutexGuard::borrow`] /
+/// [`MutexGuard::borrow_mut`]; only the guard holder may do so, which
+/// the lock discipline guarantees.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a SimMutex<T>,
+}
+
+impl<T> MutexGuard<'_, T> {
+    /// Shared access to the protected value.
+    pub fn borrow(&self) -> Ref<'_, T> {
+        self.mutex.value.borrow()
+    }
+
+    /// Exclusive access to the protected value.
+    pub fn borrow_mut(&self) -> RefMut<'_, T> {
+        self.mutex.value.borrow_mut()
+    }
+
+    /// Runs a closure with exclusive access.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.mutex.value.borrow_mut())
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut st = self.mutex.st.borrow_mut();
+        st.locked = false;
+        // Hand the wake to the first waiter; it re-runs its CAS (and
+        // may still lose to a barging locker, as in real futexes).
+        if let Some(t) = st.waiters.pop_front() {
+            if sim::in_sim() {
+                sim::wake_now(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chanos_sim::{sleep, spawn_on, Config, CoreId, RunEnd, Simulation};
+
+    fn sim(cores: usize) -> Simulation {
+        Simulation::with_config(Config {
+            cores,
+            ctx_switch: 0,
+            ..Config::default()
+        })
+    }
+
+    #[test]
+    fn provides_mutual_exclusion() {
+        let mut s = sim(8);
+        let (sum, overlaps) = s
+            .block_on(async {
+                let m = SimMutex::new(0u64);
+                let in_cs = Rc::new(std::cell::Cell::new(false));
+                let overlaps = Rc::new(std::cell::Cell::new(0u32));
+                let hs: Vec<_> = (0..8)
+                    .map(|c| {
+                        let m = m.clone();
+                        let in_cs = in_cs.clone();
+                        let overlaps = overlaps.clone();
+                        spawn_on(CoreId(c), async move {
+                            for _ in 0..50 {
+                                let g = m.lock().await;
+                                if in_cs.replace(true) {
+                                    overlaps.set(overlaps.get() + 1);
+                                }
+                                // Critical section spans an await.
+                                sleep(7).await;
+                                let v = *g.borrow();
+                                g.with(|v| *v += 1);
+                                assert_eq!(*g.borrow(), v + 1);
+                                in_cs.set(false);
+                                drop(g);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join().await.unwrap();
+                }
+                let total = *m.lock().await.borrow();
+                (total, overlaps.get())
+            })
+            .unwrap();
+        assert_eq!(sum, 400);
+        assert_eq!(overlaps, 0, "two tasks were in the critical section");
+    }
+
+    #[test]
+    fn blocked_waiter_releases_core() {
+        let mut s = sim(1);
+        // Holder sleeps with the lock; a second task on the SAME core
+        // must still be able to run while the waiter blocks.
+        let progressed = s
+            .block_on(async {
+                let m = SimMutex::new(());
+                let m2 = m.clone();
+                let holder = spawn_on(CoreId(0), async move {
+                    let g = m2.lock().await;
+                    sleep(10_000).await;
+                    drop(g);
+                });
+                let m3 = m.clone();
+                let waiter = spawn_on(CoreId(0), async move {
+                    let _g = m3.lock().await;
+                });
+                let bystander = spawn_on(CoreId(0), async move {
+                    chanos_sim::delay(10).await;
+                    chanos_sim::now()
+                });
+                let t = bystander.join().await.unwrap();
+                holder.join().await.unwrap();
+                waiter.join().await.unwrap();
+                t
+            })
+            .unwrap();
+        // The bystander finished long before the 10k-cycle hold ended.
+        assert!(progressed < 5_000, "bystander ran at {progressed}");
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let mut s = sim(1);
+        s.block_on(async {
+            let m = SimMutex::new(1);
+            let g = m.lock().await;
+            assert!(m.try_lock().await.is_none());
+            drop(g);
+            assert!(m.try_lock().await.is_some());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn no_deadlock_under_heavy_contention() {
+        let mut s = sim(16);
+        let m = s.block_on(async { SimMutex::new(0u32) }).unwrap();
+        for c in 0..16 {
+            let m = m.clone();
+            s.spawn_on(CoreId(c), async move {
+                for _ in 0..20 {
+                    let g = m.lock().await;
+                    sleep(3).await;
+                    g.with(|v| *v += 1);
+                    drop(g);
+                }
+            });
+        }
+        let out = s.run_until_idle();
+        assert_eq!(out.end, RunEnd::Completed);
+        let total = s
+            .block_on(async move { *m.lock().await.borrow() })
+            .unwrap();
+        assert_eq!(total, 320);
+    }
+}

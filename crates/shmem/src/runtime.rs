@@ -1,0 +1,389 @@
+//! The coherence cost model: a directory tracking cache-line
+//! ownership, charging cycles for the traffic each access generates.
+//!
+//! The paper's core scaling claim (§1) is that *"conventional thread
+//! programming using locks and shared memory does not scale to
+//! hundreds of cores"*. Two mechanisms create that collapse, and both
+//! are modeled here:
+//!
+//! 1. **Traffic volume** — a write to a line shared by k cores pays
+//!    for k invalidations; a miss pays a directory lookup plus a
+//!    transfer over the real interconnect distance.
+//! 2. **Serialization** — coherence transactions on the *same line*
+//!    are ordered by the directory. Concurrent requesters queue: the
+//!    n-th CAS in a storm waits for the previous n-1. Cache hits
+//!    bypass the directory and never queue.
+//!
+//! The distances come from the same `chanos-noc` interconnect the
+//! message runtime uses, so experiment E2 compares the two worlds on
+//! equal hardware.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use chanos_noc::Interconnect;
+use chanos_sim::{Cycles, Simulation};
+
+/// Cost parameters of the coherence protocol.
+#[derive(Debug, Clone)]
+pub struct CoherenceCosts {
+    /// An access that hits in the local cache.
+    pub l1_hit: Cycles,
+    /// Directory lookup on any miss.
+    pub directory: Cycles,
+    /// Per-hop cost of moving a line between cores (reuses the NoC
+    /// distance between owner and requester).
+    pub per_hop: Cycles,
+    /// Fetching a line from memory (cold or evicted).
+    pub mem_fetch: Cycles,
+    /// Fixed cost to launch invalidations on a write.
+    pub inv_base: Cycles,
+    /// Additional cost per sharer invalidated.
+    pub inv_per_sharer: Cycles,
+}
+
+impl Default for CoherenceCosts {
+    fn default() -> Self {
+        CoherenceCosts {
+            l1_hit: 2,
+            directory: 40,
+            per_hop: 4,
+            mem_fetch: 150,
+            inv_base: 20,
+            inv_per_sharer: 12,
+        }
+    }
+}
+
+/// State of one cache line in the directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LineState {
+    /// In memory only.
+    Uncached,
+    /// Shared read-only by a set of cores.
+    Shared(Vec<usize>),
+    /// Exclusively owned (modified) by one core.
+    Modified(usize),
+}
+
+#[derive(Debug)]
+struct Line {
+    state: LineState,
+    /// The directory finishes its previous transaction on this line
+    /// at this time; later transactions queue behind it.
+    busy_until: Cycles,
+}
+
+/// A sparse directory over all cache lines ever touched.
+#[derive(Debug, Default)]
+pub struct Directory {
+    lines: std::collections::HashMap<u64, Line>,
+}
+
+impl Directory {
+    fn line(&mut self, id: u64) -> &mut Line {
+        self.lines.entry(id).or_insert(Line {
+            state: LineState::Uncached,
+            busy_until: 0,
+        })
+    }
+
+    /// Total delay (queueing + transfer) for core `who` reading `line`
+    /// at time `now`, updating the directory.
+    pub fn read(
+        &mut self,
+        ic: &Interconnect,
+        costs: &CoherenceCosts,
+        line: u64,
+        who: usize,
+        now: Cycles,
+    ) -> Cycles {
+        let l = self.line(line);
+        let base = match &mut l.state {
+            LineState::Uncached => {
+                l.state = LineState::Shared(vec![who]);
+                costs.directory + costs.mem_fetch
+            }
+            LineState::Shared(sharers) => {
+                if sharers.contains(&who) {
+                    return costs.l1_hit; // Hit: no directory transaction.
+                }
+                sharers.push(who);
+                costs.directory + costs.mem_fetch
+            }
+            LineState::Modified(owner) => {
+                if *owner == who {
+                    return costs.l1_hit;
+                }
+                // Writeback + transfer from the owner; line becomes
+                // shared by both.
+                let hops = ic.hops(*owner, who);
+                let prev = *owner;
+                l.state = LineState::Shared(vec![prev, who]);
+                costs.directory + costs.per_hop * Cycles::from(hops) + costs.mem_fetch / 2
+            }
+        };
+        let start = l.busy_until.max(now);
+        let done = start + base;
+        l.busy_until = done;
+        done - now
+    }
+
+    /// Total delay (queueing + transfer) for core `who` writing `line`
+    /// at time `now`, updating the directory.
+    pub fn write(
+        &mut self,
+        ic: &Interconnect,
+        costs: &CoherenceCosts,
+        line: u64,
+        who: usize,
+        now: Cycles,
+    ) -> Cycles {
+        let l = self.line(line);
+        let base = match &mut l.state {
+            LineState::Uncached => {
+                l.state = LineState::Modified(who);
+                costs.directory + costs.mem_fetch
+            }
+            LineState::Shared(sharers) => {
+                // Invalidate every other sharer.
+                let others = sharers.iter().filter(|&&s| s != who).count();
+                let upgrade_fetch = if sharers.contains(&who) {
+                    0
+                } else {
+                    costs.mem_fetch / 2
+                };
+                l.state = LineState::Modified(who);
+                costs.directory
+                    + costs.inv_base
+                    + costs.inv_per_sharer * others as Cycles
+                    + upgrade_fetch
+            }
+            LineState::Modified(owner) => {
+                if *owner == who {
+                    return costs.l1_hit;
+                }
+                let hops = ic.hops(*owner, who);
+                l.state = LineState::Modified(who);
+                costs.directory
+                    + costs.inv_base
+                    + costs.inv_per_sharer
+                    + costs.per_hop * Cycles::from(hops)
+            }
+        };
+        let start = l.busy_until.max(now);
+        let done = start + base;
+        l.busy_until = done;
+        done - now
+    }
+
+    /// Number of lines the directory tracks.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Returns `true` if no lines were ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// The shared-memory runtime attached to a simulation.
+pub struct ShmemRuntime {
+    ic: Interconnect,
+    costs: CoherenceCosts,
+    dir: RefCell<Directory>,
+    next_line: std::cell::Cell<u64>,
+}
+
+impl ShmemRuntime {
+    /// Returns the runtime of the current simulation, installing a
+    /// default (mesh over the machine's cores, default costs) on first
+    /// use.
+    pub fn current() -> Rc<ShmemRuntime> {
+        if let Some(rt) = chanos_sim::ext_get::<ShmemRuntime>() {
+            return rt;
+        }
+        let cores = chanos_sim::real_cores();
+        chanos_sim::ext_insert(ShmemRuntime::new(Interconnect::mesh_for(cores)));
+        chanos_sim::ext_get::<ShmemRuntime>().expect("just inserted")
+    }
+
+    fn new(ic: Interconnect) -> Self {
+        ShmemRuntime {
+            ic,
+            costs: CoherenceCosts::default(),
+            dir: RefCell::new(Directory::default()),
+            next_line: std::cell::Cell::new(1),
+        }
+    }
+
+    /// Allocates a fresh cache line id (no false sharing).
+    pub fn fresh_line(&self) -> u64 {
+        let l = self.next_line.get();
+        self.next_line.set(l + 1);
+        l
+    }
+
+    /// Charges and returns the delay of a read of `line` by `who`.
+    pub fn read_cost(&self, line: u64, who: usize) -> Cycles {
+        chanos_sim::stat_incr("shmem.reads");
+        let now = chanos_sim::now();
+        self.dir
+            .borrow_mut()
+            .read(&self.ic, &self.costs, line, who, now)
+    }
+
+    /// Charges and returns the delay of a write of `line` by `who`.
+    pub fn write_cost(&self, line: u64, who: usize) -> Cycles {
+        chanos_sim::stat_incr("shmem.writes");
+        let now = chanos_sim::now();
+        self.dir
+            .borrow_mut()
+            .write(&self.ic, &self.costs, line, who, now)
+    }
+
+    /// The cost parameters in use.
+    pub fn costs(&self) -> &CoherenceCosts {
+        &self.costs
+    }
+}
+
+/// Installs a shared-memory runtime over the given interconnect.
+pub fn install(sim: &Simulation, ic: Interconnect) {
+    sim.ext_insert(ShmemRuntime::new(ic));
+}
+
+/// Installs a shared-memory runtime with explicit cost parameters.
+pub fn install_with(sim: &Simulation, ic: Interconnect, costs: CoherenceCosts) {
+    let mut rt = ShmemRuntime::new(ic);
+    rt.costs = costs;
+    sim.ext_insert(rt);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clock that advances far enough between operations that
+    /// directory serialization never queues (isolating transfer
+    /// costs).
+    struct SlowClock(Cycles);
+
+    impl SlowClock {
+        fn tick(&mut self) -> Cycles {
+            self.0 += 1_000_000;
+            self.0
+        }
+    }
+
+    fn setup() -> (Interconnect, CoherenceCosts, Directory, SlowClock) {
+        (
+            Interconnect::mesh_for(64),
+            CoherenceCosts::default(),
+            Directory::default(),
+            SlowClock(0),
+        )
+    }
+
+    #[test]
+    fn repeated_local_reads_hit() {
+        let (ic, c, mut d, mut t) = setup();
+        let cold = d.read(&ic, &c, 1, 0, t.tick());
+        let hot = d.read(&ic, &c, 1, 0, t.tick());
+        assert!(cold > hot);
+        assert_eq!(hot, c.l1_hit);
+    }
+
+    #[test]
+    fn owner_write_hits_after_first() {
+        let (ic, c, mut d, mut t) = setup();
+        let first = d.write(&ic, &c, 1, 0, t.tick());
+        let second = d.write(&ic, &c, 1, 0, t.tick());
+        assert!(first > second);
+        assert_eq!(second, c.l1_hit);
+    }
+
+    #[test]
+    fn write_cost_grows_with_sharers() {
+        let (ic, c, mut d, mut t) = setup();
+        for core in 0..4 {
+            d.read(&ic, &c, 1, core, t.tick());
+        }
+        let few = d.write(&ic, &c, 1, 0, t.tick());
+
+        let (ic2, _, mut d2, mut t2) = setup();
+        for core in 0..32 {
+            d2.read(&ic2, &c, 2, core, t2.tick());
+        }
+        let many = d2.write(&ic2, &c, 2, 0, t2.tick());
+        assert!(
+            many > few,
+            "invalidating 31 sharers ({many}) must cost more than 3 ({few})"
+        );
+        assert_eq!(many - few, c.inv_per_sharer * (31 - 3));
+    }
+
+    #[test]
+    fn remote_dirty_read_pays_distance() {
+        let (ic, c, mut d, mut t) = setup();
+        d.write(&ic, &c, 1, 0, t.tick());
+        let near = d.read(&ic, &c, 1, 1, t.tick());
+        let (ic2, _, mut d2, mut t2) = setup();
+        d2.write(&ic2, &c, 1, 0, t2.tick());
+        let far = d2.read(&ic2, &c, 1, 63, t2.tick());
+        assert!(far > near, "farther owner must cost more: {far} vs {near}");
+    }
+
+    #[test]
+    fn ping_pong_write_never_gets_cheap() {
+        let (ic, c, mut d, mut t) = setup();
+        d.write(&ic, &c, 1, 0, t.tick());
+        for i in 0..10 {
+            let who = (i + 1) % 2;
+            let cost = d.write(&ic, &c, 1, who, t.tick());
+            assert!(cost > c.l1_hit, "ping-pong write {i} should miss");
+        }
+    }
+
+    #[test]
+    fn concurrent_transactions_on_one_line_serialize() {
+        let (ic, c, mut d, _) = setup();
+        // A storm: 8 cores CAS the same line at the same instant.
+        let costs: Vec<Cycles> = (0..8).map(|core| d.write(&ic, &c, 1, core, 0)).collect();
+        for w in costs.windows(2) {
+            assert!(
+                w[1] > w[0],
+                "later requester must queue behind earlier: {costs:?}"
+            );
+        }
+        // And a private line at the same instant does not queue.
+        let lone = d.write(&ic, &c, 99, 0, 0);
+        assert!(lone < costs[2], "uncontended line must not queue");
+    }
+
+    #[test]
+    fn hits_do_not_queue_behind_transactions() {
+        let (ic, c, mut d, _) = setup();
+        d.write(&ic, &c, 1, 0, 0);
+        // Line busy; another core queues a transaction far into the
+        // future, but the owner's hit is still instant.
+        d.write(&ic, &c, 1, 1, 0);
+        let hit = d.write(&ic, &c, 1, 1, 1_000_000);
+        assert_eq!(hit, c.l1_hit);
+    }
+
+    #[test]
+    fn fresh_lines_are_distinct() {
+        let mut sim = Simulation::new(2);
+        let distinct = sim
+            .block_on(async {
+                let rt = ShmemRuntime::current();
+                let a = rt.fresh_line();
+                let b = rt.fresh_line();
+                a != b
+            })
+            .unwrap();
+        assert!(distinct);
+    }
+}

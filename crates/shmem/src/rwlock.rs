@@ -1,0 +1,322 @@
+//! A blocking reader-writer lock over the coherence cost model.
+//!
+//! Used by the "fine-grained locking" file-system baseline: readers
+//! share, writers exclude, writers have priority (no writer
+//! starvation). Even read acquisition pays a coherence write (the
+//! reader count is a shared line) — the classic reason rwlocks stop
+//! helping at high core counts.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use chanos_sim::{self as sim, delay, TaskId};
+
+use crate::runtime::ShmemRuntime;
+
+struct RwState {
+    readers: usize,
+    writer: bool,
+    wait_readers: Vec<TaskId>,
+    wait_writers: VecDeque<TaskId>,
+}
+
+/// A simulated blocking reader-writer lock protecting a `T`.
+pub struct SimRwLock<T> {
+    rt: Rc<ShmemRuntime>,
+    line: u64,
+    st: Rc<RefCell<RwState>>,
+    value: Rc<RefCell<T>>,
+}
+
+impl<T> Clone for SimRwLock<T> {
+    fn clone(&self) -> Self {
+        SimRwLock {
+            rt: self.rt.clone(),
+            line: self.line,
+            st: self.st.clone(),
+            value: self.value.clone(),
+        }
+    }
+}
+
+struct WaitIn<'a> {
+    kind: WaitKind,
+    st: &'a Rc<RefCell<RwState>>,
+    me: TaskId,
+}
+
+#[derive(Clone, Copy)]
+enum WaitKind {
+    Read,
+    Write,
+}
+
+impl Future for WaitIn<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let st = self.st.borrow();
+        let waiting = match self.kind {
+            WaitKind::Read => st.wait_readers.contains(&self.me),
+            WaitKind::Write => st.wait_writers.contains(&self.me),
+        };
+        if waiting {
+            Poll::Pending
+        } else {
+            Poll::Ready(())
+        }
+    }
+}
+
+impl Drop for WaitIn<'_> {
+    fn drop(&mut self) {
+        let mut st = self.st.borrow_mut();
+        match self.kind {
+            WaitKind::Read => st.wait_readers.retain(|&t| t != self.me),
+            WaitKind::Write => st.wait_writers.retain(|&t| t != self.me),
+        }
+    }
+}
+
+impl<T> SimRwLock<T> {
+    /// Creates an rwlock on a fresh cache line.
+    pub fn new(value: T) -> Self {
+        let rt = ShmemRuntime::current();
+        let line = rt.fresh_line();
+        SimRwLock {
+            rt,
+            line,
+            st: Rc::new(RefCell::new(RwState {
+                readers: 0,
+                writer: false,
+                wait_readers: Vec::new(),
+                wait_writers: VecDeque::new(),
+            })),
+            value: Rc::new(RefCell::new(value)),
+        }
+    }
+
+    /// Acquires shared (read) access.
+    pub async fn read(&self) -> ReadGuard<'_, T> {
+        let me = sim::current_task();
+        loop {
+            // The reader count lives on a shared line: acquisition is
+            // a coherence write even for readers.
+            let who = sim::current_core().index();
+            let cost = self.rt.write_cost(self.line, who);
+            delay(cost).await;
+            {
+                let mut st = self.st.borrow_mut();
+                if !st.writer && st.wait_writers.is_empty() {
+                    st.readers += 1;
+                    sim::stat_incr("shmem.rw_read_acquires");
+                    return ReadGuard { lock: self };
+                }
+                st.wait_readers.push(me);
+            }
+            WaitIn {
+                kind: WaitKind::Read,
+                st: &self.st,
+                me,
+            }
+            .await;
+        }
+    }
+
+    /// Acquires exclusive (write) access; has priority over readers.
+    pub async fn write(&self) -> WriteGuard<'_, T> {
+        let me = sim::current_task();
+        loop {
+            let who = sim::current_core().index();
+            let cost = self.rt.write_cost(self.line, who);
+            delay(cost).await;
+            {
+                let mut st = self.st.borrow_mut();
+                if !st.writer && st.readers == 0 {
+                    st.writer = true;
+                    sim::stat_incr("shmem.rw_write_acquires");
+                    return WriteGuard { lock: self };
+                }
+                st.wait_writers.push_back(me);
+            }
+            WaitIn {
+                kind: WaitKind::Write,
+                st: &self.st,
+                me,
+            }
+            .await;
+        }
+    }
+}
+
+fn release_wakeups(st: &mut RwState) {
+    if !sim::in_sim() {
+        return;
+    }
+    if st.writer || st.readers > 0 {
+        return;
+    }
+    if let Some(w) = st.wait_writers.pop_front() {
+        sim::wake_now(w);
+        return;
+    }
+    for r in st.wait_readers.drain(..) {
+        sim::wake_now(r);
+    }
+}
+
+/// Shared-access guard returned by [`SimRwLock::read`].
+pub struct ReadGuard<'a, T> {
+    lock: &'a SimRwLock<T>,
+}
+
+impl<T> ReadGuard<'_, T> {
+    /// Access the protected value.
+    pub fn borrow(&self) -> Ref<'_, T> {
+        self.lock.value.borrow()
+    }
+}
+
+impl<T> Drop for ReadGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut st = self.lock.st.borrow_mut();
+        st.readers -= 1;
+        release_wakeups(&mut st);
+    }
+}
+
+/// Exclusive-access guard returned by [`SimRwLock::write`].
+pub struct WriteGuard<'a, T> {
+    lock: &'a SimRwLock<T>,
+}
+
+impl<T> WriteGuard<'_, T> {
+    /// Shared access to the protected value.
+    pub fn borrow(&self) -> Ref<'_, T> {
+        self.lock.value.borrow()
+    }
+
+    /// Exclusive access to the protected value.
+    pub fn borrow_mut(&self) -> RefMut<'_, T> {
+        self.lock.value.borrow_mut()
+    }
+
+    /// Runs a closure with exclusive access.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.lock.value.borrow_mut())
+    }
+}
+
+impl<T> Drop for WriteGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut st = self.lock.st.borrow_mut();
+        st.writer = false;
+        release_wakeups(&mut st);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chanos_sim::{sleep, spawn_on, Config, CoreId, Simulation};
+
+    fn sim(cores: usize) -> Simulation {
+        Simulation::with_config(Config {
+            cores,
+            ctx_switch: 0,
+            ..Config::default()
+        })
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let mut s = sim(4);
+        let max_concurrent_readers = s
+            .block_on(async {
+                let lock = SimRwLock::new(0u32);
+                let active = Rc::new(std::cell::Cell::new(0i32));
+                let max = Rc::new(std::cell::Cell::new(0i32));
+                let hs: Vec<_> = (0..3)
+                    .map(|c| {
+                        let lock = lock.clone();
+                        let active = active.clone();
+                        let max = max.clone();
+                        spawn_on(CoreId(c), async move {
+                            let g = lock.read().await;
+                            active.set(active.get() + 1);
+                            max.set(max.get().max(active.get()));
+                            sleep(1_000).await;
+                            active.set(active.get() - 1);
+                            drop(g);
+                        })
+                    })
+                    .collect();
+                let lock2 = lock.clone();
+                let active2 = active.clone();
+                let writer = spawn_on(CoreId(3), async move {
+                    let g = lock2.write().await;
+                    assert_eq!(active2.get(), 0, "writer overlapped readers");
+                    g.with(|v| *v += 1);
+                    drop(g);
+                });
+                for h in hs {
+                    h.join().await.unwrap();
+                }
+                writer.join().await.unwrap();
+                max.get()
+            })
+            .unwrap();
+        assert!(
+            max_concurrent_readers >= 2,
+            "readers should overlap: max {max_concurrent_readers}"
+        );
+    }
+
+    #[test]
+    fn writer_priority_blocks_new_readers() {
+        let mut s = sim(3);
+        let order = s
+            .block_on(async {
+                let lock = SimRwLock::new(());
+                let order = Rc::new(RefCell::new(Vec::new()));
+                // Reader 0 holds the lock.
+                let l0 = lock.clone();
+                let o0 = order.clone();
+                let r0 = spawn_on(CoreId(0), async move {
+                    let g = l0.read().await;
+                    sleep(1_000).await;
+                    o0.borrow_mut().push("r0-done");
+                    drop(g);
+                });
+                sleep(10).await;
+                // A writer queues...
+                let l1 = lock.clone();
+                let o1 = order.clone();
+                let w = spawn_on(CoreId(1), async move {
+                    let g = l1.write().await;
+                    o1.borrow_mut().push("writer");
+                    drop(g);
+                });
+                sleep(10).await;
+                // ...then a late reader must wait behind the writer.
+                let l2 = lock.clone();
+                let o2 = order.clone();
+                let r1 = spawn_on(CoreId(2), async move {
+                    let g = l2.read().await;
+                    o2.borrow_mut().push("r1");
+                    drop(g);
+                });
+                r0.join().await.unwrap();
+                w.join().await.unwrap();
+                r1.join().await.unwrap();
+                let out = order.borrow().clone();
+                out
+            })
+            .unwrap();
+        assert_eq!(order, vec!["r0-done", "writer", "r1"]);
+    }
+}

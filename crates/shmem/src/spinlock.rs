@@ -1,0 +1,546 @@
+//! Spinlocks over the coherence cost model: test-and-set, ticket, and
+//! MCS.
+//!
+//! These are the locks whose scaling collapse motivates the paper's
+//! §1 argument. Their cost signatures differ exactly as in the
+//! classical literature:
+//!
+//! * **TAS** — every contender CAS-hammers one line; each release
+//!   triggers a thundering herd of retries: O(N) coherence traffic
+//!   per handoff, worst fairness.
+//! * **Ticket** — one `fetch_add` to join; each release invalidates
+//!   every spinner's cached copy of `serving`: still O(N) re-reads per
+//!   handoff, but FIFO-fair.
+//! * **MCS** — contenders queue and spin on a *local* line; a release
+//!   touches only the successor: O(1) traffic per handoff.
+//!
+//! While waiting, spinners **occupy their core**
+//! ([`chanos_sim::block_holding_core`]), so a spinning wait shows up
+//! as burned CPU in core-utilization results, exactly like real
+//! spinlocks.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use chanos_sim::{self as sim, delay, TaskId};
+
+use crate::runtime::ShmemRuntime;
+
+/// Spin-parks until this task is no longer in `waiters`, holding the
+/// core the whole time.
+struct SpinPark<'a> {
+    waiters: &'a Rc<RefCell<Vec<TaskId>>>,
+    me: TaskId,
+}
+
+impl Future for SpinPark<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.waiters.borrow().contains(&self.me) {
+            sim::block_holding_core();
+            Poll::Pending
+        } else {
+            Poll::Ready(())
+        }
+    }
+}
+
+impl Drop for SpinPark<'_> {
+    fn drop(&mut self) {
+        self.waiters.borrow_mut().retain(|&t| t != self.me);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-and-set.
+// ---------------------------------------------------------------------------
+
+struct TasState {
+    locked: bool,
+}
+
+/// A test-and-set spinlock (the naive design).
+pub struct TasSpinlock {
+    rt: Rc<ShmemRuntime>,
+    line: u64,
+    st: Rc<RefCell<TasState>>,
+    spinners: Rc<RefCell<Vec<TaskId>>>,
+}
+
+impl Clone for TasSpinlock {
+    fn clone(&self) -> Self {
+        TasSpinlock {
+            rt: self.rt.clone(),
+            line: self.line,
+            st: self.st.clone(),
+            spinners: self.spinners.clone(),
+        }
+    }
+}
+
+impl Default for TasSpinlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TasSpinlock {
+    /// Creates an unlocked TAS spinlock.
+    pub fn new() -> Self {
+        let rt = ShmemRuntime::current();
+        let line = rt.fresh_line();
+        TasSpinlock {
+            rt,
+            line,
+            st: Rc::new(RefCell::new(TasState { locked: false })),
+            spinners: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Acquires the lock, spinning (core held) while contended.
+    pub async fn lock(&self) -> TasGuard {
+        let me = sim::current_task();
+        loop {
+            // Every attempt is an exclusive-ownership write: the
+            // coherence storm that kills TAS under contention.
+            let who = sim::current_core().index();
+            let cost = self.rt.write_cost(self.line, who);
+            delay(cost).await;
+            {
+                let mut st = self.st.borrow_mut();
+                if !st.locked {
+                    st.locked = true;
+                    sim::stat_incr("shmem.tas_acquires");
+                    return TasGuard { lock: self.clone() };
+                }
+                self.spinners.borrow_mut().push(me);
+                sim::stat_incr("shmem.tas_spins");
+            }
+            SpinPark {
+                waiters: &self.spinners,
+                me,
+            }
+            .await;
+        }
+    }
+}
+
+/// RAII guard for [`TasSpinlock`].
+pub struct TasGuard {
+    lock: TasSpinlock,
+}
+
+impl Drop for TasGuard {
+    fn drop(&mut self) {
+        if !sim::in_sim() {
+            self.lock.st.borrow_mut().locked = false;
+            return;
+        }
+        // The release is itself a store to the contended line: it
+        // queues at the directory behind every pending CAS. This is
+        // the classical TAS collapse mechanism — the more spinners,
+        // the longer the lock stays logically held after the guard
+        // drops. (MCS avoids exactly this by releasing onto the
+        // successor's private line.)
+        let lock = self.lock.clone();
+        let who = sim::current_core().index();
+        let wcost = lock.rt.write_cost(lock.line, who);
+        sim::spawn_daemon_on("tas-release", sim::system_device_core(), async move {
+            chanos_sim::sleep(wcost).await;
+            lock.st.borrow_mut().locked = false;
+            // Thundering herd: every spinner retries its CAS.
+            let woken: Vec<TaskId> = lock.spinners.borrow_mut().drain(..).collect();
+            for t in woken {
+                sim::wake_now(t);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ticket lock.
+// ---------------------------------------------------------------------------
+
+struct TicketState {
+    next: u64,
+    serving: u64,
+}
+
+/// A FIFO ticket spinlock.
+pub struct TicketLock {
+    rt: Rc<ShmemRuntime>,
+    next_line: u64,
+    serving_line: u64,
+    st: Rc<RefCell<TicketState>>,
+    spinners: Rc<RefCell<Vec<TaskId>>>,
+}
+
+impl Clone for TicketLock {
+    fn clone(&self) -> Self {
+        TicketLock {
+            rt: self.rt.clone(),
+            next_line: self.next_line,
+            serving_line: self.serving_line,
+            st: self.st.clone(),
+            spinners: self.spinners.clone(),
+        }
+    }
+}
+
+impl Default for TicketLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TicketLock {
+    /// Creates an unlocked ticket lock.
+    pub fn new() -> Self {
+        let rt = ShmemRuntime::current();
+        let next_line = rt.fresh_line();
+        let serving_line = rt.fresh_line();
+        TicketLock {
+            rt,
+            next_line,
+            serving_line,
+            st: Rc::new(RefCell::new(TicketState {
+                next: 0,
+                serving: 0,
+            })),
+            spinners: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Acquires the lock; grants strictly in ticket (FIFO) order.
+    pub async fn lock(&self) -> TicketGuard {
+        let me = sim::current_task();
+        // Draw a ticket: one fetch_add on the ticket line.
+        let who = sim::current_core().index();
+        let cost = self.rt.write_cost(self.next_line, who);
+        delay(cost).await;
+        let my_ticket = {
+            let mut st = self.st.borrow_mut();
+            let t = st.next;
+            st.next += 1;
+            t
+        };
+        // First read of `serving`.
+        let who = sim::current_core().index();
+        let cost = self.rt.read_cost(self.serving_line, who);
+        delay(cost).await;
+        loop {
+            if self.st.borrow().serving == my_ticket {
+                sim::stat_incr("shmem.ticket_acquires");
+                return TicketGuard { lock: self.clone() };
+            }
+            self.spinners.borrow_mut().push(me);
+            sim::stat_incr("shmem.ticket_spins");
+            SpinPark {
+                waiters: &self.spinners,
+                me,
+            }
+            .await;
+            // The release invalidated our cached copy: re-read.
+            let who = sim::current_core().index();
+            let cost = self.rt.read_cost(self.serving_line, who);
+            delay(cost).await;
+        }
+    }
+}
+
+/// RAII guard for [`TicketLock`].
+pub struct TicketGuard {
+    lock: TicketLock,
+}
+
+impl Drop for TicketGuard {
+    fn drop(&mut self) {
+        if !sim::in_sim() {
+            self.lock.st.borrow_mut().serving += 1;
+            return;
+        }
+        // Bumping `serving` is a store to a line every spinner reads:
+        // it queues behind their refetches (same collapse mechanism
+        // as TAS, with FIFO fairness on top).
+        let lock = self.lock.clone();
+        let who = sim::current_core().index();
+        let wcost = lock.rt.write_cost(lock.serving_line, who);
+        sim::spawn_daemon_on("ticket-release", sim::system_device_core(), async move {
+            chanos_sim::sleep(wcost).await;
+            lock.st.borrow_mut().serving += 1;
+            // Every spinner re-reads `serving`: O(N) traffic, but only
+            // the matching ticket proceeds.
+            let woken: Vec<TaskId> = lock.spinners.borrow_mut().drain(..).collect();
+            for t in woken {
+                sim::wake_now(t);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MCS queue lock.
+// ---------------------------------------------------------------------------
+
+struct McsState {
+    /// Task currently holding (or designated to hold) the lock.
+    holder: Option<TaskId>,
+    /// Queued waiters: (task, core).
+    queue: VecDeque<(TaskId, usize)>,
+}
+
+/// An MCS queue spinlock: local spinning, O(1) handoff traffic.
+pub struct McsLock {
+    rt: Rc<ShmemRuntime>,
+    tail_line: u64,
+    st: Rc<RefCell<McsState>>,
+    waiting: Rc<RefCell<Vec<TaskId>>>,
+}
+
+impl Clone for McsLock {
+    fn clone(&self) -> Self {
+        McsLock {
+            rt: self.rt.clone(),
+            tail_line: self.tail_line,
+            st: self.st.clone(),
+            waiting: self.waiting.clone(),
+        }
+    }
+}
+
+impl Default for McsLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl McsLock {
+    /// Creates an unlocked MCS lock.
+    pub fn new() -> Self {
+        let rt = ShmemRuntime::current();
+        let tail_line = rt.fresh_line();
+        McsLock {
+            rt,
+            tail_line,
+            st: Rc::new(RefCell::new(McsState {
+                holder: None,
+                queue: VecDeque::new(),
+            })),
+            waiting: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Acquires the lock; waiters spin on their own queue node.
+    pub async fn lock(&self) -> McsGuard {
+        let me = sim::current_task();
+        let my_core = sim::current_core().index();
+        // Swap ourselves onto the tail: one write to the tail line.
+        let cost = self.rt.write_cost(self.tail_line, my_core);
+        delay(cost).await;
+        {
+            let mut st = self.st.borrow_mut();
+            if st.holder.is_none() && st.queue.is_empty() {
+                st.holder = Some(me);
+                sim::stat_incr("shmem.mcs_acquires");
+                return McsGuard { lock: self.clone() };
+            }
+            st.queue.push_back((me, my_core));
+            self.waiting.borrow_mut().push(me);
+            sim::stat_incr("shmem.mcs_spins");
+        }
+        SpinPark {
+            waiters: &self.waiting,
+            me,
+        }
+        .await;
+        // Handoff: predecessor wrote our queue node; one line
+        // transfer's worth of cost, independent of contention.
+        let cost = self.rt.costs().directory + self.rt.costs().per_hop;
+        delay(cost).await;
+        debug_assert_eq!(self.st.borrow().holder, Some(me));
+        sim::stat_incr("shmem.mcs_acquires");
+        McsGuard { lock: self.clone() }
+    }
+}
+
+/// RAII guard for [`McsLock`].
+pub struct McsGuard {
+    lock: McsLock,
+}
+
+impl Drop for McsGuard {
+    fn drop(&mut self) {
+        let mut st = self.lock.st.borrow_mut();
+        if let Some((next, _core)) = st.queue.pop_front() {
+            // Transfer ownership before waking, so barging lockers
+            // cannot slip in between.
+            st.holder = Some(next);
+            drop(st);
+            self.lock.waiting.borrow_mut().retain(|&t| t != next);
+            if sim::in_sim() {
+                sim::wake_now(next);
+            }
+        } else {
+            st.holder = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chanos_sim::{spawn_on, Config, CoreId, RunEnd, Simulation};
+
+    fn sim(cores: usize) -> Simulation {
+        Simulation::with_config(Config {
+            cores,
+            ctx_switch: 0,
+            ..Config::default()
+        })
+    }
+
+    /// Runs `per_task` lock/increment/unlock rounds on `cores` cores
+    /// against the given lock; returns (total, elapsed).
+    macro_rules! contend {
+        ($sim:expr, $cores:expr, $per:expr, $cs:expr, $think:expr, $mk:expr, $lockfn:ident) => {{
+            let mut s = $sim;
+            let out = s
+                .block_on(async move {
+                    let lock = $mk;
+                    let counter = Rc::new(std::cell::Cell::new(0u64));
+                    let t0 = chanos_sim::now();
+                    let hs: Vec<_> = (0..$cores)
+                        .map(|c| {
+                            let lock = lock.clone();
+                            let counter = counter.clone();
+                            spawn_on(CoreId(c as u32), async move {
+                                for _ in 0..$per {
+                                    let g = lock.$lockfn().await;
+                                    // Hold the lock across real work so
+                                    // contention actually materializes.
+                                    chanos_sim::delay($cs).await;
+                                    counter.set(counter.get() + 1);
+                                    drop(g);
+                                    // Think time outside the lock, as in
+                                    // the classical lock microbenchmarks
+                                    // (prevents pure barging bursts).
+                                    chanos_sim::delay($think).await;
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in hs {
+                        h.join().await.unwrap();
+                    }
+                    (counter.get(), chanos_sim::now() - t0)
+                })
+                .unwrap();
+            out
+        }};
+    }
+
+    #[test]
+    fn tas_mutual_exclusion_and_counting() {
+        let (total, _) = contend!(sim(8), 8, 50, 20, 50, TasSpinlock::new(), lock);
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn ticket_mutual_exclusion_and_counting() {
+        let (total, _) = contend!(sim(8), 8, 50, 20, 50, TicketLock::new(), lock);
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn mcs_mutual_exclusion_and_counting() {
+        let (total, _) = contend!(sim(8), 8, 50, 20, 50, McsLock::new(), lock);
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn ticket_lock_grants_fifo() {
+        let mut s = sim(4);
+        let order = s
+            .block_on(async {
+                let lock = TicketLock::new();
+                let order = Rc::new(RefCell::new(Vec::new()));
+                // Acquire the lock, then queue three waiters with
+                // deterministic arrival times.
+                let g = lock.lock().await;
+                let mut hs = Vec::new();
+                for c in 1..4u32 {
+                    let lock = lock.clone();
+                    let order = order.clone();
+                    hs.push(spawn_on(CoreId(c), async move {
+                        chanos_sim::sleep(u64::from(c) * 100).await;
+                        let g = lock.lock().await;
+                        order.borrow_mut().push(c);
+                        drop(g);
+                    }));
+                }
+                chanos_sim::sleep(1_000).await;
+                drop(g);
+                for h in hs {
+                    h.join().await.unwrap();
+                }
+                let out = order.borrow().clone();
+                out
+            })
+            .unwrap();
+        assert_eq!(order, vec![1, 2, 3], "ticket lock must grant in arrival order");
+    }
+
+    #[test]
+    fn mcs_scales_better_than_tas() {
+        let cores = 16;
+        let (_, tas_time) = contend!(sim(cores), cores, 30, 100, 300, TasSpinlock::new(), lock);
+        let (_, mcs_time) = contend!(sim(cores), cores, 30, 100, 300, McsLock::new(), lock);
+        assert!(
+            mcs_time < tas_time,
+            "MCS ({mcs_time}) should beat TAS ({tas_time}) at {cores} cores"
+        );
+    }
+
+    #[test]
+    fn spinners_burn_their_cores() {
+        let mut s = sim(2);
+        // Locks must be constructed inside the simulation (they need
+        // the shared-memory runtime).
+        let lock = s.block_on(async { TasSpinlock::new() }).unwrap();
+        let l2 = lock.clone();
+        s.spawn_on(CoreId(0), async move {
+            let g = l2.lock().await;
+            chanos_sim::sleep(10_000).await;
+            drop(g);
+        });
+        let l3 = lock.clone();
+        s.spawn_on(CoreId(1), async move {
+            // Arrive well after the holder has the lock.
+            chanos_sim::sleep(500).await;
+            let _g = l3.lock().await;
+        });
+        let out = s.run_until_idle();
+        assert_eq!(out.end, RunEnd::Completed);
+        let util = s.core_utilization();
+        // Core 1 spent nearly the whole run spinning.
+        assert!(
+            util[1] > 0.8,
+            "spinner should burn its core: utilization {util:?}"
+        );
+    }
+
+    #[test]
+    fn heavy_contention_completes_on_all_locks() {
+        let (tas_total, _) = contend!(sim(32), 32, 10, 50, 100, TasSpinlock::new(), lock);
+        assert_eq!(tas_total, 320);
+        let (ticket_total, _) = contend!(sim(32), 32, 10, 50, 100, TicketLock::new(), lock);
+        assert_eq!(ticket_total, 320);
+        let (mcs_total, _) = contend!(sim(32), 32, 10, 50, 100, McsLock::new(), lock);
+        assert_eq!(mcs_total, 320);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the coherence directory and lock invariants.
+
+use proptest::prelude::*;
+
+use chanos_noc::Interconnect;
+use chanos_shmem::{CoherenceCosts, Directory, McsLock, SimMutex, TasSpinlock, TicketLock};
+use chanos_sim::{Config, CoreId, Simulation};
+
+proptest! {
+    /// Directory costs are always at least the L1 hit cost, and an
+    /// access by the same core immediately after its own access is a
+    /// hit.
+    #[test]
+    fn directory_costs_bounded_below(
+        ops in prop::collection::vec((0u64..8, 0usize..16, any::<bool>()), 1..200)
+    ) {
+        let ic = Interconnect::mesh_for(16);
+        let costs = CoherenceCosts::default();
+        let mut dir = Directory::default();
+        let mut now = 0;
+        for (line, core, write) in ops {
+            now += 1_000_000; // Quiesce queueing to isolate transfer costs.
+            let c = if write {
+                dir.write(&ic, &costs, line, core, now)
+            } else {
+                dir.read(&ic, &costs, line, core, now)
+            };
+            prop_assert!(c >= costs.l1_hit);
+            // Immediately repeated read by the same core always hits.
+            let again = dir.read(&ic, &costs, line, core, now);
+            prop_assert!(
+                again == costs.l1_hit,
+                "repeat read must hit: got {again}"
+            );
+        }
+    }
+
+    /// Queueing: transactions at the same instant on one line are
+    /// strictly increasing in cost; on distinct lines they are not
+    /// coupled.
+    #[test]
+    fn same_line_queues_distinct_lines_do_not(cores in 2usize..12) {
+        let ic = Interconnect::mesh_for(16);
+        let costs = CoherenceCosts::default();
+        let mut dir = Directory::default();
+        let mut last = 0;
+        for c in 0..cores {
+            let cost = dir.write(&ic, &costs, 7, c, 0);
+            prop_assert!(cost > last, "later requester must queue");
+            last = cost;
+        }
+        let mut dir2 = Directory::default();
+        let solo = dir2.write(&ic, &costs, 1, 0, 0);
+        let other = dir2.write(&ic, &costs, 2, 1, 0);
+        // A second line is independent: no queueing premium.
+        prop_assert!(other <= solo + costs.per_hop * 30);
+    }
+
+    /// Mutual exclusion holds for every lock type under random
+    /// contention patterns, and all increments survive.
+    #[test]
+    fn locks_never_lose_updates(
+        seed in any::<u64>(),
+        cores in 2usize..6,
+        per in 1u64..12,
+        which in 0usize..4,
+    ) {
+        let mut s = Simulation::with_config(Config {
+            cores,
+            ctx_switch: 10,
+            seed,
+            ..Config::default()
+        });
+        let total = s
+            .block_on(async move {
+                let counter = std::rc::Rc::new(std::cell::Cell::new(0u64));
+                let in_cs = std::rc::Rc::new(std::cell::Cell::new(false));
+                macro_rules! contend {
+                    ($lock:expr, $method:ident) => {{
+                        let lock = $lock;
+                        let hs: Vec<_> = (0..cores)
+                            .map(|c| {
+                                let lock = lock.clone();
+                                let counter = counter.clone();
+                                let in_cs = in_cs.clone();
+                                chanos_sim::spawn_on(CoreId(c as u32), async move {
+                                    for _ in 0..per {
+                                        let g = lock.$method().await;
+                                        assert!(!in_cs.replace(true), "overlap!");
+                                        let pause =
+                                            chanos_sim::with_rng(|r| r.range(1, 30));
+                                        chanos_sim::delay(pause).await;
+                                        counter.set(counter.get() + 1);
+                                        in_cs.set(false);
+                                        drop(g);
+                                    }
+                                })
+                            })
+                            .collect();
+                        for h in hs {
+                            h.join().await.unwrap();
+                        }
+                    }};
+                }
+                match which {
+                    0 => contend!(TasSpinlock::new(), lock),
+                    1 => contend!(TicketLock::new(), lock),
+                    2 => contend!(McsLock::new(), lock),
+                    _ => contend!(SimMutex::new(()), lock),
+                }
+                counter.get()
+            })
+            .unwrap();
+        prop_assert_eq!(total, cores as u64 * per);
+    }
+}

@@ -1,0 +1,167 @@
+//! Time- and scheduling-related futures: `delay`, `sleep`,
+//! `yield_now`, `migrate`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::ctx;
+use crate::executor::PollEffect;
+use crate::ids::{CoreId, Cycles};
+
+/// Charges `n` cycles of *compute* to the current core.
+///
+/// The core stays busy for the duration: other ready tasks on the same
+/// core wait. This is how simulated code models work it performs.
+pub fn delay(n: Cycles) -> Delay {
+    Delay {
+        n,
+        deadline: None,
+    }
+}
+
+/// Future returned by [`delay`].
+#[derive(Debug)]
+pub struct Delay {
+    n: Cycles,
+    deadline: Option<Cycles>,
+}
+
+impl Future for Delay {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let now = ctx::now();
+        match self.deadline {
+            None => {
+                if self.n == 0 {
+                    return Poll::Ready(());
+                }
+                self.deadline = Some(now + self.n);
+                ctx::set_poll_effect(PollEffect::BusyFor(self.n));
+                Poll::Pending
+            }
+            Some(d) => {
+                if now >= d {
+                    Poll::Ready(())
+                } else {
+                    ctx::set_poll_effect(PollEffect::BusyFor(d - now));
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+/// Sleeps for `n` cycles of virtual time *without* occupying the core.
+///
+/// Other tasks run on the core in the meantime; use this for timers
+/// and device latencies, [`delay`] for compute.
+pub fn sleep(n: Cycles) -> Sleep {
+    Sleep {
+        n,
+        deadline: None,
+    }
+}
+
+/// Future returned by [`sleep`].
+#[derive(Debug)]
+pub struct Sleep {
+    n: Cycles,
+    deadline: Option<Cycles>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let now = ctx::now();
+        match self.deadline {
+            None => {
+                if self.n == 0 {
+                    return Poll::Ready(());
+                }
+                let d = now + self.n;
+                self.deadline = Some(d);
+                ctx::schedule_wake_at(ctx::current_task(), d);
+                Poll::Pending
+            }
+            Some(d) => {
+                if now >= d {
+                    Poll::Ready(())
+                } else {
+                    // Spurious wake before the timer fired; the
+                    // original wake event is still scheduled.
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+/// Releases the core and requeues the current task behind other ready
+/// tasks on the same core.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            ctx::set_poll_effect(PollEffect::Yield);
+            Poll::Pending
+        }
+    }
+}
+
+/// Moves the current task to `dest` (it resumes on that core's run
+/// queue, paying the usual dispatch cost there).
+pub fn migrate(dest: CoreId) -> Migrate {
+    Migrate {
+        dest,
+        moved: false,
+    }
+}
+
+/// Future returned by [`migrate`].
+#[derive(Debug)]
+pub struct Migrate {
+    dest: CoreId,
+    moved: bool,
+}
+
+impl Future for Migrate {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.moved {
+            return Poll::Ready(());
+        }
+        self.moved = true;
+        let dest = self.dest;
+        let me = ctx::current_task();
+        ctx::with_inner(|i| {
+            assert!(
+                dest.index() < i.cpus.len(),
+                "migrate: nonexistent core {dest}"
+            );
+            if let Some(t) = i.task_mut(me) {
+                t.core = dest;
+            }
+            i.stats.incr("sim.migrations");
+        });
+        ctx::set_poll_effect(PollEffect::Yield);
+        Poll::Pending
+    }
+}

@@ -1,0 +1,179 @@
+//! Task completion: join handles and task failure reasons.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use crate::ctx;
+use crate::ids::TaskId;
+
+/// Why a task ended abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// The task's future panicked; the payload is the panic message.
+    Panicked(String),
+    /// The task was killed (cancelled) before completing.
+    Killed,
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+            JoinError::Killed => write!(f, "task killed"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+pub(crate) struct JoinInner<T> {
+    result: Option<Result<T, JoinError>>,
+    waiters: Vec<TaskId>,
+}
+
+impl<T> JoinInner<T> {
+    pub(crate) fn new() -> Self {
+        JoinInner {
+            result: None,
+            waiters: Vec::new(),
+        }
+    }
+
+    /// Stores the task outcome and returns the tasks waiting on it.
+    ///
+    /// The first completion wins; later calls (e.g. a kill racing a
+    /// normal exit) are ignored.
+    pub(crate) fn complete(&mut self, r: Result<T, JoinError>) -> Vec<TaskId> {
+        if self.result.is_none() {
+            self.result = Some(r);
+        }
+        std::mem::take(&mut self.waiters)
+    }
+
+    fn is_finished(&self) -> bool {
+        self.result.is_some()
+    }
+}
+
+/// An owned handle to a spawned task.
+///
+/// Await the task's result with [`JoinHandle::join`], poll it from
+/// outside the simulation with [`JoinHandle::try_take`], or cancel the
+/// task with [`JoinHandle::abort`]. Dropping the handle detaches the
+/// task (it keeps running).
+pub struct JoinHandle<T> {
+    id: TaskId,
+    inner: Rc<RefCell<JoinInner<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub(crate) fn new(id: TaskId, inner: Rc<RefCell<JoinInner<T>>>) -> Self {
+        JoinHandle { id, inner }
+    }
+
+    /// Returns the id of the underlying task.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Returns `true` once the task has finished (normally or not).
+    pub fn is_finished(&self) -> bool {
+        self.inner.borrow().is_finished()
+    }
+
+    /// Takes the task's result if it has finished.
+    ///
+    /// Returns `None` while the task is still running, or if the
+    /// result was already taken (by `join` or a previous `try_take`).
+    pub fn try_take(&self) -> Option<Result<T, JoinError>> {
+        self.inner.borrow_mut().result.take()
+    }
+
+    /// Kills the task from inside the simulation.
+    ///
+    /// Returns `true` if the task was alive. Joiners observe
+    /// [`JoinError::Killed`]. Must be called from within a running
+    /// simulation; use [`crate::Simulation::kill`] from outside.
+    pub fn abort(&self) -> bool {
+        ctx::kill(self.id)
+    }
+
+    /// Awaits the task's completion, yielding its result.
+    pub fn join(self) -> Join<T> {
+        Join {
+            inner: self.inner,
+            id: self.id,
+            registered: None,
+        }
+    }
+
+    /// Awaits the task's completion *without* consuming the handle.
+    ///
+    /// The result is still single-take: the first `watch`/`join`
+    /// future to observe completion takes it. Supervisors use this to
+    /// monitor children they must also keep handles to.
+    pub fn watch(&self) -> Join<T> {
+        Join {
+            inner: self.inner.clone(),
+            id: self.id,
+            registered: None,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("id", &self.id)
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+/// Future returned by [`JoinHandle::join`].
+///
+/// Cancel-safe: dropping it deregisters the waiter without consuming
+/// the task's result, so it can be used as a `choose!` arm.
+pub struct Join<T> {
+    inner: Rc<RefCell<JoinInner<T>>>,
+    id: TaskId,
+    registered: Option<TaskId>,
+}
+
+impl<T> Join<T> {
+    /// Returns the id of the task being joined.
+    pub fn task_id(&self) -> TaskId {
+        self.id
+    }
+}
+
+impl<T> Future for Join<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let me = ctx::current_task();
+        let mut inner = self.inner.borrow_mut();
+        if let Some(r) = inner.result.take() {
+            drop(inner);
+            self.registered = None;
+            return Poll::Ready(r);
+        }
+        if inner.waiters.iter().all(|&w| w != me) {
+            inner.waiters.push(me);
+        }
+        drop(inner);
+        self.registered = Some(me);
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for Join<T> {
+    fn drop(&mut self) {
+        if let Some(me) = self.registered {
+            self.inner.borrow_mut().waiters.retain(|&w| w != me);
+        }
+    }
+}

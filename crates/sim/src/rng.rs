@@ -1,0 +1,212 @@
+//! Deterministic pseudo-random number generation for the simulator.
+//!
+//! The simulator core carries its own PCG-XSH-RR generator instead of
+//! depending on an external crate so that simulation traces are
+//! reproducible bit-for-bit across dependency upgrades. Workload
+//! generators outside the simulator are free to use `rand`.
+
+/// A PCG-XSH-RR 64/32 pseudo-random number generator.
+///
+/// Deterministic, seedable, and fast. Not cryptographically secure;
+/// used only for workload generation and tie-breaking inside the
+/// simulator.
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Creates a generator from a seed, using the default stream.
+    pub fn new(seed: u64) -> Self {
+        Self::with_stream(seed, 0xda3e39cb94b95bdb)
+    }
+
+    /// Creates a generator with an explicit stream selector.
+    ///
+    /// Distinct streams produce statistically independent sequences
+    /// even for the same seed.
+    pub fn with_stream(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Returns the next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses rejection sampling to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection threshold for an unbiased result.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return r % bound;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.bounded(hi - lo)
+    }
+
+    /// Returns a uniformly distributed `usize` in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.bounded(bound as u64) as usize
+    }
+
+    /// Returns a uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Samples an exponential distribution with the given mean.
+    ///
+    /// Useful for Poisson inter-arrival times in workload generators.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        // Avoid ln(0) by nudging the sample away from zero.
+        let u = self.f64().max(1e-12);
+        -mean * u.ln()
+    }
+
+    /// Shuffles a slice in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Pcg32::new(42);
+        let mut b = Pcg32::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg32::new(1);
+        let mut b = Pcg32::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3, "seeds 1 and 2 should produce different streams");
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        let mut rng = Pcg32::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 2] {
+            for _ in 0..100 {
+                assert!(rng.bounded(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_respects_limits() {
+        let mut rng = Pcg32::new(9);
+        for _ in 0..1000 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg32::new(11);
+        for _ in 0..1000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut rng = Pcg32::new(5);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[rng.index(8)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 800 && c < 1200, "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg32::new(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut rng = Pcg32::new(13);
+        let n = 20000;
+        let sum: f64 = (0..n).map(|_| rng.exp(100.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "measured mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn bounded_zero_panics() {
+        Pcg32::new(0).bounded(0);
+    }
+}

@@ -1,0 +1,171 @@
+//! A minimal slab allocator for task storage.
+//!
+//! Keys are stable `usize` indices; freed slots are recycled. Kept
+//! in-repo (rather than depending on the `slab` crate) so the simulator
+//! core is self-contained and auditable.
+
+/// A slab of `T` values with stable integer keys.
+#[derive(Debug)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+#[derive(Debug)]
+enum Entry<T> {
+    Vacant,
+    Occupied(T),
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Inserts a value and returns its key.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            self.entries[idx] = Entry::Occupied(value);
+            idx
+        } else {
+            self.entries.push(Entry::Occupied(value));
+            self.entries.len() - 1
+        }
+    }
+
+    /// Removes and returns the value at `key`, if occupied.
+    pub fn remove(&mut self, key: usize) -> Option<T> {
+        match self.entries.get_mut(key) {
+            Some(slot @ Entry::Occupied(_)) => {
+                let old = std::mem::replace(slot, Entry::Vacant);
+                self.free.push(key);
+                self.len -= 1;
+                match old {
+                    Entry::Occupied(v) => Some(v),
+                    Entry::Vacant => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns a reference to the value at `key`, if occupied.
+    pub fn get(&self, key: usize) -> Option<&T> {
+        match self.entries.get(key) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns a mutable reference to the value at `key`, if occupied.
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        match self.entries.get_mut(key) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no slots are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over `(key, &value)` pairs of occupied slots.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| match e {
+            Entry::Occupied(v) => Some((i, v)),
+            Entry::Vacant => None,
+        })
+    }
+
+    /// Iterates over `(key, &mut value)` pairs of occupied slots.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut T)> {
+        self.entries
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Entry::Occupied(v) => Some((i, v)),
+                Entry::Vacant => None,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn keys_are_recycled() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        slab.remove(a);
+        let b = slab.insert(2);
+        assert_eq!(a, b, "freed slot should be reused");
+    }
+
+    #[test]
+    fn remove_twice_returns_none() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        assert_eq!(slab.remove(a), Some(1));
+        assert_eq!(slab.remove(a), None);
+    }
+
+    #[test]
+    fn get_out_of_bounds_is_none() {
+        let slab: Slab<u8> = Slab::new();
+        assert_eq!(slab.get(3), None);
+    }
+
+    #[test]
+    fn iter_visits_only_occupied() {
+        let mut slab = Slab::new();
+        let a = slab.insert(10);
+        let _b = slab.insert(20);
+        let c = slab.insert(30);
+        slab.remove(a);
+        let mut seen: Vec<(usize, i32)> = slab.iter().map(|(k, v)| (k, *v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 2);
+        assert!(seen.contains(&(c, 30)));
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut slab = Slab::new();
+        let a = slab.insert(5);
+        *slab.get_mut(a).unwrap() = 6;
+        assert_eq!(slab.get(a), Some(&6));
+    }
+}

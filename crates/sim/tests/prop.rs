@@ -1,0 +1,90 @@
+//! Property tests for the simulator's data structures and
+//! determinism guarantees.
+
+use proptest::prelude::*;
+
+use chanos_sim::{delay, sleep, yield_now, Config, CoreId, Histogram, Pcg32, Simulation, Slab};
+
+proptest! {
+    /// The histogram's percentile always lies within [min, max] and
+    /// is monotone in p.
+    #[test]
+    fn histogram_percentiles_bounded_and_monotone(
+        samples in prop::collection::vec(0u64..1_000_000, 1..200)
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut last = 0u64;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= h.min(), "p{p}: {v} < min {}", h.min());
+            prop_assert!(v <= h.max(), "p{p}: {v} > max {}", h.max());
+            prop_assert!(v >= last, "percentile must be monotone in p");
+            last = v;
+        }
+        let mean = h.mean();
+        prop_assert!(mean >= h.min() as f64 && mean <= h.max() as f64);
+    }
+
+    /// Slab keys stay valid across arbitrary insert/remove sequences
+    /// (model-checked against a HashMap).
+    #[test]
+    fn slab_matches_hashmap_model(ops in prop::collection::vec((0u8..2, 0u16..64), 1..200)) {
+        let mut slab = Slab::new();
+        let mut model: std::collections::HashMap<usize, u16> = std::collections::HashMap::new();
+        let mut keys: Vec<usize> = Vec::new();
+        for (op, val) in ops {
+            if op == 0 || keys.is_empty() {
+                let k = slab.insert(val);
+                prop_assert!(!model.contains_key(&k), "slab reused a live key");
+                model.insert(k, val);
+                keys.push(k);
+            } else {
+                let idx = (val as usize) % keys.len();
+                let k = keys.swap_remove(idx);
+                prop_assert_eq!(slab.remove(k), model.remove(&k));
+            }
+        }
+        prop_assert_eq!(slab.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(slab.get(k), Some(&v));
+        }
+    }
+
+    /// PCG bounded sampling is always in range.
+    #[test]
+    fn pcg_bounded_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Pcg32::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.bounded(bound) < bound);
+        }
+    }
+
+    /// Identical seeds give identical traces for a randomized task
+    /// mix; the simulation always terminates.
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), tasks in 1usize..20) {
+        let run = |seed: u64| {
+            let mut s = Simulation::with_config(Config {
+                cores: 4,
+                ctx_switch: 7,
+                seed,
+                ..Config::default()
+            });
+            for i in 0..tasks {
+                s.spawn_on(CoreId((i % 4) as u32), async move {
+                    let jitter = chanos_sim::with_rng(|r| r.range(1, 100));
+                    delay(jitter).await;
+                    yield_now().await;
+                    sleep(jitter / 2 + 1).await;
+                });
+            }
+            let out = s.run_until_idle();
+            prop_assert!(matches!(out.end, chanos_sim::RunEnd::Completed));
+            Ok((out.now, s.trace_hash()))
+        };
+        prop_assert_eq!(run(seed)?, run(seed)?);
+    }
+}

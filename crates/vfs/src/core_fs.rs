@@ -1,0 +1,475 @@
+//! Concurrency-free file-system algorithms shared by all three
+//! engines: allocation, inode I/O, directory operations, file I/O.
+//!
+//! `FsCore` contains **no locking and no ownership discipline**; each
+//! engine supplies that:
+//!
+//! * big-lock — one mutex around everything;
+//! * sharded — per-inode rwlocks plus per-group allocator mutexes;
+//! * message-passing — vnode tasks own inodes, group-server tasks own
+//!   bitmaps and inode tables.
+//!
+//! Because all engines run these same byte-level algorithms over the
+//! same [`crate::layout`], the equivalence tests can require their
+//! observable behaviour to match exactly.
+
+use chanos_drivers::BLOCK_SIZE;
+
+use crate::error::FsError;
+use crate::layout::{bitmap, Dirent, FileKind, Inode, Superblock, DIRENT_SIZE, MAX_FILE_SIZE, MAX_NAME, NDIRECT, NINDIRECT};
+use crate::store::BlockStore;
+
+/// File metadata returned by `stat`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stat {
+    /// Inode number.
+    pub ino: u64,
+    /// File or directory.
+    pub kind: FileKind,
+    /// Size in bytes.
+    pub size: u64,
+    /// Link count.
+    pub nlink: u16,
+}
+
+/// The shared algorithm layer over a block store.
+#[derive(Clone)]
+pub struct FsCore<S: BlockStore> {
+    sb: Superblock,
+    store: S,
+}
+
+impl<S: BlockStore> FsCore<S> {
+    /// Formats the volume: writes the superblock, clears all bitmaps,
+    /// and creates the empty root directory.
+    pub async fn mkfs(store: S, total_blocks: u64, n_groups: u64) -> Result<FsCore<S>, FsError> {
+        let sb = Superblock::design(total_blocks, n_groups);
+        store.write_block(0, sb.encode()).await?;
+        let zero = vec![0u8; BLOCK_SIZE];
+        for g in 0..n_groups {
+            store.write_block(sb.ibitmap_block(g), zero.clone()).await?;
+            store.write_block(sb.dbitmap_block(g), zero.clone()).await?;
+            for b in 0..sb.itable_blocks() {
+                store
+                    .write_block(sb.itable_start(g) + b, zero.clone())
+                    .await?;
+            }
+        }
+        let fs = FsCore { sb, store };
+        // Root directory: inode 0 in group 0.
+        let root = fs.alloc_inode_in(0, FileKind::Dir).await?.ok_or(FsError::NoInodes)?;
+        debug_assert_eq!(root, crate::layout::ROOT_INO);
+        fs.store.sync().await?;
+        Ok(fs)
+    }
+
+    /// Opens an already-formatted volume.
+    pub async fn open_existing(store: S) -> Result<FsCore<S>, FsError> {
+        let block = store.read_block(0).await?;
+        let sb = Superblock::decode(&block).ok_or(FsError::NotAFilesystem)?;
+        Ok(FsCore { sb, store })
+    }
+
+    /// The volume geometry.
+    pub fn superblock(&self) -> &Superblock {
+        &self.sb
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    // -- Inode records ------------------------------------------------------
+
+    /// Reads inode `ino` from the inode table.
+    pub async fn read_inode(&self, ino: u64) -> Result<Inode, FsError> {
+        if ino >= self.sb.total_inodes() {
+            return Err(FsError::Invalid);
+        }
+        let (block, off) = self.sb.ino_location(ino);
+        let data = self.store.read_block(block).await?;
+        Inode::decode(&data[off..off + crate::layout::INODE_SIZE]).ok_or(FsError::NotFound)
+    }
+
+    /// Writes inode `ino` into the inode table.
+    pub async fn write_inode(&self, ino: u64, inode: &Inode) -> Result<(), FsError> {
+        let (block, off) = self.sb.ino_location(ino);
+        let mut data = self.store.read_block(block).await?;
+        data[off..off + crate::layout::INODE_SIZE].copy_from_slice(&inode.encode());
+        self.store.write_block(block, data).await
+    }
+
+    /// Clears inode `ino`'s record.
+    pub async fn clear_inode(&self, ino: u64) -> Result<(), FsError> {
+        let (block, off) = self.sb.ino_location(ino);
+        let mut data = self.store.read_block(block).await?;
+        data[off..off + crate::layout::INODE_SIZE].fill(0);
+        self.store.write_block(block, data).await
+    }
+
+    // -- Allocation (single-group primitives) --------------------------------
+
+    /// Allocates an inode in group `g`, initializing its record.
+    /// Returns `None` if the group is out of inodes.
+    pub async fn alloc_inode_in(&self, g: u64, kind: FileKind) -> Result<Option<u64>, FsError> {
+        let bblock = self.sb.ibitmap_block(g);
+        let mut map = self.store.read_block(bblock).await?;
+        let Some(idx) = bitmap::alloc(&mut map, self.sb.inodes_per_group) else {
+            return Ok(None);
+        };
+        self.store.write_block(bblock, map).await?;
+        let ino = g * self.sb.inodes_per_group + idx;
+        self.write_inode(ino, &Inode::new(kind)).await?;
+        chanos_sim::stat_incr("fs.inodes_allocated");
+        Ok(Some(ino))
+    }
+
+    /// Frees inode `ino`'s bitmap bit and clears its record.
+    pub async fn free_inode(&self, ino: u64) -> Result<(), FsError> {
+        let g = self.sb.group_of_ino(ino);
+        let bblock = self.sb.ibitmap_block(g);
+        let mut map = self.store.read_block(bblock).await?;
+        bitmap::free(&mut map, ino % self.sb.inodes_per_group);
+        self.store.write_block(bblock, map).await?;
+        self.clear_inode(ino).await
+    }
+
+    /// Allocates a data block in group `g`; returns its LBA, or
+    /// `None` if the group is full. The block is zeroed.
+    pub async fn alloc_block_in(&self, g: u64) -> Result<Option<u64>, FsError> {
+        let bblock = self.sb.dbitmap_block(g);
+        let mut map = self.store.read_block(bblock).await?;
+        let Some(idx) = bitmap::alloc(&mut map, self.sb.data_per_group) else {
+            return Ok(None);
+        };
+        self.store.write_block(bblock, map).await?;
+        let lba = self.sb.data_start(g) + idx;
+        self.store.write_block(lba, vec![0u8; BLOCK_SIZE]).await?;
+        chanos_sim::stat_incr("fs.blocks_allocated");
+        Ok(Some(lba))
+    }
+
+    /// Frees data block `lba`.
+    pub async fn free_block(&self, lba: u64) -> Result<(), FsError> {
+        let g = self.sb.group_of_block(lba).ok_or(FsError::Invalid)?;
+        let idx = lba - self.sb.data_start(g);
+        let bblock = self.sb.dbitmap_block(g);
+        let mut map = self.store.read_block(bblock).await?;
+        bitmap::free(&mut map, idx);
+        self.store.write_block(bblock, map).await
+    }
+
+    // -- Allocation (whole-volume scan, for the lock engines) ---------------
+
+    /// Allocates an inode, scanning groups starting at `hint`.
+    pub async fn alloc_inode(&self, hint: u64, kind: FileKind) -> Result<u64, FsError> {
+        for i in 0..self.sb.n_groups {
+            let g = (hint + i) % self.sb.n_groups;
+            if let Some(ino) = self.alloc_inode_in(g, kind).await? {
+                return Ok(ino);
+            }
+        }
+        Err(FsError::NoInodes)
+    }
+
+    /// Allocates a data block, scanning groups starting at `hint`.
+    pub async fn alloc_block(&self, hint: u64) -> Result<u64, FsError> {
+        for i in 0..self.sb.n_groups {
+            let g = (hint + i) % self.sb.n_groups;
+            if let Some(lba) = self.alloc_block_in(g).await? {
+                return Ok(lba);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    // -- Block mapping -------------------------------------------------------
+
+    /// Maps file block `fbn` to its LBA, or 0 if unallocated.
+    pub async fn bmap(&self, inode: &Inode, fbn: u64) -> Result<u64, FsError> {
+        if (fbn as usize) < NDIRECT {
+            return Ok(inode.direct[fbn as usize]);
+        }
+        let idx = fbn as usize - NDIRECT;
+        if idx >= NINDIRECT {
+            return Err(FsError::TooBig);
+        }
+        if inode.indirect == 0 {
+            return Ok(0);
+        }
+        let blk = self.store.read_block(inode.indirect).await?;
+        Ok(u64::from_le_bytes(
+            blk[idx * 8..idx * 8 + 8].try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Maps file block `fbn`, allocating (near group `hint`) if absent.
+    /// May mutate `inode` (caller persists it).
+    pub async fn bmap_alloc(
+        &self,
+        inode: &mut Inode,
+        fbn: u64,
+        hint: u64,
+        alloc: &impl Allocator,
+    ) -> Result<u64, FsError> {
+        if (fbn as usize) < NDIRECT {
+            if inode.direct[fbn as usize] == 0 {
+                inode.direct[fbn as usize] = alloc.alloc_block(self, hint).await?;
+            }
+            return Ok(inode.direct[fbn as usize]);
+        }
+        let idx = fbn as usize - NDIRECT;
+        if idx >= NINDIRECT {
+            return Err(FsError::TooBig);
+        }
+        if inode.indirect == 0 {
+            inode.indirect = alloc.alloc_block(self, hint).await?;
+        }
+        let mut blk = self.store.read_block(inode.indirect).await?;
+        let mut lba = u64::from_le_bytes(blk[idx * 8..idx * 8 + 8].try_into().expect("8 bytes"));
+        if lba == 0 {
+            lba = alloc.alloc_block(self, hint).await?;
+            blk[idx * 8..idx * 8 + 8].copy_from_slice(&lba.to_le_bytes());
+            self.store.write_block(inode.indirect, blk).await?;
+        }
+        Ok(lba)
+    }
+
+    // -- File data ------------------------------------------------------------
+
+    /// Reads up to `len` bytes at `off`; short reads at EOF.
+    pub async fn read_file(&self, inode: &Inode, off: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        if inode.kind == FileKind::Dir {
+            // Directories are read through the dirent API.
+        }
+        if off >= inode.size {
+            return Ok(Vec::new());
+        }
+        let end = (off + len as u64).min(inode.size);
+        let mut out = Vec::with_capacity((end - off) as usize);
+        let mut pos = off;
+        while pos < end {
+            let fbn = pos / BLOCK_SIZE as u64;
+            let in_block = (pos % BLOCK_SIZE as u64) as usize;
+            let take = ((BLOCK_SIZE - in_block) as u64).min(end - pos) as usize;
+            let lba = self.bmap(inode, fbn).await?;
+            if lba == 0 {
+                out.extend(std::iter::repeat_n(0u8, take)); // Hole.
+            } else {
+                let blk = self.store.read_block(lba).await?;
+                out.extend_from_slice(&blk[in_block..in_block + take]);
+            }
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Writes `data` at `off`, growing the file as needed. May mutate
+    /// `inode` (caller persists it).
+    pub async fn write_file(
+        &self,
+        inode: &mut Inode,
+        off: u64,
+        data: &[u8],
+        hint: u64,
+        alloc: &impl Allocator,
+    ) -> Result<(), FsError> {
+        let end = off + data.len() as u64;
+        if end > MAX_FILE_SIZE {
+            return Err(FsError::TooBig);
+        }
+        let mut pos = off;
+        let mut src = 0usize;
+        while pos < end {
+            let fbn = pos / BLOCK_SIZE as u64;
+            let in_block = (pos % BLOCK_SIZE as u64) as usize;
+            let take = ((BLOCK_SIZE - in_block) as u64).min(end - pos) as usize;
+            let lba = self.bmap_alloc(inode, fbn, hint, alloc).await?;
+            if take == BLOCK_SIZE {
+                self.store
+                    .write_block(lba, data[src..src + take].to_vec())
+                    .await?;
+            } else {
+                let mut blk = self.store.read_block(lba).await?;
+                blk[in_block..in_block + take].copy_from_slice(&data[src..src + take]);
+                self.store.write_block(lba, blk).await?;
+            }
+            pos += take as u64;
+            src += take;
+        }
+        if end > inode.size {
+            inode.size = end;
+        }
+        Ok(())
+    }
+
+    /// Frees every data block of the file and zeroes its size. May
+    /// mutate `inode` (caller persists it).
+    pub async fn truncate(&self, inode: &mut Inode, alloc: &impl Allocator) -> Result<(), FsError> {
+        for d in inode.direct.iter_mut() {
+            if *d != 0 {
+                alloc.free_block(self, *d).await?;
+                *d = 0;
+            }
+        }
+        if inode.indirect != 0 {
+            let blk = self.store.read_block(inode.indirect).await?;
+            for idx in 0..NINDIRECT {
+                let lba =
+                    u64::from_le_bytes(blk[idx * 8..idx * 8 + 8].try_into().expect("8 bytes"));
+                if lba != 0 {
+                    alloc.free_block(self, lba).await?;
+                }
+            }
+            alloc.free_block(self, inode.indirect).await?;
+            inode.indirect = 0;
+        }
+        inode.size = 0;
+        Ok(())
+    }
+
+    // -- Directories -----------------------------------------------------------
+
+    /// Looks `name` up in a directory; returns `(ino, slot_index)`.
+    pub async fn dir_lookup(
+        &self,
+        dir: &Inode,
+        name: &str,
+    ) -> Result<Option<(u64, u64)>, FsError> {
+        if dir.kind != FileKind::Dir {
+            return Err(FsError::NotDir);
+        }
+        let nslots = dir.size / DIRENT_SIZE as u64;
+        let data = self.read_file(dir, 0, dir.size as usize).await?;
+        for slot in 0..nslots {
+            let off = (slot as usize) * DIRENT_SIZE;
+            if let Some(d) = Dirent::decode(&data[off..off + DIRENT_SIZE]) {
+                if d.name == name {
+                    return Ok(Some((d.ino, slot)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Adds `name -> ino`; fails with [`FsError::Exists`] if present.
+    /// May mutate `dir` (caller persists it).
+    pub async fn dir_add(
+        &self,
+        dir: &mut Inode,
+        name: &str,
+        ino: u64,
+        hint: u64,
+        alloc: &impl Allocator,
+    ) -> Result<(), FsError> {
+        if name.is_empty() || name.contains('/') {
+            return Err(FsError::Invalid);
+        }
+        if name.len() > MAX_NAME {
+            return Err(FsError::NameTooLong);
+        }
+        if self.dir_lookup(dir, name).await?.is_some() {
+            return Err(FsError::Exists);
+        }
+        let rec = Dirent {
+            ino,
+            name: name.to_string(),
+        }
+        .encode();
+        // Reuse an empty slot if one exists.
+        let nslots = dir.size / DIRENT_SIZE as u64;
+        let data = self.read_file(dir, 0, dir.size as usize).await?;
+        for slot in 0..nslots {
+            let off = (slot as usize) * DIRENT_SIZE;
+            if Dirent::decode(&data[off..off + DIRENT_SIZE]).is_none() {
+                self.write_file(dir, slot * DIRENT_SIZE as u64, &rec, hint, alloc)
+                    .await?;
+                return Ok(());
+            }
+        }
+        // Append a new slot.
+        self.write_file(dir, dir.size, &rec, hint, alloc).await
+    }
+
+    /// Removes `name`; returns the inode it referred to. May mutate
+    /// `dir` (caller persists it).
+    pub async fn dir_remove(
+        &self,
+        dir: &mut Inode,
+        name: &str,
+        hint: u64,
+        alloc: &impl Allocator,
+    ) -> Result<u64, FsError> {
+        let Some((ino, slot)) = self.dir_lookup(dir, name).await? else {
+            return Err(FsError::NotFound);
+        };
+        let zero = [0u8; DIRENT_SIZE];
+        self.write_file(dir, slot * DIRENT_SIZE as u64, &zero, hint, alloc)
+            .await?;
+        Ok(ino)
+    }
+
+    /// Lists all live entries.
+    pub async fn dir_list(&self, dir: &Inode) -> Result<Vec<Dirent>, FsError> {
+        if dir.kind != FileKind::Dir {
+            return Err(FsError::NotDir);
+        }
+        let nslots = dir.size / DIRENT_SIZE as u64;
+        let data = self.read_file(dir, 0, dir.size as usize).await?;
+        let mut out = Vec::new();
+        for slot in 0..nslots {
+            let off = (slot as usize) * DIRENT_SIZE;
+            if let Some(d) = Dirent::decode(&data[off..off + DIRENT_SIZE]) {
+                out.push(d);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// How an engine allocates and frees data blocks.
+///
+/// The big-lock engine scans inline ([`ScanAllocator`]); the
+/// message-passing engine routes to group-server tasks; the sharded
+/// engine wraps the scan in per-group mutexes.
+pub trait Allocator {
+    /// Allocates one zeroed block near group `hint`.
+    fn alloc_block<S: BlockStore>(
+        &self,
+        core: &FsCore<S>,
+        hint: u64,
+    ) -> impl std::future::Future<Output = Result<u64, FsError>>;
+    /// Frees a block.
+    fn free_block<S: BlockStore>(
+        &self,
+        core: &FsCore<S>,
+        lba: u64,
+    ) -> impl std::future::Future<Output = Result<(), FsError>>;
+}
+
+/// The trivial allocator: direct bitmap scans (requires external
+/// serialization).
+pub struct ScanAllocator;
+
+impl Allocator for ScanAllocator {
+    async fn alloc_block<S: BlockStore>(&self, core: &FsCore<S>, hint: u64) -> Result<u64, FsError> {
+        core.alloc_block(hint).await
+    }
+    async fn free_block<S: BlockStore>(&self, core: &FsCore<S>, lba: u64) -> Result<(), FsError> {
+        core.free_block(lba).await
+    }
+}
+
+/// Splits a path into components, rejecting empty paths.
+pub fn split_path(path: &str) -> Result<Vec<&str>, FsError> {
+    let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+    Ok(comps)
+}
+
+/// Splits a path into (parent components, final name).
+pub fn split_parent(path: &str) -> Result<(Vec<&str>, &str), FsError> {
+    let mut comps = split_path(path)?;
+    let name = comps.pop().ok_or(FsError::Invalid)?;
+    Ok((comps, name))
+}

@@ -1,0 +1,554 @@
+//! The paper's file system (§4): every vnode is its own thread,
+//! cylinder groups and free maps are administered by their own
+//! threads, and the buffer cache is a set of server threads.
+//!
+//! *"For example, the file system could be structured so that every
+//! vnode is its own thread, which communicates with other threads
+//! that administer cylinder groups and free-maps and so forth."*
+//!
+//! Structure:
+//!
+//! ```text
+//! client ──Lookup/Create/Read──▶ vnode task (one per active inode)
+//!                                   │  owns its Inode outright
+//!                                   ├──AllocBlock/WriteInode──▶ group task (one per
+//!                                   │                           cylinder group; owns
+//!                                   │                           bitmaps + inode table)
+//!                                   └──Read/Write block───────▶ cache shard task
+//! ```
+//!
+//! There are **no locks anywhere** in this engine: every piece of
+//! shared state has exactly one owning task, and dispatch-by-channel
+//! replaces dispatch-by-function-pointer (§4). Unlink of a directory
+//! checks emptiness in the child vnode; a create racing into that
+//! window is refused by the tombstone the parent leaves (the child
+//! vnode stops serving Create once marked dying).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use chanos_csp::{channel, request, Capacity, ReplyTo, Sender};
+use chanos_drivers::DiskClient;
+use chanos_sim::{self as sim, CoreId};
+
+use crate::core_fs::{split_parent, split_path, Allocator, FsCore, Stat};
+use crate::error::FsError;
+use crate::layout::{Dirent, FileKind, Inode, ROOT_INO};
+use crate::store::{BlockStore, CacheClient};
+
+/// Messages understood by a cylinder-group server task.
+enum GroupMsg {
+    AllocInode {
+        kind: FileKind,
+        reply: ReplyTo<Result<Option<u64>, FsError>>,
+    },
+    FreeInode {
+        ino: u64,
+        reply: ReplyTo<Result<(), FsError>>,
+    },
+    AllocBlock {
+        reply: ReplyTo<Result<Option<u64>, FsError>>,
+    },
+    FreeBlock {
+        lba: u64,
+        reply: ReplyTo<Result<(), FsError>>,
+    },
+    ReadInode {
+        ino: u64,
+        reply: ReplyTo<Result<Inode, FsError>>,
+    },
+    WriteInode {
+        ino: u64,
+        inode: Box<Inode>,
+        reply: ReplyTo<Result<(), FsError>>,
+    },
+}
+
+/// Messages understood by a vnode task.
+enum VnodeMsg {
+    Read {
+        off: u64,
+        len: usize,
+        reply: ReplyTo<Result<Vec<u8>, FsError>>,
+    },
+    Write {
+        off: u64,
+        data: Vec<u8>,
+        reply: ReplyTo<Result<(), FsError>>,
+    },
+    Stat {
+        reply: ReplyTo<Result<Stat, FsError>>,
+    },
+    Lookup {
+        name: String,
+        reply: ReplyTo<Result<u64, FsError>>,
+    },
+    Create {
+        name: String,
+        kind: FileKind,
+        reply: ReplyTo<Result<u64, FsError>>,
+    },
+    Unlink {
+        name: String,
+        reply: ReplyTo<Result<(), FsError>>,
+    },
+    ReadDir {
+        reply: ReplyTo<Result<Vec<Dirent>, FsError>>,
+    },
+    /// Parent→child during unlink: refuse if a non-empty directory,
+    /// else decrement nlink and reap at zero. Returns `true` if the
+    /// vnode reaped itself.
+    Condemn {
+        reply: ReplyTo<Result<bool, FsError>>,
+    },
+}
+
+enum VnMgrMsg {
+    Get {
+        ino: u64,
+        reply: ReplyTo<Result<Sender<VnodeMsg>, FsError>>,
+    },
+    Retire {
+        ino: u64,
+    },
+}
+
+struct MsgShared {
+    core: FsCore<CacheClient>,
+    groups: Vec<Sender<GroupMsg>>,
+    vnmgr: RefCell<Option<Sender<VnMgrMsg>>>,
+    vnode_cores: Vec<CoreId>,
+}
+
+impl MsgShared {
+    fn group_of_ino(&self, ino: u64) -> &Sender<GroupMsg> {
+        &self.groups[self.core.superblock().group_of_ino(ino) as usize]
+    }
+
+    fn vnmgr(&self) -> Sender<VnMgrMsg> {
+        self.vnmgr.borrow().as_ref().expect("vnmgr started").clone()
+    }
+
+    async fn load_inode(&self, ino: u64) -> Result<Inode, FsError> {
+        request(self.group_of_ino(ino), |reply| GroupMsg::ReadInode { ino, reply })
+            .await
+            .unwrap_or(Err(FsError::Gone))
+    }
+
+    async fn store_inode(&self, ino: u64, inode: Inode) -> Result<(), FsError> {
+        request(self.group_of_ino(ino), |reply| GroupMsg::WriteInode {
+            ino,
+            inode: Box::new(inode),
+            reply,
+        })
+        .await
+        .unwrap_or(Err(FsError::Gone))
+    }
+}
+
+/// Block allocator that routes to the group-server tasks.
+struct MsgAllocator {
+    shared: Rc<MsgShared>,
+}
+
+impl Allocator for MsgAllocator {
+    async fn alloc_block<S: BlockStore>(&self, core: &FsCore<S>, hint: u64) -> Result<u64, FsError> {
+        let n = core.superblock().n_groups;
+        for i in 0..n {
+            let g = ((hint + i) % n) as usize;
+            let got = request(&self.shared.groups[g], |reply| GroupMsg::AllocBlock { reply })
+                .await
+                .unwrap_or(Err(FsError::Gone))?;
+            if let Some(lba) = got {
+                return Ok(lba);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    async fn free_block<S: BlockStore>(&self, core: &FsCore<S>, lba: u64) -> Result<(), FsError> {
+        let g = core.superblock().group_of_block(lba).ok_or(FsError::Invalid)?;
+        request(&self.shared.groups[g as usize], |reply| GroupMsg::FreeBlock { lba, reply })
+            .await
+            .unwrap_or(Err(FsError::Gone))
+    }
+}
+
+/// One cylinder-group server: owns the group's bitmaps and inode
+/// table outright.
+async fn group_task(g: u64, core: FsCore<CacheClient>, rx: chanos_csp::Receiver<GroupMsg>) {
+    while let Ok(msg) = rx.recv().await {
+        match msg {
+            GroupMsg::AllocInode { kind, reply } => {
+                let out = core.alloc_inode_in(g, kind).await;
+                let _ = reply.send(out).await;
+            }
+            GroupMsg::FreeInode { ino, reply } => {
+                let out = core.free_inode(ino).await;
+                let _ = reply.send(out).await;
+            }
+            GroupMsg::AllocBlock { reply } => {
+                let out = core.alloc_block_in(g).await;
+                let _ = reply.send(out).await;
+            }
+            GroupMsg::FreeBlock { lba, reply } => {
+                let out = core.free_block(lba).await;
+                let _ = reply.send(out).await;
+            }
+            GroupMsg::ReadInode { ino, reply } => {
+                let out = core.read_inode(ino).await;
+                let _ = reply.send(out).await;
+            }
+            GroupMsg::WriteInode { ino, inode, reply } => {
+                let out = core.write_inode(ino, &inode).await;
+                let _ = reply.send(out).await;
+            }
+        }
+    }
+}
+
+/// One vnode task: owns inode `ino` for its lifetime.
+async fn vnode_task(ino: u64, shared: Rc<MsgShared>, rx: chanos_csp::Receiver<VnodeMsg>) {
+    sim::stat_incr("msgfs.vnode_threads_spawned");
+    let mut inode = match shared.load_inode(ino).await {
+        Ok(i) => i,
+        Err(_) => {
+            // Raced with a reap; stop serving.
+            return;
+        }
+    };
+    let alloc = MsgAllocator {
+        shared: shared.clone(),
+    };
+    let hint = shared.core.superblock().group_of_ino(ino);
+    let core = shared.core.clone();
+    while let Ok(msg) = rx.recv().await {
+        match msg {
+            VnodeMsg::Read { off, len, reply } => {
+                let out = if inode.kind == FileKind::Dir {
+                    Err(FsError::IsDir)
+                } else {
+                    core.read_file(&inode, off, len).await
+                };
+                let _ = reply.send(out).await;
+            }
+            VnodeMsg::Write { off, data, reply } => {
+                let out = if inode.kind == FileKind::Dir {
+                    Err(FsError::IsDir)
+                } else {
+                    match core.write_file(&mut inode, off, &data, hint, &alloc).await {
+                        Ok(()) => shared.store_inode(ino, inode.clone()).await,
+                        Err(e) => Err(e),
+                    }
+                };
+                let _ = reply.send(out).await;
+            }
+            VnodeMsg::Stat { reply } => {
+                let _ = reply
+                    .send(Ok(Stat {
+                        ino,
+                        kind: inode.kind,
+                        size: inode.size,
+                        nlink: inode.nlink,
+                    }))
+                    .await;
+            }
+            VnodeMsg::Lookup { name, reply } => {
+                let out = match core.dir_lookup(&inode, &name).await {
+                    Ok(Some((child, _))) => Ok(child),
+                    Ok(None) => Err(FsError::NotFound),
+                    Err(e) => Err(e),
+                };
+                let _ = reply.send(out).await;
+            }
+            VnodeMsg::Create { name, kind, reply } => {
+                let out = vnode_create(&shared, &core, &mut inode, ino, hint, &alloc, name, kind)
+                    .await;
+                let _ = reply.send(out).await;
+            }
+            VnodeMsg::Unlink { name, reply } => {
+                let out =
+                    vnode_unlink(&shared, &core, &mut inode, ino, hint, &alloc, name).await;
+                let _ = reply.send(out).await;
+            }
+            VnodeMsg::ReadDir { reply } => {
+                let out = core.dir_list(&inode).await;
+                let _ = reply.send(out).await;
+            }
+            VnodeMsg::Condemn { reply } => {
+                if inode.kind == FileKind::Dir {
+                    match core.dir_list(&inode).await {
+                        Ok(entries) if !entries.is_empty() => {
+                            let _ = reply.send(Err(FsError::NotEmpty)).await;
+                            continue;
+                        }
+                        Err(e) => {
+                            let _ = reply.send(Err(e)).await;
+                            continue;
+                        }
+                        Ok(_) => {}
+                    }
+                }
+                inode.nlink = inode.nlink.saturating_sub(1);
+                if inode.nlink == 0 {
+                    // Reap: free data, free the inode, retire.
+                    let _ = core.truncate(&mut inode, &alloc).await;
+                    let _ = request(shared.group_of_ino(ino), |reply| GroupMsg::FreeInode {
+                        ino,
+                        reply,
+                    })
+                    .await;
+                    let _ = shared.vnmgr().try_send(VnMgrMsg::Retire { ino });
+                    sim::stat_incr("msgfs.vnodes_reaped");
+                    let _ = reply.send(Ok(true)).await;
+                    return; // The vnode thread exits with its inode.
+                }
+                let out = shared.store_inode(ino, inode.clone()).await;
+                let _ = reply.send(out.map(|()| false)).await;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn vnode_create(
+    shared: &Rc<MsgShared>,
+    core: &FsCore<CacheClient>,
+    dir: &mut Inode,
+    dir_ino: u64,
+    hint: u64,
+    alloc: &MsgAllocator,
+    name: String,
+    kind: FileKind,
+) -> Result<u64, FsError> {
+    if dir.kind != FileKind::Dir {
+        return Err(FsError::NotDir);
+    }
+    if core.dir_lookup(dir, &name).await?.is_some() {
+        return Err(FsError::Exists);
+    }
+    // Allocate the inode via a group server, preferring our group.
+    let n = core.superblock().n_groups;
+    let mut ino = None;
+    for i in 0..n {
+        let g = ((hint + i) % n) as usize;
+        let got = request(&shared.groups[g], |reply| GroupMsg::AllocInode { kind, reply })
+            .await
+            .unwrap_or(Err(FsError::Gone))?;
+        if got.is_some() {
+            ino = got;
+            break;
+        }
+    }
+    let ino = ino.ok_or(FsError::NoInodes)?;
+    core.dir_add(dir, &name, ino, hint, alloc).await?;
+    shared.store_inode(dir_ino, dir.clone()).await?;
+    Ok(ino)
+}
+
+async fn vnode_unlink(
+    shared: &Rc<MsgShared>,
+    core: &FsCore<CacheClient>,
+    dir: &mut Inode,
+    dir_ino: u64,
+    hint: u64,
+    alloc: &MsgAllocator,
+    name: String,
+) -> Result<(), FsError> {
+    let Some((child_ino, _)) = core.dir_lookup(dir, &name).await? else {
+        return Err(FsError::NotFound);
+    };
+    // Ask the child vnode to check emptiness and drop a link.
+    let child = get_vnode(shared, child_ino).await?;
+    let reaped = request(&child, |reply| VnodeMsg::Condemn { reply })
+        .await
+        .unwrap_or(Err(FsError::Gone))?;
+    let _ = reaped;
+    core.dir_remove(dir, &name, hint, alloc).await?;
+    shared.store_inode(dir_ino, dir.clone()).await?;
+    Ok(())
+}
+
+async fn get_vnode(shared: &Rc<MsgShared>, ino: u64) -> Result<Sender<VnodeMsg>, FsError> {
+    request(&shared.vnmgr(), |reply| VnMgrMsg::Get { ino, reply })
+        .await
+        .unwrap_or(Err(FsError::Gone))
+}
+
+/// The message-passing file system client.
+#[derive(Clone)]
+pub struct MsgFs {
+    shared: Rc<MsgShared>,
+}
+
+impl MsgFs {
+    /// Formats a fresh volume and boots the server constellation:
+    /// cache shards, one group server per cylinder group, and the
+    /// vnode manager. Vnode tasks spawn on demand, round-robin over
+    /// `service_cores`.
+    pub async fn format(
+        disk: DiskClient,
+        total_blocks: u64,
+        n_groups: u64,
+        cache_shards: usize,
+        cache_blocks_per_shard: usize,
+        service_cores: Vec<CoreId>,
+    ) -> Result<MsgFs, FsError> {
+        assert!(!service_cores.is_empty());
+        let store = CacheClient::spawn(
+            disk,
+            cache_shards,
+            cache_blocks_per_shard,
+            &service_cores,
+        );
+        let core = FsCore::mkfs(store, total_blocks, n_groups).await?;
+
+        // Group servers.
+        let mut groups = Vec::with_capacity(n_groups as usize);
+        for g in 0..n_groups {
+            let (tx, rx) = channel::<GroupMsg>(Capacity::Unbounded);
+            let core = core.clone();
+            let on = service_cores[(g as usize) % service_cores.len()];
+            sim::spawn_daemon_on(&format!("fs-group{g}"), on, async move {
+                group_task(g, core, rx).await;
+            });
+            groups.push(tx);
+        }
+
+        let shared = Rc::new(MsgShared {
+            core,
+            groups,
+            vnmgr: RefCell::new(None),
+            vnode_cores: service_cores.clone(),
+        });
+
+        // Vnode manager.
+        let (mgr_tx, mgr_rx) = channel::<VnMgrMsg>(Capacity::Unbounded);
+        *shared.vnmgr.borrow_mut() = Some(mgr_tx);
+        let mgr_shared = shared.clone();
+        sim::spawn_daemon_on("fs-vnmgr", service_cores[0], async move {
+            let mut registry: HashMap<u64, Sender<VnodeMsg>> = HashMap::new();
+            let mut rr = 0usize;
+            while let Ok(msg) = mgr_rx.recv().await {
+                match msg {
+                    VnMgrMsg::Get { ino, reply } => {
+                        let tx = registry.entry(ino).or_insert_with(|| {
+                            let (tx, rx) = channel::<VnodeMsg>(Capacity::Unbounded);
+                            let on = mgr_shared.vnode_cores[rr % mgr_shared.vnode_cores.len()];
+                            rr += 1;
+                            let shared = mgr_shared.clone();
+                            sim::spawn_daemon_on(&format!("vnode{ino}"), on, async move {
+                                vnode_task(ino, shared, rx).await;
+                            });
+                            tx
+                        });
+                        let _ = reply.send(Ok(tx.clone())).await;
+                    }
+                    VnMgrMsg::Retire { ino } => {
+                        registry.remove(&ino);
+                    }
+                }
+            }
+        });
+
+        Ok(MsgFs { shared })
+    }
+
+    async fn resolve(&self, comps: &[&str]) -> Result<u64, FsError> {
+        let mut ino = ROOT_INO;
+        for comp in comps {
+            let vn = get_vnode(&self.shared, ino).await?;
+            ino = request(&vn, |reply| VnodeMsg::Lookup {
+                name: comp.to_string(),
+                reply,
+            })
+            .await
+            .unwrap_or(Err(FsError::Gone))?;
+        }
+        Ok(ino)
+    }
+
+    async fn create_kind(&self, path: &str, kind: FileKind) -> Result<u64, FsError> {
+        let (parent_comps, name) = split_parent(path)?;
+        let parent = self.resolve(&parent_comps).await?;
+        let vn = get_vnode(&self.shared, parent).await?;
+        request(&vn, |reply| VnodeMsg::Create {
+            name: name.to_string(),
+            kind,
+            reply,
+        })
+        .await
+        .unwrap_or(Err(FsError::Gone))
+    }
+
+    /// Creates a regular file; returns its inode number.
+    pub async fn create(&self, path: &str) -> Result<u64, FsError> {
+        self.create_kind(path, FileKind::File).await
+    }
+
+    /// Creates a directory; returns its inode number.
+    pub async fn mkdir(&self, path: &str) -> Result<u64, FsError> {
+        self.create_kind(path, FileKind::Dir).await
+    }
+
+    /// Resolves a path to an inode number.
+    pub async fn lookup(&self, path: &str) -> Result<u64, FsError> {
+        self.resolve(&split_path(path)?).await
+    }
+
+    /// Reads `len` bytes at `off` from inode `ino`.
+    pub async fn read(&self, ino: u64, off: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        let vn = get_vnode(&self.shared, ino).await?;
+        request(&vn, |reply| VnodeMsg::Read { off, len, reply })
+            .await
+            .unwrap_or(Err(FsError::Gone))
+    }
+
+    /// Writes `data` at `off` into inode `ino`.
+    pub async fn write(&self, ino: u64, off: u64, data: &[u8]) -> Result<(), FsError> {
+        let vn = get_vnode(&self.shared, ino).await?;
+        request(&vn, |reply| VnodeMsg::Write {
+            off,
+            data: data.to_vec(),
+            reply,
+        })
+        .await
+        .unwrap_or(Err(FsError::Gone))
+    }
+
+    /// Returns metadata for inode `ino`.
+    pub async fn stat(&self, ino: u64) -> Result<Stat, FsError> {
+        let vn = get_vnode(&self.shared, ino).await?;
+        request(&vn, |reply| VnodeMsg::Stat { reply })
+            .await
+            .unwrap_or(Err(FsError::Gone))
+    }
+
+    /// Removes a file or empty directory.
+    pub async fn unlink(&self, path: &str) -> Result<(), FsError> {
+        let (parent_comps, name) = split_parent(path)?;
+        let parent = self.resolve(&parent_comps).await?;
+        let vn = get_vnode(&self.shared, parent).await?;
+        request(&vn, |reply| VnodeMsg::Unlink {
+            name: name.to_string(),
+            reply,
+        })
+        .await
+        .unwrap_or(Err(FsError::Gone))
+    }
+
+    /// Lists a directory.
+    pub async fn readdir(&self, path: &str) -> Result<Vec<Dirent>, FsError> {
+        let ino = self.resolve(&split_path(path)?).await?;
+        let vn = get_vnode(&self.shared, ino).await?;
+        request(&vn, |reply| VnodeMsg::ReadDir { reply })
+            .await
+            .unwrap_or(Err(FsError::Gone))
+    }
+
+    /// Flushes dirty cache blocks to disk.
+    pub async fn sync(&self) -> Result<(), FsError> {
+        self.shared.core.store().sync().await
+    }
+}

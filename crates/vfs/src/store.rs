@@ -1,0 +1,465 @@
+//! Block stores: the disk with a write-back LRU buffer cache, in the
+//! three concurrency styles the engines need.
+//!
+//! * [`CachedDisk`] — unsynchronized; safe only under an external
+//!   global lock (the big-lock engine).
+//! * [`ShardedCachedDisk`] — cache shards behind [`SimMutex`]es (the
+//!   fine-grained-locking engine).
+//! * [`CacheClient`] — cache *server tasks*, one per shard, owning
+//!   their blocks outright and serving requests over channels (the
+//!   message-passing engine; §4's buffer-cache threads).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use chanos_csp::{channel, Capacity, ReplyTo, Sender};
+use chanos_drivers::{DiskClient, BLOCK_SIZE};
+use chanos_shmem::SimMutex;
+use chanos_sim::{self as sim, CoreId};
+
+use crate::error::FsError;
+
+/// Modeled memory-copy bandwidth: bytes per cycle. Every engine pays
+/// this for moving a block between the cache and the requester (the
+/// §3 note that copying "buys scalability at the cost of some memory
+/// bandwidth overhead" — but shared-memory engines copy too).
+pub const COPY_BYTES_PER_CYCLE: u64 = 8;
+
+/// Cycles to copy `bytes` of block data.
+pub fn copy_cost(bytes: usize) -> u64 {
+    (bytes as u64).div_ceil(COPY_BYTES_PER_CYCLE)
+}
+
+/// Uniform async interface over cached block storage.
+///
+/// Implementations must give read-your-writes consistency per block;
+/// cross-block ordering is the caller's concern.
+pub trait BlockStore: Clone + 'static {
+    /// Reads one block.
+    fn read_block(&self, lba: u64) -> impl std::future::Future<Output = Result<Vec<u8>, FsError>>;
+    /// Writes one block (must be exactly [`BLOCK_SIZE`] bytes).
+    fn write_block(
+        &self,
+        lba: u64,
+        data: Vec<u8>,
+    ) -> impl std::future::Future<Output = Result<(), FsError>>;
+    /// Flushes all dirty blocks to the device.
+    fn sync(&self) -> impl std::future::Future<Output = Result<(), FsError>>;
+}
+
+/// A write-back LRU cache of disk blocks (pure data structure).
+pub struct LruCache {
+    capacity: usize,
+    seq: u64,
+    blocks: HashMap<u64, Entry>,
+}
+
+struct Entry {
+    data: Vec<u8>,
+    dirty: bool,
+    last_used: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` blocks.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        LruCache {
+            capacity,
+            seq: 0,
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// Looks up a block, refreshing its LRU position.
+    pub fn get(&mut self, lba: u64) -> Option<Vec<u8>> {
+        self.seq += 1;
+        let seq = self.seq;
+        self.blocks.get_mut(&lba).map(|e| {
+            e.last_used = seq;
+            e.data.clone()
+        })
+    }
+
+    /// Inserts a clean block (from a device read); returns an evicted
+    /// dirty block that must be written back, if any.
+    pub fn insert_clean(&mut self, lba: u64, data: Vec<u8>) -> Option<(u64, Vec<u8>)> {
+        self.insert(lba, data, false)
+    }
+
+    /// Inserts/overwrites a dirty block (from a write); returns an
+    /// evicted dirty block that must be written back, if any.
+    pub fn insert_dirty(&mut self, lba: u64, data: Vec<u8>) -> Option<(u64, Vec<u8>)> {
+        self.insert(lba, data, true)
+    }
+
+    fn insert(&mut self, lba: u64, data: Vec<u8>, dirty: bool) -> Option<(u64, Vec<u8>)> {
+        self.seq += 1;
+        let seq = self.seq;
+        if let Some(e) = self.blocks.get_mut(&lba) {
+            e.data = data;
+            e.dirty = e.dirty || dirty;
+            e.last_used = seq;
+            return None;
+        }
+        let mut evicted = None;
+        if self.blocks.len() >= self.capacity {
+            let victim = self
+                .blocks
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&lba, _)| lba)
+                .expect("cache non-empty");
+            let e = self.blocks.remove(&victim).expect("present");
+            if e.dirty {
+                evicted = Some((victim, e.data));
+            }
+        }
+        self.blocks.insert(
+            lba,
+            Entry {
+                data,
+                dirty,
+                last_used: seq,
+            },
+        );
+        evicted
+    }
+
+    /// Drains all dirty blocks (marking them clean).
+    pub fn take_dirty(&mut self) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::new();
+        for (&lba, e) in self.blocks.iter_mut() {
+            if e.dirty {
+                e.dirty = false;
+                out.push((lba, e.data.clone()));
+            }
+        }
+        out.sort_by_key(|(lba, _)| *lba);
+        out
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+fn check_block_len(data: &[u8]) -> Result<(), FsError> {
+    if data.len() == BLOCK_SIZE {
+        Ok(())
+    } else {
+        Err(FsError::Invalid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unsynchronized cached disk (big-lock engine).
+// ---------------------------------------------------------------------------
+
+/// Disk + cache with **no internal synchronization**: correct only
+/// when every access is serialized externally (the big kernel lock).
+#[derive(Clone)]
+pub struct CachedDisk {
+    disk: DiskClient,
+    cache: Rc<RefCell<LruCache>>,
+}
+
+impl CachedDisk {
+    /// Wraps a disk with a cache of `capacity` blocks.
+    pub fn new(disk: DiskClient, capacity: usize) -> Self {
+        CachedDisk {
+            disk,
+            cache: Rc::new(RefCell::new(LruCache::new(capacity))),
+        }
+    }
+}
+
+impl BlockStore for CachedDisk {
+    async fn read_block(&self, lba: u64) -> Result<Vec<u8>, FsError> {
+        if let Some(data) = self.cache.borrow_mut().get(lba) {
+            sim::stat_incr("cache.hits");
+            chanos_sim::delay(copy_cost(data.len())).await;
+            return Ok(data);
+        }
+        sim::stat_incr("cache.misses");
+        let data = self.disk.read(lba, 1).await?;
+        let evicted = self.cache.borrow_mut().insert_clean(lba, data.clone());
+        if let Some((vlba, vdata)) = evicted {
+            self.disk.write(vlba, vdata).await?;
+        }
+        chanos_sim::delay(copy_cost(data.len())).await;
+        Ok(data)
+    }
+
+    async fn write_block(&self, lba: u64, data: Vec<u8>) -> Result<(), FsError> {
+        check_block_len(&data)?;
+        chanos_sim::delay(copy_cost(data.len())).await;
+        let evicted = self.cache.borrow_mut().insert_dirty(lba, data);
+        if let Some((vlba, vdata)) = evicted {
+            self.disk.write(vlba, vdata).await?;
+        }
+        Ok(())
+    }
+
+    async fn sync(&self) -> Result<(), FsError> {
+        let dirty = self.cache.borrow_mut().take_dirty();
+        for (lba, data) in dirty {
+            self.disk.write(lba, data).await?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded, lock-protected cached disk (fine-grained-lock engine).
+// ---------------------------------------------------------------------------
+
+/// Disk + cache split into shards, each behind a [`SimMutex`]; the
+/// conventional fine-grained-locking buffer cache.
+#[derive(Clone)]
+pub struct ShardedCachedDisk {
+    disk: DiskClient,
+    shards: Rc<Vec<SimMutex<LruCache>>>,
+}
+
+impl ShardedCachedDisk {
+    /// Wraps a disk with `shards` cache shards of `capacity` blocks
+    /// each. Must be created inside the simulation.
+    pub fn new(disk: DiskClient, shards: usize, capacity_per_shard: usize) -> Self {
+        assert!(shards > 0);
+        let shards = (0..shards)
+            .map(|_| SimMutex::new(LruCache::new(capacity_per_shard)))
+            .collect();
+        ShardedCachedDisk {
+            disk,
+            shards: Rc::new(shards),
+        }
+    }
+
+    fn shard(&self, lba: u64) -> &SimMutex<LruCache> {
+        &self.shards[(lba % self.shards.len() as u64) as usize]
+    }
+}
+
+impl BlockStore for ShardedCachedDisk {
+    async fn read_block(&self, lba: u64) -> Result<Vec<u8>, FsError> {
+        let shard = self.shard(lba);
+        let g = shard.lock().await;
+        if let Some(data) = g.with(|c| c.get(lba)) {
+            sim::stat_incr("cache.hits");
+            chanos_sim::delay(copy_cost(data.len())).await;
+            return Ok(data);
+        }
+        sim::stat_incr("cache.misses");
+        // Hold the shard lock across the fill, as real buffer caches
+        // hold the buffer lock across I/O.
+        let data = self.disk.read(lba, 1).await?;
+        let evicted = g.with(|c| c.insert_clean(lba, data.clone()));
+        drop(g);
+        if let Some((vlba, vdata)) = evicted {
+            self.disk.write(vlba, vdata).await?;
+        }
+        chanos_sim::delay(copy_cost(data.len())).await;
+        Ok(data)
+    }
+
+    async fn write_block(&self, lba: u64, data: Vec<u8>) -> Result<(), FsError> {
+        check_block_len(&data)?;
+        chanos_sim::delay(copy_cost(data.len())).await;
+        let g = self.shard(lba).lock().await;
+        let evicted = g.with(|c| c.insert_dirty(lba, data));
+        drop(g);
+        if let Some((vlba, vdata)) = evicted {
+            self.disk.write(vlba, vdata).await?;
+        }
+        Ok(())
+    }
+
+    async fn sync(&self) -> Result<(), FsError> {
+        for shard in self.shards.iter() {
+            let g = shard.lock().await;
+            let dirty = g.with(|c| c.take_dirty());
+            drop(g);
+            for (lba, data) in dirty {
+                self.disk.write(lba, data).await?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache server tasks (message-passing engine).
+// ---------------------------------------------------------------------------
+
+enum CacheMsg {
+    Read {
+        lba: u64,
+        reply: ReplyTo<Result<Vec<u8>, FsError>>,
+    },
+    Write {
+        lba: u64,
+        data: Vec<u8>,
+        reply: ReplyTo<Result<(), FsError>>,
+    },
+    Sync {
+        reply: ReplyTo<Result<(), FsError>>,
+    },
+}
+
+/// Client handle to the buffer-cache server shards.
+///
+/// Each shard is an autonomous task owning its blocks outright (§4):
+/// per-block read-modify-write is serialized by construction, with no
+/// locks anywhere.
+#[derive(Clone)]
+pub struct CacheClient {
+    shards: Rc<Vec<Sender<CacheMsg>>>,
+}
+
+impl CacheClient {
+    /// Spawns `shards` cache server tasks (round-robin over `cores`)
+    /// and returns the client handle.
+    pub fn spawn(
+        disk: DiskClient,
+        shards: usize,
+        capacity_per_shard: usize,
+        cores: &[CoreId],
+    ) -> CacheClient {
+        assert!(shards > 0 && !cores.is_empty());
+        let mut txs = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (tx, rx) = channel::<CacheMsg>(Capacity::Unbounded);
+            let disk = disk.clone();
+            let core = cores[s % cores.len()];
+            sim::spawn_daemon_on(&format!("cache-shard{s}"), core, async move {
+                let mut cache = LruCache::new(capacity_per_shard);
+                while let Ok(msg) = rx.recv().await {
+                    match msg {
+                        CacheMsg::Read { lba, reply } => {
+                            let out = if let Some(data) = cache.get(lba) {
+                                sim::stat_incr("cache.hits");
+                                chanos_sim::delay(copy_cost(data.len())).await;
+                                Ok(data)
+                            } else {
+                                sim::stat_incr("cache.misses");
+                                match disk.read(lba, 1).await {
+                                    Ok(data) => {
+                                        if let Some((vlba, vdata)) =
+                                            cache.insert_clean(lba, data.clone())
+                                        {
+                                            let _ = disk.write(vlba, vdata).await;
+                                        }
+                                        chanos_sim::delay(copy_cost(data.len())).await;
+                                        Ok(data)
+                                    }
+                                    Err(e) => Err(FsError::Io(e)),
+                                }
+                            };
+                            let _ = reply.send(out).await;
+                        }
+                        CacheMsg::Write { lba, data, reply } => {
+                            chanos_sim::delay(copy_cost(data.len())).await;
+                            let evicted = cache.insert_dirty(lba, data);
+                            let out = if let Some((vlba, vdata)) = evicted {
+                                disk.write(vlba, vdata).await.map_err(FsError::Io)
+                            } else {
+                                Ok(())
+                            };
+                            let _ = reply.send(out).await;
+                        }
+                        CacheMsg::Sync { reply } => {
+                            let mut out = Ok(());
+                            for (lba, data) in cache.take_dirty() {
+                                if let Err(e) = disk.write(lba, data).await {
+                                    out = Err(FsError::Io(e));
+                                    break;
+                                }
+                            }
+                            let _ = reply.send(out).await;
+                        }
+                    }
+                }
+            });
+            txs.push(tx);
+        }
+        CacheClient {
+            shards: Rc::new(txs),
+        }
+    }
+
+    fn shard(&self, lba: u64) -> &Sender<CacheMsg> {
+        &self.shards[(lba % self.shards.len() as u64) as usize]
+    }
+}
+
+impl BlockStore for CacheClient {
+    async fn read_block(&self, lba: u64) -> Result<Vec<u8>, FsError> {
+        chanos_csp::request(self.shard(lba), |reply| CacheMsg::Read { lba, reply })
+            .await
+            .unwrap_or(Err(FsError::Gone))
+    }
+
+    async fn write_block(&self, lba: u64, data: Vec<u8>) -> Result<(), FsError> {
+        check_block_len(&data)?;
+        chanos_csp::request(self.shard(lba), |reply| CacheMsg::Write { lba, data, reply })
+            .await
+            .unwrap_or(Err(FsError::Gone))
+    }
+
+    async fn sync(&self) -> Result<(), FsError> {
+        for shard in self.shards.iter() {
+            let out = chanos_csp::request(shard, |reply| CacheMsg::Sync { reply })
+                .await
+                .unwrap_or(Err(FsError::Gone));
+            out?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_get_refreshes_recency() {
+        let mut c = LruCache::new(2);
+        assert!(c.insert_clean(1, vec![1]).is_none());
+        assert!(c.insert_clean(2, vec![2]).is_none());
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(c.get(1), Some(vec![1]));
+        c.insert_clean(3, vec![3]);
+        assert_eq!(c.get(2), None, "2 should have been evicted");
+        assert_eq!(c.get(1), Some(vec![1]));
+        assert_eq!(c.get(3), Some(vec![3]));
+    }
+
+    #[test]
+    fn eviction_returns_dirty_victims_only() {
+        let mut c = LruCache::new(1);
+        assert!(c.insert_dirty(1, vec![1]).is_none());
+        let evicted = c.insert_clean(2, vec![2]);
+        assert_eq!(evicted, Some((1, vec![1])));
+        // A clean victim is dropped silently.
+        let evicted = c.insert_clean(3, vec![3]);
+        assert!(evicted.is_none());
+    }
+
+    #[test]
+    fn overwrite_keeps_dirty_bit() {
+        let mut c = LruCache::new(4);
+        c.insert_dirty(1, vec![1]);
+        c.insert_clean(1, vec![2]); // Refill of a dirty block.
+        let dirty = c.take_dirty();
+        assert_eq!(dirty, vec![(1, vec![2])]);
+        assert!(c.take_dirty().is_empty(), "take_dirty cleans");
+    }
+}

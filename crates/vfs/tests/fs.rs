@@ -1,0 +1,302 @@
+//! Engine-generic file-system tests: every scenario runs over all
+//! three engines (big-lock, sharded, message-passing) and must behave
+//! identically.
+
+use chanos_drivers::{install_disk, spawn_disk_driver, DiskParams};
+use chanos_sim::{Config, CoreId, Simulation};
+use chanos_vfs::{BigLockFs, FileKind, FsError, MsgFs, ShardedFs, Vfs};
+
+const DISK_BLOCKS: u64 = 2048;
+const GROUPS: u64 = 4;
+
+fn sim(cores: usize) -> Simulation {
+    Simulation::with_config(Config {
+        cores,
+        ctx_switch: 10,
+        ..Config::default()
+    })
+}
+
+/// Builds a fresh fs of the requested engine inside the simulation.
+async fn make_fs(which: &str, cores: usize) -> Vfs {
+    let dev = {
+        // Device cores must be added before tasks run; grab via ext?
+        // Simpler: drivers accept any core; use the last CPU core as
+        // the "device" — latency semantics are identical.
+        CoreId((cores - 1) as u32)
+    };
+    let (hw, irq) = install_disk(DISK_BLOCKS, DiskParams::default(), dev);
+    let disk = spawn_disk_driver(hw, irq, dev);
+    let service: Vec<CoreId> = (0..cores as u32 - 1).map(CoreId).collect();
+    match which {
+        "biglock" => Vfs::Big(BigLockFs::format(disk, DISK_BLOCKS, GROUPS, 256).await.unwrap()),
+        "sharded" => Vfs::Sharded(
+            ShardedFs::format(disk, DISK_BLOCKS, GROUPS, 8, 32).await.unwrap(),
+        ),
+        "msgfs" => Vfs::Msg(
+            MsgFs::format(disk, DISK_BLOCKS, GROUPS, 8, 32, service).await.unwrap(),
+        ),
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+fn for_each_engine(test: impl Fn(Vfs) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> + Copy + 'static) {
+    for which in ["biglock", "sharded", "msgfs"] {
+        let mut s = sim(4);
+        s.block_on(async move {
+            let fs = make_fs(which, 4).await;
+            test(fs).await;
+        })
+        .unwrap_or_else(|e| panic!("engine {which}: {e}"));
+    }
+}
+
+#[test]
+fn create_write_read_roundtrip() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            let ino = fs.create("/hello.txt").await.unwrap();
+            fs.write(ino, 0, b"hello, multicore world").await.unwrap();
+            let back = fs.read(ino, 0, 100).await.unwrap();
+            assert_eq!(back, b"hello, multicore world", "{}", fs.name());
+            let st = fs.stat(ino).await.unwrap();
+            assert_eq!(st.size, 22);
+            assert_eq!(st.kind, FileKind::File);
+        })
+    });
+}
+
+#[test]
+fn lookup_resolves_nested_paths() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            fs.mkdir("/a").await.unwrap();
+            fs.mkdir("/a/b").await.unwrap();
+            let f = fs.create("/a/b/c.txt").await.unwrap();
+            assert_eq!(fs.lookup("/a/b/c.txt").await.unwrap(), f, "{}", fs.name());
+            assert_eq!(
+                fs.lookup("/a/missing").await,
+                Err(FsError::NotFound),
+                "{}",
+                fs.name()
+            );
+        })
+    });
+}
+
+#[test]
+fn duplicate_create_fails() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            fs.create("/x").await.unwrap();
+            assert_eq!(fs.create("/x").await, Err(FsError::Exists), "{}", fs.name());
+        })
+    });
+}
+
+#[test]
+fn write_at_offset_and_holes() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            let ino = fs.create("/sparse").await.unwrap();
+            // Write beyond block 0 leaving a hole.
+            fs.write(ino, 10_000, b"tail").await.unwrap();
+            let st = fs.stat(ino).await.unwrap();
+            assert_eq!(st.size, 10_004, "{}", fs.name());
+            let hole = fs.read(ino, 0, 16).await.unwrap();
+            assert_eq!(hole, vec![0u8; 16], "{}: hole must read zero", fs.name());
+            let tail = fs.read(ino, 10_000, 4).await.unwrap();
+            assert_eq!(tail, b"tail");
+        })
+    });
+}
+
+#[test]
+fn large_file_spans_indirect_blocks() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            let ino = fs.create("/big").await.unwrap();
+            // 60 blocks: beyond the 12 direct pointers.
+            let chunk = vec![0xCDu8; 4096];
+            for i in 0..60u64 {
+                fs.write(ino, i * 4096, &chunk).await.unwrap();
+            }
+            let st = fs.stat(ino).await.unwrap();
+            assert_eq!(st.size, 60 * 4096, "{}", fs.name());
+            let back = fs.read(ino, 59 * 4096, 4096).await.unwrap();
+            assert_eq!(back, chunk, "{}", fs.name());
+        })
+    });
+}
+
+#[test]
+fn readdir_lists_live_entries() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            fs.mkdir("/d").await.unwrap();
+            for n in ["one", "two", "three"] {
+                fs.create(&format!("/d/{n}")).await.unwrap();
+            }
+            fs.unlink("/d/two").await.unwrap();
+            let mut names: Vec<String> = fs
+                .readdir("/d")
+                .await
+                .unwrap()
+                .into_iter()
+                .map(|e| e.name)
+                .collect();
+            names.sort();
+            assert_eq!(names, vec!["one", "three"], "{}", fs.name());
+        })
+    });
+}
+
+#[test]
+fn unlink_frees_and_name_is_reusable() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            let a = fs.create("/f").await.unwrap();
+            fs.write(a, 0, &vec![1u8; 8192]).await.unwrap();
+            fs.unlink("/f").await.unwrap();
+            assert_eq!(fs.lookup("/f").await, Err(FsError::NotFound), "{}", fs.name());
+            let b = fs.create("/f").await.unwrap();
+            let st = fs.stat(b).await.unwrap();
+            assert_eq!(st.size, 0, "{}: new file must be empty", fs.name());
+        })
+    });
+}
+
+#[test]
+fn unlink_nonempty_dir_refused() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            fs.mkdir("/d").await.unwrap();
+            fs.create("/d/child").await.unwrap();
+            assert_eq!(fs.unlink("/d").await, Err(FsError::NotEmpty), "{}", fs.name());
+            fs.unlink("/d/child").await.unwrap();
+            fs.unlink("/d").await.unwrap();
+            assert_eq!(fs.lookup("/d").await, Err(FsError::NotFound));
+        })
+    });
+}
+
+#[test]
+fn file_in_place_overwrite() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            let ino = fs.create("/f").await.unwrap();
+            fs.write(ino, 0, b"aaaaaaaa").await.unwrap();
+            fs.write(ino, 4, b"BB").await.unwrap();
+            let back = fs.read(ino, 0, 8).await.unwrap();
+            assert_eq!(back, b"aaaaBBaa", "{}", fs.name());
+            assert_eq!(fs.stat(ino).await.unwrap().size, 8);
+        })
+    });
+}
+
+#[test]
+fn concurrent_private_files_do_not_interfere() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            let hs: Vec<_> = (0..6u32)
+                .map(|t| {
+                    let fs = fs.clone();
+                    chanos_sim::spawn_on(CoreId(t % 3), async move {
+                        let path = format!("/t{t}");
+                        let ino = fs.create(&path).await.unwrap();
+                        let pat = vec![t as u8 + 1; 5000];
+                        fs.write(ino, 0, &pat).await.unwrap();
+                        let back = fs.read(ino, 0, 5000).await.unwrap();
+                        assert_eq!(back, pat, "{} task {t}", fs.name());
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().await.unwrap();
+            }
+        })
+    });
+}
+
+#[test]
+fn concurrent_creates_in_one_dir_yield_unique_inos() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            fs.mkdir("/shared").await.unwrap();
+            let hs: Vec<_> = (0..8u32)
+                .map(|t| {
+                    let fs = fs.clone();
+                    chanos_sim::spawn_on(CoreId(t % 3), async move {
+                        fs.create(&format!("/shared/f{t}")).await.unwrap()
+                    })
+                })
+                .collect();
+            let mut inos = Vec::new();
+            for h in hs {
+                inos.push(h.join().await.unwrap());
+            }
+            inos.sort_unstable();
+            inos.dedup();
+            assert_eq!(inos.len(), 8, "{}: inode numbers must be unique", fs.name());
+            assert_eq!(fs.readdir("/shared").await.unwrap().len(), 8);
+        })
+    });
+}
+
+#[test]
+fn racing_creates_of_same_name_one_wins() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            let hs: Vec<_> = (0..4u32)
+                .map(|t| {
+                    let fs = fs.clone();
+                    chanos_sim::spawn_on(CoreId(t % 3), async move {
+                        fs.create("/contested").await
+                    })
+                })
+                .collect();
+            let mut ok = 0;
+            let mut exists = 0;
+            for h in hs {
+                match h.join().await.unwrap() {
+                    Ok(_) => ok += 1,
+                    Err(FsError::Exists) => exists += 1,
+                    Err(e) => panic!("{}: unexpected error {e:?}", fs.name()),
+                }
+            }
+            assert_eq!(ok, 1, "{}: exactly one create must win", fs.name());
+            assert_eq!(exists, 3);
+        })
+    });
+}
+
+#[test]
+fn data_survives_sync() {
+    for_each_engine(|fs| {
+        Box::pin(async move {
+            let ino = fs.create("/persist").await.unwrap();
+            fs.write(ino, 0, b"durable").await.unwrap();
+            fs.sync().await.unwrap();
+            let back = fs.read(ino, 0, 7).await.unwrap();
+            assert_eq!(back, b"durable", "{}", fs.name());
+        })
+    });
+}
+
+#[test]
+fn msgfs_spawns_vnode_threads() {
+    let mut s = sim(4);
+    s.block_on(async {
+        let fs = make_fs("msgfs", 4).await;
+        for i in 0..5 {
+            let ino = fs.create(&format!("/v{i}")).await.unwrap();
+            fs.write(ino, 0, b"x").await.unwrap();
+        }
+    })
+    .unwrap();
+    let spawned = s.stats().counter("msgfs.vnode_threads_spawned");
+    assert!(
+        spawned >= 6,
+        "expected a vnode thread per touched inode (root + 5 files), got {spawned}"
+    );
+}

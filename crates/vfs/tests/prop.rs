@@ -1,0 +1,210 @@
+//! Property tests: layout round trips, cache model equivalence, and
+//! cross-engine behavioural equivalence on random operation scripts.
+
+use proptest::prelude::*;
+
+use chanos_drivers::{install_disk, spawn_disk_driver, DiskParams};
+use chanos_sim::{Config, CoreId, Simulation};
+use chanos_vfs::layout::{bitmap, Dirent, FileKind, Inode, Superblock, MAX_NAME, NDIRECT};
+use chanos_vfs::{BigLockFs, LruCache, MsgFs, ShardedFs, Vfs};
+
+proptest! {
+    /// Inode encode/decode is the identity.
+    #[test]
+    fn inode_roundtrip(
+        kind in 0u8..2,
+        nlink in 1u16..100,
+        size in 0u64..10_000_000,
+        direct in prop::collection::vec(0u64..100_000, NDIRECT),
+        indirect in 0u64..100_000,
+    ) {
+        let mut ino = Inode::new(if kind == 0 { FileKind::File } else { FileKind::Dir });
+        ino.nlink = nlink;
+        ino.size = size;
+        ino.direct.copy_from_slice(&direct);
+        ino.indirect = indirect;
+        prop_assert_eq!(Inode::decode(&ino.encode()), Some(ino));
+    }
+
+    /// Dirent encode/decode is the identity for all legal names.
+    #[test]
+    fn dirent_roundtrip(ino in 0u64..u64::MAX, name in "[a-zA-Z0-9._-]{1,55}") {
+        prop_assume!(name.len() <= MAX_NAME);
+        let d = Dirent { ino, name };
+        prop_assert_eq!(Dirent::decode(&d.encode()), Some(d));
+    }
+
+    /// Superblock geometry: every group's blocks stay inside the
+    /// volume and regions never overlap.
+    #[test]
+    fn superblock_geometry_sound(total in 256u64..100_000, groups in 1u64..32) {
+        prop_assume!(total / groups > 40);
+        let sb = Superblock::design(total, groups);
+        for g in 0..sb.n_groups {
+            prop_assert!(sb.ibitmap_block(g) < sb.dbitmap_block(g));
+            prop_assert!(sb.dbitmap_block(g) < sb.itable_start(g));
+            prop_assert!(sb.itable_start(g) + sb.itable_blocks() <= sb.data_start(g));
+            prop_assert!(sb.data_start(g) + sb.data_per_group
+                <= sb.group_start(g) + sb.blocks_per_group);
+            prop_assert!(sb.group_start(g) + sb.blocks_per_group <= sb.total_blocks);
+        }
+        prop_assert_eq!(Superblock::decode(&sb.encode()), Some(sb));
+    }
+
+    /// Bitmap alloc never double-allocates and free makes bits
+    /// reusable.
+    #[test]
+    fn bitmap_never_double_allocates(limit in 1u64..512, rounds in 1usize..100) {
+        let mut map = vec![0u8; limit.div_ceil(8) as usize];
+        let mut live = std::collections::HashSet::new();
+        for i in 0..rounds {
+            if i % 3 == 2 && !live.is_empty() {
+                let &k = live.iter().next().expect("non-empty");
+                live.remove(&k);
+                bitmap::free(&mut map, k);
+            } else if let Some(k) = bitmap::alloc(&mut map, limit) {
+                prop_assert!(k < limit);
+                prop_assert!(live.insert(k), "bit {} allocated twice", k);
+            }
+        }
+        prop_assert_eq!(bitmap::count(&map, limit), live.len() as u64);
+    }
+
+    /// The LRU cache agrees with a naive model on hit contents.
+    #[test]
+    fn lru_agrees_with_model(
+        capacity in 1usize..8,
+        ops in prop::collection::vec((0u64..16, any::<bool>()), 1..100),
+    ) {
+        let mut cache = LruCache::new(capacity);
+        let mut model: std::collections::HashMap<u64, Vec<u8>> = std::collections::HashMap::new();
+        for (lba, write) in ops {
+            if write {
+                let data = vec![lba as u8; 4];
+                cache.insert_dirty(lba, data.clone());
+                model.insert(lba, data);
+            } else if let Some(got) = cache.get(lba) {
+                // A hit must return exactly what was last written.
+                prop_assert_eq!(Some(&got), model.get(&lba));
+            }
+        }
+        prop_assert!(cache.len() <= capacity);
+    }
+}
+
+/// One random FS op script, applied to every engine: observable
+/// results must be identical (the engines differ only in concurrency
+/// control).
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Write(u8, u16),
+    Read(u8),
+    Unlink(u8),
+    List,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6).prop_map(Op::Create),
+        (0u8..6, 1u16..5000).prop_map(|(f, n)| Op::Write(f, n)),
+        (0u8..6).prop_map(Op::Read),
+        (0u8..6).prop_map(Op::Unlink),
+        Just(Op::List),
+    ]
+}
+
+fn apply_script(which: &'static str, script: Vec<Op>) -> Vec<String> {
+    let mut s = Simulation::with_config(Config {
+        cores: 4,
+        ctx_switch: 10,
+        ..Config::default()
+    });
+    s.block_on(async move {
+        let dev = CoreId(3);
+        let (hw, irq) = install_disk(2048, DiskParams::default(), dev);
+        let disk = spawn_disk_driver(hw, irq, dev);
+        let cores: Vec<CoreId> = (0..3u32).map(CoreId).collect();
+        let fs = match which {
+            "biglock" => Vfs::Big(BigLockFs::format(disk, 2048, 4, 128).await.unwrap()),
+            "sharded" => Vfs::Sharded(ShardedFs::format(disk, 2048, 4, 4, 32).await.unwrap()),
+            _ => Vfs::Msg(MsgFs::format(disk, 2048, 4, 4, 32, cores).await.unwrap()),
+        };
+        let mut log = Vec::new();
+        let mut sizes: std::collections::HashMap<u8, u64> = std::collections::HashMap::new();
+        for op in script {
+            match op {
+                Op::Create(f) => {
+                    let r = fs.create(&format!("/f{f}")).await;
+                    if r.is_ok() {
+                        sizes.insert(f, 0);
+                    }
+                    log.push(format!("create{f}:{}", r.is_ok()));
+                }
+                Op::Write(f, n) => {
+                    let r = match fs.lookup(&format!("/f{f}")).await {
+                        Ok(ino) => {
+                            let off = sizes.get(&f).copied().unwrap_or(0);
+                            let r = fs.write(ino, off, &vec![f; n as usize]).await;
+                            if r.is_ok() {
+                                sizes.insert(f, off + u64::from(n));
+                            }
+                            r.is_ok()
+                        }
+                        Err(_) => false,
+                    };
+                    log.push(format!("write{f}+{n}:{r}"));
+                }
+                Op::Read(f) => {
+                    let out = match fs.lookup(&format!("/f{f}")).await {
+                        Ok(ino) => {
+                            let data = fs.read(ino, 0, 100_000).await.unwrap();
+                            // Contents must be all-f bytes.
+                            assert!(data.iter().all(|&b| b == f), "{which}: corrupt data");
+                            format!("{}", data.len())
+                        }
+                        Err(_) => "missing".to_string(),
+                    };
+                    log.push(format!("read{f}:{out}"));
+                }
+                Op::Unlink(f) => {
+                    let r = fs.unlink(&format!("/f{f}")).await;
+                    if r.is_ok() {
+                        sizes.remove(&f);
+                    }
+                    log.push(format!("unlink{f}:{}", r.is_ok()));
+                }
+                Op::List => {
+                    let mut names: Vec<String> = fs
+                        .readdir("/")
+                        .await
+                        .unwrap()
+                        .into_iter()
+                        .map(|e| e.name)
+                        .collect();
+                    names.sort();
+                    log.push(format!("ls:{}", names.join("+")));
+                }
+            }
+        }
+        log
+    })
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All three engines produce identical observable logs for any
+    /// sequential operation script.
+    #[test]
+    fn engines_are_observably_equivalent(
+        script in prop::collection::vec(op_strategy(), 1..25)
+    ) {
+        let big = apply_script("biglock", script.clone());
+        let sharded = apply_script("sharded", script.clone());
+        let msg = apply_script("msgfs", script.clone());
+        prop_assert_eq!(&big, &sharded, "biglock vs sharded");
+        prop_assert_eq!(&big, &msg, "biglock vs msgfs");
+    }
+}

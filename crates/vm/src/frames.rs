@@ -1,0 +1,88 @@
+//! The physical frame allocator: a single server task owning the
+//! frame free-list (the §4 pattern — no locks, one owner).
+
+use chanos_csp::{channel, request, Capacity, ReplyTo, Sender};
+use chanos_sim::{self as sim, CoreId};
+
+use crate::VmError;
+
+enum FrameMsg {
+    Alloc {
+        reply: ReplyTo<Result<u64, VmError>>,
+    },
+    Free {
+        pfn: u64,
+        reply: ReplyTo<Result<(), VmError>>,
+    },
+    Stats {
+        reply: ReplyTo<(u64, u64)>,
+    },
+}
+
+/// Cloneable client to the frame allocator server.
+#[derive(Clone)]
+pub struct FrameAlloc {
+    tx: Sender<FrameMsg>,
+}
+
+impl FrameAlloc {
+    /// Spawns the frame-allocator server owning `frames` physical
+    /// frames.
+    pub fn spawn(frames: u64, core: CoreId) -> FrameAlloc {
+        let (tx, rx) = channel::<FrameMsg>(Capacity::Unbounded);
+        sim::spawn_daemon_on("vm-frames", core, async move {
+            // Free list: next sequential frame, then recycled frames.
+            let mut next = 0u64;
+            let mut recycled: Vec<u64> = Vec::new();
+            let mut in_use = 0u64;
+            while let Ok(msg) = rx.recv().await {
+                match msg {
+                    FrameMsg::Alloc { reply } => {
+                        let out = if let Some(pfn) = recycled.pop() {
+                            in_use += 1;
+                            Ok(pfn)
+                        } else if next < frames {
+                            let pfn = next;
+                            next += 1;
+                            in_use += 1;
+                            Ok(pfn)
+                        } else {
+                            Err(VmError::OutOfFrames)
+                        };
+                        let _ = reply.send(out).await;
+                    }
+                    FrameMsg::Free { pfn, reply } => {
+                        recycled.push(pfn);
+                        in_use = in_use.saturating_sub(1);
+                        let _ = reply.send(Ok(())).await;
+                    }
+                    FrameMsg::Stats { reply } => {
+                        let _ = reply.send((in_use, frames)).await;
+                    }
+                }
+            }
+        });
+        FrameAlloc { tx }
+    }
+
+    /// Allocates one frame.
+    pub async fn alloc(&self) -> Result<u64, VmError> {
+        request(&self.tx, |reply| FrameMsg::Alloc { reply })
+            .await
+            .unwrap_or(Err(VmError::Gone))
+    }
+
+    /// Returns a frame to the pool.
+    pub async fn free(&self, pfn: u64) -> Result<(), VmError> {
+        request(&self.tx, |reply| FrameMsg::Free { pfn, reply })
+            .await
+            .unwrap_or(Err(VmError::Gone))
+    }
+
+    /// (frames in use, total frames).
+    pub async fn stats(&self) -> (u64, u64) {
+        request(&self.tx, |reply| FrameMsg::Stats { reply })
+            .await
+            .unwrap_or((0, 0))
+    }
+}

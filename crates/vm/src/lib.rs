@@ -1,0 +1,44 @@
+//! # chanos-vm — virtual memory as message-passing threads
+//!
+//! §5 of Holland & Seltzer raises two VM questions this crate
+//! answers experimentally:
+//!
+//! 1. *How should virtual memory operate in this environment?* — the
+//!    conservative design is a VM service built from autonomous
+//!    threads ([`VmService`]); the aggressive design is none at all
+//!    ([`LibOsSpace`], the libOS approach of §4).
+//! 2. *How fine should the threads be?* — [`Granularity`] spans
+//!    centralized / per-space / per-region / per-page, the last being
+//!    the paper's own example of "too many threads no matter how many
+//!    cores are available" (experiment E8).
+
+mod frames;
+mod libos;
+mod service;
+
+pub use frames::FrameAlloc;
+pub use libos::LibOsSpace;
+pub use service::{Granularity, SpaceHandle, VmCfg, VmService, PAGE_SIZE, THREAD_STACK_BYTES};
+
+/// Errors from the VM service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// Physical memory exhausted.
+    OutOfFrames,
+    /// Address not covered by any mapped region.
+    BadAddress,
+    /// A VM service task went away.
+    Gone,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::OutOfFrames => write!(f, "out of physical frames"),
+            VmError::BadAddress => write!(f, "bad address"),
+            VmError::Gone => write!(f, "VM service unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

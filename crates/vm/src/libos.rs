@@ -1,0 +1,76 @@
+//! The aggressive design (§4): no VM service underneath the
+//! application at all.
+//!
+//! *"In an aggressive design one might well run applications directly
+//! on a bare core with no system services at all underneath. If an
+//! application wants e.g. virtual memory services … it can provide
+//! them itself or link with system-provided code in libOS fashion."*
+//!
+//! [`LibOsSpace`] is that system-provided code: the page table lives
+//! in the process itself; a fault costs only the local bookkeeping
+//! plus one message to the frame allocator. No server hop, no
+//! kernel — reasonable precisely because the shared-nothing world
+//! means "applications cannot scribble on each other".
+
+use std::collections::HashMap;
+
+use chanos_sim::{delay, Cycles};
+
+use crate::frames::FrameAlloc;
+use crate::service::PAGE_SIZE;
+use crate::VmError;
+
+/// An address space managed by the application itself.
+pub struct LibOsSpace {
+    frames: FrameAlloc,
+    fault_work: Cycles,
+    regions: Vec<(u64, u64)>,
+    table: HashMap<u64, u64>,
+}
+
+impl LibOsSpace {
+    /// Creates a libOS-managed space over the shared frame allocator.
+    pub fn new(frames: FrameAlloc, fault_work: Cycles) -> LibOsSpace {
+        LibOsSpace {
+            frames,
+            fault_work,
+            regions: Vec::new(),
+            table: HashMap::new(),
+        }
+    }
+
+    /// Maps an anonymous region.
+    pub fn map_region(&mut self, start: u64, len: u64) {
+        self.regions.push((start, len));
+    }
+
+    /// Touches `vaddr`, faulting the page in locally if needed.
+    pub async fn touch(&mut self, vaddr: u64) -> Result<u64, VmError> {
+        if !self
+            .regions
+            .iter()
+            .any(|&(s, l)| vaddr >= s && vaddr < s + l)
+        {
+            return Err(VmError::BadAddress);
+        }
+        let vpn = vaddr / PAGE_SIZE;
+        if let Some(&pfn) = self.table.get(&vpn) {
+            return Ok(pfn);
+        }
+        delay(self.fault_work).await;
+        chanos_sim::stat_incr("vm.faults");
+        let pfn = self.frames.alloc().await?;
+        self.table.insert(vpn, pfn);
+        Ok(pfn)
+    }
+
+    /// Resolves without faulting.
+    pub fn resolve(&self, vaddr: u64) -> Option<u64> {
+        self.table.get(&(vaddr / PAGE_SIZE)).copied()
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.table.len()
+    }
+}

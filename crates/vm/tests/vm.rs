@@ -1,0 +1,228 @@
+//! VM service tests across all granularities plus the libOS design.
+
+use chanos_sim::{Config, CoreId, Simulation};
+use chanos_vm::{
+    FrameAlloc, Granularity, LibOsSpace, VmCfg, VmError, VmService, PAGE_SIZE,
+};
+
+fn sim(cores: usize) -> Simulation {
+    Simulation::with_config(Config {
+        cores,
+        ctx_switch: 10,
+        ..Config::default()
+    })
+}
+
+fn cfg(granularity: Granularity, frames: u64) -> VmCfg {
+    VmCfg {
+        granularity,
+        fault_work: 300,
+        frames,
+        service_cores: vec![CoreId(0), CoreId(1)],
+        thread_spawn_cost: 500,
+    }
+}
+
+const ALL: [Granularity; 4] = [
+    Granularity::Centralized,
+    Granularity::PerSpace,
+    Granularity::PerRegion,
+    Granularity::PerPage,
+];
+
+#[test]
+fn fault_maps_page_and_is_idempotent() {
+    for g in ALL {
+        let mut s = sim(4);
+        s.block_on(async move {
+            let vm = VmService::start(cfg(g, 1024));
+            let space = vm.create_space(1);
+            space.map_region(0x1000_0000, 64 * PAGE_SIZE).await.unwrap();
+            let pfn1 = space.touch(0x1000_0000).await.unwrap();
+            let pfn2 = space.touch(0x1000_0000).await.unwrap();
+            assert_eq!(pfn1, pfn2, "{}: repeat touch must reuse the frame", g.name());
+            let pfn3 = space.touch(0x1000_0000 + PAGE_SIZE).await.unwrap();
+            assert_ne!(pfn1, pfn3, "{}: distinct pages get distinct frames", g.name());
+            assert_eq!(space.resolve(0x1000_0000).await.unwrap(), Some(pfn1));
+            assert_eq!(
+                space.resolve(0x2000_0000).await.unwrap(),
+                None,
+                "{}: unmapped resolves to None",
+                g.name()
+            );
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn unmapped_address_faults_with_error() {
+    for g in ALL {
+        let mut s = sim(4);
+        s.block_on(async move {
+            let vm = VmService::start(cfg(g, 64));
+            let space = vm.create_space(1);
+            space.map_region(0, 4 * PAGE_SIZE).await.unwrap();
+            assert_eq!(
+                space.touch(0x9999_0000).await,
+                Err(VmError::BadAddress),
+                "{}",
+                g.name()
+            );
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn frames_are_exhaustible_and_recyclable() {
+    let mut s = sim(2);
+    s.block_on(async {
+        let frames = FrameAlloc::spawn(3, CoreId(0));
+        let a = frames.alloc().await.unwrap();
+        let b = frames.alloc().await.unwrap();
+        let c = frames.alloc().await.unwrap();
+        assert_eq!(frames.alloc().await, Err(VmError::OutOfFrames));
+        frames.free(b).await.unwrap();
+        let d = frames.alloc().await.unwrap();
+        assert_eq!(d, b, "freed frame should recycle");
+        let (used, total) = frames.stats().await;
+        assert_eq!((used, total), (3, 3));
+        let _ = (a, c);
+    })
+    .unwrap();
+}
+
+#[test]
+fn distinct_pages_never_share_frames() {
+    for g in ALL {
+        let mut s = sim(4);
+        let frames_used = s
+            .block_on(async move {
+                let vm = VmService::start(cfg(g, 4096));
+                let space = vm.create_space(1);
+                space.map_region(0, 256 * PAGE_SIZE).await.unwrap();
+                let mut pfns = Vec::new();
+                for p in 0..100u64 {
+                    pfns.push(space.touch(p * PAGE_SIZE).await.unwrap());
+                }
+                pfns.sort_unstable();
+                pfns.dedup();
+                pfns.len()
+            })
+            .unwrap();
+        assert_eq!(frames_used, 100, "{}: one frame per page", g.name());
+    }
+}
+
+#[test]
+fn concurrent_faulters_get_consistent_mappings() {
+    for g in ALL {
+        let mut s = sim(6);
+        s.block_on(async move {
+            let vm = VmService::start(cfg(g, 4096));
+            let space = vm.create_space(1);
+            space.map_region(0, 128 * PAGE_SIZE).await.unwrap();
+            // 4 tasks racing over the same 32 pages.
+            let hs: Vec<_> = (0..4u32)
+                .map(|t| {
+                    let space = space.clone();
+                    chanos_sim::spawn_on(CoreId(2 + t % 4), async move {
+                        let mut got = Vec::new();
+                        for p in 0..32u64 {
+                            got.push(space.touch(p * PAGE_SIZE).await.unwrap());
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut all: Vec<Vec<u64>> = Vec::new();
+            for h in hs {
+                all.push(h.join().await.unwrap());
+            }
+            for other in &all[1..] {
+                assert_eq!(
+                    &all[0], other,
+                    "{}: every racer must observe the same page->frame map",
+                    g.name()
+                );
+            }
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn per_page_spawns_vastly_more_threads() {
+    let count_threads = |g: Granularity| {
+        let mut s = sim(4);
+        s.block_on(async move {
+            let vm = VmService::start(cfg(g, 4096));
+            let space = vm.create_space(1);
+            space.map_region(0, 512 * PAGE_SIZE).await.unwrap();
+            for p in 0..200u64 {
+                space.touch(p * PAGE_SIZE).await.unwrap();
+            }
+        })
+        .unwrap();
+        s.stats().counter("vm.service_threads")
+    };
+    let central = count_threads(Granularity::Centralized);
+    let per_page = count_threads(Granularity::PerPage);
+    assert_eq!(central, 0, "centralized adds no per-space threads");
+    assert!(
+        per_page > 200,
+        "per-page must spawn a thread per touched page (got {per_page})"
+    );
+}
+
+#[test]
+fn libos_space_works_without_any_vm_service() {
+    let mut s = sim(2);
+    let (pfn_a, pfn_b, mapped) = s
+        .block_on(async {
+            let frames = FrameAlloc::spawn(128, CoreId(0));
+            let mut space = LibOsSpace::new(frames, 300);
+            space.map_region(0, 64 * PAGE_SIZE);
+            let a = space.touch(0).await.unwrap();
+            let b = space.touch(PAGE_SIZE).await.unwrap();
+            let again = space.touch(0).await.unwrap();
+            assert_eq!(a, again);
+            (a, b, space.mapped_pages())
+        })
+        .unwrap();
+    assert_ne!(pfn_a, pfn_b);
+    assert_eq!(mapped, 2);
+}
+
+#[test]
+fn libos_fault_is_cheaper_than_serviced_fault() {
+    // Aggressive (libOS) vs conservative (per-space server) fault
+    // latency: the libOS avoids the server round trip.
+    let mut s = sim(4);
+    let (libos_t, served_t) = s
+        .block_on(async {
+            let frames = FrameAlloc::spawn(4096, CoreId(0));
+            let mut space = LibOsSpace::new(frames, 300);
+            space.map_region(0, 256 * PAGE_SIZE);
+            let t0 = chanos_sim::now();
+            for p in 0..100u64 {
+                space.touch(p * PAGE_SIZE).await.unwrap();
+            }
+            let libos_t = chanos_sim::now() - t0;
+
+            let vm = VmService::start(cfg(Granularity::PerSpace, 4096));
+            let served = vm.create_space(1);
+            served.map_region(0, 256 * PAGE_SIZE).await.unwrap();
+            let t1 = chanos_sim::now();
+            for p in 0..100u64 {
+                served.touch(p * PAGE_SIZE).await.unwrap();
+            }
+            (libos_t, chanos_sim::now() - t1)
+        })
+        .unwrap();
+    assert!(
+        libos_t < served_t,
+        "libOS faults ({libos_t}) should beat serviced faults ({served_t})"
+    );
+}

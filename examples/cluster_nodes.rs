@@ -1,0 +1,112 @@
+//! Shared-nothing cluster nodes: the world the paper extrapolates
+//! from (§1) and the future it warns against (§6).
+//!
+//! Four nodes on one simulated box exchange work through the
+//! `chanos-net` stack — marshalling, frames, loss, retransmission —
+//! while the same job runs on lightweight on-die channels for
+//! contrast. The output shows the §2 weight ladder as measured
+//! cycles.
+//!
+//! ```text
+//! cargo run --example cluster_nodes
+//! ```
+
+use chanos::csp::{channel, request, Capacity, ReplyTo};
+use chanos::net::{
+    connect, listen, Cluster, ClusterParams, LinkParams, NodeId, RdtParams, RpcClient, SerdeCost,
+};
+use chanos::sim::{self, Simulation};
+
+/// The job: each node asks every other node to hash a block.
+const BLOCKS_PER_PAIR: u64 = 8;
+
+fn main() {
+    let mut machine = Simulation::new(16);
+    machine
+        .block_on(async {
+            // A 4-node cluster on a lossy virtual fabric.
+            let link = LinkParams { loss: 0.05, jitter: 10_000, ..LinkParams::default() };
+            let cluster = Cluster::new(ClusterParams { nodes: 4, link });
+
+            // Every node runs a hash service on port 9.
+            for n in 0..4 {
+                let listener = listen(&cluster.iface(NodeId(n)), 9, RdtParams::default()).unwrap();
+                sim::spawn_daemon(&format!("hash-server-{n}"), async move {
+                    while let Ok(conn) = listener.accept().await {
+                        sim::spawn_daemon("hash-conn", async move {
+                            chanos::net::serve(conn, SerdeCost::default(), |block: u64| async move {
+                                sim::delay(200).await; // The "hash".
+                                block.wrapping_mul(0x9E3779B97F4A7C15)
+                            })
+                            .await;
+                        });
+                    }
+                });
+            }
+
+            // Each node calls each other node.
+            let t0 = sim::now();
+            let mut joins = Vec::new();
+            for src in 0..4u32 {
+                for dst in 0..4u32 {
+                    if src == dst {
+                        continue;
+                    }
+                    let iface = cluster.iface(NodeId(src));
+                    joins.push(sim::spawn(async move {
+                        let conn = connect(&iface, NodeId(dst), 9, RdtParams::default())
+                            .await
+                            .expect("connect");
+                        let rpc: RpcClient<u64, u64> = RpcClient::new(conn, SerdeCost::default());
+                        let mut sum = 0u64;
+                        for b in 0..BLOCKS_PER_PAIR {
+                            sum = sum.wrapping_add(rpc.call(&b).await.expect("hash rpc"));
+                        }
+                        rpc.finish();
+                        sum
+                    }));
+                }
+            }
+            let mut cluster_sum = 0u64;
+            for j in joins {
+                cluster_sum = cluster_sum.wrapping_add(j.join().await.unwrap());
+            }
+            let cluster_cycles = sim::now() - t0;
+            let cluster_ops = 12 * BLOCKS_PER_PAIR;
+
+            // The same job over on-die lightweight channels.
+            struct HashReq(u64, ReplyTo<u64>);
+            let (tx, rx) = channel::<HashReq>(Capacity::Unbounded);
+            sim::spawn_daemon("hash-local", async move {
+                while let Ok(HashReq(b, reply)) = rx.recv().await {
+                    sim::delay(200).await;
+                    let _ = reply.send(b.wrapping_mul(0x9E3779B97F4A7C15)).await;
+                }
+            });
+            let t1 = sim::now();
+            let mut local_sum = 0u64;
+            for _ in 0..12 {
+                for b in 0..BLOCKS_PER_PAIR {
+                    let v = request(&tx, |reply| HashReq(b, reply)).await.unwrap();
+                    local_sum = local_sum.wrapping_add(v);
+                }
+            }
+            let local_cycles = sim::now() - t1;
+
+            assert_eq!(cluster_sum, local_sum, "same answers either way");
+            println!("the same {cluster_ops} hash calls:");
+            println!(
+                "  over the cluster fabric : {:>9} cycles ({} frames, {} retransmits, {} lost)",
+                cluster_cycles,
+                sim::stat_get("net.frames_sent"),
+                sim::stat_get("net.retransmits"),
+                sim::stat_get("net.frames_lost"),
+            );
+            println!("  over on-die channels    : {local_cycles:>9} cycles");
+            println!(
+                "  cluster/on-die ratio    : {:.1}x — §2's weight ladder, measured",
+                cluster_cycles as f64 / local_cycles as f64
+            );
+        })
+        .unwrap();
+}

@@ -1,0 +1,137 @@
+//! Peer (non-hierarchical) structure, §3.1: an application and a
+//! display server as equals.
+//!
+//! *"Peer subsystems can be structured to send messages back and
+//! forth on a peer basis, instead of requiring a false hierarchical
+//! relationship. This is particularly desirable for GUI programming,
+//! where the application and display send messages back and forth.
+//! Newsqueak offered this model."*
+//!
+//! Neither side "calls" the other: the display pushes input events
+//! whenever they happen; the app pushes drawing commands whenever it
+//! likes; both sit in a `choose!` loop. No callbacks, no inversion of
+//! control.
+//!
+//! ```text
+//! cargo run --example gui_peer
+//! ```
+
+use chanos::csp::{channel, choose, Capacity, Receiver, Sender};
+use chanos::sim::{CoreId, Simulation};
+
+#[derive(Debug, Clone)]
+enum InputEvent {
+    MouseClick { x: u32, y: u32 },
+    KeyPress(char),
+    CloseButton,
+}
+
+#[derive(Debug, Clone)]
+enum DrawCmd {
+    Clear,
+    Label { x: u32, y: u32, text: String },
+    Quit,
+}
+
+/// The display server: generates input events on its own schedule and
+/// renders whatever the app sends — a peer, not a callee.
+async fn display_server(to_app: Sender<InputEvent>, from_app: Receiver<DrawCmd>) {
+    let script = [
+        InputEvent::MouseClick { x: 10, y: 20 },
+        InputEvent::KeyPress('h'),
+        InputEvent::KeyPress('i'),
+        InputEvent::MouseClick { x: 300, y: 5 },
+        InputEvent::CloseButton,
+    ];
+    let mut next_input = 0;
+    let mut frame = Vec::new();
+    loop {
+        choose! {
+            cmd = from_app.recv() => match cmd {
+                Ok(DrawCmd::Clear) => frame.clear(),
+                Ok(DrawCmd::Label { x, y, text }) => {
+                    println!("  [display] draw @({x:>3},{y:>3}): {text}");
+                    frame.push(text);
+                }
+                Ok(DrawCmd::Quit) | Err(_) => {
+                    println!("  [display] shutting down; last frame had {} labels", frame.len());
+                    break;
+                }
+            },
+            _ = chanos::csp::after(1_000) => {
+                // "Hardware" input arrives on the display's own clock.
+                if next_input < script.len() {
+                    let ev = script[next_input].clone();
+                    next_input += 1;
+                    if to_app.send(ev).await.is_err() {
+                        break;
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// The application: reacts to input, draws, and can also draw
+/// spontaneously — symmetric with the display.
+async fn application(from_display: Receiver<InputEvent>, to_display: Sender<DrawCmd>) {
+    let mut typed = String::new();
+    let mut ticks = 0u32;
+    loop {
+        choose! {
+            ev = from_display.recv() => match ev {
+                Ok(InputEvent::MouseClick { x, y }) => {
+                    println!("[app] click at ({x},{y})");
+                    to_display
+                        .send(DrawCmd::Label { x, y, text: format!("click!") })
+                        .await
+                        .unwrap();
+                }
+                Ok(InputEvent::KeyPress(c)) => {
+                    typed.push(c);
+                    to_display
+                        .send(DrawCmd::Label { x: 0, y: 0, text: format!("typed: {typed}") })
+                        .await
+                        .unwrap();
+                }
+                Ok(InputEvent::CloseButton) | Err(_) => {
+                    println!("[app] close requested");
+                    let _ = to_display.send(DrawCmd::Quit).await;
+                    break;
+                }
+            },
+            _ = chanos::csp::after(1_500) => {
+                // Spontaneous redraw (an animation tick) — the app
+                // does not need to be "called" to act.
+                ticks += 1;
+                to_display
+                    .send(DrawCmd::Label { x: 500, y: 0, text: format!("tick {ticks}") })
+                    .await
+                    .unwrap();
+            },
+        }
+    }
+}
+
+fn main() {
+    let mut machine = Simulation::new(2);
+    machine
+        .block_on(async {
+            let (in_tx, in_rx) = channel::<InputEvent>(Capacity::Bounded(8));
+            let (draw_tx, draw_rx) = channel::<DrawCmd>(Capacity::Bounded(8));
+            let display = chanos::sim::spawn_named_on("display", CoreId(0), async move {
+                display_server(in_tx, draw_rx).await;
+            });
+            let app = chanos::sim::spawn_named_on("app", CoreId(1), async move {
+                application(in_rx, draw_tx).await;
+            });
+            app.join().await.unwrap();
+            display.join().await.unwrap();
+            let _ = DrawCmd::Clear; // (variant exercised in bigger apps)
+        })
+        .unwrap();
+    println!(
+        "peer GUI session finished at t={} cycles — no callbacks, no hierarchy",
+        machine.now()
+    );
+}

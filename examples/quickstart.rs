@@ -1,0 +1,90 @@
+//! Quickstart: the paper's programming model in one screen.
+//!
+//! Channels, lightweight threads, `choose`, and the RPC derivation
+//! from §3 — on a simulated 16-core machine, then the same channel
+//! code on real OS threads.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use chanos::csp::{after, channel, choose, request, Capacity, ReplyTo};
+use chanos::sim::{spawn_on, CoreId, Simulation};
+
+enum MathReq {
+    /// `r = f(a, b)` as a message with a reply channel (§3).
+    Add(u64, u64, ReplyTo<u64>),
+}
+
+fn simulated() {
+    let mut machine = Simulation::new(16);
+    let outcome = machine
+        .block_on(async {
+            // A server thread on core 7 — "a listener thread on
+            // channel c that evaluates f".
+            let (tx, rx) = channel::<MathReq>(Capacity::Unbounded);
+            chanos::sim::spawn_daemon_on("math-server", CoreId(7), async move {
+                while let Ok(MathReq::Add(a, b, reply)) = rx.recv().await {
+                    let _ = reply.send(a + b).await;
+                }
+            });
+
+            // Sixteen clients on sixteen cores.
+            let clients: Vec<_> = (0..16u64)
+                .map(|i| {
+                    let tx = tx.clone();
+                    spawn_on(CoreId((i % 16) as u32), async move {
+                        request(&tx, |reply| MathReq::Add(i, i * 10, reply))
+                            .await
+                            .expect("server alive")
+                    })
+                })
+                .collect();
+            let mut total = 0;
+            for c in clients {
+                total += c.join().await.unwrap();
+            }
+
+            // The `choose` statement: whichever becomes ready first.
+            let (etx, erx) = channel::<&'static str>(Capacity::Unbounded);
+            etx.send("event").await.unwrap();
+            let what = choose! {
+                ev = erx.recv() => ev.unwrap(),
+                _ = after(10_000) => "timeout",
+            };
+            (total, what)
+        })
+        .unwrap();
+    println!(
+        "simulated 16-core machine: sum of 16 RPCs = {}, choose picked '{}' at t={} cycles",
+        outcome.0,
+        outcome.1,
+        machine.now()
+    );
+}
+
+fn real_threads() {
+    use chanos::parchan::{channel, Capacity, Runtime};
+    let rt = Runtime::new_per_core();
+    let (tx, rx) = channel::<u64>(Capacity::Bounded(8));
+    let consumer = rt.spawn(async move {
+        let mut sum = 0;
+        while let Ok(v) = rx.recv().await {
+            sum += v;
+        }
+        sum
+    });
+    rt.block_on(async move {
+        for i in 1..=100 {
+            tx.send(i).await.unwrap();
+        }
+    });
+    let sum = consumer.join_blocking().unwrap();
+    println!("real threads: pipelined sum 1..=100 = {sum}");
+    rt.shutdown();
+}
+
+fn main() {
+    simulated();
+    real_threads();
+}

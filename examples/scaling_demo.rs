@@ -1,0 +1,103 @@
+//! The paper's headline claim, live: locks collapse, messages don't.
+//!
+//! A shared counter bumped from every core — once with a test-and-set
+//! spinlock, once with atomic `fetch_add`, once as messages to a
+//! counter-server thread — at 8, 64, and 512 cores on the simulated
+//! machine.
+//!
+//! ```text
+//! cargo run --release --example scaling_demo
+//! ```
+
+use chanos::csp::{channel, Capacity};
+use chanos::shmem::{SimAtomicU64, TasSpinlock};
+use chanos::sim::{delay, CoreId, Config, Simulation};
+
+const OPS_PER_CORE: u64 = 30;
+const THINK: u64 = 400;
+
+fn machine(cores: usize) -> Simulation {
+    Simulation::with_config(Config {
+        cores,
+        ctx_switch: 20,
+        ..Config::default()
+    })
+}
+
+fn with_tas(cores: usize) -> u64 {
+    let mut s = machine(cores);
+    let lock = s.block_on(async { TasSpinlock::new() }).unwrap();
+    for c in 0..cores {
+        let lock = lock.clone();
+        s.spawn_on(CoreId(c as u32), async move {
+            for _ in 0..OPS_PER_CORE {
+                let g = lock.lock().await;
+                drop(g);
+                delay(THINK).await;
+            }
+        });
+    }
+    s.run_until_idle().now
+}
+
+fn with_atomic(cores: usize) -> u64 {
+    let mut s = machine(cores);
+    let counter = s.block_on(async { SimAtomicU64::new(0) }).unwrap();
+    for c in 0..cores {
+        let counter = counter.clone();
+        s.spawn_on(CoreId(c as u32), async move {
+            for _ in 0..OPS_PER_CORE {
+                counter.fetch_add(1).await;
+                delay(THINK).await;
+            }
+        });
+    }
+    s.run_until_idle().now
+}
+
+fn with_messages(cores: usize) -> u64 {
+    let mut s = machine(cores);
+    let tx = s
+        .block_on(async {
+            let (tx, rx) = channel::<u64>(Capacity::Bounded(256));
+            chanos::sim::spawn_daemon_on("counter-server", CoreId(0), async move {
+                let mut total = 0u64;
+                while let Ok(v) = rx.recv().await {
+                    total += v;
+                }
+                chanos::sim::stat_add("demo.counter", total);
+            });
+            tx
+        })
+        .unwrap();
+    for c in 1..cores {
+        let tx = tx.clone();
+        s.spawn_on(CoreId(c as u32), async move {
+            for _ in 0..OPS_PER_CORE {
+                tx.send(1).await.unwrap();
+                delay(THINK).await;
+            }
+        });
+    }
+    s.run_until_idle().now
+}
+
+fn main() {
+    println!("shared counter, {OPS_PER_CORE} ops/core, think={THINK} cycles\n");
+    println!("{:>6} | {:>14} | {:>14} | {:>14}", "cores", "TAS lock", "atomic", "msg server");
+    println!("{}", "-".repeat(58));
+    for cores in [8, 64, 512] {
+        let ops = |n: u64| move |cycles: u64| n as f64 * 1e6 / cycles as f64;
+        let n = cores as u64 * OPS_PER_CORE;
+        let tas = ops(n)(with_tas(cores));
+        let atomic = ops(n)(with_atomic(cores));
+        let msg = ops((cores as u64 - 1) * OPS_PER_CORE)(with_messages(cores));
+        println!(
+            "{cores:>6} | {tas:>10.1} ops/Mc | {atomic:>10.1} ops/Mc | {msg:>10.1} ops/Mc"
+        );
+    }
+    println!(
+        "\nShape: lock/atomic throughput collapses as coherence storms serialize;\n\
+         the message server saturates at its service rate and stays flat (§1)."
+    );
+}

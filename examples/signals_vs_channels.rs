@@ -1,0 +1,56 @@
+//! §3.1 live: what Unix signals cost versus channel event delivery.
+//!
+//! The same workload — long kernel operations with asynchronous I/O
+//! completions arriving — under both models. Signals force the kernel
+//! to "abandon and unwind everything that was in progress", then the
+//! process redoes the call; channels just queue the event.
+//!
+//! ```text
+//! cargo run --example signals_vs_channels
+//! ```
+
+use chanos::kernel::{run_channel_model, run_signal_model, EventExpCfg};
+use chanos::sim::{Config, Simulation};
+
+fn main() {
+    let cfg = EventExpCfg {
+        n_ops: 200,
+        event_mean_gap: 3_000,
+        ..EventExpCfg::default()
+    };
+
+    let mut m1 = Simulation::with_config(Config {
+        cores: 3,
+        ..Config::default()
+    });
+    let c = cfg.clone();
+    let signals = m1.block_on(async move { run_signal_model(&c).await }).unwrap();
+
+    let mut m2 = Simulation::with_config(Config {
+        cores: 3,
+        ..Config::default()
+    });
+    let c = cfg.clone();
+    let channels = m2.block_on(async move { run_channel_model(&c).await }).unwrap();
+
+    println!("200 kernel ops with async events every ~3k cycles\n");
+    println!("{:<22} {:>14} {:>14}", "", "signals", "channels");
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "total time (cycles)", signals.total_time, channels.total_time
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "wasted kernel cycles", signals.wasted_kernel_cycles, channels.wasted_kernel_cycles
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "syscall restarts", signals.restarts, channels.restarts
+    );
+    println!(
+        "{:<22} {:>14.0} {:>14.0}",
+        "mean event latency", signals.mean_event_latency, channels.mean_event_latency
+    );
+    let slowdown = signals.total_time as f64 / channels.total_time as f64;
+    println!("\nsignal-model slowdown: {slowdown:.2}x (the \"unnecessarily wasteful\" of §3.1)");
+}

@@ -1,0 +1,119 @@
+//! "Aim for not failing": an Erlang-style supervised service under
+//! fault injection (§5; the AXD301's nine nines [2]).
+//!
+//! Four worker threads serve requests; a fault injector kills one
+//! every ~150k cycles; a one-for-one supervisor restarts them. The
+//! service keeps answering.
+//!
+//! ```text
+//! cargo run --example supervised_service
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use chanos::csp::{channel, reply_channel, Capacity, ReplyTo, Sender};
+use chanos::kernel::{ChildSpec, Restart, Strategy, Supervisor};
+use chanos::sim::{CoreId, Cycles, Simulation, TaskId};
+
+struct Req {
+    n: u64,
+    reply: ReplyTo<u64>,
+}
+
+const WORKERS: usize = 4;
+const RUN_FOR: Cycles = 5_000_000;
+const KILL_GAP: Cycles = 150_000;
+
+fn main() {
+    let mut machine = Simulation::new(WORKERS + 2);
+    let (attempts, successes) = machine
+        .block_on(async {
+            let (tx, rx) = channel::<Req>(Capacity::Unbounded);
+            let registry: Rc<RefCell<Vec<TaskId>>> = Rc::new(RefCell::new(Vec::new()));
+
+            // The supervised worker pool.
+            let mut sup = Supervisor::new(Strategy::OneForOne).intensity(100_000, 1_000_000);
+            for i in 0..WORKERS {
+                let rx = rx.clone();
+                let registry = registry.clone();
+                sup = sup.child(ChildSpec::new(
+                    &format!("worker{i}"),
+                    Restart::Permanent,
+                    move || {
+                        let rx = rx.clone();
+                        let registry = registry.clone();
+                        let h = chanos::sim::spawn_named_on(
+                            &format!("worker{i}"),
+                            CoreId((i % WORKERS) as u32),
+                            async move {
+                                while let Ok(Req { n, reply }) = rx.recv().await {
+                                    chanos::sim::delay(500).await;
+                                    let _ = reply.send(n * 2).await;
+                                }
+                            },
+                        );
+                        registry.borrow_mut().push(h.id());
+                        h
+                    },
+                ));
+            }
+            sup.spawn("pool-supervisor", CoreId(WORKERS as u32));
+
+            // Chaos monkey.
+            let reg = registry.clone();
+            chanos::sim::spawn_daemon_on("chaos", CoreId(WORKERS as u32), async move {
+                let mut rng = chanos::sim::with_rng(|r| r.clone());
+                loop {
+                    let gap = rng.exp(KILL_GAP as f64).max(1.0) as Cycles;
+                    chanos::sim::sleep(gap).await;
+                    let victim = {
+                        let mut v = reg.borrow_mut();
+                        v.retain(|&t| chanos::sim::task_alive(t));
+                        if v.is_empty() {
+                            continue;
+                        }
+                        v[rng.index(v.len())]
+                    };
+                    chanos::sim::kill(victim);
+                    chanos::sim::stat_incr("chaos.kills");
+                }
+            });
+
+            // Client load.
+            let t_end = chanos::sim::now() + RUN_FOR;
+            let mut attempts = 0u64;
+            let mut successes = 0u64;
+            while chanos::sim::now() < t_end {
+                attempts += 1;
+                if call(&tx, attempts).await == Some(attempts * 2) {
+                    successes += 1;
+                }
+                chanos::sim::sleep(300).await;
+            }
+            (attempts, successes)
+        })
+        .unwrap();
+
+    let stats = machine.stats();
+    let availability = 100.0 * successes as f64 / attempts as f64;
+    println!(
+        "supervised service: {successes}/{attempts} requests ok ({availability:.3}% availability)"
+    );
+    println!(
+        "workers killed: {}, restarts performed: {}",
+        stats.counter("chaos.kills"),
+        stats.counter("supervisor.restarts"),
+    );
+    assert!(availability > 99.0, "supervision should keep the service up");
+}
+
+async fn call(tx: &Sender<Req>, n: u64) -> Option<u64> {
+    let (reply_to, reply) = reply_channel();
+    tx.send(Req { n, reply: reply_to }).await.ok()?;
+    let mut fut = Box::pin(reply.recv());
+    chanos::csp::choose! {
+        r = fut.as_mut() => r.ok(),
+        _ = chanos::csp::after(50_000) => None,
+    }
+}

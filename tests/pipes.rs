@@ -1,0 +1,94 @@
+//! Unix-style pipelines across processes — with the kernel relegated
+//! to bystander (§4: IPC is "relegated to hardware").
+
+use chanos::kernel::{boot, pipe, BootCfg, FsKind, KernelKind};
+use chanos::sim::{CoreId, Simulation};
+
+#[test]
+fn three_stage_process_pipeline() {
+    // producer | uppercase | consumer, each its own "process".
+    let mut m = Simulation::new(8);
+    let out = m
+        .block_on(async {
+            let os = boot(BootCfg::new(
+                KernelKind::Message,
+                FsKind::Message,
+                (0..2).map(CoreId).collect(),
+            ))
+            .await;
+            let (w1, mut r1) = pipe();
+            let (w2, mut r2) = pipe();
+
+            let (_p1, producer) = os.procs.spawn_process(CoreId(3), move |env| async move {
+                // The producer also exercises the FS while piping.
+                let fd = env.create("/produced").await.unwrap();
+                for i in 0..5 {
+                    let line = format!("line {i} of piped text\n");
+                    env.write(fd, line.as_bytes()).await.unwrap();
+                    w1.write_all(line.as_bytes()).await.unwrap();
+                }
+                env.close(fd).await.unwrap();
+                // Dropping w1 here = EOF downstream.
+            });
+
+            let (_p2, filter) = os.procs.spawn_process(CoreId(4), move |_env| async move {
+                loop {
+                    let chunk = r1.read(64).await;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    let upper: Vec<u8> = chunk.iter().map(|b| b.to_ascii_uppercase()).collect();
+                    if w2.write_all(&upper).await.is_err() {
+                        break;
+                    }
+                }
+            });
+
+            let (_p3, consumer) = os.procs.spawn_process(CoreId(5), move |_env| async move {
+                String::from_utf8(r2.read_to_end().await).unwrap()
+            });
+
+            producer.join().await.unwrap();
+            filter.join().await.unwrap();
+            consumer.join().await.unwrap()
+        })
+        .unwrap();
+    assert_eq!(out.lines().count(), 5);
+    assert!(out.starts_with("LINE 0 OF PIPED TEXT"));
+    assert!(out.contains("LINE 4"));
+}
+
+#[test]
+fn pipeline_tolerates_consumer_death() {
+    // If the downstream process dies, the producer sees EPIPE-like
+    // failure rather than hanging (fail-stop at the channel level).
+    let mut m = Simulation::new(4);
+    let got = m
+        .block_on(async {
+            let (w, mut r) = pipe();
+            let consumer = chanos::sim::spawn_on(CoreId(1), async move {
+                let _first = r.read(10).await;
+                // Dies here, dropping the read end.
+            });
+            let producer = chanos::sim::spawn_on(CoreId(2), async move {
+                let mut wrote = 0;
+                loop {
+                    if w.write_all(&[0u8; 4096]).await.is_err() {
+                        break;
+                    }
+                    wrote += 1;
+                    if wrote > 10_000 {
+                        break; // Would mean we never saw the EOF.
+                    }
+                }
+                wrote
+            });
+            consumer.join().await.unwrap();
+            producer.join().await.unwrap()
+        })
+        .unwrap();
+    assert!(
+        got <= chanos::kernel::PIPE_DEPTH as u64 + 8,
+        "producer should stop soon after the consumer dies (wrote {got})"
+    );
+}
