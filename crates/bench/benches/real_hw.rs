@@ -1,11 +1,20 @@
-//! Real-hardware companion to E1: on actual OS threads, is sending a
-//! message "comparable in scope to making a procedure call"?
+//! Real-hardware companions to the simulated experiments, on the
+//! `chanos-parchan` work-sharing thread pool via the `chanos-rt`
+//! facade:
 //!
-//! Uses the `chanos-parchan` runtime. Reported in EXPERIMENTS.md next
-//! to the simulated E1 numbers.
+//! * **E1** — is a send "comparable in scope to a procedure call"?
+//! * **E3** — message-kernel syscalls (GetPid null call, Create/
+//!   Write/Read/Close through MsgFs) measured on OS threads.
+//! * **E4** — FS engine scaling: concurrent writers through the
+//!   vnode-per-thread file system on real cores.
+//!
+//! The paper's claims get measured on silicon, not just in the model.
+//!
+//! Caveat: the std-only `chanos-parchan` pool currently dispatches
+//! through one shared run queue, so multi-writer numbers include
+//! run-queue contention; per-worker stealing is a ROADMAP item.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
+use chanos_bench::harness::{bench, default_budget, header};
 use chanos_parchan::{channel, Capacity, Runtime};
 
 #[inline(never)]
@@ -13,17 +22,15 @@ fn callee(x: u64) -> u64 {
     std::hint::black_box(x.wrapping_mul(2654435761).rotate_left(13))
 }
 
-fn bench_procedure_call(c: &mut Criterion) {
-    c.bench_function("procedure_call", |b| {
-        let mut acc = 0u64;
-        b.iter(|| {
-            acc = callee(std::hint::black_box(acc));
-            acc
-        });
+fn bench_e1_msg_vs_call() {
+    let budget = default_budget();
+    header("E1 on real threads: send vs procedure call");
+    let mut acc = 0u64;
+    bench("procedure_call", budget, || {
+        acc = callee(std::hint::black_box(acc));
+        acc
     });
-}
 
-fn bench_channel_round_trip(c: &mut Criterion) {
     let rt = Runtime::new(2);
     // Echo server task.
     let (req_tx, req_rx) = channel::<(u64, chanos_parchan::Sender<u64>)>(Capacity::Unbounded);
@@ -32,48 +39,133 @@ fn bench_channel_round_trip(c: &mut Criterion) {
             let _ = reply.send(callee(x)).await;
         }
     });
-    c.bench_function("channel_rpc_round_trip", |b| {
-        b.iter_batched(
-            || channel::<u64>(Capacity::Bounded(1)),
-            |(rtx, rrx)| {
-                rt.block_on(async {
-                    req_tx.send((7, rtx)).await.unwrap();
-                    rrx.recv().await.unwrap()
-                })
-            },
-            BatchSize::SmallInput,
-        );
-    });
-}
-
-fn bench_unbounded_send_recv(c: &mut Criterion) {
-    let rt = Runtime::new(2);
-    let (tx, rx) = channel::<u64>(Capacity::Unbounded);
-    c.bench_function("unbounded_send_then_recv_same_task", |b| {
-        b.iter(|| {
+    {
+        let req_tx = req_tx.clone();
+        bench("channel_rpc_round_trip", budget, || {
+            let (rtx, rrx) = channel::<u64>(Capacity::Bounded(1));
             rt.block_on(async {
-                tx.send(1).await.unwrap();
-                rx.recv().await.unwrap()
+                req_tx.send((7, rtx)).await.unwrap();
+                rrx.recv().await.unwrap()
             })
         });
+    }
+    let (tx, rx) = channel::<u64>(Capacity::Unbounded);
+    bench("unbounded_send_then_recv_same_task", budget, || {
+        rt.block_on(async {
+            tx.send(1).await.unwrap();
+            rx.recv().await.unwrap()
+        })
     });
+    bench("spawn_join_lightweight_thread", budget, || {
+        let h = rt.spawn(async { 1u64 });
+        rt.block_on(h.join()).unwrap()
+    });
+    drop(req_tx);
+    rt.shutdown();
 }
 
-fn bench_spawn_join(c: &mut Criterion) {
+fn bench_e3_syscalls_real_hw() {
+    use chanos_kernel::{boot, BootCfg, FsKind, KernelKind};
+    use chanos_rt::CoreId;
+
+    let budget = default_budget();
+    header("E3 on real threads: message-kernel syscalls");
     let rt = Runtime::new(4);
-    c.bench_function("spawn_join_lightweight_thread", |b| {
-        b.iter(|| {
-            let h = rt.spawn(async { 1u64 });
-            rt.block_on(h.join()).unwrap()
-        });
+    let os = rt.block_on(async {
+        boot(BootCfg::new(
+            KernelKind::Message,
+            FsKind::Message,
+            (0..2).map(CoreId).collect(),
+        ))
+        .await
     });
+    let env = os.procs.env();
+    {
+        let env = env.clone();
+        let rt = rt.clone();
+        bench("getpid_null_syscall", budget, move || {
+            rt.block_on(env.getpid())
+        });
+    }
+    {
+        let env = env.clone();
+        let rt = rt.clone();
+        rt.block_on(async {
+            env.mkdir("/bench").await.unwrap();
+        });
+        let mut n = 0u64;
+        bench("create_write_read_close", budget, move || {
+            n += 1;
+            let path = format!("/bench/f{n}");
+            let env = env.clone();
+            rt.block_on(async move {
+                let fd = env.create(&path).await.unwrap();
+                env.write(fd, b"hello real hardware").await.unwrap();
+                env.close(fd).await.unwrap();
+                let fd = env.open(&path).await.unwrap();
+                let data = env.read(fd, 64).await.unwrap();
+                env.close(fd).await.unwrap();
+                data.len()
+            })
+        });
+    }
+    rt.shutdown();
 }
 
-criterion_group!(
-    benches,
-    bench_procedure_call,
-    bench_channel_round_trip,
-    bench_unbounded_send_recv,
-    bench_spawn_join
-);
-criterion_main!(benches);
+fn bench_e4_fs_scaling_real_hw() {
+    use chanos_kernel::{boot, BootCfg, FsKind, KernelKind};
+    use chanos_rt::CoreId;
+
+    println!("\n## E4 on real threads: MsgFs concurrent writers\n");
+    println!("| writers | total ops | ops/sec |");
+    println!("|---|---|---|");
+    for writers in [1usize, 2, 4] {
+        let rt = Runtime::new(4);
+        let os = rt.block_on(async {
+            boot(BootCfg::new(
+                KernelKind::Message,
+                FsKind::Message,
+                (0..2).map(CoreId).collect(),
+            ))
+            .await
+        });
+        let ops_per_writer = 50u64;
+        rt.block_on(async {
+            os.vfs.mkdir("/w").await.unwrap();
+        });
+        let t0 = std::time::Instant::now();
+        rt.block_on(async {
+            let handles: Vec<_> = (0..writers)
+                .map(|w| {
+                    let (_pid, h) =
+                        os.procs
+                            .spawn_process(CoreId(w as u32), move |env| async move {
+                                for i in 0..ops_per_writer {
+                                    let path = format!("/w/p{w}_{i}");
+                                    let fd = env.create(&path).await.unwrap();
+                                    env.write(fd, &[w as u8; 256]).await.unwrap();
+                                    env.close(fd).await.unwrap();
+                                }
+                            });
+                    h
+                })
+                .collect();
+            for h in handles {
+                h.join().await.unwrap();
+            }
+        });
+        let dt = t0.elapsed();
+        let total = ops_per_writer * writers as u64;
+        println!(
+            "| {writers} | {total} | {:.0} |",
+            total as f64 / dt.as_secs_f64()
+        );
+        rt.shutdown();
+    }
+}
+
+fn main() {
+    bench_e1_msg_vs_call();
+    bench_e3_syscalls_real_hw();
+    bench_e4_fs_scaling_real_hw();
+}

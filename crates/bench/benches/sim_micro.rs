@@ -1,65 +1,64 @@
 //! Simulator throughput microbenches: how many simulated events and
 //! messages the deterministic executor processes per host second.
 //! These bound how large the derived experiments can be.
+//!
+//! Runs under the std-only harness in `chanos_bench::harness`
+//! (external bench frameworks are not available in this build).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use chanos_bench::harness::{bench, default_budget, header};
 use chanos_csp::{channel, Capacity};
 use chanos_sim::{Config, CoreId, Simulation};
 
-fn bench_sim_ping_pong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim");
-    const MSGS: u64 = 1000;
-    g.throughput(Throughput::Elements(MSGS));
-    g.bench_function("ping_pong_1000_msgs", |b| {
-        b.iter(|| {
-            let mut s = Simulation::with_config(Config {
-                cores: 2,
-                ctx_switch: 0,
-                ..Config::default()
-            });
-            let out = s
-                .block_on(async {
-                    let (tx, rx) = channel::<u64>(Capacity::Unbounded);
-                    let (back_tx, back_rx) = channel::<u64>(Capacity::Unbounded);
-                    chanos_sim::spawn_daemon_on("echo", CoreId(1), async move {
-                        while let Ok(v) = rx.recv().await {
-                            if back_tx.send(v).await.is_err() {
-                                break;
-                            }
-                        }
-                    });
-                    let mut sum = 0u64;
-                    for i in 0..MSGS {
-                        tx.send(i).await.unwrap();
-                        sum += back_rx.recv().await.unwrap();
-                    }
-                    sum
-                })
-                .unwrap();
-            out
-        });
-    });
-    g.finish();
-}
+const MSGS: u64 = 1000;
+const TASKS: u64 = 1000;
 
-fn bench_sim_spawn(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim");
-    const TASKS: u64 = 1000;
-    g.throughput(Throughput::Elements(TASKS));
-    g.bench_function("spawn_1000_tasks", |b| {
-        b.iter(|| {
-            let mut s = Simulation::new(8);
-            for i in 0..TASKS {
-                s.spawn(async move {
-                    chanos_sim::delay(i % 7).await;
-                });
+fn sim_ping_pong() -> u64 {
+    let mut s = Simulation::with_config(Config {
+        cores: 2,
+        ctx_switch: 0,
+        ..Config::default()
+    });
+    s.block_on(async {
+        let (tx, rx) = channel::<u64>(Capacity::Unbounded);
+        let (back_tx, back_rx) = channel::<u64>(Capacity::Unbounded);
+        chanos_sim::spawn_daemon_on("echo", CoreId(1), async move {
+            while let Ok(v) = rx.recv().await {
+                if back_tx.send(v).await.is_err() {
+                    break;
+                }
             }
-            s.run_until_idle()
         });
-    });
-    g.finish();
+        let mut sum = 0u64;
+        for i in 0..MSGS {
+            tx.send(i).await.unwrap();
+            sum += back_rx.recv().await.unwrap();
+        }
+        sum
+    })
+    .unwrap()
 }
 
-criterion_group!(benches, bench_sim_ping_pong, bench_sim_spawn);
-criterion_main!(benches);
+fn sim_spawn() {
+    let mut s = Simulation::new(8);
+    for i in 0..TASKS {
+        s.spawn(async move {
+            chanos_sim::delay(i % 7).await;
+        });
+    }
+    s.run_until_idle();
+}
+
+fn main() {
+    let budget = default_budget();
+    header("sim executor throughput");
+    let pp = bench("ping_pong_1000_msgs", budget, sim_ping_pong);
+    let sp = bench("spawn_1000_tasks", budget, sim_spawn);
+    println!(
+        "\nsimulated messages/host-second: {:.0}",
+        MSGS as f64 / (pp.ns_per_iter / 1e9)
+    );
+    println!(
+        "simulated task spawns/host-second: {:.0}",
+        TASKS as f64 / (sp.ns_per_iter / 1e9)
+    );
+}

@@ -1,53 +1,90 @@
-use chanos_shmem::{TasSpinlock, McsLock};
+use chanos_shmem::{McsLock, TasSpinlock};
 use chanos_sim::{spawn_on, Config, CoreId, Simulation};
 use std::rc::Rc;
 
 fn run_tas() {
-    let mut s = Simulation::with_config(Config { cores: 16, ctx_switch: 0, ..Config::default() });
-    let out = s.block_on(async move {
-        let lock = TasSpinlock::new();
-        let counter = Rc::new(std::cell::Cell::new(0u64));
-        let t0 = chanos_sim::now();
-        let hs: Vec<_> = (0..16).map(|c| {
-            let lock = lock.clone(); let counter = counter.clone();
-            spawn_on(CoreId(c as u32), async move {
-                for _ in 0..30 {
-                    let g = lock.lock().await;
-                    chanos_sim::delay(5).await;
-                    counter.set(counter.get() + 1);
-                    drop(g);
-                }
-            })
-        }).collect();
-        for h in hs { h.join().await.unwrap(); }
-        (counter.get(), chanos_sim::now() - t0)
-    }).unwrap();
-    println!("TAS: total={} elapsed={} writes={} spins={} acquires={}",
-        out.0, out.1, s.stats().counter("shmem.writes"), s.stats().counter("shmem.tas_spins"), s.stats().counter("shmem.tas_acquires"));
+    let mut s = Simulation::with_config(Config {
+        cores: 16,
+        ctx_switch: 0,
+        ..Config::default()
+    });
+    let out = s
+        .block_on(async move {
+            let lock = TasSpinlock::new();
+            let counter = Rc::new(std::cell::Cell::new(0u64));
+            let t0 = chanos_sim::now();
+            let hs: Vec<_> = (0..16)
+                .map(|c| {
+                    let lock = lock.clone();
+                    let counter = counter.clone();
+                    spawn_on(CoreId(c as u32), async move {
+                        for _ in 0..30 {
+                            let g = lock.lock().await;
+                            chanos_sim::delay(5).await;
+                            counter.set(counter.get() + 1);
+                            drop(g);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().await.unwrap();
+            }
+            (counter.get(), chanos_sim::now() - t0)
+        })
+        .unwrap();
+    println!(
+        "TAS: total={} elapsed={} writes={} spins={} acquires={}",
+        out.0,
+        out.1,
+        s.stats().counter("shmem.writes"),
+        s.stats().counter("shmem.tas_spins"),
+        s.stats().counter("shmem.tas_acquires")
+    );
 }
 
 fn run_mcs() {
-    let mut s = Simulation::with_config(Config { cores: 16, ctx_switch: 0, ..Config::default() });
-    let out = s.block_on(async move {
-        let lock = McsLock::new();
-        let counter = Rc::new(std::cell::Cell::new(0u64));
-        let t0 = chanos_sim::now();
-        let hs: Vec<_> = (0..16).map(|c| {
-            let lock = lock.clone(); let counter = counter.clone();
-            spawn_on(CoreId(c as u32), async move {
-                for _ in 0..30 {
-                    let g = lock.lock().await;
-                    chanos_sim::delay(5).await;
-                    counter.set(counter.get() + 1);
-                    drop(g);
-                }
-            })
-        }).collect();
-        for h in hs { h.join().await.unwrap(); }
-        (counter.get(), chanos_sim::now() - t0)
-    }).unwrap();
-    println!("MCS: total={} elapsed={} writes={} spins={} acquires={}",
-        out.0, out.1, s.stats().counter("shmem.writes"), s.stats().counter("shmem.mcs_spins"), s.stats().counter("shmem.mcs_acquires"));
+    let mut s = Simulation::with_config(Config {
+        cores: 16,
+        ctx_switch: 0,
+        ..Config::default()
+    });
+    let out = s
+        .block_on(async move {
+            let lock = McsLock::new();
+            let counter = Rc::new(std::cell::Cell::new(0u64));
+            let t0 = chanos_sim::now();
+            let hs: Vec<_> = (0..16)
+                .map(|c| {
+                    let lock = lock.clone();
+                    let counter = counter.clone();
+                    spawn_on(CoreId(c as u32), async move {
+                        for _ in 0..30 {
+                            let g = lock.lock().await;
+                            chanos_sim::delay(5).await;
+                            counter.set(counter.get() + 1);
+                            drop(g);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().await.unwrap();
+            }
+            (counter.get(), chanos_sim::now() - t0)
+        })
+        .unwrap();
+    println!(
+        "MCS: total={} elapsed={} writes={} spins={} acquires={}",
+        out.0,
+        out.1,
+        s.stats().counter("shmem.writes"),
+        s.stats().counter("shmem.mcs_spins"),
+        s.stats().counter("shmem.mcs_acquires")
+    );
 }
 
-fn main() { run_tas(); run_mcs(); }
+fn main() {
+    run_tas();
+    run_mcs();
+}

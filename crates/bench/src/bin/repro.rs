@@ -29,7 +29,10 @@ fn main() {
         std::process::exit(2);
     }
 
-    println!("# chanos derived-evaluation run ({} mode)", if quick { "quick" } else { "full" });
+    println!(
+        "# chanos derived-evaluation run ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
     for e in selected {
         println!("\n## {} — {}", e.id.to_uppercase(), e.what);
         let start = std::time::Instant::now();

@@ -22,7 +22,11 @@ use crate::table::{ops_per_mcycle, Table};
 const CORES: usize = 64;
 
 fn machine(ic: Interconnect) -> Simulation {
-    let s = Simulation::with_config(Config { cores: CORES, ctx_switch: 20, ..Config::default() });
+    let s = Simulation::with_config(Config {
+        cores: CORES,
+        ctx_switch: 20,
+        ..Config::default()
+    });
     chanos_csp::install(&s, ic);
     s
 }
@@ -32,9 +36,18 @@ fn topologies() -> Vec<(&'static str, Interconnect)> {
     vec![
         ("bus", Interconnect::new(Bus::new(CORES), cost.clone())),
         ("ring", Interconnect::new(Ring::new(CORES), cost.clone())),
-        ("mesh 8x8", Interconnect::new(Mesh2D::new(8, 8), cost.clone())),
-        ("torus 8x8", Interconnect::new(Torus2D::new(8, 8), cost.clone())),
-        ("hypercube d6", Interconnect::new(Hypercube::new(6), cost.clone())),
+        (
+            "mesh 8x8",
+            Interconnect::new(Mesh2D::new(8, 8), cost.clone()),
+        ),
+        (
+            "torus 8x8",
+            Interconnect::new(Torus2D::new(8, 8), cost.clone()),
+        ),
+        (
+            "hypercube d6",
+            Interconnect::new(Hypercube::new(6), cost.clone()),
+        ),
         ("crossbar", Interconnect::new(Crossbar::new(CORES), cost)),
     ]
 }
@@ -49,14 +62,16 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "A1",
         "topology ablation: same OS workload, different interconnect (64 cores)",
-        &["topology", "uniform ops/Mcycle", "hotspot ops/Mcycle", "diameter (hops)"],
+        &[
+            "topology",
+            "uniform ops/Mcycle",
+            "hotspot ops/Mcycle",
+            "diameter (hops)",
+        ],
     );
     for (name, ic) in topologies() {
         // Diameter before the interconnect moves into the machine.
-        let diameter = (0..CORES)
-            .map(|c| ic.hops(0, c))
-            .max()
-            .unwrap_or(0);
+        let diameter = (0..CORES).map(|c| ic.hops(0, c)).max().unwrap_or(0);
         let mut s = machine(ic);
         let (uni_ops, uni_cycles, hot_ops, hot_cycles) = s
             .block_on(async move {
@@ -131,14 +146,18 @@ mod tests {
         let t = &super::run(true)[0];
         assert_eq!(t.rows.len(), 6);
         let col = |name: &str, idx: usize| -> f64 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[idx].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[idx]
+                .parse()
+                .unwrap()
         };
         // Low-diameter fabrics beat the ring on uniform traffic.
         assert!(col("crossbar", 1) > col("ring", 1));
         assert!(col("hypercube d6", 1) > col("ring", 1));
         // Diameters are as expected.
         let diam = |name: &str| -> u32 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[3].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[3]
+                .parse()
+                .unwrap()
         };
         assert_eq!(diam("crossbar"), 1);
         assert_eq!(diam("hypercube d6"), 6);

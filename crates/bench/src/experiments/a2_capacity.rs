@@ -28,7 +28,11 @@ const STAGES: usize = 6;
 const STAGE_WORK: [u64; STAGES] = [30, 80, 30, 120, 30, 50];
 
 fn machine() -> Simulation {
-    let s = Simulation::with_config(Config { cores: CORES, ctx_switch: 20, ..Config::default() });
+    let s = Simulation::with_config(Config {
+        cores: CORES,
+        ctx_switch: 20,
+        ..Config::default()
+    });
     chanos_csp::install(&s, Interconnect::mesh_for(CORES));
     s
 }
@@ -50,11 +54,10 @@ fn run_pipeline(cap: Capacity, records: u64) -> (u64, u64) {
         let peak = Rc::new(Cell::new(0u64));
 
         let (first_tx, mut rx) = channel::<u64>(cap);
-        for stage in 0..STAGES {
+        for (stage, &work) in STAGE_WORK.iter().enumerate().take(STAGES) {
             let (ntx, nrx) = channel::<u64>(cap);
             let in_rx = rx;
             rx = nrx;
-            let work = STAGE_WORK[stage];
             sim::spawn_daemon_on(
                 &format!("a2-stage{stage}"),
                 CoreId((stage + 1) as u32 % CORES as u32),
@@ -133,10 +136,14 @@ mod tests {
     fn a2_shape_holds() {
         let t = &super::run(true)[0];
         let thr = |name: &str| -> f64 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[2].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         let peak = |name: &str| -> u64 {
-            t.rows.iter().find(|r| r[0] == name).unwrap()[3].parse().unwrap()
+            t.rows.iter().find(|r| r[0] == name).unwrap()[3]
+                .parse()
+                .unwrap()
         };
         // §3's "probably faster": unbounded beats rendezvous.
         assert!(

@@ -24,24 +24,35 @@
 //! discipline leaves the virtual network orders of magnitude behind
 //! on-die channels.
 
-use chanos_net::{
-    connect, listen, Cluster, ClusterParams, LinkParams, NodeId, RdtMode, RdtParams,
-};
+use chanos_net::{connect, listen, Cluster, ClusterParams, LinkParams, NodeId, RdtMode, RdtParams};
 use chanos_sim::{self as sim, Config, Simulation};
 
 use crate::table::{f2, Table};
 
 /// One bulk transfer; returns (cycles, retransmits, discarded).
 fn run_transfer(mode: RdtMode, loss: f64, msgs: u64, bytes: usize, seed: u64) -> (u64, u64, u64) {
-    let mut s = Simulation::with_config(Config { cores: 4, seed, ..Config::default() });
+    let mut s = Simulation::with_config(Config {
+        cores: 4,
+        seed,
+        ..Config::default()
+    });
     s.block_on(async move {
         // Jitter off: the fabric delivers FIFO, so every difference
         // below is attributable to loss recovery alone. (Go-back-N
         // over a *reordering* fabric is strictly worse still — it
         // discards every overtaken frame even at zero loss.)
-        let link = LinkParams { loss, jitter: 0, ..Default::default() };
+        let link = LinkParams {
+            loss,
+            jitter: 0,
+            ..Default::default()
+        };
         let cl = Cluster::new(ClusterParams { nodes: 2, link });
-        let rdt = RdtParams { mode, rto: 120_000, max_retries: 200, ..Default::default() };
+        let rdt = RdtParams {
+            mode,
+            rto: 120_000,
+            max_retries: 200,
+            ..Default::default()
+        };
         let listener = listen(&cl.iface(NodeId(1)), 80, rdt).unwrap();
         let sink = sim::spawn(async move {
             let conn = listener.accept().await.unwrap();
@@ -51,7 +62,9 @@ fn run_transfer(mode: RdtMode, loss: f64, msgs: u64, bytes: usize, seed: u64) ->
             }
             n
         });
-        let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, rdt).await.expect("connect");
+        let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, rdt)
+            .await
+            .expect("connect");
         let t0 = sim::now();
         for i in 0..msgs {
             conn.send(vec![(i % 251) as u8; bytes]).await.unwrap();
@@ -75,10 +88,20 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "A3",
         "loss recovery ablation: go-back-N vs hole-fill bulk transfer",
-        &["loss", "mode", "Mcycles", "KiB/Mcycle", "retransmits", "rx discards"],
+        &[
+            "loss",
+            "mode",
+            "Mcycles",
+            "KiB/Mcycle",
+            "retransmits",
+            "rx discards",
+        ],
     );
     for loss in [0.0f64, 0.05, 0.15, 0.30] {
-        for (name, mode) in [("go-back-N", RdtMode::GoBackN), ("hole-fill", RdtMode::HoleFill)] {
+        for (name, mode) in [
+            ("go-back-N", RdtMode::GoBackN),
+            ("hole-fill", RdtMode::HoleFill),
+        ] {
             let (cycles, retx, discards) = run_transfer(mode, loss, msgs, bytes, 97);
             let kib = (msgs * bytes as u64) as f64 / 1024.0;
             t.row(vec![
@@ -100,7 +123,10 @@ mod tests {
     fn a3_shape_holds() {
         let t = &super::run(true)[0];
         let find = |loss: &str, mode: &str| -> &Vec<String> {
-            t.rows.iter().find(|r| r[0] == loss && r[1] == mode).unwrap()
+            t.rows
+                .iter()
+                .find(|r| r[0] == loss && r[1] == mode)
+                .unwrap()
         };
         // No loss: the disciplines behave identically (no retransmits).
         assert_eq!(find("0.00", "go-back-N")[4], "0");

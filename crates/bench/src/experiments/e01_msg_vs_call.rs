@@ -89,7 +89,13 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E1",
         "round-trip cost by mechanism (cycles/op)",
-        &["payload B", "procedure call", "channel same-core", "channel 1-hop", "middleweight IPC"],
+        &[
+            "payload B",
+            "procedure call",
+            "channel same-core",
+            "channel 1-hop",
+            "middleweight IPC",
+        ],
     );
     for bytes in [8usize, 64, 256, 1024] {
         let mut s = sim();

@@ -62,8 +62,8 @@ fn atomic_run(cores: usize, per: u64) -> String {
         });
     }
     let total = cores as u64 * per;
-    let r = elapsed_of(s, total);
-    r
+
+    elapsed_of(s, total)
 }
 
 macro_rules! lock_run {
@@ -132,9 +132,7 @@ fn server_run(cores: usize, per: u64) -> String {
 fn sharded_run(cores: usize, per: u64) -> String {
     let mut s = sim(cores);
     let counters = s
-        .block_on(async move {
-            (0..cores).map(|_| SimAtomicU64::new(0)).collect::<Vec<_>>()
-        })
+        .block_on(async move { (0..cores).map(|_| SimAtomicU64::new(0)).collect::<Vec<_>>() })
         .unwrap();
     for (c, counter) in counters.into_iter().enumerate() {
         s.spawn_on(CoreId(c as u32), async move {
@@ -158,7 +156,15 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E2",
         "shared counter throughput (ops/Mcycle) vs cores",
-        &["cores", "atomic", "tas", "ticket", "mcs", "msg server", "per-core"],
+        &[
+            "cores",
+            "atomic",
+            "tas",
+            "ticket",
+            "mcs",
+            "msg server",
+            "per-core",
+        ],
     );
     for &n in core_counts {
         // Throughput is a rate; fewer ops per core at huge core

@@ -101,7 +101,11 @@ fn io_throughput(kind: KernelKind, apps: usize, per: u64) -> String {
 /// Runs E3.
 pub fn run(quick: bool) -> Vec<Table> {
     let per: u64 = if quick { 50 } else { 300 };
-    let app_counts: &[usize] = if quick { &[1, 4, 12] } else { &[1, 2, 4, 8, 12] };
+    let app_counts: &[usize] = if quick {
+        &[1, 4, 12]
+    } else {
+        &[1, 2, 4, 8, 12]
+    };
 
     let mut t1 = Table::new(
         "E3a",
@@ -121,7 +125,11 @@ pub fn run(quick: bool) -> Vec<Table> {
         "null syscall throughput vs mode-switch cost (8 app threads)",
         &["mode-switch cycles", "trap", "message"],
     );
-    for &ms in if quick { &[200u64, 2000][..] } else { &[100, 400, 700, 1400, 2800][..] } {
+    for &ms in if quick {
+        &[200u64, 2000][..]
+    } else {
+        &[100, 400, 700, 1400, 2800][..]
+    } {
         let costs = KernelCosts {
             mode_switch: ms,
             pollution: ms, // Pollution tracks switch cost.

@@ -113,12 +113,22 @@ fn throughput(which: &'static str, clients: usize, rounds: u64) -> (String, u64)
 
 /// Runs E4.
 pub fn run(quick: bool) -> Vec<Table> {
-    let client_counts: &[usize] = if quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16, 24] };
+    let client_counts: &[usize] = if quick {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 24]
+    };
     let rounds: u64 = if quick { 8 } else { 24 };
     let mut t = Table::new(
         "E4",
         "file-system throughput (ops/Mcycle) vs clients",
-        &["clients", "biglock", "sharded", "msgfs", "msgfs vnode threads"],
+        &[
+            "clients",
+            "biglock",
+            "sharded",
+            "msgfs",
+            "msgfs vnode threads",
+        ],
     );
     for &c in client_counts {
         let (big, _) = throughput("biglock", c, rounds);

@@ -57,7 +57,11 @@ fn select_cost(fan_in: usize, rounds: u64) -> (f64, f64) {
 
 /// Runs E6.
 pub fn run(quick: bool) -> Vec<Table> {
-    let fan_ins: &[usize] = if quick { &[2, 16, 64] } else { &[2, 4, 8, 16, 32, 64, 128, 256] };
+    let fan_ins: &[usize] = if quick {
+        &[2, 16, 64]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128, 256]
+    };
     let rounds: u64 = if quick { 256 } else { 1024 };
     let mut t = Table::new(
         "E6",

@@ -39,18 +39,14 @@ fn pipeline(cap: Capacity, msgs: u64) -> (String, f64) {
         for i in 0..STAGES - 1 {
             let rx = rxs[i].clone();
             let tx = txs[i + 1].clone();
-            chanos_sim::spawn_daemon_on(
-                &format!("stage{i}"),
-                CoreId((i + 1) as u32),
-                async move {
-                    while let Ok(msg) = rx.recv().await {
-                        chanos_sim::delay(STAGE_WORK).await;
-                        if tx.send(msg).await.is_err() {
-                            break;
-                        }
+            chanos_sim::spawn_daemon_on(&format!("stage{i}"), CoreId((i + 1) as u32), async move {
+                while let Ok(msg) = rx.recv().await {
+                    chanos_sim::delay(STAGE_WORK).await;
+                    if tx.send(msg).await.is_err() {
+                        break;
                     }
-                },
-            );
+                }
+            });
         }
         // Sink on the last stage core.
         let sink_rx = rxs[STAGES - 1].clone();

@@ -9,7 +9,9 @@
 //! paper warns about.
 
 use chanos_sim::{Config, CoreId, RunEnd, Simulation};
-use chanos_vm::{FrameAlloc, Granularity, LibOsSpace, VmCfg, VmService, PAGE_SIZE, THREAD_STACK_BYTES};
+use chanos_vm::{
+    FrameAlloc, Granularity, LibOsSpace, VmCfg, VmService, PAGE_SIZE, THREAD_STACK_BYTES,
+};
 
 use crate::table::{ops_per_mcycle, Table};
 
@@ -43,12 +45,15 @@ fn storm(g: Granularity, faulters: usize, pages_each: u64) -> (String, u64, u64)
         let hs: Vec<_> = (0..faulters)
             .map(|f| {
                 let space = space.clone();
-                chanos_sim::spawn_on(CoreId((SERVICE + f % (CORES - SERVICE)) as u32), async move {
-                    let base = f as u64 * pages_each;
-                    for p in 0..pages_each {
-                        space.touch((base + p) * PAGE_SIZE).await.unwrap();
-                    }
-                })
+                chanos_sim::spawn_on(
+                    CoreId((SERVICE + f % (CORES - SERVICE)) as u32),
+                    async move {
+                        let base = f as u64 * pages_each;
+                        for p in 0..pages_each {
+                            space.touch((base + p) * PAGE_SIZE).await.unwrap();
+                        }
+                    },
+                )
             })
             .collect();
         for h in hs {
@@ -76,15 +81,18 @@ fn libos_storm(faulters: usize, pages_each: u64) -> (String, u64, u64) {
         let hs: Vec<_> = (0..faulters)
             .map(|f| {
                 let frames = frames.clone();
-                chanos_sim::spawn_on(CoreId((SERVICE + f % (CORES - SERVICE)) as u32), async move {
-                    // Aggressive design: each process manages its own
-                    // address space.
-                    let mut space = LibOsSpace::new(frames, 300);
-                    space.map_region(0, pages_each * PAGE_SIZE);
-                    for p in 0..pages_each {
-                        space.touch(p * PAGE_SIZE).await.unwrap();
-                    }
-                })
+                chanos_sim::spawn_on(
+                    CoreId((SERVICE + f % (CORES - SERVICE)) as u32),
+                    async move {
+                        // Aggressive design: each process manages its own
+                        // address space.
+                        let mut space = LibOsSpace::new(frames, 300);
+                        space.map_region(0, pages_each * PAGE_SIZE);
+                        for p in 0..pages_each {
+                            space.touch(p * PAGE_SIZE).await.unwrap();
+                        }
+                    },
+                )
             })
             .collect();
         for h in hs {
@@ -95,11 +103,7 @@ fn libos_storm(faulters: usize, pages_each: u64) -> (String, u64, u64) {
     let out = s.run_until_idle();
     assert_eq!(out.end, RunEnd::Completed);
     let cycles = h.try_take().unwrap().unwrap();
-    (
-        ops_per_mcycle(faulters as u64 * pages_each, cycles),
-        0,
-        0,
-    )
+    (ops_per_mcycle(faulters as u64 * pages_each, cycles), 0, 0)
 }
 
 /// Runs E8.
@@ -109,7 +113,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "E8",
         "VM fault storm by service granularity",
-        &["design", "faults/Mcycle", "service threads", "thread stacks (KiB)"],
+        &[
+            "design",
+            "faults/Mcycle",
+            "service threads",
+            "thread stacks (KiB)",
+        ],
     );
     for g in [
         Granularity::Centralized,

@@ -36,49 +36,52 @@ fn run_policy(policy: Policy, pipelines: usize, msgs: u64) -> (String, f64) {
         let t0 = chanos_sim::now();
         let mut joins = Vec::new();
         for p in 0..pipelines {
-            joins.push(chanos_sim::spawn_named(&format!("pipe{p}-src"), async move {
-                let (mut tx, mut rx) = channel::<u64>(Capacity::Bounded(8));
-                let first_tx = tx;
-                // Build the chain: each stage spawned via the policy.
-                let mut stage_joins = Vec::new();
-                for st in 0..STAGES {
-                    let (ntx, nrx) = channel::<u64>(Capacity::Bounded(8));
-                    let in_rx = rx;
-                    rx = nrx;
-                    tx = ntx.clone();
-                    let out_tx = ntx;
-                    stage_joins.push(chanos_sim::spawn_named(
-                        &format!("pipe{p}-stage{st}"),
-                        async move {
-                            while let Ok(v) = in_rx.recv().await {
-                                chanos_sim::delay(30).await;
-                                if out_tx.send(v).await.is_err() {
-                                    break;
+            joins.push(chanos_sim::spawn_named(
+                &format!("pipe{p}-src"),
+                async move {
+                    let (mut tx, mut rx) = channel::<u64>(Capacity::Bounded(8));
+                    let first_tx = tx;
+                    // Build the chain: each stage spawned via the policy.
+                    let mut stage_joins = Vec::new();
+                    for st in 0..STAGES {
+                        let (ntx, nrx) = channel::<u64>(Capacity::Bounded(8));
+                        let in_rx = rx;
+                        rx = nrx;
+                        tx = ntx.clone();
+                        let out_tx = ntx;
+                        stage_joins.push(chanos_sim::spawn_named(
+                            &format!("pipe{p}-stage{st}"),
+                            async move {
+                                while let Ok(v) = in_rx.recv().await {
+                                    chanos_sim::delay(30).await;
+                                    if out_tx.send(v).await.is_err() {
+                                        break;
+                                    }
                                 }
-                            }
-                        },
-                    ));
-                }
-                let _ = tx;
-                // Source + sink in this task.
-                let sink = chanos_sim::spawn_named(&format!("pipe{p}-sink"), async move {
-                    let mut got = 0u64;
-                    while got < msgs {
-                        if rx.recv().await.is_err() {
-                            break;
-                        }
-                        got += 1;
+                            },
+                        ));
                     }
-                });
-                for i in 0..msgs {
-                    first_tx.send(i).await.unwrap();
-                }
-                drop(first_tx);
-                let _ = sink.join().await;
-                for j in stage_joins {
-                    let _ = j.join().await;
-                }
-            }));
+                    let _ = tx;
+                    // Source + sink in this task.
+                    let sink = chanos_sim::spawn_named(&format!("pipe{p}-sink"), async move {
+                        let mut got = 0u64;
+                        while got < msgs {
+                            if rx.recv().await.is_err() {
+                                break;
+                            }
+                            got += 1;
+                        }
+                    });
+                    for i in 0..msgs {
+                        first_tx.send(i).await.unwrap();
+                    }
+                    drop(first_tx);
+                    let _ = sink.join().await;
+                    for j in stage_joins {
+                        let _ = j.join().await;
+                    }
+                },
+            ));
         }
         for j in joins {
             j.join().await.unwrap();

@@ -11,8 +11,7 @@
 //! lost, with and without a supervision tree. The supervised column
 //! is how the AXD301 got its nine nines \[2\].
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use chanos_csp::{channel, Capacity, ReplyTo, Sender};
 use chanos_kernel::{ChildSpec, Restart, Strategy, Supervisor};
@@ -31,9 +30,9 @@ struct Req {
 fn spawn_worker(
     i: usize,
     rx: chanos_csp::Receiver<Req>,
-    registry: Rc<RefCell<Vec<TaskId>>>,
-) -> chanos_sim::JoinHandle<()> {
-    let h = chanos_sim::spawn_named_on(
+    registry: Arc<Mutex<Vec<TaskId>>>,
+) -> chanos_rt::JoinHandle<()> {
+    let h = chanos_rt::spawn_named_on(
         &format!("svc-worker{i}"),
         CoreId((i % WORKERS) as u32),
         async move {
@@ -43,7 +42,10 @@ fn spawn_worker(
             }
         },
     );
-    registry.borrow_mut().push(h.id());
+    registry
+        .lock()
+        .expect("registry")
+        .push(h.task_id().expect("sim backend"));
     h
 }
 
@@ -57,7 +59,7 @@ fn run_service(mean_kill_gap: Cycles, duration: Cycles, supervised: bool) -> (u6
     });
     let h = s.spawn_on(CoreId(WORKERS as u32), async move {
         let (tx, rx) = channel::<Req>(Capacity::Unbounded);
-        let registry: Rc<RefCell<Vec<TaskId>>> = Rc::new(RefCell::new(Vec::new()));
+        let registry: Arc<Mutex<Vec<TaskId>>> = Arc::new(Mutex::new(Vec::new()));
 
         if supervised {
             let mut sup = Supervisor::new(Strategy::OneForOne).intensity(10_000, 1_000_000);
@@ -85,7 +87,7 @@ fn run_service(mean_kill_gap: Cycles, duration: Cycles, supervised: bool) -> (u6
                 let gap = rng.exp(mean_kill_gap as f64).max(1.0) as Cycles;
                 chanos_sim::sleep(gap).await;
                 let victim = {
-                    let mut reg = reg2.borrow_mut();
+                    let mut reg = reg2.lock().expect("registry");
                     reg.retain(|&t| chanos_sim::task_alive(t));
                     if reg.is_empty() {
                         continue;
@@ -160,7 +162,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         let unsup = 100.0 * s1 as f64 / a1.max(1) as f64;
         let sup = 100.0 * s2 as f64 / a2.max(1) as f64;
         let nines = if s2 == a2 {
-            format!(">{:.1}", -( (1.0 / a2.max(1) as f64).log10() ))
+            format!(">{:.1}", -((1.0 / a2.max(1) as f64).log10()))
         } else {
             format!("{:.1}", -((1.0 - sup / 100.0).log10()))
         };

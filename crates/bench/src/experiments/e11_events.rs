@@ -23,7 +23,9 @@ fn run_one(mean_gap: u64, n_ops: u32) -> (Vec<String>, Vec<String>) {
         ..Config::default()
     });
     let c1 = cfg.clone();
-    let sig = s1.block_on(async move { run_signal_model(&c1).await }).unwrap();
+    let sig = s1
+        .block_on(async move { run_signal_model(&c1).await })
+        .unwrap();
     let mut s2 = Simulation::with_config(Config {
         cores: 3,
         ctx_switch: 10,

@@ -88,33 +88,37 @@ pub fn run(_quick: bool) -> Vec<Table> {
             (0..KCORES as u32).map(CoreId).collect(),
         ))
         .await;
-        let (_pid, h) = os.procs.spawn_process(CoreId((KCORES + 1) as u32), |env| async move {
-            let data = seed_source(&env).await;
+        let (_pid, h) = os
+            .procs
+            .spawn_process(CoreId((KCORES + 1) as u32), |env| async move {
+                let data = seed_source(&env).await;
 
-            let t0 = chanos_sim::now();
-            let n1 = compat_copy(&env, "/src", "/dst_legacy", CHUNK).await.unwrap();
-            let legacy_cycles = chanos_sim::now() - t0;
+                let t0 = chanos_sim::now();
+                let n1 = compat_copy(&env, "/src", "/dst_legacy", CHUNK)
+                    .await
+                    .unwrap();
+                let legacy_cycles = chanos_sim::now() - t0;
 
-            let t1 = chanos_sim::now();
-            let n2 = pipelined_copy(&env, "/src", "/dst_pipelined").await;
-            let pipe_cycles = chanos_sim::now() - t1;
+                let t1 = chanos_sim::now();
+                let n2 = pipelined_copy(&env, "/src", "/dst_pipelined").await;
+                let pipe_cycles = chanos_sim::now() - t1;
 
-            // Verify both copies byte-for-byte.
-            let mut ok = true;
-            for dst in ["/dst_legacy", "/dst_pipelined"] {
-                let fd = env.open(dst).await.unwrap();
-                let mut got = Vec::new();
-                loop {
-                    let b = env.read(fd, 32 * 1024).await.unwrap();
-                    if b.is_empty() {
-                        break;
+                // Verify both copies byte-for-byte.
+                let mut ok = true;
+                for dst in ["/dst_legacy", "/dst_pipelined"] {
+                    let fd = env.open(dst).await.unwrap();
+                    let mut got = Vec::new();
+                    loop {
+                        let b = env.read(fd, 32 * 1024).await.unwrap();
+                        if b.is_empty() {
+                            break;
+                        }
+                        got.extend(b);
                     }
-                    got.extend(b);
+                    ok &= got == data;
                 }
-                ok &= got == data;
-            }
-            (n1, legacy_cycles, n2, pipe_cycles, ok)
-        });
+                (n1, legacy_cycles, n2, pipe_cycles, ok)
+            });
         h.join().await.unwrap()
     });
     let out = s.run_until_idle();

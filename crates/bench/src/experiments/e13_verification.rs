@@ -60,12 +60,19 @@ fn disk_proto() -> Protocol {
 }
 
 fn sim() -> Simulation {
-    Simulation::with_config(Config { cores: 4, ..Config::default() })
+    Simulation::with_config(Config {
+        cores: 4,
+        ..Config::default()
+    })
 }
 
 /// What one detection technique reported for one bug class.
 fn verdict(caught: bool) -> String {
-    if caught { "caught".to_string() } else { "missed".to_string() }
+    if caught {
+        "caught".to_string()
+    } else {
+        "missed".to_string()
+    }
 }
 
 /// Static check: the buggy implementation's *specification* against
@@ -124,14 +131,9 @@ fn monitor_catches(bug: &str) -> bool {
     s.block_on(async move {
         let (client, server) = session::<Req, Resp>(&proto, Capacity::Bounded(4));
         chanos_sim::spawn_daemon("e13-server", async move {
-            loop {
-                match server.recv().await {
-                    Ok(Req::Read(b)) => {
-                        if server.send(Resp::Data(b)).await.is_err() {
-                            break;
-                        }
-                    }
-                    _ => break,
+            while let Ok(Req::Read(b)) = server.recv().await {
+                if server.send(Resp::Data(b)).await.is_err() {
+                    break;
                 }
             }
         });
@@ -178,7 +180,11 @@ fn monitor_catches(bug: &str) -> bool {
 /// Trace conformance: record what the buggy client *does* (through
 /// unmonitored channels) and replay it against the spec.
 fn trace_catches(bug: &str) -> bool {
-    let ev = |dir, tag: &str| TraceEvent { dir, tag: tag.to_string(), at: 0 };
+    let ev = |dir, tag: &str| TraceEvent {
+        dir,
+        tag: tag.to_string(),
+        at: 0,
+    };
     let trace: Vec<TraceEvent> = match bug {
         "wrong-message" => vec![ev(Dir::Send, "Write")],
         "out-of-order" => vec![ev(Dir::Send, "Read"), ev(Dir::Send, "Read")],
@@ -292,14 +298,9 @@ fn overhead(n: u64, mechanism: &str) -> u64 {
                     client.record_into(recorder.clone());
                 }
                 chanos_sim::spawn_daemon("e13-mon-server", async move {
-                    loop {
-                        match server.recv().await {
-                            Ok(Req::Read(b)) => {
-                                if server.send(Resp::Data(b)).await.is_err() {
-                                    break;
-                                }
-                            }
-                            _ => break,
+                    while let Ok(Req::Read(b)) = server.recv().await {
+                        if server.send(Resp::Data(b)).await.is_err() {
+                            break;
                         }
                     }
                 });
@@ -321,9 +322,21 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut coverage = Table::new(
         "E13a",
         "protocol bug detection by technique",
-        &["bug class", "static check", "runtime monitor", "trace conformance", "deadlock watchdog"],
+        &[
+            "bug class",
+            "static check",
+            "runtime monitor",
+            "trace conformance",
+            "deadlock watchdog",
+        ],
     );
-    for bug in ["wrong-message", "out-of-order", "premature-close", "deadlock", "conforming"] {
+    for bug in [
+        "wrong-message",
+        "out-of-order",
+        "premature-close",
+        "deadlock",
+        "conforming",
+    ] {
         let spec = spec_of(bug);
         let static_hit = if bug == "conforming" {
             !check_compatible(&spec, &disk_proto().dual()).is_compatible()
@@ -349,7 +362,11 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["mechanism", "cycles/op", "overhead vs raw"],
     );
     let pct = |v: u64| f2((v as f64 / raw as f64 - 1.0) * 100.0) + " %";
-    cost.row(vec!["raw channels".into(), raw.to_string(), "0.00 %".into()]);
+    cost.row(vec![
+        "raw channels".into(),
+        raw.to_string(),
+        "0.00 %".into(),
+    ]);
     cost.row(vec!["monitored".into(), mon.to_string(), pct(mon)]);
     cost.row(vec!["monitored+trace".into(), rec.to_string(), pct(rec)]);
     vec![coverage, cost]

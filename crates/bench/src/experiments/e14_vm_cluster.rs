@@ -42,13 +42,18 @@ struct ShardReq {
 
 /// Spawns the shard service threads a partition owns, returning the
 /// request channel per shard (indexed by shard id).
-fn spawn_shards(partition: u32, partitions: u32, cores: &[CoreId]) -> BTreeMap<u32, Sender<ShardReq>> {
+fn spawn_shards(
+    partition: u32,
+    partitions: u32,
+    cores: &[CoreId],
+) -> BTreeMap<u32, Sender<ShardReq>> {
     let mut map = BTreeMap::new();
-    let mut next_core = 0usize;
-    for shard in (0..SHARDS).filter(|s| s % partitions == partition) {
+    for (next_core, shard) in (0..SHARDS)
+        .filter(|s| s % partitions == partition)
+        .enumerate()
+    {
         let (tx, rx) = channel::<ShardReq>(Capacity::Unbounded);
         let core = cores[next_core % cores.len()];
-        next_core += 1;
         sim::spawn_daemon_on(&format!("shard-{shard}"), core, async move {
             let mut hits = 0u64;
             while let Ok(req) = rx.recv().await {
@@ -65,22 +70,29 @@ fn spawn_shards(partition: u32, partitions: u32, cores: &[CoreId]) -> BTreeMap<u
 /// One run: the box split into `partitions` VMs. Returns (ops, total
 /// cycles, remote ops, frames sent).
 fn run_partitioned(partitions: u32, ops_per_worker: u64, seed: u64) -> (u64, u64, u64, u64) {
-    let s = Simulation::with_config(Config { cores: CORES, ctx_switch: 20, seed, ..Config::default() });
+    let s = Simulation::with_config(Config {
+        cores: CORES,
+        ctx_switch: 20,
+        seed,
+        ..Config::default()
+    });
     chanos_csp::install(&s, Interconnect::mesh_for(CORES));
     let mut s = s;
     let cores_per = CORES as u32 / partitions;
     s.block_on(async move {
         // The virtual ethernet between partitions (absent for P=1).
         let cluster = (partitions > 1).then(|| {
-            Cluster::new(ClusterParams { nodes: partitions, link: LinkParams::default() })
+            Cluster::new(ClusterParams {
+                nodes: partitions,
+                link: LinkParams::default(),
+            })
         });
 
         // Per partition: shard threads + an RPC server for remote
         // requests + RPC clients to every other partition.
         let mut shard_maps: Vec<Rc<BTreeMap<u32, Sender<ShardReq>>>> = Vec::new();
         for p in 0..partitions {
-            let cores: Vec<CoreId> =
-                (p * cores_per..(p + 1) * cores_per).map(CoreId).collect();
+            let cores: Vec<CoreId> = (p * cores_per..(p + 1) * cores_per).map(CoreId).collect();
             shard_maps.push(Rc::new(spawn_shards(p, partitions, &cores)));
         }
         if let Some(cl) = &cluster {

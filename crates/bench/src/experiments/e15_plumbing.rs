@@ -37,7 +37,11 @@ const COPY_BYTES_PER_CYCLE: u64 = 4;
 type Record = (u64, Vec<u8>);
 
 fn machine() -> Simulation {
-    let s = Simulation::with_config(Config { cores: CORES, ctx_switch: 20, ..Config::default() });
+    let s = Simulation::with_config(Config {
+        cores: CORES,
+        ctx_switch: 20,
+        ..Config::default()
+    });
     chanos_csp::install(&s, Interconnect::mesh_for(CORES));
     s
 }

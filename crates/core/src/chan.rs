@@ -29,16 +29,17 @@
 //! choice effectively is hard; the delivered-but-lost-race case is
 //! counted in the `csp.send_arm_lost_races` statistic.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll};
 
 use chanos_sim::{self as sim, Cycles, TaskId};
 
 use crate::config::CspRuntime;
+
+use chanos_sim::plock;
 
 /// Buffering discipline of a channel (§3's send-semantics choices).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,7 +117,7 @@ struct RecvSlot<T> {
 struct RecvWaiter<T> {
     task: TaskId,
     core: usize,
-    slot: Rc<RefCell<RecvSlot<T>>>,
+    slot: Arc<Mutex<RecvSlot<T>>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,24 +141,21 @@ struct ChanState<T> {
     cap: Capacity,
     queue: VecDeque<Msg<T>>,
     recv_waiters: VecDeque<RecvWaiter<T>>,
-    send_waiters: VecDeque<Rc<RefCell<SendEntry<T>>>>,
+    send_waiters: VecDeque<Arc<Mutex<SendEntry<T>>>>,
     senders: usize,
     receivers: usize,
     closed: bool,
     bytes: usize,
 }
 
-type Chan<T> = Rc<RefCell<ChanState<T>>>;
+type Chan<T> = Arc<Mutex<ChanState<T>>>;
 
 impl<T> ChanState<T> {
     /// No more messages can ever arrive.
     fn drained_shut(&self) -> bool {
         (self.closed || self.senders == 0)
             && self.queue.is_empty()
-            && self
-                .send_waiters
-                .iter()
-                .all(|e| e.borrow().value.is_none())
+            && self.send_waiters.iter().all(|e| plock(e).value.is_none())
     }
 
     /// Sends can never succeed.
@@ -173,7 +171,7 @@ impl<T> ChanState<T> {
 
     fn wake_all_send_waiters(&mut self) {
         for e in self.send_waiters.iter() {
-            sim::wake_now(e.borrow().task);
+            sim::wake_now(plock(e).task);
         }
     }
 
@@ -190,7 +188,7 @@ impl<T> ChanState<T> {
     fn notify_front_send_waiter(&mut self) {
         if matches!(self.cap, Capacity::Bounded(_)) {
             if let Some(e) = self.send_waiters.front() {
-                sim::wake_now(e.borrow().task);
+                sim::wake_now(plock(e).task);
             }
         }
     }
@@ -210,7 +208,7 @@ pub fn channel<T>(cap: Capacity) -> (Sender<T>, Receiver<T>) {
 /// Creates a channel whose messages are modeled as `bytes` bytes on
 /// the interconnect.
 pub fn channel_with_bytes<T>(cap: Capacity, bytes: usize) -> (Sender<T>, Receiver<T>) {
-    let state = Rc::new(RefCell::new(ChanState {
+    let state = Arc::new(Mutex::new(ChanState {
         cap,
         queue: VecDeque::new(),
         recv_waiters: VecDeque::new(),
@@ -235,19 +233,19 @@ pub fn channel_with_bytes<T>(cap: Capacity, bytes: usize) -> (Sender<T>, Receive
 /// channels.
 pub struct Sender<T> {
     chan: Chan<T>,
-    rt: Rc<CspRuntime>,
+    rt: Arc<CspRuntime>,
 }
 
 /// The receiving endpoint of a channel. Clone freely; send through
 /// other channels.
 pub struct Receiver<T> {
     chan: Chan<T>,
-    rt: Rc<CspRuntime>,
+    rt: Arc<CspRuntime>,
 }
 
 impl<T> std::fmt::Debug for Sender<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.chan.borrow();
+        let st = plock(&self.chan);
         f.debug_struct("Sender")
             .field("queued", &st.queue.len())
             .field("closed", &st.closed)
@@ -257,7 +255,7 @@ impl<T> std::fmt::Debug for Sender<T> {
 
 impl<T> std::fmt::Debug for Receiver<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.chan.borrow();
+        let st = plock(&self.chan);
         f.debug_struct("Receiver")
             .field("queued", &st.queue.len())
             .field("closed", &st.closed)
@@ -267,7 +265,7 @@ impl<T> std::fmt::Debug for Receiver<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.chan.borrow_mut().senders += 1;
+        plock(&self.chan).senders += 1;
         Sender {
             chan: self.chan.clone(),
             rt: self.rt.clone(),
@@ -277,7 +275,7 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.chan.borrow_mut().receivers += 1;
+        plock(&self.chan).receivers += 1;
         Receiver {
             chan: self.chan.clone(),
             rt: self.rt.clone(),
@@ -287,7 +285,7 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut st = self.chan.borrow_mut();
+        let mut st = plock(&self.chan);
         st.senders -= 1;
         if st.senders == 0 && sim::in_sim() {
             // Receivers blocked on a now-unreachable channel must
@@ -299,7 +297,7 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut st = self.chan.borrow_mut();
+        let mut st = plock(&self.chan);
         st.receivers -= 1;
         if st.receivers == 0 && sim::in_sim() {
             st.wake_all_send_waiters();
@@ -325,7 +323,7 @@ impl<T> Sender<T> {
     /// currently blocked waiting; the handoff then completes without
     /// waiting for the acknowledgment.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-        let mut st = self.chan.borrow_mut();
+        let mut st = plock(&self.chan);
         if st.send_shut() {
             return Err(TrySendError::Closed(value));
         }
@@ -362,12 +360,12 @@ impl<T> Sender<T> {
 
     /// Returns `true` if the channel can no longer deliver sends.
     pub fn is_closed(&self) -> bool {
-        self.chan.borrow().send_shut()
+        plock(&self.chan).send_shut()
     }
 
     /// Number of buffered (including in-flight) messages.
     pub fn len(&self) -> usize {
-        self.chan.borrow().queue.len()
+        plock(&self.chan).queue.len()
     }
 
     /// Returns `true` if no messages are buffered.
@@ -377,7 +375,7 @@ impl<T> Sender<T> {
 
     /// Returns `true` if `other` is an endpoint of the same channel.
     pub fn same_channel(&self, other: &Sender<T>) -> bool {
-        Rc::ptr_eq(&self.chan, &other.chan)
+        Arc::ptr_eq(&self.chan, &other.chan)
     }
 }
 
@@ -394,7 +392,7 @@ impl<T> Receiver<T> {
 
     /// Attempts to receive without waiting.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut st = self.chan.borrow_mut();
+        let mut st = plock(&self.chan);
         let my_core = sim::current_core().index();
         let now = sim::now();
         if let Some(front) = st.queue.front() {
@@ -403,7 +401,13 @@ impl<T> Receiver<T> {
                 let msg = st.queue.pop_front().expect("front exists");
                 st.notify_front_send_waiter();
                 st.notify_front_recv_waiter(&self.rt);
-                record_delivery(&self.rt, msg.from_core, my_core, st.bytes, now - msg.sent_at);
+                record_delivery(
+                    &self.rt,
+                    msg.from_core,
+                    my_core,
+                    st.bytes,
+                    now - msg.sent_at,
+                );
                 return Ok(msg.value);
             }
             return Err(TryRecvError::Empty);
@@ -424,7 +428,7 @@ impl<T> Receiver<T> {
 
     /// Number of buffered (including in-flight) messages.
     pub fn len(&self) -> usize {
-        self.chan.borrow().queue.len()
+        plock(&self.chan).queue.len()
     }
 
     /// Returns `true` if no messages are buffered.
@@ -434,12 +438,12 @@ impl<T> Receiver<T> {
 
     /// Returns `true` if `other` is an endpoint of the same channel.
     pub fn same_channel(&self, other: &Receiver<T>) -> bool {
-        Rc::ptr_eq(&self.chan, &other.chan)
+        Arc::ptr_eq(&self.chan, &other.chan)
     }
 }
 
 fn close_impl<T>(chan: &Chan<T>) {
-    let mut st = chan.borrow_mut();
+    let mut st = plock(chan);
     if !st.closed {
         st.closed = true;
         if sim::in_sim() {
@@ -476,7 +480,7 @@ fn pair_with_receiver<T>(
     let w = st.recv_waiters.pop_front().expect("caller checked");
     let latency = rt.latency(from_core, w.core, st.bytes);
     let avail = now + latency;
-    w.slot.borrow_mut().value = Some(SlotMsg {
+    plock(&w.slot).value = Some(SlotMsg {
         value,
         from_core,
         avail,
@@ -503,7 +507,7 @@ fn record_delivery(rt: &CspRuntime, from: usize, to: usize, bytes: usize, latenc
 pub struct SendFut<'a, T> {
     sender: &'a Sender<T>,
     value: Option<T>,
-    entry: Option<Rc<RefCell<SendEntry<T>>>>,
+    entry: Option<Arc<Mutex<SendEntry<T>>>>,
 }
 
 // The future stores `T` by ownership only (no self-references), so it
@@ -516,14 +520,14 @@ impl<T> Future for SendFut<'_, T> {
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = &mut *self;
         let rt = this.sender.rt.clone();
-        let mut st = this.sender.chan.borrow_mut();
+        let mut st = plock(&this.sender.chan);
         let now = sim::now();
         let my_core = sim::current_core().index();
         let me = sim::current_task();
 
         // Re-poll of a registered send.
         if let Some(entry) = this.entry.clone() {
-            let phase = entry.borrow().phase;
+            let phase = plock(&entry).phase;
             match phase {
                 SendPhase::AckAt(t) => {
                     // Rendezvous delivered; completing on the ack.
@@ -535,8 +539,7 @@ impl<T> Future for SendFut<'_, T> {
                 }
                 SendPhase::Waiting => {
                     if st.send_shut() {
-                        let v = entry
-                            .borrow_mut()
+                        let v = plock(&entry)
                             .value
                             .take()
                             .or_else(|| this.value.take())
@@ -586,7 +589,7 @@ impl<T> Future for SendFut<'_, T> {
                     commit_enqueue(&mut st, &rt, my_core, v);
                     Poll::Ready(Ok(()))
                 } else {
-                    let entry = Rc::new(RefCell::new(SendEntry {
+                    let entry = Arc::new(Mutex::new(SendEntry {
                         task: me,
                         core: my_core,
                         value: None,
@@ -602,7 +605,7 @@ impl<T> Future for SendFut<'_, T> {
                     // Park with the value so an arriving receiver can
                     // pair with us.
                     let v = this.value.take().expect("unsent value present");
-                    let entry = Rc::new(RefCell::new(SendEntry {
+                    let entry = Arc::new(Mutex::new(SendEntry {
                         task: me,
                         core: my_core,
                         value: Some(v),
@@ -614,7 +617,7 @@ impl<T> Future for SendFut<'_, T> {
                 } else {
                     let v = this.value.take().expect("unsent value present");
                     let ack_at = pair_with_receiver(&mut st, &rt, my_core, v);
-                    let entry = Rc::new(RefCell::new(SendEntry {
+                    let entry = Arc::new(Mutex::new(SendEntry {
                         task: me,
                         core: my_core,
                         value: None,
@@ -629,8 +632,8 @@ impl<T> Future for SendFut<'_, T> {
     }
 }
 
-fn deregister_sender<T>(st: &mut ChanState<T>, entry: &Rc<RefCell<SendEntry<T>>>) {
-    st.send_waiters.retain(|e| !Rc::ptr_eq(e, entry));
+fn deregister_sender<T>(st: &mut ChanState<T>, entry: &Arc<Mutex<SendEntry<T>>>) {
+    st.send_waiters.retain(|e| !Arc::ptr_eq(e, entry));
 }
 
 impl<T> Drop for SendFut<'_, T> {
@@ -638,8 +641,8 @@ impl<T> Drop for SendFut<'_, T> {
         let Some(entry) = self.entry.take() else {
             return;
         };
-        let mut st = self.sender.chan.borrow_mut();
-        let phase = entry.borrow().phase;
+        let mut st = plock(&self.sender.chan);
+        let phase = plock(&entry).phase;
         match phase {
             SendPhase::Waiting => {
                 // Not yet paired/committed: retract cleanly.
@@ -668,7 +671,7 @@ impl<T> Drop for SendFut<'_, T> {
 /// Future returned by [`Receiver::recv`].
 pub struct RecvFut<'a, T> {
     receiver: &'a Receiver<T>,
-    slot: Option<Rc<RefCell<RecvSlot<T>>>>,
+    slot: Option<Arc<Mutex<RecvSlot<T>>>>,
     /// Whether `slot` is registered in the channel's waiter list (a
     /// receiver that paired with a parked sender holds an
     /// *unregistered* slot).
@@ -684,18 +687,18 @@ impl<T> Future for RecvFut<'_, T> {
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = &mut *self;
         let rt = this.receiver.rt.clone();
-        let mut st = this.receiver.chan.borrow_mut();
+        let mut st = plock(&this.receiver.chan);
         let now = sim::now();
         let my_core = sim::current_core().index();
         let me = sim::current_task();
 
         // A rendezvous sender may have delivered into our slot.
         if let Some(slot) = this.slot.clone() {
-            let has = slot.borrow().value.is_some();
+            let has = plock(&slot).value.is_some();
             if has {
-                let avail = slot.borrow().value.as_ref().expect("checked").avail;
+                let avail = plock(&slot).value.as_ref().expect("checked").avail;
                 if now >= avail {
-                    let msg = slot.borrow_mut().value.take().expect("checked");
+                    let msg = plock(&slot).value.take().expect("checked");
                     self_deregister(&mut st, &slot, this.registered);
                     this.slot = None;
                     record_delivery(&rt, msg.from_core, my_core, st.bytes, msg.latency);
@@ -733,9 +736,9 @@ impl<T> Future for RecvFut<'_, T> {
                 let avail = msg.avail;
                 let slot = this
                     .slot
-                    .get_or_insert_with(|| Rc::new(RefCell::new(RecvSlot { value: None })))
+                    .get_or_insert_with(|| Arc::new(Mutex::new(RecvSlot { value: None })))
                     .clone();
-                slot.borrow_mut().value = Some(msg);
+                plock(&slot).value = Some(msg);
                 sim::schedule_wake_at(me, avail);
                 return Poll::Pending;
             }
@@ -752,7 +755,7 @@ impl<T> Future for RecvFut<'_, T> {
         if this.slot.is_none() || !this.registered {
             let slot = this
                 .slot
-                .get_or_insert_with(|| Rc::new(RefCell::new(RecvSlot { value: None })))
+                .get_or_insert_with(|| Arc::new(Mutex::new(RecvSlot { value: None })))
                 .clone();
             if !this.registered {
                 st.recv_waiters.push_back(RecvWaiter {
@@ -778,7 +781,7 @@ fn pair_from_recv_side<T>(
 ) -> Option<(SlotMsg<T>, TaskId, Cycles)> {
     loop {
         let entry = st.send_waiters.front()?.clone();
-        let mut e = entry.borrow_mut();
+        let mut e = plock(&entry);
         if e.phase != SendPhase::Waiting || e.value.is_none() {
             drop(e);
             st.send_waiters.pop_front();
@@ -807,9 +810,9 @@ fn pair_from_recv_side<T>(
     }
 }
 
-fn self_deregister<T>(st: &mut ChanState<T>, slot: &Rc<RefCell<RecvSlot<T>>>, registered: bool) {
+fn self_deregister<T>(st: &mut ChanState<T>, slot: &Arc<Mutex<RecvSlot<T>>>, registered: bool) {
     if registered {
-        st.recv_waiters.retain(|w| !Rc::ptr_eq(&w.slot, slot));
+        st.recv_waiters.retain(|w| !Arc::ptr_eq(&w.slot, slot));
     }
 }
 
@@ -818,14 +821,14 @@ impl<T> Drop for RecvFut<'_, T> {
         let Some(slot) = self.slot.take() else {
             return;
         };
-        let mut st = self.receiver.chan.borrow_mut();
+        let mut st = plock(&self.receiver.chan);
         if self.registered {
-            st.recv_waiters.retain(|w| !Rc::ptr_eq(&w.slot, &slot));
+            st.recv_waiters.retain(|w| !Arc::ptr_eq(&w.slot, &slot));
         }
         if sim::in_sim() {
             // A rendezvous value delivered into our slot but never
             // taken dies with us (the receiver went away mid-flight).
-            if slot.borrow().value.is_some() {
+            if plock(&slot).value.is_some() {
                 sim::stat_incr("csp.msgs_dropped");
             }
             // If messages remain queued and other receivers wait, pass

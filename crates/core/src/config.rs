@@ -23,7 +23,7 @@
 //! (`delay(n)`), which is what bounds server throughput in the
 //! experiments.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use chanos_noc::Interconnect;
 use chanos_sim::Simulation;
@@ -60,7 +60,7 @@ impl CspRuntime {
     /// Returns the runtime of the current simulation, installing a
     /// default (square mesh over the machine's cores, default costs)
     /// on first use.
-    pub fn current() -> Rc<CspRuntime> {
+    pub fn current() -> Arc<CspRuntime> {
         if let Some(rt) = chanos_sim::ext_get::<CspRuntime>() {
             return rt;
         }

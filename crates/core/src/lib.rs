@@ -69,7 +69,7 @@ pub use timer::{after, ticker};
 pub use chanos_noc as noc;
 pub use chanos_select::{choose, join2, join_all, race, select_all, Either};
 pub use chanos_sim::{
-    current_core, current_task, delay, migrate, now, sleep, spawn, spawn_daemon,
-    spawn_daemon_on, spawn_named, spawn_named_on, spawn_on, yield_now, CoreId, Cycles, Join,
-    JoinError, JoinHandle, TaskId,
+    current_core, current_task, delay, migrate, now, sleep, spawn, spawn_daemon, spawn_daemon_on,
+    spawn_named, spawn_named_on, spawn_on, yield_now, CoreId, Cycles, Join, JoinError, JoinHandle,
+    TaskId,
 };

@@ -212,7 +212,8 @@ fn bounded_backpressure_blocks_sender() {
             let sender = spawn(async move {
                 for i in 0..4 {
                     tx.send(i).await.unwrap();
-                    ev.borrow_mut().push(format!("sent{i}@{}", chanos_sim::now()));
+                    ev.borrow_mut()
+                        .push(format!("sent{i}@{}", chanos_sim::now()));
                 }
             });
             // Drain slowly: the 3rd and 4th sends must wait for pops.
@@ -220,7 +221,8 @@ fn bounded_backpressure_blocks_sender() {
             let ev2 = events.clone();
             for _ in 0..4 {
                 let v = rx.recv().await.unwrap();
-                ev2.borrow_mut().push(format!("got{v}@{}", chanos_sim::now()));
+                ev2.borrow_mut()
+                    .push(format!("got{v}@{}", chanos_sim::now()));
             }
             sender.join().await.unwrap();
             let out = events.borrow().clone();

@@ -1,11 +1,10 @@
-//! Property tests for channel invariants: whatever the interleaving,
-//! messages are neither lost nor duplicated, and FIFO order holds per
-//! sender.
-
-use proptest::prelude::*;
+//! Randomized-property tests for channel invariants: whatever the
+//! interleaving, messages are neither lost nor duplicated, and FIFO
+//! order holds per sender. Driven by the simulator's deterministic
+//! PCG RNG (no external property-testing framework is available).
 
 use chanos_csp::{channel, Capacity};
-use chanos_sim::{Config, CoreId, Simulation};
+use chanos_sim::{Config, CoreId, Pcg32, Simulation};
 
 fn run_exchange(
     seed: u64,
@@ -68,62 +67,66 @@ fn run_exchange(
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn want(producers: usize, per: usize) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..producers)
+        .flat_map(|p| (0..per).map(move |i| (p as u64) << 32 | i as u64))
+        .collect();
+    v.sort_unstable();
+    v
+}
 
-    /// Unbounded MPMC: the received multiset equals the sent multiset.
-    #[test]
-    fn no_loss_no_duplication_unbounded(
-        seed in any::<u64>(),
-        producers in 1usize..4,
-        consumers in 1usize..4,
-        per in 1usize..30,
-    ) {
+/// Unbounded MPMC: the received multiset equals the sent multiset.
+#[test]
+fn no_loss_no_duplication_unbounded() {
+    let mut g = Pcg32::new(0xCA5E_0001);
+    for case in 0..24 {
+        let seed = g.next_u64();
+        let producers = g.range(1, 4) as usize;
+        let consumers = g.range(1, 4) as usize;
+        let per = g.range(1, 30) as usize;
         let mut got = run_exchange(seed, Capacity::Unbounded, producers, consumers, per);
         got.sort_unstable();
-        let mut want: Vec<u64> = (0..producers)
-            .flat_map(|p| (0..per).map(move |i| (p as u64) << 32 | i as u64))
-            .collect();
-        want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want(producers, per), "case {case}");
     }
+}
 
-    /// Bounded channels under backpressure: same invariant.
-    #[test]
-    fn no_loss_no_duplication_bounded(
-        seed in any::<u64>(),
-        depth in 1usize..5,
-        producers in 1usize..4,
-        per in 1usize..25,
-    ) {
+/// Bounded channels under backpressure: same invariant.
+#[test]
+fn no_loss_no_duplication_bounded() {
+    let mut g = Pcg32::new(0xCA5E_0002);
+    for case in 0..24 {
+        let seed = g.next_u64();
+        let depth = g.range(1, 5) as usize;
+        let producers = g.range(1, 4) as usize;
+        let per = g.range(1, 25) as usize;
         let mut got = run_exchange(seed, Capacity::Bounded(depth), producers, 2, per);
         got.sort_unstable();
-        let mut want: Vec<u64> = (0..producers)
-            .flat_map(|p| (0..per).map(move |i| (p as u64) << 32 | i as u64))
-            .collect();
-        want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want(producers, per), "case {case}");
     }
+}
 
-    /// Rendezvous channels: same invariant (every handoff paired).
-    #[test]
-    fn no_loss_no_duplication_rendezvous(
-        seed in any::<u64>(),
-        producers in 1usize..3,
-        per in 1usize..15,
-    ) {
+/// Rendezvous channels: same invariant (every handoff paired).
+#[test]
+fn no_loss_no_duplication_rendezvous() {
+    let mut g = Pcg32::new(0xCA5E_0003);
+    for case in 0..24 {
+        let seed = g.next_u64();
+        let producers = g.range(1, 3) as usize;
+        let per = g.range(1, 15) as usize;
         let mut got = run_exchange(seed, Capacity::Rendezvous, producers, 2, per);
         got.sort_unstable();
-        let mut want: Vec<u64> = (0..producers)
-            .flat_map(|p| (0..per).map(move |i| (p as u64) << 32 | i as u64))
-            .collect();
-        want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want(producers, per), "case {case}");
     }
+}
 
-    /// With one consumer, per-producer FIFO order is preserved.
-    #[test]
-    fn per_sender_fifo(seed in any::<u64>(), producers in 1usize..4, per in 2usize..25) {
+/// With one consumer, per-producer FIFO order is preserved.
+#[test]
+fn per_sender_fifo() {
+    let mut g = Pcg32::new(0xCA5E_0004);
+    for case in 0..24 {
+        let seed = g.next_u64();
+        let producers = g.range(1, 4) as usize;
+        let per = g.range(2, 25) as usize;
         let got = run_exchange(seed, Capacity::Unbounded, producers, 1, per);
         for p in 0..producers as u64 {
             let seq: Vec<u64> = got
@@ -133,7 +136,7 @@ proptest! {
                 .collect();
             let mut sorted = seq.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(seq, sorted, "producer {} out of order", p);
+            assert_eq!(seq, sorted, "case {case}: producer {p} out of order");
         }
     }
 }

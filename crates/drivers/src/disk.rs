@@ -10,11 +10,12 @@
 //! the GO snapshot mixes fields, and a GO while busy clobbers the
 //! in-flight command (experiment E5 counts these).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use chanos_csp::{channel, Capacity, Receiver, Sender};
-use chanos_sim::{self as sim, delay, sleep, CoreId, Cycles};
+use chanos_rt::{self as rt, channel, delay, sleep, Capacity, Receiver, Sender};
+use chanos_rt::{CoreId, Cycles};
+
+use chanos_sim::plock;
 
 /// Size of one disk block, in bytes.
 pub const BLOCK_SIZE: usize = 4096;
@@ -110,8 +111,8 @@ struct DeviceState {
 /// Handle to the disk hardware: the register file plus the interrupt
 /// line. Cloneable so multiple (buggy) driver threads can share it.
 pub struct DiskHw {
-    params: Rc<DiskParams>,
-    state: Rc<RefCell<DeviceState>>,
+    params: Arc<DiskParams>,
+    state: Arc<Mutex<DeviceState>>,
     irq_tx: Sender<DiskIrq>,
     dev_core: CoreId,
 }
@@ -132,9 +133,13 @@ impl Clone for DiskHw {
 ///
 /// `dev_core` must be a device pseudo-core (see
 /// [`chanos_sim::Simulation::add_device_core`]).
-pub fn install_disk(blocks: u64, params: DiskParams, dev_core: CoreId) -> (DiskHw, Receiver<DiskIrq>) {
+pub fn install_disk(
+    blocks: u64,
+    params: DiskParams,
+    dev_core: CoreId,
+) -> (DiskHw, Receiver<DiskIrq>) {
     let (irq_tx, irq_rx) = channel::<DiskIrq>(Capacity::Unbounded);
-    let state = Rc::new(RefCell::new(DeviceState {
+    let state = Arc::new(Mutex::new(DeviceState {
         store: vec![0; (blocks as usize) * BLOCK_SIZE],
         blocks,
         regs: Regs {
@@ -150,7 +155,7 @@ pub fn install_disk(blocks: u64, params: DiskParams, dev_core: CoreId) -> (DiskH
     }));
     (
         DiskHw {
-            params: Rc::new(params),
+            params: Arc::new(params),
             state,
             irq_tx,
             dev_core,
@@ -162,37 +167,37 @@ pub fn install_disk(blocks: u64, params: DiskParams, dev_core: CoreId) -> (DiskH
 impl DiskHw {
     /// Number of blocks on the device.
     pub fn blocks(&self) -> u64 {
-        self.state.borrow().blocks
+        plock(&self.state).blocks
     }
 
     /// Programs the LBA register.
     pub async fn write_lba(&self, lba: u64) {
         delay(self.params.mmio_write).await;
-        self.state.borrow_mut().regs.lba = lba;
+        plock(&self.state).regs.lba = lba;
     }
 
     /// Programs the block-count register.
     pub async fn write_count(&self, count: u32) {
         delay(self.params.mmio_write).await;
-        self.state.borrow_mut().regs.count = count;
+        plock(&self.state).regs.count = count;
     }
 
     /// Programs the operation register.
     pub async fn write_op(&self, op: DiskOp) {
         delay(self.params.mmio_write).await;
-        self.state.borrow_mut().regs.op = op;
+        plock(&self.state).regs.op = op;
     }
 
     /// Programs the completion-tag register.
     pub async fn write_tag(&self, tag: u64) {
         delay(self.params.mmio_write).await;
-        self.state.borrow_mut().regs.tag = tag;
+        plock(&self.state).regs.tag = tag;
     }
 
     /// Stages the DMA buffer for a write command.
     pub async fn write_dma(&self, data: Vec<u8>) {
         delay(self.params.mmio_write).await;
-        self.state.borrow_mut().regs.dma = data;
+        plock(&self.state).regs.dma = data;
     }
 
     /// Fires the command currently in the register file.
@@ -203,16 +208,16 @@ impl DiskHw {
     pub async fn go(&self) {
         delay(self.params.mmio_write).await;
         let (snapshot, generation) = {
-            let mut st = self.state.borrow_mut();
+            let mut st = plock(&self.state);
             if st.busy {
-                sim::stat_incr("disk.clobbered_commands");
+                rt::stat_incr("disk.clobbered_commands");
             }
             st.generation += 1;
             st.busy = true;
             (st.regs.clone(), st.generation)
         };
         let hw = self.clone();
-        sim::spawn_daemon_on("disk-engine", self.dev_core, async move {
+        rt::spawn_daemon_on("disk-engine", self.dev_core, async move {
             hw.execute(snapshot, generation).await;
         });
     }
@@ -220,14 +225,14 @@ impl DiskHw {
     /// Runs one command to completion on the device core.
     async fn execute(&self, cmd: Regs, generation: u64) {
         let latency = {
-            let st = self.state.borrow();
+            let st = plock(&self.state);
             let distance = st.head_lba.abs_diff(cmd.lba);
             self.params.base
                 + self.params.per_block * Cycles::from(cmd.count)
                 + self.params.seek_per_1k_lba * (distance / 1024)
         };
         sleep(latency).await;
-        let mut st = self.state.borrow_mut();
+        let mut st = plock(&self.state);
         if st.generation != generation {
             // We were clobbered mid-flight; drop silently, as real
             // hardware would.
@@ -252,7 +257,7 @@ impl DiskHw {
             match cmd.op {
                 DiskOp::Read => {
                     let data = st.store[start..start + len].to_vec();
-                    sim::stat_incr("disk.reads");
+                    rt::stat_incr("disk.reads");
                     DiskIrq {
                         tag: cmd.tag,
                         data,
@@ -262,7 +267,7 @@ impl DiskHw {
                 DiskOp::Write => {
                     let n = cmd.dma.len().min(len);
                     st.store[start..start + n].copy_from_slice(&cmd.dma[..n]);
-                    sim::stat_incr("disk.writes");
+                    rt::stat_incr("disk.writes");
                     DiskIrq {
                         tag: cmd.tag,
                         data: Vec::new(),
@@ -277,7 +282,7 @@ impl DiskHw {
 
     /// Test/debug access to the raw store (no cost model).
     pub fn peek_block(&self, lba: u64) -> Vec<u8> {
-        let st = self.state.borrow();
+        let st = plock(&self.state);
         let start = (lba as usize) * BLOCK_SIZE;
         st.store[start..start + BLOCK_SIZE].to_vec()
     }
@@ -292,7 +297,7 @@ pub enum DiskReq {
         /// Number of blocks.
         count: u32,
         /// Where the data goes.
-        reply: chanos_csp::ReplyTo<Result<Vec<u8>, DiskError>>,
+        reply: chanos_rt::ReplyTo<Result<Vec<u8>, DiskError>>,
     },
     /// Write `data` (multiple of [`BLOCK_SIZE`]) at `lba`.
     Write {
@@ -301,7 +306,7 @@ pub enum DiskReq {
         /// Data to write.
         data: Vec<u8>,
         /// Completion notification.
-        reply: chanos_csp::ReplyTo<Result<(), DiskError>>,
+        reply: chanos_rt::ReplyTo<Result<(), DiskError>>,
     },
 }
 
@@ -319,14 +324,14 @@ impl DiskClient {
 
     /// Reads `count` blocks starting at `lba`.
     pub async fn read(&self, lba: u64, count: u32) -> Result<Vec<u8>, DiskError> {
-        chanos_csp::request(&self.tx, |reply| DiskReq::Read { lba, count, reply })
+        chanos_rt::request(&self.tx, |reply| DiskReq::Read { lba, count, reply })
             .await
             .unwrap_or(Err(DiskError::Gone))
     }
 
     /// Writes `data` starting at block `lba`.
     pub async fn write(&self, lba: u64, data: Vec<u8>) -> Result<(), DiskError> {
-        chanos_csp::request(&self.tx, |reply| DiskReq::Write { lba, data, reply })
+        chanos_rt::request(&self.tx, |reply| DiskReq::Write { lba, data, reply })
             .await
             .unwrap_or(Err(DiskError::Gone))
     }

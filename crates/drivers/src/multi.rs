@@ -9,9 +9,8 @@
 //! points, commands get clobbered or mis-tagged, and completions go
 //! missing. Experiment E5 counts the damage.
 
-use chanos_csp::{channel, Capacity, Receiver, Sender};
+use chanos_rt::{self as rt, channel, Capacity, CoreId, Receiver, Sender};
 use chanos_shmem::SimMutex;
-use chanos_sim::{self as sim, CoreId};
 
 use crate::disk::{DiskClient, DiskError, DiskHw, DiskIrq, DiskOp, DiskReq};
 
@@ -26,7 +25,8 @@ async fn program_and_fire(hw: &DiskHw, req: &DiskReq, tag: u64) {
         }
         DiskReq::Write { lba, data, .. } => {
             hw.write_lba(*lba).await;
-            hw.write_count((data.len() / crate::disk::BLOCK_SIZE) as u32).await;
+            hw.write_count((data.len() / crate::disk::BLOCK_SIZE) as u32)
+                .await;
             hw.write_op(DiskOp::Write).await;
             hw.write_tag(tag).await;
             hw.write_dma(data.clone()).await;
@@ -38,7 +38,7 @@ async fn program_and_fire(hw: &DiskHw, req: &DiskReq, tag: u64) {
 async fn finish(req: DiskReq, irq: DiskIrq, expect_tag: u64) {
     let tag_ok = irq.tag == expect_tag;
     if !tag_ok {
-        sim::stat_incr("driver.tag_mismatches");
+        rt::stat_incr("driver.tag_mismatches");
     }
     match req {
         DiskReq::Read { reply, .. } => {
@@ -80,7 +80,7 @@ pub fn spawn_locked_disk_driver(
     // The mutex must be created inside the simulation; do it in a
     // bootstrap task that then spawns the workers.
     let boot_cores: Vec<CoreId> = cores.to_vec();
-    sim::spawn_daemon_on("disk-driver-boot", boot_cores[0], async move {
+    rt::spawn_daemon_on("disk-driver-boot", boot_cores[0], async move {
         let lock = SimMutex::new(());
         let mut next_tag: u64 = 1 << 32;
         for w in 0..workers {
@@ -91,7 +91,7 @@ pub fn spawn_locked_disk_driver(
             let core = boot_cores[w % boot_cores.len()];
             let tag_base = next_tag;
             next_tag += 1 << 20;
-            sim::spawn_daemon_on(&format!("disk-worker{w}"), core, async move {
+            rt::spawn_daemon_on(&format!("disk-worker{w}"), core, async move {
                 let mut tag = tag_base;
                 while let Ok(req) = rx.recv().await {
                     tag += 1;
@@ -128,7 +128,7 @@ pub fn spawn_racy_disk_driver(
         let hw = hw.clone();
         let core = cores[w % cores.len()];
         let tag_base = (w as u64 + 1) << 40;
-        sim::spawn_daemon_on(&format!("disk-racy-worker{w}"), core, async move {
+        rt::spawn_daemon_on(&format!("disk-racy-worker{w}"), core, async move {
             let mut tag = tag_base;
             while let Ok(req) = rx.recv().await {
                 tag += 1;
@@ -151,10 +151,10 @@ pub async fn read_with_timeout(
     count: u32,
     timeout: u64,
 ) -> Option<Result<Vec<u8>, DiskError>> {
-    chanos_csp::choose! {
+    chanos_rt::choose! {
         r = std::pin::pin!(client.read(lba, count)) => Some(r),
-        _ = chanos_csp::after(timeout) => {
-            sim::stat_incr("driver.request_timeouts");
+        _ = chanos_rt::after(timeout) => {
+            rt::stat_incr("driver.request_timeouts");
             None
         },
     }
@@ -167,10 +167,10 @@ pub async fn write_with_timeout(
     data: Vec<u8>,
     timeout: u64,
 ) -> Option<Result<(), DiskError>> {
-    chanos_csp::choose! {
+    chanos_rt::choose! {
         r = std::pin::pin!(client.write(lba, data)) => Some(r),
-        _ = chanos_csp::after(timeout) => {
-            sim::stat_incr("driver.request_timeouts");
+        _ = chanos_rt::after(timeout) => {
+            rt::stat_incr("driver.request_timeouts");
             None
         },
     }

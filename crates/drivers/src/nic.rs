@@ -2,8 +2,10 @@
 //! path with completion interrupts, and the single-threaded driver
 //! joining both with `choose!`.
 
-use chanos_csp::{channel, channel_with_bytes, choose, Capacity, Receiver, ReplyTo, Sender};
-use chanos_sim::{self as sim, sleep, CoreId, Cycles};
+use chanos_rt::{
+    self as rt, channel, channel_with_bytes, choose, sleep, Capacity, CoreId, Cycles, Receiver,
+    ReplyTo, Sender,
+};
 
 /// A network packet (payload modeled by size only).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,8 +59,8 @@ pub struct TxReq {
 /// internal).
 pub fn install_nic(params: NicParams, dev_core: CoreId) -> Receiver<Packet> {
     let (rx_tx, rx_rx) = channel_with_bytes::<Packet>(Capacity::Bounded(params.rx_ring), 64);
-    sim::spawn_daemon_on("nic-rx-engine", dev_core, async move {
-        let mut rng = sim::with_rng(|r| r.clone());
+    rt::spawn_daemon_on("nic-rx-engine", dev_core, async move {
+        let mut rng = rt::with_rng(|r| r.clone());
         let mut id = 0u64;
         loop {
             let gap = rng.exp(params.mean_interarrival as f64).max(1.0) as Cycles;
@@ -67,8 +69,8 @@ pub fn install_nic(params: NicParams, dev_core: CoreId) -> Receiver<Packet> {
             let bytes = rng.range(params.min_bytes as u64, params.max_bytes as u64 + 1) as usize;
             let pkt = Packet { id, bytes };
             match rx_tx.try_send(pkt) {
-                Ok(()) => sim::stat_incr("nic.rx_packets"),
-                Err(_) => sim::stat_incr("nic.rx_dropped"),
+                Ok(()) => rt::stat_incr("nic.rx_packets"),
+                Err(_) => rt::stat_incr("nic.rx_dropped"),
             }
             if params.rx_total > 0 && id >= params.rx_total {
                 break;
@@ -88,12 +90,12 @@ pub fn spawn_nic_driver(
 ) -> (Sender<TxReq>, Receiver<Packet>) {
     let (tx_tx, tx_rx) = channel::<TxReq>(Capacity::Unbounded);
     let (stack_tx, stack_rx) = channel_with_bytes::<Packet>(Capacity::Unbounded, 64);
-    sim::spawn_daemon_on("nic-driver", core, async move {
+    rt::spawn_daemon_on("nic-driver", core, async move {
         loop {
             choose! {
                 pkt = rx_ring.recv() => {
                     let Ok(pkt) = pkt else { break };
-                    sim::stat_incr("nic.delivered");
+                    rt::stat_incr("nic.delivered");
                     if stack_tx.send(pkt).await.is_err() {
                         break;
                     }
@@ -101,9 +103,9 @@ pub fn spawn_nic_driver(
                 req = tx_rx.recv() => {
                     let Ok(TxReq { packet, reply }) = req else { break };
                     // Program the TX descriptor and wait the wire time.
-                    chanos_sim::delay(500).await;
+                    chanos_rt::delay(500).await;
                     sleep(tx_cost + packet.bytes as Cycles).await;
-                    sim::stat_incr("nic.tx_packets");
+                    rt::stat_incr("nic.tx_packets");
                     let _ = reply.send(()).await;
                 },
             }

@@ -13,8 +13,7 @@
 
 use std::collections::VecDeque;
 
-use chanos_csp::{channel, choose, Capacity, Receiver, ReplyTo};
-use chanos_sim::{self as sim, CoreId};
+use chanos_rt::{self as rt, channel, choose, Capacity, CoreId, Receiver, ReplyTo};
 
 use crate::disk::{DiskClient, DiskError, DiskHw, DiskIrq, DiskOp, DiskReq};
 
@@ -42,7 +41,8 @@ async fn issue(hw: &DiskHw, p: &Pending, tag: u64) {
         }
         Pending::Write { lba, data, .. } => {
             hw.write_lba(*lba).await;
-            hw.write_count((data.len() / crate::disk::BLOCK_SIZE) as u32).await;
+            hw.write_count((data.len() / crate::disk::BLOCK_SIZE) as u32)
+                .await;
             hw.write_op(DiskOp::Write).await;
             hw.write_tag(tag).await;
             hw.write_dma(data.clone()).await;
@@ -54,7 +54,7 @@ async fn issue(hw: &DiskHw, p: &Pending, tag: u64) {
 async fn complete(p: Pending, irq: DiskIrq, expect_tag: u64) {
     let tag_ok = irq.tag == expect_tag;
     if !tag_ok {
-        sim::stat_incr("driver.tag_mismatches");
+        rt::stat_incr("driver.tag_mismatches");
     }
     match p {
         Pending::Read { reply, .. } => {
@@ -84,7 +84,7 @@ async fn complete(p: Pending, irq: DiskIrq, expect_tag: u64) {
 /// client handle the rest of the kernel uses.
 pub fn spawn_disk_driver(hw: DiskHw, irq_rx: Receiver<DiskIrq>, core: CoreId) -> DiskClient {
     let (tx, rx) = channel::<DiskReq>(Capacity::Unbounded);
-    sim::spawn_daemon_on("disk-driver", core, async move {
+    rt::spawn_daemon_on("disk-driver", core, async move {
         let mut queue: VecDeque<Pending> = VecDeque::new();
         let mut inflight: Option<(u64, Pending)> = None;
         let mut next_tag: u64 = 1;
@@ -97,14 +97,14 @@ pub fn spawn_disk_driver(hw: DiskHw, irq_rx: Receiver<DiskIrq>, core: CoreId) ->
                         DiskReq::Write { lba, data, reply } => Pending::Write { lba, data, reply },
                     };
                     queue.push_back(p);
-                    sim::stat_incr("driver.requests");
+                    rt::stat_incr("driver.requests");
                 },
                 irq = irq_rx.recv() => {
                     let Ok(irq) = irq else { break };
                     if let Some((tag, p)) = inflight.take() {
                         complete(p, irq, tag).await;
                     } else {
-                        sim::stat_incr("driver.spurious_irqs");
+                        rt::stat_incr("driver.spurious_irqs");
                     }
                 },
             }

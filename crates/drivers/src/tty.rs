@@ -1,7 +1,6 @@
 //! A console (TTY) device and its single-threaded driver.
 
-use chanos_csp::{channel, Capacity, ReplyTo, Sender};
-use chanos_sim::{self as sim, sleep, CoreId, Cycles};
+use chanos_rt::{self as rt, channel, sleep, Capacity, CoreId, Cycles, ReplyTo, Sender};
 
 /// A request to write a line to the console.
 pub struct TtyWrite {
@@ -20,7 +19,7 @@ pub struct TtyClient {
 impl TtyClient {
     /// Writes a string to the console, waiting for it to drain.
     pub async fn write(&self, s: &str) {
-        let _ = chanos_csp::request(&self.tx, |reply| TtyWrite {
+        let _ = chanos_rt::request(&self.tx, |reply| TtyWrite {
             bytes: s.as_bytes().to_vec(),
             reply,
         })
@@ -33,10 +32,10 @@ impl TtyClient {
 /// statistic (the simulation has no real console).
 pub fn spawn_tty_driver(per_byte: Cycles, core: CoreId) -> TtyClient {
     let (tx, rx) = channel::<TtyWrite>(Capacity::Unbounded);
-    sim::spawn_daemon_on("tty-driver", core, async move {
+    rt::spawn_daemon_on("tty-driver", core, async move {
         while let Ok(TtyWrite { bytes, reply }) = rx.recv().await {
             sleep(per_byte * bytes.len() as Cycles).await;
-            sim::stat_add("tty.bytes_written", bytes.len() as u64);
+            rt::stat_add("tty.bytes_written", bytes.len() as u64);
             let _ = reply.send(()).await;
         }
     });

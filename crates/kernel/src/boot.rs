@@ -6,7 +6,7 @@
 //! table inside a simulation.
 
 use chanos_drivers::{install_disk, spawn_disk_driver, DiskClient, DiskParams};
-use chanos_sim::CoreId;
+use chanos_rt::CoreId;
 use chanos_vfs::{BigLockFs, MsgFs, ShardedFs, Vfs};
 
 use crate::env::{KernelHandle, ProcessTable};
@@ -87,7 +87,10 @@ pub struct Os {
 /// Must be called from a simulated task (e.g. under
 /// `Simulation::block_on`).
 pub async fn boot(cfg: BootCfg) -> Os {
-    assert!(!cfg.kernel_cores.is_empty(), "need at least one kernel core");
+    assert!(
+        !cfg.kernel_cores.is_empty(),
+        "need at least one kernel core"
+    );
     // Device + driver on the last kernel core.
     let driver_core = *cfg.kernel_cores.last().expect("non-empty");
     let (hw, irq) = install_disk(cfg.disk_blocks, cfg.disk.clone(), driver_core);
@@ -97,14 +100,25 @@ pub async fn boot(cfg: BootCfg) -> Os {
     let per_shard = (cfg.cache_blocks / shards).max(8);
     let vfs = match cfg.fs {
         FsKind::BigLock => Vfs::Big(
-            BigLockFs::format(disk.clone(), cfg.disk_blocks, cfg.fs_groups, cfg.cache_blocks)
-                .await
-                .expect("mkfs biglock"),
+            BigLockFs::format(
+                disk.clone(),
+                cfg.disk_blocks,
+                cfg.fs_groups,
+                cfg.cache_blocks,
+            )
+            .await
+            .expect("mkfs biglock"),
         ),
         FsKind::Sharded => Vfs::Sharded(
-            ShardedFs::format(disk.clone(), cfg.disk_blocks, cfg.fs_groups, shards, per_shard)
-                .await
-                .expect("mkfs sharded"),
+            ShardedFs::format(
+                disk.clone(),
+                cfg.disk_blocks,
+                cfg.fs_groups,
+                shards,
+                per_shard,
+            )
+            .await
+            .expect("mkfs sharded"),
         ),
         FsKind::Message => Vfs::Msg(
             MsgFs::format(

@@ -7,11 +7,10 @@
 //! messages to kernel cores (the proposal); only its performance
 //! differs.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
-use chanos_csp::request;
-use chanos_sim::{self as sim, CoreId, JoinHandle};
+use chanos_rt::{self as rt, request, CoreId, JoinHandle};
 use chanos_vfs::Stat;
 
 use crate::syscall::{MsgKernel, Syscall, TrapKernel};
@@ -23,7 +22,7 @@ pub enum KernelHandle {
     /// System calls are messages to kernel-core servers.
     Msg(MsgKernel),
     /// System calls trap and run on the caller's core.
-    Trap(Rc<TrapKernel>),
+    Trap(Arc<TrapKernel>),
 }
 
 /// A process's view of the OS.
@@ -207,9 +206,12 @@ impl Env {
             KernelHandle::Trap(k) => k.getpid(self.pid).await,
             KernelHandle::Msg(k) => {
                 let pid = self.pid;
-                request(k.server_for(pid), move |reply| Syscall::GetPid { pid, reply })
-                    .await
-                    .unwrap_or(pid)
+                request(k.server_for(pid), move |reply| Syscall::GetPid {
+                    pid,
+                    reply,
+                })
+                .await
+                .unwrap_or(pid)
             }
         }
     }
@@ -218,7 +220,7 @@ impl Env {
 /// Allocates process ids and launches processes.
 pub struct ProcessTable {
     kernel: KernelHandle,
-    next_pid: Cell<u32>,
+    next_pid: AtomicU32,
 }
 
 impl ProcessTable {
@@ -226,8 +228,16 @@ impl ProcessTable {
     pub fn new(kernel: KernelHandle) -> ProcessTable {
         ProcessTable {
             kernel,
-            next_pid: Cell::new(1),
+            next_pid: AtomicU32::new(1),
         }
+    }
+
+    /// Allocates a pid and returns a standalone [`Env`] for it — a
+    /// "process" driven by the caller rather than a spawned task
+    /// (benches and REPL-style drivers use this).
+    pub fn env(&self) -> Env {
+        let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        Env::new(pid, self.kernel.clone())
     }
 
     /// Launches a "program" (any async closure over its [`Env`]) as a
@@ -235,14 +245,13 @@ impl ProcessTable {
     pub fn spawn_process<F, Fut, T>(&self, core: CoreId, body: F) -> (Pid, JoinHandle<T>)
     where
         F: FnOnce(Env) -> Fut,
-        Fut: std::future::Future<Output = T> + 'static,
-        T: 'static,
+        Fut: std::future::Future<Output = T> + Send + 'static,
+        T: Send + 'static,
     {
-        let pid = Pid(self.next_pid.get());
-        self.next_pid.set(pid.0 + 1);
+        let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
         let env = Env::new(pid, self.kernel.clone());
-        let h = sim::spawn_named_on(&format!("proc{}", pid.0), core, body(env));
-        sim::stat_incr("kernel.processes_spawned");
+        let h = rt::spawn_named_on(&format!("proc{}", pid.0), core, body(env));
+        rt::stat_incr("kernel.processes_spawned");
         (pid, h)
     }
 }

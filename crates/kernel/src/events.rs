@@ -18,8 +18,10 @@
 //!   process `choose!`s between the pending call's reply and the
 //!   event channel. No kernel work is ever discarded.
 
-use chanos_csp::{channel, reply_channel, Capacity, Receiver, ReplyTo, Sender};
-use chanos_sim::{self as sim, delay, sleep, CoreId, Cycles};
+use chanos_rt::{
+    self as rt, channel, delay, reply_channel, sleep, Capacity, CoreId, Cycles, Receiver, ReplyTo,
+    Sender,
+};
 
 /// Workload parameters for the event-delivery experiment.
 #[derive(Debug, Clone)]
@@ -87,12 +89,12 @@ struct Interrupted;
 /// Spawns the event generator: `n` events at exponential gaps.
 fn spawn_event_source(mean_gap: Cycles, n: u64, core: CoreId) -> Receiver<Event> {
     let (tx, rx) = channel::<Event>(Capacity::Unbounded);
-    sim::spawn_daemon_on("event-source", core, async move {
-        let mut rng = sim::with_rng(|r| r.clone());
+    rt::spawn_daemon_on("event-source", core, async move {
+        let mut rng = rt::with_rng(|r| r.clone());
         for _ in 0..n {
             let gap = rng.exp(mean_gap as f64).max(1.0) as Cycles;
             sleep(gap).await;
-            let _ = tx.send(Event { at: sim::now() }).await;
+            let _ = tx.send(Event { at: rt::now() }).await;
         }
     });
     rx
@@ -103,14 +105,14 @@ fn spawn_kernel_server(cfg: &EventExpCfg) -> Sender<OpReq> {
     let (tx, rx) = channel::<OpReq>(Capacity::Unbounded);
     let slices = cfg.op_slices;
     let slice = cfg.slice_cycles;
-    sim::spawn_daemon_on("event-kernel-server", cfg.kernel_core, async move {
+    rt::spawn_daemon_on("event-kernel-server", cfg.kernel_core, async move {
         while let Ok(OpReq { abort, reply }) = rx.recv().await {
             let mut aborted = false;
             for s in 0..slices {
                 delay(slice).await;
                 if abort.try_recv().is_ok() {
                     // Unwind: everything done so far is wasted.
-                    sim::stat_add("events.wasted_kernel_cycles", u64::from(s + 1) * slice);
+                    rt::stat_add("events.wasted_kernel_cycles", u64::from(s + 1) * slice);
                     aborted = true;
                     break;
                 }
@@ -130,7 +132,7 @@ pub async fn run_signal_model(cfg: &EventExpCfg) -> EventExpResult {
     let expected_events =
         (u64::from(cfg.n_ops) * u64::from(cfg.op_slices) * cfg.slice_cycles) / cfg.event_mean_gap;
     let events = spawn_event_source(cfg.event_mean_gap, expected_events.max(1), cfg.kernel_core);
-    let t0 = sim::now();
+    let t0 = rt::now();
     let mut done = 0u32;
     let mut handled = 0u64;
     let mut latency_sum = 0u64;
@@ -157,7 +159,7 @@ pub async fn run_signal_model(cfg: &EventExpCfg) -> EventExpResult {
                 // on, or the choose loop spins).
                 break !matches!(reply_fut.as_mut().await, Ok(Ok(())));
             }
-            chanos_csp::choose! {
+            chanos_rt::choose! {
                 r = reply_fut.as_mut() => {
                     break !matches!(r, Ok(Ok(())));
                 },
@@ -168,7 +170,7 @@ pub async fn run_signal_model(cfg: &EventExpCfg) -> EventExpResult {
                         let _ = abort_tx.try_send(());
                         delay(cfg.handle_cycles).await;
                         handled += 1;
-                        latency_sum += sim::now() - ev.at;
+                        latency_sum += rt::now() - ev.at;
                     }
                     Err(_) => events_open = false,
                 },
@@ -176,13 +178,13 @@ pub async fn run_signal_model(cfg: &EventExpCfg) -> EventExpResult {
         };
         if interrupted {
             restarts += 1;
-            sim::stat_incr("events.signal_restarts");
+            rt::stat_incr("events.signal_restarts");
         } else {
             done += 1;
         }
     }
     EventExpResult {
-        total_time: sim::now() - t0,
+        total_time: rt::now() - t0,
         wasted_kernel_cycles: sim_stat("events.wasted_kernel_cycles"),
         events_handled: handled,
         mean_event_latency: if handled == 0 {
@@ -201,7 +203,7 @@ pub async fn run_channel_model(cfg: &EventExpCfg) -> EventExpResult {
     let expected_events =
         (u64::from(cfg.n_ops) * u64::from(cfg.op_slices) * cfg.slice_cycles) / cfg.event_mean_gap;
     let events = spawn_event_source(cfg.event_mean_gap, expected_events.max(1), cfg.kernel_core);
-    let t0 = sim::now();
+    let t0 = rt::now();
     let mut done = 0u32;
     let mut handled = 0u64;
     let mut latency_sum = 0u64;
@@ -227,7 +229,7 @@ pub async fn run_channel_model(cfg: &EventExpCfg) -> EventExpResult {
                 done += 1;
                 break;
             }
-            chanos_csp::choose! {
+            chanos_rt::choose! {
                 _r = reply_fut.as_mut() => {
                     done += 1;
                     break;
@@ -238,7 +240,7 @@ pub async fn run_channel_model(cfg: &EventExpCfg) -> EventExpResult {
                         // undisturbed on its own core.
                         delay(cfg.handle_cycles).await;
                         handled += 1;
-                        latency_sum += sim::now() - ev.at;
+                        latency_sum += rt::now() - ev.at;
                     }
                     Err(_) => events_open = false,
                 },
@@ -246,7 +248,7 @@ pub async fn run_channel_model(cfg: &EventExpCfg) -> EventExpResult {
         }
     }
     EventExpResult {
-        total_time: sim::now() - t0,
+        total_time: rt::now() - t0,
         wasted_kernel_cycles: sim_stat("events.wasted_kernel_cycles"),
         events_handled: handled,
         mean_event_latency: if handled == 0 {
@@ -259,5 +261,5 @@ pub async fn run_channel_model(cfg: &EventExpCfg) -> EventExpResult {
 }
 
 fn sim_stat(name: &str) -> u64 {
-    sim::stat_get(name)
+    rt::stat_get(name)
 }

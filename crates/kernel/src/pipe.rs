@@ -8,7 +8,7 @@
 //! `pipe(2)`: same byte-stream semantics (ordering, backpressure, EOF
 //! on writer close), zero kernel involvement.
 
-use chanos_csp::{channel_with_bytes, Capacity, Receiver, SendError, Sender};
+use chanos_rt::{channel_with_bytes, Capacity, Receiver, SendError, Sender};
 
 use crate::types::KError;
 

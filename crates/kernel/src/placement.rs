@@ -98,7 +98,9 @@ mod tests {
     fn round_robin_cycles_cores() {
         let mut s = Simulation::new(4);
         s.set_placer(Policy::RoundRobin.build());
-        let hs: Vec<_> = (0..8).map(|_| s.spawn(async { chanos_sim::current_core() })).collect();
+        let hs: Vec<_> = (0..8)
+            .map(|_| s.spawn(async { chanos_sim::current_core() }))
+            .collect();
         s.run_until_idle();
         let cores: Vec<u32> = hs
             .into_iter()
@@ -122,7 +124,9 @@ mod tests {
     fn random_stays_in_range() {
         let mut s = Simulation::new(8);
         s.set_placer(Policy::Random.build());
-        let hs: Vec<_> = (0..50).map(|_| s.spawn(async { chanos_sim::current_core() })).collect();
+        let hs: Vec<_> = (0..50)
+            .map(|_| s.spawn(async { chanos_sim::current_core() }))
+            .collect();
         s.run_until_idle();
         for h in hs {
             assert!(h.try_take().unwrap().unwrap().index() < 8);

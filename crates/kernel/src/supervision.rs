@@ -9,12 +9,12 @@
 //! anyone notices. Experiment E10 measures availability under fault
 //! injection with and without these trees.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use chanos_select::select_all;
-use chanos_sim::{self as sim, CoreId, Cycles, JoinHandle};
+use chanos_rt::{self as rt, select_all, CoreId, Cycles, JoinHandle};
+
+use chanos_sim::plock;
 
 /// When a child should be restarted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +42,7 @@ pub enum Strategy {
 pub struct ChildSpec {
     name: String,
     restart: Restart,
-    start: Box<dyn Fn() -> JoinHandle<()>>,
+    start: Box<dyn Fn() -> JoinHandle<()> + Send>,
 }
 
 impl ChildSpec {
@@ -51,7 +51,7 @@ impl ChildSpec {
     pub fn new(
         name: &str,
         restart: Restart,
-        start: impl Fn() -> JoinHandle<()> + 'static,
+        start: impl Fn() -> JoinHandle<()> + Send + 'static,
     ) -> ChildSpec {
         ChildSpec {
             name: name.to_string(),
@@ -112,6 +112,16 @@ impl Supervisor {
 
     /// Runs the supervision loop until all children are done or the
     /// intensity limit trips.
+    ///
+    /// # Backend support
+    ///
+    /// Restart-on-failure works on both backends (the threads
+    /// backend surfaces child panics through its join handles). The
+    /// *kill-based* strategies — [`Strategy::OneForAll`] and
+    /// [`Strategy::RestForOne`] — additionally need to cancel live
+    /// siblings, which only the simulator can do; on the threads
+    /// backend they would duplicate still-running children, so this
+    /// method refuses them there.
     pub async fn run(self) -> SupervisorExit {
         let Supervisor {
             strategy,
@@ -119,8 +129,14 @@ impl Supervisor {
             window,
             children,
         } = self;
-        let handles: Rc<RefCell<Vec<Option<JoinHandle<()>>>>> =
-            Rc::new(RefCell::new(children.iter().map(|c| Some((c.start)())).collect()));
+        assert!(
+            strategy == Strategy::OneForOne || rt::backend() == rt::Backend::Sim,
+            "kill-based restart strategies ({strategy:?}) require the simulator backend; \
+             real-thread tasks are cooperative and cannot be killed"
+        );
+        let handles: Arc<Mutex<Vec<Option<JoinHandle<()>>>>> = Arc::new(Mutex::new(
+            children.iter().map(|c| Some((c.start)())).collect(),
+        ));
         // If this supervisor is itself killed, take the subtree down.
         let _guard = KillSubtree {
             handles: handles.clone(),
@@ -129,7 +145,7 @@ impl Supervisor {
         loop {
             // Watch every live child.
             let watches: Vec<_> = {
-                let hs = handles.borrow();
+                let hs = plock(&handles);
                 hs.iter()
                     .enumerate()
                     .filter_map(|(i, h)| {
@@ -151,14 +167,14 @@ impl Supervisor {
                 (Restart::Permanent, _) => true,
             };
             if result.is_err() {
-                sim::stat_incr("supervisor.child_failures");
+                rt::stat_incr("supervisor.child_failures");
             }
             if !needs_restart {
-                handles.borrow_mut()[i] = None;
+                plock(&handles)[i] = None;
                 continue;
             }
             // Restart intensity accounting.
-            let now = sim::now();
+            let now = rt::now();
             restarts.push_back(now);
             while restarts
                 .front()
@@ -167,25 +183,25 @@ impl Supervisor {
                 restarts.pop_front();
             }
             if restarts.len() as u32 > max_restarts {
-                sim::stat_incr("supervisor.gave_up");
-                kill_all(&mut handles.borrow_mut());
+                rt::stat_incr("supervisor.gave_up");
+                kill_all(&mut plock(&handles));
                 return SupervisorExit::TooManyRestarts;
             }
-            sim::stat_incr("supervisor.restarts");
-            sim::stat_incr(&format!("supervisor.restart.{}", children[i].name));
+            rt::stat_incr("supervisor.restarts");
+            rt::stat_incr(&format!("supervisor.restart.{}", children[i].name));
             match strategy {
                 Strategy::OneForOne => {
-                    handles.borrow_mut()[i] = Some((children[i].start)());
+                    plock(&handles)[i] = Some((children[i].start)());
                 }
                 Strategy::OneForAll => {
-                    let mut hs = handles.borrow_mut();
+                    let mut hs = plock(&handles);
                     kill_all(&mut hs);
                     for (j, slot) in hs.iter_mut().enumerate() {
                         *slot = Some((children[j].start)());
                     }
                 }
                 Strategy::RestForOne => {
-                    let mut hs = handles.borrow_mut();
+                    let mut hs = plock(&handles);
                     for slot in hs.iter_mut().skip(i) {
                         if let Some(h) = slot.take() {
                             h.abort();
@@ -201,7 +217,7 @@ impl Supervisor {
 
     /// Runs the supervisor as its own named task.
     pub fn spawn(self, name: &str, core: CoreId) -> JoinHandle<SupervisorExit> {
-        sim::spawn_daemon_on(name, core, self.run())
+        rt::spawn_daemon_on(name, core, self.run())
     }
 }
 
@@ -214,13 +230,13 @@ fn kill_all(handles: &mut [Option<JoinHandle<()>>]) {
 }
 
 struct KillSubtree {
-    handles: Rc<RefCell<Vec<Option<JoinHandle<()>>>>>,
+    handles: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
 }
 
 impl Drop for KillSubtree {
     fn drop(&mut self) {
-        if sim::in_sim() {
-            kill_all(&mut self.handles.borrow_mut());
+        if rt::in_runtime() {
+            kill_all(&mut plock(&self.handles));
         }
     }
 }

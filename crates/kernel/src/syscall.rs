@@ -15,10 +15,10 @@
 //! mode.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-use chanos_csp::{channel, Capacity, ReplyTo, Sender};
+use chanos_rt::{self as rt, channel, delay, Capacity, CoreId, Cycles, ReplyTo, Sender};
 use chanos_shmem::SimMutex;
-use chanos_sim::{self as sim, delay, CoreId, Cycles};
 use chanos_vfs::{FsError, Stat, Vfs};
 
 use crate::types::{Fd, KError, Pid};
@@ -167,7 +167,7 @@ impl ServerState {
 
     async fn handle(&mut self, call: Syscall) {
         delay(self.costs.syscall_cpu).await;
-        sim::stat_incr("kernel.syscalls");
+        rt::stat_incr("kernel.syscalls");
         match call {
             Syscall::Open { pid, path, reply } => {
                 let out = match self.vfs.lookup(&path).await {
@@ -191,7 +191,12 @@ impl ServerState {
                 };
                 let _ = reply.send(out).await;
             }
-            Syscall::Read { pid, fd, len, reply } => {
+            Syscall::Read {
+                pid,
+                fd,
+                len,
+                reply,
+            } => {
                 let out = match self.files.get(&(pid, fd)).cloned() {
                     None => Err(KError::BadFd),
                     Some(of) => match self.vfs.read(of.ino, of.offset, len).await {
@@ -207,7 +212,12 @@ impl ServerState {
                 };
                 let _ = reply.send(out).await;
             }
-            Syscall::Write { pid, fd, data, reply } => {
+            Syscall::Write {
+                pid,
+                fd,
+                data,
+                reply,
+            } => {
                 let out = match self.files.get(&(pid, fd)).cloned() {
                     None => Err(KError::BadFd),
                     Some(of) => match self.vfs.write(of.ino, of.offset, &data).await {
@@ -264,7 +274,7 @@ impl ServerState {
 /// cores.
 #[derive(Clone)]
 pub struct MsgKernel {
-    servers: std::rc::Rc<Vec<Sender<Syscall>>>,
+    servers: Arc<Vec<Sender<Syscall>>>,
 }
 
 impl MsgKernel {
@@ -279,7 +289,7 @@ impl MsgKernel {
             let (tx, rx) = channel::<Syscall>(Capacity::Unbounded);
             let vfs = vfs.clone();
             let costs = costs.clone();
-            sim::spawn_daemon_on(&format!("syscall-server{i}"), core, async move {
+            rt::spawn_daemon_on(&format!("syscall-server{i}"), core, async move {
                 let mut st = ServerState {
                     vfs,
                     costs,
@@ -293,7 +303,7 @@ impl MsgKernel {
             servers.push(tx);
         }
         MsgKernel {
-            servers: std::rc::Rc::new(servers),
+            servers: Arc::new(servers),
         }
     }
 
@@ -310,24 +320,25 @@ pub struct TrapKernel {
     costs: KernelCosts,
     // One global fd-table lock — the classic shared kernel structure.
     files: SimMutex<HashMap<(Pid, Fd), OpenFile>>,
-    next_fd: std::cell::RefCell<HashMap<Pid, u32>>,
+    next_fd: Mutex<HashMap<Pid, u32>>,
 }
 
 impl TrapKernel {
-    /// Creates the trap kernel. Must be called inside the simulation.
-    pub fn new(vfs: Vfs, costs: KernelCosts) -> std::rc::Rc<TrapKernel> {
-        std::rc::Rc::new(TrapKernel {
+    /// Creates the trap kernel. Must be called inside the simulation
+    /// (its locks model coherence costs, which only exist there).
+    pub fn new(vfs: Vfs, costs: KernelCosts) -> Arc<TrapKernel> {
+        Arc::new(TrapKernel {
             vfs,
             costs,
             files: SimMutex::new(HashMap::new()),
-            next_fd: std::cell::RefCell::new(HashMap::new()),
+            next_fd: Mutex::new(HashMap::new()),
         })
     }
 
     async fn enter(&self) {
         delay(self.costs.mode_switch).await;
         delay(self.costs.syscall_cpu).await;
-        sim::stat_incr("kernel.syscalls");
+        rt::stat_incr("kernel.syscalls");
     }
 
     async fn exit(&self) {
@@ -337,7 +348,7 @@ impl TrapKernel {
     }
 
     fn alloc_fd(&self, pid: Pid) -> Fd {
-        let mut t = self.next_fd.borrow_mut();
+        let mut t = self.next_fd.lock().unwrap_or_else(|e| e.into_inner());
         let n = t.entry(pid).or_insert(3);
         let fd = Fd(*n);
         *n += 1;

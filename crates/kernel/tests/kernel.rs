@@ -5,6 +5,8 @@ use chanos_kernel::{
     boot, run_channel_model, run_signal_model, BootCfg, ChildSpec, EventExpCfg, FsKind, KError,
     KernelKind, Restart, Strategy, Supervisor, SupervisorExit,
 };
+use std::sync::atomic::Ordering;
+
 use chanos_sim::{Config, CoreId, Simulation};
 
 fn sim(cores: usize) -> Simulation {
@@ -39,10 +41,7 @@ fn boot_and_hello_world_on_every_configuration() {
                     h.join().await.unwrap()
                 })
                 .unwrap();
-            assert_eq!(
-                got, b"hello from userspace",
-                "kernel={kernel:?} fs={fs:?}"
-            );
+            assert_eq!(got, b"hello from userspace", "kernel={kernel:?} fs={fs:?}");
         }
     }
 }
@@ -110,9 +109,11 @@ fn processes_have_isolated_fd_tables() {
             fd
         });
         let fd_of_a = h1.join().await.unwrap();
-        let (_p2, h2) = os.procs.spawn_process(CoreId(5), move |env| async move {
-            env.read(fd_of_a, 10).await
-        });
+        let (_p2, h2) =
+            os.procs.spawn_process(
+                CoreId(5),
+                move |env| async move { env.read(fd_of_a, 10).await },
+            );
         assert_eq!(h2.join().await.unwrap(), Err(KError::BadFd));
     })
     .unwrap();
@@ -160,15 +161,14 @@ fn supervisor_restarts_crashing_child() {
     let mut s = sim(2);
     let (exit, runs) = s
         .block_on(async {
-            let runs = std::rc::Rc::new(std::cell::Cell::new(0u32));
+            let runs = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
             let r2 = runs.clone();
             let sup = Supervisor::new(Strategy::OneForOne)
                 .intensity(10, 1_000_000)
                 .child(ChildSpec::new("flaky", Restart::Transient, move || {
                     let r = r2.clone();
-                    chanos_sim::spawn_named("flaky", async move {
-                        let n = r.get();
-                        r.set(n + 1);
+                    chanos_rt::spawn_named("flaky", async move {
+                        let n = r.fetch_add(1, Ordering::Relaxed);
                         chanos_sim::delay(100).await;
                         if n < 3 {
                             panic!("crash #{n}");
@@ -176,7 +176,7 @@ fn supervisor_restarts_crashing_child() {
                     })
                 }));
             let exit = sup.run().await;
-            (exit, runs.get())
+            (exit, runs.load(Ordering::Relaxed))
         })
         .unwrap();
     assert_eq!(exit, SupervisorExit::AllChildrenDone);
@@ -192,7 +192,7 @@ fn supervisor_gives_up_after_intensity_limit() {
             let sup = Supervisor::new(Strategy::OneForOne)
                 .intensity(3, 1_000_000)
                 .child(ChildSpec::new("hopeless", Restart::Permanent, || {
-                    chanos_sim::spawn_named("hopeless", async {
+                    chanos_rt::spawn_named("hopeless", async {
                         chanos_sim::delay(10).await;
                         panic!("always");
                     })
@@ -208,23 +208,22 @@ fn one_for_all_restarts_siblings() {
     let mut s = sim(2);
     let (a_runs, b_runs) = s
         .block_on(async {
-            let a = std::rc::Rc::new(std::cell::Cell::new(0u32));
-            let b = std::rc::Rc::new(std::cell::Cell::new(0u32));
+            let a = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+            let b = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
             let (a2, b2) = (a.clone(), b.clone());
             let sup = Supervisor::new(Strategy::OneForAll)
                 .intensity(10, 10_000_000)
                 .child(ChildSpec::new("stable", Restart::Transient, move || {
                     let a = a2.clone();
-                    chanos_sim::spawn_named("stable", async move {
-                        a.set(a.get() + 1);
+                    chanos_rt::spawn_named("stable", async move {
+                        a.fetch_add(1, Ordering::Relaxed);
                         chanos_sim::sleep(100_000).await;
                     })
                 }))
                 .child(ChildSpec::new("crasher", Restart::Transient, move || {
                     let b = b2.clone();
-                    chanos_sim::spawn_named("crasher", async move {
-                        let n = b.get();
-                        b.set(n + 1);
+                    chanos_rt::spawn_named("crasher", async move {
+                        let n = b.fetch_add(1, Ordering::Relaxed);
                         chanos_sim::delay(500).await;
                         if n == 0 {
                             panic!("first run dies");
@@ -232,7 +231,7 @@ fn one_for_all_restarts_siblings() {
                     })
                 }));
             let _ = sup.run().await;
-            (a.get(), b.get())
+            (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed))
         })
         .unwrap();
     assert_eq!(b_runs, 2, "crasher restarted once");
@@ -244,22 +243,22 @@ fn temporary_children_are_never_restarted() {
     let mut s = sim(2);
     let runs = s
         .block_on(async {
-            let runs = std::rc::Rc::new(std::cell::Cell::new(0u32));
+            let runs = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
             let r2 = runs.clone();
             let sup = Supervisor::new(Strategy::OneForOne).child(ChildSpec::new(
                 "once",
                 Restart::Temporary,
                 move || {
                     let r = r2.clone();
-                    chanos_sim::spawn_named("once", async move {
-                        r.set(r.get() + 1);
+                    chanos_rt::spawn_named("once", async move {
+                        r.fetch_add(1, Ordering::Relaxed);
                         panic!("dies");
                     })
                 },
             ));
             let exit = sup.run().await;
             assert_eq!(exit, SupervisorExit::AllChildrenDone);
-            runs.get()
+            runs.load(Ordering::Relaxed)
         })
         .unwrap();
     assert_eq!(runs, 1);
@@ -273,15 +272,14 @@ fn nested_supervision_tree_contains_failure() {
             // Inner supervisor with a flaky child; outer supervises
             // the inner as a single child.
             let inner_factory = || {
-                chanos_sim::spawn_named("inner-sup", async {
-                    let count = std::rc::Rc::new(std::cell::Cell::new(0u32));
+                chanos_rt::spawn_named("inner-sup", async {
+                    let count = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
                     let sup = Supervisor::new(Strategy::OneForOne)
                         .intensity(5, 10_000_000)
                         .child(ChildSpec::new("worker", Restart::Transient, move || {
                             let c = count.clone();
-                            chanos_sim::spawn_named("worker", async move {
-                                let n = c.get();
-                                c.set(n + 1);
+                            chanos_rt::spawn_named("worker", async move {
+                                let n = c.fetch_add(1, Ordering::Relaxed);
                                 chanos_sim::delay(50).await;
                                 if n < 2 {
                                     panic!("flaky");
@@ -305,12 +303,19 @@ fn channel_events_waste_nothing_signals_waste_plenty() {
     let cfg = EventExpCfg::default();
     let mut s1 = sim(3);
     let c1 = cfg.clone();
-    let signal = s1.block_on(async move { run_signal_model(&c1).await }).unwrap();
+    let signal = s1
+        .block_on(async move { run_signal_model(&c1).await })
+        .unwrap();
     let mut s2 = sim(3);
     let c2 = cfg.clone();
-    let channel = s2.block_on(async move { run_channel_model(&c2).await }).unwrap();
+    let channel = s2
+        .block_on(async move { run_channel_model(&c2).await })
+        .unwrap();
 
-    assert_eq!(channel.wasted_kernel_cycles, 0, "channels never discard work");
+    assert_eq!(
+        channel.wasted_kernel_cycles, 0,
+        "channels never discard work"
+    );
     assert!(
         signal.wasted_kernel_cycles > 0,
         "signals must abandon in-flight kernel work"
@@ -385,4 +390,61 @@ fn trap_kernel_charges_mode_switches() {
         trap > msg,
         "null syscall: trap ({trap}) should cost more than message ({msg})"
     );
+}
+
+#[test]
+fn supervisor_restarts_crashing_child_on_real_threads() {
+    // The same OneForOne supervision code, on the parchan backend:
+    // child panics are surfaced through join handles, so
+    // restart-on-failure works on real hardware too.
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    let rt = chanos_parchan::Runtime::new(2);
+    let (exit, runs) = rt.block_on(async {
+        let runs = Arc::new(AtomicU32::new(0));
+        let r2 = runs.clone();
+        let sup = Supervisor::new(Strategy::OneForOne)
+            .intensity(10, u64::MAX)
+            .child(ChildSpec::new("flaky", Restart::Transient, move || {
+                let r = r2.clone();
+                chanos_rt::spawn_named("flaky", async move {
+                    let n = r.fetch_add(1, Ordering::Relaxed);
+                    chanos_rt::delay(100).await;
+                    if n < 3 {
+                        panic!("crash #{n}");
+                    }
+                })
+            }));
+        let exit = sup.run().await;
+        (exit, runs.load(Ordering::Relaxed))
+    });
+    rt.shutdown();
+    assert_eq!(exit, SupervisorExit::AllChildrenDone);
+    assert_eq!(runs, 4, "three crashes then one clean run");
+}
+
+#[test]
+fn kill_based_strategies_refuse_the_threads_backend() {
+    // OneForAll must kill live siblings, which cooperative thread
+    // tasks cannot do; the supervisor fails loudly instead of
+    // silently duplicating children.
+    let rt = chanos_parchan::Runtime::new(2);
+    let outcome = rt.block_on(async {
+        let sup = Supervisor::new(Strategy::OneForAll).child(ChildSpec::new(
+            "child",
+            Restart::Temporary,
+            || chanos_rt::spawn_named("child", async {}),
+        ));
+        chanos_rt::spawn(async move { sup.run().await })
+            .join()
+            .await
+    });
+    rt.shutdown();
+    match outcome {
+        Err(chanos_rt::JoinError::Panicked(msg)) => {
+            assert!(msg.contains("simulator backend"), "unexpected panic: {msg}")
+        }
+        other => panic!("expected a loud refusal, got {other:?}"),
+    }
 }

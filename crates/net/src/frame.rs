@@ -203,12 +203,24 @@ impl Frame {
         let seq = word(&mut input)?;
         let ack = word(&mut input)?;
         let len = word(&mut input)? as usize;
-        let payload = take(&mut input, len).map_err(|_| FrameError::Truncated)?.to_vec();
+        let payload = take(&mut input, len)
+            .map_err(|_| FrameError::Truncated)?
+            .to_vec();
         if !input.is_empty() {
             return Err(FrameError::Malformed("trailing bytes"));
         }
         Ok(Frame {
-            header: FrameHeader { kind, src, dst, src_port, dst_port, conn, seq, ack, more },
+            header: FrameHeader {
+                kind,
+                src,
+                dst,
+                src_port,
+                dst_port,
+                conn,
+                seq,
+                ack,
+                more,
+            },
             payload,
         })
     }
@@ -253,9 +265,13 @@ mod tests {
 
     #[test]
     fn every_kind_roundtrips() {
-        for kind in
-            [FrameKind::Syn, FrameKind::SynAck, FrameKind::Data, FrameKind::Ack, FrameKind::Fin]
-        {
+        for kind in [
+            FrameKind::Syn,
+            FrameKind::SynAck,
+            FrameKind::Data,
+            FrameKind::Ack,
+            FrameKind::Fin,
+        ] {
             let f = Frame::control(kind, NodeId(1), NodeId(2));
             assert_eq!(Frame::decode(&f.encode()).unwrap().header.kind, kind);
         }
@@ -293,6 +309,9 @@ mod tests {
         let sum = super::checksum(&bytes[..body_len]);
         let trailer = bytes.len() - TRAILER_LEN;
         bytes[trailer..].copy_from_slice(&sum.to_le_bytes());
-        assert_eq!(Frame::decode(&bytes), Err(FrameError::Malformed("frame kind")));
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::Malformed("frame kind"))
+        );
     }
 }

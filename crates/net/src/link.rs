@@ -29,14 +29,23 @@ impl Default for LinkParams {
     fn default() -> Self {
         // ~20k cycles ≈ a few microseconds at GHz clocks: datacenter
         // fabric, versus ~10²-cycle on-die channel hops.
-        LinkParams { latency: 20_000, per_byte: 4, loss: 0.0, jitter: 0 }
+        LinkParams {
+            latency: 20_000,
+            per_byte: 4,
+            loss: 0.0,
+            jitter: 0,
+        }
     }
 }
 
 impl LinkParams {
     /// A lossy, jittery link for protocol torture tests.
     pub fn lossy(loss: f64) -> LinkParams {
-        LinkParams { loss, jitter: 5_000, ..LinkParams::default() }
+        LinkParams {
+            loss,
+            jitter: 5_000,
+            ..LinkParams::default()
+        }
     }
 
     /// Transit time for a frame of `wire_len` bytes, before jitter.
@@ -51,7 +60,12 @@ mod tests {
 
     #[test]
     fn transit_scales_with_size() {
-        let p = LinkParams { latency: 100, per_byte: 2, loss: 0.0, jitter: 0 };
+        let p = LinkParams {
+            latency: 100,
+            per_byte: 2,
+            loss: 0.0,
+            jitter: 0,
+        };
         assert_eq!(p.transit(0), 100);
         assert_eq!(p.transit(10), 120);
     }

@@ -13,16 +13,17 @@
 //! frames — reliability, ordering, connections — lives in
 //! [`rdt`](crate::rdt).
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use chanos_csp::{channel, Capacity, Receiver, Sender};
 use chanos_sim as sim;
 
 use crate::frame::{Frame, NodeId};
 use crate::link::LinkParams;
+
+use chanos_sim::plock;
 
 /// Error type for fabric and transport operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +64,10 @@ pub struct ClusterParams {
 
 impl Default for ClusterParams {
     fn default() -> Self {
-        ClusterParams { nodes: 2, link: LinkParams::default() }
+        ClusterParams {
+            nodes: 2,
+            link: LinkParams::default(),
+        }
     }
 }
 
@@ -89,17 +93,17 @@ impl Cluster {
         for n in 0..params.nodes {
             let (eg_tx, eg_rx) = channel::<Frame>(Capacity::Unbounded);
             egress_txs.push(eg_tx);
-            let ports = Rc::new(RefCell::new(PortTable {
+            let ports = Arc::new(Mutex::new(PortTable {
                 map: BTreeMap::new(),
                 next_ephemeral: EPHEMERAL_BASE,
             }));
             // The demultiplexer: this node's share of the "hardware
             // support for receiving messages" §4 supposes.
-            let demux_ports = Rc::clone(&ports);
+            let demux_ports = Arc::clone(&ports);
             sim::spawn_daemon_on(&format!("net-demux-{n}"), dev, async move {
                 while let Ok(frame) = eg_rx.recv().await {
                     let dst_port = frame.header.dst_port;
-                    let target = demux_ports.borrow().map.get(&dst_port).cloned();
+                    let target = plock(&demux_ports).map.get(&dst_port).cloned();
                     match target {
                         Some(tx) => {
                             if tx.send(frame).await.is_err() {
@@ -112,7 +116,11 @@ impl Cluster {
                     }
                 }
             });
-            ifaces.push(Iface { node: NodeId(n), to_switch: ingress_tx.clone(), ports });
+            ifaces.push(Iface {
+                node: NodeId(n),
+                to_switch: ingress_tx.clone(),
+                ports,
+            });
         }
 
         // The switch: prices every frame, loses and delays per the
@@ -185,7 +193,7 @@ impl Cluster {
 pub struct Iface {
     node: NodeId,
     to_switch: Sender<Frame>,
-    ports: Rc<RefCell<PortTable>>,
+    ports: Arc<Mutex<PortTable>>,
 }
 
 impl Iface {
@@ -200,12 +208,15 @@ impl Iface {
     /// it.
     pub async fn send_frame(&self, frame: Frame) -> Result<(), NetError> {
         sim::stat_incr("net.frames_sent");
-        self.to_switch.send(frame).await.map_err(|_| NetError::Closed)
+        self.to_switch
+            .send(frame)
+            .await
+            .map_err(|_| NetError::Closed)
     }
 
     /// Binds `port`, returning the stream of frames addressed to it.
     pub fn bind(&self, port: u16) -> Result<Receiver<Frame>, NetError> {
-        let mut t = self.ports.borrow_mut();
+        let mut t = plock(&self.ports);
         if t.map.contains_key(&port) {
             return Err(NetError::PortInUse(port));
         }
@@ -218,7 +229,7 @@ impl Iface {
     pub fn bind_ephemeral(&self) -> (u16, Receiver<Frame>) {
         loop {
             let candidate = {
-                let mut t = self.ports.borrow_mut();
+                let mut t = plock(&self.ports);
                 let c = t.next_ephemeral;
                 t.next_ephemeral = t.next_ephemeral.checked_add(1).unwrap_or(EPHEMERAL_BASE);
                 c
@@ -231,7 +242,7 @@ impl Iface {
 
     /// Releases a bound port.
     pub fn unbind(&self, port: u16) {
-        self.ports.borrow_mut().map.remove(&port);
+        plock(&self.ports).map.remove(&port);
     }
 }
 
@@ -261,7 +272,9 @@ mod tests {
             let cluster = Cluster::new(ClusterParams::default());
             let rx = cluster.iface(NodeId(1)).bind(80).unwrap();
             let a = cluster.iface(NodeId(0));
-            a.send_frame(data_frame(0, 1, 80, vec![9, 9])).await.unwrap();
+            a.send_frame(data_frame(0, 1, 80, vec![9, 9]))
+                .await
+                .unwrap();
             let got = rx.recv().await.unwrap();
             assert_eq!(got.payload, vec![9, 9]);
             assert_eq!(got.header.src, NodeId(0));
@@ -277,10 +290,15 @@ mod tests {
             let rx = cluster.iface(NodeId(1)).bind(80).unwrap();
             let a = cluster.iface(NodeId(0));
             let t0 = sim::now();
-            a.send_frame(data_frame(0, 1, 80, vec![0; 64])).await.unwrap();
+            a.send_frame(data_frame(0, 1, 80, vec![0; 64]))
+                .await
+                .unwrap();
             rx.recv().await.unwrap();
             let elapsed = sim::now() - t0;
-            assert!(elapsed >= 20_000, "cluster transit took only {elapsed} cycles");
+            assert!(
+                elapsed >= 20_000,
+                "cluster transit took only {elapsed} cycles"
+            );
         })
         .unwrap();
     }
@@ -303,7 +321,10 @@ mod tests {
     fn bad_destination_counted() {
         let mut s = Simulation::new(4);
         s.block_on(async {
-            let cluster = Cluster::new(ClusterParams { nodes: 2, ..Default::default() });
+            let cluster = Cluster::new(ClusterParams {
+                nodes: 2,
+                ..Default::default()
+            });
             let a = cluster.iface(NodeId(0));
             a.send_frame(data_frame(0, 9, 80, vec![])).await.unwrap();
             sim::sleep(100_000).await;
@@ -316,13 +337,18 @@ mod tests {
     fn loss_drops_roughly_the_configured_fraction() {
         let mut s = Simulation::new(4);
         s.block_on(async {
-            let link = LinkParams { loss: 0.3, ..Default::default() };
+            let link = LinkParams {
+                loss: 0.3,
+                ..Default::default()
+            };
             let cluster = Cluster::new(ClusterParams { nodes: 2, link });
             let rx = cluster.iface(NodeId(1)).bind(80).unwrap();
             let a = cluster.iface(NodeId(0));
             let total = 1000u32;
             for _ in 0..total {
-                a.send_frame(data_frame(0, 1, 80, vec![0; 16])).await.unwrap();
+                a.send_frame(data_frame(0, 1, 80, vec![0; 16]))
+                    .await
+                    .unwrap();
             }
             sim::sleep(1_000_000).await;
             let mut got = 0u32;
@@ -365,7 +391,10 @@ mod tests {
             ..Default::default()
         });
         s.block_on(async {
-            let link = LinkParams { jitter: 50_000, ..Default::default() };
+            let link = LinkParams {
+                jitter: 50_000,
+                ..Default::default()
+            };
             let cluster = Cluster::new(ClusterParams { nodes: 2, link });
             let rx = cluster.iface(NodeId(1)).bind(80).unwrap();
             let a = cluster.iface(NodeId(0));

@@ -22,9 +22,10 @@
 //! Sequence numbers are 32-bit and do not wrap: a connection carries
 //! at most 2³²−1 frames, far beyond any simulation here.
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::Mutex;
 
 use chanos_csp::{after, channel, choose, Capacity, Receiver, Sender};
 use chanos_sim::{self as sim, Cycles};
@@ -112,7 +113,7 @@ fn next_conn_id() -> u32 {
 /// Dropping the `Conn` (or calling [`finish`](Conn::finish)) queues a
 /// Fin; already-queued messages are still delivered reliably.
 pub struct Conn {
-    out: RefCell<Option<Sender<Vec<u8>>>>,
+    out: Mutex<Option<Sender<Vec<u8>>>>,
     in_rx: Receiver<Vec<u8>>,
     peer: (NodeId, u16),
     local_port: u16,
@@ -123,7 +124,7 @@ impl Conn {
     ///
     /// Applies backpressure when the send window is full.
     pub async fn send(&self, msg: Vec<u8>) -> Result<(), NetError> {
-        let tx = self.out.borrow().clone();
+        let tx = self.out.lock().unwrap_or_else(|e| e.into_inner()).clone();
         match tx {
             Some(tx) => tx.send(msg).await.map_err(|_| NetError::Closed),
             None => Err(NetError::Closed),
@@ -138,7 +139,7 @@ impl Conn {
 
     /// Half-close: no more sends, but receiving continues.
     pub fn finish(&self) {
-        self.out.borrow_mut().take();
+        self.out.lock().unwrap_or_else(|e| e.into_inner()).take();
     }
 
     /// Peer node and port.
@@ -154,7 +155,11 @@ impl Conn {
 
 impl fmt::Debug for Conn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Conn(:{} -> {}:{})", self.local_port, self.peer.0, self.peer.1)
+        write!(
+            f,
+            "Conn(:{} -> {}:{})",
+            self.local_port, self.peer.0, self.peer.1
+        )
     }
 }
 
@@ -419,8 +424,7 @@ impl ConnState {
                 if frame.header.seq == self.expected {
                     self.accept_in_order(frame).await;
                     // Drain anything buffered that is now in order.
-                    loop {
-                        let Some(next) = self.rx_held.remove(&self.expected) else { break };
+                    while let Some(next) = self.rx_held.remove(&self.expected) {
                         self.accept_in_order(next).await;
                     }
                 } else if frame.header.seq > self.expected {
@@ -506,7 +510,9 @@ impl ConnState {
     /// Moves frames from `unsent` into the window and transmits them.
     async fn pump(&mut self) -> bool {
         while self.inflight.len() < self.params.window {
-            let Some(f) = self.unsent.pop_front() else { break };
+            let Some(f) = self.unsent.pop_front() else {
+                break;
+            };
             sim::stat_incr("net.data_sent");
             if self.iface.send_frame(f.clone()).await.is_err() {
                 return false;
@@ -618,9 +624,7 @@ fn spawn_conn(
                     _ = after(remaining) => None,
                 };
                 match again {
-                    Some(f)
-                        if matches!(f.header.kind, FrameKind::Data | FrameKind::Fin) =>
-                    {
+                    Some(f) if matches!(f.header.kind, FrameKind::Data | FrameKind::Fin) => {
                         st.send_ack().await;
                     }
                     Some(_) => {}
@@ -631,7 +635,7 @@ fn spawn_conn(
         st.iface.unbind(st.local_port);
     });
     Conn {
-        out: RefCell::new(Some(app_out_tx)),
+        out: Mutex::new(Some(app_out_tx)),
         in_rx: app_in_rx,
         peer,
         local_port,
@@ -651,7 +655,11 @@ mod tests {
             seed,
             ..Default::default()
         });
-        let link = if loss > 0.0 { LinkParams::lossy(loss) } else { LinkParams::default() };
+        let link = if loss > 0.0 {
+            LinkParams::lossy(loss)
+        } else {
+            LinkParams::default()
+        };
         (sim, ClusterParams { nodes: 2, link })
     }
 
@@ -692,7 +700,11 @@ mod tests {
 
     #[test]
     fn echo_over_perfect_link() {
-        run_echo(0.0, 1, vec![b"hello".to_vec(), b"world".to_vec(), vec![], vec![7; 100]]);
+        run_echo(
+            0.0,
+            1,
+            vec![b"hello".to_vec(), b"world".to_vec(), vec![], vec![7; 100]],
+        );
     }
 
     #[test]
@@ -711,7 +723,10 @@ mod tests {
         let (mut s, params) = cluster(0.2, 31);
         s.block_on(async move {
             let cl = Cluster::new(params);
-            let rdt = RdtParams { mode: RdtMode::GoBackN, ..Default::default() };
+            let rdt = RdtParams {
+                mode: RdtMode::GoBackN,
+                ..Default::default()
+            };
             let listener = listen(&cl.iface(NodeId(1)), 80, rdt).unwrap();
             let sink = sim::spawn(async move {
                 let conn = listener.accept().await.unwrap();
@@ -721,7 +736,9 @@ mod tests {
                 }
                 got
             });
-            let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, rdt).await.unwrap();
+            let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, rdt)
+                .await
+                .unwrap();
             for i in 0..20u8 {
                 conn.send(vec![i; 500]).await.unwrap();
             }
@@ -752,7 +769,9 @@ mod tests {
                 }
                 n
             });
-            let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, rdt).await.unwrap();
+            let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, rdt)
+                .await
+                .unwrap();
             for i in 0..40u8 {
                 conn.send(vec![i; 500]).await.unwrap();
             }
@@ -783,7 +802,10 @@ mod tests {
             // enough that the handshake (retried 8 times) almost
             // surely succeeds but 20 data frames + 20 retries do not:
             // loss=0.93, retries=3.
-            let link = LinkParams { loss: 0.93, ..Default::default() };
+            let link = LinkParams {
+                loss: 0.93,
+                ..Default::default()
+            };
             let cl = Cluster::new(ClusterParams { nodes: 2, link });
             let rdt = RdtParams {
                 rto: 20_000,
@@ -794,9 +816,7 @@ mod tests {
             let listener = listen(&cl.iface(NodeId(1)), 80, rdt).unwrap();
             sim::spawn_daemon("blackhole-sink", async move {
                 while let Ok(conn) = listener.accept().await {
-                    sim::spawn_daemon("bh-conn", async move {
-                        while conn.recv().await.is_ok() {}
-                    });
+                    sim::spawn_daemon("bh-conn", async move { while conn.recv().await.is_ok() {} });
                 }
             });
             let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, rdt)
@@ -824,7 +844,11 @@ mod tests {
         let (mut s, params) = cluster(0.0, 34);
         s.block_on(async move {
             let cl = Cluster::new(params);
-            let fast = RdtParams { rto: 10_000, syn_retries: 2, ..Default::default() };
+            let fast = RdtParams {
+                rto: 10_000,
+                syn_retries: 2,
+                ..Default::default()
+            };
             let listener = listen(&cl.iface(NodeId(1)), 80, fast).unwrap();
             drop(listener);
             // The listener daemon exits once its accept queue is
@@ -853,9 +877,10 @@ mod tests {
             let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
             sim::spawn_daemon("sink", async move {
                 while let Ok(conn) = listener.accept().await {
-                    sim::spawn_daemon("sink-conn", async move {
-                        while conn.recv().await.is_ok() {}
-                    });
+                    sim::spawn_daemon(
+                        "sink-conn",
+                        async move { while conn.recv().await.is_ok() {} },
+                    );
                 }
             });
             let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, RdtParams::default())
@@ -880,8 +905,14 @@ mod tests {
         let (mut s, params) = cluster(0.0, 6);
         s.block_on(async move {
             let cl = Cluster::new(params);
-            let fast = RdtParams { rto: 10_000, syn_retries: 2, ..Default::default() };
-            let err = connect(&cl.iface(NodeId(0)), NodeId(1), 4242, fast).await.unwrap_err();
+            let fast = RdtParams {
+                rto: 10_000,
+                syn_retries: 2,
+                ..Default::default()
+            };
+            let err = connect(&cl.iface(NodeId(0)), NodeId(1), 4242, fast)
+                .await
+                .unwrap_err();
             assert_eq!(err, ConnectError::Timeout);
         })
         .unwrap();
@@ -911,8 +942,9 @@ mod tests {
             for i in 0..8u8 {
                 let iface = iface.clone();
                 handles.push(sim::spawn(async move {
-                    let conn =
-                        connect(&iface, NodeId(1), 80, RdtParams::default()).await.unwrap();
+                    let conn = connect(&iface, NodeId(1), 80, RdtParams::default())
+                        .await
+                        .unwrap();
                     conn.send(vec![i]).await.unwrap();
                     let reply = conn.recv().await.unwrap();
                     assert_eq!(reply, vec![i, 0xAA]);
@@ -929,7 +961,10 @@ mod tests {
     fn ordering_preserved_under_jitter_reordering() {
         let (mut s, _) = cluster(0.0, 8);
         s.block_on(async move {
-            let link = LinkParams { jitter: 60_000, ..Default::default() };
+            let link = LinkParams {
+                jitter: 60_000,
+                ..Default::default()
+            };
             let cl = Cluster::new(ClusterParams { nodes: 2, link });
             let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
             let collect = sim::spawn(async move {
@@ -948,7 +983,11 @@ mod tests {
             }
             conn.finish();
             let got = collect.join().await.unwrap();
-            assert_eq!(got, (0..50).collect::<Vec<_>>(), "delivery must be in order");
+            assert_eq!(
+                got,
+                (0..50).collect::<Vec<_>>(),
+                "delivery must be in order"
+            );
         })
         .unwrap();
     }

@@ -31,14 +31,20 @@ impl Default for SerdeCost {
     fn default() -> Self {
         // A few hundred cycles of dispatch plus ~1 cycle/byte of
         // copying: the "memory bandwidth overhead" of §3.
-        SerdeCost { per_msg: 300, per_byte: 1 }
+        SerdeCost {
+            per_msg: 300,
+            per_byte: 1,
+        }
     }
 }
 
 impl SerdeCost {
     /// Zero-cost marshalling, for isolating protocol overheads in
     /// experiments.
-    pub const FREE: SerdeCost = SerdeCost { per_msg: 0, per_byte: 0 };
+    pub const FREE: SerdeCost = SerdeCost {
+        per_msg: 0,
+        per_byte: 0,
+    };
 
     /// Cycles to (en/de)code `len` bytes.
     pub fn cost(&self, len: usize) -> Cycles {
@@ -76,7 +82,11 @@ pub struct RemoteSender<T: Wire> {
 impl<T: Wire> RemoteSender<T> {
     /// Wraps the sending direction of `conn`.
     pub fn new(conn: Conn, cost: SerdeCost) -> RemoteSender<T> {
-        RemoteSender { conn, cost, _marker: PhantomData }
+        RemoteSender {
+            conn,
+            cost,
+            _marker: PhantomData,
+        }
     }
 
     /// Encodes and ships one value.
@@ -103,12 +113,20 @@ pub struct RemoteReceiver<T: Wire> {
 impl<T: Wire> RemoteReceiver<T> {
     /// Wraps the receiving direction of `conn`.
     pub fn new(conn: Conn, cost: SerdeCost) -> RemoteReceiver<T> {
-        RemoteReceiver { conn, cost, _marker: PhantomData }
+        RemoteReceiver {
+            conn,
+            cost,
+            _marker: PhantomData,
+        }
     }
 
     /// Receives and decodes the next value.
     pub async fn recv(&self) -> Result<T, RemoteRecvError> {
-        let bytes = self.conn.recv().await.map_err(|_| RemoteRecvError::Closed)?;
+        let bytes = self
+            .conn
+            .recv()
+            .await
+            .map_err(|_| RemoteRecvError::Closed)?;
         sim::delay(self.cost.cost(bytes.len())).await;
         T::from_bytes(&bytes).map_err(RemoteRecvError::Decode)
     }
@@ -168,13 +186,19 @@ mod tests {
             let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, RdtParams::default())
                 .await
                 .unwrap();
-            let cost = SerdeCost { per_msg: 1_000, per_byte: 10 };
+            let cost = SerdeCost {
+                per_msg: 1_000,
+                per_byte: 10,
+            };
             let tx = RemoteSender::<Vec<u8>>::new(conn, cost);
             let t0 = sim::now();
             tx.send(&vec![0u8; 100]).await.unwrap();
             let elapsed = sim::now() - t0;
             // encoded_len = 4 + 100; cost = 1000 + 10*104 = 2040.
-            assert!(elapsed >= 2_040, "send returned after only {elapsed} cycles");
+            assert!(
+                elapsed >= 2_040,
+                "send returned after only {elapsed} cycles"
+            );
         })
         .unwrap();
     }

@@ -11,10 +11,10 @@
 //! routes responses by id); the server processes requests serially,
 //! like the single-threaded drivers of §4.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::future::Future;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use chanos_csp::{reply_channel, ReplyTo};
 use chanos_sim as sim;
@@ -22,6 +22,8 @@ use chanos_sim as sim;
 use crate::rdt::Conn;
 use crate::remote::SerdeCost;
 use crate::wire::Wire;
+
+use chanos_sim::plock;
 
 /// Error from [`RpcClient::call`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,16 +45,16 @@ impl std::fmt::Display for RpcError {
 
 impl std::error::Error for RpcError {}
 
-type Pending<Resp> = Rc<RefCell<BTreeMap<u64, ReplyTo<Result<Resp, RpcError>>>>>;
+type Pending<Resp> = Arc<Mutex<BTreeMap<u64, ReplyTo<Result<Resp, RpcError>>>>>;
 
 /// A typed RPC client over one cluster connection.
 ///
 /// Cloning shares the connection and the outstanding-call table, so
 /// several tasks can issue calls concurrently.
 pub struct RpcClient<Req: Wire, Resp: Wire + 'static> {
-    conn: Rc<Conn>,
+    conn: Arc<Conn>,
     cost: SerdeCost,
-    next_id: Rc<RefCell<u64>>,
+    next_id: Arc<Mutex<u64>>,
     pending: Pending<Resp>,
     _marker: std::marker::PhantomData<fn(Req) -> Resp>,
 }
@@ -60,10 +62,10 @@ pub struct RpcClient<Req: Wire, Resp: Wire + 'static> {
 impl<Req: Wire, Resp: Wire> Clone for RpcClient<Req, Resp> {
     fn clone(&self) -> Self {
         RpcClient {
-            conn: Rc::clone(&self.conn),
+            conn: Arc::clone(&self.conn),
             cost: self.cost,
-            next_id: Rc::clone(&self.next_id),
-            pending: Rc::clone(&self.pending),
+            next_id: Arc::clone(&self.next_id),
+            pending: Arc::clone(&self.pending),
             _marker: std::marker::PhantomData,
         }
     }
@@ -73,10 +75,10 @@ impl<Req: Wire, Resp: Wire + 'static> RpcClient<Req, Resp> {
     /// Wraps `conn` as an RPC client and starts the response
     /// dispatcher.
     pub fn new(conn: Conn, cost: SerdeCost) -> RpcClient<Req, Resp> {
-        let conn = Rc::new(conn);
-        let pending: Pending<Resp> = Rc::default();
-        let dispatcher_conn = Rc::clone(&conn);
-        let dispatcher_pending = Rc::clone(&pending);
+        let conn = Arc::new(conn);
+        let pending: Pending<Resp> = Pending::<Resp>::default();
+        let dispatcher_conn = Arc::clone(&conn);
+        let dispatcher_pending = Arc::clone(&pending);
         sim::spawn_daemon("rpc-dispatch", async move {
             loop {
                 let bytes = match dispatcher_conn.recv().await {
@@ -87,7 +89,7 @@ impl<Req: Wire, Resp: Wire + 'static> RpcClient<Req, Resp> {
                 let parsed: Result<(u64, Resp), _> = <(u64, Resp)>::from_bytes(&bytes);
                 match parsed {
                     Ok((id, resp)) => {
-                        let waiter = dispatcher_pending.borrow_mut().remove(&id);
+                        let waiter = plock(&dispatcher_pending).remove(&id);
                         if let Some(reply) = waiter {
                             let _ = reply.send(Ok(resp)).await;
                         } else {
@@ -99,7 +101,7 @@ impl<Req: Wire, Resp: Wire + 'static> RpcClient<Req, Resp> {
             }
             // Connection gone: fail everything still outstanding.
             let waiters: Vec<_> = {
-                let mut p = dispatcher_pending.borrow_mut();
+                let mut p = plock(&dispatcher_pending);
                 std::mem::take(&mut *p).into_values().collect()
             };
             for w in waiters {
@@ -109,7 +111,7 @@ impl<Req: Wire, Resp: Wire + 'static> RpcClient<Req, Resp> {
         RpcClient {
             conn,
             cost,
-            next_id: Rc::new(RefCell::new(1)),
+            next_id: Arc::new(Mutex::new(1)),
             pending,
             _marker: std::marker::PhantomData,
         }
@@ -121,20 +123,20 @@ impl<Req: Wire, Resp: Wire + 'static> RpcClient<Req, Resp> {
     /// matched by correlation id.
     pub async fn call(&self, req: &Req) -> Result<Resp, RpcError> {
         let id = {
-            let mut n = self.next_id.borrow_mut();
+            let mut n = plock(&self.next_id);
             let id = *n;
             *n += 1;
             id
         };
         let (reply_to, reply) = reply_channel();
-        self.pending.borrow_mut().insert(id, reply_to);
+        plock(&self.pending).insert(id, reply_to);
         let mut bytes = Vec::new();
         id.encode(&mut bytes);
         req.encode(&mut bytes);
         sim::delay(self.cost.cost(bytes.len())).await;
         sim::stat_incr("rpc.calls");
         if self.conn.send(bytes).await.is_err() {
-            self.pending.borrow_mut().remove(&id);
+            plock(&self.pending).remove(&id);
             return Err(RpcError::Closed);
         }
         match reply.recv().await {
@@ -194,27 +196,36 @@ mod tests {
     use chanos_sim::Simulation;
 
     async fn kv_cluster(loss: f64) -> (RpcClient<(String, u64), Option<u64>>, ()) {
-        let link = if loss > 0.0 { LinkParams::lossy(loss) } else { LinkParams::default() };
+        let link = if loss > 0.0 {
+            LinkParams::lossy(loss)
+        } else {
+            LinkParams::default()
+        };
         let cl = Cluster::new(ClusterParams { nodes: 2, link });
         let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
         sim::spawn_daemon("kv-server", async move {
             let conn = listener.accept().await.unwrap();
-            let store = Rc::new(RefCell::new(BTreeMap::<String, u64>::new()));
-            serve(conn, SerdeCost::default(), move |(key, val): (String, u64)| {
-                let store = Rc::clone(&store);
-                async move {
-                    // val 0 = get, otherwise put-and-return-old.
-                    if val == 0 {
-                        store.borrow().get(&key).copied()
-                    } else {
-                        store.borrow_mut().insert(key, val)
+            let store = Arc::new(Mutex::new(BTreeMap::<String, u64>::new()));
+            serve(
+                conn,
+                SerdeCost::default(),
+                move |(key, val): (String, u64)| {
+                    let store = Arc::clone(&store);
+                    async move {
+                        // val 0 = get, otherwise put-and-return-old.
+                        if val == 0 {
+                            plock(&store).get(&key).copied()
+                        } else {
+                            plock(&store).insert(key, val)
+                        }
                     }
-                }
-            })
+                },
+            )
             .await;
         });
-        let conn =
-            connect(&cl.iface(NodeId(0)), NodeId(1), 80, RdtParams::default()).await.unwrap();
+        let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, RdtParams::default())
+            .await
+            .unwrap();
         (RpcClient::new(conn, SerdeCost::default()), ())
     }
 

@@ -282,7 +282,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = 7u16.to_bytes();
         bytes.push(9);
-        assert_eq!(u16::from_bytes(&bytes), Err(WireError::Malformed("trailing bytes")));
+        assert_eq!(
+            u16::from_bytes(&bytes),
+            Err(WireError::Malformed("trailing bytes"))
+        );
     }
 
     #[test]
@@ -295,7 +298,10 @@ mod tests {
         let mut bytes = Vec::new();
         2u32.encode(&mut bytes);
         bytes.extend_from_slice(&[0xff, 0xfe]);
-        assert_eq!(String::from_bytes(&bytes), Err(WireError::Malformed("utf-8")));
+        assert_eq!(
+            String::from_bytes(&bytes),
+            Err(WireError::Malformed("utf-8"))
+        );
     }
 
     #[test]

@@ -1,107 +1,115 @@
-//! Property-based tests for the cluster substrate: wire encodings,
-//! frame integrity, and — most importantly — reliable in-order
-//! delivery through the go-back-N transport under arbitrary loss,
-//! jitter, and window configurations.
+//! Randomized tests for the cluster substrate: wire encodings, frame
+//! integrity, and — most importantly — reliable in-order delivery
+//! through the go-back-N transport under arbitrary loss, jitter, and
+//! window configurations. Driven by the simulator's deterministic
+//! PCG RNG (no external property-testing framework is available).
 
 use chanos_net::{
     connect, listen, Cluster, ClusterParams, Frame, FrameHeader, FrameKind, LinkParams, NodeId,
     RdtMode, RdtParams, Wire,
 };
-use chanos_sim::{self as sim, Simulation};
-use proptest::prelude::*;
+use chanos_sim::{self as sim, Pcg32, Simulation};
 
-fn arb_kind() -> impl Strategy<Value = FrameKind> {
-    prop_oneof![
-        Just(FrameKind::Syn),
-        Just(FrameKind::SynAck),
-        Just(FrameKind::Data),
-        Just(FrameKind::Ack),
-        Just(FrameKind::Fin),
-    ]
-}
-
-prop_compose! {
-    fn arb_frame()(
-        kind in arb_kind(),
-        src in 0u32..16,
-        dst in 0u32..16,
-        src_port in any::<u16>(),
-        dst_port in any::<u16>(),
-        conn in any::<u32>(),
-        seq in any::<u32>(),
-        ack in any::<u32>(),
-        more in any::<bool>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-    ) -> Frame {
-        Frame {
-            header: FrameHeader {
-                kind, src: NodeId(src), dst: NodeId(dst), src_port, dst_port,
-                conn, seq, ack, more,
-            },
-            payload,
-        }
+fn random_kind(g: &mut Pcg32) -> FrameKind {
+    match g.index(5) {
+        0 => FrameKind::Syn,
+        1 => FrameKind::SynAck,
+        2 => FrameKind::Data,
+        3 => FrameKind::Ack,
+        _ => FrameKind::Fin,
     }
 }
 
-proptest! {
-    /// Frames survive encode/decode byte-exactly.
-    #[test]
-    fn frame_roundtrip(frame in arb_frame()) {
+fn random_frame(g: &mut Pcg32) -> Frame {
+    let payload_len = g.index(256);
+    Frame {
+        header: FrameHeader {
+            kind: random_kind(g),
+            src: NodeId(g.bounded(16) as u32),
+            dst: NodeId(g.bounded(16) as u32),
+            src_port: g.next_u32() as u16,
+            dst_port: g.next_u32() as u16,
+            conn: g.next_u32(),
+            seq: g.next_u32(),
+            ack: g.next_u32(),
+            more: g.chance(0.5),
+        },
+        payload: (0..payload_len).map(|_| g.next_u32() as u8).collect(),
+    }
+}
+
+/// Frames survive encode/decode byte-exactly.
+#[test]
+fn frame_roundtrip() {
+    let mut g = Pcg32::new(0x4E7_0001);
+    for _ in 0..64 {
+        let frame = random_frame(&mut g);
         let bytes = frame.encode();
-        prop_assert_eq!(bytes.len(), frame.wire_len());
-        prop_assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+        assert_eq!(bytes.len(), frame.wire_len());
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
     }
+}
 
-    /// Any single-byte corruption is either detected or yields a
-    /// frame that re-encodes to exactly the corrupted bytes (i.e. the
-    /// decoder never hallucinates).
-    #[test]
-    fn frame_corruption_never_hallucinates(
-        frame in arb_frame(),
-        pos in any::<proptest::sample::Index>(),
-        flip in 1u8..=255,
-    ) {
+/// Any single-byte corruption is either detected or yields a frame
+/// that re-encodes to exactly the corrupted bytes (i.e. the decoder
+/// never hallucinates).
+#[test]
+fn frame_corruption_never_hallucinates() {
+    let mut g = Pcg32::new(0x4E7_0002);
+    for _ in 0..64 {
+        let frame = random_frame(&mut g);
         let mut bytes = frame.encode();
-        let i = pos.index(bytes.len());
+        let i = g.index(bytes.len());
+        let flip = g.range(1, 256) as u8;
         bytes[i] ^= flip;
         match Frame::decode(&bytes) {
             Err(_) => {}
-            Ok(decoded) => prop_assert_eq!(decoded.encode(), bytes),
+            Ok(decoded) => assert_eq!(decoded.encode(), bytes),
         }
-    }
-
-    /// Composite Wire values roundtrip.
-    #[test]
-    fn wire_composites_roundtrip(
-        a in any::<u64>(),
-        s in ".{0,64}",
-        v in proptest::collection::vec(any::<u8>(), 0..128),
-        o in proptest::option::of(any::<u32>()),
-    ) {
-        let value = (a, (s.clone(), v.clone()), o);
-        type T = (u64, (String, Vec<u8>), Option<u32>);
-        let back = T::from_bytes(&value.to_bytes()).unwrap();
-        prop_assert_eq!(back, value);
     }
 }
 
-proptest! {
-    // Transport runs are full simulations; keep the case count modest.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Composite Wire values roundtrip.
+#[test]
+fn wire_composites_roundtrip() {
+    const ALPHA: &[u8] = b"abc XYZ089!?\xc3\xa9"; // Includes a multi-byte char.
+    let mut g = Pcg32::new(0x4E7_0003);
+    for _ in 0..64 {
+        let a = g.next_u64();
+        let s: String = {
+            let chars: Vec<char> = std::str::from_utf8(ALPHA).unwrap().chars().collect();
+            (0..g.index(64))
+                .map(|_| chars[g.index(chars.len())])
+                .collect()
+        };
+        let v: Vec<u8> = (0..g.index(128)).map(|_| g.next_u32() as u8).collect();
+        let o: Option<u32> = if g.chance(0.5) {
+            Some(g.next_u32())
+        } else {
+            None
+        };
+        let value = (a, (s.clone(), v.clone()), o);
+        type T = (u64, (String, Vec<u8>), Option<u32>);
+        let back = T::from_bytes(&value.to_bytes()).unwrap();
+        assert_eq!(back, value);
+    }
+}
 
-    /// The transport delivers every message, exactly once, in order,
-    /// regardless of loss rate, jitter, window size, MTU, and
-    /// recovery discipline.
-    #[test]
-    fn transport_delivers_in_order_under_loss(
-        seed in any::<u64>(),
-        loss in 0.0f64..0.35,
-        jitter in 0u64..40_000,
-        window in 1usize..24,
-        mtu in 16usize..2048,
-        go_back_n in any::<bool>(),
-        sizes in proptest::collection::vec(0usize..3000, 1..12),
-    ) {
+/// The transport delivers every message, exactly once, in order,
+/// regardless of loss rate, jitter, window size, MTU, and recovery
+/// discipline.
+#[test]
+fn transport_delivers_in_order_under_loss() {
+    let mut g = Pcg32::new(0x4E7_0004);
+    for case in 0..24 {
+        let seed = g.next_u64();
+        let loss = g.f64() * 0.35;
+        let jitter = g.bounded(40_000);
+        let window = g.range(1, 24) as usize;
+        let mtu = g.range(16, 2048) as usize;
+        let go_back_n = g.chance(0.5);
+        let sizes: Vec<usize> = (0..g.range(1, 12)).map(|_| g.index(3000)).collect();
+
         let mut s = Simulation::with_config(chanos_sim::Config {
             cores: 4,
             seed,
@@ -109,10 +117,24 @@ proptest! {
         });
         let delivered = s
             .block_on(async move {
-                let link = LinkParams { loss, jitter, ..Default::default() };
+                let link = LinkParams {
+                    loss,
+                    jitter,
+                    ..Default::default()
+                };
                 let cl = Cluster::new(ClusterParams { nodes: 2, link });
-                let mode = if go_back_n { RdtMode::GoBackN } else { RdtMode::HoleFill };
-                let rdt = RdtParams { window, mtu, rto: 100_000, mode, ..Default::default() };
+                let mode = if go_back_n {
+                    RdtMode::GoBackN
+                } else {
+                    RdtMode::HoleFill
+                };
+                let rdt = RdtParams {
+                    window,
+                    mtu,
+                    rto: 100_000,
+                    mode,
+                    ..Default::default()
+                };
                 let listener = listen(&cl.iface(NodeId(1)), 80, rdt).unwrap();
                 let sink = sim::spawn(async move {
                     let conn = listener.accept().await.unwrap();
@@ -135,10 +157,13 @@ proptest! {
             })
             .unwrap();
         let (got, sizes) = delivered;
-        prop_assert_eq!(got.len(), sizes.len(), "message count");
+        assert_eq!(got.len(), sizes.len(), "case {case}: message count");
         for (i, (msg, want_len)) in got.iter().zip(&sizes).enumerate() {
-            prop_assert_eq!(msg.len(), *want_len, "message {} length", i);
-            prop_assert!(msg.iter().all(|&b| b == i as u8), "message {} content", i);
+            assert_eq!(msg.len(), *want_len, "case {case}: message {i} length");
+            assert!(
+                msg.iter().all(|&b| b == i as u8),
+                "case {case}: message {i} content"
+            );
         }
     }
 }

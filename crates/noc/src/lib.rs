@@ -21,7 +21,7 @@ pub use topology::{Bus, Crossbar, Hypercube, Mesh2D, Ring, Topology, Torus2D};
 
 /// A boxed topology plus cost model, as installed into a simulation.
 pub struct Interconnect {
-    topo: Box<dyn Topology>,
+    topo: Box<dyn Topology + Send + Sync>,
     cost: CostModel,
 }
 

@@ -8,7 +8,7 @@
 //! the one the placement experiment (E9) exercises.
 
 /// A network-on-chip topology over `cores` cores.
-pub trait Topology {
+pub trait Topology: Send + Sync {
     /// Number of cores the topology connects.
     fn cores(&self) -> usize;
 

@@ -7,10 +7,10 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
 
-use parking_lot::Mutex;
+use crate::executor::plock;
 
 /// Buffering discipline of a channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +42,24 @@ impl<T> SendError<T> {
 /// Error returned by `recv`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecvError {
+    /// Channel closed and drained.
+    Closed,
+}
+
+/// Error returned by `try_send`; the value comes back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel cannot accept a message right now.
+    Full(T),
+    /// Channel closed or all receivers dropped.
+    Closed(T),
+}
+
+/// Error returned by `try_recv`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is ready.
+    Empty,
     /// Channel closed and drained.
     Closed,
 }
@@ -142,7 +160,7 @@ pub struct Receiver<T> {
 
 impl<T> std::fmt::Debug for Sender<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.shared.lock();
+        let st = plock(&self.shared);
         f.debug_struct("Sender")
             .field("queued", &st.queue.len())
             .field("closed", &st.closed)
@@ -152,7 +170,7 @@ impl<T> std::fmt::Debug for Sender<T> {
 
 impl<T> std::fmt::Debug for Receiver<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.shared.lock();
+        let st = plock(&self.shared);
         f.debug_struct("Receiver")
             .field("queued", &st.queue.len())
             .field("closed", &st.closed)
@@ -162,7 +180,7 @@ impl<T> std::fmt::Debug for Receiver<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.shared.lock().senders += 1;
+        plock(&self.shared).senders += 1;
         Sender {
             shared: self.shared.clone(),
         }
@@ -171,7 +189,7 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.shared.lock().receivers += 1;
+        plock(&self.shared).receivers += 1;
         Receiver {
             shared: self.shared.clone(),
         }
@@ -180,7 +198,7 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut st = self.shared.lock();
+        let mut st = plock(&self.shared);
         st.senders -= 1;
         if st.senders == 0 {
             st.wake_everyone();
@@ -190,7 +208,7 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut st = self.shared.lock();
+        let mut st = plock(&self.shared);
         st.receivers -= 1;
         if st.receivers == 0 {
             st.wake_everyone();
@@ -209,10 +227,13 @@ impl<T: Send> Sender<T> {
     }
 
     /// Attempts a non-waiting send.
-    pub fn try_send(&self, value: T) -> Result<(), T> {
-        let mut st = self.shared.lock();
+    ///
+    /// The closed/full distinction is made under one lock, so a
+    /// concurrent `close` cannot be misreported as `Full`.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = plock(&self.shared);
         if st.send_shut() {
-            return Err(value);
+            return Err(TrySendError::Closed(value));
         }
         match st.cap {
             Capacity::Unbounded => {
@@ -226,12 +247,12 @@ impl<T: Send> Sender<T> {
                     st.wake_one_recv();
                     Ok(())
                 } else {
-                    Err(value)
+                    Err(TrySendError::Full(value))
                 }
             }
             Capacity::Rendezvous => {
                 if st.recv_waiters.is_empty() {
-                    Err(value)
+                    Err(TrySendError::Full(value))
                 } else {
                     st.queue.push_back(value);
                     st.wake_one_recv();
@@ -243,9 +264,29 @@ impl<T: Send> Sender<T> {
 
     /// Closes the channel.
     pub fn close(&self) {
-        let mut st = self.shared.lock();
+        let mut st = plock(&self.shared);
         st.closed = true;
         st.wake_everyone();
+    }
+
+    /// Returns `true` if the channel can no longer deliver sends.
+    pub fn is_closed(&self) -> bool {
+        plock(&self.shared).send_shut()
+    }
+
+    /// Number of buffered messages.
+    pub fn len(&self) -> usize {
+        plock(&self.shared).queue.len()
+    }
+
+    /// Returns `true` if no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `other` is an endpoint of the same channel.
+    pub fn same_channel(&self, other: &Sender<T>) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
     }
 }
 
@@ -259,22 +300,43 @@ impl<T: Send> Receiver<T> {
     }
 
     /// Attempts a non-waiting receive.
-    pub fn try_recv(&self) -> Option<T> {
-        let mut st = self.shared.lock();
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = plock(&self.shared);
         if let Some(v) = st.queue.pop_front() {
             st.wake_one_send();
-            return Some(v);
+            return Ok(v);
         }
         // Rendezvous: take from a parked sender.
-        let taken = take_from_parked_sender(&mut st);
-        taken
+        if let Some(v) = take_from_parked_sender(&mut st) {
+            return Ok(v);
+        }
+        if st.drained_shut() {
+            Err(TryRecvError::Closed)
+        } else {
+            Err(TryRecvError::Empty)
+        }
     }
 
     /// Closes the channel.
     pub fn close(&self) {
-        let mut st = self.shared.lock();
+        let mut st = plock(&self.shared);
         st.closed = true;
         st.wake_everyone();
+    }
+
+    /// Number of buffered messages.
+    pub fn len(&self) -> usize {
+        plock(&self.shared).queue.len()
+    }
+
+    /// Returns `true` if no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `other` is an endpoint of the same channel.
+    pub fn same_channel(&self, other: &Receiver<T>) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
     }
 }
 
@@ -303,7 +365,7 @@ impl<T: Send> Future for SendFut<'_, T> {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = &mut *self;
-        let mut st = this.shared.lock();
+        let mut st = plock(this.shared);
 
         // Registered already?
         if let Some(id) = this.entry_id {
@@ -407,7 +469,7 @@ impl<T: Send> Future for SendFut<'_, T> {
 impl<T> Drop for SendFut<'_, T> {
     fn drop(&mut self) {
         if let Some(id) = self.entry_id {
-            let mut st = self.shared.lock();
+            let mut st = plock(self.shared);
             st.send_waiters.retain(|e| e.id != id);
         }
     }
@@ -426,7 +488,7 @@ impl<T: Send> Future for RecvFut<'_, T> {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = &mut *self;
-        let mut st = this.shared.lock();
+        let mut st = plock(this.shared);
         if let Some(v) = st.queue.pop_front() {
             deregister_recv(&mut st, &mut this.waiter_id);
             st.wake_one_send();
@@ -477,7 +539,7 @@ fn deregister_recv<T>(st: &mut State<T>, waiter_id: &mut Option<u64>) {
 impl<T> Drop for RecvFut<'_, T> {
     fn drop(&mut self) {
         if let Some(id) = self.waiter_id {
-            let mut st = self.shared.lock();
+            let mut st = plock(self.shared);
             st.recv_waiters.retain(|w| w.id != id);
             // Pass the baton if work remains for other waiters.
             if !st.queue.is_empty() {

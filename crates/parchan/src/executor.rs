@@ -1,20 +1,23 @@
-//! An M:N executor: lightweight tasks over a pool of worker threads
-//! with work stealing.
+//! An M:N executor: lightweight tasks over a pool of worker threads.
 //!
 //! This is the §3 model on *real* hardware: `start { foo(); }` is
 //! [`Runtime::spawn`], threads are cheap (a heap allocation, not a
 //! stack and a kernel object), and all communication happens through
 //! the channels in [`crate::chan`].
+//!
+//! The pool is std-only (no external dependencies): a shared injector
+//! queue under a mutex, workers parking on a condvar. Each worker
+//! carries a stable index, surfaced as the task's "core" identity to
+//! the runtime facade (`chanos-rt`).
 
+use std::collections::HashMap;
 use std::future::Future;
 use std::panic::{self, AssertUnwindSafe};
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::task::{Context, Poll, Wake, Waker};
-
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Task lifecycle states (see `TaskCell::state`).
 const IDLE: u8 = 0;
@@ -25,10 +28,18 @@ const COMPLETE: u8 = 4;
 
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
 
+/// Locks a mutex, ignoring poisoning (a panicked task must not take
+/// the whole runtime down; panics are surfaced via join handles).
+/// (`chanos-parchan` is dependency-free, so it cannot use the shared
+/// `chanos_sim::plock`.)
+pub(crate) fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 struct TaskCell {
     future: Mutex<Option<BoxFuture>>,
     state: AtomicU8,
-    rt: std::sync::Weak<RtInner>,
+    rt: Weak<RtInner>,
 }
 
 impl Wake for TaskCell {
@@ -46,8 +57,7 @@ impl Wake for TaskCell {
                         .is_ok()
                     {
                         if let Some(rt) = self.rt.upgrade() {
-                            rt.injector.push(self.clone());
-                            rt.unpark_one();
+                            rt.push(self.clone());
                         }
                         return;
                     }
@@ -69,28 +79,162 @@ impl Wake for TaskCell {
     }
 }
 
+/// One histogram-ish record: enough for mean/min/max reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatRecord {
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    counters: HashMap<String, u64>,
+    records: HashMap<String, StatRecord>,
+}
+
 struct RtInner {
-    injector: Injector<Arc<TaskCell>>,
-    stealers: Vec<Stealer<Arc<TaskCell>>>,
-    sleep_lock: Mutex<usize>,
-    sleep_cv: Condvar,
+    queue: Mutex<std::collections::VecDeque<Arc<TaskCell>>>,
+    queue_cv: Condvar,
     shutdown: AtomicBool,
     live_tasks: AtomicUsize,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
+    workers: usize,
+    started: Instant,
+    stats: Mutex<StatsInner>,
 }
 
 impl RtInner {
-    fn unpark_one(&self) {
-        let sleepers = self.sleep_lock.lock();
-        if *sleepers > 0 {
-            self.sleep_cv.notify_one();
+    fn push(&self, cell: Arc<TaskCell>) {
+        plock(&self.queue).push_back(cell);
+        self.queue_cv.notify_one();
+    }
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Vec<Weak<RtInner>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    static WORKER_ID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// A handle for spawning onto (and inspecting) a running [`Runtime`]
+/// from inside its tasks; obtained via [`current`] or
+/// [`Runtime::handle`].
+#[derive(Clone)]
+pub struct Handle {
+    inner: Arc<RtInner>,
+}
+
+/// Returns a handle to the runtime whose worker (or `block_on`) is
+/// executing the calling code, if any.
+pub fn current() -> Option<Handle> {
+    CURRENT.with(|c| {
+        c.borrow()
+            .last()
+            .and_then(Weak::upgrade)
+            .map(|inner| Handle { inner })
+    })
+}
+
+/// Returns `true` when called from inside a [`Runtime`] worker or a
+/// `block_on` driven by one.
+pub fn in_runtime() -> bool {
+    current().is_some()
+}
+
+/// The index of the worker thread executing the caller (a stable
+/// "core id" on the real-threads backend), if on a worker.
+pub fn current_worker() -> Option<usize> {
+    WORKER_ID.with(|w| w.get())
+}
+
+struct CurrentGuard;
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+fn enter(inner: &Arc<RtInner>) -> CurrentGuard {
+    CURRENT.with(|c| c.borrow_mut().push(Arc::downgrade(inner)));
+    CurrentGuard
+}
+
+impl Handle {
+    /// Spawns a lightweight task; returns a handle to its result.
+    pub fn spawn<T, F>(&self, fut: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: Future<Output = T> + Send + 'static,
+    {
+        spawn_impl(&self.inner, fut)
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Nanoseconds of wall-clock time since the runtime started.
+    pub fn now_nanos(&self) -> u64 {
+        self.inner.started.elapsed().as_nanos() as u64
+    }
+
+    /// Adds `v` to a named counter.
+    pub fn stat_add(&self, name: &str, v: u64) {
+        let mut st = plock(&self.inner.stats);
+        // Only allocate the key on first use; counter bumps sit on
+        // the syscall hot path.
+        if let Some(c) = st.counters.get_mut(name) {
+            *c += v;
+        } else {
+            st.counters.insert(name.to_string(), v);
         }
     }
 
-    fn unpark_all(&self) {
-        let _g = self.sleep_lock.lock();
-        self.sleep_cv.notify_all();
+    /// Records one sample into a named record.
+    pub fn stat_record(&self, name: &str, v: u64) {
+        let mut st = plock(&self.inner.stats);
+        if !st.records.contains_key(name) {
+            st.records.insert(name.to_string(), StatRecord::default());
+        }
+        let r = st.records.get_mut(name).expect("just ensured");
+        if r.count == 0 {
+            r.min = v;
+            r.max = v;
+        } else {
+            r.min = r.min.min(v);
+            r.max = r.max.max(v);
+        }
+        r.sum += v;
+        r.count += 1;
+    }
+
+    /// Reads a named counter's current value.
+    pub fn stat_get(&self, name: &str) -> u64 {
+        plock(&self.inner.stats)
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Reads a named record.
+    pub fn stat_record_get(&self, name: &str) -> StatRecord {
+        plock(&self.inner.stats)
+            .records
+            .get(name)
+            .copied()
+            .unwrap_or_default()
     }
 }
 
@@ -105,26 +249,24 @@ impl Runtime {
     /// Starts a runtime with `workers` OS worker threads.
     pub fn new(workers: usize) -> Runtime {
         assert!(workers > 0);
-        let locals: Vec<Worker<Arc<TaskCell>>> =
-            (0..workers).map(|_| Worker::new_fifo()).collect();
-        let stealers = locals.iter().map(|w| w.stealer()).collect();
         let inner = Arc::new(RtInner {
-            injector: Injector::new(),
-            stealers,
-            sleep_lock: Mutex::new(0),
-            sleep_cv: Condvar::new(),
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             live_tasks: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
+            workers,
+            started: Instant::now(),
+            stats: Mutex::new(StatsInner::default()),
         });
         let mut threads = Vec::with_capacity(workers);
-        for (i, local) in locals.into_iter().enumerate() {
+        for i in 0..workers {
             let rt = inner.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("parchan-worker{i}"))
-                    .spawn(move || worker_loop(rt, local, i))
+                    .spawn(move || worker_loop(rt, i))
                     .expect("spawn worker thread"),
             );
         }
@@ -142,49 +284,27 @@ impl Runtime {
         Runtime::new(n)
     }
 
+    /// Returns a [`Handle`] for ambient use (spawning, stats).
+    pub fn handle(&self) -> Handle {
+        Handle {
+            inner: self.inner.clone(),
+        }
+    }
+
     /// Spawns a lightweight task; returns a handle to its result.
     pub fn spawn<T, F>(&self, fut: F) -> JoinHandle<T>
     where
         T: Send + 'static,
         F: Future<Output = T> + Send + 'static,
     {
-        let join = Arc::new(JoinState {
-            slot: Mutex::new(JoinSlot {
-                result: None,
-                waiters: Vec::new(),
-            }),
-            cv: Condvar::new(),
-        });
-        let join2 = join.clone();
-        let rt = self.inner.clone();
-        let wrapped = async move {
-            let out = AssertUnwindSafe(fut).catch_unwind_lite().await;
-            let mut slot = join2.slot.lock();
-            slot.result = Some(out);
-            let waiters = std::mem::take(&mut slot.waiters);
-            drop(slot);
-            join2.cv.notify_all();
-            for w in waiters {
-                w.wake();
-            }
-            rt.live_tasks.fetch_sub(1, Ordering::AcqRel);
-            let _g = rt.idle_lock.lock();
-            rt.idle_cv.notify_all();
-        };
-        self.inner.live_tasks.fetch_add(1, Ordering::AcqRel);
-        let cell = Arc::new(TaskCell {
-            future: Mutex::new(Some(Box::pin(wrapped))),
-            state: AtomicU8::new(SCHEDULED),
-            rt: Arc::downgrade(&self.inner),
-        });
-        self.inner.injector.push(cell);
-        self.inner.unpark_one();
-        JoinHandle { state: join }
+        spawn_impl(&self.inner, fut)
     }
 
     /// Drives a future on the calling thread until it completes,
-    /// while workers run spawned tasks.
+    /// while workers run spawned tasks. The runtime is ambient
+    /// ([`current`]) inside `fut`.
     pub fn block_on<T, F: Future<Output = T>>(&self, fut: F) -> T {
+        let _ambient = enter(&self.inner);
         let parker = Arc::new(ThreadParker {
             thread: std::thread::current(),
             notified: AtomicBool::new(false),
@@ -206,9 +326,13 @@ impl Runtime {
 
     /// Blocks the calling thread until no live tasks remain.
     pub fn wait_idle(&self) {
-        let mut g = self.inner.idle_lock.lock();
+        let mut g = plock(&self.inner.idle_lock);
         while self.inner.live_tasks.load(Ordering::Acquire) > 0 {
-            self.inner.idle_cv.wait(&mut g);
+            g = self
+                .inner
+                .idle_cv
+                .wait(g)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -216,12 +340,53 @@ impl Runtime {
     /// abandoned.
     pub fn shutdown(self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        self.inner.unpark_all();
-        let mut threads = self.threads.lock();
+        {
+            let _g = plock(&self.inner.queue);
+            self.inner.queue_cv.notify_all();
+        }
+        let mut threads = plock(&self.threads);
         for t in threads.drain(..) {
             let _ = t.join();
         }
     }
+}
+
+fn spawn_impl<T, F>(inner: &Arc<RtInner>, fut: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: Future<Output = T> + Send + 'static,
+{
+    let join = Arc::new(JoinState {
+        slot: Mutex::new(JoinSlot {
+            result: None,
+            waiters: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+    let join2 = join.clone();
+    let rt = inner.clone();
+    let wrapped = async move {
+        let out = AssertUnwindSafe(fut).catch_unwind_lite().await;
+        let mut slot = plock(&join2.slot);
+        slot.result = Some(out);
+        let waiters = std::mem::take(&mut slot.waiters);
+        drop(slot);
+        join2.cv.notify_all();
+        for w in waiters {
+            w.wake();
+        }
+        rt.live_tasks.fetch_sub(1, Ordering::AcqRel);
+        let _g = plock(&rt.idle_lock);
+        rt.idle_cv.notify_all();
+    };
+    inner.live_tasks.fetch_add(1, Ordering::AcqRel);
+    let cell = Arc::new(TaskCell {
+        future: Mutex::new(Some(Box::pin(wrapped))),
+        state: AtomicU8::new(SCHEDULED),
+        rt: Arc::downgrade(inner),
+    });
+    inner.push(cell);
+    JoinHandle { state: join }
 }
 
 struct ThreadParker {
@@ -239,62 +404,32 @@ impl Wake for ThreadParker {
     }
 }
 
-fn worker_loop(rt: Arc<RtInner>, local: Worker<Arc<TaskCell>>, me: usize) {
+fn worker_loop(rt: Arc<RtInner>, me: usize) {
+    WORKER_ID.with(|w| w.set(Some(me)));
+    let _ambient = enter(&rt);
     loop {
-        if rt.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        let task = local.pop().or_else(|| find_work(&rt, &local, me));
-        let Some(task) = task else {
-            // Park until someone pushes work.
-            let mut sleepers = rt.sleep_lock.lock();
-            // Re-check with the lock held to avoid lost wakeups.
-            if !rt.injector.is_empty() || rt.shutdown.load(Ordering::Acquire) {
-                continue;
+        let task = {
+            let mut q = plock(&rt.queue);
+            loop {
+                if rt.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = rt.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
-            *sleepers += 1;
-            rt.sleep_cv.wait(&mut sleepers);
-            *sleepers -= 1;
-            continue;
         };
-        run_task(task, &local);
+        run_task(task, &rt);
     }
 }
 
-fn find_work(
-    rt: &Arc<RtInner>,
-    local: &Worker<Arc<TaskCell>>,
-    me: usize,
-) -> Option<Arc<TaskCell>> {
-    // Injector first, then steal from siblings.
-    loop {
-        match rt.injector.steal_batch_and_pop(local) {
-            Steal::Success(t) => return Some(t),
-            Steal::Empty => break,
-            Steal::Retry => continue,
-        }
-    }
-    for (i, s) in rt.stealers.iter().enumerate() {
-        if i == me {
-            continue;
-        }
-        loop {
-            match s.steal() {
-                Steal::Success(t) => return Some(t),
-                Steal::Empty => break,
-                Steal::Retry => continue,
-            }
-        }
-    }
-    None
-}
-
-fn run_task(task: Arc<TaskCell>, local: &Worker<Arc<TaskCell>>) {
+fn run_task(task: Arc<TaskCell>, rt: &Arc<RtInner>) {
     task.state.store(RUNNING, Ordering::Release);
     let waker = Waker::from(task.clone());
     let mut cx = Context::from_waker(&waker);
     let mut fut = {
-        let mut slot = task.future.lock();
+        let mut slot = plock(&task.future);
         match slot.take() {
             Some(f) => f,
             None => return, // Completed elsewhere.
@@ -309,18 +444,16 @@ fn run_task(task: Arc<TaskCell>, local: &Worker<Arc<TaskCell>>) {
             task.state.store(COMPLETE, Ordering::Release);
         }
         Ok(Poll::Pending) => {
-            *task.future.lock() = Some(fut);
+            *plock(&task.future) = Some(fut);
             // Were we woken during the poll?
-            match task.state.compare_exchange(
-                RUNNING,
-                IDLE,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match task
+                .state
+                .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => {}
                 Err(NOTIFIED) => {
                     task.state.store(SCHEDULED, Ordering::Release);
-                    local.push(task);
+                    rt.push(task);
                 }
                 Err(s) => unreachable!("bad state after poll: {s}"),
             }
@@ -358,33 +491,55 @@ pub struct JoinHandle<T> {
 impl<T> JoinHandle<T> {
     /// Blocks the calling OS thread until the task finishes.
     pub fn join_blocking(self) -> Result<T, Panicked> {
-        let mut slot = self.state.slot.lock();
+        let mut slot = plock(&self.state.slot);
         loop {
             if let Some(r) = slot.result.take() {
                 return r;
             }
-            self.state.cv.wait(&mut slot);
+            slot = self.state.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Awaits the task's completion from another task.
-    pub async fn join(self) -> Result<T, Panicked> {
-        std::future::poll_fn(move |cx| {
-            let mut slot = self.state.slot.lock();
-            if let Some(r) = slot.result.take() {
-                return Poll::Ready(r);
-            }
-            if !slot.waiters.iter().any(|w| w.will_wake(cx.waker())) {
-                slot.waiters.push(cx.waker().clone());
-            }
-            Poll::Pending
-        })
-        .await
+    pub fn join(self) -> Watch<T> {
+        Watch {
+            state: self.state.clone(),
+        }
+    }
+
+    /// Awaits completion *without* consuming the handle (result is
+    /// still single-take; the first observer gets it).
+    pub fn watch(&self) -> Watch<T> {
+        Watch {
+            state: self.state.clone(),
+        }
     }
 
     /// Returns `true` once the task has finished.
     pub fn is_finished(&self) -> bool {
-        self.state.slot.lock().result.is_some()
+        plock(&self.state.slot).result.is_some()
+    }
+}
+
+/// Future returned by [`JoinHandle::join`] / [`JoinHandle::watch`].
+pub struct Watch<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> Unpin for Watch<T> {}
+
+impl<T> Future for Watch<T> {
+    type Output = Result<T, Panicked>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut slot = plock(&self.state.slot);
+        if let Some(r) = slot.result.take() {
+            return Poll::Ready(r);
+        }
+        if !slot.waiters.iter().any(|w| w.will_wake(cx.waker())) {
+            slot.waiters.push(cx.waker().clone());
+        }
+        Poll::Pending
     }
 }
 

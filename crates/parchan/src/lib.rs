@@ -42,7 +42,12 @@ mod chan;
 mod executor;
 mod timer;
 
-pub use chan::{channel, Capacity, Receiver, RecvError, RecvFut, SendError, SendFut, Sender};
+pub use chan::{
+    channel, Capacity, Receiver, RecvError, RecvFut, SendError, SendFut, Sender, TryRecvError,
+    TrySendError,
+};
 pub use chanos_select::{choose, join2, join_all, race, select_all, Either};
-pub use executor::{JoinHandle, Panicked, Runtime};
+pub use executor::{
+    current, current_worker, in_runtime, Handle, JoinHandle, Panicked, Runtime, StatRecord, Watch,
+};
 pub use timer::{after, Sleep};

@@ -5,11 +5,9 @@ use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
-
-use parking_lot::{Condvar, Mutex};
 
 struct TimerEntry {
     deadline: Instant,
@@ -53,7 +51,7 @@ fn timer() -> &'static Arc<TimerShared> {
         std::thread::Builder::new()
             .name("parchan-timer".to_string())
             .spawn(move || loop {
-                let mut heap = s.heap.lock();
+                let mut heap = s.heap.lock().unwrap_or_else(|e| e.into_inner());
                 let now = Instant::now();
                 while let Some(front) = heap.peek() {
                     if front.deadline <= now {
@@ -66,10 +64,12 @@ fn timer() -> &'static Arc<TimerShared> {
                 match heap.peek().map(|e| e.deadline) {
                     Some(next) => {
                         let wait = next.saturating_duration_since(Instant::now());
-                        s.cv.wait_for(&mut heap, wait);
+                        let _unused =
+                            s.cv.wait_timeout(heap, wait)
+                                .unwrap_or_else(|e| e.into_inner());
                     }
                     None => {
-                        s.cv.wait(&mut heap);
+                        let _unused = s.cv.wait(heap).unwrap_or_else(|e| e.into_inner());
                     }
                 }
             })
@@ -104,7 +104,7 @@ impl Future for Sleep {
         // re-poll and re-check the deadline).
         let t = timer();
         {
-            let mut heap = t.heap.lock();
+            let mut heap = t.heap.lock().unwrap_or_else(|e| e.into_inner());
             heap.push(TimerEntry {
                 deadline: self.deadline,
                 seq: t.seq.fetch_add(1, Ordering::Relaxed),

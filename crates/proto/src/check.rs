@@ -105,7 +105,12 @@ impl fmt::Display for Violation {
                 .join(" ")
         };
         match self {
-            Violation::UnexpectedMessage { sender, tag, at, witness } => write!(
+            Violation::UnexpectedMessage {
+                sender,
+                tag,
+                at,
+                witness,
+            } => write!(
                 f,
                 "unexpected message: {sender} may send {tag} at ({}, {}) after [{}]",
                 at.0,
@@ -113,9 +118,19 @@ impl fmt::Display for Violation {
                 trace(witness)
             ),
             Violation::Deadlock { at, witness } => {
-                write!(f, "deadlock at ({}, {}) after [{}]", at.0, at.1, trace(witness))
+                write!(
+                    f,
+                    "deadlock at ({}, {}) after [{}]",
+                    at.0,
+                    at.1,
+                    trace(witness)
+                )
             }
-            Violation::OrphanEnd { finished, at, witness } => write!(
+            Violation::OrphanEnd {
+                finished,
+                at,
+                witness,
+            } => write!(
                 f,
                 "{finished} finished at ({}, {}) while peer expects more, after [{}]",
                 at.0,
@@ -201,7 +216,10 @@ pub fn check_compatible(left: &Protocol, right: &Protocol) -> Report {
                     let key = (t.to, rnext);
                     if seen.insert(key) {
                         let mut w = witness.clone();
-                        w.push(TraceStep { sender: Role::Left, tag: t.tag.clone() });
+                        w.push(TraceStep {
+                            sender: Role::Left,
+                            tag: t.tag.clone(),
+                        });
                         queue.push_back((t.to, rnext, w));
                     }
                 }
@@ -223,7 +241,10 @@ pub fn check_compatible(left: &Protocol, right: &Protocol) -> Report {
                     let key = (lnext, t.to);
                     if seen.insert(key) {
                         let mut w = witness.clone();
-                        w.push(TraceStep { sender: Role::Right, tag: t.tag.clone() });
+                        w.push(TraceStep {
+                            sender: Role::Right,
+                            tag: t.tag.clone(),
+                        });
                         queue.push_back((lnext, t.to, w));
                     }
                 }
@@ -237,11 +258,20 @@ pub fn check_compatible(left: &Protocol, right: &Protocol) -> Report {
         }
 
         if !progressed
-            && left.states[ls.0].transitions.iter().all(|t| t.dir == Dir::Recv)
-            && right.states[rs.0].transitions.iter().all(|t| t.dir == Dir::Recv)
+            && left.states[ls.0]
+                .transitions
+                .iter()
+                .all(|t| t.dir == Dir::Recv)
+            && right.states[rs.0]
+                .transitions
+                .iter()
+                .all(|t| t.dir == Dir::Recv)
         {
             // Both sides only want to receive: classic deadlock.
-            report.violations.push(Violation::Deadlock { at: (ls, rs), witness });
+            report.violations.push(Violation::Deadlock {
+                at: (ls, rs),
+                witness,
+            });
         }
     }
     report
@@ -250,7 +280,7 @@ pub fn check_compatible(left: &Protocol, right: &Protocol) -> Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{ProtocolBuilder, rpc_loop};
+    use crate::spec::{rpc_loop, ProtocolBuilder};
 
     #[test]
     fn dual_is_always_compatible() {
@@ -283,7 +313,12 @@ mod tests {
         assert!(!r.is_compatible());
         let v = &r.violations[0];
         match v {
-            Violation::UnexpectedMessage { sender, tag, witness, .. } => {
+            Violation::UnexpectedMessage {
+                sender,
+                tag,
+                witness,
+                ..
+            } => {
                 assert_eq!(*sender, Role::Left);
                 assert_eq!(tag, "Write");
                 // Shortest witness: Read then Data.
@@ -335,7 +370,10 @@ mod tests {
         assert!(
             r.violations.iter().any(|v| matches!(
                 v,
-                Violation::OrphanEnd { finished: Role::Left, .. }
+                Violation::OrphanEnd {
+                    finished: Role::Left,
+                    ..
+                }
             )),
             "{:?}",
             r.violations

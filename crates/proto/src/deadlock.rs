@@ -256,7 +256,13 @@ pub fn snapshot() -> Snapshot {
         let r = r.borrow();
         let mut snap = Snapshot::default();
         for (&(session, side), &(task, dir, op)) in &r.blocked {
-            snap.blocked.push(BlockedOp { task, session, side, dir, op });
+            snap.blocked.push(BlockedOp {
+                task,
+                session,
+                side,
+                dir,
+                op,
+            });
             // Whoever owns the peer endpoint is the only party that
             // can complete this operation.
             if let Some(&peer) = r.owners.get(&(session, side.peer())) {

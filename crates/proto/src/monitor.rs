@@ -120,7 +120,11 @@ pub struct NotAtEnd {
 
 impl fmt::Display for NotAtEnd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "session closed in non-final state {} ({})", self.state, self.state_name)
+        write!(
+            f,
+            "session closed in non-final state {} ({})",
+            self.state, self.state_name
+        )
     }
 }
 
@@ -546,7 +550,11 @@ mod tests {
                 crate::deadlock::watch(1_000, 10_000).await
             })
             .unwrap();
-        assert_eq!(report.confirmed.len(), 1, "cycle should persist and be confirmed");
+        assert_eq!(
+            report.confirmed.len(),
+            1,
+            "cycle should persist and be confirmed"
+        );
         assert_eq!(report.confirmed[0].len(), 2);
         crate::deadlock::reset();
     }

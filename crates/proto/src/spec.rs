@@ -226,7 +226,11 @@ impl Protocol {
                 out,
                 "  s{i} {:12} {}",
                 s.name,
-                if edges.is_empty() { "(end)".to_string() } else { edges.join(", ") }
+                if edges.is_empty() {
+                    "(end)".to_string()
+                } else {
+                    edges.join(", ")
+                }
             );
         }
         out
@@ -260,18 +264,28 @@ pub struct ProtocolBuilder {
 impl ProtocolBuilder {
     /// Starts a new builder for a protocol named `name`.
     pub fn new(name: &str) -> ProtocolBuilder {
-        ProtocolBuilder { name: name.to_string(), states: Vec::new() }
+        ProtocolBuilder {
+            name: name.to_string(),
+            states: Vec::new(),
+        }
     }
 
     /// Adds a state named `name`, returning its id.
     pub fn state(&mut self, name: &str) -> StateId {
-        self.states.push(State { name: name.to_string(), transitions: Vec::new() });
+        self.states.push(State {
+            name: name.to_string(),
+            transitions: Vec::new(),
+        });
         StateId(self.states.len() - 1)
     }
 
     /// Adds a transition with explicit direction.
     pub fn edge(&mut self, from: StateId, dir: Dir, tag: &str, to: StateId) -> &mut Self {
-        self.states[from.0].transitions.push(Transition { dir, tag: tag.to_string(), to });
+        self.states[from.0].transitions.push(Transition {
+            dir,
+            tag: tag.to_string(),
+            to,
+        });
         self
     }
 
@@ -294,13 +308,19 @@ impl ProtocolBuilder {
             return Err(SpecError::Empty);
         }
         if start.0 >= self.states.len() {
-            return Err(SpecError::DanglingTarget { state: start, to: start });
+            return Err(SpecError::DanglingTarget {
+                state: start,
+                to: start,
+            });
         }
         for (i, s) in self.states.iter().enumerate() {
             let mut seen: BTreeMap<(Dir, &str), ()> = BTreeMap::new();
             for t in &s.transitions {
                 if t.to.0 >= self.states.len() {
-                    return Err(SpecError::DanglingTarget { state: StateId(i), to: t.to });
+                    return Err(SpecError::DanglingTarget {
+                        state: StateId(i),
+                        to: t.to,
+                    });
                 }
                 if seen.insert((t.dir, t.tag.as_str()), ()).is_some() {
                     return Err(SpecError::Nondeterministic {
@@ -311,7 +331,11 @@ impl ProtocolBuilder {
                 }
             }
         }
-        Ok(Protocol { name: self.name, states: self.states, start })
+        Ok(Protocol {
+            name: self.name,
+            states: self.states,
+            start,
+        })
     }
 }
 
@@ -330,7 +354,8 @@ pub fn rpc_loop(name: &str, req: &str, resp: &str, close: Option<&str>) -> Proto
         let done = b.state("done");
         b.send(idle, c, done);
     }
-    b.build(idle).expect("rpc_loop is well-formed by construction")
+    b.build(idle)
+        .expect("rpc_loop is well-formed by construction")
 }
 
 #[cfg(test)]
@@ -371,7 +396,10 @@ mod tests {
         let a = b.state("a");
         b.send(a, "X", a);
         b.send(a, "X", a);
-        assert!(matches!(b.build(a), Err(SpecError::Nondeterministic { .. })));
+        assert!(matches!(
+            b.build(a),
+            Err(SpecError::Nondeterministic { .. })
+        ));
     }
 
     #[test]

@@ -47,8 +47,16 @@ impl Recorder {
 
     /// Appends an event at the current virtual time.
     pub fn log(&self, dir: Dir, tag: &str) {
-        let at = if chanos_sim::in_sim() { chanos_sim::now() } else { 0 };
-        self.events.borrow_mut().push(TraceEvent { dir, tag: tag.to_string(), at });
+        let at = if chanos_sim::in_sim() {
+            chanos_sim::now()
+        } else {
+            0
+        };
+        self.events.borrow_mut().push(TraceEvent {
+            dir,
+            tag: tag.to_string(),
+            at,
+        });
     }
 
     /// Copies the events out.
@@ -147,7 +155,11 @@ mod tests {
     use crate::spec::rpc_loop;
 
     fn ev(dir: Dir, tag: &str) -> TraceEvent {
-        TraceEvent { dir, tag: tag.to_string(), at: 0 }
+        TraceEvent {
+            dir,
+            tag: tag.to_string(),
+            at: 0,
+        }
     }
 
     #[test]

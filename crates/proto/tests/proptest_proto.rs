@@ -1,80 +1,94 @@
-//! Property-based tests for protocol specification, checking, and
-//! deadlock detection.
+//! Randomized tests for protocol specification, checking, and
+//! deadlock detection, driven by the simulator's deterministic PCG
+//! RNG (no external property-testing framework is available).
 
 use std::collections::BTreeSet;
 
 use chanos_proto::{
     check_compatible, conforms, Dir, Protocol, ProtocolBuilder, TraceEvent, WaitGraph,
 };
-use proptest::prelude::*;
+use chanos_sim::Pcg32;
 
 const TAGS: [&str; 5] = ["A", "B", "C", "D", "E"];
-
-/// A raw edge before deduplication: (from, dir-as-bool, tag index,
-/// to).
-type RawEdge = (usize, bool, usize, usize);
+const CASES: u32 = 48;
 
 /// Generates a well-formed, fully reachable protocol: a chain
 /// guarantees reachability, extra edges add branching and loops.
-fn arb_protocol() -> impl Strategy<Value = Protocol> {
-    (2usize..7).prop_flat_map(|n| {
-        let chain = proptest::collection::vec((any::<bool>(), 0usize..TAGS.len()), n - 1);
-        let extras = proptest::collection::vec(
-            (0usize..n, any::<bool>(), 0usize..TAGS.len(), 0usize..n),
-            0..(2 * n),
-        );
-        (chain, extras).prop_map(move |(chain, extras)| build_protocol(n, &chain, &extras))
-    })
-}
-
-fn build_protocol(n: usize, chain: &[(bool, usize)], extras: &[RawEdge]) -> Protocol {
+fn random_protocol(g: &mut Pcg32) -> Protocol {
+    let n = g.range(2, 7) as usize;
     let mut b = ProtocolBuilder::new("random");
     let states: Vec<_> = (0..n).map(|i| b.state(&format!("s{i}"))).collect();
     let mut seen: BTreeSet<(usize, bool, usize)> = BTreeSet::new();
-    for (i, &(dir, tag)) in chain.iter().enumerate() {
+    for i in 0..n - 1 {
+        let dir = g.chance(0.5);
+        let tag = g.index(TAGS.len());
         seen.insert((i, dir, tag));
         let d = if dir { Dir::Send } else { Dir::Recv };
         b.edge(states[i], d, TAGS[tag], states[i + 1]);
     }
-    for &(from, dir, tag, to) in extras {
+    let extras = g.index(2 * n);
+    for _ in 0..extras {
+        let from = g.index(n);
+        let dir = g.chance(0.5);
+        let tag = g.index(TAGS.len());
+        let to = g.index(n);
         if seen.insert((from, dir, tag)) {
             let d = if dir { Dir::Send } else { Dir::Recv };
             b.edge(states[from], d, TAGS[tag], states[to]);
         }
     }
-    b.build(states[0]).expect("deduplicated edges are well-formed")
+    b.build(states[0])
+        .expect("deduplicated edges are well-formed")
 }
 
-proptest! {
-    /// Dual is an involution on the state table.
-    #[test]
-    fn dual_dual_is_identity(p in arb_protocol()) {
-        prop_assert_eq!(&p.dual().dual().states, &p.states);
+/// Dual is an involution on the state table.
+#[test]
+fn dual_dual_is_identity() {
+    let mut g = Pcg32::new(0x9207_0001);
+    for _ in 0..CASES {
+        let p = random_protocol(&mut g);
+        assert_eq!(&p.dual().dual().states, &p.states);
     }
+}
 
-    /// Every protocol is compatible with its own dual: the checker
-    /// never reports false positives for the canonical pairing.
-    #[test]
-    fn dual_always_compatible(p in arb_protocol()) {
+/// Every protocol is compatible with its own dual: the checker never
+/// reports false positives for the canonical pairing.
+#[test]
+fn dual_always_compatible() {
+    let mut g = Pcg32::new(0x9207_0002);
+    for _ in 0..CASES {
+        let p = random_protocol(&mut g);
         let report = check_compatible(&p, &p.dual());
-        prop_assert!(report.is_compatible(), "violations: {:?}", report.violations);
+        assert!(
+            report.is_compatible(),
+            "violations: {:?}",
+            report.violations
+        );
     }
+}
 
-    /// The product of p with dual(p) advances in lock-step, so it
-    /// explores exactly the reachable states of p.
-    #[test]
-    fn product_explores_reachable_states(p in arb_protocol()) {
+/// The product of p with dual(p) advances in lock-step, so it
+/// explores exactly the reachable states of p.
+#[test]
+fn product_explores_reachable_states() {
+    let mut g = Pcg32::new(0x9207_0003);
+    for _ in 0..CASES {
+        let p = random_protocol(&mut g);
         let report = check_compatible(&p, &p.dual());
         let reachable = p.states.len() - p.unreachable_states().len();
-        prop_assert_eq!(report.states_explored, reachable);
+        assert_eq!(report.states_explored, reachable);
         // The generator's chain makes everything reachable.
-        prop_assert_eq!(reachable, p.states.len());
+        assert_eq!(reachable, p.states.len());
     }
+}
 
-    /// Renaming one transition tag in the dual to a fresh name always
-    /// breaks compatibility, and the checker finds it.
-    #[test]
-    fn mutated_dual_is_caught(p in arb_protocol(), pick in any::<proptest::sample::Index>()) {
+/// Renaming one transition tag in the dual to a fresh name always
+/// breaks compatibility, and the checker finds it.
+#[test]
+fn mutated_dual_is_caught() {
+    let mut g = Pcg32::new(0x9207_0004);
+    for _ in 0..CASES {
+        let p = random_protocol(&mut g);
         let mut peer = p.dual();
         let edges: Vec<(usize, usize)> = peer
             .states
@@ -82,11 +96,13 @@ proptest! {
             .enumerate()
             .flat_map(|(si, s)| (0..s.transitions.len()).map(move |ti| (si, ti)))
             .collect();
-        prop_assume!(!edges.is_empty());
-        let (si, ti) = edges[pick.index(edges.len())];
+        if edges.is_empty() {
+            continue;
+        }
+        let (si, ti) = edges[g.index(edges.len())];
         peer.states[si].transitions[ti].tag = "ZZZ".to_string();
         let report = check_compatible(&p, &peer);
-        prop_assert!(
+        assert!(
             !report.is_compatible(),
             "mutation at state {si} transition {ti} went unnoticed"
         );
@@ -95,58 +111,73 @@ proptest! {
             let _ = v.witness();
         }
     }
+}
 
-    /// A random walk through the protocol always conforms to it.
-    #[test]
-    fn random_walk_conforms(p in arb_protocol(), steps in proptest::collection::vec(any::<proptest::sample::Index>(), 0..40)) {
-        let mut state = p.start;
-        let mut trace = Vec::new();
-        for pick in steps {
-            let ts = &p.states[state.0].transitions;
-            if ts.is_empty() {
-                break;
-            }
-            let t = &ts[pick.index(ts.len())];
-            trace.push(TraceEvent { dir: t.dir, tag: t.tag.clone(), at: 0 });
-            state = t.to;
+fn random_walk(
+    g: &mut Pcg32,
+    p: &Protocol,
+    max_steps: usize,
+) -> (Vec<TraceEvent>, chanos_proto::StateId) {
+    let mut state = p.start;
+    let mut trace = Vec::new();
+    for _ in 0..max_steps {
+        let ts = &p.states[state.0].transitions;
+        if ts.is_empty() {
+            break;
         }
-        prop_assert_eq!(conforms(&p, &trace), Ok(state));
+        let t = &ts[g.index(ts.len())];
+        trace.push(TraceEvent {
+            dir: t.dir,
+            tag: t.tag.clone(),
+            at: 0,
+        });
+        state = t.to;
     }
+    (trace, state)
+}
 
-    /// Perturbing one step of a conforming walk into a fresh tag
-    /// makes conformance fail at exactly that index.
-    #[test]
-    fn perturbed_walk_fails_at_right_index(
-        p in arb_protocol(),
-        steps in proptest::collection::vec(any::<proptest::sample::Index>(), 1..30),
-        at in any::<proptest::sample::Index>(),
-    ) {
-        let mut state = p.start;
-        let mut trace = Vec::new();
-        for pick in steps {
-            let ts = &p.states[state.0].transitions;
-            if ts.is_empty() {
-                break;
-            }
-            let t = &ts[pick.index(ts.len())];
-            trace.push(TraceEvent { dir: t.dir, tag: t.tag.clone(), at: 0 });
-            state = t.to;
+/// A random walk through the protocol always conforms to it.
+#[test]
+fn random_walk_conforms() {
+    let mut g = Pcg32::new(0x9207_0005);
+    for _ in 0..CASES {
+        let p = random_protocol(&mut g);
+        let steps = g.index(40);
+        let (trace, state) = random_walk(&mut g, &p, steps);
+        assert_eq!(conforms(&p, &trace), Ok(state));
+    }
+}
+
+/// Perturbing one step of a conforming walk into a fresh tag makes
+/// conformance fail at exactly that index.
+#[test]
+fn perturbed_walk_fails_at_right_index() {
+    let mut g = Pcg32::new(0x9207_0006);
+    for _ in 0..CASES {
+        let p = random_protocol(&mut g);
+        let steps = g.range(1, 30) as usize;
+        let (mut trace, _) = random_walk(&mut g, &p, steps);
+        if trace.is_empty() {
+            continue;
         }
-        prop_assume!(!trace.is_empty());
-        let idx = at.index(trace.len());
+        let idx = g.index(trace.len());
         trace[idx].tag = "ZZZ".to_string();
         let err = conforms(&p, &trace).unwrap_err();
-        prop_assert_eq!(err.index, idx);
+        assert_eq!(err.index, idx);
     }
+}
 
-    /// On functional graphs (every node exactly one successor), the
-    /// wait-graph cycle finder agrees with a brute-force walk.
-    #[test]
-    fn cycles_match_brute_force_on_functional_graphs(succ in proptest::collection::vec(0usize..12, 1..12)) {
-        let n = succ.len();
-        let succ: Vec<usize> = succ.into_iter().map(|s| s % n).collect();
+/// On functional graphs (every node exactly one successor), the
+/// wait-graph cycle finder agrees with a brute-force walk.
+#[test]
+fn cycles_match_brute_force_on_functional_graphs() {
+    let mut g = Pcg32::new(0x9207_0007);
+    for _ in 0..CASES {
+        let n = g.range(1, 12) as usize;
+        let succ: Vec<usize> = (0..n).map(|_| g.index(n)).collect();
         let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, succ[i])).collect();
-        let found: BTreeSet<Vec<usize>> = WaitGraph::from_edges(edges).cycles().into_iter().collect();
+        let found: BTreeSet<Vec<usize>> =
+            WaitGraph::from_edges(edges).cycles().into_iter().collect();
 
         // Brute force: walk from every node until a repeat; extract
         // the cycle; normalize to min-first rotation.
@@ -175,6 +206,6 @@ proptest! {
             cyc.rotate_left(min_pos);
             expected.insert(cyc);
         }
-        prop_assert_eq!(found, expected);
+        assert_eq!(found, expected);
     }
 }

@@ -99,7 +99,10 @@ pub async fn race<A: Future, B: Future>(a: A, b: B) -> Either<A::Output, B::Outp
 ///
 /// Panics if `futs` is empty.
 pub async fn select_all<F: Future>(futs: Vec<F>) -> (usize, F::Output) {
-    assert!(!futs.is_empty(), "select_all over no futures would block forever");
+    assert!(
+        !futs.is_empty(),
+        "select_all over no futures would block forever"
+    );
     let start = next_rotation();
     let mut futs: Vec<Pin<Box<F>>> = futs.into_iter().map(Box::pin).collect();
     std::future::poll_fn(move |cx| {
@@ -196,7 +199,10 @@ macro_rules! choose {
     // 2 arms.
     ($p1:pat = $f1:expr => $b1:expr,
      $p2:pat = $f2:expr => $b2:expr $(,)?) => {{
-        enum __Choose<A, B> { A(A), B(B) }
+        enum __Choose<A, B> {
+            A(A),
+            B(B),
+        }
         let __out = {
             let __start = $crate::next_rotation();
             let mut __f1 = $crate::__private::pin!($f1);
@@ -204,16 +210,25 @@ macro_rules! choose {
             $crate::__private::poll_fn(move |cx| {
                 for __k in 0..2usize {
                     match (__start + __k) % 2 {
-                        0 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f1.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::A(v));
-                        },
-                        _ => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f2.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::B(v));
-                        },
+                        0 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f1.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::A(v));
+                            }
+                        }
+                        _ => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f2.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::B(v));
+                            }
+                        }
                     }
                 }
                 $crate::__private::Poll::Pending
-            }).await
+            })
+            .await
         };
         match __out {
             __Choose::A($p1) => $b1,
@@ -224,7 +239,11 @@ macro_rules! choose {
     ($p1:pat = $f1:expr => $b1:expr,
      $p2:pat = $f2:expr => $b2:expr,
      $p3:pat = $f3:expr => $b3:expr $(,)?) => {{
-        enum __Choose<A, B, C> { A(A), B(B), C(C) }
+        enum __Choose<A, B, C> {
+            A(A),
+            B(B),
+            C(C),
+        }
         let __out = {
             let __start = $crate::next_rotation();
             let mut __f1 = $crate::__private::pin!($f1);
@@ -233,19 +252,32 @@ macro_rules! choose {
             $crate::__private::poll_fn(move |cx| {
                 for __k in 0..3usize {
                     match (__start + __k) % 3 {
-                        0 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f1.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::A(v));
-                        },
-                        1 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f2.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::B(v));
-                        },
-                        _ => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f3.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::C(v));
-                        },
+                        0 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f1.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::A(v));
+                            }
+                        }
+                        1 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f2.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::B(v));
+                            }
+                        }
+                        _ => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f3.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::C(v));
+                            }
+                        }
                     }
                 }
                 $crate::__private::Poll::Pending
-            }).await
+            })
+            .await
         };
         match __out {
             __Choose::A($p1) => $b1,
@@ -258,7 +290,12 @@ macro_rules! choose {
      $p2:pat = $f2:expr => $b2:expr,
      $p3:pat = $f3:expr => $b3:expr,
      $p4:pat = $f4:expr => $b4:expr $(,)?) => {{
-        enum __Choose<A, B, C, D> { A(A), B(B), C(C), D(D) }
+        enum __Choose<A, B, C, D> {
+            A(A),
+            B(B),
+            C(C),
+            D(D),
+        }
         let __out = {
             let __start = $crate::next_rotation();
             let mut __f1 = $crate::__private::pin!($f1);
@@ -268,22 +305,39 @@ macro_rules! choose {
             $crate::__private::poll_fn(move |cx| {
                 for __k in 0..4usize {
                     match (__start + __k) % 4 {
-                        0 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f1.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::A(v));
-                        },
-                        1 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f2.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::B(v));
-                        },
-                        2 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f3.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::C(v));
-                        },
-                        _ => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f4.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::D(v));
-                        },
+                        0 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f1.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::A(v));
+                            }
+                        }
+                        1 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f2.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::B(v));
+                            }
+                        }
+                        2 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f3.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::C(v));
+                            }
+                        }
+                        _ => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f4.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::D(v));
+                            }
+                        }
                     }
                 }
                 $crate::__private::Poll::Pending
-            }).await
+            })
+            .await
         };
         match __out {
             __Choose::A($p1) => $b1,
@@ -298,7 +352,13 @@ macro_rules! choose {
      $p3:pat = $f3:expr => $b3:expr,
      $p4:pat = $f4:expr => $b4:expr,
      $p5:pat = $f5:expr => $b5:expr $(,)?) => {{
-        enum __Choose<A, B, C, D, E> { A(A), B(B), C(C), D(D), E(E) }
+        enum __Choose<A, B, C, D, E> {
+            A(A),
+            B(B),
+            C(C),
+            D(D),
+            E(E),
+        }
         let __out = {
             let __start = $crate::next_rotation();
             let mut __f1 = $crate::__private::pin!($f1);
@@ -309,25 +369,46 @@ macro_rules! choose {
             $crate::__private::poll_fn(move |cx| {
                 for __k in 0..5usize {
                     match (__start + __k) % 5 {
-                        0 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f1.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::A(v));
-                        },
-                        1 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f2.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::B(v));
-                        },
-                        2 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f3.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::C(v));
-                        },
-                        3 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f4.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::D(v));
-                        },
-                        _ => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f5.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::E(v));
-                        },
+                        0 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f1.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::A(v));
+                            }
+                        }
+                        1 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f2.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::B(v));
+                            }
+                        }
+                        2 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f3.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::C(v));
+                            }
+                        }
+                        3 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f4.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::D(v));
+                            }
+                        }
+                        _ => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f5.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::E(v));
+                            }
+                        }
                     }
                 }
                 $crate::__private::Poll::Pending
-            }).await
+            })
+            .await
         };
         match __out {
             __Choose::A($p1) => $b1,
@@ -344,7 +425,14 @@ macro_rules! choose {
      $p4:pat = $f4:expr => $b4:expr,
      $p5:pat = $f5:expr => $b5:expr,
      $p6:pat = $f6:expr => $b6:expr $(,)?) => {{
-        enum __Choose<A, B, C, D, E, F> { A(A), B(B), C(C), D(D), E(E), F(F) }
+        enum __Choose<A, B, C, D, E, F> {
+            A(A),
+            B(B),
+            C(C),
+            D(D),
+            E(E),
+            F(F),
+        }
         let __out = {
             let __start = $crate::next_rotation();
             let mut __f1 = $crate::__private::pin!($f1);
@@ -356,28 +444,53 @@ macro_rules! choose {
             $crate::__private::poll_fn(move |cx| {
                 for __k in 0..6usize {
                     match (__start + __k) % 6 {
-                        0 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f1.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::A(v));
-                        },
-                        1 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f2.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::B(v));
-                        },
-                        2 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f3.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::C(v));
-                        },
-                        3 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f4.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::D(v));
-                        },
-                        4 => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f5.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::E(v));
-                        },
-                        _ => if let $crate::__private::Poll::Ready(v) = $crate::__private::Future::poll(__f6.as_mut(), cx) {
-                            return $crate::__private::Poll::Ready(__Choose::F(v));
-                        },
+                        0 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f1.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::A(v));
+                            }
+                        }
+                        1 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f2.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::B(v));
+                            }
+                        }
+                        2 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f3.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::C(v));
+                            }
+                        }
+                        3 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f4.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::D(v));
+                            }
+                        }
+                        4 => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f5.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::E(v));
+                            }
+                        }
+                        _ => {
+                            if let $crate::__private::Poll::Ready(v) =
+                                $crate::__private::Future::poll(__f6.as_mut(), cx)
+                            {
+                                return $crate::__private::Poll::Ready(__Choose::F(v));
+                            }
+                        }
                     }
                 }
                 $crate::__private::Poll::Pending
-            }).await
+            })
+            .await
         };
         match __out {
             __Choose::A($p1) => $b1,

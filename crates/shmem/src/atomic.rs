@@ -1,7 +1,7 @@
 //! Simulated atomic integers with coherence-priced operations.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use chanos_sim::delay;
 
@@ -14,9 +14,9 @@ use crate::runtime::ShmemRuntime;
 /// All operations are `async` because they consume simulated time.
 #[derive(Clone)]
 pub struct SimAtomicU64 {
-    rt: Rc<ShmemRuntime>,
+    rt: Arc<ShmemRuntime>,
     line: u64,
-    value: Rc<Cell<u64>>,
+    value: Arc<AtomicU64>,
 }
 
 impl SimAtomicU64 {
@@ -27,7 +27,7 @@ impl SimAtomicU64 {
         SimAtomicU64 {
             rt,
             line,
-            value: Rc::new(Cell::new(initial)),
+            value: Arc::new(AtomicU64::new(initial)),
         }
     }
 
@@ -38,7 +38,7 @@ impl SimAtomicU64 {
         SimAtomicU64 {
             rt,
             line,
-            value: Rc::new(Cell::new(initial)),
+            value: Arc::new(AtomicU64::new(initial)),
         }
     }
 
@@ -47,7 +47,7 @@ impl SimAtomicU64 {
         let who = chanos_sim::current_core().index();
         let cost = self.rt.read_cost(self.line, who);
         delay(cost).await;
-        self.value.get()
+        self.value.load(Ordering::Relaxed)
     }
 
     /// Atomically replaces the value.
@@ -55,7 +55,7 @@ impl SimAtomicU64 {
         let who = chanos_sim::current_core().index();
         let cost = self.rt.write_cost(self.line, who);
         delay(cost).await;
-        self.value.set(v);
+        self.value.store(v, Ordering::Relaxed);
     }
 
     /// Atomically adds, returning the previous value.
@@ -63,9 +63,7 @@ impl SimAtomicU64 {
         let who = chanos_sim::current_core().index();
         let cost = self.rt.write_cost(self.line, who);
         delay(cost).await;
-        let old = self.value.get();
-        self.value.set(old.wrapping_add(v));
-        old
+        self.value.fetch_add(v, Ordering::Relaxed)
     }
 
     /// Atomic compare-and-swap; returns `Ok(current)` on success and
@@ -75,19 +73,14 @@ impl SimAtomicU64 {
         let who = chanos_sim::current_core().index();
         let cost = self.rt.write_cost(self.line, who);
         delay(cost).await;
-        let cur = self.value.get();
-        if cur == expected {
-            self.value.set(new);
-            Ok(cur)
-        } else {
-            Err(cur)
-        }
+        self.value
+            .compare_exchange(expected, new, Ordering::Relaxed, Ordering::Relaxed)
     }
 
     /// Reads the value without charging costs (for assertions in
     /// tests and experiment harnesses, not for simulated code).
     pub fn peek(&self) -> u64 {
-        self.value.get()
+        self.value.load(Ordering::Relaxed)
     }
 }
 
@@ -216,9 +209,11 @@ mod tests {
             .block_on(async {
                 let rt = ShmemRuntime::current();
                 let shared = rt.fresh_line();
-                let same =
-                    run_pair(SimAtomicU64::on_line(0, shared), SimAtomicU64::on_line(0, shared))
-                        .await;
+                let same = run_pair(
+                    SimAtomicU64::on_line(0, shared),
+                    SimAtomicU64::on_line(0, shared),
+                )
+                .await;
                 let diff = run_pair(SimAtomicU64::new(0), SimAtomicU64::new(0)).await;
                 (same, diff)
             })

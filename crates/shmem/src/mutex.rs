@@ -5,16 +5,17 @@
 //! contrast to the spinlocks in [`crate::spinlock`] which burn their
 //! core while waiting.
 
-use std::cell::{Ref, RefCell, RefMut};
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard as StdGuard};
 use std::task::{Context, Poll};
 
 use chanos_sim::{self as sim, delay, TaskId};
 
 use crate::runtime::ShmemRuntime;
+
+use chanos_sim::plock;
 
 struct MutexState {
     locked: bool,
@@ -25,10 +26,10 @@ struct MutexState {
 ///
 /// Clones share the same lock and value (like an `Arc<Mutex<T>>`).
 pub struct SimMutex<T> {
-    rt: Rc<ShmemRuntime>,
+    rt: Arc<ShmemRuntime>,
     line: u64,
-    st: Rc<RefCell<MutexState>>,
-    value: Rc<RefCell<T>>,
+    st: Arc<Mutex<MutexState>>,
+    value: Arc<Mutex<T>>,
 }
 
 impl<T> Clone for SimMutex<T> {
@@ -50,11 +51,11 @@ impl<T> SimMutex<T> {
         SimMutex {
             rt,
             line,
-            st: Rc::new(RefCell::new(MutexState {
+            st: Arc::new(Mutex::new(MutexState {
                 locked: false,
                 waiters: VecDeque::new(),
             })),
-            value: Rc::new(RefCell::new(value)),
+            value: Arc::new(Mutex::new(value)),
         }
     }
 
@@ -67,7 +68,7 @@ impl<T> SimMutex<T> {
             let cost = self.rt.write_cost(self.line, who);
             delay(cost).await;
             {
-                let mut st = self.st.borrow_mut();
+                let mut st = plock(&self.st);
                 if !st.locked {
                     st.locked = true;
                     sim::stat_incr("shmem.mutex_acquires");
@@ -90,7 +91,7 @@ impl<T> SimMutex<T> {
         let who = sim::current_core().index();
         let cost = self.rt.write_cost(self.line, who);
         delay(cost).await;
-        let mut st = self.st.borrow_mut();
+        let mut st = plock(&self.st);
         if st.locked {
             None
         } else {
@@ -103,7 +104,7 @@ impl<T> SimMutex<T> {
 
 /// Waits until removed from the waiter queue by an unlock (or a drop).
 struct Park<'a> {
-    st: &'a Rc<RefCell<MutexState>>,
+    st: &'a Arc<Mutex<MutexState>>,
     me: TaskId,
     parked: bool,
 }
@@ -112,7 +113,7 @@ impl Future for Park<'_> {
     type Output = ();
 
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
-        let waiting = self.st.borrow().waiters.contains(&self.me);
+        let waiting = plock(self.st).waiters.contains(&self.me);
         if waiting {
             Poll::Pending
         } else {
@@ -125,7 +126,7 @@ impl Future for Park<'_> {
 impl Drop for Park<'_> {
     fn drop(&mut self) {
         if self.parked {
-            self.st.borrow_mut().waiters.retain(|&t| t != self.me);
+            plock(self.st).waiters.retain(|&t| t != self.me);
         }
     }
 }
@@ -141,24 +142,24 @@ pub struct MutexGuard<'a, T> {
 
 impl<T> MutexGuard<'_, T> {
     /// Shared access to the protected value.
-    pub fn borrow(&self) -> Ref<'_, T> {
-        self.mutex.value.borrow()
+    pub fn borrow(&self) -> StdGuard<'_, T> {
+        plock(&self.mutex.value)
     }
 
     /// Exclusive access to the protected value.
-    pub fn borrow_mut(&self) -> RefMut<'_, T> {
-        self.mutex.value.borrow_mut()
+    pub fn borrow_mut(&self) -> StdGuard<'_, T> {
+        plock(&self.mutex.value)
     }
 
     /// Runs a closure with exclusive access.
     pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
-        f(&mut self.mutex.value.borrow_mut())
+        f(&mut plock(&self.mutex.value))
     }
 }
 
 impl<T> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
-        let mut st = self.mutex.st.borrow_mut();
+        let mut st = plock(&self.mutex.st);
         st.locked = false;
         // Hand the wake to the first waiter; it re-runs its CAS (and
         // may still lose to a barging locker, as in real futexes).
@@ -189,8 +190,8 @@ mod tests {
         let (sum, overlaps) = s
             .block_on(async {
                 let m = SimMutex::new(0u64);
-                let in_cs = Rc::new(std::cell::Cell::new(false));
-                let overlaps = Rc::new(std::cell::Cell::new(0u32));
+                let in_cs = std::rc::Rc::new(std::cell::Cell::new(false));
+                let overlaps = std::rc::Rc::new(std::cell::Cell::new(0u32));
                 let hs: Vec<_> = (0..8)
                     .map(|c| {
                         let m = m.clone();
@@ -286,9 +287,7 @@ mod tests {
         }
         let out = s.run_until_idle();
         assert_eq!(out.end, RunEnd::Completed);
-        let total = s
-            .block_on(async move { *m.lock().await.borrow() })
-            .unwrap();
+        let total = s.block_on(async move { *m.lock().await.borrow() }).unwrap();
         assert_eq!(total, 320);
     }
 }

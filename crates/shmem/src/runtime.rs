@@ -18,8 +18,8 @@
 //! message runtime uses, so experiment E2 compares the two worlds on
 //! equal hardware.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use chanos_noc::Interconnect;
 use chanos_sim::{Cycles, Simulation};
@@ -192,15 +192,15 @@ impl Directory {
 pub struct ShmemRuntime {
     ic: Interconnect,
     costs: CoherenceCosts,
-    dir: RefCell<Directory>,
-    next_line: std::cell::Cell<u64>,
+    dir: Mutex<Directory>,
+    next_line: AtomicU64,
 }
 
 impl ShmemRuntime {
     /// Returns the runtime of the current simulation, installing a
     /// default (mesh over the machine's cores, default costs) on first
     /// use.
-    pub fn current() -> Rc<ShmemRuntime> {
+    pub fn current() -> Arc<ShmemRuntime> {
         if let Some(rt) = chanos_sim::ext_get::<ShmemRuntime>() {
             return rt;
         }
@@ -213,34 +213,40 @@ impl ShmemRuntime {
         ShmemRuntime {
             ic,
             costs: CoherenceCosts::default(),
-            dir: RefCell::new(Directory::default()),
-            next_line: std::cell::Cell::new(1),
+            dir: Mutex::new(Directory::default()),
+            next_line: AtomicU64::new(1),
         }
     }
 
     /// Allocates a fresh cache line id (no false sharing).
     pub fn fresh_line(&self) -> u64 {
-        let l = self.next_line.get();
-        self.next_line.set(l + 1);
-        l
+        self.next_line.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Charges and returns the delay of a read of `line` by `who`.
     pub fn read_cost(&self, line: u64, who: usize) -> Cycles {
         chanos_sim::stat_incr("shmem.reads");
         let now = chanos_sim::now();
-        self.dir
-            .borrow_mut()
-            .read(&self.ic, &self.costs, line, who, now)
+        self.dir.lock().unwrap_or_else(|e| e.into_inner()).read(
+            &self.ic,
+            &self.costs,
+            line,
+            who,
+            now,
+        )
     }
 
     /// Charges and returns the delay of a write of `line` by `who`.
     pub fn write_cost(&self, line: u64, who: usize) -> Cycles {
         chanos_sim::stat_incr("shmem.writes");
         let now = chanos_sim::now();
-        self.dir
-            .borrow_mut()
-            .write(&self.ic, &self.costs, line, who, now)
+        self.dir.lock().unwrap_or_else(|e| e.into_inner()).write(
+            &self.ic,
+            &self.costs,
+            line,
+            who,
+            now,
+        )
     }
 
     /// The cost parameters in use.

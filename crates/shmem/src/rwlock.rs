@@ -6,16 +6,17 @@
 //! reader count is a shared line) — the classic reason rwlocks stop
 //! helping at high core counts.
 
-use std::cell::{Ref, RefCell, RefMut};
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard as StdGuard};
 use std::task::{Context, Poll};
 
 use chanos_sim::{self as sim, delay, TaskId};
 
 use crate::runtime::ShmemRuntime;
+
+use chanos_sim::plock;
 
 struct RwState {
     readers: usize,
@@ -26,10 +27,10 @@ struct RwState {
 
 /// A simulated blocking reader-writer lock protecting a `T`.
 pub struct SimRwLock<T> {
-    rt: Rc<ShmemRuntime>,
+    rt: Arc<ShmemRuntime>,
     line: u64,
-    st: Rc<RefCell<RwState>>,
-    value: Rc<RefCell<T>>,
+    st: Arc<Mutex<RwState>>,
+    value: Arc<Mutex<T>>,
 }
 
 impl<T> Clone for SimRwLock<T> {
@@ -45,7 +46,7 @@ impl<T> Clone for SimRwLock<T> {
 
 struct WaitIn<'a> {
     kind: WaitKind,
-    st: &'a Rc<RefCell<RwState>>,
+    st: &'a Arc<Mutex<RwState>>,
     me: TaskId,
 }
 
@@ -59,7 +60,7 @@ impl Future for WaitIn<'_> {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
-        let st = self.st.borrow();
+        let st = plock(self.st);
         let waiting = match self.kind {
             WaitKind::Read => st.wait_readers.contains(&self.me),
             WaitKind::Write => st.wait_writers.contains(&self.me),
@@ -74,7 +75,7 @@ impl Future for WaitIn<'_> {
 
 impl Drop for WaitIn<'_> {
     fn drop(&mut self) {
-        let mut st = self.st.borrow_mut();
+        let mut st = plock(self.st);
         match self.kind {
             WaitKind::Read => st.wait_readers.retain(|&t| t != self.me),
             WaitKind::Write => st.wait_writers.retain(|&t| t != self.me),
@@ -90,13 +91,13 @@ impl<T> SimRwLock<T> {
         SimRwLock {
             rt,
             line,
-            st: Rc::new(RefCell::new(RwState {
+            st: Arc::new(Mutex::new(RwState {
                 readers: 0,
                 writer: false,
                 wait_readers: Vec::new(),
                 wait_writers: VecDeque::new(),
             })),
-            value: Rc::new(RefCell::new(value)),
+            value: Arc::new(Mutex::new(value)),
         }
     }
 
@@ -110,7 +111,7 @@ impl<T> SimRwLock<T> {
             let cost = self.rt.write_cost(self.line, who);
             delay(cost).await;
             {
-                let mut st = self.st.borrow_mut();
+                let mut st = plock(&self.st);
                 if !st.writer && st.wait_writers.is_empty() {
                     st.readers += 1;
                     sim::stat_incr("shmem.rw_read_acquires");
@@ -135,7 +136,7 @@ impl<T> SimRwLock<T> {
             let cost = self.rt.write_cost(self.line, who);
             delay(cost).await;
             {
-                let mut st = self.st.borrow_mut();
+                let mut st = plock(&self.st);
                 if !st.writer && st.readers == 0 {
                     st.writer = true;
                     sim::stat_incr("shmem.rw_write_acquires");
@@ -176,14 +177,14 @@ pub struct ReadGuard<'a, T> {
 
 impl<T> ReadGuard<'_, T> {
     /// Access the protected value.
-    pub fn borrow(&self) -> Ref<'_, T> {
-        self.lock.value.borrow()
+    pub fn borrow(&self) -> StdGuard<'_, T> {
+        plock(&self.lock.value)
     }
 }
 
 impl<T> Drop for ReadGuard<'_, T> {
     fn drop(&mut self) {
-        let mut st = self.lock.st.borrow_mut();
+        let mut st = plock(&self.lock.st);
         st.readers -= 1;
         release_wakeups(&mut st);
     }
@@ -196,24 +197,24 @@ pub struct WriteGuard<'a, T> {
 
 impl<T> WriteGuard<'_, T> {
     /// Shared access to the protected value.
-    pub fn borrow(&self) -> Ref<'_, T> {
-        self.lock.value.borrow()
+    pub fn borrow(&self) -> StdGuard<'_, T> {
+        plock(&self.lock.value)
     }
 
     /// Exclusive access to the protected value.
-    pub fn borrow_mut(&self) -> RefMut<'_, T> {
-        self.lock.value.borrow_mut()
+    pub fn borrow_mut(&self) -> StdGuard<'_, T> {
+        plock(&self.lock.value)
     }
 
     /// Runs a closure with exclusive access.
     pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
-        f(&mut self.lock.value.borrow_mut())
+        f(&mut plock(&self.lock.value))
     }
 }
 
 impl<T> Drop for WriteGuard<'_, T> {
     fn drop(&mut self) {
-        let mut st = self.lock.st.borrow_mut();
+        let mut st = plock(&self.lock.st);
         st.writer = false;
         release_wakeups(&mut st);
     }
@@ -238,8 +239,8 @@ mod tests {
         let max_concurrent_readers = s
             .block_on(async {
                 let lock = SimRwLock::new(0u32);
-                let active = Rc::new(std::cell::Cell::new(0i32));
-                let max = Rc::new(std::cell::Cell::new(0i32));
+                let active = std::rc::Rc::new(std::cell::Cell::new(0i32));
+                let max = std::rc::Rc::new(std::cell::Cell::new(0i32));
                 let hs: Vec<_> = (0..3)
                     .map(|c| {
                         let lock = lock.clone();
@@ -282,7 +283,7 @@ mod tests {
         let order = s
             .block_on(async {
                 let lock = SimRwLock::new(());
-                let order = Rc::new(RefCell::new(Vec::new()));
+                let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
                 // Reader 0 holds the lock.
                 let l0 = lock.clone();
                 let o0 = order.clone();

@@ -19,21 +19,22 @@
 //! as burned CPU in core-utilization results, exactly like real
 //! spinlocks.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll};
 
 use chanos_sim::{self as sim, delay, TaskId};
 
 use crate::runtime::ShmemRuntime;
 
+use chanos_sim::plock;
+
 /// Spin-parks until this task is no longer in `waiters`, holding the
 /// core the whole time.
 struct SpinPark<'a> {
-    waiters: &'a Rc<RefCell<Vec<TaskId>>>,
+    waiters: &'a Arc<Mutex<Vec<TaskId>>>,
     me: TaskId,
 }
 
@@ -41,7 +42,7 @@ impl Future for SpinPark<'_> {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
-        if self.waiters.borrow().contains(&self.me) {
+        if plock(self.waiters).contains(&self.me) {
             sim::block_holding_core();
             Poll::Pending
         } else {
@@ -52,7 +53,7 @@ impl Future for SpinPark<'_> {
 
 impl Drop for SpinPark<'_> {
     fn drop(&mut self) {
-        self.waiters.borrow_mut().retain(|&t| t != self.me);
+        plock(self.waiters).retain(|&t| t != self.me);
     }
 }
 
@@ -66,10 +67,10 @@ struct TasState {
 
 /// A test-and-set spinlock (the naive design).
 pub struct TasSpinlock {
-    rt: Rc<ShmemRuntime>,
+    rt: Arc<ShmemRuntime>,
     line: u64,
-    st: Rc<RefCell<TasState>>,
-    spinners: Rc<RefCell<Vec<TaskId>>>,
+    st: Arc<Mutex<TasState>>,
+    spinners: Arc<Mutex<Vec<TaskId>>>,
 }
 
 impl Clone for TasSpinlock {
@@ -97,8 +98,8 @@ impl TasSpinlock {
         TasSpinlock {
             rt,
             line,
-            st: Rc::new(RefCell::new(TasState { locked: false })),
-            spinners: Rc::new(RefCell::new(Vec::new())),
+            st: Arc::new(Mutex::new(TasState { locked: false })),
+            spinners: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -112,13 +113,13 @@ impl TasSpinlock {
             let cost = self.rt.write_cost(self.line, who);
             delay(cost).await;
             {
-                let mut st = self.st.borrow_mut();
+                let mut st = plock(&self.st);
                 if !st.locked {
                     st.locked = true;
                     sim::stat_incr("shmem.tas_acquires");
                     return TasGuard { lock: self.clone() };
                 }
-                self.spinners.borrow_mut().push(me);
+                plock(&self.spinners).push(me);
                 sim::stat_incr("shmem.tas_spins");
             }
             SpinPark {
@@ -138,7 +139,7 @@ pub struct TasGuard {
 impl Drop for TasGuard {
     fn drop(&mut self) {
         if !sim::in_sim() {
-            self.lock.st.borrow_mut().locked = false;
+            plock(&self.lock.st).locked = false;
             return;
         }
         // The release is itself a store to the contended line: it
@@ -152,9 +153,9 @@ impl Drop for TasGuard {
         let wcost = lock.rt.write_cost(lock.line, who);
         sim::spawn_daemon_on("tas-release", sim::system_device_core(), async move {
             chanos_sim::sleep(wcost).await;
-            lock.st.borrow_mut().locked = false;
+            plock(&lock.st).locked = false;
             // Thundering herd: every spinner retries its CAS.
-            let woken: Vec<TaskId> = lock.spinners.borrow_mut().drain(..).collect();
+            let woken: Vec<TaskId> = plock(&lock.spinners).drain(..).collect();
             for t in woken {
                 sim::wake_now(t);
             }
@@ -173,11 +174,11 @@ struct TicketState {
 
 /// A FIFO ticket spinlock.
 pub struct TicketLock {
-    rt: Rc<ShmemRuntime>,
+    rt: Arc<ShmemRuntime>,
     next_line: u64,
     serving_line: u64,
-    st: Rc<RefCell<TicketState>>,
-    spinners: Rc<RefCell<Vec<TaskId>>>,
+    st: Arc<Mutex<TicketState>>,
+    spinners: Arc<Mutex<Vec<TaskId>>>,
 }
 
 impl Clone for TicketLock {
@@ -208,11 +209,11 @@ impl TicketLock {
             rt,
             next_line,
             serving_line,
-            st: Rc::new(RefCell::new(TicketState {
+            st: Arc::new(Mutex::new(TicketState {
                 next: 0,
                 serving: 0,
             })),
-            spinners: Rc::new(RefCell::new(Vec::new())),
+            spinners: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -224,7 +225,7 @@ impl TicketLock {
         let cost = self.rt.write_cost(self.next_line, who);
         delay(cost).await;
         let my_ticket = {
-            let mut st = self.st.borrow_mut();
+            let mut st = plock(&self.st);
             let t = st.next;
             st.next += 1;
             t
@@ -234,11 +235,11 @@ impl TicketLock {
         let cost = self.rt.read_cost(self.serving_line, who);
         delay(cost).await;
         loop {
-            if self.st.borrow().serving == my_ticket {
+            if plock(&self.st).serving == my_ticket {
                 sim::stat_incr("shmem.ticket_acquires");
                 return TicketGuard { lock: self.clone() };
             }
-            self.spinners.borrow_mut().push(me);
+            plock(&self.spinners).push(me);
             sim::stat_incr("shmem.ticket_spins");
             SpinPark {
                 waiters: &self.spinners,
@@ -261,7 +262,7 @@ pub struct TicketGuard {
 impl Drop for TicketGuard {
     fn drop(&mut self) {
         if !sim::in_sim() {
-            self.lock.st.borrow_mut().serving += 1;
+            plock(&self.lock.st).serving += 1;
             return;
         }
         // Bumping `serving` is a store to a line every spinner reads:
@@ -272,10 +273,10 @@ impl Drop for TicketGuard {
         let wcost = lock.rt.write_cost(lock.serving_line, who);
         sim::spawn_daemon_on("ticket-release", sim::system_device_core(), async move {
             chanos_sim::sleep(wcost).await;
-            lock.st.borrow_mut().serving += 1;
+            plock(&lock.st).serving += 1;
             // Every spinner re-reads `serving`: O(N) traffic, but only
             // the matching ticket proceeds.
-            let woken: Vec<TaskId> = lock.spinners.borrow_mut().drain(..).collect();
+            let woken: Vec<TaskId> = plock(&lock.spinners).drain(..).collect();
             for t in woken {
                 sim::wake_now(t);
             }
@@ -296,10 +297,10 @@ struct McsState {
 
 /// An MCS queue spinlock: local spinning, O(1) handoff traffic.
 pub struct McsLock {
-    rt: Rc<ShmemRuntime>,
+    rt: Arc<ShmemRuntime>,
     tail_line: u64,
-    st: Rc<RefCell<McsState>>,
-    waiting: Rc<RefCell<Vec<TaskId>>>,
+    st: Arc<Mutex<McsState>>,
+    waiting: Arc<Mutex<Vec<TaskId>>>,
 }
 
 impl Clone for McsLock {
@@ -327,11 +328,11 @@ impl McsLock {
         McsLock {
             rt,
             tail_line,
-            st: Rc::new(RefCell::new(McsState {
+            st: Arc::new(Mutex::new(McsState {
                 holder: None,
                 queue: VecDeque::new(),
             })),
-            waiting: Rc::new(RefCell::new(Vec::new())),
+            waiting: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -343,14 +344,14 @@ impl McsLock {
         let cost = self.rt.write_cost(self.tail_line, my_core);
         delay(cost).await;
         {
-            let mut st = self.st.borrow_mut();
+            let mut st = plock(&self.st);
             if st.holder.is_none() && st.queue.is_empty() {
                 st.holder = Some(me);
                 sim::stat_incr("shmem.mcs_acquires");
                 return McsGuard { lock: self.clone() };
             }
             st.queue.push_back((me, my_core));
-            self.waiting.borrow_mut().push(me);
+            plock(&self.waiting).push(me);
             sim::stat_incr("shmem.mcs_spins");
         }
         SpinPark {
@@ -362,7 +363,7 @@ impl McsLock {
         // transfer's worth of cost, independent of contention.
         let cost = self.rt.costs().directory + self.rt.costs().per_hop;
         delay(cost).await;
-        debug_assert_eq!(self.st.borrow().holder, Some(me));
+        debug_assert_eq!(plock(&self.st).holder, Some(me));
         sim::stat_incr("shmem.mcs_acquires");
         McsGuard { lock: self.clone() }
     }
@@ -375,13 +376,13 @@ pub struct McsGuard {
 
 impl Drop for McsGuard {
     fn drop(&mut self) {
-        let mut st = self.lock.st.borrow_mut();
+        let mut st = plock(&self.lock.st);
         if let Some((next, _core)) = st.queue.pop_front() {
             // Transfer ownership before waking, so barging lockers
             // cannot slip in between.
             st.holder = Some(next);
             drop(st);
-            self.lock.waiting.borrow_mut().retain(|&t| t != next);
+            plock(&self.lock.waiting).retain(|&t| t != next);
             if sim::in_sim() {
                 sim::wake_now(next);
             }
@@ -412,7 +413,7 @@ mod tests {
             let out = s
                 .block_on(async move {
                     let lock = $mk;
-                    let counter = Rc::new(std::cell::Cell::new(0u64));
+                    let counter = std::rc::Rc::new(std::cell::Cell::new(0u64));
                     let t0 = chanos_sim::now();
                     let hs: Vec<_> = (0..$cores)
                         .map(|c| {
@@ -468,7 +469,7 @@ mod tests {
         let order = s
             .block_on(async {
                 let lock = TicketLock::new();
-                let order = Rc::new(RefCell::new(Vec::new()));
+                let order = Arc::new(Mutex::new(Vec::new()));
                 // Acquire the lock, then queue three waiters with
                 // deterministic arrival times.
                 let g = lock.lock().await;
@@ -479,7 +480,7 @@ mod tests {
                     hs.push(spawn_on(CoreId(c), async move {
                         chanos_sim::sleep(u64::from(c) * 100).await;
                         let g = lock.lock().await;
-                        order.borrow_mut().push(c);
+                        plock(&order).push(c);
                         drop(g);
                     }));
                 }
@@ -488,11 +489,15 @@ mod tests {
                 for h in hs {
                     h.join().await.unwrap();
                 }
-                let out = order.borrow().clone();
+                let out = plock(&order).clone();
                 out
             })
             .unwrap();
-        assert_eq!(order, vec![1, 2, 3], "ticket lock must grant in arrival order");
+        assert_eq!(
+            order,
+            vec![1, 2, 3],
+            "ticket lock must grant in arrival order"
+        );
     }
 
     #[test]

@@ -173,19 +173,39 @@ pub fn with_rng<R>(f: impl FnOnce(&mut Pcg32) -> R) -> R {
 }
 
 /// Fetches a typed value from the simulation's extension registry.
-pub fn ext_get<T: 'static>() -> Option<Rc<T>> {
+///
+/// Values are stored behind `Arc` so higher layers can hold handles
+/// that are `Send` when `T` is (the runtime facade relies on this).
+pub fn ext_get<T: 'static>() -> Option<std::sync::Arc<T>> {
     with_inner(|i| {
         i.ext
             .get(&std::any::TypeId::of::<T>())
             .cloned()
-            .and_then(|rc| rc.downcast::<T>().ok())
+            .and_then(downcast_arc::<T>)
     })
+}
+
+/// Downcasts an `Arc<dyn Any>` (no `Send + Sync` bound, unlike the
+/// std `Arc::downcast`) by checking the type id and re-tagging the
+/// pointer.
+pub(crate) fn downcast_arc<T: 'static>(
+    rc: std::sync::Arc<dyn std::any::Any>,
+) -> Option<std::sync::Arc<T>> {
+    if (*rc).is::<T>() {
+        // SAFETY: the concrete type behind the erased pointer is `T`
+        // (just checked); re-tagging the Arc preserves the refcount.
+        let raw = std::sync::Arc::into_raw(rc) as *const T;
+        Some(unsafe { std::sync::Arc::from_raw(raw) })
+    } else {
+        None
+    }
 }
 
 /// Stores a typed value in the extension registry.
 pub fn ext_insert<T: 'static>(value: T) {
     with_inner(|i| {
-        i.ext.insert(std::any::TypeId::of::<T>(), Rc::new(value));
+        i.ext
+            .insert(std::any::TypeId::of::<T>(), std::sync::Arc::new(value));
     });
 }
 
@@ -197,10 +217,7 @@ pub fn spawn<T: 'static>(fut: impl Future<Output = T> + 'static) -> JoinHandle<T
 }
 
 /// Spawns a task pinned to `core`.
-pub fn spawn_on<T: 'static>(
-    core: CoreId,
-    fut: impl Future<Output = T> + 'static,
-) -> JoinHandle<T> {
+pub fn spawn_on<T: 'static>(core: CoreId, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
     let (rc, parent) = with_ctx(|ctx| (ctx.rc.clone(), ctx.core));
     let mut opts = SpawnOpts::new();
     opts.core = Some(core);

@@ -155,7 +155,7 @@ pub(crate) struct Inner {
     pub(crate) stats: Stats,
     pub(crate) cfg: Config,
     pub(crate) poll_effect: Option<PollEffect>,
-    pub(crate) ext: HashMap<TypeId, Rc<dyn Any>>,
+    pub(crate) ext: HashMap<TypeId, Arc<dyn Any>>,
     trace_hash: u64,
     trace_log: Vec<String>,
     rr_next: usize,
@@ -259,9 +259,7 @@ impl Inner {
     /// drop it *outside* the `Inner` borrow, because completing the
     /// join state can run arbitrary user `Drop` code.
     fn remove_task(&mut self, id: TaskId) -> Option<Box<dyn FnOnce(JoinError) -> Vec<TaskId>>> {
-        let Some(task) = self.task_mut(id) else {
-            return None;
-        };
+        let task = self.task_mut(id)?;
         let core = task.core;
         let hook = task.on_abnormal.take();
         self.tasks.remove(id.index as usize);
@@ -307,8 +305,7 @@ impl Inner {
         };
         self.trace_hash = fnv_step(fnv_step(self.trace_hash, ev.at), disc);
         if self.cfg.trace_log {
-            self.trace_log
-                .push(format!("{} {:?}", ev.at, ev.kind));
+            self.trace_log.push(format!("{} {:?}", ev.at, ev.kind));
         }
     }
 }
@@ -342,17 +339,25 @@ where
     T: 'static,
     F: Future<Output = T> + 'static,
 {
-    let join = Rc::new(RefCell::new(JoinInner::new()));
+    let join = Arc::new(Mutex::new(JoinInner::new()));
     let join_ok = join.clone();
     let wrapped = async move {
         let v = fut.await;
-        let waiters = join_ok.borrow_mut().complete(Ok(v));
+        let waiters = join_ok
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .complete(Ok(v));
         for w in waiters {
             ctx::wake_now(w);
         }
     };
     let join_err = join.clone();
-    let hook = Box::new(move |e: JoinError| join_err.borrow_mut().complete(Err(e)));
+    let hook = Box::new(move |e: JoinError| {
+        join_err
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .complete(Err(e))
+    });
 
     let mut inner = rc.borrow_mut();
     let name = opts.name.unwrap_or_else(|| "task".to_string());
@@ -857,17 +862,17 @@ impl Simulation {
         self.rc
             .borrow_mut()
             .ext
-            .insert(TypeId::of::<T>(), Rc::new(value));
+            .insert(TypeId::of::<T>(), Arc::new(value));
     }
 
     /// Fetches a value from the extension registry.
-    pub fn ext_get<T: 'static>(&self) -> Option<Rc<T>> {
+    pub fn ext_get<T: 'static>(&self) -> Option<Arc<T>> {
         let inner = self.rc.borrow();
         inner
             .ext
             .get(&TypeId::of::<T>())
             .cloned()
-            .and_then(|rc| rc.downcast::<T>().ok())
+            .and_then(ctx::downcast_arc::<T>)
     }
 }
 

@@ -14,10 +14,7 @@ use crate::ids::{CoreId, Cycles};
 /// The core stays busy for the duration: other ready tasks on the same
 /// core wait. This is how simulated code models work it performs.
 pub fn delay(n: Cycles) -> Delay {
-    Delay {
-        n,
-        deadline: None,
-    }
+    Delay { n, deadline: None }
 }
 
 /// Future returned by [`delay`].
@@ -58,10 +55,7 @@ impl Future for Delay {
 /// Other tasks run on the core in the meantime; use this for timers
 /// and device latencies, [`delay`] for compute.
 pub fn sleep(n: Cycles) -> Sleep {
-    Sleep {
-        n,
-        deadline: None,
-    }
+    Sleep { n, deadline: None }
 }
 
 /// Future returned by [`sleep`].
@@ -128,10 +122,7 @@ impl Future for YieldNow {
 /// Moves the current task to `dest` (it resumes on that core's run
 /// queue, paying the usual dispatch cost there).
 pub fn migrate(dest: CoreId) -> Migrate {
-    Migrate {
-        dest,
-        moved: false,
-    }
+    Migrate { dest, moved: false }
 }
 
 /// Future returned by [`migrate`].

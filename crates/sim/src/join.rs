@@ -1,10 +1,11 @@
 //! Task completion: join handles and task failure reasons.
 
-use std::cell::RefCell;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll};
+
+use crate::sync::plock;
 
 use crate::ctx;
 use crate::ids::TaskId;
@@ -66,11 +67,11 @@ impl<T> JoinInner<T> {
 /// task (it keeps running).
 pub struct JoinHandle<T> {
     id: TaskId,
-    inner: Rc<RefCell<JoinInner<T>>>,
+    inner: Arc<Mutex<JoinInner<T>>>,
 }
 
 impl<T> JoinHandle<T> {
-    pub(crate) fn new(id: TaskId, inner: Rc<RefCell<JoinInner<T>>>) -> Self {
+    pub(crate) fn new(id: TaskId, inner: Arc<Mutex<JoinInner<T>>>) -> Self {
         JoinHandle { id, inner }
     }
 
@@ -81,7 +82,7 @@ impl<T> JoinHandle<T> {
 
     /// Returns `true` once the task has finished (normally or not).
     pub fn is_finished(&self) -> bool {
-        self.inner.borrow().is_finished()
+        plock(&self.inner).is_finished()
     }
 
     /// Takes the task's result if it has finished.
@@ -89,7 +90,7 @@ impl<T> JoinHandle<T> {
     /// Returns `None` while the task is still running, or if the
     /// result was already taken (by `join` or a previous `try_take`).
     pub fn try_take(&self) -> Option<Result<T, JoinError>> {
-        self.inner.borrow_mut().result.take()
+        plock(&self.inner).result.take()
     }
 
     /// Kills the task from inside the simulation.
@@ -138,7 +139,7 @@ impl<T> std::fmt::Debug for JoinHandle<T> {
 /// Cancel-safe: dropping it deregisters the waiter without consuming
 /// the task's result, so it can be used as a `choose!` arm.
 pub struct Join<T> {
-    inner: Rc<RefCell<JoinInner<T>>>,
+    inner: Arc<Mutex<JoinInner<T>>>,
     id: TaskId,
     registered: Option<TaskId>,
 }
@@ -155,7 +156,7 @@ impl<T> Future for Join<T> {
 
     fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
         let me = ctx::current_task();
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = plock(&self.inner);
         if let Some(r) = inner.result.take() {
             drop(inner);
             self.registered = None;
@@ -173,7 +174,7 @@ impl<T> Future for Join<T> {
 impl<T> Drop for Join<T> {
     fn drop(&mut self) {
         if let Some(me) = self.registered {
-            self.inner.borrow_mut().waiters.retain(|&w| w != me);
+            plock(&self.inner).waiters.retain(|&w| w != me);
         }
     }
 }

@@ -90,10 +90,13 @@ impl<T> Slab<T> {
 
     /// Iterates over `(key, &value)` pairs of occupied slots.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
-        self.entries.iter().enumerate().filter_map(|(i, e)| match e {
-            Entry::Occupied(v) => Some((i, v)),
-            Entry::Vacant => None,
-        })
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Entry::Occupied(v) => Some((i, v)),
+                Entry::Vacant => None,
+            })
     }
 
     /// Iterates over `(key, &mut value)` pairs of occupied slots.

@@ -41,7 +41,11 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
-        let idx = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let idx = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += u128::from(v);
@@ -91,7 +95,11 @@ impl Histogram {
             seen += c;
             if seen >= rank {
                 let lo = if i == 0 { 0u64 } else { 1u64 << i };
-                let hi = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 let mid = lo + (hi - lo) / 2;
                 return mid.clamp(self.min, self.max);
             }

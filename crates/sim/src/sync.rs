@@ -1,0 +1,15 @@
+//! Shared locking conventions for the workspace.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, ignoring poisoning.
+///
+/// Under the simulator the executor is single-threaded, so a
+/// poisoned lock only means an earlier poll panicked; on the real
+/// threads backend a panicked task is surfaced through its join
+/// handle and must not wedge unrelated users of the lock. Either
+/// way, continuing with the inner state is the intended policy —
+/// and keeping that policy in one place is why this helper exists.
+pub fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -2,8 +2,8 @@
 //! scheduling, joins, kills, placement, and determinism.
 
 use chanos_sim::{
-    delay, migrate, now, sleep, spawn, spawn_named, yield_now, Config, CoreId, JoinError,
-    RunEnd, Simulation,
+    delay, migrate, now, sleep, spawn, spawn_named, yield_now, Config, CoreId, JoinError, RunEnd,
+    Simulation,
 };
 
 #[test]
@@ -398,7 +398,10 @@ fn many_tasks_many_cores_complete() {
         .collect();
     let out = sim.run_until_idle();
     assert_eq!(out.end, RunEnd::Completed);
-    let sum: u32 = handles.into_iter().map(|h| h.try_take().unwrap().unwrap()).sum();
+    let sum: u32 = handles
+        .into_iter()
+        .map(|h| h.try_take().unwrap().unwrap())
+        .sum();
     assert_eq!(sum, (0..1000).sum::<u32>());
 }
 

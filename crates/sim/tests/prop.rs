@@ -1,71 +1,91 @@
-//! Property tests for the simulator's data structures and
-//! determinism guarantees.
-
-use proptest::prelude::*;
+//! Randomized-property tests for the simulator's data structures and
+//! determinism guarantees, driven by the crate's own deterministic
+//! PCG RNG (no external property-testing framework is available).
 
 use chanos_sim::{delay, sleep, yield_now, Config, CoreId, Histogram, Pcg32, Simulation, Slab};
 
-proptest! {
-    /// The histogram's percentile always lies within [min, max] and
-    /// is monotone in p.
-    #[test]
-    fn histogram_percentiles_bounded_and_monotone(
-        samples in prop::collection::vec(0u64..1_000_000, 1..200)
-    ) {
+const CASES: u64 = 32;
+
+/// The histogram's percentile always lies within [min, max] and is
+/// monotone in p.
+#[test]
+fn histogram_percentiles_bounded_and_monotone() {
+    let mut g = Pcg32::new(0x5EED_0001);
+    for case in 0..CASES {
+        let n = g.range(1, 200) as usize;
         let mut h = Histogram::new();
-        for &s in &samples {
-            h.record(s);
+        for _ in 0..n {
+            h.record(g.bounded(1_000_000));
         }
         let mut last = 0u64;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let v = h.percentile(p);
-            prop_assert!(v >= h.min(), "p{p}: {v} < min {}", h.min());
-            prop_assert!(v <= h.max(), "p{p}: {v} > max {}", h.max());
-            prop_assert!(v >= last, "percentile must be monotone in p");
+            assert!(v >= h.min(), "case {case} p{p}: {v} < min {}", h.min());
+            assert!(v <= h.max(), "case {case} p{p}: {v} > max {}", h.max());
+            assert!(v >= last, "case {case}: percentile must be monotone in p");
             last = v;
         }
         let mean = h.mean();
-        prop_assert!(mean >= h.min() as f64 && mean <= h.max() as f64);
+        assert!(mean >= h.min() as f64 && mean <= h.max() as f64);
     }
+}
 
-    /// Slab keys stay valid across arbitrary insert/remove sequences
-    /// (model-checked against a HashMap).
-    #[test]
-    fn slab_matches_hashmap_model(ops in prop::collection::vec((0u8..2, 0u16..64), 1..200)) {
+/// Slab keys stay valid across arbitrary insert/remove sequences
+/// (model-checked against a HashMap).
+#[test]
+fn slab_matches_hashmap_model() {
+    let mut g = Pcg32::new(0x5EED_0002);
+    for case in 0..CASES {
+        let ops = g.range(1, 200);
         let mut slab = Slab::new();
         let mut model: std::collections::HashMap<usize, u16> = std::collections::HashMap::new();
         let mut keys: Vec<usize> = Vec::new();
-        for (op, val) in ops {
+        for _ in 0..ops {
+            let op = g.bounded(2);
+            let val = g.bounded(64) as u16;
             if op == 0 || keys.is_empty() {
                 let k = slab.insert(val);
-                prop_assert!(!model.contains_key(&k), "slab reused a live key");
+                assert!(
+                    !model.contains_key(&k),
+                    "case {case}: slab reused a live key"
+                );
                 model.insert(k, val);
                 keys.push(k);
             } else {
                 let idx = (val as usize) % keys.len();
                 let k = keys.swap_remove(idx);
-                prop_assert_eq!(slab.remove(k), model.remove(&k));
+                assert_eq!(slab.remove(k), model.remove(&k), "case {case}");
             }
         }
-        prop_assert_eq!(slab.len(), model.len());
+        assert_eq!(slab.len(), model.len());
         for (&k, &v) in &model {
-            prop_assert_eq!(slab.get(k), Some(&v));
+            assert_eq!(slab.get(k), Some(&v), "case {case}");
         }
     }
+}
 
-    /// PCG bounded sampling is always in range.
-    #[test]
-    fn pcg_bounded_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// PCG bounded sampling is always in range.
+#[test]
+fn pcg_bounded_in_range() {
+    let mut g = Pcg32::new(0x5EED_0003);
+    for _ in 0..CASES {
+        let seed = g.next_u64();
+        let bound = g.range(1, 1_000_000);
         let mut rng = Pcg32::new(seed);
         for _ in 0..50 {
-            prop_assert!(rng.bounded(bound) < bound);
+            assert!(rng.bounded(bound) < bound);
         }
     }
+}
 
-    /// Identical seeds give identical traces for a randomized task
-    /// mix; the simulation always terminates.
-    #[test]
-    fn runs_are_deterministic(seed in any::<u64>(), tasks in 1usize..20) {
+/// Identical seeds give identical traces for a randomized task mix;
+/// the simulation always terminates.
+#[test]
+fn runs_are_deterministic() {
+    let mut g = Pcg32::new(0x5EED_0004);
+    for _ in 0..12 {
+        let seed = g.next_u64();
+        let tasks = g.range(1, 20) as usize;
         let run = |seed: u64| {
             let mut s = Simulation::with_config(Config {
                 cores: 4,
@@ -82,9 +102,9 @@ proptest! {
                 });
             }
             let out = s.run_until_idle();
-            prop_assert!(matches!(out.end, chanos_sim::RunEnd::Completed));
-            Ok((out.now, s.trace_hash()))
+            assert!(matches!(out.end, chanos_sim::RunEnd::Completed));
+            (out.now, s.trace_hash())
         };
-        prop_assert_eq!(run(seed)?, run(seed)?);
+        assert_eq!(run(seed), run(seed));
     }
 }

@@ -6,7 +6,7 @@
 //! and — as experiment E4 shows — flat-lining as client concurrency
 //! grows, with the lock line ping-ponging across cores.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use chanos_drivers::DiskClient;
 use chanos_shmem::SimMutex;
@@ -19,7 +19,7 @@ use crate::store::{BlockStore, CachedDisk};
 /// The big-lock file system client.
 #[derive(Clone)]
 pub struct BigLockFs {
-    core: Rc<FsCore<CachedDisk>>,
+    core: Arc<FsCore<CachedDisk>>,
     lock: SimMutex<()>,
 }
 
@@ -34,7 +34,7 @@ impl BigLockFs {
         let store = CachedDisk::new(disk, cache_blocks);
         let core = FsCore::mkfs(store, total_blocks, n_groups).await?;
         Ok(BigLockFs {
-            core: Rc::new(core),
+            core: Arc::new(core),
             lock: SimMutex::new(()),
         })
     }

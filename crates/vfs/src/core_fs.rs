@@ -16,7 +16,10 @@
 use chanos_drivers::BLOCK_SIZE;
 
 use crate::error::FsError;
-use crate::layout::{bitmap, Dirent, FileKind, Inode, Superblock, DIRENT_SIZE, MAX_FILE_SIZE, MAX_NAME, NDIRECT, NINDIRECT};
+use crate::layout::{
+    bitmap, Dirent, FileKind, Inode, Superblock, DIRENT_SIZE, MAX_FILE_SIZE, MAX_NAME, NDIRECT,
+    NINDIRECT,
+};
 use crate::store::BlockStore;
 
 /// File metadata returned by `stat`.
@@ -57,7 +60,10 @@ impl<S: BlockStore> FsCore<S> {
         }
         let fs = FsCore { sb, store };
         // Root directory: inode 0 in group 0.
-        let root = fs.alloc_inode_in(0, FileKind::Dir).await?.ok_or(FsError::NoInodes)?;
+        let root = fs
+            .alloc_inode_in(0, FileKind::Dir)
+            .await?
+            .ok_or(FsError::NoInodes)?;
         debug_assert_eq!(root, crate::layout::ROOT_INO);
         fs.store.sync().await?;
         Ok(fs)
@@ -121,7 +127,7 @@ impl<S: BlockStore> FsCore<S> {
         self.store.write_block(bblock, map).await?;
         let ino = g * self.sb.inodes_per_group + idx;
         self.write_inode(ino, &Inode::new(kind)).await?;
-        chanos_sim::stat_incr("fs.inodes_allocated");
+        chanos_rt::stat_incr("fs.inodes_allocated");
         Ok(Some(ino))
     }
 
@@ -146,7 +152,7 @@ impl<S: BlockStore> FsCore<S> {
         self.store.write_block(bblock, map).await?;
         let lba = self.sb.data_start(g) + idx;
         self.store.write_block(lba, vec![0u8; BLOCK_SIZE]).await?;
-        chanos_sim::stat_incr("fs.blocks_allocated");
+        chanos_rt::stat_incr("fs.blocks_allocated");
         Ok(Some(lba))
     }
 
@@ -332,11 +338,7 @@ impl<S: BlockStore> FsCore<S> {
     // -- Directories -----------------------------------------------------------
 
     /// Looks `name` up in a directory; returns `(ino, slot_index)`.
-    pub async fn dir_lookup(
-        &self,
-        dir: &Inode,
-        name: &str,
-    ) -> Result<Option<(u64, u64)>, FsError> {
+    pub async fn dir_lookup(&self, dir: &Inode, name: &str) -> Result<Option<(u64, u64)>, FsError> {
         if dir.kind != FileKind::Dir {
             return Err(FsError::NotDir);
         }
@@ -453,7 +455,11 @@ pub trait Allocator {
 pub struct ScanAllocator;
 
 impl Allocator for ScanAllocator {
-    async fn alloc_block<S: BlockStore>(&self, core: &FsCore<S>, hint: u64) -> Result<u64, FsError> {
+    async fn alloc_block<S: BlockStore>(
+        &self,
+        core: &FsCore<S>,
+        hint: u64,
+    ) -> Result<u64, FsError> {
         core.alloc_block(hint).await
     }
     async fn free_block<S: BlockStore>(&self, core: &FsCore<S>, lba: u64) -> Result<(), FsError> {

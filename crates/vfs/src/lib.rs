@@ -33,7 +33,10 @@ pub use error::FsError;
 pub use layout::{Dirent, FileKind, Inode, Superblock, ROOT_INO};
 pub use msgfs::MsgFs;
 pub use sharded::ShardedFs;
-pub use store::{copy_cost, BlockStore, CacheClient, CachedDisk, LruCache, ShardedCachedDisk, COPY_BYTES_PER_CYCLE};
+pub use store::{
+    copy_cost, BlockStore, CacheClient, CachedDisk, LruCache, ShardedCachedDisk,
+    COPY_BYTES_PER_CYCLE,
+};
 
 /// A file-system client of any engine, for engine-generic code
 /// (tests, experiments, the kernel's VFS layer).

@@ -24,13 +24,11 @@
 //! window is refused by the tombstone the parent leaves (the child
 //! vnode stops serving Create once marked dying).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use chanos_csp::{channel, request, Capacity, ReplyTo, Sender};
 use chanos_drivers::DiskClient;
-use chanos_sim::{self as sim, CoreId};
+use chanos_rt::{self as rt, channel, request, Capacity, CoreId, ReplyTo, Sender};
 
 use crate::core_fs::{split_parent, split_path, Allocator, FsCore, Stat};
 use crate::error::FsError;
@@ -117,7 +115,7 @@ enum VnMgrMsg {
 struct MsgShared {
     core: FsCore<CacheClient>,
     groups: Vec<Sender<GroupMsg>>,
-    vnmgr: RefCell<Option<Sender<VnMgrMsg>>>,
+    vnmgr: Mutex<Option<Sender<VnMgrMsg>>>,
     vnode_cores: Vec<CoreId>,
 }
 
@@ -127,13 +125,21 @@ impl MsgShared {
     }
 
     fn vnmgr(&self) -> Sender<VnMgrMsg> {
-        self.vnmgr.borrow().as_ref().expect("vnmgr started").clone()
+        self.vnmgr
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .expect("vnmgr started")
+            .clone()
     }
 
     async fn load_inode(&self, ino: u64) -> Result<Inode, FsError> {
-        request(self.group_of_ino(ino), |reply| GroupMsg::ReadInode { ino, reply })
-            .await
-            .unwrap_or(Err(FsError::Gone))
+        request(self.group_of_ino(ino), |reply| GroupMsg::ReadInode {
+            ino,
+            reply,
+        })
+        .await
+        .unwrap_or(Err(FsError::Gone))
     }
 
     async fn store_inode(&self, ino: u64, inode: Inode) -> Result<(), FsError> {
@@ -149,17 +155,23 @@ impl MsgShared {
 
 /// Block allocator that routes to the group-server tasks.
 struct MsgAllocator {
-    shared: Rc<MsgShared>,
+    shared: Arc<MsgShared>,
 }
 
 impl Allocator for MsgAllocator {
-    async fn alloc_block<S: BlockStore>(&self, core: &FsCore<S>, hint: u64) -> Result<u64, FsError> {
+    async fn alloc_block<S: BlockStore>(
+        &self,
+        core: &FsCore<S>,
+        hint: u64,
+    ) -> Result<u64, FsError> {
         let n = core.superblock().n_groups;
         for i in 0..n {
             let g = ((hint + i) % n) as usize;
-            let got = request(&self.shared.groups[g], |reply| GroupMsg::AllocBlock { reply })
-                .await
-                .unwrap_or(Err(FsError::Gone))?;
+            let got = request(&self.shared.groups[g], |reply| GroupMsg::AllocBlock {
+                reply,
+            })
+            .await
+            .unwrap_or(Err(FsError::Gone))?;
             if let Some(lba) = got {
                 return Ok(lba);
             }
@@ -168,16 +180,21 @@ impl Allocator for MsgAllocator {
     }
 
     async fn free_block<S: BlockStore>(&self, core: &FsCore<S>, lba: u64) -> Result<(), FsError> {
-        let g = core.superblock().group_of_block(lba).ok_or(FsError::Invalid)?;
-        request(&self.shared.groups[g as usize], |reply| GroupMsg::FreeBlock { lba, reply })
-            .await
-            .unwrap_or(Err(FsError::Gone))
+        let g = core
+            .superblock()
+            .group_of_block(lba)
+            .ok_or(FsError::Invalid)?;
+        request(&self.shared.groups[g as usize], |reply| {
+            GroupMsg::FreeBlock { lba, reply }
+        })
+        .await
+        .unwrap_or(Err(FsError::Gone))
     }
 }
 
 /// One cylinder-group server: owns the group's bitmaps and inode
 /// table outright.
-async fn group_task(g: u64, core: FsCore<CacheClient>, rx: chanos_csp::Receiver<GroupMsg>) {
+async fn group_task(g: u64, core: FsCore<CacheClient>, rx: chanos_rt::Receiver<GroupMsg>) {
     while let Ok(msg) = rx.recv().await {
         match msg {
             GroupMsg::AllocInode { kind, reply } => {
@@ -209,8 +226,8 @@ async fn group_task(g: u64, core: FsCore<CacheClient>, rx: chanos_csp::Receiver<
 }
 
 /// One vnode task: owns inode `ino` for its lifetime.
-async fn vnode_task(ino: u64, shared: Rc<MsgShared>, rx: chanos_csp::Receiver<VnodeMsg>) {
-    sim::stat_incr("msgfs.vnode_threads_spawned");
+async fn vnode_task(ino: u64, shared: Arc<MsgShared>, rx: chanos_rt::Receiver<VnodeMsg>) {
+    rt::stat_incr("msgfs.vnode_threads_spawned");
     let mut inode = match shared.load_inode(ino).await {
         Ok(i) => i,
         Err(_) => {
@@ -263,13 +280,12 @@ async fn vnode_task(ino: u64, shared: Rc<MsgShared>, rx: chanos_csp::Receiver<Vn
                 let _ = reply.send(out).await;
             }
             VnodeMsg::Create { name, kind, reply } => {
-                let out = vnode_create(&shared, &core, &mut inode, ino, hint, &alloc, name, kind)
-                    .await;
+                let out =
+                    vnode_create(&shared, &core, &mut inode, ino, hint, &alloc, name, kind).await;
                 let _ = reply.send(out).await;
             }
             VnodeMsg::Unlink { name, reply } => {
-                let out =
-                    vnode_unlink(&shared, &core, &mut inode, ino, hint, &alloc, name).await;
+                let out = vnode_unlink(&shared, &core, &mut inode, ino, hint, &alloc, name).await;
                 let _ = reply.send(out).await;
             }
             VnodeMsg::ReadDir { reply } => {
@@ -300,7 +316,7 @@ async fn vnode_task(ino: u64, shared: Rc<MsgShared>, rx: chanos_csp::Receiver<Vn
                     })
                     .await;
                     let _ = shared.vnmgr().try_send(VnMgrMsg::Retire { ino });
-                    sim::stat_incr("msgfs.vnodes_reaped");
+                    rt::stat_incr("msgfs.vnodes_reaped");
                     let _ = reply.send(Ok(true)).await;
                     return; // The vnode thread exits with its inode.
                 }
@@ -313,7 +329,7 @@ async fn vnode_task(ino: u64, shared: Rc<MsgShared>, rx: chanos_csp::Receiver<Vn
 
 #[allow(clippy::too_many_arguments)]
 async fn vnode_create(
-    shared: &Rc<MsgShared>,
+    shared: &Arc<MsgShared>,
     core: &FsCore<CacheClient>,
     dir: &mut Inode,
     dir_ino: u64,
@@ -333,9 +349,12 @@ async fn vnode_create(
     let mut ino = None;
     for i in 0..n {
         let g = ((hint + i) % n) as usize;
-        let got = request(&shared.groups[g], |reply| GroupMsg::AllocInode { kind, reply })
-            .await
-            .unwrap_or(Err(FsError::Gone))?;
+        let got = request(&shared.groups[g], |reply| GroupMsg::AllocInode {
+            kind,
+            reply,
+        })
+        .await
+        .unwrap_or(Err(FsError::Gone))?;
         if got.is_some() {
             ino = got;
             break;
@@ -348,7 +367,7 @@ async fn vnode_create(
 }
 
 async fn vnode_unlink(
-    shared: &Rc<MsgShared>,
+    shared: &Arc<MsgShared>,
     core: &FsCore<CacheClient>,
     dir: &mut Inode,
     dir_ino: u64,
@@ -370,7 +389,7 @@ async fn vnode_unlink(
     Ok(())
 }
 
-async fn get_vnode(shared: &Rc<MsgShared>, ino: u64) -> Result<Sender<VnodeMsg>, FsError> {
+async fn get_vnode(shared: &Arc<MsgShared>, ino: u64) -> Result<Sender<VnodeMsg>, FsError> {
     request(&shared.vnmgr(), |reply| VnMgrMsg::Get { ino, reply })
         .await
         .unwrap_or(Err(FsError::Gone))
@@ -379,7 +398,7 @@ async fn get_vnode(shared: &Rc<MsgShared>, ino: u64) -> Result<Sender<VnodeMsg>,
 /// The message-passing file system client.
 #[derive(Clone)]
 pub struct MsgFs {
-    shared: Rc<MsgShared>,
+    shared: Arc<MsgShared>,
 }
 
 impl MsgFs {
@@ -396,12 +415,7 @@ impl MsgFs {
         service_cores: Vec<CoreId>,
     ) -> Result<MsgFs, FsError> {
         assert!(!service_cores.is_empty());
-        let store = CacheClient::spawn(
-            disk,
-            cache_shards,
-            cache_blocks_per_shard,
-            &service_cores,
-        );
+        let store = CacheClient::spawn(disk, cache_shards, cache_blocks_per_shard, &service_cores);
         let core = FsCore::mkfs(store, total_blocks, n_groups).await?;
 
         // Group servers.
@@ -410,24 +424,24 @@ impl MsgFs {
             let (tx, rx) = channel::<GroupMsg>(Capacity::Unbounded);
             let core = core.clone();
             let on = service_cores[(g as usize) % service_cores.len()];
-            sim::spawn_daemon_on(&format!("fs-group{g}"), on, async move {
+            rt::spawn_daemon_on(&format!("fs-group{g}"), on, async move {
                 group_task(g, core, rx).await;
             });
             groups.push(tx);
         }
 
-        let shared = Rc::new(MsgShared {
+        let shared = Arc::new(MsgShared {
             core,
             groups,
-            vnmgr: RefCell::new(None),
+            vnmgr: Mutex::new(None),
             vnode_cores: service_cores.clone(),
         });
 
         // Vnode manager.
         let (mgr_tx, mgr_rx) = channel::<VnMgrMsg>(Capacity::Unbounded);
-        *shared.vnmgr.borrow_mut() = Some(mgr_tx);
+        *shared.vnmgr.lock().unwrap_or_else(|e| e.into_inner()) = Some(mgr_tx);
         let mgr_shared = shared.clone();
-        sim::spawn_daemon_on("fs-vnmgr", service_cores[0], async move {
+        rt::spawn_daemon_on("fs-vnmgr", service_cores[0], async move {
             let mut registry: HashMap<u64, Sender<VnodeMsg>> = HashMap::new();
             let mut rr = 0usize;
             while let Ok(msg) = mgr_rx.recv().await {
@@ -438,7 +452,7 @@ impl MsgFs {
                             let on = mgr_shared.vnode_cores[rr % mgr_shared.vnode_cores.len()];
                             rr += 1;
                             let shared = mgr_shared.clone();
-                            sim::spawn_daemon_on(&format!("vnode{ino}"), on, async move {
+                            rt::spawn_daemon_on(&format!("vnode{ino}"), on, async move {
                                 vnode_task(ino, shared, rx).await;
                             });
                             tx

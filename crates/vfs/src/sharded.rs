@@ -12,9 +12,8 @@
 //! group allocator mutexes are leaves (taken last, never while
 //! holding another group mutex).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use chanos_drivers::DiskClient;
 use chanos_shmem::{SimMutex, SimRwLock};
@@ -28,14 +27,14 @@ use crate::store::{BlockStore, ShardedCachedDisk};
 /// shared structure, as in real kernels).
 struct LockTable {
     registry: SimMutex<()>,
-    locks: RefCell<HashMap<u64, SimRwLock<()>>>,
+    locks: Mutex<HashMap<u64, SimRwLock<()>>>,
 }
 
 impl LockTable {
     fn new() -> Self {
         LockTable {
             registry: SimMutex::new(()),
-            locks: RefCell::new(HashMap::new()),
+            locks: Mutex::new(HashMap::new()),
         }
     }
 
@@ -44,7 +43,8 @@ impl LockTable {
         let g = self.registry.lock().await;
         let lock = self
             .locks
-            .borrow_mut()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
             .entry(ino)
             .or_insert_with(|| SimRwLock::new(()))
             .clone();
@@ -62,11 +62,15 @@ struct GroupLocks {
 
 /// Block allocator routing through the per-group mutexes.
 struct ShardedAllocator {
-    groups: Rc<GroupLocks>,
+    groups: Arc<GroupLocks>,
 }
 
 impl Allocator for ShardedAllocator {
-    async fn alloc_block<S: BlockStore>(&self, core: &FsCore<S>, hint: u64) -> Result<u64, FsError> {
+    async fn alloc_block<S: BlockStore>(
+        &self,
+        core: &FsCore<S>,
+        hint: u64,
+    ) -> Result<u64, FsError> {
         let n = core.superblock().n_groups;
         for i in 0..n {
             let g = (hint + i) % n;
@@ -81,7 +85,10 @@ impl Allocator for ShardedAllocator {
     }
 
     async fn free_block<S: BlockStore>(&self, core: &FsCore<S>, lba: u64) -> Result<(), FsError> {
-        let g = core.superblock().group_of_block(lba).ok_or(FsError::Invalid)?;
+        let g = core
+            .superblock()
+            .group_of_block(lba)
+            .ok_or(FsError::Invalid)?;
         let guard = self.groups.locks[g as usize].lock().await;
         let out = core.free_block(lba).await;
         drop(guard);
@@ -92,9 +99,9 @@ impl Allocator for ShardedAllocator {
 /// The fine-grained-locking file system client.
 #[derive(Clone)]
 pub struct ShardedFs {
-    core: Rc<FsCore<ShardedCachedDisk>>,
-    inode_locks: Rc<LockTable>,
-    groups: Rc<GroupLocks>,
+    core: Arc<FsCore<ShardedCachedDisk>>,
+    inode_locks: Arc<LockTable>,
+    groups: Arc<GroupLocks>,
 }
 
 impl ShardedFs {
@@ -112,9 +119,9 @@ impl ShardedFs {
             locks: (0..n_groups).map(|_| SimMutex::new(())).collect(),
         };
         Ok(ShardedFs {
-            core: Rc::new(core),
-            inode_locks: Rc::new(LockTable::new()),
-            groups: Rc::new(groups),
+            core: Arc::new(core),
+            inode_locks: Arc::new(LockTable::new()),
+            groups: Arc::new(groups),
         })
     }
 

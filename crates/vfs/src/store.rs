@@ -9,16 +9,16 @@
 //!   their blocks outright and serving requests over channels (the
 //!   message-passing engine; §4's buffer-cache threads).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use chanos_csp::{channel, Capacity, ReplyTo, Sender};
 use chanos_drivers::{DiskClient, BLOCK_SIZE};
+use chanos_rt::{self as rt, channel, Capacity, CoreId, ReplyTo, Sender};
 use chanos_shmem::SimMutex;
-use chanos_sim::{self as sim, CoreId};
 
 use crate::error::FsError;
+
+use chanos_sim::plock;
 
 /// Modeled memory-copy bandwidth: bytes per cycle. Every engine pays
 /// this for moving a block between the cache and the requester (the
@@ -168,7 +168,7 @@ fn check_block_len(data: &[u8]) -> Result<(), FsError> {
 #[derive(Clone)]
 pub struct CachedDisk {
     disk: DiskClient,
-    cache: Rc<RefCell<LruCache>>,
+    cache: Arc<Mutex<LruCache>>,
 }
 
 impl CachedDisk {
@@ -176,32 +176,33 @@ impl CachedDisk {
     pub fn new(disk: DiskClient, capacity: usize) -> Self {
         CachedDisk {
             disk,
-            cache: Rc::new(RefCell::new(LruCache::new(capacity))),
+            cache: Arc::new(Mutex::new(LruCache::new(capacity))),
         }
     }
 }
 
 impl BlockStore for CachedDisk {
     async fn read_block(&self, lba: u64) -> Result<Vec<u8>, FsError> {
-        if let Some(data) = self.cache.borrow_mut().get(lba) {
-            sim::stat_incr("cache.hits");
-            chanos_sim::delay(copy_cost(data.len())).await;
+        let cached = plock(&self.cache).get(lba);
+        if let Some(data) = cached {
+            rt::stat_incr("cache.hits");
+            chanos_rt::delay(copy_cost(data.len())).await;
             return Ok(data);
         }
-        sim::stat_incr("cache.misses");
+        rt::stat_incr("cache.misses");
         let data = self.disk.read(lba, 1).await?;
-        let evicted = self.cache.borrow_mut().insert_clean(lba, data.clone());
+        let evicted = plock(&self.cache).insert_clean(lba, data.clone());
         if let Some((vlba, vdata)) = evicted {
             self.disk.write(vlba, vdata).await?;
         }
-        chanos_sim::delay(copy_cost(data.len())).await;
+        chanos_rt::delay(copy_cost(data.len())).await;
         Ok(data)
     }
 
     async fn write_block(&self, lba: u64, data: Vec<u8>) -> Result<(), FsError> {
         check_block_len(&data)?;
-        chanos_sim::delay(copy_cost(data.len())).await;
-        let evicted = self.cache.borrow_mut().insert_dirty(lba, data);
+        chanos_rt::delay(copy_cost(data.len())).await;
+        let evicted = plock(&self.cache).insert_dirty(lba, data);
         if let Some((vlba, vdata)) = evicted {
             self.disk.write(vlba, vdata).await?;
         }
@@ -209,7 +210,7 @@ impl BlockStore for CachedDisk {
     }
 
     async fn sync(&self) -> Result<(), FsError> {
-        let dirty = self.cache.borrow_mut().take_dirty();
+        let dirty = plock(&self.cache).take_dirty();
         for (lba, data) in dirty {
             self.disk.write(lba, data).await?;
         }
@@ -226,7 +227,7 @@ impl BlockStore for CachedDisk {
 #[derive(Clone)]
 pub struct ShardedCachedDisk {
     disk: DiskClient,
-    shards: Rc<Vec<SimMutex<LruCache>>>,
+    shards: Arc<Vec<SimMutex<LruCache>>>,
 }
 
 impl ShardedCachedDisk {
@@ -239,7 +240,7 @@ impl ShardedCachedDisk {
             .collect();
         ShardedCachedDisk {
             disk,
-            shards: Rc::new(shards),
+            shards: Arc::new(shards),
         }
     }
 
@@ -253,11 +254,11 @@ impl BlockStore for ShardedCachedDisk {
         let shard = self.shard(lba);
         let g = shard.lock().await;
         if let Some(data) = g.with(|c| c.get(lba)) {
-            sim::stat_incr("cache.hits");
-            chanos_sim::delay(copy_cost(data.len())).await;
+            rt::stat_incr("cache.hits");
+            chanos_rt::delay(copy_cost(data.len())).await;
             return Ok(data);
         }
-        sim::stat_incr("cache.misses");
+        rt::stat_incr("cache.misses");
         // Hold the shard lock across the fill, as real buffer caches
         // hold the buffer lock across I/O.
         let data = self.disk.read(lba, 1).await?;
@@ -266,13 +267,13 @@ impl BlockStore for ShardedCachedDisk {
         if let Some((vlba, vdata)) = evicted {
             self.disk.write(vlba, vdata).await?;
         }
-        chanos_sim::delay(copy_cost(data.len())).await;
+        chanos_rt::delay(copy_cost(data.len())).await;
         Ok(data)
     }
 
     async fn write_block(&self, lba: u64, data: Vec<u8>) -> Result<(), FsError> {
         check_block_len(&data)?;
-        chanos_sim::delay(copy_cost(data.len())).await;
+        chanos_rt::delay(copy_cost(data.len())).await;
         let g = self.shard(lba).lock().await;
         let evicted = g.with(|c| c.insert_dirty(lba, data));
         drop(g);
@@ -321,7 +322,7 @@ enum CacheMsg {
 /// locks anywhere.
 #[derive(Clone)]
 pub struct CacheClient {
-    shards: Rc<Vec<Sender<CacheMsg>>>,
+    shards: Arc<Vec<Sender<CacheMsg>>>,
 }
 
 impl CacheClient {
@@ -339,17 +340,17 @@ impl CacheClient {
             let (tx, rx) = channel::<CacheMsg>(Capacity::Unbounded);
             let disk = disk.clone();
             let core = cores[s % cores.len()];
-            sim::spawn_daemon_on(&format!("cache-shard{s}"), core, async move {
+            rt::spawn_daemon_on(&format!("cache-shard{s}"), core, async move {
                 let mut cache = LruCache::new(capacity_per_shard);
                 while let Ok(msg) = rx.recv().await {
                     match msg {
                         CacheMsg::Read { lba, reply } => {
                             let out = if let Some(data) = cache.get(lba) {
-                                sim::stat_incr("cache.hits");
-                                chanos_sim::delay(copy_cost(data.len())).await;
+                                rt::stat_incr("cache.hits");
+                                chanos_rt::delay(copy_cost(data.len())).await;
                                 Ok(data)
                             } else {
-                                sim::stat_incr("cache.misses");
+                                rt::stat_incr("cache.misses");
                                 match disk.read(lba, 1).await {
                                     Ok(data) => {
                                         if let Some((vlba, vdata)) =
@@ -357,7 +358,7 @@ impl CacheClient {
                                         {
                                             let _ = disk.write(vlba, vdata).await;
                                         }
-                                        chanos_sim::delay(copy_cost(data.len())).await;
+                                        chanos_rt::delay(copy_cost(data.len())).await;
                                         Ok(data)
                                     }
                                     Err(e) => Err(FsError::Io(e)),
@@ -366,7 +367,7 @@ impl CacheClient {
                             let _ = reply.send(out).await;
                         }
                         CacheMsg::Write { lba, data, reply } => {
-                            chanos_sim::delay(copy_cost(data.len())).await;
+                            chanos_rt::delay(copy_cost(data.len())).await;
                             let evicted = cache.insert_dirty(lba, data);
                             let out = if let Some((vlba, vdata)) = evicted {
                                 disk.write(vlba, vdata).await.map_err(FsError::Io)
@@ -391,7 +392,7 @@ impl CacheClient {
             txs.push(tx);
         }
         CacheClient {
-            shards: Rc::new(txs),
+            shards: Arc::new(txs),
         }
     }
 
@@ -402,21 +403,25 @@ impl CacheClient {
 
 impl BlockStore for CacheClient {
     async fn read_block(&self, lba: u64) -> Result<Vec<u8>, FsError> {
-        chanos_csp::request(self.shard(lba), |reply| CacheMsg::Read { lba, reply })
+        chanos_rt::request(self.shard(lba), |reply| CacheMsg::Read { lba, reply })
             .await
             .unwrap_or(Err(FsError::Gone))
     }
 
     async fn write_block(&self, lba: u64, data: Vec<u8>) -> Result<(), FsError> {
         check_block_len(&data)?;
-        chanos_csp::request(self.shard(lba), |reply| CacheMsg::Write { lba, data, reply })
-            .await
-            .unwrap_or(Err(FsError::Gone))
+        chanos_rt::request(self.shard(lba), |reply| CacheMsg::Write {
+            lba,
+            data,
+            reply,
+        })
+        .await
+        .unwrap_or(Err(FsError::Gone))
     }
 
     async fn sync(&self) -> Result<(), FsError> {
         for shard in self.shards.iter() {
-            let out = chanos_csp::request(shard, |reply| CacheMsg::Sync { reply })
+            let out = chanos_rt::request(shard, |reply| CacheMsg::Sync { reply })
                 .await
                 .unwrap_or(Err(FsError::Gone));
             out?;

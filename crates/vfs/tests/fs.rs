@@ -29,18 +29,28 @@ async fn make_fs(which: &str, cores: usize) -> Vfs {
     let disk = spawn_disk_driver(hw, irq, dev);
     let service: Vec<CoreId> = (0..cores as u32 - 1).map(CoreId).collect();
     match which {
-        "biglock" => Vfs::Big(BigLockFs::format(disk, DISK_BLOCKS, GROUPS, 256).await.unwrap()),
+        "biglock" => Vfs::Big(
+            BigLockFs::format(disk, DISK_BLOCKS, GROUPS, 256)
+                .await
+                .unwrap(),
+        ),
         "sharded" => Vfs::Sharded(
-            ShardedFs::format(disk, DISK_BLOCKS, GROUPS, 8, 32).await.unwrap(),
+            ShardedFs::format(disk, DISK_BLOCKS, GROUPS, 8, 32)
+                .await
+                .unwrap(),
         ),
         "msgfs" => Vfs::Msg(
-            MsgFs::format(disk, DISK_BLOCKS, GROUPS, 8, 32, service).await.unwrap(),
+            MsgFs::format(disk, DISK_BLOCKS, GROUPS, 8, 32, service)
+                .await
+                .unwrap(),
         ),
         other => panic!("unknown engine {other}"),
     }
 }
 
-fn for_each_engine(test: impl Fn(Vfs) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> + Copy + 'static) {
+fn for_each_engine(
+    test: impl Fn(Vfs) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()>>> + Copy + 'static,
+) {
     for which in ["biglock", "sharded", "msgfs"] {
         let mut s = sim(4);
         s.block_on(async move {
@@ -158,7 +168,12 @@ fn unlink_frees_and_name_is_reusable() {
             let a = fs.create("/f").await.unwrap();
             fs.write(a, 0, &vec![1u8; 8192]).await.unwrap();
             fs.unlink("/f").await.unwrap();
-            assert_eq!(fs.lookup("/f").await, Err(FsError::NotFound), "{}", fs.name());
+            assert_eq!(
+                fs.lookup("/f").await,
+                Err(FsError::NotFound),
+                "{}",
+                fs.name()
+            );
             let b = fs.create("/f").await.unwrap();
             let st = fs.stat(b).await.unwrap();
             assert_eq!(st.size, 0, "{}: new file must be empty", fs.name());
@@ -172,7 +187,12 @@ fn unlink_nonempty_dir_refused() {
         Box::pin(async move {
             fs.mkdir("/d").await.unwrap();
             fs.create("/d/child").await.unwrap();
-            assert_eq!(fs.unlink("/d").await, Err(FsError::NotEmpty), "{}", fs.name());
+            assert_eq!(
+                fs.unlink("/d").await,
+                Err(FsError::NotEmpty),
+                "{}",
+                fs.name()
+            );
             fs.unlink("/d/child").await.unwrap();
             fs.unlink("/d").await.unwrap();
             assert_eq!(fs.lookup("/d").await, Err(FsError::NotFound));
@@ -250,9 +270,10 @@ fn racing_creates_of_same_name_one_wins() {
             let hs: Vec<_> = (0..4u32)
                 .map(|t| {
                     let fs = fs.clone();
-                    chanos_sim::spawn_on(CoreId(t % 3), async move {
-                        fs.create("/contested").await
-                    })
+                    chanos_sim::spawn_on(
+                        CoreId(t % 3),
+                        async move { fs.create("/contested").await },
+                    )
                 })
                 .collect();
             let mut ok = 0;

@@ -1,60 +1,87 @@
-//! Property tests: layout round trips, cache model equivalence, and
-//! cross-engine behavioural equivalence on random operation scripts.
-
-use proptest::prelude::*;
+//! Randomized-property tests: layout round trips, cache model
+//! equivalence, and cross-engine behavioural equivalence on random
+//! operation scripts. Driven by the simulator's deterministic PCG
+//! RNG (no external property-testing framework is available).
 
 use chanos_drivers::{install_disk, spawn_disk_driver, DiskParams};
-use chanos_sim::{Config, CoreId, Simulation};
+use chanos_sim::{Config, CoreId, Pcg32, Simulation};
 use chanos_vfs::layout::{bitmap, Dirent, FileKind, Inode, Superblock, MAX_NAME, NDIRECT};
 use chanos_vfs::{BigLockFs, LruCache, MsgFs, ShardedFs, Vfs};
 
-proptest! {
-    /// Inode encode/decode is the identity.
-    #[test]
-    fn inode_roundtrip(
-        kind in 0u8..2,
-        nlink in 1u16..100,
-        size in 0u64..10_000_000,
-        direct in prop::collection::vec(0u64..100_000, NDIRECT),
-        indirect in 0u64..100_000,
-    ) {
-        let mut ino = Inode::new(if kind == 0 { FileKind::File } else { FileKind::Dir });
-        ino.nlink = nlink;
-        ino.size = size;
-        ino.direct.copy_from_slice(&direct);
-        ino.indirect = indirect;
-        prop_assert_eq!(Inode::decode(&ino.encode()), Some(ino));
-    }
-
-    /// Dirent encode/decode is the identity for all legal names.
-    #[test]
-    fn dirent_roundtrip(ino in 0u64..u64::MAX, name in "[a-zA-Z0-9._-]{1,55}") {
-        prop_assume!(name.len() <= MAX_NAME);
-        let d = Dirent { ino, name };
-        prop_assert_eq!(Dirent::decode(&d.encode()), Some(d));
-    }
-
-    /// Superblock geometry: every group's blocks stay inside the
-    /// volume and regions never overlap.
-    #[test]
-    fn superblock_geometry_sound(total in 256u64..100_000, groups in 1u64..32) {
-        prop_assume!(total / groups > 40);
-        let sb = Superblock::design(total, groups);
-        for g in 0..sb.n_groups {
-            prop_assert!(sb.ibitmap_block(g) < sb.dbitmap_block(g));
-            prop_assert!(sb.dbitmap_block(g) < sb.itable_start(g));
-            prop_assert!(sb.itable_start(g) + sb.itable_blocks() <= sb.data_start(g));
-            prop_assert!(sb.data_start(g) + sb.data_per_group
-                <= sb.group_start(g) + sb.blocks_per_group);
-            prop_assert!(sb.group_start(g) + sb.blocks_per_group <= sb.total_blocks);
+/// Inode encode/decode is the identity.
+#[test]
+fn inode_roundtrip() {
+    let mut g = Pcg32::new(0xF5_0001);
+    for _ in 0..48 {
+        let mut ino = Inode::new(if g.chance(0.5) {
+            FileKind::File
+        } else {
+            FileKind::Dir
+        });
+        ino.nlink = g.range(1, 100) as u16;
+        ino.size = g.bounded(10_000_000);
+        for d in ino.direct.iter_mut() {
+            *d = g.bounded(100_000);
         }
-        prop_assert_eq!(Superblock::decode(&sb.encode()), Some(sb));
+        assert_eq!(ino.direct.len(), NDIRECT);
+        ino.indirect = g.bounded(100_000);
+        assert_eq!(Inode::decode(&ino.encode()), Some(ino));
     }
+}
 
-    /// Bitmap alloc never double-allocates and free makes bits
-    /// reusable.
-    #[test]
-    fn bitmap_never_double_allocates(limit in 1u64..512, rounds in 1usize..100) {
+/// Dirent encode/decode is the identity for all legal names.
+#[test]
+fn dirent_roundtrip() {
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+    let mut g = Pcg32::new(0xF5_0002);
+    for _ in 0..48 {
+        let len = g.range(1, 56) as usize;
+        let name: String = (0..len)
+            .map(|_| ALPHA[g.index(ALPHA.len())] as char)
+            .collect();
+        assert!(name.len() <= MAX_NAME);
+        let d = Dirent {
+            ino: g.next_u64(),
+            name,
+        };
+        assert_eq!(Dirent::decode(&d.encode()), Some(d));
+    }
+}
+
+/// Superblock geometry: every group's blocks stay inside the volume
+/// and regions never overlap.
+#[test]
+fn superblock_geometry_sound() {
+    let mut g = Pcg32::new(0xF5_0003);
+    let mut cases = 0;
+    while cases < 32 {
+        let total = g.range(256, 100_000);
+        let groups = g.range(1, 32);
+        if total / groups <= 40 {
+            continue;
+        }
+        cases += 1;
+        let sb = Superblock::design(total, groups);
+        for gi in 0..sb.n_groups {
+            assert!(sb.ibitmap_block(gi) < sb.dbitmap_block(gi));
+            assert!(sb.dbitmap_block(gi) < sb.itable_start(gi));
+            assert!(sb.itable_start(gi) + sb.itable_blocks() <= sb.data_start(gi));
+            assert!(
+                sb.data_start(gi) + sb.data_per_group <= sb.group_start(gi) + sb.blocks_per_group
+            );
+            assert!(sb.group_start(gi) + sb.blocks_per_group <= sb.total_blocks);
+        }
+        assert_eq!(Superblock::decode(&sb.encode()), Some(sb));
+    }
+}
+
+/// Bitmap alloc never double-allocates and free makes bits reusable.
+#[test]
+fn bitmap_never_double_allocates() {
+    let mut g = Pcg32::new(0xF5_0004);
+    for _ in 0..32 {
+        let limit = g.range(1, 512);
+        let rounds = g.range(1, 100) as usize;
         let mut map = vec![0u8; limit.div_ceil(8) as usize];
         let mut live = std::collections::HashSet::new();
         for i in 0..rounds {
@@ -63,32 +90,35 @@ proptest! {
                 live.remove(&k);
                 bitmap::free(&mut map, k);
             } else if let Some(k) = bitmap::alloc(&mut map, limit) {
-                prop_assert!(k < limit);
-                prop_assert!(live.insert(k), "bit {} allocated twice", k);
+                assert!(k < limit);
+                assert!(live.insert(k), "bit {k} allocated twice");
             }
         }
-        prop_assert_eq!(bitmap::count(&map, limit), live.len() as u64);
+        assert_eq!(bitmap::count(&map, limit), live.len() as u64);
     }
+}
 
-    /// The LRU cache agrees with a naive model on hit contents.
-    #[test]
-    fn lru_agrees_with_model(
-        capacity in 1usize..8,
-        ops in prop::collection::vec((0u64..16, any::<bool>()), 1..100),
-    ) {
+/// The LRU cache agrees with a naive model on hit contents.
+#[test]
+fn lru_agrees_with_model() {
+    let mut g = Pcg32::new(0xF5_0005);
+    for _ in 0..32 {
+        let capacity = g.range(1, 8) as usize;
+        let ops = g.range(1, 100);
         let mut cache = LruCache::new(capacity);
         let mut model: std::collections::HashMap<u64, Vec<u8>> = std::collections::HashMap::new();
-        for (lba, write) in ops {
-            if write {
+        for _ in 0..ops {
+            let lba = g.bounded(16);
+            if g.chance(0.5) {
                 let data = vec![lba as u8; 4];
                 cache.insert_dirty(lba, data.clone());
                 model.insert(lba, data);
             } else if let Some(got) = cache.get(lba) {
                 // A hit must return exactly what was last written.
-                prop_assert_eq!(Some(&got), model.get(&lba));
+                assert_eq!(Some(&got), model.get(&lba));
             }
         }
-        prop_assert!(cache.len() <= capacity);
+        assert!(cache.len() <= capacity);
     }
 }
 
@@ -104,14 +134,17 @@ enum Op {
     List,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..6).prop_map(Op::Create),
-        (0u8..6, 1u16..5000).prop_map(|(f, n)| Op::Write(f, n)),
-        (0u8..6).prop_map(Op::Read),
-        (0u8..6).prop_map(Op::Unlink),
-        Just(Op::List),
-    ]
+fn random_script(g: &mut Pcg32) -> Vec<Op> {
+    let len = g.range(1, 25) as usize;
+    (0..len)
+        .map(|_| match g.index(5) {
+            0 => Op::Create(g.bounded(6) as u8),
+            1 => Op::Write(g.bounded(6) as u8, g.range(1, 5000) as u16),
+            2 => Op::Read(g.bounded(6) as u8),
+            3 => Op::Unlink(g.bounded(6) as u8),
+            _ => Op::List,
+        })
+        .collect()
 }
 
 fn apply_script(which: &'static str, script: Vec<Op>) -> Vec<String> {
@@ -192,19 +225,17 @@ fn apply_script(which: &'static str, script: Vec<Op>) -> Vec<String> {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// All three engines produce identical observable logs for any
-    /// sequential operation script.
-    #[test]
-    fn engines_are_observably_equivalent(
-        script in prop::collection::vec(op_strategy(), 1..25)
-    ) {
+/// All three engines produce identical observable logs for any
+/// sequential operation script.
+#[test]
+fn engines_are_observably_equivalent() {
+    let mut g = Pcg32::new(0xF5_0006);
+    for case in 0..12 {
+        let script = random_script(&mut g);
         let big = apply_script("biglock", script.clone());
         let sharded = apply_script("sharded", script.clone());
         let msg = apply_script("msgfs", script.clone());
-        prop_assert_eq!(&big, &sharded, "biglock vs sharded");
-        prop_assert_eq!(&big, &msg, "biglock vs msgfs");
+        assert_eq!(&big, &sharded, "case {case}: biglock vs sharded");
+        assert_eq!(&big, &msg, "case {case}: biglock vs msgfs");
     }
 }

@@ -225,7 +225,10 @@ enum SpaceRoute {
 }
 
 impl SpaceHandle {
-    async fn send(&self, make: impl FnOnce(ReplyTo<Result<u64, VmError>>) -> SpaceMsg) -> Result<u64, VmError> {
+    async fn send(
+        &self,
+        make: impl FnOnce(ReplyTo<Result<u64, VmError>>) -> SpaceMsg,
+    ) -> Result<u64, VmError> {
         match &self.route {
             SpaceRoute::Central { sid, tx } => {
                 let (reply_to, reply) = chanos_csp::reply_channel();
@@ -247,16 +250,27 @@ impl SpaceHandle {
         let out = match &self.route {
             SpaceRoute::Central { sid, tx } => {
                 let (reply_to, reply) = chanos_csp::reply_channel();
-                tx.send((*sid, SpaceMsg::MapRegion { start, len, reply: reply_to }))
-                    .await
-                    .map_err(|_| VmError::Gone)?;
+                tx.send((
+                    *sid,
+                    SpaceMsg::MapRegion {
+                        start,
+                        len,
+                        reply: reply_to,
+                    },
+                ))
+                .await
+                .map_err(|_| VmError::Gone)?;
                 reply.recv().await.unwrap_or(Err(VmError::Gone))
             }
             SpaceRoute::Dedicated { tx } => {
                 let (reply_to, reply) = chanos_csp::reply_channel();
-                tx.send(SpaceMsg::MapRegion { start, len, reply: reply_to })
-                    .await
-                    .map_err(|_| VmError::Gone)?;
+                tx.send(SpaceMsg::MapRegion {
+                    start,
+                    len,
+                    reply: reply_to,
+                })
+                .await
+                .map_err(|_| VmError::Gone)?;
                 reply.recv().await.unwrap_or(Err(VmError::Gone))
             }
         };
@@ -274,16 +288,25 @@ impl SpaceHandle {
         match &self.route {
             SpaceRoute::Central { sid, tx } => {
                 let (reply_to, reply) = chanos_csp::reply_channel();
-                tx.send((*sid, SpaceMsg::Resolve { vaddr, reply: reply_to }))
-                    .await
-                    .map_err(|_| VmError::Gone)?;
+                tx.send((
+                    *sid,
+                    SpaceMsg::Resolve {
+                        vaddr,
+                        reply: reply_to,
+                    },
+                ))
+                .await
+                .map_err(|_| VmError::Gone)?;
                 reply.recv().await.unwrap_or(Err(VmError::Gone))
             }
             SpaceRoute::Dedicated { tx } => {
                 let (reply_to, reply) = chanos_csp::reply_channel();
-                tx.send(SpaceMsg::Resolve { vaddr, reply: reply_to })
-                    .await
-                    .map_err(|_| VmError::Gone)?;
+                tx.send(SpaceMsg::Resolve {
+                    vaddr,
+                    reply: reply_to,
+                })
+                .await
+                .map_err(|_| VmError::Gone)?;
                 reply.recv().await.unwrap_or(Err(VmError::Gone))
             }
         }
@@ -469,11 +492,7 @@ async fn region_task(
     let _ = region;
 }
 
-async fn page_task(
-    cfg: std::rc::Rc<VmCfg>,
-    frames: FrameAlloc,
-    rx: chanos_csp::Receiver<PageMsg>,
-) {
+async fn page_task(cfg: std::rc::Rc<VmCfg>, frames: FrameAlloc, rx: chanos_csp::Receiver<PageMsg>) {
     let mut pfn: Option<u64> = None;
     while let Ok(msg) = rx.recv().await {
         match msg {

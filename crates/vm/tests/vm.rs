@@ -1,9 +1,7 @@
 //! VM service tests across all granularities plus the libOS design.
 
 use chanos_sim::{Config, CoreId, Simulation};
-use chanos_vm::{
-    FrameAlloc, Granularity, LibOsSpace, VmCfg, VmError, VmService, PAGE_SIZE,
-};
+use chanos_vm::{FrameAlloc, Granularity, LibOsSpace, VmCfg, VmError, VmService, PAGE_SIZE};
 
 fn sim(cores: usize) -> Simulation {
     Simulation::with_config(Config {
@@ -40,9 +38,19 @@ fn fault_maps_page_and_is_idempotent() {
             space.map_region(0x1000_0000, 64 * PAGE_SIZE).await.unwrap();
             let pfn1 = space.touch(0x1000_0000).await.unwrap();
             let pfn2 = space.touch(0x1000_0000).await.unwrap();
-            assert_eq!(pfn1, pfn2, "{}: repeat touch must reuse the frame", g.name());
+            assert_eq!(
+                pfn1,
+                pfn2,
+                "{}: repeat touch must reuse the frame",
+                g.name()
+            );
             let pfn3 = space.touch(0x1000_0000 + PAGE_SIZE).await.unwrap();
-            assert_ne!(pfn1, pfn3, "{}: distinct pages get distinct frames", g.name());
+            assert_ne!(
+                pfn1,
+                pfn3,
+                "{}: distinct pages get distinct frames",
+                g.name()
+            );
             assert_eq!(space.resolve(0x1000_0000).await.unwrap(), Some(pfn1));
             assert_eq!(
                 space.resolve(0x2000_0000).await.unwrap(),
@@ -142,7 +150,8 @@ fn concurrent_faulters_get_consistent_mappings() {
             }
             for other in &all[1..] {
                 assert_eq!(
-                    &all[0], other,
+                    &all[0],
+                    other,
                     "{}: every racer must observe the same page->frame map",
                     g.name()
                 );

@@ -27,14 +27,18 @@ fn main() {
             .await;
 
             // A shell-ish session.
-            let (_pid, setup) = os.procs.spawn_process(CoreId(KERNEL_CORES), |env| async move {
-                env.mkdir("/home").await.unwrap();
-                env.mkdir("/home/margo").await.unwrap();
-                env.mkdir("/home/dholland").await.unwrap();
-                let fd = env.create("/home/margo/notes.txt").await.unwrap();
-                env.write(fd, b"every vnode is its own thread\n").await.unwrap();
-                env.close(fd).await.unwrap();
-            });
+            let (_pid, setup) = os
+                .procs
+                .spawn_process(CoreId(KERNEL_CORES), |env| async move {
+                    env.mkdir("/home").await.unwrap();
+                    env.mkdir("/home/margo").await.unwrap();
+                    env.mkdir("/home/dholland").await.unwrap();
+                    let fd = env.create("/home/margo/notes.txt").await.unwrap();
+                    env.write(fd, b"every vnode is its own thread\n")
+                        .await
+                        .unwrap();
+                    env.close(fd).await.unwrap();
+                });
             setup.join().await.unwrap();
 
             // Concurrent user processes.
@@ -59,16 +63,21 @@ fn main() {
                 bytes += h.join().await.unwrap();
             }
 
-            let (_pid, ls) = os.procs.spawn_process(CoreId(KERNEL_CORES), |env| async move {
-                env.readdir("/home/dholland").await.unwrap()
-            });
+            let (_pid, ls) = os
+                .procs
+                .spawn_process(CoreId(KERNEL_CORES), |env| async move {
+                    env.readdir("/home/dholland").await.unwrap()
+                });
             let listing = ls.join().await.unwrap();
             (bytes, listing)
         })
         .unwrap();
 
     let stats = machine.stats();
-    println!("boot_os: {} bytes verified through the syscall path", report.0);
+    println!(
+        "boot_os: {} bytes verified through the syscall path",
+        report.0
+    );
     println!("/home/dholland: {:?}", report.1);
     println!(
         "syscalls={} vnode-threads={} messages={} (virtual time {} cycles)",

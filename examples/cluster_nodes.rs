@@ -25,7 +25,11 @@ fn main() {
     machine
         .block_on(async {
             // A 4-node cluster on a lossy virtual fabric.
-            let link = LinkParams { loss: 0.05, jitter: 10_000, ..LinkParams::default() };
+            let link = LinkParams {
+                loss: 0.05,
+                jitter: 10_000,
+                ..LinkParams::default()
+            };
             let cluster = Cluster::new(ClusterParams { nodes: 4, link });
 
             // Every node runs a hash service on port 9.
@@ -34,10 +38,14 @@ fn main() {
                 sim::spawn_daemon(&format!("hash-server-{n}"), async move {
                     while let Ok(conn) = listener.accept().await {
                         sim::spawn_daemon("hash-conn", async move {
-                            chanos::net::serve(conn, SerdeCost::default(), |block: u64| async move {
-                                sim::delay(200).await; // The "hash".
-                                block.wrapping_mul(0x9E3779B97F4A7C15)
-                            })
+                            chanos::net::serve(
+                                conn,
+                                SerdeCost::default(),
+                                |block: u64| async move {
+                                    sim::delay(200).await; // The "hash".
+                                    block.wrapping_mul(0x9E3779B97F4A7C15)
+                                },
+                            )
                             .await;
                         });
                     }

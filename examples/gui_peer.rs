@@ -83,7 +83,7 @@ async fn application(from_display: Receiver<InputEvent>, to_display: Sender<Draw
                 Ok(InputEvent::MouseClick { x, y }) => {
                     println!("[app] click at ({x},{y})");
                     to_display
-                        .send(DrawCmd::Label { x, y, text: format!("click!") })
+                        .send(DrawCmd::Label { x, y, text: "click!".to_string() })
                         .await
                         .unwrap();
                 }

@@ -88,6 +88,7 @@ fn main() {
             client.record_into(trace.clone());
 
             chanos::sim::spawn_daemon("driver", async move {
+                #[allow(clippy::while_let_loop)]
                 loop {
                     match server.recv().await {
                         Ok(Req::Read(block)) => {

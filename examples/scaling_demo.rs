@@ -11,7 +11,7 @@
 
 use chanos::csp::{channel, Capacity};
 use chanos::shmem::{SimAtomicU64, TasSpinlock};
-use chanos::sim::{delay, CoreId, Config, Simulation};
+use chanos::sim::{delay, Config, CoreId, Simulation};
 
 const OPS_PER_CORE: u64 = 30;
 const THINK: u64 = 400;
@@ -84,7 +84,10 @@ fn with_messages(cores: usize) -> u64 {
 
 fn main() {
     println!("shared counter, {OPS_PER_CORE} ops/core, think={THINK} cycles\n");
-    println!("{:>6} | {:>14} | {:>14} | {:>14}", "cores", "TAS lock", "atomic", "msg server");
+    println!(
+        "{:>6} | {:>14} | {:>14} | {:>14}",
+        "cores", "TAS lock", "atomic", "msg server"
+    );
     println!("{}", "-".repeat(58));
     for cores in [8, 64, 512] {
         let ops = |n: u64| move |cycles: u64| n as f64 * 1e6 / cycles as f64;
@@ -92,9 +95,7 @@ fn main() {
         let tas = ops(n)(with_tas(cores));
         let atomic = ops(n)(with_atomic(cores));
         let msg = ops((cores as u64 - 1) * OPS_PER_CORE)(with_messages(cores));
-        println!(
-            "{cores:>6} | {tas:>10.1} ops/Mc | {atomic:>10.1} ops/Mc | {msg:>10.1} ops/Mc"
-        );
+        println!("{cores:>6} | {tas:>10.1} ops/Mc | {atomic:>10.1} ops/Mc | {msg:>10.1} ops/Mc");
     }
     println!(
         "\nShape: lock/atomic throughput collapses as coherence storms serialize;\n\

@@ -24,14 +24,18 @@ fn main() {
         ..Config::default()
     });
     let c = cfg.clone();
-    let signals = m1.block_on(async move { run_signal_model(&c).await }).unwrap();
+    let signals = m1
+        .block_on(async move { run_signal_model(&c).await })
+        .unwrap();
 
     let mut m2 = Simulation::with_config(Config {
         cores: 3,
         ..Config::default()
     });
     let c = cfg.clone();
-    let channels = m2.block_on(async move { run_channel_model(&c).await }).unwrap();
+    let channels = m2
+        .block_on(async move { run_channel_model(&c).await })
+        .unwrap();
 
     println!("200 kernel ops with async events every ~3k cycles\n");
     println!("{:<22} {:>14} {:>14}", "", "signals", "channels");

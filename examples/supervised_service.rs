@@ -9,8 +9,7 @@
 //! cargo run --example supervised_service
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use chanos::csp::{channel, reply_channel, Capacity, ReplyTo, Sender};
 use chanos::kernel::{ChildSpec, Restart, Strategy, Supervisor};
@@ -30,7 +29,7 @@ fn main() {
     let (attempts, successes) = machine
         .block_on(async {
             let (tx, rx) = channel::<Req>(Capacity::Unbounded);
-            let registry: Rc<RefCell<Vec<TaskId>>> = Rc::new(RefCell::new(Vec::new()));
+            let registry: Arc<Mutex<Vec<TaskId>>> = Arc::new(Mutex::new(Vec::new()));
 
             // The supervised worker pool.
             let mut sup = Supervisor::new(Strategy::OneForOne).intensity(100_000, 1_000_000);
@@ -43,7 +42,7 @@ fn main() {
                     move || {
                         let rx = rx.clone();
                         let registry = registry.clone();
-                        let h = chanos::sim::spawn_named_on(
+                        let h = chanos::rt::spawn_named_on(
                             &format!("worker{i}"),
                             CoreId((i % WORKERS) as u32),
                             async move {
@@ -53,7 +52,10 @@ fn main() {
                                 }
                             },
                         );
-                        registry.borrow_mut().push(h.id());
+                        registry
+                            .lock()
+                            .expect("registry")
+                            .push(h.task_id().expect("sim backend"));
                         h
                     },
                 ));
@@ -68,7 +70,7 @@ fn main() {
                     let gap = rng.exp(KILL_GAP as f64).max(1.0) as Cycles;
                     chanos::sim::sleep(gap).await;
                     let victim = {
-                        let mut v = reg.borrow_mut();
+                        let mut v = reg.lock().expect("registry");
                         v.retain(|&t| chanos::sim::task_alive(t));
                         if v.is_empty() {
                             continue;
@@ -105,7 +107,10 @@ fn main() {
         stats.counter("chaos.kills"),
         stats.counter("supervisor.restarts"),
     );
-    assert!(availability > 99.0, "supervision should keep the service up");
+    assert!(
+        availability > 99.0,
+        "supervision should keep the service up"
+    );
 }
 
 async fn call(tx: &Sender<Req>, n: u64) -> Option<u64> {

@@ -61,6 +61,7 @@ pub use chanos_net as net;
 pub use chanos_noc as noc;
 pub use chanos_parchan as parchan;
 pub use chanos_proto as proto;
+pub use chanos_rt as rt;
 pub use chanos_select as select;
 pub use chanos_shmem as shmem;
 pub use chanos_sim as sim;

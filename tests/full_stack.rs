@@ -82,8 +82,12 @@ fn trap_and_message_kernels_agree_observably() {
     let run = |kind: KernelKind| -> Vec<u8> {
         let mut m = machine(8);
         m.block_on(async move {
-            let os = boot(BootCfg::new(kind, FsKind::Sharded, (0..2).map(CoreId).collect()))
-                .await;
+            let os = boot(BootCfg::new(
+                kind,
+                FsKind::Sharded,
+                (0..2).map(CoreId).collect(),
+            ))
+            .await;
             let (_pid, h) = os.procs.spawn_process(CoreId(3), |env| async move {
                 let fd = env.create("/data").await.unwrap();
                 env.write(fd, b"abcdef").await.unwrap();
@@ -193,23 +197,32 @@ fn heavy_mixed_load_terminates_cleanly() {
             });
             let mut handles = Vec::new();
             for p in 0..6u32 {
-                let (_pid, h) = os.procs.spawn_process(CoreId(4 + p % 12), move |env| async move {
-                    let fd = env.create(&format!("/m{p}")).await.unwrap();
-                    env.write(fd, &vec![p as u8; 4096]).await.unwrap();
-                    env.close(fd).await.unwrap();
-                });
+                let (_pid, h) = os
+                    .procs
+                    .spawn_process(CoreId(4 + p % 12), move |env| async move {
+                        let fd = env.create(&format!("/m{p}")).await.unwrap();
+                        env.write(fd, &vec![p as u8; 4096]).await.unwrap();
+                        env.close(fd).await.unwrap();
+                    });
                 handles.push(h);
             }
+            let mut vm_handles = Vec::new();
             for sid in 0..4u64 {
                 let space = vm.create_space(sid);
-                handles.push(chanos::sim::spawn_on(CoreId(8 + sid as u32), async move {
-                    space.map_region(0, 64 * chanos::vm::PAGE_SIZE).await.unwrap();
+                vm_handles.push(chanos::sim::spawn_on(CoreId(8 + sid as u32), async move {
+                    space
+                        .map_region(0, 64 * chanos::vm::PAGE_SIZE)
+                        .await
+                        .unwrap();
                     for p in 0..32 {
                         space.touch(p * chanos::vm::PAGE_SIZE).await.unwrap();
                     }
                 }));
             }
             for h in handles {
+                h.join().await.unwrap();
+            }
+            for h in vm_handles {
                 h.join().await.unwrap();
             }
         });
