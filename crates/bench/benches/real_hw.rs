@@ -1,5 +1,5 @@
 //! Real-hardware companions to the simulated experiments, on the
-//! `chanos-parchan` work-sharing thread pool via the `chanos-rt`
+//! `chanos-parchan` work-stealing thread pool via the `chanos-rt`
 //! facade:
 //!
 //! * **E1** — is a send "comparable in scope to a procedure call"?
@@ -7,15 +7,17 @@
 //!   Write/Read/Close through MsgFs) measured on OS threads.
 //! * **E4** — FS engine scaling: concurrent writers through the
 //!   vnode-per-thread file system on real cores.
+//! * **E9** — placement policy on real cores: pipeline stages pinned
+//!   per policy via `spawn_named_on` (honored as unstealable worker
+//!   pins since the work-stealing scheduler landed).
+//! * **sched** — spawn/steal microbench: per-worker run queues vs
+//!   the old single-mutex injector (`SchedMode::GlobalQueue`) on the
+//!   same yield-heavy workload.
 //!
 //! The paper's claims get measured on silicon, not just in the model.
-//!
-//! Caveat: the std-only `chanos-parchan` pool currently dispatches
-//! through one shared run queue, so multi-writer numbers include
-//! run-queue contention; per-worker stealing is a ROADMAP item.
 
 use chanos_bench::harness::{bench, default_budget, header};
-use chanos_parchan::{channel, Capacity, Runtime};
+use chanos_parchan::{channel, yield_now, Capacity, Runtime, SchedMode};
 
 #[inline(never)]
 fn callee(x: u64) -> u64 {
@@ -164,8 +166,129 @@ fn bench_e4_fs_scaling_real_hw() {
     }
 }
 
+fn bench_e9_placement_real_hw() {
+    use chanos_kernel::{Policy, ThreadPlacer};
+    use chanos_rt as rt;
+
+    // Scale with the harness budget so the CI smoke stays fast.
+    let quick = default_budget() < std::time::Duration::from_millis(100);
+    let msgs: u64 = if quick { 50 } else { 300 };
+    let pipelines = 8usize;
+    const STAGES: usize = 4;
+    let workers = 4usize;
+
+    println!("\n## E9 on real threads: placement policy ({pipelines} pipelines x {STAGES} stages, {workers} workers)\n");
+    println!("| policy | msgs/sec |");
+    println!("|---|---|");
+    for policy in [
+        Policy::Random,
+        Policy::RoundRobin,
+        Policy::Inherit,
+        Policy::Partitioned { kernel_cores: 1 },
+    ] {
+        let rtm = Runtime::new(workers);
+        let mut placer = ThreadPlacer::new(policy, workers);
+        let t0 = std::time::Instant::now();
+        rtm.block_on(async {
+            let mut joins = Vec::new();
+            for p in 0..pipelines {
+                let src_core = placer.place(&format!("pipe{p}-src"), None);
+                let (first_tx, mut prev_rx) = rt::channel::<u64>(rt::Capacity::Bounded(8));
+                for st in 0..STAGES {
+                    let core = placer.place(&format!("pipe{p}-stage{st}"), Some(src_core));
+                    let (ntx, nrx) = rt::channel::<u64>(rt::Capacity::Bounded(8));
+                    let in_rx = prev_rx;
+                    prev_rx = nrx;
+                    rt::spawn_named_on(&format!("pipe{p}-stage{st}"), core, async move {
+                        while let Ok(v) = in_rx.recv().await {
+                            if ntx.send(v).await.is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                let sink_core = placer.place(&format!("pipe{p}-sink"), Some(src_core));
+                let sink = rt::spawn_named_on(&format!("pipe{p}-sink"), sink_core, async move {
+                    for _ in 0..msgs {
+                        if prev_rx.recv().await.is_err() {
+                            break;
+                        }
+                    }
+                });
+                let src = rt::spawn_named_on(&format!("pipe{p}-src"), src_core, async move {
+                    for i in 0..msgs {
+                        if first_tx.send(i).await.is_err() {
+                            break;
+                        }
+                    }
+                });
+                joins.push((src, sink));
+            }
+            for (src, sink) in joins {
+                let _ = src.join().await;
+                let _ = sink.join().await;
+            }
+        });
+        let dt = t0.elapsed();
+        let total = pipelines as u64 * msgs * (STAGES as u64 + 1);
+        println!(
+            "| {} | {:.0} |",
+            policy.name(),
+            total as f64 / dt.as_secs_f64()
+        );
+        rtm.shutdown();
+    }
+}
+
+fn bench_spawn_steal_microbench() {
+    let quick = default_budget() < std::time::Duration::from_millis(100);
+    let yields: u64 = if quick { 200 } else { 2_000 };
+
+    println!("\n## Scheduler microbench: per-worker queues + stealing vs single-mutex injector\n");
+    println!("| workers | scheduler | yields/sec | steals |");
+    println!("|---|---|---|---|");
+    for workers in [1usize, 4] {
+        for (mode, name) in [
+            (SchedMode::GlobalQueue, "global-queue"),
+            (SchedMode::WorkStealing, "work-stealing"),
+        ] {
+            let rt = Runtime::with_mode(workers, mode);
+            let tasks = 64u64 * workers as u64;
+            let t0 = std::time::Instant::now();
+            // Seed from one worker (local-queue path), then churn:
+            // every yield is one trip through the dispatch path.
+            let seeder = rt.spawn(async move {
+                let hd = chanos_parchan::current().expect("on runtime");
+                let children: Vec<_> = (0..tasks)
+                    .map(|_| {
+                        hd.spawn(async move {
+                            for _ in 0..yields {
+                                yield_now().await;
+                            }
+                        })
+                    })
+                    .collect();
+                for c in children {
+                    let _ = c.join().await;
+                }
+            });
+            seeder.join_blocking().expect("seeder");
+            let dt = t0.elapsed();
+            let total = tasks * yields;
+            println!(
+                "| {workers} | {name} | {:.0} | {} |",
+                total as f64 / dt.as_secs_f64(),
+                rt.handle().steal_count()
+            );
+            rt.shutdown();
+        }
+    }
+}
+
 fn main() {
     bench_e1_msg_vs_call();
     bench_e3_syscalls_real_hw();
     bench_e4_fs_scaling_real_hw();
+    bench_e9_placement_real_hw();
+    bench_spawn_steal_microbench();
 }

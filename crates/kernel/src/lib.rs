@@ -38,7 +38,7 @@ pub use compat::{compat_copy, CompatFile};
 pub use env::{Env, KernelHandle, ProcessTable};
 pub use events::{run_channel_model, run_signal_model, EventExpCfg, EventExpResult};
 pub use pipe::{pipe, PipeReader, PipeWriter, PIPE_DEPTH};
-pub use placement::Policy;
+pub use placement::{Policy, ThreadPlacer};
 pub use supervision::{ChildSpec, Restart, Strategy, Supervisor, SupervisorExit};
 pub use syscall::{KernelCosts, MsgKernel, Syscall, TrapKernel};
 pub use types::{Fd, KError, Pid};

@@ -5,19 +5,42 @@
 //! stack and a kernel object), and all communication happens through
 //! the channels in [`crate::chan`].
 //!
-//! The pool is std-only (no external dependencies): a shared injector
-//! queue under a mutex, workers parking on a condvar. Each worker
-//! carries a stable index, surfaced as the task's "core" identity to
-//! the runtime facade (`chanos-rt`).
+//! The pool is std-only (no external dependencies) and, like the
+//! paper argues a multicore OS must, treats *placement* as a
+//! first-class scheduler input rather than advisory metadata:
+//!
+//! * Each worker owns a **local run queue** — a LIFO slot for the
+//!   task that just woke (cache-hot message ping-pong) plus a FIFO
+//!   deque — so the common wake path touches only the worker's own
+//!   mutex, never a global one.
+//! * An idle worker **steals** half of a sibling's FIFO, sweeping
+//!   victims from a randomized start, and parks on its own condvar
+//!   only after a full sweep (pinned, local, injector, every victim)
+//!   comes up empty.
+//! * [`Runtime::spawn_pinned`] places a task on a per-worker
+//!   **unstealable** queue: pinned tasks are polled only by their
+//!   assigned worker, which is what makes `chanos-rt::spawn_on`
+//!   placement real on this backend.
+//! * A global **injector** queue accepts spawns and wakes from
+//!   off-pool threads (`block_on` callers, the timer thread).
+//!
+//! [`SchedMode::GlobalQueue`] preserves the original
+//! one-mutex-injector dispatch so the scheduler microbenchmarks can
+//! A/B the two designs on the same workload.
+//!
+//! Fairness: the LIFO slot is capped at [`LIFO_CAP`] consecutive
+//! polls, the injector is polled first every [`INJECTOR_INTERVAL`]
+//! dispatches, and pinned/local priority alternates every dispatch,
+//! so no queue can starve another.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::future::Future;
 use std::panic::{self, AssertUnwindSafe};
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::task::{Context, Poll, Wake, Waker};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Task lifecycle states (see `TaskCell::state`).
 const IDLE: u8 = 0;
@@ -25,6 +48,18 @@ const SCHEDULED: u8 = 1;
 const RUNNING: u8 = 2;
 const NOTIFIED: u8 = 3;
 const COMPLETE: u8 = 4;
+
+/// Consecutive polls the LIFO slot may win before the FIFO queue
+/// gets a turn (a self-waking task must not starve its siblings).
+const LIFO_CAP: u8 = 16;
+
+/// Every this-many dispatches a worker polls the injector *first*,
+/// so globally-submitted work cannot be starved by local queues.
+const INJECTOR_INTERVAL: u32 = 61;
+
+/// Backstop for the park condvar: a parked worker re-sweeps at this
+/// interval even if it missed a notification.
+const PARK_BACKSTOP: Duration = Duration::from_millis(50);
 
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
 
@@ -36,10 +71,26 @@ pub(crate) fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// How a [`Runtime`] dispatches ready tasks to its workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Per-worker run queues with randomized work stealing (the
+    /// default). Wakes from a worker go to its own LIFO slot/FIFO;
+    /// idle workers steal from siblings.
+    WorkStealing,
+    /// The original single shared injector under one mutex. Kept for
+    /// A/B benchmarking (`real_hw` spawn/steal microbench); pinned
+    /// queues still work in this mode.
+    GlobalQueue,
+}
+
 struct TaskCell {
     future: Mutex<Option<BoxFuture>>,
     state: AtomicU8,
     rt: Weak<RtInner>,
+    /// Worker this task is pinned to; pinned tasks live on that
+    /// worker's unstealable queue and are polled only by it.
+    pin: Option<usize>,
 }
 
 impl Wake for TaskCell {
@@ -57,7 +108,7 @@ impl Wake for TaskCell {
                         .is_ok()
                     {
                         if let Some(rt) = self.rt.upgrade() {
-                            rt.push(self.clone());
+                            schedule(&rt, self.clone());
                         }
                         return;
                     }
@@ -98,22 +149,205 @@ struct StatsInner {
     records: HashMap<String, StatRecord>,
 }
 
+/// A worker's own run queue: the LIFO slot holds the task that woke
+/// most recently (polled next while its state is cache-hot), the
+/// FIFO holds the rest in arrival order. Thieves take from the FIFO
+/// front; the LIFO slot and the pinned queue are never stolen.
+#[derive(Default)]
+struct LocalQueue {
+    lifo: Option<Arc<TaskCell>>,
+    fifo: VecDeque<Arc<TaskCell>>,
+}
+
+struct WorkerState {
+    local: Mutex<LocalQueue>,
+    /// Unstealable queue for tasks pinned to this worker.
+    pinned: Mutex<VecDeque<Arc<TaskCell>>>,
+    /// Dekker flag for the park protocol: set (SeqCst) before the
+    /// worker's final queue re-check; producers scan it (SeqCst)
+    /// after publishing work. Claimed back via compare-exchange.
+    parked: AtomicBool,
+    /// `true` = a wakeup was delivered and not yet consumed.
+    park_lock: Mutex<bool>,
+    park_cv: Condvar,
+}
+
+impl WorkerState {
+    fn new() -> WorkerState {
+        WorkerState {
+            local: Mutex::new(LocalQueue::default()),
+            pinned: Mutex::new(VecDeque::new()),
+            parked: AtomicBool::new(false),
+            park_lock: Mutex::new(false),
+            park_cv: Condvar::new(),
+        }
+    }
+}
+
 struct RtInner {
-    queue: Mutex<std::collections::VecDeque<Arc<TaskCell>>>,
-    queue_cv: Condvar,
+    injector: Mutex<VecDeque<Arc<TaskCell>>>,
+    workers: Vec<WorkerState>,
+    mode: SchedMode,
     shutdown: AtomicBool,
     live_tasks: AtomicUsize,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
-    workers: usize,
     started: Instant,
     stats: Mutex<StatsInner>,
+    /// Every live task, for shutdown reaping: abandoned tasks must
+    /// complete their `JoinState` (joiners would hang forever
+    /// otherwise). Entries are `Weak`; compacted amortizedly.
+    tasks: Mutex<Vec<Weak<TaskCell>>>,
+    /// Cells handed to `schedule` after shutdown: parked here so the
+    /// last task reference is never dropped from inside a waker
+    /// callback (which may hold the caller's locks); the shutdown
+    /// reaper drains it lock-free-ly.
+    graveyard: Mutex<Vec<Arc<TaskCell>>>,
+    /// Successful steal operations (batches, not tasks).
+    steals: AtomicU64,
+    /// Rotates the scan start of `unpark_any` across workers.
+    unpark_rr: AtomicUsize,
+    /// Number of workers with their `parked` flag set. Lets the
+    /// wake path skip the per-worker scan entirely in the steady
+    /// state where everyone is already running.
+    n_parked: AtomicUsize,
+}
+
+/// Routes a ready task to a run queue and wakes a worker for it.
+fn schedule(rt: &Arc<RtInner>, cell: Arc<TaskCell>) {
+    if rt.shutdown.load(Ordering::SeqCst) {
+        // Workers are gone (or going); the shutdown reaper owns
+        // completion of every registered task. Do NOT drop `cell`
+        // inline: we may be the last reference, and this wake often
+        // fires from inside a channel's Drop *while its mutex is
+        // held* — recursively dropping the task's future (which owns
+        // endpoints of that same channel) would re-lock the mutex on
+        // this thread and deadlock. Park the ref in the graveyard;
+        // the reaper frees it outside all locks.
+        plock(&rt.graveyard).push(cell);
+        return;
+    }
+    if let Some(w) = cell.pin {
+        plock(&rt.workers[w].pinned).push_back(cell);
+        rt.unpark_specific(w);
+        return;
+    }
+    if rt.mode == SchedMode::WorkStealing {
+        if let Some(me) = local_worker(rt) {
+            let ws = &rt.workers[me];
+            let mut q = plock(&ws.local);
+            if let Some(prev) = q.lifo.replace(cell) {
+                q.fifo.push_back(prev);
+            }
+            let overflow = !q.fifo.is_empty();
+            drop(q);
+            // This worker is busy (it is running us); invite a
+            // parked sibling to steal the backlog.
+            if overflow {
+                rt.unpark_any();
+            }
+            return;
+        }
+    }
+    plock(&rt.injector).push_back(cell);
+    rt.unpark_any();
+}
+
+/// The calling thread's worker index, if it is a worker of *this*
+/// runtime (tests run several runtimes side by side).
+fn local_worker(rt: &Arc<RtInner>) -> Option<usize> {
+    let id = WORKER_ID.with(|w| w.get())?;
+    let ours = WORKER_RT.with(|w| {
+        w.borrow()
+            .as_ref()
+            .is_some_and(|wk| std::ptr::eq(wk.as_ptr(), Arc::as_ptr(rt)))
+    });
+    ours.then_some(id)
 }
 
 impl RtInner {
-    fn push(&self, cell: Arc<TaskCell>) {
-        plock(&self.queue).push_back(cell);
-        self.queue_cv.notify_one();
+    /// Wakes one parked worker, if any.
+    fn unpark_any(&self) {
+        // SeqCst pairs with the worker's parked-flag publication: if
+        // we read 0 here, every worker's post-publication re-check
+        // runs after our push and finds the work itself.
+        if self.n_parked.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let n = self.workers.len();
+        let start = self.unpark_rr.fetch_add(1, Ordering::Relaxed) % n;
+        for k in 0..n {
+            if self.try_unpark((start + k) % n) {
+                return;
+            }
+        }
+    }
+
+    /// Wakes worker `w` if it is parked (used for pinned pushes: only
+    /// that worker can run the task).
+    fn unpark_specific(&self, w: usize) {
+        self.try_unpark(w);
+    }
+
+    fn try_unpark(&self, w: usize) -> bool {
+        let ws = &self.workers[w];
+        if ws
+            .parked
+            .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            // Whoever flips parked true→false owns the decrement.
+            self.n_parked.fetch_sub(1, Ordering::SeqCst);
+            let mut g = plock(&ws.park_lock);
+            *g = true;
+            ws.park_cv.notify_one();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Anything worker `me` could run right now? Mirrors the sources
+    /// `find_task` consults; used for the pre-park re-check.
+    fn has_work(&self, me: usize) -> bool {
+        let ws = &self.workers[me];
+        if !plock(&ws.pinned).is_empty() || !plock(&self.injector).is_empty() {
+            return true;
+        }
+        if self.mode == SchedMode::WorkStealing {
+            {
+                let q = plock(&ws.local);
+                if q.lifo.is_some() || !q.fifo.is_empty() {
+                    return true;
+                }
+            }
+            for (v, vs) in self.workers.iter().enumerate() {
+                if v != me && !plock(&vs.local).fifo.is_empty() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Registers a task for shutdown reaping. Compaction keeps the
+    /// vector within a constant factor of the live-task count.
+    fn register(&self, cell: &Arc<TaskCell>) {
+        let mut t = plock(&self.tasks);
+        if t.len() >= 64 && t.len() >= 2 * self.live_tasks.load(Ordering::Relaxed) {
+            t.retain(|w| w.strong_count() > 0);
+        }
+        t.push(Arc::downgrade(cell));
+    }
+
+    /// Takes the task's future out and drops it without polling. The
+    /// wrapper's completion guard then finishes the `JoinState` with
+    /// `Panicked("runtime shut down")`, waking every joiner.
+    /// Idempotent: racing reapers find the slot empty.
+    fn reap_cell(cell: &Arc<TaskCell>) {
+        let fut = plock(&cell.future).take();
+        cell.state.store(COMPLETE, Ordering::Release);
+        drop(fut);
     }
 }
 
@@ -121,6 +355,10 @@ thread_local! {
     static CURRENT: std::cell::RefCell<Vec<Weak<RtInner>>> =
         const { std::cell::RefCell::new(Vec::new()) };
     static WORKER_ID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+    /// The runtime the current worker thread belongs to (a thread is
+    /// a worker of at most one runtime for its whole life).
+    static WORKER_RT: std::cell::RefCell<Option<Weak<RtInner>>> =
+        const { std::cell::RefCell::new(None) };
 }
 
 /// A handle for spawning onto (and inspecting) a running [`Runtime`]
@@ -176,12 +414,30 @@ impl Handle {
         T: Send + 'static,
         F: Future<Output = T> + Send + 'static,
     {
-        spawn_impl(&self.inner, fut)
+        spawn_impl(&self.inner, None, fut)
+    }
+
+    /// Spawns a task pinned to worker `worker % workers()`: it is
+    /// placed on that worker's unstealable queue and every poll runs
+    /// on that worker thread ([`current_worker`] observes the pin).
+    pub fn spawn_pinned<T, F>(&self, worker: usize, fut: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: Future<Output = T> + Send + 'static,
+    {
+        let w = worker % self.inner.workers.len();
+        spawn_impl(&self.inner, Some(w), fut)
     }
 
     /// Number of worker threads in the pool.
     pub fn workers(&self) -> usize {
-        self.inner.workers
+        self.inner.workers.len()
+    }
+
+    /// Number of successful steal operations since start (an idle
+    /// worker taking a batch from a sibling's queue).
+    pub fn steal_count(&self) -> u64 {
+        self.inner.steals.load(Ordering::Relaxed)
     }
 
     /// Nanoseconds of wall-clock time since the runtime started.
@@ -246,19 +502,29 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Starts a runtime with `workers` OS worker threads.
+    /// Starts a work-stealing runtime with `workers` OS threads.
     pub fn new(workers: usize) -> Runtime {
+        Runtime::with_mode(workers, SchedMode::WorkStealing)
+    }
+
+    /// Starts a runtime with an explicit [`SchedMode`].
+    pub fn with_mode(workers: usize, mode: SchedMode) -> Runtime {
         assert!(workers > 0);
         let inner = Arc::new(RtInner {
-            queue: Mutex::new(std::collections::VecDeque::new()),
-            queue_cv: Condvar::new(),
+            injector: Mutex::new(VecDeque::new()),
+            workers: (0..workers).map(|_| WorkerState::new()).collect(),
+            mode,
             shutdown: AtomicBool::new(false),
             live_tasks: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
-            workers,
             started: Instant::now(),
             stats: Mutex::new(StatsInner::default()),
+            tasks: Mutex::new(Vec::new()),
+            graveyard: Mutex::new(Vec::new()),
+            steals: AtomicU64::new(0),
+            unpark_rr: AtomicUsize::new(0),
+            n_parked: AtomicUsize::new(0),
         });
         let mut threads = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -297,7 +563,17 @@ impl Runtime {
         T: Send + 'static,
         F: Future<Output = T> + Send + 'static,
     {
-        spawn_impl(&self.inner, fut)
+        spawn_impl(&self.inner, None, fut)
+    }
+
+    /// Spawns a task pinned to worker `worker % workers`; see
+    /// [`Handle::spawn_pinned`].
+    pub fn spawn_pinned<T, F>(&self, worker: usize, fut: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: Future<Output = T> + Send + 'static,
+    {
+        self.handle().spawn_pinned(worker, fut)
     }
 
     /// Drives a future on the calling thread until it completes,
@@ -336,22 +612,95 @@ impl Runtime {
         }
     }
 
-    /// Shuts the runtime down, joining all workers. Live tasks are
-    /// abandoned.
+    /// Shuts the runtime down, joining all workers.
+    ///
+    /// Tasks that never completed — queued, mid-await, or pinned —
+    /// are *reaped*: their `JoinState` is finished with
+    /// `Panicked("runtime shut down")` and every joiner (blocking or
+    /// [`Watch`]) is woken. Nothing hangs on an abandoned task.
     pub fn shutdown(self) {
-        self.inner.shutdown.store(true, Ordering::Release);
-        {
-            let _g = plock(&self.inner.queue);
-            self.inner.queue_cv.notify_all();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for w in &self.inner.workers {
+            let mut g = plock(&w.park_lock);
+            *g = true;
+            w.park_cv.notify_all();
         }
-        let mut threads = plock(&self.threads);
-        for t in threads.drain(..) {
-            let _ = t.join();
+        {
+            let mut threads = plock(&self.threads);
+            for t in threads.drain(..) {
+                let _ = t.join();
+            }
+        }
+        // Reap every task that never ran to completion. Dropping a
+        // future can run arbitrary Drop code (which may spawn — i.e.
+        // re-register — or wake peers into the graveyard), so sweep
+        // until a pass finds both empty. Futures are dropped outside
+        // every lock.
+        loop {
+            let cells: Vec<Weak<TaskCell>> = std::mem::take(&mut *plock(&self.inner.tasks));
+            let grave: Vec<Arc<TaskCell>> = std::mem::take(&mut *plock(&self.inner.graveyard));
+            if cells.is_empty() && grave.is_empty() {
+                break;
+            }
+            for w in cells {
+                if let Some(cell) = w.upgrade() {
+                    RtInner::reap_cell(&cell);
+                }
+            }
+            // Graveyard cells are registered too, so their futures
+            // were just taken above (or in an earlier sweep);
+            // releasing the refs here runs no user Drop code beyond
+            // what reaping already did.
+            drop(grave);
+        }
+        // Release queue references so cells (and their wakers) free.
+        plock(&self.inner.injector).clear();
+        for w in &self.inner.workers {
+            plock(&w.pinned).clear();
+            let mut q = plock(&w.local);
+            q.lifo = None;
+            q.fifo.clear();
         }
     }
 }
 
-fn spawn_impl<T, F>(inner: &Arc<RtInner>, fut: F) -> JoinHandle<T>
+/// Completes the task's `JoinState` exactly once: with the task's
+/// result on the normal path, or — if the runtime abandons the task
+/// (shutdown) and the future is dropped unpolled — with
+/// `Panicked("runtime shut down")` from `Drop`. Either way all
+/// blocking joiners and `Watch` futures are woken and the live-task
+/// count is released.
+struct CompletionGuard<T> {
+    join: Option<Arc<JoinState<T>>>,
+    rt: Weak<RtInner>,
+}
+
+impl<T> CompletionGuard<T> {
+    fn finish(&mut self, out: Result<T, Panicked>) {
+        let Some(join) = self.join.take() else { return };
+        let mut slot = plock(&join.slot);
+        slot.result = Some(out);
+        let waiters = std::mem::take(&mut slot.waiters);
+        drop(slot);
+        join.cv.notify_all();
+        for (_, w) in waiters {
+            w.wake();
+        }
+        if let Some(rt) = self.rt.upgrade() {
+            rt.live_tasks.fetch_sub(1, Ordering::AcqRel);
+            let _g = plock(&rt.idle_lock);
+            rt.idle_cv.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for CompletionGuard<T> {
+    fn drop(&mut self) {
+        self.finish(Err(Panicked("runtime shut down".to_string())));
+    }
+}
+
+fn spawn_impl<T, F>(inner: &Arc<RtInner>, pin: Option<usize>, fut: F) -> JoinHandle<T>
 where
     T: Send + 'static,
     F: Future<Output = T> + Send + 'static,
@@ -362,30 +711,31 @@ where
             waiters: Vec::new(),
         }),
         cv: Condvar::new(),
+        next_watch: AtomicU64::new(0),
     });
-    let join2 = join.clone();
-    let rt = inner.clone();
+    let mut guard = CompletionGuard {
+        join: Some(join.clone()),
+        rt: Arc::downgrade(inner),
+    };
     let wrapped = async move {
         let out = AssertUnwindSafe(fut).catch_unwind_lite().await;
-        let mut slot = plock(&join2.slot);
-        slot.result = Some(out);
-        let waiters = std::mem::take(&mut slot.waiters);
-        drop(slot);
-        join2.cv.notify_all();
-        for w in waiters {
-            w.wake();
-        }
-        rt.live_tasks.fetch_sub(1, Ordering::AcqRel);
-        let _g = plock(&rt.idle_lock);
-        rt.idle_cv.notify_all();
+        guard.finish(out);
     };
     inner.live_tasks.fetch_add(1, Ordering::AcqRel);
     let cell = Arc::new(TaskCell {
         future: Mutex::new(Some(Box::pin(wrapped))),
         state: AtomicU8::new(SCHEDULED),
         rt: Arc::downgrade(inner),
+        pin,
     });
-    inner.push(cell);
+    inner.register(&cell);
+    if inner.shutdown.load(Ordering::SeqCst) {
+        // The shutdown reaper may already have swept past us; either
+        // way completing here is safe (reaping is idempotent).
+        RtInner::reap_cell(&cell);
+    } else {
+        schedule(inner, cell);
+    }
     JoinHandle { state: join }
 }
 
@@ -404,24 +754,152 @@ impl Wake for ThreadParker {
     }
 }
 
+/// Cheap thread-local PRNG for steal-victim selection (splitmix64).
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
 fn worker_loop(rt: Arc<RtInner>, me: usize) {
     WORKER_ID.with(|w| w.set(Some(me)));
+    WORKER_RT.with(|w| *w.borrow_mut() = Some(Arc::downgrade(&rt)));
     let _ambient = enter(&rt);
+    let mut rng: u64 = 0x5EED ^ ((me as u64 + 1) << 17);
+    let mut tick: u32 = 0;
+    let mut lifo_streak: u8 = 0;
     loop {
-        let task = {
-            let mut q = plock(&rt.queue);
-            loop {
-                if rt.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                if let Some(t) = q.pop_front() {
-                    break t;
-                }
-                q = rt.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+        if rt.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(task) = find_task(&rt, me, &mut tick, &mut lifo_streak, &mut rng) {
+            run_task(task, &rt);
+            continue;
+        }
+        // Park protocol (Dekker): publish the parked flag, then
+        // re-sweep every source. A producer publishes work, then
+        // scans parked flags; SeqCst on both sides means one of us
+        // must see the other.
+        let ws = &rt.workers[me];
+        ws.parked.store(true, Ordering::SeqCst);
+        rt.n_parked.fetch_add(1, Ordering::SeqCst);
+        if rt.has_work(me) || rt.shutdown.load(Ordering::SeqCst) {
+            if ws
+                .parked
+                .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                rt.n_parked.fetch_sub(1, Ordering::SeqCst);
+            } else {
+                // A producer claimed us (and decremented); its
+                // pending notification is consumed on the next park.
             }
-        };
-        run_task(task, &rt);
+            continue;
+        }
+        let mut g = plock(&ws.park_lock);
+        loop {
+            if rt.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if *g {
+                *g = false;
+                break;
+            }
+            let (ng, res) = ws
+                .park_cv
+                .wait_timeout(g, PARK_BACKSTOP)
+                .unwrap_or_else(|e| e.into_inner());
+            g = ng;
+            if res.timed_out()
+                && ws
+                    .parked
+                    .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                // Backstop resweep: unclaimed, so no notification is
+                // owed to us.
+                rt.n_parked.fetch_sub(1, Ordering::SeqCst);
+                break;
+            }
+        }
     }
+}
+
+/// One dispatch: pick the next task for worker `me`.
+///
+/// Order (with fairness rotations): pinned/local alternating, then
+/// the injector, then a randomized steal sweep over siblings. Every
+/// [`INJECTOR_INTERVAL`]-th call checks the injector first.
+fn find_task(
+    rt: &Arc<RtInner>,
+    me: usize,
+    tick: &mut u32,
+    lifo_streak: &mut u8,
+    rng: &mut u64,
+) -> Option<Arc<TaskCell>> {
+    *tick = tick.wrapping_add(1);
+    let ws = &rt.workers[me];
+    if (*tick).is_multiple_of(INJECTOR_INTERVAL) {
+        if let Some(t) = plock(&rt.injector).pop_front() {
+            return Some(t);
+        }
+    }
+    let pinned_first = (*tick).is_multiple_of(2);
+    if pinned_first {
+        if let Some(t) = plock(&ws.pinned).pop_front() {
+            return Some(t);
+        }
+    }
+    if rt.mode == SchedMode::WorkStealing {
+        let mut q = plock(&ws.local);
+        if q.lifo.is_some() && *lifo_streak < LIFO_CAP {
+            *lifo_streak += 1;
+            return q.lifo.take();
+        }
+        if let Some(t) = q.fifo.pop_front() {
+            *lifo_streak = 0;
+            return Some(t);
+        }
+        if let Some(t) = q.lifo.take() {
+            *lifo_streak = 0;
+            return Some(t);
+        }
+    }
+    if !pinned_first {
+        if let Some(t) = plock(&ws.pinned).pop_front() {
+            return Some(t);
+        }
+    }
+    if let Some(t) = plock(&rt.injector).pop_front() {
+        return Some(t);
+    }
+    if rt.mode == SchedMode::WorkStealing && rt.workers.len() > 1 {
+        let n = rt.workers.len();
+        let start = next_rand(rng) as usize % n;
+        for k in 0..n {
+            let v = (start + k) % n;
+            if v == me {
+                continue;
+            }
+            let stolen: Vec<Arc<TaskCell>> = {
+                let mut vq = plock(&rt.workers[v].local);
+                // Take half (round up) from the front: the oldest
+                // work migrates, recent wakes stay victim-local.
+                let take = vq.fifo.len().div_ceil(2);
+                vq.fifo.drain(..take).collect()
+            };
+            if let Some((first, rest)) = stolen.split_first() {
+                rt.steals.fetch_add(1, Ordering::Relaxed);
+                if !rest.is_empty() {
+                    plock(&ws.local).fifo.extend(rest.iter().cloned());
+                }
+                return Some(first.clone());
+            }
+        }
+    }
+    None
 }
 
 fn run_task(task: Arc<TaskCell>, rt: &Arc<RtInner>) {
@@ -432,7 +910,7 @@ fn run_task(task: Arc<TaskCell>, rt: &Arc<RtInner>) {
         let mut slot = plock(&task.future);
         match slot.take() {
             Some(f) => f,
-            None => return, // Completed elsewhere.
+            None => return, // Completed (or reaped) elsewhere.
         }
     };
     let poll = panic::catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
@@ -453,7 +931,7 @@ fn run_task(task: Arc<TaskCell>, rt: &Arc<RtInner>) {
                 Ok(_) => {}
                 Err(NOTIFIED) => {
                     task.state.store(SCHEDULED, Ordering::Release);
-                    rt.push(task);
+                    schedule(rt, task);
                 }
                 Err(s) => unreachable!("bad state after poll: {s}"),
             }
@@ -463,12 +941,16 @@ fn run_task(task: Arc<TaskCell>, rt: &Arc<RtInner>) {
 
 struct JoinSlot<T> {
     result: Option<Result<T, Panicked>>,
-    waiters: Vec<Waker>,
+    /// Waiters keyed by the owning [`Watch`]'s id so a re-poll
+    /// replaces its old waker and a dropped `Watch` removes its
+    /// entry (no unbounded accumulation under `choose!` loops).
+    waiters: Vec<(u64, Waker)>,
 }
 
 struct JoinState<T> {
     slot: Mutex<JoinSlot<T>>,
     cv: Condvar,
+    next_watch: AtomicU64,
 }
 
 /// A task failed with a panic; carries the panic message.
@@ -502,28 +984,38 @@ impl<T> JoinHandle<T> {
 
     /// Awaits the task's completion from another task.
     pub fn join(self) -> Watch<T> {
-        Watch {
-            state: self.state.clone(),
-        }
+        Watch::new(self.state.clone())
     }
 
     /// Awaits completion *without* consuming the handle (result is
     /// still single-take; the first observer gets it).
     pub fn watch(&self) -> Watch<T> {
-        Watch {
-            state: self.state.clone(),
-        }
+        Watch::new(self.state.clone())
     }
 
     /// Returns `true` once the task has finished.
     pub fn is_finished(&self) -> bool {
         plock(&self.state.slot).result.is_some()
     }
+
+    /// Current number of registered async waiters (test hook).
+    #[doc(hidden)]
+    pub fn waiter_count(&self) -> usize {
+        plock(&self.state.slot).waiters.len()
+    }
 }
 
 /// Future returned by [`JoinHandle::join`] / [`JoinHandle::watch`].
 pub struct Watch<T> {
     state: Arc<JoinState<T>>,
+    key: u64,
+}
+
+impl<T> Watch<T> {
+    fn new(state: Arc<JoinState<T>>) -> Watch<T> {
+        let key = state.next_watch.fetch_add(1, Ordering::Relaxed);
+        Watch { state, key }
+    }
 }
 
 impl<T> Unpin for Watch<T> {}
@@ -536,10 +1028,54 @@ impl<T> Future for Watch<T> {
         if let Some(r) = slot.result.take() {
             return Poll::Ready(r);
         }
-        if !slot.waiters.iter().any(|w| w.will_wake(cx.waker())) {
-            slot.waiters.push(cx.waker().clone());
+        match slot.waiters.iter_mut().find(|(k, _)| *k == self.key) {
+            // Re-poll (e.g. inside `choose!`): replace our previous
+            // waker in place instead of accumulating entries.
+            Some((_, w)) => {
+                if !w.will_wake(cx.waker()) {
+                    *w = cx.waker().clone();
+                }
+            }
+            None => slot.waiters.push((self.key, cx.waker().clone())),
         }
         Poll::Pending
+    }
+}
+
+impl<T> Drop for Watch<T> {
+    fn drop(&mut self) {
+        // Remove our waker so an abandoned watch doesn't keep its
+        // task (via the waker) or the entry alive forever.
+        let mut slot = plock(&self.state.slot);
+        slot.waiters.retain(|(k, _)| *k != self.key);
+    }
+}
+
+/// Suspends the calling task once, waking it immediately: a
+/// cooperative reschedule through the run queues, so sibling tasks
+/// (and thieves) get a turn. The threads-backend analogue of the
+/// simulator's suspension points.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug, Default)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
     }
 }
 

@@ -8,7 +8,9 @@
 //! hardware:
 //!
 //! * [`Runtime`] — M:N scheduling of lightweight tasks over a
-//!   work-stealing OS thread pool (`start { foo(); }`).
+//!   work-stealing OS thread pool (`start { foo(); }`): per-worker
+//!   run queues (LIFO slot + FIFO), randomized stealing, and
+//!   [`Runtime::spawn_pinned`] for unstealable core placement.
 //! * [`channel`] — MPMC channels with rendezvous / bounded /
 //!   unbounded send, identical semantics to the simulator's.
 //! * [`choose!`] — the same macro; arms are cancel-safe here too.
@@ -48,6 +50,9 @@ pub use chan::{
 };
 pub use chanos_select::{choose, join2, join_all, race, select_all, Either};
 pub use executor::{
-    current, current_worker, in_runtime, Handle, JoinHandle, Panicked, Runtime, StatRecord, Watch,
+    current, current_worker, in_runtime, yield_now, Handle, JoinHandle, Panicked, Runtime,
+    SchedMode, StatRecord, Watch, YieldNow,
 };
+#[doc(hidden)]
+pub use timer::timer_heap_len;
 pub use timer::{after, Sleep};

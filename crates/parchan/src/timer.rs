@@ -1,18 +1,40 @@
 //! Wall-clock timers for `choose!` timeouts, backed by one shared
 //! timer thread.
+//!
+//! Each [`Sleep`] registers **one** heap entry for its whole life: a
+//! re-poll (every iteration of a `choose!` loop re-polls its timeout
+//! arm) refreshes the waker in the existing entry instead of pushing
+//! a duplicate, so the heap holds at most one entry per live sleep.
+//! Dropping a `Sleep` cancels its entry: the waker is released
+//! immediately (a dead timeout must not keep its task alive until
+//! the deadline) and the heap slot is lazily deleted — skipped when
+//! popped, or swept out whenever cancelled entries reach half the
+//! heap.
 
 use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
+use crate::executor::plock;
+
+/// Shared between a [`Sleep`] and its entry in the timer heap.
+///
+/// `cancelled` doubles as "consumed": the timer thread sets it when
+/// it fires the entry, and `Sleep` sets it on completion/drop, so
+/// whichever side loses the race sees the entry as already dead.
+struct TimerHandle {
+    cancelled: AtomicBool,
+    waker: Mutex<Option<Waker>>,
+}
+
 struct TimerEntry {
     deadline: Instant,
     seq: u64,
-    waker: Waker,
+    handle: Arc<TimerHandle>,
 }
 
 impl PartialEq for TimerEntry {
@@ -33,8 +55,27 @@ impl Ord for TimerEntry {
     }
 }
 
+struct TimerQueue {
+    heap: BinaryHeap<TimerEntry>,
+    /// Entries in `heap` whose handle is cancelled (lazy deletion).
+    cancelled: usize,
+}
+
+impl TimerQueue {
+    /// Sweeps cancelled entries out once they dominate the heap, so
+    /// a burst of dropped sleeps cannot pin memory until their
+    /// (possibly far) deadlines.
+    fn maybe_prune(&mut self) {
+        if self.heap.len() >= 64 && 2 * self.cancelled >= self.heap.len() {
+            self.heap
+                .retain(|e| !e.handle.cancelled.load(Ordering::Acquire));
+            self.cancelled = 0;
+        }
+    }
+}
+
 struct TimerShared {
-    heap: Mutex<BinaryHeap<TimerEntry>>,
+    q: Mutex<TimerQueue>,
     cv: Condvar,
     seq: AtomicU64,
 }
@@ -43,7 +84,10 @@ fn timer() -> &'static Arc<TimerShared> {
     static TIMER: OnceLock<Arc<TimerShared>> = OnceLock::new();
     TIMER.get_or_init(|| {
         let shared = Arc::new(TimerShared {
-            heap: Mutex::new(BinaryHeap::new()),
+            q: Mutex::new(TimerQueue {
+                heap: BinaryHeap::new(),
+                cancelled: 0,
+            }),
             cv: Condvar::new(),
             seq: AtomicU64::new(0),
         });
@@ -51,25 +95,30 @@ fn timer() -> &'static Arc<TimerShared> {
         std::thread::Builder::new()
             .name("parchan-timer".to_string())
             .spawn(move || loop {
-                let mut heap = s.heap.lock().unwrap_or_else(|e| e.into_inner());
+                let mut q = plock(&s.q);
                 let now = Instant::now();
-                while let Some(front) = heap.peek() {
-                    if front.deadline <= now {
-                        let e = heap.pop().expect("peeked");
-                        e.waker.wake();
-                    } else {
+                while let Some(front) = q.heap.peek() {
+                    if front.deadline > now {
                         break;
                     }
+                    let e = q.heap.pop().expect("peeked");
+                    // Claim the entry; a concurrently dropping Sleep
+                    // that wins the swap owns the cancellation.
+                    if e.handle.cancelled.swap(true, Ordering::AcqRel) {
+                        q.cancelled = q.cancelled.saturating_sub(1);
+                    } else if let Some(w) = plock(&e.handle.waker).take() {
+                        w.wake();
+                    }
                 }
-                match heap.peek().map(|e| e.deadline) {
+                match q.heap.peek().map(|e| e.deadline) {
                     Some(next) => {
                         let wait = next.saturating_duration_since(Instant::now());
                         let _unused =
-                            s.cv.wait_timeout(heap, wait)
+                            s.cv.wait_timeout(q, wait)
                                 .unwrap_or_else(|e| e.into_inner());
                     }
                     None => {
-                        let _unused = s.cv.wait(heap).unwrap_or_else(|e| e.into_inner());
+                        let _unused = s.cv.wait(q).unwrap_or_else(|e| e.into_inner());
                     }
                 }
             })
@@ -78,11 +127,18 @@ fn timer() -> &'static Arc<TimerShared> {
     })
 }
 
+/// Number of entries (live + lazily-deleted) in the timer heap.
+/// Test hook for the heap-boundedness regression tests.
+#[doc(hidden)]
+pub fn timer_heap_len() -> usize {
+    plock(&timer().q).heap.len()
+}
+
 /// Completes after `d` of wall-clock time; usable as a `choose!` arm.
 pub fn after(d: Duration) -> Sleep {
     Sleep {
         deadline: Instant::now() + d,
-        registered: false,
+        handle: None,
     }
 }
 
@@ -90,7 +146,35 @@ pub fn after(d: Duration) -> Sleep {
 #[derive(Debug)]
 pub struct Sleep {
     deadline: Instant,
-    registered: bool,
+    /// `Some` once registered in the timer heap (the successor of
+    /// the old never-read `registered` flag): at most one heap entry
+    /// exists per `Sleep`, shared through this handle.
+    handle: Option<Arc<TimerHandle>>,
+}
+
+impl std::fmt::Debug for TimerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerHandle")
+            .field("cancelled", &self.cancelled.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sleep {
+    /// Detaches from the timer: releases the waker now and marks the
+    /// heap entry for lazy deletion. Idempotent; races with the
+    /// timer thread firing are settled by the `cancelled` swap.
+    fn cancel(&mut self) {
+        let Some(h) = self.handle.take() else { return };
+        if h.cancelled.swap(true, Ordering::AcqRel) {
+            // Already fired (and popped) by the timer thread.
+            return;
+        }
+        plock(&h.waker).take();
+        let mut q = plock(&timer().q);
+        q.cancelled += 1;
+        q.maybe_prune();
+    }
 }
 
 impl Future for Sleep {
@@ -98,21 +182,43 @@ impl Future for Sleep {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if Instant::now() >= self.deadline {
+            self.cancel();
             return Poll::Ready(());
         }
-        // (Re-)register; duplicate entries are harmless (stale wakes
-        // re-poll and re-check the deadline).
-        let t = timer();
-        {
-            let mut heap = t.heap.lock().unwrap_or_else(|e| e.into_inner());
-            heap.push(TimerEntry {
-                deadline: self.deadline,
-                seq: t.seq.fetch_add(1, Ordering::Relaxed),
-                waker: cx.waker().clone(),
-            });
+        match &self.handle {
+            // Re-poll: refresh the waker in the existing entry; the
+            // heap must not grow with the poll count.
+            Some(h) => {
+                let mut w = plock(&h.waker);
+                if w.as_ref().is_none_or(|old| !old.will_wake(cx.waker())) {
+                    *w = Some(cx.waker().clone());
+                }
+            }
+            None => {
+                let h = Arc::new(TimerHandle {
+                    cancelled: AtomicBool::new(false),
+                    waker: Mutex::new(Some(cx.waker().clone())),
+                });
+                let t = timer();
+                {
+                    let mut q = plock(&t.q);
+                    q.maybe_prune();
+                    q.heap.push(TimerEntry {
+                        deadline: self.deadline,
+                        seq: t.seq.fetch_add(1, Ordering::Relaxed),
+                        handle: h.clone(),
+                    });
+                }
+                t.cv.notify_one();
+                self.handle = Some(h);
+            }
         }
-        t.cv.notify_one();
-        self.registered = true;
         Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        self.cancel();
     }
 }

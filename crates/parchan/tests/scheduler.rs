@@ -1,0 +1,347 @@
+//! Scheduler regression and stress tests: work stealing, pinning,
+//! shutdown reaping, timer-heap boundedness, watch-waiter pruning.
+
+use std::collections::HashSet;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Wake, Waker};
+use std::time::Duration;
+
+use chanos_parchan::{after, channel, current_worker, yield_now, Capacity, Runtime, SchedMode};
+
+/// A waker that does nothing (for polling futures by hand).
+struct NoopWake;
+
+impl Wake for NoopWake {
+    fn wake(self: Arc<Self>) {}
+}
+
+fn noop_waker() -> Waker {
+    Waker::from(Arc::new(NoopWake))
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown must complete abandoned tasks, not strand their joiners.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shutdown_completes_blocked_tasks_joiners() {
+    let rt = Runtime::new(2);
+    let (tx, rx) = channel::<u32>(Capacity::Unbounded);
+    // Parked forever on a channel that never delivers.
+    let h = rt.spawn(async move { rx.recv().await.ok().unwrap_or(0) });
+    std::thread::sleep(Duration::from_millis(30));
+    rt.shutdown();
+    let err = h.join_blocking().unwrap_err();
+    assert!(
+        err.0.contains("shut down"),
+        "expected shutdown panic, got: {}",
+        err.0
+    );
+    drop(tx);
+}
+
+#[test]
+fn shutdown_wakes_already_blocked_joiner_thread() {
+    // The joiner blocks in join_blocking() *before* shutdown: the
+    // reap must wake the condvar it sleeps on.
+    let rt = Runtime::new(1);
+    let (tx, rx) = channel::<u32>(Capacity::Unbounded);
+    let h = rt.spawn(async move {
+        rx.recv().await.ok();
+    });
+    let joiner = std::thread::spawn(move || h.join_blocking());
+    std::thread::sleep(Duration::from_millis(30));
+    rt.shutdown();
+    let res = joiner.join().expect("joiner thread must return");
+    assert!(res.is_err(), "abandoned task must not report success");
+    drop(tx);
+}
+
+#[test]
+fn shutdown_completes_never_polled_tasks() {
+    // One worker, wedged in a blocking sleep: tasks spawned behind it
+    // are still queued when shutdown lands, and must complete their
+    // join state anyway.
+    let rt = Runtime::new(1);
+    let wedge = rt.spawn(async {
+        std::thread::sleep(Duration::from_millis(80));
+    });
+    let queued: Vec<_> = (0..8).map(|i| rt.spawn(async move { i })).collect();
+    std::thread::sleep(Duration::from_millis(10));
+    rt.shutdown();
+    wedge.join_blocking().unwrap();
+    for h in queued {
+        let err = h.join_blocking().unwrap_err();
+        assert!(err.0.contains("shut down"));
+    }
+}
+
+#[test]
+fn shutdown_wakes_async_watchers_in_other_runtime() {
+    // A Watch on runtime A's task, awaited from runtime B, must
+    // resolve when A shuts down.
+    let a = Runtime::new(1);
+    let b = Runtime::new(1);
+    let (tx, rx) = channel::<u32>(Capacity::Unbounded);
+    let h = a.spawn(async move {
+        rx.recv().await.ok();
+    });
+    let watch = h.watch();
+    let observer = b.spawn(async move { watch.await.is_err() });
+    std::thread::sleep(Duration::from_millis(30));
+    a.shutdown();
+    assert!(observer.join_blocking().unwrap());
+    b.shutdown();
+    drop((tx, h));
+}
+
+// ---------------------------------------------------------------------------
+// Timer: one heap entry per Sleep; drop releases the waker.
+// ---------------------------------------------------------------------------
+
+/// The timer heap is process-global; these tests assert on its
+/// length, so they must not interleave with each other (the harness
+/// runs tests in parallel threads). No other test here uses timers.
+static TIMER_TESTS: Mutex<()> = Mutex::new(());
+
+fn timer_lock() -> std::sync::MutexGuard<'static, ()> {
+    TIMER_TESTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn timer_heap_is_bounded_under_repolling() {
+    let _serial = timer_lock();
+    let waker = noop_waker();
+    let mut cx = Context::from_waker(&waker);
+    let mut s = after(Duration::from_secs(3600));
+    let base = chanos_parchan::timer_heap_len();
+    for _ in 0..200 {
+        assert!(Pin::new(&mut s).poll(&mut cx).is_pending());
+    }
+    let grown = chanos_parchan::timer_heap_len().saturating_sub(base);
+    assert!(grown <= 1, "re-polls must not duplicate entries: +{grown}");
+}
+
+#[test]
+fn dropped_sleep_releases_its_waker() {
+    let _serial = timer_lock();
+    struct CountWake;
+    impl Wake for CountWake {
+        fn wake(self: Arc<Self>) {}
+    }
+    let arc = Arc::new(CountWake);
+    let waker = Waker::from(arc.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut s = after(Duration::from_secs(3600));
+    assert!(Pin::new(&mut s).poll(&mut cx).is_pending());
+    assert!(Arc::strong_count(&arc) > 2, "waker registered in heap");
+    drop(s);
+    drop(waker);
+    // The heap entry may linger (lazy deletion) but the waker — and
+    // through it the task — must be freed immediately.
+    assert_eq!(Arc::strong_count(&arc), 1);
+}
+
+#[test]
+fn many_dropped_sleeps_get_pruned() {
+    let _serial = timer_lock();
+    let waker = noop_waker();
+    let mut cx = Context::from_waker(&waker);
+    let base = chanos_parchan::timer_heap_len();
+    for _ in 0..500 {
+        let mut s = after(Duration::from_secs(3600));
+        let _ = Pin::new(&mut s).poll(&mut cx);
+        // Dropped here: far-deadline garbage the pruner must bound.
+    }
+    let left = chanos_parchan::timer_heap_len().saturating_sub(base);
+    assert!(left < 500, "cancelled entries must be swept, {left} left");
+}
+
+// ---------------------------------------------------------------------------
+// Watch waiters: re-polls replace, drops prune, completion clears.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn watch_drop_prunes_waiters() {
+    let rt = Runtime::new(1);
+    let (tx, rx) = channel::<u32>(Capacity::Unbounded);
+    let h = rt.spawn(async move { rx.recv().await.unwrap_or(0) });
+    let waker = noop_waker();
+    let mut cx = Context::from_waker(&waker);
+    for _ in 0..16 {
+        let mut w = h.watch();
+        for _ in 0..4 {
+            // Re-polls of one Watch must keep a single entry.
+            assert!(Pin::new(&mut w).poll(&mut cx).is_pending());
+        }
+        assert_eq!(h.waiter_count(), 1);
+        // Dropping the Watch must remove it.
+    }
+    assert_eq!(h.waiter_count(), 0, "dropped watches left stale wakers");
+    rt.block_on(async {
+        tx.send(7).await.unwrap();
+    });
+    assert_eq!(h.join_blocking().unwrap(), 7);
+    rt.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Stealing and pinning.
+// ---------------------------------------------------------------------------
+
+/// Spins for roughly `d` of wall-clock (simulated per-task work; a
+/// plain sleep would release the OS thread and defeat the point).
+fn spin_for(d: Duration) {
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < d {
+        std::hint::black_box(0u64);
+    }
+}
+
+#[test]
+fn steal_spreads_locally_spawned_work() {
+    let rt = Runtime::new(4);
+    // The seeder spawns all children from one worker, so they land on
+    // that worker's local queue; idle siblings must steal them. Each
+    // child carries real work: the backlog must outlive worker wake
+    // latency (on a single-CPU host, an OS preemption) by a wide
+    // margin, or the seeding worker drains everything first.
+    let h = rt.spawn(async {
+        let hd = chanos_parchan::current().expect("on runtime");
+        let children: Vec<_> = (0..128)
+            .map(|_| {
+                hd.spawn(async {
+                    for _ in 0..10 {
+                        spin_for(Duration::from_micros(100));
+                        yield_now().await;
+                    }
+                    current_worker().expect("on a worker")
+                })
+            })
+            .collect();
+        let mut ran_on = HashSet::new();
+        for c in children {
+            ran_on.insert(c.join().await.expect("child ok"));
+        }
+        ran_on
+    });
+    let ran_on = h.join_blocking().unwrap();
+    assert!(
+        ran_on.len() >= 2,
+        "work never left the seeding worker: {ran_on:?}"
+    );
+    assert!(rt.handle().steal_count() > 0, "no steals recorded");
+    rt.shutdown();
+}
+
+#[test]
+fn pinned_tasks_poll_only_on_their_worker() {
+    let rt = Runtime::new(4);
+    // Flood the pool with unpinned churn so stealing is rampant...
+    let churn: Vec<_> = (0..64)
+        .map(|_| {
+            rt.spawn(async {
+                for _ in 0..50 {
+                    yield_now().await;
+                }
+            })
+        })
+        .collect();
+    // ...while pinned tasks must never migrate.
+    let pinned: Vec<_> = (0..4)
+        .map(|w| {
+            rt.spawn_pinned(w, async move {
+                let mut seen = Vec::new();
+                for _ in 0..50 {
+                    seen.push(current_worker());
+                    yield_now().await;
+                }
+                seen
+            })
+        })
+        .collect();
+    for (w, h) in pinned.into_iter().enumerate() {
+        for got in h.join_blocking().unwrap() {
+            assert_eq!(got, Some(w), "pinned task polled off its worker");
+        }
+    }
+    for c in churn {
+        c.join_blocking().unwrap();
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn steal_stress_mpmc_with_pins() {
+    // Producers pinned across workers, consumers unpinned, heavy
+    // yield churn: exercises local queues, pinned queues, the
+    // injector, and the steal path together under release or debug.
+    let rt = Runtime::new(4);
+    let (tx, rx) = channel::<u64>(Capacity::Bounded(32));
+    let total = Arc::new(AtomicU64::new(0));
+    let consumers: Vec<_> = (0..4)
+        .map(|_| {
+            let rx = rx.clone();
+            let total = total.clone();
+            rt.spawn(async move {
+                while let Ok(v) = rx.recv().await {
+                    total.fetch_add(v, Ordering::Relaxed);
+                    yield_now().await;
+                }
+            })
+        })
+        .collect();
+    drop(rx);
+    let producers: Vec<_> = (0..4u64)
+        .map(|p| {
+            let tx = tx.clone();
+            rt.spawn_pinned(p as usize, async move {
+                for i in 0..500u64 {
+                    tx.send(i).await.unwrap();
+                    if i % 7 == 0 {
+                        yield_now().await;
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    for p in producers {
+        p.join_blocking().unwrap();
+    }
+    for c in consumers {
+        c.join_blocking().unwrap();
+    }
+    let expect = 4 * (0..500u64).sum::<u64>();
+    assert_eq!(total.load(Ordering::Relaxed), expect);
+    rt.shutdown();
+}
+
+#[test]
+fn global_queue_mode_still_runs_everything() {
+    // The A/B baseline mode must stay correct, including pins.
+    let rt = Runtime::with_mode(2, SchedMode::GlobalQueue);
+    let hs: Vec<_> = (0..100).map(|i| rt.spawn(async move { i })).collect();
+    for (i, h) in hs.into_iter().enumerate() {
+        assert_eq!(h.join_blocking().unwrap(), i);
+    }
+    let p = rt.spawn_pinned(1, async { current_worker() });
+    assert_eq!(p.join_blocking().unwrap(), Some(1));
+    assert_eq!(rt.handle().steal_count(), 0);
+    rt.shutdown();
+}
+
+#[test]
+fn spawn_after_shutdown_does_not_hang() {
+    let rt = Runtime::new(1);
+    let rt2 = rt.clone();
+    rt.shutdown();
+    let h = rt2.spawn(async { 1u32 });
+    assert!(
+        h.join_blocking().is_err(),
+        "post-shutdown spawn must fail fast"
+    );
+}

@@ -612,9 +612,20 @@ where
             };
             JoinHandle(JoinHandleImpl::Sim(h))
         }
-        // Real threads: placement is the scheduler's business; names
-        // and core pins are advisory and dropped.
-        Backend::Threads => JoinHandle(JoinHandleImpl::Par(par_handle().spawn(fut))),
+        // Real threads: a core pin maps to a parchan worker pin
+        // (worker `core % workers`) — the task lands on that
+        // worker's unstealable queue and every poll runs there, so
+        // `current_core()` observes the pin and `chanos-kernel`
+        // placement policies hold on hardware. Names stay advisory
+        // (tasks are not OS threads; there is nothing to label).
+        Backend::Threads => {
+            let h = par_handle();
+            let jh = match core {
+                Some(c) => h.spawn_pinned(c.index(), fut),
+                None => h.spawn(fut),
+            };
+            JoinHandle(JoinHandleImpl::Par(jh))
+        }
     }
 }
 
@@ -627,7 +638,9 @@ where
     spawn_dispatch(None, None, false, fut)
 }
 
-/// Spawns a task pinned to `core` (advisory on real threads).
+/// Spawns a task pinned to `core`: the simulated core on the
+/// simulator, worker `core % workers` on real threads (unstealable;
+/// every poll runs there).
 pub fn spawn_on<T, F>(core: CoreId, fut: F) -> JoinHandle<T>
 where
     T: Send + 'static,
@@ -645,7 +658,7 @@ where
     spawn_dispatch(Some(name), None, false, fut)
 }
 
-/// Spawns a named task pinned to `core` (advisory on real threads).
+/// Spawns a named task pinned to `core` (see [`spawn_on`]).
 pub fn spawn_named_on<T, F>(name: &str, core: CoreId, fut: F) -> JoinHandle<T>
 where
     T: Send + 'static,
@@ -681,10 +694,10 @@ enum DelayImpl {
     Sim(sim::Delay),
     /// Real hardware does real work; modeled compute cost is a
     /// cooperative yield (the actual instructions the kernel executes
-    /// are the cost). The `bool` records whether we yielded yet.
-    Par {
-        yielded: bool,
-    },
+    /// are the cost). Suspending exactly once mirrors the simulator's
+    /// suspension point: delay()-paced loops stay interleavable
+    /// instead of monopolizing a worker.
+    Par(par::YieldNow),
 }
 
 /// Future returned by [`delay`].
@@ -698,18 +711,7 @@ impl Future for Delay {
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         match &mut self.0 {
             DelayImpl::Sim(f) => Pin::new(f).poll(cx),
-            DelayImpl::Par { yielded } => {
-                // Suspend exactly once, mirroring the simulator's
-                // suspension point: delay()-paced loops stay
-                // interleavable instead of monopolizing a worker.
-                if *yielded {
-                    Poll::Ready(())
-                } else {
-                    *yielded = true;
-                    cx.waker().wake_by_ref();
-                    Poll::Pending
-                }
-            }
+            DelayImpl::Par(f) => Pin::new(f).poll(cx),
         }
     }
 }
@@ -722,7 +724,7 @@ impl Future for Delay {
 pub fn delay(n: Cycles) -> Delay {
     match backend() {
         Backend::Sim => Delay(DelayImpl::Sim(sim::delay(n))),
-        Backend::Threads => Delay(DelayImpl::Par { yielded: false }),
+        Backend::Threads => Delay(DelayImpl::Par(par::yield_now())),
     }
 }
 
@@ -935,6 +937,29 @@ mod tests {
             got
         });
         assert_eq!(done, Err(RecvError::Closed));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn spawn_on_pins_to_worker_on_threads() {
+        let rt = par::Runtime::new(4);
+        rt.block_on(async {
+            for c in 0..4u32 {
+                let h = spawn_on(CoreId(c), async move {
+                    let mut seen = vec![current_core()];
+                    // The pin must hold across suspension points,
+                    // not just on the first poll.
+                    for _ in 0..3 {
+                        sleep(1_000).await;
+                        seen.push(current_core());
+                    }
+                    seen
+                });
+                for got in h.join().await.unwrap() {
+                    assert_eq!(got, CoreId(c));
+                }
+            }
+        });
         rt.shutdown();
     }
 

@@ -117,6 +117,43 @@ fn threads_backend_is_self_consistent_across_runs() {
 }
 
 #[test]
+fn spawn_on_is_honored_on_both_backends() {
+    // The placement contract: a task spawned on core `c` observes
+    // `current_core() == c` at every poll — simulated core on the
+    // simulator, pinned (unstealable) worker on real threads.
+    async fn observed() -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for c in 0..3u32 {
+            let h = chanos::rt::spawn_on(CoreId(c), async move {
+                let mut cores = vec![chanos::rt::current_core()];
+                // Across suspension points, not just the first poll.
+                for _ in 0..4 {
+                    chanos::rt::sleep(10_000).await;
+                    cores.push(chanos::rt::current_core());
+                }
+                cores
+            });
+            for got in h.join().await.expect("pinned task ok") {
+                out.push((c, got.0));
+            }
+        }
+        out
+    }
+    let mut s = Simulation::with_config(Config {
+        cores: 4,
+        ..Config::default()
+    });
+    for (want, got) in s.block_on(observed()).unwrap() {
+        assert_eq!(want, got, "sim backend broke the pin");
+    }
+    let rt = Runtime::new(4);
+    for (want, got) in rt.block_on(observed()) {
+        assert_eq!(want, got, "threads backend broke the pin");
+    }
+    rt.shutdown();
+}
+
+#[test]
 fn sim_trace_is_deterministic_for_the_kernel_workload() {
     // The facade refactor must not perturb simulator determinism:
     // identical seeds give identical traces through the whole OS.
