@@ -17,7 +17,9 @@
 //! The paper's claims get measured on silicon, not just in the model.
 
 use chanos_bench::harness::{bench, default_budget, header};
-use chanos_parchan::{channel, yield_now, Capacity, Runtime, SchedMode};
+use chanos_parchan::{
+    channel, channel_with_mode, yield_now, Capacity, ChanMode, Runtime, SchedMode,
+};
 
 #[inline(never)]
 fn callee(x: u64) -> u64 {
@@ -33,24 +35,35 @@ fn bench_e1_msg_vs_call() {
         acc
     });
 
-    let rt = Runtime::new(2);
-    // Echo server task.
-    let (req_tx, req_rx) = channel::<(u64, chanos_parchan::Sender<u64>)>(Capacity::Unbounded);
-    let _server = rt.spawn(async move {
-        while let Ok((x, reply)) = req_rx.recv().await {
-            let _ = reply.send(callee(x)).await;
-        }
-    });
-    {
-        let req_tx = req_tx.clone();
-        bench("channel_rpc_round_trip", budget, || {
-            let (rtx, rrx) = channel::<u64>(Capacity::Bounded(1));
-            rt.block_on(async {
-                req_tx.send((7, rtx)).await.unwrap();
-                rrx.recv().await.unwrap()
-            })
+    // A/B the channel core on the same RPC: the old mutex channels
+    // vs the lock-free ring fast paths.
+    for (mode, name) in [
+        (ChanMode::Mutex, "channel_rpc_round_trip[mutex]"),
+        (ChanMode::LockFree, "channel_rpc_round_trip[lock-free]"),
+    ] {
+        let rt = Runtime::new(2);
+        // Echo server task.
+        let (req_tx, req_rx) =
+            channel_with_mode::<(u64, chanos_parchan::Sender<u64>)>(Capacity::Unbounded, mode);
+        let _server = rt.spawn(async move {
+            while let Ok((x, reply)) = req_rx.recv().await {
+                let _ = reply.send(callee(x)).await;
+            }
         });
+        {
+            let req_tx = req_tx.clone();
+            bench(name, budget, || {
+                let (rtx, rrx) = channel_with_mode::<u64>(Capacity::Bounded(1), mode);
+                rt.block_on(async {
+                    req_tx.send((7, rtx)).await.unwrap();
+                    rrx.recv().await.unwrap()
+                })
+            });
+        }
+        drop(req_tx);
+        rt.shutdown();
     }
+    let rt = Runtime::new(2);
     let (tx, rx) = channel::<u64>(Capacity::Unbounded);
     bench("unbounded_send_then_recv_same_task", budget, || {
         rt.block_on(async {
@@ -62,7 +75,6 @@ fn bench_e1_msg_vs_call() {
         let h = rt.spawn(async { 1u64 });
         rt.block_on(h.join()).unwrap()
     });
-    drop(req_tx);
     rt.shutdown();
 }
 
@@ -72,6 +84,31 @@ fn bench_e3_syscalls_real_hw() {
 
     let budget = default_budget();
     header("E3 on real threads: message-kernel syscalls");
+    // A/B the whole kernel on both channel cores: boot under each
+    // default ChanMode and measure the null syscall.
+    for (mode, name) in [
+        (ChanMode::Mutex, "getpid_null_syscall[mutex]"),
+        (ChanMode::LockFree, "getpid_null_syscall[lock-free]"),
+    ] {
+        chanos_parchan::set_default_chan_mode(mode);
+        let rt = Runtime::new(4);
+        let os = rt.block_on(async {
+            boot(BootCfg::new(
+                KernelKind::Message,
+                FsKind::Message,
+                (0..2).map(CoreId).collect(),
+            ))
+            .await
+        });
+        let env = os.procs.env();
+        {
+            let rt = rt.clone();
+            bench(name, budget, move || rt.block_on(env.getpid()));
+        }
+        drop(os);
+        rt.shutdown();
+        chanos_parchan::set_default_chan_mode(ChanMode::LockFree);
+    }
     let rt = Runtime::new(4);
     let os = rt.block_on(async {
         boot(BootCfg::new(
@@ -82,13 +119,6 @@ fn bench_e3_syscalls_real_hw() {
         .await
     });
     let env = os.procs.env();
-    {
-        let env = env.clone();
-        let rt = rt.clone();
-        bench("getpid_null_syscall", budget, move || {
-            rt.block_on(env.getpid())
-        });
-    }
     {
         let env = env.clone();
         let rt = rt.clone();
@@ -285,10 +315,42 @@ fn bench_spawn_steal_microbench() {
     }
 }
 
+/// Channel + scheduler path counters accumulated over the whole
+/// bench run: how often the fast paths actually ran.
+fn print_counter_summary() {
+    println!("\n## Channel/scheduler path counters (whole run)\n");
+    println!("| counter | value |");
+    println!("|---|---|");
+    for (name, v) in chanos_parchan::chan_counters() {
+        println!("| {name} | {v} |");
+    }
+    // Scheduler wake routing for one fresh runtime exercised by a
+    // short ping-pong (per-runtime counters; the per-bench runtimes
+    // are gone by now).
+    let rt = Runtime::new(2);
+    let (tx, rx) = channel::<u64>(Capacity::Bounded(8));
+    let pong = rt.spawn(async move { while rx.recv().await.is_ok() {} });
+    rt.block_on(async {
+        for i in 0..1000u64 {
+            tx.send(i).await.unwrap();
+        }
+    });
+    drop(tx);
+    pong.join_blocking().unwrap();
+    let h = rt.handle();
+    let (local, injector, pinned) = h.wake_counts();
+    println!("| sched.wakes_local (steal-free) | {local} |");
+    println!("| sched.wakes_injector | {injector} |");
+    println!("| sched.wakes_pinned | {pinned} |");
+    println!("| sched.steals | {} |", h.steal_count());
+    rt.shutdown();
+}
+
 fn main() {
     bench_e1_msg_vs_call();
     bench_e3_syscalls_real_hw();
     bench_e4_fs_scaling_real_hw();
     bench_e9_placement_real_hw();
     bench_spawn_steal_microbench();
+    print_counter_summary();
 }

@@ -245,21 +245,31 @@ pub struct Receiver<T> {
 
 impl<T> std::fmt::Debug for Sender<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = plock(&self.chan);
-        f.debug_struct("Sender")
-            .field("queued", &st.queue.len())
-            .field("closed", &st.closed)
-            .finish()
+        debug_endpoint("Sender", &self.chan, f)
     }
 }
 
 impl<T> std::fmt::Debug for Receiver<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = plock(&self.chan);
-        f.debug_struct("Receiver")
+        debug_endpoint("Receiver", &self.chan, f)
+    }
+}
+
+/// Formats an endpoint without ever contending on the channel state:
+/// tracing a channel from code that already holds its lock must not
+/// deadlock, so this uses `try_lock` with a `<locked>` fallback.
+fn debug_endpoint<T>(
+    name: &str,
+    chan: &Chan<T>,
+    f: &mut std::fmt::Formatter<'_>,
+) -> std::fmt::Result {
+    match chan.try_lock() {
+        Ok(st) => f
+            .debug_struct(name)
             .field("queued", &st.queue.len())
             .field("closed", &st.closed)
-            .finish()
+            .finish(),
+        Err(_) => f.debug_struct(name).field("state", &"<locked>").finish(),
     }
 }
 

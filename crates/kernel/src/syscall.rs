@@ -120,6 +120,9 @@ pub enum Syscall {
     },
 }
 
+/// How many queued syscalls a server drains per wakeup.
+const SYSCALL_BATCH: usize = 32;
+
 /// Kernel cost parameters shared by both architectures.
 #[derive(Debug, Clone)]
 pub struct KernelCosts {
@@ -296,8 +299,18 @@ impl MsgKernel {
                     files: HashMap::new(),
                     next_fd: HashMap::new(),
                 };
-                while let Ok(call) = rx.recv().await {
-                    st.handle(call).await;
+                // Drain bursts: one wakeup and one dispatch serve a
+                // whole batch of syscalls instead of one each.
+                let mut batch = Vec::with_capacity(SYSCALL_BATCH);
+                loop {
+                    let n = rx.recv_many(&mut batch, SYSCALL_BATCH).await;
+                    if n == 0 {
+                        break;
+                    }
+                    rt::stat_add("kernel.syscall_batched", n as u64);
+                    for call in batch.drain(..) {
+                        st.handle(call).await;
+                    }
                 }
             });
             servers.push(tx);

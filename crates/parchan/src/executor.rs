@@ -108,7 +108,7 @@ impl Wake for TaskCell {
                         .is_ok()
                     {
                         if let Some(rt) = self.rt.upgrade() {
-                            schedule(&rt, self.clone());
+                            schedule(&rt, self.clone(), true);
                         }
                         return;
                     }
@@ -205,6 +205,14 @@ struct RtInner {
     graveyard: Mutex<Vec<Arc<TaskCell>>>,
     /// Successful steal operations (batches, not tasks).
     steals: AtomicU64,
+    /// Wakes that landed on the waking worker's own run queue
+    /// (cache-hot, steal-free: no unpark, no injector).
+    wakes_local: AtomicU64,
+    /// Wakes routed through the global injector (off-pool or
+    /// global-queue mode).
+    wakes_injector: AtomicU64,
+    /// Wakes routed to a pinned queue.
+    wakes_pinned: AtomicU64,
     /// Rotates the scan start of `unpark_any` across workers.
     unpark_rr: AtomicUsize,
     /// Number of workers with their `parked` flag set. Lets the
@@ -214,7 +222,9 @@ struct RtInner {
 }
 
 /// Routes a ready task to a run queue and wakes a worker for it.
-fn schedule(rt: &Arc<RtInner>, cell: Arc<TaskCell>) {
+/// `from_wake` distinguishes waker-originated schedules from initial
+/// spawns so the `sched.wakes_*` routing counters count wakes only.
+fn schedule(rt: &Arc<RtInner>, cell: Arc<TaskCell>, from_wake: bool) {
     if rt.shutdown.load(Ordering::SeqCst) {
         // Workers are gone (or going); the shutdown reaper owns
         // completion of every registered task. Do NOT drop `cell`
@@ -228,12 +238,18 @@ fn schedule(rt: &Arc<RtInner>, cell: Arc<TaskCell>) {
         return;
     }
     if let Some(w) = cell.pin {
+        if from_wake {
+            rt.wakes_pinned.fetch_add(1, Ordering::Relaxed);
+        }
         plock(&rt.workers[w].pinned).push_back(cell);
         rt.unpark_specific(w);
         return;
     }
     if rt.mode == SchedMode::WorkStealing {
         if let Some(me) = local_worker(rt) {
+            if from_wake {
+                rt.wakes_local.fetch_add(1, Ordering::Relaxed);
+            }
             let ws = &rt.workers[me];
             let mut q = plock(&ws.local);
             if let Some(prev) = q.lifo.replace(cell) {
@@ -248,6 +264,9 @@ fn schedule(rt: &Arc<RtInner>, cell: Arc<TaskCell>) {
             }
             return;
         }
+    }
+    if from_wake {
+        rt.wakes_injector.fetch_add(1, Ordering::Relaxed);
     }
     plock(&rt.injector).push_back(cell);
     rt.unpark_any();
@@ -476,12 +495,37 @@ impl Handle {
     }
 
     /// Reads a named counter's current value.
+    ///
+    /// Built-in names are served from lock-free registries instead of
+    /// the user counter map: `sched.steals`, `sched.wakes_local`
+    /// (steal-free wakes onto the waking worker's own queue),
+    /// `sched.wakes_injector`, `sched.wakes_pinned` (per-runtime),
+    /// and every `chan.*` counter from
+    /// [`crate::chan_counters`] (process-global).
     pub fn stat_get(&self, name: &str) -> u64 {
+        match name {
+            "sched.steals" => return self.inner.steals.load(Ordering::Relaxed),
+            "sched.wakes_local" => return self.inner.wakes_local.load(Ordering::Relaxed),
+            "sched.wakes_injector" => return self.inner.wakes_injector.load(Ordering::Relaxed),
+            "sched.wakes_pinned" => return self.inner.wakes_pinned.load(Ordering::Relaxed),
+            _ if name.starts_with("chan.") => return crate::chan::chan_counter(name),
+            _ => {}
+        }
         plock(&self.inner.stats)
             .counters
             .get(name)
             .copied()
             .unwrap_or(0)
+    }
+
+    /// Scheduler wake-routing counters:
+    /// `(local_steal_free, injector, pinned)`.
+    pub fn wake_counts(&self) -> (u64, u64, u64) {
+        (
+            self.inner.wakes_local.load(Ordering::Relaxed),
+            self.inner.wakes_injector.load(Ordering::Relaxed),
+            self.inner.wakes_pinned.load(Ordering::Relaxed),
+        )
     }
 
     /// Reads a named record.
@@ -523,6 +567,9 @@ impl Runtime {
             tasks: Mutex::new(Vec::new()),
             graveyard: Mutex::new(Vec::new()),
             steals: AtomicU64::new(0),
+            wakes_local: AtomicU64::new(0),
+            wakes_injector: AtomicU64::new(0),
+            wakes_pinned: AtomicU64::new(0),
             unpark_rr: AtomicUsize::new(0),
             n_parked: AtomicUsize::new(0),
         });
@@ -734,7 +781,7 @@ where
         // way completing here is safe (reaping is idempotent).
         RtInner::reap_cell(&cell);
     } else {
-        schedule(inner, cell);
+        schedule(inner, cell, false);
     }
     JoinHandle { state: join }
 }
@@ -931,7 +978,7 @@ fn run_task(task: Arc<TaskCell>, rt: &Arc<RtInner>) {
                 Ok(_) => {}
                 Err(NOTIFIED) => {
                     task.state.store(SCHEDULED, Ordering::Release);
-                    schedule(rt, task);
+                    schedule(rt, task, true);
                 }
                 Err(s) => unreachable!("bad state after poll: {s}"),
             }

@@ -45,8 +45,9 @@ mod executor;
 mod timer;
 
 pub use chan::{
-    channel, Capacity, Receiver, RecvError, RecvFut, SendError, SendFut, Sender, TryRecvError,
-    TrySendError,
+    chan_counter, chan_counters, channel, channel_with_mode, default_chan_mode,
+    reset_chan_counters, set_default_chan_mode, Capacity, ChanMode, Receiver, RecvError, RecvFut,
+    RecvManyFut, SendError, SendFut, Sender, TryRecvError, TrySendError,
 };
 pub use chanos_select::{choose, join2, join_all, race, select_all, Either};
 pub use executor::{

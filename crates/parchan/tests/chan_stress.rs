@@ -1,0 +1,399 @@
+//! Randomized MPMC stress for the channel core, covering both
+//! [`ChanMode`]s under both [`SchedMode`]s.
+//!
+//! Invariants checked on every run:
+//!
+//! * **No message lost** — everything sent is received exactly once.
+//! * **No message duplicated** — same multiset, exact counts.
+//! * **Per-producer FIFO** — a consumer never observes producer P's
+//!   message k after P's message k+1 (checked per consumer).
+//!
+//! The workload is PCG-driven so failures are reproducible from the
+//! printed seed: producers mix `send` with `try_send` retries,
+//! consumers mix `recv`, `try_recv`, and batched `recv_many`, and
+//! capacities include a non-power-of-two bound and an unbounded
+//! channel deep enough to exercise the ring→overflow spill.
+
+use std::collections::HashMap;
+
+use chanos_parchan::{
+    chan_counter, channel_with_mode, Capacity, ChanMode, Runtime, SchedMode, TrySendError,
+};
+
+/// Minimal PCG-32 (no external deps; parchan is dependency-free).
+#[derive(Clone)]
+struct Pcg {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg {
+    fn new(seed: u64, stream: u64) -> Pcg {
+        let mut p = Pcg {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        p.next();
+        p.state = p.state.wrapping_add(seed);
+        p.next();
+        p
+    }
+
+    fn next(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(6364136223846793005).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    fn below(&mut self, n: u32) -> u32 {
+        self.next() % n.max(1)
+    }
+}
+
+/// One message: (producer id, per-producer sequence number).
+type Msg = (u32, u32);
+
+/// Runs `producers`x`consumers` over `cap` and checks the three
+/// invariants. Returns the total number of messages moved.
+fn stress(
+    mode: ChanMode,
+    sched: SchedMode,
+    cap: Capacity,
+    producers: u32,
+    consumers: u32,
+    per_producer: u32,
+    seed: u64,
+) -> u64 {
+    let rt = Runtime::with_mode(4, sched);
+    let (tx, rx) = channel_with_mode::<Msg>(cap, mode);
+
+    let consumer_handles: Vec<_> = (0..consumers)
+        .map(|c| {
+            let rx = rx.clone();
+            let mut rng = Pcg::new(seed ^ 0xC0, u64::from(c));
+            rt.spawn(async move {
+                let mut got: Vec<Msg> = Vec::new();
+                let mut buf: Vec<Msg> = Vec::new();
+                loop {
+                    match rng.below(3) {
+                        // Plain awaited receive.
+                        0 => match rx.recv().await {
+                            Ok(m) => got.push(m),
+                            Err(_) => break,
+                        },
+                        // Opportunistic try_recv, fall back to recv.
+                        1 => match rx.try_recv() {
+                            Ok(m) => got.push(m),
+                            Err(_) => match rx.recv().await {
+                                Ok(m) => got.push(m),
+                                Err(_) => break,
+                            },
+                        },
+                        // Batched drain.
+                        _ => {
+                            let max = 1 + rng.below(16) as usize;
+                            let n = rx.recv_many(&mut buf, max).await;
+                            if n == 0 {
+                                break;
+                            }
+                            assert!(n <= max, "recv_many overdrained: {n} > {max}");
+                            got.append(&mut buf);
+                        }
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    drop(rx);
+
+    let producer_handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let tx = tx.clone();
+            let mut rng = Pcg::new(seed ^ 0xA511, u64::from(p));
+            rt.spawn(async move {
+                for i in 0..per_producer {
+                    if rng.below(4) == 0 {
+                        // try_send with awaited fallback.
+                        match tx.try_send((p, i)) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(v)) => tx.send(v).await.expect("open"),
+                            Err(TrySendError::Closed(_)) => panic!("closed under producer"),
+                        }
+                    } else {
+                        tx.send((p, i)).await.expect("open");
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+
+    for p in producer_handles {
+        p.join_blocking().expect("producer ok");
+    }
+    let mut all: Vec<Msg> = Vec::new();
+    for c in consumer_handles {
+        let got = c.join_blocking().expect("consumer ok");
+        // Per-producer FIFO within one consumer's stream.
+        let mut last: HashMap<u32, u32> = HashMap::new();
+        for &(p, i) in &got {
+            if let Some(prev) = last.insert(p, i) {
+                assert!(
+                    prev < i,
+                    "per-producer FIFO violated: consumer saw p{p}:{i} after p{p}:{prev}"
+                );
+            }
+        }
+        all.extend(got);
+    }
+    rt.shutdown();
+
+    // No loss, no duplication.
+    assert_eq!(
+        all.len() as u64,
+        u64::from(producers) * u64::from(per_producer),
+        "message count off (seed {seed})"
+    );
+    all.sort_unstable();
+    for p in 0..producers {
+        for i in 0..per_producer {
+            let idx = (p as usize) * (per_producer as usize) + i as usize;
+            assert_eq!(all[idx], (p, i), "lost or duplicated message (seed {seed})");
+        }
+    }
+    all.len() as u64
+}
+
+const MODES: [ChanMode; 2] = [ChanMode::LockFree, ChanMode::Mutex];
+const SCHEDS: [SchedMode; 2] = [SchedMode::WorkStealing, SchedMode::GlobalQueue];
+
+#[test]
+fn mpmc_bounded_all_modes() {
+    for (si, sched) in SCHEDS.into_iter().enumerate() {
+        for (mi, mode) in MODES.into_iter().enumerate() {
+            // Bounded(3): a non-power-of-two bound exercises the
+            // lap-stamp wraparound arithmetic.
+            for (ci, cap) in [
+                Capacity::Bounded(1),
+                Capacity::Bounded(3),
+                Capacity::Bounded(64),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let seed = 0xB0 + (si * 100 + mi * 10 + ci) as u64;
+                stress(mode, sched, cap, 4, 4, 300, seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn mpmc_unbounded_spills_through_overflow() {
+    let before = chan_counter("chan.overflow_spills");
+    for (si, sched) in SCHEDS.into_iter().enumerate() {
+        for (mi, mode) in MODES.into_iter().enumerate() {
+            // 4 producers x 2000 >> the 256-slot ring segment, so the
+            // spill path runs even if consumers keep up briefly.
+            let seed = 0xAB + (si * 10 + mi) as u64;
+            stress(mode, sched, Capacity::Unbounded, 4, 2, 2000, seed);
+        }
+    }
+    // The lock-free runs must actually have exercised the spill.
+    assert!(
+        chan_counter("chan.overflow_spills") > before,
+        "unbounded stress never hit the overflow segment"
+    );
+}
+
+#[test]
+fn spsc_and_fan_shapes() {
+    for mode in MODES {
+        stress(
+            mode,
+            SchedMode::WorkStealing,
+            Capacity::Bounded(8),
+            1,
+            1,
+            2000,
+            0x51,
+        );
+        stress(
+            mode,
+            SchedMode::WorkStealing,
+            Capacity::Unbounded,
+            8,
+            1,
+            250,
+            0x52,
+        );
+        stress(
+            mode,
+            SchedMode::WorkStealing,
+            Capacity::Bounded(4),
+            1,
+            8,
+            2000,
+            0x53,
+        );
+    }
+}
+
+#[test]
+fn recv_many_batches_and_close() {
+    for mode in MODES {
+        let rt = Runtime::new(2);
+        let (tx, rx) = channel_with_mode::<u32>(Capacity::Unbounded, mode);
+        let out = rt.block_on(async move {
+            for i in 0..100u32 {
+                tx.send(i).await.unwrap();
+            }
+            let mut buf = Vec::new();
+            // Drains are capped at max and preserve order.
+            let n = rx.recv_many(&mut buf, 64).await;
+            assert_eq!(n, 64);
+            let n2 = rx.recv_many(&mut buf, 64).await;
+            assert_eq!(n2, 36);
+            assert_eq!(buf, (0..100).collect::<Vec<_>>());
+            // After close-and-drain, recv_many resolves 0.
+            tx.close();
+            let n3 = rx.recv_many(&mut buf, 8).await;
+            assert_eq!(buf.len(), 100);
+            n3
+        });
+        assert_eq!(out, 0);
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn recv_many_wakes_on_late_send() {
+    for mode in MODES {
+        let rt = Runtime::new(2);
+        let (tx, rx) = channel_with_mode::<u32>(Capacity::Bounded(8), mode);
+        let recv = rt.spawn(async move {
+            let mut buf = Vec::new();
+            let n = rx.recv_many(&mut buf, 8).await;
+            (n, buf)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        rt.block_on(async {
+            tx.send(7).await.unwrap();
+            tx.send(8).await.unwrap();
+        });
+        let (n, buf) = recv.join_blocking().unwrap();
+        assert!(n >= 1, "a parked recv_many must wake on send");
+        assert_eq!(buf[0], 7);
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn try_recv_many_nonblocking() {
+    for mode in MODES {
+        let rt = Runtime::new(1);
+        let (tx, rx) = channel_with_mode::<u32>(Capacity::Bounded(16), mode);
+        rt.block_on(async {
+            let mut buf = Vec::new();
+            assert_eq!(rx.try_recv_many(&mut buf, 4), 0);
+            for i in 0..6 {
+                tx.send(i).await.unwrap();
+            }
+            assert_eq!(rx.try_recv_many(&mut buf, 4), 4);
+            assert_eq!(rx.try_recv_many(&mut buf, 4), 2);
+            assert_eq!(buf, vec![0, 1, 2, 3, 4, 5]);
+            // Backpressure slots freed: a full channel accepts again.
+            for i in 0..16 {
+                tx.try_send(i).unwrap();
+            }
+            assert!(tx.try_send(99).is_err());
+            assert_eq!(rx.try_recv_many(&mut buf, 16), 16);
+            assert!(tx.try_send(99).is_ok());
+        });
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn cancelled_recv_futures_pass_the_wake() {
+    // A recv future that wins a wake but is dropped before polling
+    // (the choose! loser case) must not strand the message.
+    for mode in MODES {
+        let rt = Runtime::with_mode(4, SchedMode::WorkStealing);
+        let (tx, rx) = channel_with_mode::<u32>(Capacity::Bounded(4), mode);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                rt.spawn(async move {
+                    let mut got = 0u64;
+                    loop {
+                        // Race two receives; the loser's future drops
+                        // registered.
+                        let a = rx.recv();
+                        let b = rx.recv();
+                        let r = match chanos_parchan::race(a, b).await {
+                            chanos_parchan::Either::Left(r) => r,
+                            chanos_parchan::Either::Right(r) => r,
+                        };
+                        match r {
+                            Ok(_) => got += 1,
+                            Err(_) => break,
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        rt.block_on(async {
+            for i in 0..600u32 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        drop(tx);
+        let total: u64 = consumers
+            .into_iter()
+            .map(|c| c.join_blocking().unwrap())
+            .sum();
+        assert_eq!(total, 600, "cancelled futures stranded messages");
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn debug_never_blocks() {
+    for mode in MODES {
+        let (tx, rx) = channel_with_mode::<u32>(Capacity::Bounded(2), mode);
+        tx.try_send(1).unwrap();
+        let s = format!("{tx:?} {rx:?}");
+        assert!(s.contains("Sender") && s.contains("Receiver"));
+    }
+    // Rendezvous (always mutex): Debug under a held lock must not
+    // deadlock — exercised by formatting from another thread while
+    // ops run; here the cheap smoke is that it formats at all.
+    let (tx, _rx) = channel_with_mode::<u32>(Capacity::Rendezvous, ChanMode::LockFree);
+    let _ = format!("{tx:?}");
+}
+
+#[test]
+fn fast_path_counters_move() {
+    let before_fast = chan_counter("chan.fast_sends");
+    let rt = Runtime::new(1);
+    let (tx, rx) = channel_with_mode::<u32>(Capacity::Bounded(64), ChanMode::LockFree);
+    rt.block_on(async {
+        for i in 0..50 {
+            tx.send(i).await.unwrap();
+        }
+        for _ in 0..50 {
+            rx.recv().await.unwrap();
+        }
+    });
+    rt.shutdown();
+    assert!(
+        chan_counter("chan.fast_sends") >= before_fast + 50,
+        "uncontended bounded sends should all take the fast path"
+    );
+}

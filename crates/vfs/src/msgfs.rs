@@ -192,40 +192,59 @@ impl Allocator for MsgAllocator {
     }
 }
 
+/// How many queued requests a file-system server task drains per
+/// wakeup (group servers, vnode tasks).
+const FS_BATCH: usize = 32;
+
 /// One cylinder-group server: owns the group's bitmaps and inode
-/// table outright.
+/// table outright. Drains request bursts so allocation storms cost
+/// one wakeup per batch, not one per message.
 async fn group_task(g: u64, core: FsCore<CacheClient>, rx: chanos_rt::Receiver<GroupMsg>) {
-    while let Ok(msg) = rx.recv().await {
-        match msg {
-            GroupMsg::AllocInode { kind, reply } => {
-                let out = core.alloc_inode_in(g, kind).await;
-                let _ = reply.send(out).await;
-            }
-            GroupMsg::FreeInode { ino, reply } => {
-                let out = core.free_inode(ino).await;
-                let _ = reply.send(out).await;
-            }
-            GroupMsg::AllocBlock { reply } => {
-                let out = core.alloc_block_in(g).await;
-                let _ = reply.send(out).await;
-            }
-            GroupMsg::FreeBlock { lba, reply } => {
-                let out = core.free_block(lba).await;
-                let _ = reply.send(out).await;
-            }
-            GroupMsg::ReadInode { ino, reply } => {
-                let out = core.read_inode(ino).await;
-                let _ = reply.send(out).await;
-            }
-            GroupMsg::WriteInode { ino, inode, reply } => {
-                let out = core.write_inode(ino, &inode).await;
-                let _ = reply.send(out).await;
-            }
+    let mut batch = Vec::with_capacity(FS_BATCH);
+    loop {
+        let n = rx.recv_many(&mut batch, FS_BATCH).await;
+        if n == 0 {
+            break;
+        }
+        for msg in batch.drain(..) {
+            group_handle(g, &core, msg).await;
         }
     }
 }
 
-/// One vnode task: owns inode `ino` for its lifetime.
+async fn group_handle(g: u64, core: &FsCore<CacheClient>, msg: GroupMsg) {
+    match msg {
+        GroupMsg::AllocInode { kind, reply } => {
+            let out = core.alloc_inode_in(g, kind).await;
+            let _ = reply.send(out).await;
+        }
+        GroupMsg::FreeInode { ino, reply } => {
+            let out = core.free_inode(ino).await;
+            let _ = reply.send(out).await;
+        }
+        GroupMsg::AllocBlock { reply } => {
+            let out = core.alloc_block_in(g).await;
+            let _ = reply.send(out).await;
+        }
+        GroupMsg::FreeBlock { lba, reply } => {
+            let out = core.free_block(lba).await;
+            let _ = reply.send(out).await;
+        }
+        GroupMsg::ReadInode { ino, reply } => {
+            let out = core.read_inode(ino).await;
+            let _ = reply.send(out).await;
+        }
+        GroupMsg::WriteInode { ino, inode, reply } => {
+            let out = core.write_inode(ino, &inode).await;
+            let _ = reply.send(out).await;
+        }
+    }
+}
+
+/// One vnode task: owns inode `ino` for its lifetime. Drains request
+/// bursts per wakeup; a reaping `Condemn` exits mid-batch and the
+/// remaining drained requests are dropped, exactly as queued
+/// requests died with the channel before.
 async fn vnode_task(ino: u64, shared: Arc<MsgShared>, rx: chanos_rt::Receiver<VnodeMsg>) {
     rt::stat_incr("msgfs.vnode_threads_spawned");
     let mut inode = match shared.load_inode(ino).await {
@@ -240,91 +259,116 @@ async fn vnode_task(ino: u64, shared: Arc<MsgShared>, rx: chanos_rt::Receiver<Vn
     };
     let hint = shared.core.superblock().group_of_ino(ino);
     let core = shared.core.clone();
-    while let Ok(msg) = rx.recv().await {
-        match msg {
-            VnodeMsg::Read { off, len, reply } => {
-                let out = if inode.kind == FileKind::Dir {
-                    Err(FsError::IsDir)
-                } else {
-                    core.read_file(&inode, off, len).await
-                };
-                let _ = reply.send(out).await;
-            }
-            VnodeMsg::Write { off, data, reply } => {
-                let out = if inode.kind == FileKind::Dir {
-                    Err(FsError::IsDir)
-                } else {
-                    match core.write_file(&mut inode, off, &data, hint, &alloc).await {
-                        Ok(()) => shared.store_inode(ino, inode.clone()).await,
-                        Err(e) => Err(e),
-                    }
-                };
-                let _ = reply.send(out).await;
-            }
-            VnodeMsg::Stat { reply } => {
-                let _ = reply
-                    .send(Ok(Stat {
-                        ino,
-                        kind: inode.kind,
-                        size: inode.size,
-                        nlink: inode.nlink,
-                    }))
-                    .await;
-            }
-            VnodeMsg::Lookup { name, reply } => {
-                let out = match core.dir_lookup(&inode, &name).await {
-                    Ok(Some((child, _))) => Ok(child),
-                    Ok(None) => Err(FsError::NotFound),
-                    Err(e) => Err(e),
-                };
-                let _ = reply.send(out).await;
-            }
-            VnodeMsg::Create { name, kind, reply } => {
-                let out =
-                    vnode_create(&shared, &core, &mut inode, ino, hint, &alloc, name, kind).await;
-                let _ = reply.send(out).await;
-            }
-            VnodeMsg::Unlink { name, reply } => {
-                let out = vnode_unlink(&shared, &core, &mut inode, ino, hint, &alloc, name).await;
-                let _ = reply.send(out).await;
-            }
-            VnodeMsg::ReadDir { reply } => {
-                let out = core.dir_list(&inode).await;
-                let _ = reply.send(out).await;
-            }
-            VnodeMsg::Condemn { reply } => {
-                if inode.kind == FileKind::Dir {
-                    match core.dir_list(&inode).await {
-                        Ok(entries) if !entries.is_empty() => {
-                            let _ = reply.send(Err(FsError::NotEmpty)).await;
-                            continue;
-                        }
-                        Err(e) => {
-                            let _ = reply.send(Err(e)).await;
-                            continue;
-                        }
-                        Ok(_) => {}
-                    }
-                }
-                inode.nlink = inode.nlink.saturating_sub(1);
-                if inode.nlink == 0 {
-                    // Reap: free data, free the inode, retire.
-                    let _ = core.truncate(&mut inode, &alloc).await;
-                    let _ = request(shared.group_of_ino(ino), |reply| GroupMsg::FreeInode {
-                        ino,
-                        reply,
-                    })
-                    .await;
-                    let _ = shared.vnmgr().try_send(VnMgrMsg::Retire { ino });
-                    rt::stat_incr("msgfs.vnodes_reaped");
-                    let _ = reply.send(Ok(true)).await;
-                    return; // The vnode thread exits with its inode.
-                }
-                let out = shared.store_inode(ino, inode.clone()).await;
-                let _ = reply.send(out.map(|()| false)).await;
+    let mut batch = Vec::with_capacity(FS_BATCH);
+    loop {
+        let n = rx.recv_many(&mut batch, FS_BATCH).await;
+        if n == 0 {
+            break;
+        }
+        for msg in batch.drain(..) {
+            if vnode_handle(ino, &shared, &core, &mut inode, hint, &alloc, msg)
+                .await
+                .is_break()
+            {
+                return; // Reaped: the vnode thread exits with its inode.
             }
         }
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn vnode_handle(
+    ino: u64,
+    shared: &Arc<MsgShared>,
+    core: &FsCore<CacheClient>,
+    inode: &mut Inode,
+    hint: u64,
+    alloc: &MsgAllocator,
+    msg: VnodeMsg,
+) -> std::ops::ControlFlow<()> {
+    match msg {
+        VnodeMsg::Read { off, len, reply } => {
+            let out = if inode.kind == FileKind::Dir {
+                Err(FsError::IsDir)
+            } else {
+                core.read_file(inode, off, len).await
+            };
+            let _ = reply.send(out).await;
+        }
+        VnodeMsg::Write { off, data, reply } => {
+            let out = if inode.kind == FileKind::Dir {
+                Err(FsError::IsDir)
+            } else {
+                match core.write_file(inode, off, &data, hint, alloc).await {
+                    Ok(()) => shared.store_inode(ino, inode.clone()).await,
+                    Err(e) => Err(e),
+                }
+            };
+            let _ = reply.send(out).await;
+        }
+        VnodeMsg::Stat { reply } => {
+            let _ = reply
+                .send(Ok(Stat {
+                    ino,
+                    kind: inode.kind,
+                    size: inode.size,
+                    nlink: inode.nlink,
+                }))
+                .await;
+        }
+        VnodeMsg::Lookup { name, reply } => {
+            let out = match core.dir_lookup(inode, &name).await {
+                Ok(Some((child, _))) => Ok(child),
+                Ok(None) => Err(FsError::NotFound),
+                Err(e) => Err(e),
+            };
+            let _ = reply.send(out).await;
+        }
+        VnodeMsg::Create { name, kind, reply } => {
+            let out = vnode_create(shared, core, inode, ino, hint, alloc, name, kind).await;
+            let _ = reply.send(out).await;
+        }
+        VnodeMsg::Unlink { name, reply } => {
+            let out = vnode_unlink(shared, core, inode, ino, hint, alloc, name).await;
+            let _ = reply.send(out).await;
+        }
+        VnodeMsg::ReadDir { reply } => {
+            let out = core.dir_list(inode).await;
+            let _ = reply.send(out).await;
+        }
+        VnodeMsg::Condemn { reply } => {
+            if inode.kind == FileKind::Dir {
+                match core.dir_list(inode).await {
+                    Ok(entries) if !entries.is_empty() => {
+                        let _ = reply.send(Err(FsError::NotEmpty)).await;
+                        return std::ops::ControlFlow::Continue(());
+                    }
+                    Err(e) => {
+                        let _ = reply.send(Err(e)).await;
+                        return std::ops::ControlFlow::Continue(());
+                    }
+                    Ok(_) => {}
+                }
+            }
+            inode.nlink = inode.nlink.saturating_sub(1);
+            if inode.nlink == 0 {
+                // Reap: free data, free the inode, retire.
+                let _ = core.truncate(inode, alloc).await;
+                let _ = request(shared.group_of_ino(ino), |reply| GroupMsg::FreeInode {
+                    ino,
+                    reply,
+                })
+                .await;
+                let _ = shared.vnmgr().try_send(VnMgrMsg::Retire { ino });
+                rt::stat_incr("msgfs.vnodes_reaped");
+                let _ = reply.send(Ok(true)).await;
+                return std::ops::ControlFlow::Break(());
+            }
+            let out = shared.store_inode(ino, inode.clone()).await;
+            let _ = reply.send(out.map(|()| false)).await;
+        }
+    }
+    std::ops::ControlFlow::Continue(())
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -20,6 +20,9 @@ use crate::error::FsError;
 
 use chanos_sim::plock;
 
+/// How many queued requests a cache shard drains per wakeup.
+const CACHE_BATCH: usize = 32;
+
 /// Modeled memory-copy bandwidth: bytes per cycle. Every engine pays
 /// this for moving a block between the cache and the requester (the
 /// §3 note that copying "buys scalability at the cost of some memory
@@ -342,49 +345,56 @@ impl CacheClient {
             let core = cores[s % cores.len()];
             rt::spawn_daemon_on(&format!("cache-shard{s}"), core, async move {
                 let mut cache = LruCache::new(capacity_per_shard);
-                while let Ok(msg) = rx.recv().await {
-                    match msg {
-                        CacheMsg::Read { lba, reply } => {
-                            let out = if let Some(data) = cache.get(lba) {
-                                rt::stat_incr("cache.hits");
-                                chanos_rt::delay(copy_cost(data.len())).await;
-                                Ok(data)
-                            } else {
-                                rt::stat_incr("cache.misses");
-                                match disk.read(lba, 1).await {
-                                    Ok(data) => {
-                                        if let Some((vlba, vdata)) =
-                                            cache.insert_clean(lba, data.clone())
-                                        {
-                                            let _ = disk.write(vlba, vdata).await;
+                // Drain request bursts: one wakeup serves a batch.
+                let mut batch = Vec::with_capacity(CACHE_BATCH);
+                'serve: loop {
+                    if rx.recv_many(&mut batch, CACHE_BATCH).await == 0 {
+                        break 'serve;
+                    }
+                    for msg in batch.drain(..) {
+                        match msg {
+                            CacheMsg::Read { lba, reply } => {
+                                let out = if let Some(data) = cache.get(lba) {
+                                    rt::stat_incr("cache.hits");
+                                    chanos_rt::delay(copy_cost(data.len())).await;
+                                    Ok(data)
+                                } else {
+                                    rt::stat_incr("cache.misses");
+                                    match disk.read(lba, 1).await {
+                                        Ok(data) => {
+                                            if let Some((vlba, vdata)) =
+                                                cache.insert_clean(lba, data.clone())
+                                            {
+                                                let _ = disk.write(vlba, vdata).await;
+                                            }
+                                            chanos_rt::delay(copy_cost(data.len())).await;
+                                            Ok(data)
                                         }
-                                        chanos_rt::delay(copy_cost(data.len())).await;
-                                        Ok(data)
+                                        Err(e) => Err(FsError::Io(e)),
                                     }
-                                    Err(e) => Err(FsError::Io(e)),
-                                }
-                            };
-                            let _ = reply.send(out).await;
-                        }
-                        CacheMsg::Write { lba, data, reply } => {
-                            chanos_rt::delay(copy_cost(data.len())).await;
-                            let evicted = cache.insert_dirty(lba, data);
-                            let out = if let Some((vlba, vdata)) = evicted {
-                                disk.write(vlba, vdata).await.map_err(FsError::Io)
-                            } else {
-                                Ok(())
-                            };
-                            let _ = reply.send(out).await;
-                        }
-                        CacheMsg::Sync { reply } => {
-                            let mut out = Ok(());
-                            for (lba, data) in cache.take_dirty() {
-                                if let Err(e) = disk.write(lba, data).await {
-                                    out = Err(FsError::Io(e));
-                                    break;
-                                }
+                                };
+                                let _ = reply.send(out).await;
                             }
-                            let _ = reply.send(out).await;
+                            CacheMsg::Write { lba, data, reply } => {
+                                chanos_rt::delay(copy_cost(data.len())).await;
+                                let evicted = cache.insert_dirty(lba, data);
+                                let out = if let Some((vlba, vdata)) = evicted {
+                                    disk.write(vlba, vdata).await.map_err(FsError::Io)
+                                } else {
+                                    Ok(())
+                                };
+                                let _ = reply.send(out).await;
+                            }
+                            CacheMsg::Sync { reply } => {
+                                let mut out = Ok(());
+                                for (lba, data) in cache.take_dirty() {
+                                    if let Err(e) = disk.write(lba, data).await {
+                                        out = Err(FsError::Io(e));
+                                        break;
+                                    }
+                                }
+                                let _ = reply.send(out).await;
+                            }
                         }
                     }
                 }

@@ -154,6 +154,83 @@ fn spawn_on_is_honored_on_both_backends() {
 }
 
 #[test]
+fn recv_many_equivalent_on_both_backends() {
+    // The batching contract is backend-independent: the same
+    // produced sequence, drained with recv_many, yields the same
+    // total content in the same order, batches never exceed `max`,
+    // and 0 means closed-and-drained on both backends.
+    async fn drain_with_batches() -> (Vec<u32>, usize) {
+        let (tx, rx) = chanos::rt::channel::<u32>(chanos::rt::Capacity::Unbounded);
+        let producer = chanos::rt::spawn(async move {
+            for i in 0..500u32 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        let mut buf = Vec::new();
+        let mut batches = 0usize;
+        loop {
+            let n = rx.recv_many(&mut buf, 32).await;
+            if n == 0 {
+                break;
+            }
+            assert!(n <= 32, "batch exceeded max");
+            assert_eq!(buf.len(), n, "recv_many count mismatch");
+            got.append(&mut buf);
+            batches += 1;
+        }
+        // After close-and-drain every subsequent call is 0.
+        assert_eq!(rx.recv_many(&mut buf, 8).await, 0);
+        producer.join().await.unwrap();
+        (got, batches)
+    }
+
+    let mut s = Simulation::with_config(Config {
+        cores: 2,
+        ..Config::default()
+    });
+    let (sim_got, sim_batches) = s.block_on(drain_with_batches()).unwrap();
+    assert_eq!(sim_got, (0..500).collect::<Vec<_>>());
+    assert!(sim_batches >= 500 / 32, "batches cover the stream");
+
+    let rt = Runtime::new(2);
+    let (thr_got, _thr_batches) = rt.block_on(drain_with_batches());
+    rt.shutdown();
+    assert_eq!(
+        sim_got, thr_got,
+        "recv_many content/order differs between backends"
+    );
+}
+
+#[test]
+fn try_recv_many_respects_max_and_order_on_both_backends() {
+    async fn check() -> Vec<u32> {
+        let (tx, rx) = chanos::rt::channel::<u32>(chanos::rt::Capacity::Bounded(16));
+        for i in 0..10u32 {
+            tx.try_send(i).unwrap();
+        }
+        // Let modeled transit elapse on the simulator (no-op delay on
+        // threads beyond a yield).
+        chanos::rt::sleep(1_000_000).await;
+        let mut buf = Vec::new();
+        assert_eq!(rx.try_recv_many(&mut buf, 4), 4);
+        assert_eq!(rx.try_recv_many(&mut buf, 100), 6);
+        assert_eq!(rx.try_recv_many(&mut buf, 4), 0);
+        buf
+    }
+    let mut s = Simulation::with_config(Config {
+        cores: 2,
+        ..Config::default()
+    });
+    let sim_buf = s.block_on(check()).unwrap();
+    let rt = Runtime::new(2);
+    let thr_buf = rt.block_on(check());
+    rt.shutdown();
+    assert_eq!(sim_buf, (0..10).collect::<Vec<_>>());
+    assert_eq!(sim_buf, thr_buf);
+}
+
+#[test]
 fn sim_trace_is_deterministic_for_the_kernel_workload() {
     // The facade refactor must not perturb simulator determinism:
     // identical seeds give identical traces through the whole OS.
