@@ -15,11 +15,11 @@
 //! raw channels vs monitored endpoints vs monitored-and-recorded.
 //! The §4 "potential" is only real if this overhead is small.
 
-use chanos_csp::Capacity;
 use chanos_proto::{
     check_compatible, conforms_complete, deadlock, rpc_loop, session, Dir, MonSendError, Protocol,
     ProtocolBuilder, Recorder, Tagged, TraceEvent,
 };
+use chanos_rt::Capacity;
 use chanos_sim::{Config, Simulation};
 
 use crate::table::{f2, Table};
@@ -270,8 +270,8 @@ fn overhead(n: u64, mechanism: &str) -> u64 {
     s.block_on(async move {
         match mechanism.as_str() {
             "raw channels" => {
-                let (tx, rx) = chanos_csp::channel::<Req>(Capacity::Bounded(4));
-                let (dtx, drx) = chanos_csp::channel::<Resp>(Capacity::Bounded(4));
+                let (tx, rx) = chanos_csp::channel::<Req>(chanos_csp::Capacity::Bounded(4));
+                let (dtx, drx) = chanos_csp::channel::<Resp>(chanos_csp::Capacity::Bounded(4));
                 chanos_sim::spawn_daemon("e13-raw-server", async move {
                     while let Ok(req) = rx.recv().await {
                         match req {

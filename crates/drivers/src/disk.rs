@@ -9,13 +9,19 @@
 //! two requests, which the device punishes exactly like real hardware:
 //! the GO snapshot mixes fields, and a GO while busy clobbers the
 //! in-flight command (experiment E5 counts these).
+//!
+//! Behind the register file sit two block stores, selected by the
+//! ambient runtime backend ([`DiskBacking`]): the simulator keeps the
+//! deterministic in-memory store with modeled seek/transfer latency,
+//! while the real-threads backend does **real I/O** — `pread`/`pwrite`
+//! against a sparse image file — so a kernel booted on OS threads
+//! drives boot → MsgFs → driver → file end-to-end (`disk.file_*`
+//! counters prove it).
 
 use std::sync::{Arc, Mutex};
 
-use chanos_rt::{self as rt, channel, delay, sleep, Capacity, Receiver, Sender};
+use chanos_rt::{self as rt, channel, delay, plock, sleep, Capacity, Receiver, Sender};
 use chanos_rt::{CoreId, Cycles};
-
-use chanos_sim::plock;
 
 /// Size of one disk block, in bytes.
 pub const BLOCK_SIZE: usize = 4096;
@@ -97,8 +103,138 @@ struct Regs {
     dma: Vec<u8>,
 }
 
+/// Which block store backs the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskBacking {
+    /// Deterministic in-memory store with modeled latency (the
+    /// simulator's store; also usable on threads for A/B runs).
+    Memory,
+    /// A sparse image file; commands perform real positional reads
+    /// and writes and pay real I/O time instead of the latency model.
+    File,
+}
+
+/// Names a fresh sparse image in the system temp directory.
+#[cfg(unix)]
+fn fresh_image_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("chanos-disk-{}-{}.img", std::process::id(), seq))
+}
+
+/// A real file behind the register protocol; the image is sparse
+/// (`set_len`, no data written) and removed on drop. The handle is
+/// shared (`Arc`) so commands can do their positional I/O *outside*
+/// the device-state lock.
+struct FileStore {
+    file: Arc<std::fs::File>,
+    path: std::path::PathBuf,
+}
+
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+enum Store {
+    Mem(Vec<u8>),
+    #[cfg(unix)]
+    File(FileStore),
+}
+
+impl Store {
+    fn new(backing: DiskBacking, blocks: u64) -> Store {
+        match backing {
+            DiskBacking::Memory => Store::Mem(vec![0; (blocks as usize) * BLOCK_SIZE]),
+            DiskBacking::File => {
+                #[cfg(unix)]
+                {
+                    let path = fresh_image_path();
+                    let file = std::fs::OpenOptions::new()
+                        .read(true)
+                        .write(true)
+                        .create_new(true)
+                        .open(&path)
+                        .expect("create disk image");
+                    file.set_len(blocks * BLOCK_SIZE as u64)
+                        .expect("size disk image");
+                    Store::File(FileStore {
+                        file: Arc::new(file),
+                        path,
+                    })
+                }
+                #[cfg(not(unix))]
+                {
+                    Store::Mem(vec![0; (blocks as usize) * BLOCK_SIZE])
+                }
+            }
+        }
+    }
+
+    /// The backing file handle, if file-backed.
+    fn file(&self) -> Option<Arc<std::fs::File>> {
+        match self {
+            Store::Mem(_) => None,
+            #[cfg(unix)]
+            Store::File(fs) => Some(Arc::clone(&fs.file)),
+        }
+    }
+}
+
+/// Reads `len` bytes at `start` from the image; `None` on a real-I/O
+/// error. `count` charges the `disk.file_*` counters (debug peeks
+/// skip them so they only measure commands).
+#[cfg(unix)]
+fn file_read(file: &std::fs::File, start: usize, len: usize, count: bool) -> Option<Vec<u8>> {
+    use std::os::unix::fs::FileExt;
+    let mut buf = vec![0u8; len];
+    match file.read_exact_at(&mut buf, start as u64) {
+        Ok(()) => {
+            if count {
+                rt::stat_incr("disk.file_reads");
+                rt::stat_add("disk.file_bytes_read", len as u64);
+            }
+            Some(buf)
+        }
+        Err(_) => {
+            rt::stat_incr("disk.io_errors");
+            None
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn file_read(_: &std::fs::File, _: usize, _: usize, _: bool) -> Option<Vec<u8>> {
+    unreachable!("file backing exists only on unix")
+}
+
+/// Writes `data` at `start` into the image; `false` on a real-I/O
+/// error.
+#[cfg(unix)]
+fn file_write(file: &std::fs::File, start: usize, data: &[u8]) -> bool {
+    use std::os::unix::fs::FileExt;
+    match file.write_all_at(data, start as u64) {
+        Ok(()) => {
+            rt::stat_incr("disk.file_writes");
+            rt::stat_add("disk.file_bytes_written", data.len() as u64);
+            true
+        }
+        Err(_) => {
+            rt::stat_incr("disk.io_errors");
+            false
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn file_write(_: &std::fs::File, _: usize, _: &[u8]) -> bool {
+    unreachable!("file backing exists only on unix")
+}
+
 struct DeviceState {
-    store: Vec<u8>,
+    store: Store,
     blocks: u64,
     regs: Regs,
     /// In-flight command generation; a GO while busy bumps it,
@@ -131,16 +267,36 @@ impl Clone for DiskHw {
 /// Creates a disk of `blocks` blocks and returns the hardware handle
 /// plus the interrupt receive channel.
 ///
-/// `dev_core` must be a device pseudo-core (see
-/// [`chanos_sim::Simulation::add_device_core`]).
+/// The block store is selected by the ambient runtime backend:
+/// in-memory + modeled latency on the simulator (deterministic),
+/// file-backed real I/O on real threads. Use [`install_disk_with`]
+/// to force a [`DiskBacking`].
+///
+/// On the simulator `dev_core` is a device pseudo-core (see
+/// `chanos_sim::Simulation::add_device_core`); on threads it maps to
+/// a worker pin for the disk engine tasks.
 pub fn install_disk(
     blocks: u64,
     params: DiskParams,
     dev_core: CoreId,
 ) -> (DiskHw, Receiver<DiskIrq>) {
+    let backing = match rt::backend() {
+        rt::Backend::Sim => DiskBacking::Memory,
+        rt::Backend::Threads => DiskBacking::File,
+    };
+    install_disk_with(blocks, params, dev_core, backing)
+}
+
+/// [`install_disk`] with an explicit block-store choice.
+pub fn install_disk_with(
+    blocks: u64,
+    params: DiskParams,
+    dev_core: CoreId,
+    backing: DiskBacking,
+) -> (DiskHw, Receiver<DiskIrq>) {
     let (irq_tx, irq_rx) = channel::<DiskIrq>(Capacity::Unbounded);
     let state = Arc::new(Mutex::new(DeviceState {
-        store: vec![0; (blocks as usize) * BLOCK_SIZE],
+        store: Store::new(backing, blocks),
         blocks,
         regs: Regs {
             lba: 0,
@@ -224,14 +380,66 @@ impl DiskHw {
 
     /// Runs one command to completion on the device core.
     async fn execute(&self, cmd: Regs, generation: u64) {
-        let latency = {
+        let (latency, file, blocks) = {
             let st = plock(&self.state);
             let distance = st.head_lba.abs_diff(cmd.lba);
-            self.params.base
+            let l = self.params.base
                 + self.params.per_block * Cycles::from(cmd.count)
-                + self.params.seek_per_1k_lba * (distance / 1024)
+                + self.params.seek_per_1k_lba * (distance / 1024);
+            (l, st.store.file(), st.blocks)
         };
-        sleep(latency).await;
+        if file.is_some() {
+            // Real I/O pays real time below; yield once so the engine
+            // stays a separate completion step, as on the simulator.
+            delay(1).await;
+        } else {
+            sleep(latency).await;
+        }
+        let in_range = cmd
+            .lba
+            .checked_add(Cycles::from(cmd.count))
+            .map(|end| end <= blocks)
+            .unwrap_or(false);
+        let start = (cmd.lba as usize) * BLOCK_SIZE;
+        let len = (cmd.count as usize) * BLOCK_SIZE;
+        // File backing: the real pread/pwrite runs *outside* the
+        // device-state lock — a slow disk must stall this command,
+        // not every task touching the register file. A command
+        // clobbered while its I/O is in flight may still have hit the
+        // platter (as real in-flight DMA would); its IRQ is
+        // suppressed by the generation check below.
+        let file_irq: Option<DiskIrq> = match &file {
+            Some(f) if in_range => Some(match cmd.op {
+                DiskOp::Read => match file_read(f, start, len, true) {
+                    Some(data) => {
+                        rt::stat_incr("disk.reads");
+                        DiskIrq {
+                            tag: cmd.tag,
+                            data,
+                            ok: true,
+                        }
+                    }
+                    None => DiskIrq {
+                        tag: cmd.tag,
+                        data: Vec::new(),
+                        ok: false,
+                    },
+                },
+                DiskOp::Write => {
+                    let n = cmd.dma.len().min(len);
+                    let ok = file_write(f, start, &cmd.dma[..n]);
+                    if ok {
+                        rt::stat_incr("disk.writes");
+                    }
+                    DiskIrq {
+                        tag: cmd.tag,
+                        data: Vec::new(),
+                        ok,
+                    }
+                }
+            }),
+            _ => None,
+        };
         let mut st = plock(&self.state);
         if st.generation != generation {
             // We were clobbered mid-flight; drop silently, as real
@@ -240,23 +448,24 @@ impl DiskHw {
         }
         st.busy = false;
         st.head_lba = cmd.lba;
-        let in_range = cmd
-            .lba
-            .checked_add(Cycles::from(cmd.count))
-            .map(|end| end <= st.blocks)
-            .unwrap_or(false);
         let irq = if !in_range {
             DiskIrq {
                 tag: cmd.tag,
                 data: Vec::new(),
                 ok: false,
             }
+        } else if let Some(irq) = file_irq {
+            irq
         } else {
-            let start = (cmd.lba as usize) * BLOCK_SIZE;
-            let len = (cmd.count as usize) * BLOCK_SIZE;
+            // Memory store: the transfer is a memcpy under the lock
+            // (and the only store the single-threaded simulator uses).
             match cmd.op {
                 DiskOp::Read => {
-                    let data = st.store[start..start + len].to_vec();
+                    let data = match &st.store {
+                        Store::Mem(bytes) => bytes[start..start + len].to_vec(),
+                        #[cfg(unix)]
+                        Store::File(_) => unreachable!("file commands handled above"),
+                    };
                     rt::stat_incr("disk.reads");
                     DiskIrq {
                         tag: cmd.tag,
@@ -266,7 +475,11 @@ impl DiskHw {
                 }
                 DiskOp::Write => {
                     let n = cmd.dma.len().min(len);
-                    st.store[start..start + n].copy_from_slice(&cmd.dma[..n]);
+                    match &mut st.store {
+                        Store::Mem(bytes) => bytes[start..start + n].copy_from_slice(&cmd.dma[..n]),
+                        #[cfg(unix)]
+                        Store::File(_) => unreachable!("file commands handled above"),
+                    }
                     rt::stat_incr("disk.writes");
                     DiskIrq {
                         tag: cmd.tag,
@@ -280,11 +493,20 @@ impl DiskHw {
         let _ = self.irq_tx.try_send(irq);
     }
 
-    /// Test/debug access to the raw store (no cost model).
+    /// Test/debug access to the raw store (no cost model, no
+    /// `disk.file_*` counters; file peeks read outside the lock).
     pub fn peek_block(&self, lba: u64) -> Vec<u8> {
-        let st = plock(&self.state);
         let start = (lba as usize) * BLOCK_SIZE;
-        st.store[start..start + BLOCK_SIZE].to_vec()
+        let st = plock(&self.state);
+        match &st.store {
+            Store::Mem(bytes) => bytes[start..start + BLOCK_SIZE].to_vec(),
+            #[cfg(unix)]
+            Store::File(fs) => {
+                let f = Arc::clone(&fs.file);
+                drop(st);
+                file_read(&f, start, BLOCK_SIZE, false).expect("peek within device")
+            }
+        }
     }
 }
 

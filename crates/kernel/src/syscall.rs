@@ -302,14 +302,44 @@ impl MsgKernel {
                 // Drain bursts: one wakeup and one dispatch serve a
                 // whole batch of syscalls instead of one each.
                 let mut batch = Vec::with_capacity(SYSCALL_BATCH);
+                // Real threads only: null syscalls split out of the
+                // burst and answered synchronously under one
+                // coalesced-wake scope, so a peer with several
+                // outstanding calls is woken once for the whole batch
+                // (`chan.reply_wakes_coalesced`). The simulator keeps
+                // the strictly-in-order path: its wakeups are virtual
+                // events and its traces must not change.
+                let coalesce = rt::backend() == rt::Backend::Threads;
+                let mut quick: Vec<(Pid, ReplyTo<Pid>)> = Vec::new();
+                let mut rest: Vec<Syscall> = Vec::new();
                 loop {
                     let n = rx.recv_many(&mut batch, SYSCALL_BATCH).await;
                     if n == 0 {
                         break;
                     }
                     rt::stat_add("kernel.syscall_batched", n as u64);
-                    for call in batch.drain(..) {
-                        st.handle(call).await;
+                    if coalesce {
+                        for call in batch.drain(..) {
+                            match call {
+                                Syscall::GetPid { pid, reply } => quick.push((pid, reply)),
+                                other => rest.push(other),
+                            }
+                        }
+                        if !quick.is_empty() {
+                            rt::stat_add("kernel.syscalls", quick.len() as u64);
+                            rt::coalesce_replies(|| {
+                                for (pid, reply) in quick.drain(..) {
+                                    let _ = reply.send_now(pid);
+                                }
+                            });
+                        }
+                        for call in rest.drain(..) {
+                            st.handle(call).await;
+                        }
+                    } else {
+                        for call in batch.drain(..) {
+                            st.handle(call).await;
+                        }
                     }
                 }
             });

@@ -23,11 +23,16 @@
 //!
 //! ## Example: two shared-nothing nodes
 //!
+//! The cluster is written against the `chanos-rt` facade, so the same
+//! code runs on the deterministic simulator (below) and on the
+//! `chanos-parchan` thread pool (`Runtime::block_on`).
+//!
 //! ```
 //! use chanos_net::{
 //!     connect, listen, Cluster, ClusterParams, NodeId, RdtParams,
 //! };
-//! use chanos_sim::{spawn, Simulation};
+//! use chanos_rt::spawn;
+//! use chanos_sim::Simulation;
 //!
 //! let mut machine = Simulation::new(4);
 //! machine

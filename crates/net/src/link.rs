@@ -9,7 +9,7 @@
 //! magnitude above on-die transit and adds the two failure modes
 //! on-die channels do not have: loss and reordering.
 
-use chanos_sim::Cycles;
+use chanos_rt::Cycles;
 
 /// Cost and fault model of one cluster link.
 #[derive(Debug, Clone, Copy)]

@@ -17,13 +17,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use chanos_csp::{channel, Capacity, Receiver, Sender};
-use chanos_sim as sim;
+use chanos_rt::{self as rt, channel, plock, Capacity, Receiver, Sender};
 
 use crate::frame::{Frame, NodeId};
 use crate::link::LinkParams;
-
-use chanos_sim::plock;
 
 /// Error type for fabric and transport operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +70,9 @@ impl Default for ClusterParams {
 
 /// A cluster of shared-nothing nodes joined by a switch.
 ///
-/// Must be created inside a running simulation (it spawns the switch
-/// and per-node demultiplexer daemons).
+/// Must be created inside a running runtime — `Simulation::block_on`
+/// or a parchan `Runtime` — because it spawns the switch and per-node
+/// demultiplexer daemons on the ambient backend.
 pub struct Cluster {
     ifaces: Vec<Iface>,
     params: ClusterParams,
@@ -85,7 +83,6 @@ impl Cluster {
     /// [`Iface`] per node.
     pub fn new(params: ClusterParams) -> Cluster {
         assert!(params.nodes >= 1, "a cluster needs at least one node");
-        let dev = sim::system_device_core();
         let (ingress_tx, ingress_rx) = channel::<Frame>(Capacity::Unbounded);
 
         let mut egress_txs: Vec<Sender<Frame>> = Vec::new();
@@ -100,7 +97,7 @@ impl Cluster {
             // The demultiplexer: this node's share of the "hardware
             // support for receiving messages" §4 supposes.
             let demux_ports = Arc::clone(&ports);
-            sim::spawn_daemon_on(&format!("net-demux-{n}"), dev, async move {
+            rt::spawn_device(&format!("net-demux-{n}"), async move {
                 while let Ok(frame) = eg_rx.recv().await {
                     let dst_port = frame.header.dst_port;
                     let target = plock(&demux_ports).map.get(&dst_port).cloned();
@@ -109,10 +106,10 @@ impl Cluster {
                             if tx.send(frame).await.is_err() {
                                 // Receiver vanished between lookup and
                                 // delivery; treat as an unbound port.
-                                sim::stat_incr("net.no_port");
+                                rt::stat_incr("net.no_port");
                             }
                         }
-                        None => sim::stat_incr("net.no_port"),
+                        None => rt::stat_incr("net.no_port"),
                     }
                 }
             });
@@ -127,25 +124,25 @@ impl Cluster {
         // link model, and forwards to the destination node's demux.
         let link = params.link;
         let node_count = params.nodes;
-        sim::spawn_daemon_on("net-switch", dev, async move {
+        rt::spawn_device("net-switch", async move {
             // Arrival horizon per ordered (src, dst) pair: with zero
             // jitter a link is FIFO, so a small frame must not
             // overtake a large one sent earlier on the same path.
-            let mut horizon: BTreeMap<(u32, u32), sim::Cycles> = BTreeMap::new();
+            let mut horizon: BTreeMap<(u32, u32), rt::Cycles> = BTreeMap::new();
             while let Ok(frame) = ingress_rx.recv().await {
                 if frame.header.dst.0 >= node_count {
-                    sim::stat_incr("net.bad_dst");
+                    rt::stat_incr("net.bad_dst");
                     continue;
                 }
-                if link.loss > 0.0 && sim::with_rng(|r| r.chance(link.loss)) {
-                    sim::stat_incr("net.frames_lost");
+                if link.loss > 0.0 && rt::with_rng(|r| r.chance(link.loss)) {
+                    rt::stat_incr("net.frames_lost");
                     continue;
                 }
                 let mut delay = link.transit(frame.wire_len());
                 if link.jitter > 0 {
-                    delay += sim::with_rng(|r| r.bounded(link.jitter));
+                    delay += rt::with_rng(|r| r.bounded(link.jitter));
                 }
-                let mut arrival = sim::now() + delay;
+                let mut arrival = rt::now() + delay;
                 if link.jitter == 0 {
                     let slot = horizon
                         .entry((frame.header.src.0, frame.header.dst.0))
@@ -153,13 +150,17 @@ impl Cluster {
                     arrival = arrival.max(*slot);
                     *slot = arrival;
                 }
-                let wait = arrival - sim::now();
+                // Saturating: on threads, wall-clock time can pass
+                // between the two now() reads (the simulator cannot
+                // advance mid-task), and an underflow here would be a
+                // ~u64::MAX sleep that silently swallows the frame.
+                let wait = arrival.saturating_sub(rt::now());
                 let out = egress_txs[frame.header.dst.0 as usize].clone();
                 // Per-frame delivery task: frames on different paths
                 // overlap in flight; jitter can reorder even one path.
-                sim::spawn_daemon_on("net-wire", dev, async move {
-                    sim::sleep(wait).await;
-                    sim::stat_incr("net.frames_delivered");
+                rt::spawn_device("net-wire", async move {
+                    rt::sleep(wait).await;
+                    rt::stat_incr("net.frames_delivered");
                     let _ = out.send(frame).await;
                 });
             }
@@ -207,7 +208,7 @@ impl Iface {
     /// The fabric may still lose it; "sent" only means the NIC took
     /// it.
     pub async fn send_frame(&self, frame: Frame) -> Result<(), NetError> {
-        sim::stat_incr("net.frames_sent");
+        rt::stat_incr("net.frames_sent");
         self.to_switch
             .send(frame)
             .await
@@ -289,12 +290,12 @@ mod tests {
             let cluster = Cluster::new(ClusterParams::default());
             let rx = cluster.iface(NodeId(1)).bind(80).unwrap();
             let a = cluster.iface(NodeId(0));
-            let t0 = sim::now();
+            let t0 = rt::now();
             a.send_frame(data_frame(0, 1, 80, vec![0; 64]))
                 .await
                 .unwrap();
             rx.recv().await.unwrap();
-            let elapsed = sim::now() - t0;
+            let elapsed = rt::now() - t0;
             assert!(
                 elapsed >= 20_000,
                 "cluster transit took only {elapsed} cycles"
@@ -311,8 +312,8 @@ mod tests {
             let a = cluster.iface(NodeId(0));
             a.send_frame(data_frame(0, 1, 4242, vec![1])).await.unwrap();
             // Give the fabric time to deliver (and drop) it.
-            sim::sleep(100_000).await;
-            assert_eq!(sim::stat_get("net.no_port"), 1);
+            rt::sleep(100_000).await;
+            assert_eq!(rt::stat_get("net.no_port"), 1);
         })
         .unwrap();
     }
@@ -327,8 +328,8 @@ mod tests {
             });
             let a = cluster.iface(NodeId(0));
             a.send_frame(data_frame(0, 9, 80, vec![])).await.unwrap();
-            sim::sleep(100_000).await;
-            assert_eq!(sim::stat_get("net.bad_dst"), 1);
+            rt::sleep(100_000).await;
+            assert_eq!(rt::stat_get("net.bad_dst"), 1);
         })
         .unwrap();
     }
@@ -350,7 +351,7 @@ mod tests {
                     .await
                     .unwrap();
             }
-            sim::sleep(1_000_000).await;
+            rt::sleep(1_000_000).await;
             let mut got = 0u32;
             while rx.try_recv().is_ok() {
                 got += 1;

@@ -27,8 +27,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Mutex;
 
-use chanos_csp::{after, channel, choose, Capacity, Receiver, Sender};
-use chanos_sim::{self as sim, Cycles};
+use chanos_rt::{self as rt, after, channel, choose, Capacity, Cycles, Receiver, Sender};
 
 use crate::frame::{Frame, FrameHeader, FrameKind, NodeId};
 use crate::node::{Iface, NetError};
@@ -190,14 +189,14 @@ pub fn listen(iface: &Iface, port: u16, params: RdtParams) -> Result<Listener, N
     let rx = iface.bind(port)?;
     let (accept_tx, accept_rx) = channel::<Conn>(Capacity::Bounded(64));
     let iface = iface.clone();
-    sim::spawn_daemon(&format!("rdt-listen-{port}"), async move {
+    rt::spawn_daemon(&format!("rdt-listen-{port}"), async move {
         // (src node, src port, conn id) -> server data port, kept so
         // duplicate Syns re-send the same SynAck instead of opening a
         // second connection.
         let mut established: BTreeMap<(NodeId, u16, u32), u16> = BTreeMap::new();
         while let Ok(syn) = rx.recv().await {
             if syn.header.kind != FrameKind::Syn {
-                sim::stat_incr("net.listener_stray");
+                rt::stat_incr("net.listener_stray");
                 continue;
             }
             let key = (syn.header.src, syn.header.src_port, syn.header.conn);
@@ -291,11 +290,11 @@ pub async fn connect(
             }
             Some(_stray) => {
                 // Not our SynAck; keep waiting within this attempt.
-                sim::stat_incr("net.connect_stray");
+                rt::stat_incr("net.connect_stray");
             }
             None => {
                 attempts += 1;
-                sim::stat_incr("net.syn_retransmits");
+                rt::stat_incr("net.syn_retransmits");
                 if attempts > params.syn_retries {
                     iface.unbind(local_port);
                     return Err(ConnectError::Timeout);
@@ -353,7 +352,7 @@ impl ConnState {
 
     /// Segments one application message into Data frames.
     fn queue_message(&mut self, msg: Vec<u8>) {
-        sim::stat_incr("net.msgs_queued");
+        rt::stat_incr("net.msgs_queued");
         let chunks: Vec<&[u8]> = if msg.is_empty() {
             vec![&[][..]]
         } else {
@@ -390,7 +389,7 @@ impl ConnState {
             header: self.header(FrameKind::Ack, 0, false),
             payload: Vec::new(),
         };
-        sim::stat_incr("net.acks_sent");
+        rt::stat_incr("net.acks_sent");
         let _ = self.iface.send_frame(ack).await;
     }
 
@@ -401,7 +400,7 @@ impl ConnState {
             self.partial.extend_from_slice(&frame.payload);
             if !frame.header.more {
                 let msg = std::mem::take(&mut self.partial);
-                sim::stat_incr("net.msgs_delivered");
+                rt::stat_incr("net.msgs_delivered");
                 if let Some(tx) = &self.deliver {
                     if tx.send(msg).await.is_err() {
                         // App stopped reading; keep acking so the
@@ -433,13 +432,13 @@ impl ConnState {
                         && self.rx_held.len() < self.params.window
                         && !self.rx_held.contains_key(&seq)
                     {
-                        sim::stat_incr("net.ooo_buffered");
+                        rt::stat_incr("net.ooo_buffered");
                         self.rx_held.insert(seq, frame);
                     } else {
-                        sim::stat_incr("net.ooo_dropped");
+                        rt::stat_incr("net.ooo_dropped");
                     }
                 } else {
-                    sim::stat_incr("net.dup_frames");
+                    rt::stat_incr("net.dup_frames");
                 }
                 self.send_ack().await;
             }
@@ -457,16 +456,16 @@ impl ConnState {
                     self.rto_deadline = if self.inflight.is_empty() {
                         None
                     } else {
-                        Some(sim::now() + self.params.rto)
+                        Some(rt::now() + self.params.rto)
                     };
                 }
             }
             FrameKind::SynAck => {
                 // Duplicate of the handshake (our first Ack/Data may
                 // not have reached the listener yet); harmless.
-                sim::stat_incr("net.dup_synack");
+                rt::stat_incr("net.dup_synack");
             }
-            FrameKind::Syn => sim::stat_incr("net.conn_stray"),
+            FrameKind::Syn => rt::stat_incr("net.conn_stray"),
         }
         true
     }
@@ -476,14 +475,14 @@ impl ConnState {
     async fn on_timeout(&mut self) -> bool {
         self.retries += 1;
         if self.retries > self.params.max_retries {
-            sim::stat_incr("net.conn_aborted");
+            rt::stat_incr("net.conn_aborted");
             return false;
         }
         match self.params.mode {
             RdtMode::GoBackN => {
                 // The receiver discarded everything after the hole:
                 // resend the entire window.
-                sim::stat_add("net.retransmits", self.inflight.len() as u64);
+                rt::stat_add("net.retransmits", self.inflight.len() as u64);
                 for f in self.inflight.iter() {
                     if self.iface.send_frame(f.clone()).await.is_err() {
                         return false;
@@ -494,7 +493,7 @@ impl ConnState {
                 // The receiver is holding the rest: resend only the
                 // oldest unacknowledged frame.
                 if let Some(f) = self.inflight.front() {
-                    sim::stat_incr("net.retransmits");
+                    rt::stat_incr("net.retransmits");
                     if self.iface.send_frame(f.clone()).await.is_err() {
                         return false;
                     }
@@ -503,7 +502,7 @@ impl ConnState {
         }
         // Capped exponential backoff.
         let backoff = self.params.rto << self.retries.min(4);
-        self.rto_deadline = Some(sim::now() + backoff);
+        self.rto_deadline = Some(rt::now() + backoff);
         true
     }
 
@@ -513,13 +512,13 @@ impl ConnState {
             let Some(f) = self.unsent.pop_front() else {
                 break;
             };
-            sim::stat_incr("net.data_sent");
+            rt::stat_incr("net.data_sent");
             if self.iface.send_frame(f.clone()).await.is_err() {
                 return false;
             }
             self.inflight.push_back(f);
             if self.rto_deadline.is_none() {
-                self.rto_deadline = Some(sim::now() + self.params.rto);
+                self.rto_deadline = Some(rt::now() + self.params.rto);
             }
         }
         true
@@ -556,7 +555,7 @@ fn spawn_conn(
         deliver: Some(app_in_tx),
         rx_held: BTreeMap::new(),
     };
-    sim::spawn_daemon(&format!("rdt-conn-{local_port}"), async move {
+    rt::spawn_daemon(&format!("rdt-conn-{local_port}"), async move {
         let healthy = loop {
             if st.fin_acked() && st.remote_fin {
                 break true; // Clean shutdown.
@@ -566,7 +565,7 @@ fn spawn_conn(
             let deadline = st.rto_deadline;
             let event = match (want_app, deadline) {
                 (true, Some(d)) => {
-                    let wait = d.saturating_sub(sim::now()).max(1);
+                    let wait = d.saturating_sub(rt::now()).max(1);
                     choose! {
                         f = net_rx.recv() => Event::Net(f.ok()),
                         m = app_out_rx.recv() => Event::App(m.ok()),
@@ -578,7 +577,7 @@ fn spawn_conn(
                     m = app_out_rx.recv() => Event::App(m.ok()),
                 },
                 (false, Some(d)) => {
-                    let wait = d.saturating_sub(sim::now()).max(1);
+                    let wait = d.saturating_sub(rt::now()).max(1);
                     choose! {
                         f = net_rx.recv() => Event::Net(f.ok()),
                         _ = after(wait) => Event::Timeout,
@@ -613,9 +612,9 @@ fn spawn_conn(
             // Linger: our final Ack may have been lost; re-ack
             // retransmitted Fins for a few RTOs so the peer can also
             // finish cleanly.
-            let linger_until = sim::now() + st.params.rto * 6;
+            let linger_until = rt::now() + st.params.rto * 6;
             loop {
-                let remaining = linger_until.saturating_sub(sim::now());
+                let remaining = linger_until.saturating_sub(rt::now());
                 if remaining == 0 {
                     break;
                 }
@@ -671,9 +670,9 @@ mod tests {
             let cl = Cluster::new(params);
             let server_iface = cl.iface(NodeId(1));
             let listener = listen(&server_iface, 80, RdtParams::default()).unwrap();
-            sim::spawn_daemon("echo-server", async move {
+            rt::spawn_daemon("echo-server", async move {
                 while let Ok(conn) = listener.accept().await {
-                    sim::spawn_daemon("echo-conn", async move {
+                    rt::spawn_daemon("echo-conn", async move {
                         while let Ok(msg) = conn.recv().await {
                             if conn.send(msg).await.is_err() {
                                 break;
@@ -728,7 +727,7 @@ mod tests {
                 ..Default::default()
             };
             let listener = listen(&cl.iface(NodeId(1)), 80, rdt).unwrap();
-            let sink = sim::spawn(async move {
+            let sink = rt::spawn(async move {
                 let conn = listener.accept().await.unwrap();
                 let mut got = Vec::new();
                 while let Ok(m) = conn.recv().await {
@@ -749,7 +748,7 @@ mod tests {
                 assert_eq!(m, &vec![i as u8; 500]);
             }
             // Go-back-N never buffers out of order.
-            assert_eq!(sim::stat_get("net.ooo_buffered"), 0);
+            assert_eq!(rt::stat_get("net.ooo_buffered"), 0);
         })
         .unwrap();
     }
@@ -761,7 +760,7 @@ mod tests {
             let cl = Cluster::new(params);
             let rdt = RdtParams::default(); // HoleFill.
             let listener = listen(&cl.iface(NodeId(1)), 80, rdt).unwrap();
-            let sink = sim::spawn(async move {
+            let sink = rt::spawn(async move {
                 let conn = listener.accept().await.unwrap();
                 let mut n = 0;
                 while conn.recv().await.is_ok() {
@@ -778,7 +777,7 @@ mod tests {
             conn.finish();
             assert_eq!(sink.join().await.unwrap(), 40);
             assert!(
-                sim::stat_get("net.ooo_buffered") > 0,
+                rt::stat_get("net.ooo_buffered") > 0,
                 "20% loss over 40 messages must create holes to buffer"
             );
         })
@@ -814,9 +813,9 @@ mod tests {
                 ..Default::default()
             };
             let listener = listen(&cl.iface(NodeId(1)), 80, rdt).unwrap();
-            sim::spawn_daemon("blackhole-sink", async move {
+            rt::spawn_daemon("blackhole-sink", async move {
                 while let Ok(conn) = listener.accept().await {
-                    sim::spawn_daemon("bh-conn", async move { while conn.recv().await.is_ok() {} });
+                    rt::spawn_daemon("bh-conn", async move { while conn.recv().await.is_ok() {} });
                 }
             });
             let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, rdt)
@@ -829,9 +828,9 @@ mod tests {
             }
             conn.finish();
             // Wait out the retries; the connection must abort.
-            sim::sleep(50_000_000).await;
+            rt::sleep(50_000_000).await;
             assert!(
-                sim::stat_get("net.conn_aborted") >= 1,
+                rt::stat_get("net.conn_aborted") >= 1,
                 "sender must give up on a black link"
             );
             assert_eq!(conn.recv().await, Err(NetError::Closed));
@@ -875,9 +874,9 @@ mod tests {
         s.block_on(async move {
             let cl = Cluster::new(params);
             let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
-            sim::spawn_daemon("sink", async move {
+            rt::spawn_daemon("sink", async move {
                 while let Ok(conn) = listener.accept().await {
-                    sim::spawn_daemon(
+                    rt::spawn_daemon(
                         "sink-conn",
                         async move { while conn.recv().await.is_ok() {} },
                     );
@@ -891,9 +890,9 @@ mod tests {
             }
             conn.finish();
             // Wait for the transport to finish its work.
-            sim::sleep(30_000_000).await;
+            rt::sleep(30_000_000).await;
             assert!(
-                sim::stat_get("net.retransmits") > 0,
+                rt::stat_get("net.retransmits") > 0,
                 "25% loss must force retransmissions"
             );
         })
@@ -924,9 +923,9 @@ mod tests {
         s.block_on(async move {
             let cl = Cluster::new(params);
             let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
-            sim::spawn_daemon("multi-server", async move {
+            rt::spawn_daemon("multi-server", async move {
                 while let Ok(conn) = listener.accept().await {
-                    sim::spawn_daemon("multi-conn", async move {
+                    rt::spawn_daemon("multi-conn", async move {
                         while let Ok(msg) = conn.recv().await {
                             let mut reply = msg;
                             reply.push(0xAA);
@@ -941,7 +940,7 @@ mod tests {
             let mut handles = Vec::new();
             for i in 0..8u8 {
                 let iface = iface.clone();
-                handles.push(sim::spawn(async move {
+                handles.push(rt::spawn(async move {
                     let conn = connect(&iface, NodeId(1), 80, RdtParams::default())
                         .await
                         .unwrap();
@@ -967,7 +966,7 @@ mod tests {
             };
             let cl = Cluster::new(ClusterParams { nodes: 2, link });
             let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
-            let collect = sim::spawn(async move {
+            let collect = rt::spawn(async move {
                 let conn = listener.accept().await.unwrap();
                 let mut got = Vec::new();
                 while let Ok(msg) = conn.recv().await {

@@ -11,7 +11,7 @@
 
 use std::marker::PhantomData;
 
-use chanos_sim::{self as sim, Cycles};
+use chanos_rt::{self as rt, Cycles};
 
 use crate::node::NetError;
 use crate::rdt::Conn;
@@ -92,8 +92,8 @@ impl<T: Wire> RemoteSender<T> {
     /// Encodes and ships one value.
     pub async fn send(&self, value: &T) -> Result<(), NetError> {
         let bytes = value.to_bytes();
-        sim::delay(self.cost.cost(bytes.len())).await;
-        sim::stat_add("net.remote_bytes_sent", bytes.len() as u64);
+        rt::delay(self.cost.cost(bytes.len())).await;
+        rt::stat_add("net.remote_bytes_sent", bytes.len() as u64);
         self.conn.send(bytes).await
     }
 
@@ -127,7 +127,7 @@ impl<T: Wire> RemoteReceiver<T> {
             .recv()
             .await
             .map_err(|_| RemoteRecvError::Closed)?;
-        sim::delay(self.cost.cost(bytes.len())).await;
+        rt::delay(self.cost.cost(bytes.len())).await;
         T::from_bytes(&bytes).map_err(RemoteRecvError::Decode)
     }
 }
@@ -146,7 +146,7 @@ mod tests {
         s.block_on(async {
             let cl = Cluster::new(ClusterParams::default());
             let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
-            let server = sim::spawn(async move {
+            let server = rt::spawn(async move {
                 let conn = listener.accept().await.unwrap();
                 let rx = RemoteReceiver::<(u64, String)>::new(conn, SerdeCost::default());
                 let mut got = Vec::new();
@@ -178,7 +178,7 @@ mod tests {
         s.block_on(async {
             let cl = Cluster::new(ClusterParams::default());
             let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
-            sim::spawn_daemon("sink", async move {
+            rt::spawn_daemon("sink", async move {
                 let conn = listener.accept().await.unwrap();
                 let rx = RemoteReceiver::<Vec<u8>>::new(conn, SerdeCost::FREE);
                 while rx.recv().await.is_ok() {}
@@ -191,9 +191,9 @@ mod tests {
                 per_byte: 10,
             };
             let tx = RemoteSender::<Vec<u8>>::new(conn, cost);
-            let t0 = sim::now();
+            let t0 = rt::now();
             tx.send(&vec![0u8; 100]).await.unwrap();
-            let elapsed = sim::now() - t0;
+            let elapsed = rt::now() - t0;
             // encoded_len = 4 + 100; cost = 1000 + 10*104 = 2040.
             assert!(
                 elapsed >= 2_040,
@@ -209,7 +209,7 @@ mod tests {
         s.block_on(async {
             let cl = Cluster::new(ClusterParams::default());
             let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
-            let server = sim::spawn(async move {
+            let server = rt::spawn(async move {
                 let conn = listener.accept().await.unwrap();
                 // Expecting u64 but the peer sends a short string.
                 let rx = RemoteReceiver::<u64>::new(conn, SerdeCost::FREE);

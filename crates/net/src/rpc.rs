@@ -16,14 +16,11 @@ use std::future::Future;
 use std::sync::Arc;
 use std::sync::Mutex;
 
-use chanos_csp::{reply_channel, ReplyTo};
-use chanos_sim as sim;
+use chanos_rt::{self as rt, plock, reply_channel, ReplyTo};
 
 use crate::rdt::Conn;
 use crate::remote::SerdeCost;
 use crate::wire::Wire;
-
-use chanos_sim::plock;
 
 /// Error from [`RpcClient::call`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,13 +76,13 @@ impl<Req: Wire, Resp: Wire + 'static> RpcClient<Req, Resp> {
         let pending: Pending<Resp> = Pending::<Resp>::default();
         let dispatcher_conn = Arc::clone(&conn);
         let dispatcher_pending = Arc::clone(&pending);
-        sim::spawn_daemon("rpc-dispatch", async move {
+        rt::spawn_daemon("rpc-dispatch", async move {
             loop {
                 let bytes = match dispatcher_conn.recv().await {
                     Ok(b) => b,
                     Err(_) => break,
                 };
-                sim::delay(cost.cost(bytes.len())).await;
+                rt::delay(cost.cost(bytes.len())).await;
                 let parsed: Result<(u64, Resp), _> = <(u64, Resp)>::from_bytes(&bytes);
                 match parsed {
                     Ok((id, resp)) => {
@@ -93,10 +90,10 @@ impl<Req: Wire, Resp: Wire + 'static> RpcClient<Req, Resp> {
                         if let Some(reply) = waiter {
                             let _ = reply.send(Ok(resp)).await;
                         } else {
-                            sim::stat_incr("rpc.orphan_responses");
+                            rt::stat_incr("rpc.orphan_responses");
                         }
                     }
-                    Err(_) => sim::stat_incr("rpc.bad_responses"),
+                    Err(_) => rt::stat_incr("rpc.bad_responses"),
                 }
             }
             // Connection gone: fail everything still outstanding.
@@ -133,8 +130,8 @@ impl<Req: Wire, Resp: Wire + 'static> RpcClient<Req, Resp> {
         let mut bytes = Vec::new();
         id.encode(&mut bytes);
         req.encode(&mut bytes);
-        sim::delay(self.cost.cost(bytes.len())).await;
-        sim::stat_incr("rpc.calls");
+        rt::delay(self.cost.cost(bytes.len())).await;
+        rt::stat_incr("rpc.calls");
         if self.conn.send(bytes).await.is_err() {
             plock(&self.pending).remove(&id);
             return Err(RpcError::Closed);
@@ -164,12 +161,12 @@ where
     Fut: Future<Output = Resp>,
 {
     while let Ok(bytes) = conn.recv().await {
-        sim::delay(cost.cost(bytes.len())).await;
+        rt::delay(cost.cost(bytes.len())).await;
         let parsed: Result<(u64, Req), _> = <(u64, Req)>::from_bytes(&bytes);
         let (id, req) = match parsed {
             Ok(v) => v,
             Err(_) => {
-                sim::stat_incr("rpc.bad_requests");
+                rt::stat_incr("rpc.bad_requests");
                 continue;
             }
         };
@@ -177,8 +174,8 @@ where
         let mut out = Vec::new();
         id.encode(&mut out);
         resp.encode(&mut out);
-        sim::delay(cost.cost(out.len())).await;
-        sim::stat_incr("rpc.served");
+        rt::delay(cost.cost(out.len())).await;
+        rt::stat_incr("rpc.served");
         if conn.send(out).await.is_err() {
             break;
         }
@@ -203,7 +200,7 @@ mod tests {
         };
         let cl = Cluster::new(ClusterParams { nodes: 2, link });
         let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
-        sim::spawn_daemon("kv-server", async move {
+        rt::spawn_daemon("kv-server", async move {
             let conn = listener.accept().await.unwrap();
             let store = Arc::new(Mutex::new(BTreeMap::<String, u64>::new()));
             serve(
@@ -257,7 +254,7 @@ mod tests {
             let mut handles = Vec::new();
             for i in 1..=8u64 {
                 let c = client.clone();
-                handles.push(sim::spawn(async move {
+                handles.push(rt::spawn(async move {
                     let got = c.call(&(format!("k{i}"), 0)).await.unwrap();
                     assert_eq!(got, Some(i * 100), "call {i} got someone else's answer");
                 }));
@@ -288,7 +285,7 @@ mod tests {
         s.block_on(async {
             let cl = Cluster::new(ClusterParams::default());
             let listener = listen(&cl.iface(NodeId(1)), 80, RdtParams::default()).unwrap();
-            sim::spawn_daemon("rude-server", async move {
+            rt::spawn_daemon("rude-server", async move {
                 let conn = listener.accept().await.unwrap();
                 // Read one request, then hang up without answering.
                 let _ = conn.recv().await;

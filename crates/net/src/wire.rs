@@ -38,7 +38,11 @@ impl std::error::Error for WireError {}
 ///
 /// `decode` consumes from the front of `input`, leaving the rest for
 /// subsequent fields — tuples and structs decode by chaining.
-pub trait Wire: Sized {
+///
+/// `Send + 'static` is a supertrait: wire values are plain owned
+/// data, and requiring it here lets remote channels and RPC endpoints
+/// run unchanged on the real-threads backend.
+pub trait Wire: Sized + Send + 'static {
     /// Appends the encoding of `self` to `out`.
     fn encode(&self, out: &mut Vec<u8>);
 

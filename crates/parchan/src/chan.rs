@@ -156,10 +156,78 @@ static WAKES_ELIDED: AtomicU64 = AtomicU64::new(0);
 static OVERFLOW_SPILLS: AtomicU64 = AtomicU64::new(0);
 static RECV_MANY_CALLS: AtomicU64 = AtomicU64::new(0);
 static RECV_MANY_MSGS: AtomicU64 = AtomicU64::new(0);
+static REPLY_WAKES_COALESCED: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 fn bump(c: &AtomicU64) {
     c.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Reply-wake coalescing.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// When `Some`, receiver wakes triggered by sends on this thread
+    /// are parked here (deduplicated by task) instead of delivered
+    /// immediately; the enclosing [`coalesce_wakes`] scope flushes
+    /// them on exit.
+    static WAKE_SCOPE: std::cell::RefCell<Option<Vec<Waker>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Delivers a receiver wake, honoring an active [`coalesce_wakes`]
+/// scope: inside a scope, wakes for the same task collapse into one
+/// (counted as `chan.reply_wakes_coalesced`) and everything flushes
+/// when the scope ends.
+fn deliver_recv_wake(w: Waker) {
+    WAKE_SCOPE.with(|s| match &mut *s.borrow_mut() {
+        Some(buf) => {
+            if buf.iter().any(|q| q.will_wake(&w)) {
+                bump(&REPLY_WAKES_COALESCED);
+            } else {
+                buf.push(w);
+            }
+        }
+        None => w.wake(),
+    });
+}
+
+/// Flushes the scope's collected wakes even if the closure panics (a
+/// swallowed wake would strand a parked peer forever).
+struct WakeScopeGuard {
+    prev: Option<Vec<Waker>>,
+}
+
+impl Drop for WakeScopeGuard {
+    fn drop(&mut self) {
+        let collected =
+            WAKE_SCOPE.with(|s| std::mem::replace(&mut *s.borrow_mut(), self.prev.take()));
+        if let Some(ws) = collected {
+            for w in ws {
+                w.wake();
+            }
+        }
+    }
+}
+
+/// Runs `f` with receiver wakes coalesced: sends inside the scope
+/// that would wake a parked peer collect their wakers instead, one
+/// per distinct task, and deliver them when the scope exits.
+///
+/// This is the **reply-batching** primitive: a server that drained a
+/// burst of requests answers them all inside one scope, so a client
+/// with several outstanding replies is woken once for the whole
+/// batch instead of once per message (it would otherwise wake, find
+/// one reply, re-park, and repeat). Duplicate wakes avoided are
+/// counted as `chan.reply_wakes_coalesced`.
+///
+/// `f` must be synchronous (replies published with `try_send`); the
+/// scope is per-thread and must not span an `.await`.
+pub fn coalesce_wakes<R>(f: impl FnOnce() -> R) -> R {
+    let prev = WAKE_SCOPE.with(|s| s.borrow_mut().replace(Vec::new()));
+    let _guard = WakeScopeGuard { prev };
+    f()
 }
 
 /// All channel counters: `(name, value)` pairs. The counters are
@@ -178,6 +246,8 @@ fn bump(c: &AtomicU64) {
 ///   ring segment into the spill deque (took the lock).
 /// * `chan.recv_many_calls` / `chan.recv_many_msgs` — batched drains
 ///   and the messages they moved.
+/// * `chan.reply_wakes_coalesced` — duplicate same-task wakes
+///   absorbed by a [`coalesce_wakes`] reply scope.
 pub fn chan_counters() -> Vec<(&'static str, u64)> {
     vec![
         ("chan.fast_sends", FAST_SENDS.load(Ordering::Relaxed)),
@@ -198,6 +268,10 @@ pub fn chan_counters() -> Vec<(&'static str, u64)> {
         (
             "chan.recv_many_msgs",
             RECV_MANY_MSGS.load(Ordering::Relaxed),
+        ),
+        (
+            "chan.reply_wakes_coalesced",
+            REPLY_WAKES_COALESCED.load(Ordering::Relaxed),
         ),
     ]
 }
@@ -224,6 +298,7 @@ pub fn reset_chan_counters() {
         &OVERFLOW_SPILLS,
         &RECV_MANY_CALLS,
         &RECV_MANY_MSGS,
+        &REPLY_WAKES_COALESCED,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -685,7 +760,7 @@ impl<T> State<T> {
     fn wake_one_recv(&mut self) {
         if let Some(w) = self.recv_waiters.pop_front() {
             bump(&RECV_WAKES);
-            w.waker.wake();
+            deliver_recv_wake(w.waker);
         }
     }
 
@@ -1177,7 +1252,7 @@ impl<T> Ring<T> {
         };
         if let Some(w) = w {
             bump(&RECV_WAKES);
-            w.waker.wake();
+            deliver_recv_wake(w.waker);
         }
     }
 

@@ -45,7 +45,7 @@ mod executor;
 mod timer;
 
 pub use chan::{
-    chan_counter, chan_counters, channel, channel_with_mode, default_chan_mode,
+    chan_counter, chan_counters, channel, channel_with_mode, coalesce_wakes, default_chan_mode,
     reset_chan_counters, set_default_chan_mode, Capacity, ChanMode, Receiver, RecvError, RecvFut,
     RecvManyFut, SendError, SendFut, Sender, TryRecvError, TrySendError,
 };

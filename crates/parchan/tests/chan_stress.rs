@@ -397,3 +397,51 @@ fn fast_path_counters_move() {
         "uncontended bounded sends should all take the fast path"
     );
 }
+
+#[test]
+fn reply_burst_coalesces_wakes_for_one_peer() {
+    use chanos_parchan::{coalesce_wakes, join_all, Sender};
+    // A server answering a drained burst of requests inside a
+    // coalesce_wakes scope must wake a peer with several outstanding
+    // replies once per burst, not once per reply.
+    let rt = Runtime::new(2);
+    let (req_tx, req_rx) = chanos_parchan::channel::<Sender<u64>>(Capacity::Unbounded);
+    let server = rt.spawn(async move {
+        let mut buf: Vec<Sender<u64>> = Vec::new();
+        loop {
+            let n = req_rx.recv_many(&mut buf, 64).await;
+            if n == 0 {
+                break;
+            }
+            coalesce_wakes(|| {
+                for reply in buf.drain(..) {
+                    let _ = reply.try_send(7);
+                }
+            });
+        }
+    });
+    let before = chan_counter("chan.reply_wakes_coalesced");
+    rt.block_on(async {
+        for _ in 0..200 {
+            // Pipeline 16 calls, then await all replies: the replies
+            // land while this task is parked on all 16 channels.
+            let mut replies = Vec::new();
+            for _ in 0..16 {
+                let (rtx, rrx) = chanos_parchan::channel::<u64>(Capacity::Bounded(1));
+                req_tx.send(rtx).await.unwrap();
+                replies.push(rrx);
+            }
+            let futs: Vec<_> = replies.iter().map(|r| r.recv()).collect();
+            for v in join_all(futs).await {
+                assert_eq!(v.unwrap(), 7);
+            }
+        }
+    });
+    drop(req_tx);
+    server.join_blocking().unwrap();
+    assert!(
+        chan_counter("chan.reply_wakes_coalesced") > before,
+        "bursts of same-peer replies must coalesce at least once"
+    );
+    rt.shutdown();
+}

@@ -12,17 +12,26 @@
 //! task to the task that must act to unblock it; a cycle in that
 //! graph that persists across samples is a deadlock.
 //!
-//! The registry is per-thread (the simulator is single-threaded and
-//! deterministic), and endpoints clean up after themselves on drop,
-//! so state never leaks between simulations.
+//! On the simulator the registry is per-thread (the simulator is
+//! single-threaded and deterministic, and parallel test threads stay
+//! isolated); on the real-threads backend — where one runtime's tasks
+//! run on many worker threads — it is process-global behind a mutex.
+//! Endpoints clean up after themselves on drop either way, so state
+//! never leaks between runs.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Mutex;
 
-use chanos_sim::TaskId;
+use chanos_rt::{plock, Backend};
 
 use crate::spec::Dir;
+
+/// Backend-neutral identity of a task, as produced by
+/// [`chanos_rt::current_task_key`]: the packed simulator `TaskId` on
+/// `Backend::Sim`, a facade-assigned key on `Backend::Threads`.
+pub type TaskKey = u64;
 
 /// Identifies one monitored session (a pair of endpoints).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -57,7 +66,7 @@ impl Side {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockedOp {
     /// The blocked task.
-    pub task: TaskId,
+    pub task: TaskKey,
     /// Session it is blocked on.
     pub session: SessionId,
     /// Which endpoint it holds.
@@ -72,49 +81,70 @@ pub struct BlockedOp {
     pub op: u64,
 }
 
-#[derive(Default)]
 struct Registry {
     next_session: u64,
     next_op: u64,
     /// Task that most recently operated each endpoint ("owner").
-    owners: BTreeMap<(SessionId, Side), TaskId>,
+    owners: BTreeMap<(SessionId, Side), TaskKey>,
     /// Currently blocked operations, keyed by endpoint.
-    blocked: BTreeMap<(SessionId, Side), (TaskId, Dir, u64)>,
+    blocked: BTreeMap<(SessionId, Side), (TaskKey, Dir, u64)>,
+}
+
+impl Registry {
+    const fn empty() -> Registry {
+        Registry {
+            next_session: 0,
+            next_op: 0,
+            owners: BTreeMap::new(),
+            blocked: BTreeMap::new(),
+        }
+    }
 }
 
 thread_local! {
-    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+    /// Sim (and off-runtime) registry: per-thread, so parallel test
+    /// simulations never observe each other's sessions.
+    static REGISTRY: RefCell<Registry> = const { RefCell::new(Registry::empty()) };
+}
+
+/// Threads-backend registry: the runtime's tasks hop across worker
+/// threads, so blocked-op state must be shared.
+static GLOBAL_REGISTRY: Mutex<Registry> = Mutex::new(Registry::empty());
+
+fn with_reg<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    if chanos_rt::try_backend() == Some(Backend::Threads) {
+        f(&mut plock(&GLOBAL_REGISTRY))
+    } else {
+        REGISTRY.with(|r| f(&mut r.borrow_mut()))
+    }
 }
 
 /// Allocates a fresh session id (used by [`session`](crate::session)).
 pub fn next_session_id() -> SessionId {
-    REGISTRY.with(|r| {
-        let mut r = r.borrow_mut();
+    with_reg(|r| {
         r.next_session += 1;
         SessionId(r.next_session)
     })
 }
 
 /// Records `task` as the owner of `(session, side)`.
-pub(crate) fn note_owner(session: SessionId, side: Side, task: TaskId) {
-    REGISTRY.with(|r| {
-        r.borrow_mut().owners.insert((session, side), task);
+pub(crate) fn note_owner(session: SessionId, side: Side, task: TaskKey) {
+    with_reg(|r| {
+        r.owners.insert((session, side), task);
     });
 }
 
 /// Removes all registry entries for one endpoint (called on drop).
 pub(crate) fn drop_side(session: SessionId, side: Side) {
-    REGISTRY.with(|r| {
-        let mut r = r.borrow_mut();
+    with_reg(|r| {
         r.owners.remove(&(session, side));
         r.blocked.remove(&(session, side));
     });
 }
 
 /// Marks an operation blocked for the lifetime of the returned guard.
-pub(crate) fn block(session: SessionId, side: Side, task: TaskId, dir: Dir) -> BlockGuard {
-    REGISTRY.with(|r| {
-        let mut r = r.borrow_mut();
+pub(crate) fn block(session: SessionId, side: Side, task: TaskKey, dir: Dir) -> BlockGuard {
+    with_reg(|r| {
         r.next_op += 1;
         let op = r.next_op;
         r.blocked.insert((session, side), (task, dir, op));
@@ -131,26 +161,28 @@ pub(crate) struct BlockGuard {
 
 impl Drop for BlockGuard {
     fn drop(&mut self) {
-        REGISTRY.with(|r| {
-            r.borrow_mut().blocked.remove(&(self.session, self.side));
+        with_reg(|r| {
+            r.blocked.remove(&(self.session, self.side));
         });
     }
 }
 
-/// Forgets all sessions. Tests that share a thread across simulations
-/// may call this for full isolation; endpoint drops normally make it
-/// unnecessary.
+/// Forgets all sessions (both the calling thread's simulator registry
+/// and the shared threads-backend registry). Tests that share a
+/// thread across simulations may call this for full isolation;
+/// endpoint drops normally make it unnecessary.
 pub fn reset() {
-    REGISTRY.with(|r| *r.borrow_mut() = Registry::default());
+    REGISTRY.with(|r| *r.borrow_mut() = Registry::empty());
+    *plock(&GLOBAL_REGISTRY) = Registry::empty();
 }
 
 /// A directed wait-for graph over nodes of type `N`.
 ///
 /// An edge `(a, b)` means `a` is blocked and only `b` can unblock it.
 /// Generic so the cycle algorithm is testable with plain integers;
-/// the live system instantiates it with [`TaskId`] via [`snapshot`].
+/// the live system instantiates it with [`TaskKey`] via [`snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WaitGraph<N: Copy + Ord = TaskId> {
+pub struct WaitGraph<N: Copy + Ord = TaskKey> {
     /// Wait-for edges.
     pub edges: Vec<(N, N)>,
 }
@@ -235,12 +267,12 @@ pub struct Snapshot {
     /// Blocked operations at snapshot time.
     pub blocked: Vec<BlockedOp>,
     /// Wait-for edges derived from `blocked` and endpoint ownership.
-    pub graph: WaitGraph<TaskId>,
+    pub graph: WaitGraph<TaskKey>,
 }
 
 impl Snapshot {
     /// Convenience: cycles of the underlying graph.
-    pub fn cycles(&self) -> Vec<Vec<TaskId>> {
+    pub fn cycles(&self) -> Vec<Vec<TaskKey>> {
         self.graph.cycles()
     }
 
@@ -252,8 +284,7 @@ impl Snapshot {
 
 /// Captures the current wait-for graph of all monitored sessions.
 pub fn snapshot() -> Snapshot {
-    REGISTRY.with(|r| {
-        let r = r.borrow();
+    with_reg(|r| {
         let mut snap = Snapshot::default();
         for (&(session, side), &(task, dir, op)) in &r.blocked {
             snap.blocked.push(BlockedOp {
@@ -279,14 +310,18 @@ pub fn snapshot() -> Snapshot {
 #[derive(Debug, Clone, Default)]
 pub struct WatchReport {
     /// Deadlock cycles that persisted across two consecutive samples.
-    pub confirmed: Vec<Vec<TaskId>>,
+    pub confirmed: Vec<Vec<TaskKey>>,
     /// Number of samples taken.
     pub samples: u64,
 }
 
-/// Samples the wait-for graph every `period` cycles until `until`
-/// (virtual time), confirming cycles that persist across two
+/// Samples the wait-for graph every `period` cycles for the next
+/// `for_cycles` cycles, confirming cycles that persist across two
 /// consecutive samples.
+///
+/// Cycles are virtual time on the simulator and wall-clock
+/// nanoseconds on the real-threads backend (1 cycle ≈ 1 ns), so the
+/// same watchdog code guards both.
 ///
 /// Persistence is judged on *operation instances*, not just task
 /// identities: a cycle counts as the same cycle only if every task in
@@ -295,32 +330,33 @@ pub struct WatchReport {
 /// in-flight window happens to align with the sampling period
 /// produces fresh operation ids every round trip and is never
 /// confirmed; a true deadlock never changes them.
-pub async fn watch(period: chanos_sim::Cycles, until: chanos_sim::Cycles) -> WatchReport {
+pub async fn watch(period: chanos_rt::Cycles, for_cycles: chanos_rt::Cycles) -> WatchReport {
+    let until = chanos_rt::now() + for_cycles;
     let mut report = WatchReport::default();
     // Each signature pairs the tasks of a cycle with their blocked-op
     // instance ids.
-    let mut prev: Vec<Vec<(TaskId, u64)>> = Vec::new();
-    while chanos_sim::now() < until {
-        chanos_sim::sleep(period).await;
+    let mut prev: Vec<Vec<(TaskKey, u64)>> = Vec::new();
+    while chanos_rt::now() < until {
+        chanos_rt::sleep(period).await;
         report.samples += 1;
         let snap = snapshot();
-        let op_of = |t: TaskId| {
+        let op_of = |t: TaskKey| {
             snap.blocked
                 .iter()
                 .find(|b| b.task == t)
                 .map(|b| b.op)
                 .unwrap_or(0)
         };
-        let cur: Vec<Vec<(TaskId, u64)>> = snap
+        let cur: Vec<Vec<(TaskKey, u64)>> = snap
             .cycles()
             .into_iter()
             .map(|cycle| cycle.into_iter().map(|t| (t, op_of(t))).collect())
             .collect();
         for sig in &cur {
-            let tasks: Vec<TaskId> = sig.iter().map(|(t, _)| *t).collect();
+            let tasks: Vec<TaskKey> = sig.iter().map(|(t, _)| *t).collect();
             if prev.contains(sig) && !report.confirmed.contains(&tasks) {
                 report.confirmed.push(tasks);
-                chanos_sim::stat_incr("proto.deadlocks_confirmed");
+                chanos_rt::stat_incr("proto.deadlocks_confirmed");
             }
         }
         prev = cur;

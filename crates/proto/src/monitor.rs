@@ -18,12 +18,11 @@
 //! conformance checking — the runtime complement to the static
 //! [`check_compatible`](crate::check_compatible).
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use chanos_csp::{channel, Capacity, Receiver, Sender};
-use chanos_sim as sim;
+use chanos_rt::{self as rt, channel, Capacity, Receiver, Sender};
 
 use crate::deadlock::{self, SessionId, Side};
 use crate::spec::{Dir, Protocol, StateId};
@@ -31,11 +30,14 @@ use crate::trace::Recorder;
 
 /// Modeled cost of one automaton step check: a bounds check plus a
 /// small transition-table walk, charged on every monitored send and
-/// receive so experiments price the monitor honestly.
-pub const CHECK_COST: chanos_sim::Cycles = 12;
+/// receive so experiments price the monitor honestly. Dispatched
+/// through the `chanos-rt` facade: simulated cycles on the simulator
+/// (traces unchanged), a cooperative yield on real threads (where the
+/// check itself is the cost).
+pub const CHECK_COST: chanos_rt::Cycles = 12;
 
 /// Modeled cost of appending one event to an attached [`Recorder`].
-pub const RECORD_COST: chanos_sim::Cycles = 8;
+pub const RECORD_COST: chanos_rt::Cycles = 8;
 
 /// Types that expose a protocol tag.
 ///
@@ -135,18 +137,19 @@ impl std::error::Error for NotAtEnd {}
 /// `Out` is the message type this endpoint emits, `In` the type it
 /// consumes. The endpoint is deliberately *not* `Clone`: a session is
 /// a linear resource, and sharing one would let two tasks race the
-/// automaton.
+/// automaton. It *is* `Send`, so a session endpoint can be handed to
+/// a task on either backend.
 pub struct Endpoint<Out: Tagged, In: Tagged> {
     session: SessionId,
     side: Side,
-    proto: Rc<Protocol>,
-    state: Cell<StateId>,
+    proto: Arc<Protocol>,
+    state: AtomicUsize,
     tx: Sender<Out>,
     rx: Receiver<In>,
     recorder: Option<Recorder>,
 }
 
-impl<Out: Tagged, In: Tagged> Endpoint<Out, In> {
+impl<Out: Tagged + Send + 'static, In: Tagged + Send + 'static> Endpoint<Out, In> {
     /// The session this endpoint belongs to.
     pub fn session(&self) -> SessionId {
         self.session
@@ -154,7 +157,7 @@ impl<Out: Tagged, In: Tagged> Endpoint<Out, In> {
 
     /// Current automaton state.
     pub fn state(&self) -> StateId {
-        self.state.get()
+        StateId(self.state.load(Ordering::Acquire))
     }
 
     /// The protocol this endpoint enforces.
@@ -164,7 +167,7 @@ impl<Out: Tagged, In: Tagged> Endpoint<Out, In> {
 
     /// True if the conversation may stop here.
     pub fn at_end(&self) -> bool {
-        self.proto.is_end(self.state.get())
+        self.proto.is_end(self.state())
     }
 
     /// Attaches a trace recorder; subsequent operations are logged.
@@ -173,10 +176,10 @@ impl<Out: Tagged, In: Tagged> Endpoint<Out, In> {
     }
 
     fn violation(&self, dir: Dir, tag: &str) -> ViolationInfo {
-        sim::stat_incr("proto.violations");
+        rt::stat_incr("proto.violations");
         ViolationInfo {
-            state: self.state.get(),
-            state_name: self.proto.states[self.state.get().0].name.clone(),
+            state: self.state(),
+            state_name: self.proto.states[self.state().0].name.clone(),
             dir,
             tag: tag.to_string(),
             session: self.session,
@@ -188,28 +191,28 @@ impl<Out: Tagged, In: Tagged> Endpoint<Out, In> {
     /// On violation the value never reaches the wire and is handed
     /// back inside the error.
     pub async fn send(&self, value: Out) -> Result<(), MonSendError<Out>> {
-        sim::delay(CHECK_COST).await;
+        rt::delay(CHECK_COST).await;
         let tag = value.tag();
-        let next = match self.proto.step(self.state.get(), Dir::Send, tag) {
+        let next = match self.proto.step(self.state(), Dir::Send, tag) {
             Some(next) => next,
             None => {
                 let info = self.violation(Dir::Send, tag);
                 return Err(MonSendError::Violation { value, info });
             }
         };
-        let me = sim::current_task();
+        let me = rt::current_task_key();
         deadlock::note_owner(self.session, self.side, me);
         let guard = deadlock::block(self.session, self.side, me, Dir::Send);
         let result = self.tx.send(value).await;
         drop(guard);
         match result {
             Ok(()) => {
-                sim::stat_incr("proto.monitored_sends");
+                rt::stat_incr("proto.monitored_sends");
                 if let Some(r) = &self.recorder {
-                    sim::delay(RECORD_COST).await;
+                    rt::delay(RECORD_COST).await;
                     r.log(Dir::Send, tag);
                 }
-                self.state.set(next);
+                self.state.store(next.0, Ordering::Release);
                 Ok(())
             }
             Err(e) => Err(MonSendError::Closed(e.into_inner())),
@@ -223,7 +226,7 @@ impl<Out: Tagged, In: Tagged> Endpoint<Out, In> {
     /// already crossed the wire) but is returned inside the error so
     /// the caller can quarantine it.
     pub async fn recv(&self) -> Result<In, MonRecvError<In>> {
-        let me = sim::current_task();
+        let me = rt::current_task_key();
         deadlock::note_owner(self.session, self.side, me);
         let guard = deadlock::block(self.session, self.side, me, Dir::Recv);
         let result = self.rx.recv().await;
@@ -232,16 +235,16 @@ impl<Out: Tagged, In: Tagged> Endpoint<Out, In> {
             Ok(v) => v,
             Err(_) => return Err(MonRecvError::Closed),
         };
-        sim::delay(CHECK_COST).await;
+        rt::delay(CHECK_COST).await;
         let tag = value.tag();
-        match self.proto.step(self.state.get(), Dir::Recv, tag) {
+        match self.proto.step(self.state(), Dir::Recv, tag) {
             Some(next) => {
-                sim::stat_incr("proto.monitored_recvs");
+                rt::stat_incr("proto.monitored_recvs");
                 if let Some(r) = &self.recorder {
-                    sim::delay(RECORD_COST).await;
+                    rt::delay(RECORD_COST).await;
                     r.log(Dir::Recv, tag);
                 }
-                self.state.set(next);
+                self.state.store(next.0, Ordering::Release);
                 Ok(value)
             }
             None => {
@@ -257,10 +260,10 @@ impl<Out: Tagged, In: Tagged> Endpoint<Out, In> {
         if self.at_end() {
             Ok(())
         } else {
-            sim::stat_incr("proto.premature_closes");
+            rt::stat_incr("proto.premature_closes");
             Err(NotAtEnd {
-                state: self.state.get(),
-                state_name: self.proto.states[self.state.get().0].name.clone(),
+                state: self.state(),
+                state_name: self.proto.states[self.state().0].name.clone(),
             })
         }
     }
@@ -279,7 +282,7 @@ impl<Out: Tagged, In: Tagged> fmt::Debug for Endpoint<Out, In> {
             "Endpoint({}, {:?}, state {})",
             self.session,
             self.side,
-            self.state.get()
+            StateId(self.state.load(Ordering::Acquire))
         )
     }
 }
@@ -294,8 +297,8 @@ impl<Out: Tagged, In: Tagged> fmt::Debug for Endpoint<Out, In> {
 ///
 /// ```
 /// use chanos_proto::{rpc_loop, session, Tagged};
-/// use chanos_csp::Capacity;
-/// use chanos_sim::{spawn, Simulation};
+/// use chanos_rt::{spawn, Capacity};
+/// use chanos_sim::Simulation;
 ///
 /// #[derive(Debug)]
 /// enum Req { Get(u32) }
@@ -326,7 +329,7 @@ impl<Out: Tagged, In: Tagged> fmt::Debug for Endpoint<Out, In> {
 ///     .unwrap();
 /// assert_eq!(got, 40);
 /// ```
-pub fn session<Out: Tagged, In: Tagged>(
+pub fn session<Out: Tagged + Send + 'static, In: Tagged + Send + 'static>(
     proto: &Protocol,
     cap: Capacity,
 ) -> (Endpoint<Out, In>, Endpoint<In, Out>) {
@@ -336,8 +339,8 @@ pub fn session<Out: Tagged, In: Tagged>(
     let left = Endpoint {
         session: id,
         side: Side::Left,
-        proto: Rc::new(proto.clone()),
-        state: Cell::new(proto.start),
+        proto: Arc::new(proto.clone()),
+        state: AtomicUsize::new(proto.start.0),
         tx: a2b_tx,
         rx: b2a_rx,
         recorder: None,
@@ -346,8 +349,8 @@ pub fn session<Out: Tagged, In: Tagged>(
     let right = Endpoint {
         session: id,
         side: Side::Right,
-        state: Cell::new(dual.start),
-        proto: Rc::new(dual),
+        state: AtomicUsize::new(dual.start.0),
+        proto: Arc::new(dual),
         tx: b2a_tx,
         rx: a2b_rx,
         recorder: None,
@@ -397,7 +400,7 @@ mod tests {
         let mut s = Simulation::new(2);
         s.block_on(async move {
             let (client, server) = session::<Req, Resp>(&proto, Capacity::Bounded(1));
-            sim::spawn(async move {
+            rt::spawn(async move {
                 loop {
                     match server.recv().await {
                         Ok(Req::Read(b)) => {
@@ -439,7 +442,7 @@ mod tests {
                 other => panic!("expected violation, got {other:?}"),
             }
             // The server never saw anything; the session is still usable.
-            sim::spawn(async move {
+            rt::spawn(async move {
                 if let Ok(Req::Read(b)) = server.recv().await {
                     server.send(Resp::Data(b)).await.unwrap();
                 }
@@ -489,7 +492,7 @@ mod tests {
         let mut s = Simulation::new(2);
         s.block_on(async move {
             let (client, server) = session::<Req, Resp>(&proto, Capacity::Bounded(4));
-            sim::spawn(async move {
+            rt::spawn(async move {
                 let _ = server.recv().await;
                 // First reply is legal...
                 server.send(Resp::Data(1)).await.unwrap();
@@ -541,10 +544,10 @@ mod tests {
         let report = s
             .block_on(async move {
                 let (left, right) = session::<Hello, Hello>(&proto, Capacity::Bounded(1));
-                sim::spawn_daemon("left", async move {
+                rt::spawn_daemon("left", async move {
                     let _ = left.recv().await;
                 });
-                sim::spawn_daemon("right", async move {
+                rt::spawn_daemon("right", async move {
                     let _ = right.recv().await;
                 });
                 crate::deadlock::watch(1_000, 10_000).await
@@ -567,16 +570,16 @@ mod tests {
         let report = s
             .block_on(async move {
                 let (client, server) = session::<Req, Resp>(&proto, Capacity::Bounded(1));
-                sim::spawn_daemon("server", async move {
+                rt::spawn_daemon("server", async move {
                     while let Ok(Req::Read(b)) = server.recv().await {
                         server.send(Resp::Data(b)).await.unwrap();
                     }
                 });
-                sim::spawn_daemon("client", async move {
+                rt::spawn_daemon("client", async move {
                     for i in 0..200 {
                         client.send(Req::Read(i)).await.unwrap();
                         let _ = client.recv().await.unwrap();
-                        chanos_sim::sleep(97).await;
+                        chanos_rt::sleep(97).await;
                     }
                 });
                 crate::deadlock::watch(500, 30_000).await

@@ -9,11 +9,10 @@
 //!
 //! [`check_compatible`]: crate::check_compatible
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use chanos_sim::Cycles;
+use chanos_rt::{plock, Cycles};
 
 use crate::spec::{Dir, Protocol, StateId};
 
@@ -36,7 +35,7 @@ pub struct TraceEvent {
 /// to inspect afterwards.
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
-    events: Rc<RefCell<Vec<TraceEvent>>>,
+    events: Arc<Mutex<Vec<TraceEvent>>>,
 }
 
 impl Recorder {
@@ -45,14 +44,16 @@ impl Recorder {
         Recorder::default()
     }
 
-    /// Appends an event at the current virtual time.
+    /// Appends an event at the current runtime time (virtual cycles
+    /// on the simulator, nanoseconds on real threads; 0 outside any
+    /// runtime).
     pub fn log(&self, dir: Dir, tag: &str) {
-        let at = if chanos_sim::in_sim() {
-            chanos_sim::now()
+        let at = if chanos_rt::in_runtime() {
+            chanos_rt::now()
         } else {
             0
         };
-        self.events.borrow_mut().push(TraceEvent {
+        plock(&self.events).push(TraceEvent {
             dir,
             tag: tag.to_string(),
             at,
@@ -61,17 +62,17 @@ impl Recorder {
 
     /// Copies the events out.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.borrow().clone()
+        plock(&self.events).clone()
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.borrow().len()
+        plock(&self.events).len()
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.borrow().is_empty()
+        plock(&self.events).is_empty()
     }
 }
 

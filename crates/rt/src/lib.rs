@@ -42,7 +42,7 @@ use chanos_parchan as par;
 use chanos_sim as sim;
 
 pub use chanos_select::{choose, join2, join_all, race, select_all, Either};
-pub use chanos_sim::{CoreId, Cycles, TaskId};
+pub use chanos_sim::{plock, CoreId, Cycles, Pcg32, TaskId};
 
 /// Which execution substrate the calling task is on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +75,18 @@ pub fn backend() -> Backend {
 /// Returns `true` if some backend is ambient on this thread.
 pub fn in_runtime() -> bool {
     sim::in_sim() || par::in_runtime()
+}
+
+/// Like [`backend`], but `None` instead of panicking outside any
+/// runtime (for code that must also work from plain test threads).
+pub fn try_backend() -> Option<Backend> {
+    if sim::in_sim() {
+        Some(Backend::Sim)
+    } else if par::in_runtime() {
+        Some(Backend::Threads)
+    } else {
+        None
+    }
 }
 
 fn par_handle() -> par::Handle {
@@ -528,6 +540,19 @@ impl<T: Send + 'static> ReplyTo<T> {
     pub async fn send(self, value: T) -> Result<(), T> {
         self.tx.send(value).await.map_err(SendError::into_inner)
     }
+
+    /// Sends the reply without suspending, consuming the endpoint.
+    ///
+    /// A reply channel always has buffer space for its single reply,
+    /// so this never spuriously fails; it only returns the value when
+    /// the requester has gone away. This is the publish half of the
+    /// [`coalesce_replies`] burst pattern: servers answer a drained
+    /// batch synchronously so the wakes can be batched per peer.
+    pub fn send_now(self, value: T) -> Result<(), T> {
+        self.tx.try_send(value).map_err(|e| match e {
+            TrySendError::Full(v) | TrySendError::Closed(v) => v,
+        })
+    }
 }
 
 impl<T> std::fmt::Debug for ReplyTo<T> {
@@ -551,6 +576,22 @@ impl<T: Send + 'static> Reply<T> {
 impl<T> std::fmt::Debug for Reply<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("Reply")
+    }
+}
+
+/// Runs `f` with reply wakes coalesced on the threads backend: a
+/// server publishing a burst of replies (via [`ReplyTo::send_now`] /
+/// `try_send`) inside the scope wakes each waiting peer task once for
+/// the whole burst instead of once per message. Counted as
+/// `chan.reply_wakes_coalesced`.
+///
+/// `f` must be synchronous (no `.await`); on the simulator (where the
+/// executor is single-threaded and wakeups are virtual events) it
+/// simply runs `f`.
+pub fn coalesce_replies<R>(f: impl FnOnce() -> R) -> R {
+    match backend() {
+        Backend::Sim => f(),
+        Backend::Threads => par::coalesce_wakes(f),
     }
 }
 
@@ -687,6 +728,60 @@ impl<T> Future for Join<T> {
 // Spawning.
 // ---------------------------------------------------------------------------
 
+thread_local! {
+    /// Key of the rt-spawned task currently being polled on this
+    /// thread (threads backend); 0 = none (e.g. a `block_on` driver).
+    static PAR_TASK_KEY: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+static NEXT_PAR_TASK_KEY: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_par_task_key() -> u64 {
+    NEXT_PAR_TASK_KEY.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Wraps a threads-backend task so [`current_task_key`] observes a
+/// stable identity at every poll, wherever the task is stolen to.
+struct KeyScoped<F> {
+    key: u64,
+    fut: F,
+}
+
+impl<F: Future> Future for KeyScoped<F> {
+    type Output = F::Output;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<F::Output> {
+        // Safety: `fut` is structurally pinned (never moved out); the
+        // key is plain data.
+        let this = unsafe { self.get_unchecked_mut() };
+        let key = this.key;
+        let fut = unsafe { Pin::new_unchecked(&mut this.fut) };
+        let prev = PAR_TASK_KEY.with(|k| k.replace(key));
+        let out = fut.poll(cx);
+        PAR_TASK_KEY.with(|k| k.set(prev));
+        out
+    }
+}
+
+/// A backend-neutral identity for the calling task, usable as a map
+/// key (e.g. by the protocol deadlock detector).
+///
+/// On the simulator this is [`TaskId::as_u64`]. On real threads every
+/// task spawned through this facade carries a fresh key; code running
+/// directly under `Runtime::block_on` (no surrounding rt task) gets a
+/// stable per-thread fallback key instead.
+pub fn current_task_key() -> u64 {
+    match backend() {
+        Backend::Sim => sim::current_task().as_u64(),
+        Backend::Threads => PAR_TASK_KEY.with(|k| {
+            if k.get() == 0 {
+                k.set(fresh_par_task_key());
+            }
+            k.get()
+        }),
+    }
+}
+
 fn spawn_dispatch<T, F>(
     name: Option<&str>,
     core: Option<CoreId>,
@@ -716,6 +811,10 @@ where
         // (tasks are not OS threads; there is nothing to label).
         Backend::Threads => {
             let h = par_handle();
+            let fut = KeyScoped {
+                key: fresh_par_task_key(),
+                fut,
+            };
             let jh = match core {
                 Some(c) => h.spawn_pinned(c.index(), fut),
                 None => h.spawn(fut),
@@ -780,6 +879,28 @@ where
     F: Future<Output = T> + Send + 'static,
 {
     spawn_dispatch(Some(name), Some(core), true, fut)
+}
+
+/// Spawns a daemon task that models *device or fabric* work (network
+/// switches, port demultiplexers, in-flight frames, disk engines).
+///
+/// On the simulator it is pinned to the system device pseudo-core, so
+/// modeled device time never occupies a CPU core. On real threads the
+/// device is just more code: the task runs unpinned on the worker
+/// pool.
+pub fn spawn_device<T, F>(name: &str, fut: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: Future<Output = T> + Send + 'static,
+{
+    match backend() {
+        Backend::Sim => JoinHandle(JoinHandleImpl::Sim(sim::spawn_daemon_on(
+            name,
+            sim::system_device_core(),
+            fut,
+        ))),
+        Backend::Threads => spawn_dispatch(Some(name), None, true, fut),
+    }
 }
 
 // ---------------------------------------------------------------------------

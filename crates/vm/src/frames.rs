@@ -1,8 +1,7 @@
 //! The physical frame allocator: a single server task owning the
 //! frame free-list (the §4 pattern — no locks, one owner).
 
-use chanos_csp::{channel, request, Capacity, ReplyTo, Sender};
-use chanos_sim::{self as sim, CoreId};
+use chanos_rt::{self as rt, channel, request, Capacity, CoreId, ReplyTo, Sender};
 
 use crate::VmError;
 
@@ -30,7 +29,7 @@ impl FrameAlloc {
     /// frames.
     pub fn spawn(frames: u64, core: CoreId) -> FrameAlloc {
         let (tx, rx) = channel::<FrameMsg>(Capacity::Unbounded);
-        sim::spawn_daemon_on("vm-frames", core, async move {
+        rt::spawn_daemon_on("vm-frames", core, async move {
             // Free list: next sequential frame, then recycled frames.
             let mut next = 0u64;
             let mut recycled: Vec<u64> = Vec::new();

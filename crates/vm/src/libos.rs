@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use chanos_sim::{delay, Cycles};
+use chanos_rt::{delay, Cycles};
 
 use crate::frames::FrameAlloc;
 use crate::service::PAGE_SIZE;
@@ -58,10 +58,31 @@ impl LibOsSpace {
             return Ok(pfn);
         }
         delay(self.fault_work).await;
-        chanos_sim::stat_incr("vm.faults");
+        chanos_rt::stat_incr("vm.faults");
         let pfn = self.frames.alloc().await?;
         self.table.insert(vpn, pfn);
         Ok(pfn)
+    }
+
+    /// Unmaps every region fully inside `[start, start+len)`,
+    /// returning the backing frames; resolves to the pages freed.
+    /// Same unit and semantics as [`SpaceHandle::unmap`].
+    ///
+    /// [`SpaceHandle::unmap`]: crate::SpaceHandle::unmap
+    pub async fn unmap(&mut self, start: u64, len: u64) -> u64 {
+        let removed: Vec<(u64, u64)> = self
+            .regions
+            .iter()
+            .copied()
+            .filter(|&(s, l)| s >= start && s + l <= start + len)
+            .collect();
+        self.regions
+            .retain(|&(s, l)| !(s >= start && s + l <= start + len));
+        let mut freed = 0u64;
+        for (s, l) in removed {
+            freed += crate::service::free_range(&mut self.table, &self.frames, s, l).await;
+        }
+        freed
     }
 
     /// Resolves without faulting.

@@ -9,11 +9,20 @@
 //!
 //! Experiment E8 sweeps [`Granularity`] over the same fault storm and
 //! watches per-page collapse under spawn overhead and thread memory.
+//!
+//! The service is written against the `chanos-rt` facade: on the
+//! simulator its threads are simulated tasks with modeled spawn and
+//! fault costs; on the real-threads backend every granularity spawns
+//! real tasks on the work-stealing scheduler, so the per-page cliff
+//! can be measured on silicon too (`real_hw` E8).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use chanos_csp::{channel, Capacity, ReplyTo, Sender};
-use chanos_sim::{self as sim, delay, CoreId, Cycles};
+use chanos_rt::{
+    self as rt, channel, delay, reply_channel, Capacity, CoreId, Cycles, ReplyTo, Sender,
+};
 
 use crate::frames::FrameAlloc;
 use crate::VmError;
@@ -86,6 +95,11 @@ enum SpaceMsg {
         len: u64,
         reply: ReplyTo<Result<(), VmError>>,
     },
+    Unmap {
+        start: u64,
+        len: u64,
+        reply: ReplyTo<Result<u64, VmError>>,
+    },
     Fault {
         vaddr: u64,
         reply: ReplyTo<Result<u64, VmError>>,
@@ -105,6 +119,9 @@ enum RegionMsg {
         vaddr: u64,
         reply: ReplyTo<Result<Option<u64>, VmError>>,
     },
+    /// Tear the region down: free every mapped frame (and, per-page,
+    /// retire the page threads); replies with the page count freed.
+    Unmap { reply: ReplyTo<u64> },
 }
 
 enum PageMsg {
@@ -114,6 +131,8 @@ enum PageMsg {
     Resolve {
         reply: ReplyTo<Result<Option<u64>, VmError>>,
     },
+    /// Retire the page thread, yielding its frame (if faulted in).
+    Unmap { reply: ReplyTo<Option<u64>> },
 }
 
 #[derive(Clone, Copy)]
@@ -126,14 +145,44 @@ impl Region {
     fn contains(&self, vaddr: u64) -> bool {
         vaddr >= self.start && vaddr < self.start + self.len
     }
+
+    fn inside(&self, start: u64, len: u64) -> bool {
+        self.start >= start && self.start + self.len <= start + len
+    }
+}
+
+/// Frees every table entry whose page lies in `[start, start+len)`,
+/// returning the frames and the count. (Shared with the libOS space,
+/// which keeps its page table in-process.)
+pub(crate) async fn free_range(
+    table: &mut HashMap<u64, u64>,
+    frames: &FrameAlloc,
+    start: u64,
+    len: u64,
+) -> u64 {
+    let first = start / PAGE_SIZE;
+    let last = (start + len).div_ceil(PAGE_SIZE);
+    let vpns: Vec<u64> = table
+        .keys()
+        .copied()
+        .filter(|&v| v >= first && v < last)
+        .collect();
+    let mut freed = 0u64;
+    for vpn in vpns {
+        if let Some(pfn) = table.remove(&vpn) {
+            let _ = frames.free(pfn).await;
+            freed += 1;
+        }
+    }
+    freed
 }
 
 /// The VM service: entry point for creating address spaces.
 #[derive(Clone)]
 pub struct VmService {
-    cfg: std::rc::Rc<VmCfg>,
+    cfg: Arc<VmCfg>,
     frames: FrameAlloc,
-    rr: std::rc::Rc<std::cell::Cell<usize>>,
+    rr: Arc<AtomicUsize>,
     /// Centralized mode: the single server channel.
     central: Option<Sender<(u64, SpaceMsg)>>,
 }
@@ -144,12 +193,12 @@ impl VmService {
     pub fn start(cfg: VmCfg) -> VmService {
         assert!(!cfg.service_cores.is_empty());
         let frames = FrameAlloc::spawn(cfg.frames, cfg.service_cores[0]);
-        let cfg = std::rc::Rc::new(cfg);
+        let cfg = Arc::new(cfg);
         let central = if cfg.granularity == Granularity::Centralized {
             let (tx, rx) = channel::<(u64, SpaceMsg)>(Capacity::Unbounded);
             let cfg2 = cfg.clone();
             let frames2 = frames.clone();
-            sim::spawn_daemon_on("vm-central", cfg.service_cores[0], async move {
+            rt::spawn_daemon_on("vm-central", cfg.service_cores[0], async move {
                 // All spaces' state in one server.
                 let mut spaces: HashMap<u64, (Vec<Region>, HashMap<u64, u64>)> = HashMap::new();
                 while let Ok((sid, msg)) = rx.recv().await {
@@ -164,14 +213,13 @@ impl VmService {
         VmService {
             cfg,
             frames,
-            rr: std::rc::Rc::new(std::cell::Cell::new(1)),
+            rr: Arc::new(AtomicUsize::new(1)),
             central,
         }
     }
 
     fn next_core(&self) -> CoreId {
-        let i = self.rr.get();
-        self.rr.set(i + 1);
+        let i = self.rr.fetch_add(1, Ordering::Relaxed);
         self.cfg.service_cores[i % self.cfg.service_cores.len()]
     }
 
@@ -195,10 +243,10 @@ impl VmService {
                 let frames = self.frames.clone();
                 let svc = self.clone();
                 let core = self.next_core();
-                sim::spawn_daemon_on(&format!("vm-space{sid}"), core, async move {
+                rt::spawn_daemon_on(&format!("vm-space{sid}"), core, async move {
                     space_task(cfg, svc, frames, rx).await;
                 });
-                sim::stat_incr("vm.service_threads");
+                rt::stat_incr("vm.service_threads");
                 SpaceHandle {
                     route: SpaceRoute::Dedicated { tx },
                 }
@@ -225,91 +273,50 @@ enum SpaceRoute {
 }
 
 impl SpaceHandle {
-    async fn send(
+    /// Sends one message to the space server and awaits `reply`.
+    async fn roundtrip<T: Send + 'static>(
         &self,
-        make: impl FnOnce(ReplyTo<Result<u64, VmError>>) -> SpaceMsg,
-    ) -> Result<u64, VmError> {
-        match &self.route {
-            SpaceRoute::Central { sid, tx } => {
-                let (reply_to, reply) = chanos_csp::reply_channel();
-                let msg = make(reply_to);
-                tx.send((*sid, msg)).await.map_err(|_| VmError::Gone)?;
-                reply.recv().await.unwrap_or(Err(VmError::Gone))
-            }
-            SpaceRoute::Dedicated { tx } => {
-                let (reply_to, reply) = chanos_csp::reply_channel();
-                let msg = make(reply_to);
-                tx.send(msg).await.map_err(|_| VmError::Gone)?;
-                reply.recv().await.unwrap_or(Err(VmError::Gone))
-            }
+        make: impl FnOnce(ReplyTo<Result<T, VmError>>) -> SpaceMsg,
+    ) -> Result<T, VmError> {
+        let (reply_to, reply) = reply_channel();
+        let msg = make(reply_to);
+        let sent = match &self.route {
+            SpaceRoute::Central { sid, tx } => tx.send((*sid, msg)).await.is_ok(),
+            SpaceRoute::Dedicated { tx } => tx.send(msg).await.is_ok(),
+        };
+        if !sent {
+            return Err(VmError::Gone);
         }
+        reply.recv().await.unwrap_or(Err(VmError::Gone))
     }
 
     /// Maps an anonymous region `[start, start+len)`.
     pub async fn map_region(&self, start: u64, len: u64) -> Result<(), VmError> {
-        let out = match &self.route {
-            SpaceRoute::Central { sid, tx } => {
-                let (reply_to, reply) = chanos_csp::reply_channel();
-                tx.send((
-                    *sid,
-                    SpaceMsg::MapRegion {
-                        start,
-                        len,
-                        reply: reply_to,
-                    },
-                ))
-                .await
-                .map_err(|_| VmError::Gone)?;
-                reply.recv().await.unwrap_or(Err(VmError::Gone))
-            }
-            SpaceRoute::Dedicated { tx } => {
-                let (reply_to, reply) = chanos_csp::reply_channel();
-                tx.send(SpaceMsg::MapRegion {
-                    start,
-                    len,
-                    reply: reply_to,
-                })
-                .await
-                .map_err(|_| VmError::Gone)?;
-                reply.recv().await.unwrap_or(Err(VmError::Gone))
-            }
-        };
-        out
+        self.roundtrip(|reply| SpaceMsg::MapRegion { start, len, reply })
+            .await
+    }
+
+    /// Unmaps every region fully inside `[start, start+len)`,
+    /// returning mapped pages to the frame allocator.
+    ///
+    /// Resolves to the number of pages freed; per-region and per-page
+    /// service threads covering the range are retired.
+    pub async fn unmap(&self, start: u64, len: u64) -> Result<u64, VmError> {
+        self.roundtrip(|reply| SpaceMsg::Unmap { start, len, reply })
+            .await
     }
 
     /// Touches `vaddr`: faults the page in if needed; returns the
     /// backing frame.
     pub async fn touch(&self, vaddr: u64) -> Result<u64, VmError> {
-        self.send(|reply| SpaceMsg::Fault { vaddr, reply }).await
+        self.roundtrip(|reply| SpaceMsg::Fault { vaddr, reply })
+            .await
     }
 
     /// Resolves `vaddr` without faulting; `None` if unmapped.
     pub async fn resolve(&self, vaddr: u64) -> Result<Option<u64>, VmError> {
-        match &self.route {
-            SpaceRoute::Central { sid, tx } => {
-                let (reply_to, reply) = chanos_csp::reply_channel();
-                tx.send((
-                    *sid,
-                    SpaceMsg::Resolve {
-                        vaddr,
-                        reply: reply_to,
-                    },
-                ))
-                .await
-                .map_err(|_| VmError::Gone)?;
-                reply.recv().await.unwrap_or(Err(VmError::Gone))
-            }
-            SpaceRoute::Dedicated { tx } => {
-                let (reply_to, reply) = chanos_csp::reply_channel();
-                tx.send(SpaceMsg::Resolve {
-                    vaddr,
-                    reply: reply_to,
-                })
-                .await
-                .map_err(|_| VmError::Gone)?;
-                reply.recv().await.unwrap_or(Err(VmError::Gone))
-            }
-        }
+        self.roundtrip(|reply| SpaceMsg::Resolve { vaddr, reply })
+            .await
     }
 }
 
@@ -326,6 +333,23 @@ async fn handle_space_msg(
             regions.push(Region { start, len });
             let _ = reply.send(Ok(())).await;
         }
+        SpaceMsg::Unmap { start, len, reply } => {
+            // Free only the pages of regions *fully inside* the range
+            // — the same unit the per-region/per-page granularities
+            // tear down, so unmap observables match across all four.
+            let removed: Vec<Region> = regions
+                .iter()
+                .copied()
+                .filter(|r| r.inside(start, len))
+                .collect();
+            regions.retain(|r| !r.inside(start, len));
+            let mut freed = 0u64;
+            for r in removed {
+                freed += free_range(table, frames, r.start, r.len).await;
+            }
+            rt::stat_incr("vm.unmaps");
+            let _ = reply.send(Ok(freed)).await;
+        }
         SpaceMsg::Fault { vaddr, reply } => {
             let out = if regions.iter().any(|r| r.contains(vaddr)) {
                 let vpn = vaddr / PAGE_SIZE;
@@ -333,7 +357,7 @@ async fn handle_space_msg(
                     Ok(pfn)
                 } else {
                     delay(fault_work).await;
-                    sim::stat_incr("vm.faults");
+                    rt::stat_incr("vm.faults");
                     match frames.alloc().await {
                         Ok(pfn) => {
                             table.insert(vpn, pfn);
@@ -357,10 +381,10 @@ async fn handle_space_msg(
 /// A dedicated space server; per-region and per-page granularities
 /// push work further down.
 async fn space_task(
-    cfg: std::rc::Rc<VmCfg>,
+    cfg: Arc<VmCfg>,
     svc: VmService,
     frames: FrameAlloc,
-    rx: chanos_csp::Receiver<SpaceMsg>,
+    rx: chanos_rt::Receiver<SpaceMsg>,
 ) {
     let mut regions: Vec<Region> = Vec::new();
     let mut table: HashMap<u64, u64> = HashMap::new();
@@ -379,12 +403,31 @@ async fn space_task(
                     let frames2 = frames.clone();
                     let svc2 = svc.clone();
                     let core = svc.next_core();
-                    sim::spawn_daemon_on(&format!("vm-region{start:x}"), core, async move {
+                    rt::spawn_daemon_on(&format!("vm-region{start:x}"), core, async move {
                         region_task(cfg2, svc2, frames2, region, rrx).await;
                     });
-                    sim::stat_incr("vm.service_threads");
+                    rt::stat_incr("vm.service_threads");
                     region_chans.push((region, tx));
                     let _ = reply.send(Ok(())).await;
+                }
+                SpaceMsg::Unmap { start, len, reply } => {
+                    // Tear down every region server inside the range;
+                    // dropping its channel afterwards retires it.
+                    let mut freed = 0u64;
+                    let mut kept: Vec<(Region, Sender<RegionMsg>)> = Vec::new();
+                    for (region, tx) in region_chans.drain(..) {
+                        if region.inside(start, len) {
+                            let (reply_to, pages) = reply_channel();
+                            if tx.send(RegionMsg::Unmap { reply: reply_to }).await.is_ok() {
+                                freed += pages.recv().await.unwrap_or(0);
+                            }
+                        } else {
+                            kept.push((region, tx));
+                        }
+                    }
+                    region_chans = kept;
+                    rt::stat_incr("vm.unmaps");
+                    let _ = reply.send(Ok(freed)).await;
                 }
                 SpaceMsg::Fault { vaddr, reply } => {
                     match region_chans.iter().find(|(r, _)| r.contains(vaddr)) {
@@ -416,11 +459,11 @@ async fn space_task(
 }
 
 async fn region_task(
-    cfg: std::rc::Rc<VmCfg>,
+    cfg: Arc<VmCfg>,
     svc: VmService,
     frames: FrameAlloc,
     region: Region,
-    rx: chanos_csp::Receiver<RegionMsg>,
+    rx: chanos_rt::Receiver<RegionMsg>,
 ) {
     let mut table: HashMap<u64, u64> = HashMap::new();
     let mut page_chans: HashMap<u64, Sender<PageMsg>> = HashMap::new();
@@ -431,8 +474,8 @@ async fn region_task(
                 match cfg.granularity {
                     Granularity::PerPage => {
                         // One thread per page: spawned on first touch,
-                        // alive forever after. Creating it costs the
-                        // region server real cycles.
+                        // alive until the region unmaps. Creating it
+                        // costs the region server real cycles.
                         if !page_chans.contains_key(&vpn) {
                             delay(cfg.thread_spawn_cost).await;
                         }
@@ -441,11 +484,11 @@ async fn region_task(
                             let frames2 = frames.clone();
                             let cfg2 = cfg.clone();
                             let core = svc.next_core();
-                            sim::spawn_daemon_on(&format!("vm-page{vpn:x}"), core, async move {
+                            rt::spawn_daemon_on(&format!("vm-page{vpn:x}"), core, async move {
                                 page_task(cfg2, frames2, prx).await;
                             });
-                            sim::stat_incr("vm.service_threads");
-                            sim::stat_incr("vm.page_threads");
+                            rt::stat_incr("vm.service_threads");
+                            rt::stat_incr("vm.page_threads");
                             tx
                         });
                         let _ = tx.send(PageMsg::Fault { reply }).await;
@@ -455,7 +498,7 @@ async fn region_task(
                             Ok(pfn)
                         } else {
                             delay(cfg.fault_work).await;
-                            sim::stat_incr("vm.faults");
+                            rt::stat_incr("vm.faults");
                             match frames.alloc().await {
                                 Ok(pfn) => {
                                     table.insert(vpn, pfn);
@@ -476,7 +519,7 @@ async fn region_task(
                             let _ = reply.send(Ok(None)).await;
                         }
                         Some(tx) => {
-                            let (inner_to, inner) = chanos_csp::reply_channel();
+                            let (inner_to, inner) = reply_channel();
                             let _ = tx.send(PageMsg::Resolve { reply: inner_to }).await;
                             let out = inner.recv().await.unwrap_or(Err(VmError::Gone));
                             let _ = reply.send(out).await;
@@ -487,12 +530,29 @@ async fn region_task(
                     }
                 }
             }
+            RegionMsg::Unmap { reply } => {
+                let mut freed = 0u64;
+                // Per-page: collect each page thread's frame and
+                // retire it (dropping the sender ends its loop).
+                for (_, tx) in std::mem::take(&mut page_chans) {
+                    let (inner_to, inner) = reply_channel();
+                    if tx.send(PageMsg::Unmap { reply: inner_to }).await.is_ok() {
+                        if let Ok(Some(pfn)) = inner.recv().await {
+                            let _ = frames.free(pfn).await;
+                            freed += 1;
+                        }
+                    }
+                }
+                freed += free_range(&mut table, &frames, region.start, region.len).await;
+                let _ = reply.send(freed).await;
+                // The space server drops our channel next; the loop
+                // ends once it does.
+            }
         }
     }
-    let _ = region;
 }
 
-async fn page_task(cfg: std::rc::Rc<VmCfg>, frames: FrameAlloc, rx: chanos_csp::Receiver<PageMsg>) {
+async fn page_task(cfg: Arc<VmCfg>, frames: FrameAlloc, rx: chanos_rt::Receiver<PageMsg>) {
     let mut pfn: Option<u64> = None;
     while let Ok(msg) = rx.recv().await {
         match msg {
@@ -501,7 +561,7 @@ async fn page_task(cfg: std::rc::Rc<VmCfg>, frames: FrameAlloc, rx: chanos_csp::
                     Ok(p)
                 } else {
                     delay(cfg.fault_work).await;
-                    sim::stat_incr("vm.faults");
+                    rt::stat_incr("vm.faults");
                     match frames.alloc().await {
                         Ok(p) => {
                             pfn = Some(p);
@@ -514,6 +574,10 @@ async fn page_task(cfg: std::rc::Rc<VmCfg>, frames: FrameAlloc, rx: chanos_csp::
             }
             PageMsg::Resolve { reply } => {
                 let _ = reply.send(Ok(pfn)).await;
+            }
+            PageMsg::Unmap { reply } => {
+                let _ = reply.send(pfn.take()).await;
+                break;
             }
         }
     }

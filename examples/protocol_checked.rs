@@ -15,10 +15,10 @@
 //! cargo run --example protocol_checked
 //! ```
 
-use chanos::csp::Capacity;
 use chanos::proto::{
     check_compatible, deadlock, rpc_loop, session, ProtocolBuilder, Recorder, Tagged,
 };
+use chanos::rt::Capacity;
 use chanos::sim::Simulation;
 
 /// Messages the client sends.

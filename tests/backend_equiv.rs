@@ -251,3 +251,378 @@ fn sim_trace_is_deterministic_for_the_kernel_workload() {
     // so different seeds coincide too — only repeatability matters.)
     assert_eq!(hash(7), hash(7));
 }
+
+// ---------------------------------------------------------------------------
+// Net: the cluster substrate must behave identically on both backends.
+// ---------------------------------------------------------------------------
+
+/// Transport tuning for equivalence tests: on threads the RTO is
+/// wall-clock, and a loaded CI box can stall a task past several
+/// default RTOs — be patient so the retry budget never aborts a
+/// healthy connection. (Cycles read as virtual time on the simulator,
+/// where a perfect link never times out anyway.)
+fn eq_rdt_params() -> chanos::net::RdtParams {
+    chanos::net::RdtParams {
+        rto: 20_000_000, // 20 ms wall / 20 Mcycle virtual.
+        max_retries: 50,
+        syn_retries: 20,
+        ..chanos::net::RdtParams::default()
+    }
+}
+
+/// Echo workload over a perfect link: returns every observable step.
+async fn net_echo_script() -> Vec<Obs> {
+    use chanos::net::{connect, listen, Cluster, ClusterParams, NodeId};
+    let cl = Cluster::new(ClusterParams::default());
+    let listener = listen(&cl.iface(NodeId(1)), 80, eq_rdt_params()).unwrap();
+    chanos::rt::spawn_daemon("eq-echo-server", async move {
+        while let Ok(conn) = listener.accept().await {
+            chanos::rt::spawn_daemon("eq-echo-conn", async move {
+                while let Ok(msg) = conn.recv().await {
+                    if conn.send(msg).await.is_err() {
+                        break;
+                    }
+                }
+                conn.finish();
+            });
+        }
+    });
+    let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, eq_rdt_params())
+        .await
+        .expect("connect");
+    let mut log = Vec::new();
+    // Mix of sizes, including one segmented across ~5 MTU-sized frames.
+    for msg in [b"ping".to_vec(), vec![], vec![7u8; 5000], vec![9u8; 64]] {
+        conn.send(msg.clone()).await.unwrap();
+        log.push(Obs::Read("echo".into(), Ok(conn.recv().await.unwrap())));
+    }
+    conn.finish();
+    log.push(Obs::Closed("conn".into(), conn.recv().await.is_err()));
+    log
+}
+
+#[test]
+fn net_rdt_delivery_equivalent_on_both_backends() {
+    let mut s = Simulation::with_config(Config {
+        cores: 4,
+        ..Config::default()
+    });
+    let sim_log = s.block_on(net_echo_script()).unwrap();
+    let rt = Runtime::new(3);
+    let thr_log = rt.block_on(net_echo_script());
+    rt.shutdown();
+    assert_eq!(sim_log, thr_log, "rdt delivery differs between backends");
+}
+
+/// A tiny KV service over correlation-id RPC; returns every response.
+async fn net_rpc_script() -> Vec<Option<u64>> {
+    use chanos::net::{connect, listen, Cluster, ClusterParams, NodeId, RpcClient, SerdeCost};
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
+    let cl = Cluster::new(ClusterParams::default());
+    let listener = listen(&cl.iface(NodeId(1)), 80, eq_rdt_params()).unwrap();
+    chanos::rt::spawn_daemon("eq-kv-server", async move {
+        let conn = listener.accept().await.unwrap();
+        let store = Arc::new(Mutex::new(BTreeMap::<String, u64>::new()));
+        chanos::net::serve(
+            conn,
+            SerdeCost::default(),
+            move |(key, val): (String, u64)| {
+                let store = Arc::clone(&store);
+                async move {
+                    let mut st = chanos::rt::plock(&store);
+                    if val == 0 {
+                        st.get(&key).copied()
+                    } else {
+                        st.insert(key, val)
+                    }
+                }
+            },
+        )
+        .await;
+    });
+    let conn = connect(&cl.iface(NodeId(0)), NodeId(1), 80, eq_rdt_params())
+        .await
+        .expect("connect");
+    let client: RpcClient<(String, u64), Option<u64>> = RpcClient::new(conn, SerdeCost::default());
+    let mut out = Vec::new();
+    out.push(client.call(&("a".into(), 0)).await.unwrap());
+    out.push(client.call(&("a".into(), 5)).await.unwrap());
+    out.push(client.call(&("a".into(), 0)).await.unwrap());
+    out.push(client.call(&("b".into(), 9)).await.unwrap());
+    out.push(client.call(&("a".into(), 7)).await.unwrap());
+    out.push(client.call(&("b".into(), 0)).await.unwrap());
+    client.finish();
+    out
+}
+
+#[test]
+fn net_rpc_round_trip_equivalent_on_both_backends() {
+    let mut s = Simulation::with_config(Config {
+        cores: 4,
+        ..Config::default()
+    });
+    let sim_out = s.block_on(net_rpc_script()).unwrap();
+    assert_eq!(
+        sim_out,
+        vec![None, None, Some(5), None, Some(5), Some(9)],
+        "rpc semantics wrong on sim"
+    );
+    let rt = Runtime::new(3);
+    let thr_out = rt.block_on(net_rpc_script());
+    rt.shutdown();
+    assert_eq!(sim_out, thr_out, "rpc responses differ between backends");
+}
+
+// ---------------------------------------------------------------------------
+// VM: map / fault / unmap across every granularity.
+// ---------------------------------------------------------------------------
+
+/// Scripted single-client VM life cycle; every observable formatted.
+/// (Single client => frame allocation order is deterministic, so pfn
+/// values compare equal across backends; post-unmap recycling order
+/// is not scripted, so only counts and presence are observed there.)
+async fn vm_script(g: chanos::vm::Granularity) -> Vec<String> {
+    use chanos::rt::CoreId;
+    use chanos::vm::{VmCfg, VmService, PAGE_SIZE};
+    let vm = VmService::start(VmCfg {
+        granularity: g,
+        fault_work: 100,
+        frames: 64,
+        service_cores: vec![CoreId(0), CoreId(1)],
+        thread_spawn_cost: 100,
+    });
+    let space = vm.create_space(1);
+    let mut log = Vec::new();
+    log.push(format!(
+        "map0:{:?}",
+        space.map_region(0, 8 * PAGE_SIZE).await
+    ));
+    log.push(format!(
+        "map1:{:?}",
+        space.map_region(0x10_0000, 4 * PAGE_SIZE).await
+    ));
+    for p in 0..8 {
+        log.push(format!("touch0.{p}:{:?}", space.touch(p * PAGE_SIZE).await));
+    }
+    for p in 0..4 {
+        log.push(format!(
+            "touch1.{p}:{:?}",
+            space.touch(0x10_0000 + p * PAGE_SIZE).await
+        ));
+    }
+    log.push(format!("resolve:{:?}", space.resolve(2 * PAGE_SIZE).await));
+    log.push(format!("bad:{:?}", space.touch(0x90_0000).await));
+    // Partial overlap: the 8-page region is not fully inside a 4-page
+    // range, so nothing is torn down — identical at every
+    // granularity (the unit of unmap is the mapped region).
+    log.push(format!(
+        "unmap-partial:{:?}",
+        space.unmap(0, 4 * PAGE_SIZE).await
+    ));
+    log.push(format!(
+        "resolve-partial-some:{}",
+        matches!(space.resolve(PAGE_SIZE).await, Ok(Some(_)))
+    ));
+    log.push(format!("unmap:{:?}", space.unmap(0, 8 * PAGE_SIZE).await));
+    log.push(format!(
+        "resolve-after:{:?}",
+        space.resolve(2 * PAGE_SIZE).await
+    ));
+    log.push(format!(
+        "touch-after-err:{}",
+        space.touch(2 * PAGE_SIZE).await.is_err()
+    ));
+    log.push(format!(
+        "resolve1-some:{}",
+        matches!(space.resolve(0x10_0000).await, Ok(Some(_)))
+    ));
+    log.push(format!("frames:{:?}", vm.frames().stats().await));
+    log
+}
+
+#[test]
+fn vm_map_fault_unmap_equivalent_across_granularities() {
+    use chanos::vm::Granularity;
+    for g in [
+        Granularity::Centralized,
+        Granularity::PerSpace,
+        Granularity::PerRegion,
+        Granularity::PerPage,
+    ] {
+        let mut s = Simulation::with_config(Config {
+            cores: 4,
+            ..Config::default()
+        });
+        let sim_log = s.block_on(vm_script(g)).unwrap();
+        // Spot-check absolute semantics once per granularity.
+        assert!(
+            sim_log.contains(&"unmap-partial:Ok(0)".to_string())
+                && sim_log.contains(&"resolve-partial-some:true".to_string())
+                && sim_log.contains(&"unmap:Ok(8)".to_string()),
+            "{g:?}: {sim_log:?}"
+        );
+        assert!(sim_log.contains(&"resolve-after:Ok(None)".to_string()));
+        assert!(sim_log.contains(&"touch-after-err:true".to_string()));
+        assert!(
+            sim_log.contains(&"frames:(4, 64)".to_string()),
+            "8 of 12 frames must return to the allocator: {sim_log:?}"
+        );
+        let rt = Runtime::new(3);
+        let thr_log = rt.block_on(vm_script(g));
+        rt.shutdown();
+        assert_eq!(
+            sim_log, thr_log,
+            "VM observables differ between backends at {g:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Proto: monitored sessions must flag the same violations everywhere.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum PReq {
+    Read(u64),
+    Write(u64),
+    Close,
+}
+impl chanos::proto::Tagged for PReq {
+    fn tag(&self) -> &'static str {
+        match self {
+            PReq::Read(_) => "Read",
+            PReq::Write(_) => "Write",
+            PReq::Close => "Close",
+        }
+    }
+}
+#[derive(Debug, PartialEq)]
+enum PResp {
+    Data(u64),
+}
+impl chanos::proto::Tagged for PResp {
+    fn tag(&self) -> &'static str {
+        "Data"
+    }
+}
+
+/// Drives a monitored session through one of each violation class and
+/// a conforming conversation; logs everything observable except the
+/// session id (ids are allocation-order-dependent on threads).
+async fn proto_script() -> Vec<String> {
+    use chanos::proto::{rpc_loop, session, MonRecvError, MonSendError};
+    use chanos::rt::Capacity;
+    let proto = rpc_loop("disk", "Read", "Data", Some("Close"));
+    let (client, server) = session::<PReq, PResp>(&proto, Capacity::Bounded(4));
+    chanos::rt::spawn_daemon("eq-proto-server", async move {
+        loop {
+            match server.recv().await {
+                Ok(PReq::Read(b)) => {
+                    if server.send(PResp::Data(b + 1)).await.is_err() {
+                        break;
+                    }
+                }
+                Ok(PReq::Close) | Err(MonRecvError::Closed) => break,
+                Ok(other) => panic!("unexpected {other:?}"),
+                Err(e) => panic!("server violation: {e:?}"),
+            }
+        }
+    });
+    let mut log = Vec::new();
+    // 1. Wrong message: rejected before the wire.
+    match client.send(PReq::Write(3)).await {
+        Err(MonSendError::Violation { value, info }) => log.push(format!(
+            "wrong-msg: value={value:?} tag={} dir={:?} state={}",
+            info.tag, info.dir, info.state_name
+        )),
+        other => log.push(format!("wrong-msg: UNEXPECTED {other:?}")),
+    }
+    // 2. A legal round trip still works on the same session.
+    client.send(PReq::Read(10)).await.unwrap();
+    log.push(format!("reply: {:?}", client.recv().await.unwrap()));
+    // 3. Out of order: a second Read while awaiting Data.
+    client.send(PReq::Read(1)).await.unwrap();
+    match client.send(PReq::Read(2)).await {
+        Err(MonSendError::Violation { info, .. }) => {
+            log.push(format!("ooo: state={}", info.state_name))
+        }
+        other => log.push(format!("ooo: UNEXPECTED {other:?}")),
+    }
+    log.push(format!("reply2: {:?}", client.recv().await.unwrap()));
+    // 4. Premature close rejected; Close-then-close accepted.
+    client.send(PReq::Read(5)).await.unwrap();
+    let _ = client.recv().await.unwrap();
+    client.send(PReq::Close).await.unwrap();
+    log.push(format!("close-ok: {}", client.close().is_ok()));
+    log
+}
+
+#[test]
+fn proto_monitor_violations_identical_on_both_backends() {
+    let mut s = Simulation::with_config(Config {
+        cores: 4,
+        ..Config::default()
+    });
+    let sim_log = s.block_on(proto_script()).unwrap();
+    assert!(
+        sim_log[0].contains("tag=Write") && sim_log[0].contains("dir=Send"),
+        "{sim_log:?}"
+    );
+    let rt = Runtime::new(3);
+    let thr_log = rt.block_on(proto_script());
+    rt.shutdown();
+    assert_eq!(sim_log, thr_log, "monitor verdicts differ between backends");
+}
+
+// ---------------------------------------------------------------------------
+// Disk: the threads backend must do real file I/O.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn threads_kernel_hits_the_file_backed_disk() {
+    let rt = Runtime::new(3);
+    let (file_writes, io_errors, data) = rt.block_on(async {
+        let os = boot(cfg()).await;
+        os.vfs.mkdir("/disk").await.unwrap();
+        let env = os.procs.env();
+        let fd = env.create("/disk/real").await.unwrap();
+        env.write(fd, &[0xAB; 8192]).await.unwrap();
+        env.close(fd).await.unwrap();
+        let fd = env.open("/disk/real").await.unwrap();
+        let data = env.read(fd, 8192).await.unwrap();
+        env.close(fd).await.unwrap();
+        (
+            chanos::rt::stat_get("disk.file_writes"),
+            chanos::rt::stat_get("disk.io_errors"),
+            data,
+        )
+    });
+    rt.shutdown();
+    assert_eq!(data, vec![0xAB; 8192]);
+    assert!(
+        file_writes > 0,
+        "the threads kernel must write through the real file-backed device"
+    );
+    assert_eq!(io_errors, 0, "no real-I/O errors expected");
+}
+
+#[test]
+fn memory_backing_still_available_on_threads() {
+    use chanos::drivers::{install_disk_with, spawn_disk_driver, DiskBacking, DiskParams};
+    // A/B hook: Memory backing on the threads backend keeps the
+    // modeled-latency store (and charges no disk.file_* counters).
+    let rt = Runtime::new(2);
+    let (before, after, block) = rt.block_on(async {
+        let before = chanos::rt::stat_get("disk.file_writes");
+        let (hw, irq) =
+            install_disk_with(128, DiskParams::default(), CoreId(0), DiskBacking::Memory);
+        let disk = spawn_disk_driver(hw.clone(), irq, CoreId(0));
+        disk.write(3, vec![0x5A; 4096]).await.unwrap();
+        let block = disk.read(3, 1).await.unwrap();
+        (before, chanos::rt::stat_get("disk.file_writes"), block)
+    });
+    rt.shutdown();
+    assert_eq!(block, vec![0x5A; 4096]);
+    assert_eq!(after, before, "memory backing must not do file I/O");
+}

@@ -258,7 +258,8 @@ fn many_monitored_sessions_conform_and_stay_deadlock_free() {
             let mut recorders = Vec::new();
             let mut joins = Vec::new();
             for i in 0..16u32 {
-                let (mut client, server) = session::<Req, Resp>(&proto, Capacity::Bounded(2));
+                let (mut client, server) =
+                    session::<Req, Resp>(&proto, chanos::rt::Capacity::Bounded(2));
                 let rec = Recorder::new();
                 client.record_into(rec.clone());
                 recorders.push(rec);
