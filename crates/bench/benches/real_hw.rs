@@ -173,6 +173,133 @@ fn bench_e3_syscalls_real_hw() {
     rt.shutdown();
 }
 
+/// Pipelined-syscall depth sweep through the booted message kernel:
+/// `depth` in-flight calls per round via `Env::batch()` (one message
+/// burst in, out-of-order completion), vs depth 1 = the classic
+/// serial round trip. Records `BENCH_syscall.json` — the perf
+/// trajectory for the typed-port API (FlexSC-style call batching).
+fn bench_syscall_depth_sweep() {
+    use chanos_kernel::{boot, BootCfg, FsKind, KernelKind};
+    use chanos_rt::CoreId;
+    use std::time::Instant;
+
+    let budget = default_budget();
+    let depths = [1usize, 2, 8, 32];
+
+    println!("\n## Pipelined syscall depth sweep (message kernel on threads, Env::batch)\n");
+    println!("| op | depth | ns/call | calls/sec | speedup vs serial |");
+    println!("|---|---|---|---|---|");
+
+    let rt = Runtime::new(4);
+    let os = rt.block_on(async {
+        boot(BootCfg::new(
+            KernelKind::Message,
+            FsKind::Message,
+            (0..2).map(CoreId).collect(),
+        ))
+        .await
+    });
+    let env = os.procs.env();
+    // A zero-length file: every pipelined read is an identical full
+    // trip through syscall server -> vnode -> reply.
+    let fd = rt.block_on(async {
+        env.mkdir("/sweep").await.unwrap();
+        env.create("/sweep/empty").await.unwrap()
+    });
+
+    // (op, depth, ns_per_call)
+    let mut rows: Vec<(&'static str, usize, f64)> = Vec::new();
+    for op in ["getpid", "read"] {
+        let mut serial_ns = 0.0f64;
+        for &depth in &depths {
+            // The whole timed loop runs inside ONE block_on, so the
+            // cross-thread block_on handoff is paid once per depth,
+            // not once per round — otherwise deeper batches would
+            // amortize harness overhead and inflate the speedup.
+            let env = env.clone();
+            let (rounds, elapsed) = rt.block_on(async move {
+                let mut b = env.batch();
+                let mut rounds = 0u64;
+                let t0 = Instant::now();
+                while t0.elapsed() < budget {
+                    match op {
+                        "getpid" => {
+                            let calls: Vec<_> = (0..depth).map(|_| b.getpid()).collect();
+                            b.submit().await;
+                            chanos_rt::join_all(calls).await;
+                        }
+                        _ => {
+                            let calls: Vec<_> = (0..depth).map(|_| b.read(fd, 16)).collect();
+                            b.submit().await;
+                            chanos_rt::join_all(calls).await;
+                        }
+                    }
+                    rounds += 1;
+                }
+                (rounds, t0.elapsed())
+            });
+            let ns_per_call = elapsed.as_nanos() as f64 / (rounds * depth as u64) as f64;
+            if depth == 1 {
+                serial_ns = ns_per_call;
+            }
+            println!(
+                "| {op} | {depth} | {ns_per_call:.0} | {:.0} | {:.2}x |",
+                1e9 / ns_per_call,
+                serial_ns / ns_per_call,
+            );
+            rows.push((op, depth, ns_per_call));
+        }
+    }
+    drop(os);
+    rt.shutdown();
+
+    // Record the sweep (hand-rolled JSON; no serde in this build).
+    let out_path =
+        std::env::var("CHANOS_SYSCALL_OUT").unwrap_or_else(|_| "BENCH_syscall.json".into());
+    let out_path = if std::path::Path::new(&out_path).is_absolute() {
+        std::path::PathBuf::from(out_path)
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(out_path)
+    };
+    let quick = budget < std::time::Duration::from_millis(100);
+    let speedup = |op: &str, d: usize| {
+        let serial = rows.iter().find(|r| r.0 == op && r.1 == 1).map(|r| r.2);
+        let deep = rows.iter().find(|r| r.0 == op && r.1 == d).map(|r| r.2);
+        match (serial, deep) {
+            (Some(s), Some(p)) => s / p,
+            _ => 0.0,
+        }
+    };
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str(&format!(
+        "  \"bench\": \"syscall_depth_sweep\",\n  \"quick\": {quick},\n  \"workers\": 4,\n  \"kernel_cores\": 2,\n"
+    ));
+    j.push_str(&format!(
+        "  \"speedup_getpid_x8_vs_serial\": {:.3},\n  \"speedup_read_x8_vs_serial\": {:.3},\n",
+        speedup("getpid", 8),
+        speedup("read", 8),
+    ));
+    j.push_str("  \"rows\": [\n");
+    for (i, (op, depth, ns)) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"op\": \"{op}\", \"depth\": {depth}, \"ns_per_call\": {ns:.1}, \
+             \"calls_per_sec\": {:.1}}}{}\n",
+            1e9 / ns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    let out_path = out_path.display().to_string();
+    if let Err(e) = std::fs::write(&out_path, &j) {
+        eprintln!("could not write {out_path}: {e}");
+    } else {
+        println!("\nrecorded -> {out_path}");
+    }
+}
+
 fn bench_e4_fs_scaling_real_hw() {
     use chanos_kernel::{boot, BootCfg, FsKind, KernelKind};
     use chanos_rt::CoreId;
@@ -363,11 +490,11 @@ fn bench_e14_vm_cluster_threads() {
                 })
             });
             // Shard service tasks, partitioned by shard id.
-            let mut shard_maps: Vec<Arc<BTreeMap<u32, rt::Sender<ShardReq>>>> = Vec::new();
+            let mut shard_maps: Vec<Arc<BTreeMap<u32, rt::Port<ShardReq>>>> = Vec::new();
             for p in 0..partitions {
                 let mut map = BTreeMap::new();
                 for shard in (0..SHARDS).filter(|s| s % partitions == p) {
-                    let (tx, rx) = rt::channel::<ShardReq>(rt::Capacity::Unbounded);
+                    let (tx, rx) = rt::port_channel::<ShardReq>(rt::Capacity::Unbounded);
                     rt::spawn_daemon(&format!("shard-{shard}"), async move {
                         let mut hits = 0u64;
                         while let Ok(req) = rx.recv().await {
@@ -392,9 +519,7 @@ fn bench_e14_vm_cluster_threads() {
                                     let shards = Arc::clone(&shards);
                                     async move {
                                         let tx = shards.get(&key).expect("shard owned here");
-                                        rt::request(tx, |reply| ShardReq { key, reply })
-                                            .await
-                                            .unwrap_or(0)
+                                        tx.call(|reply| ShardReq { key, reply }).await.unwrap_or(0)
                                     }
                                 })
                                 .await;
@@ -433,9 +558,7 @@ fn bench_e14_vm_cluster_threads() {
                         let owner = key % partitions;
                         if owner == p {
                             let tx = shards.get(&key).expect("local shard");
-                            rt::request(tx, |reply| ShardReq { key, reply })
-                                .await
-                                .unwrap();
+                            tx.call(|reply| ShardReq { key, reply }).await.unwrap();
                         } else {
                             remote_ops += 1;
                             remote[&owner].call(&key).await.expect("remote shard call");
@@ -617,6 +740,7 @@ fn print_counter_summary() {
 fn main() {
     bench_e1_msg_vs_call();
     bench_e3_syscalls_real_hw();
+    bench_syscall_depth_sweep();
     bench_e4_fs_scaling_real_hw();
     bench_e8_vm_granularity_threads();
     bench_e9_placement_real_hw();

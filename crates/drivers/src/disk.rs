@@ -62,6 +62,12 @@ pub enum DiskError {
     BadTag,
 }
 
+impl From<chanos_rt::CallError> for DiskError {
+    fn from(_: chanos_rt::CallError) -> Self {
+        DiskError::Gone
+    }
+}
+
 impl std::fmt::Display for DiskError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -532,34 +538,64 @@ pub enum DiskReq {
     },
 }
 
-/// A cloneable client handle to a disk driver.
+/// A cloneable client handle to a disk driver; requests go through a
+/// typed [`chanos_rt::Port`], so callers can also pipeline reads with
+/// [`DiskClient::read_batch`].
 #[derive(Clone)]
 pub struct DiskClient {
-    tx: Sender<DiskReq>,
+    port: chanos_rt::Port<DiskReq>,
 }
 
 impl DiskClient {
     /// Wraps a driver request channel.
     pub fn new(tx: Sender<DiskReq>) -> Self {
-        DiskClient { tx }
+        DiskClient {
+            port: chanos_rt::Port::attach(tx),
+        }
     }
 
     /// Reads `count` blocks starting at `lba`.
     pub async fn read(&self, lba: u64, count: u32) -> Result<Vec<u8>, DiskError> {
-        chanos_rt::request(&self.tx, |reply| DiskReq::Read { lba, count, reply })
+        self.port
+            .call(|reply| DiskReq::Read { lba, count, reply })
             .await
-            .unwrap_or(Err(DiskError::Gone))
+            .unwrap_or_else(|e| Err(e.into()))
     }
 
     /// Writes `data` starting at block `lba`.
     pub async fn write(&self, lba: u64, data: Vec<u8>) -> Result<(), DiskError> {
-        chanos_rt::request(&self.tx, |reply| DiskReq::Write { lba, data, reply })
+        self.port
+            .call(|reply| DiskReq::Write { lba, data, reply })
             .await
-            .unwrap_or(Err(DiskError::Gone))
+            .unwrap_or_else(|e| Err(e.into()))
+    }
+
+    /// Pipelines single-block reads: all requests are submitted as
+    /// one burst (one driver wake per burst on real threads), then
+    /// completed together — the driver's queue keeps the device busy
+    /// back-to-back instead of one command per round trip.
+    pub async fn read_batch(&self, lbas: &[u64]) -> Vec<Result<Vec<u8>, DiskError>> {
+        let calls = self.port.call_batch(lbas.iter().map(|&lba| {
+            move |reply| DiskReq::Read {
+                lba,
+                count: 1,
+                reply,
+            }
+        }));
+        chanos_rt::join_all(calls)
+            .await
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| Err(e.into())))
+            .collect()
+    }
+
+    /// The request port (for pipelined callers).
+    pub fn port(&self) -> &chanos_rt::Port<DiskReq> {
+        &self.port
     }
 
     /// The raw request channel (for supervisors that restart drivers).
     pub fn sender(&self) -> &Sender<DiskReq> {
-        &self.tx
+        self.port.sender()
     }
 }

@@ -3,8 +3,8 @@
 //! joining both with `choose!`.
 
 use chanos_rt::{
-    self as rt, channel, channel_with_bytes, choose, sleep, Capacity, CoreId, Cycles, Receiver,
-    ReplyTo, Sender,
+    self as rt, channel_with_bytes, choose, port_channel, sleep, Capacity, CoreId, Cycles, Port,
+    Receiver, ReplyTo,
 };
 
 /// A network packet (payload modeled by size only).
@@ -82,13 +82,13 @@ pub fn install_nic(params: NicParams, dev_core: CoreId) -> Receiver<Packet> {
 
 /// Spawns the single-threaded NIC driver: delivers received packets
 /// to the returned stack channel and serves transmit requests on the
-/// returned sender.
+/// returned typed port (stack clients pipeline TX bursts through it).
 pub fn spawn_nic_driver(
     rx_ring: Receiver<Packet>,
     tx_cost: Cycles,
     core: CoreId,
-) -> (Sender<TxReq>, Receiver<Packet>) {
-    let (tx_tx, tx_rx) = channel::<TxReq>(Capacity::Unbounded);
+) -> (Port<TxReq>, Receiver<Packet>) {
+    let (tx_tx, tx_rx) = port_channel::<TxReq>(Capacity::Unbounded);
     let (stack_tx, stack_rx) = channel_with_bytes::<Packet>(Capacity::Unbounded, 64);
     rt::spawn_daemon_on("nic-driver", core, async move {
         // Per-wakeup burst drain of the RX ring: under load the ring

@@ -1,6 +1,6 @@
 //! A console (TTY) device and its single-threaded driver.
 
-use chanos_rt::{self as rt, channel, sleep, Capacity, CoreId, Cycles, ReplyTo, Sender};
+use chanos_rt::{self as rt, port_channel, sleep, Capacity, CoreId, Cycles, Port, ReplyTo};
 
 /// A request to write a line to the console.
 pub struct TtyWrite {
@@ -13,17 +13,19 @@ pub struct TtyWrite {
 /// Cloneable client handle to the console driver.
 #[derive(Clone)]
 pub struct TtyClient {
-    tx: Sender<TtyWrite>,
+    port: Port<TtyWrite>,
 }
 
 impl TtyClient {
     /// Writes a string to the console, waiting for it to drain.
     pub async fn write(&self, s: &str) {
-        let _ = chanos_rt::request(&self.tx, |reply| TtyWrite {
-            bytes: s.as_bytes().to_vec(),
-            reply,
-        })
-        .await;
+        let _ = self
+            .port
+            .call(|reply| TtyWrite {
+                bytes: s.as_bytes().to_vec(),
+                reply,
+            })
+            .await;
     }
 }
 
@@ -31,7 +33,7 @@ impl TtyClient {
 /// cost per byte. Output is collected into the `tty.bytes_written`
 /// statistic (the simulation has no real console).
 pub fn spawn_tty_driver(per_byte: Cycles, core: CoreId) -> TtyClient {
-    let (tx, rx) = channel::<TtyWrite>(Capacity::Unbounded);
+    let (port, rx) = port_channel::<TtyWrite>(Capacity::Unbounded);
     rt::spawn_daemon_on("tty-driver", core, async move {
         while let Ok(TtyWrite { bytes, reply }) = rx.recv().await {
             sleep(per_byte * bytes.len() as Cycles).await;
@@ -39,5 +41,5 @@ pub fn spawn_tty_driver(per_byte: Cycles, core: CoreId) -> TtyClient {
             let _ = reply.send(()).await;
         }
     });
-    TtyClient { tx }
+    TtyClient { port }
 }

@@ -237,7 +237,7 @@ fn nic_tx_completes() {
         );
         let (tx, _stack) = spawn_nic_driver(rx_ring, 1_000, CoreId(1));
         let t0 = chanos_sim::now();
-        chanos_rt::request(&tx, |reply| chanos_drivers::TxReq {
+        tx.call(|reply| chanos_drivers::TxReq {
             packet: chanos_drivers::Packet { id: 1, bytes: 100 },
             reply,
         })

@@ -6,11 +6,21 @@
 //! tell whether its calls trap (conventional kernel) or become
 //! messages to kernel cores (the proposal); only its performance
 //! differs.
+//!
+//! The message path issues every call through a typed
+//! [`Port`](chanos_rt::Port), so transport failures keep their
+//! meaning: [`KError::Gone`] when the kernel service died before
+//! serving the call, [`KError::Cancelled`] when it accepted the call
+//! but shut down without answering. [`Env::batch`] exposes the
+//! pipelined submit-then-complete surface: queue several syscalls,
+//! submit them as **one** kernel message burst, then complete them in
+//! any order.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use chanos_rt::{self as rt, request, CoreId, JoinHandle};
+use chanos_rt::{self as rt, Call, CallError, CoreId, JoinHandle, Port};
 use chanos_vfs::Stat;
 
 use crate::syscall::{MsgKernel, Syscall, TrapKernel};
@@ -23,6 +33,12 @@ pub enum KernelHandle {
     Msg(MsgKernel),
     /// System calls trap and run on the caller's core.
     Trap(Arc<TrapKernel>),
+}
+
+/// Lowers a completed port call to the syscall's result, preserving
+/// the transport taxonomy instead of flattening it to `Gone`.
+fn flatten<T>(r: Result<Result<T, KError>, CallError>) -> Result<T, KError> {
+    r.unwrap_or_else(|e| Err(e.into()))
 }
 
 /// A process's view of the OS.
@@ -46,13 +62,11 @@ impl Env {
             KernelHandle::Msg(k) => {
                 let pid = self.pid;
                 let path = path.to_string();
-                request(k.server_for(pid), move |reply| Syscall::Open {
-                    pid,
-                    path,
-                    reply,
-                })
-                .await
-                .unwrap_or(Err(KError::Gone))
+                flatten(
+                    k.server_for(pid)
+                        .call(move |reply| Syscall::Open { pid, path, reply })
+                        .await,
+                )
             }
         }
     }
@@ -64,13 +78,11 @@ impl Env {
             KernelHandle::Msg(k) => {
                 let pid = self.pid;
                 let path = path.to_string();
-                request(k.server_for(pid), move |reply| Syscall::Create {
-                    pid,
-                    path,
-                    reply,
-                })
-                .await
-                .unwrap_or(Err(KError::Gone))
+                flatten(
+                    k.server_for(pid)
+                        .call(move |reply| Syscall::Create { pid, path, reply })
+                        .await,
+                )
             }
         }
     }
@@ -81,14 +93,16 @@ impl Env {
             KernelHandle::Trap(k) => k.read(self.pid, fd, len).await,
             KernelHandle::Msg(k) => {
                 let pid = self.pid;
-                request(k.server_for(pid), move |reply| Syscall::Read {
-                    pid,
-                    fd,
-                    len,
-                    reply,
-                })
-                .await
-                .unwrap_or(Err(KError::Gone))
+                flatten(
+                    k.server_for(pid)
+                        .call(move |reply| Syscall::Read {
+                            pid,
+                            fd,
+                            len,
+                            reply,
+                        })
+                        .await,
+                )
             }
         }
     }
@@ -100,14 +114,16 @@ impl Env {
             KernelHandle::Msg(k) => {
                 let pid = self.pid;
                 let data = data.to_vec();
-                request(k.server_for(pid), move |reply| Syscall::Write {
-                    pid,
-                    fd,
-                    data,
-                    reply,
-                })
-                .await
-                .unwrap_or(Err(KError::Gone))
+                flatten(
+                    k.server_for(pid)
+                        .call(move |reply| Syscall::Write {
+                            pid,
+                            fd,
+                            data,
+                            reply,
+                        })
+                        .await,
+                )
             }
         }
     }
@@ -118,13 +134,11 @@ impl Env {
             KernelHandle::Trap(k) => k.close(self.pid, fd).await,
             KernelHandle::Msg(k) => {
                 let pid = self.pid;
-                request(k.server_for(pid), move |reply| Syscall::Close {
-                    pid,
-                    fd,
-                    reply,
-                })
-                .await
-                .unwrap_or(Err(KError::Gone))
+                flatten(
+                    k.server_for(pid)
+                        .call(move |reply| Syscall::Close { pid, fd, reply })
+                        .await,
+                )
             }
         }
     }
@@ -135,13 +149,11 @@ impl Env {
             KernelHandle::Trap(k) => k.fstat(self.pid, fd).await,
             KernelHandle::Msg(k) => {
                 let pid = self.pid;
-                request(k.server_for(pid), move |reply| Syscall::Fstat {
-                    pid,
-                    fd,
-                    reply,
-                })
-                .await
-                .unwrap_or(Err(KError::Gone))
+                flatten(
+                    k.server_for(pid)
+                        .call(move |reply| Syscall::Fstat { pid, fd, reply })
+                        .await,
+                )
             }
         }
     }
@@ -153,13 +165,11 @@ impl Env {
             KernelHandle::Msg(k) => {
                 let pid = self.pid;
                 let path = path.to_string();
-                request(k.server_for(pid), move |reply| Syscall::Mkdir {
-                    pid,
-                    path,
-                    reply,
-                })
-                .await
-                .unwrap_or(Err(KError::Gone))
+                flatten(
+                    k.server_for(pid)
+                        .call(move |reply| Syscall::Mkdir { pid, path, reply })
+                        .await,
+                )
             }
         }
     }
@@ -171,13 +181,11 @@ impl Env {
             KernelHandle::Msg(k) => {
                 let pid = self.pid;
                 let path = path.to_string();
-                request(k.server_for(pid), move |reply| Syscall::Unlink {
-                    pid,
-                    path,
-                    reply,
-                })
-                .await
-                .unwrap_or(Err(KError::Gone))
+                flatten(
+                    k.server_for(pid)
+                        .call(move |reply| Syscall::Unlink { pid, path, reply })
+                        .await,
+                )
             }
         }
     }
@@ -189,13 +197,11 @@ impl Env {
             KernelHandle::Msg(k) => {
                 let pid = self.pid;
                 let path = path.to_string();
-                request(k.server_for(pid), move |reply| Syscall::ReadDir {
-                    pid,
-                    path,
-                    reply,
-                })
-                .await
-                .unwrap_or(Err(KError::Gone))
+                flatten(
+                    k.server_for(pid)
+                        .call(move |reply| Syscall::ReadDir { pid, path, reply })
+                        .await,
+                )
             }
         }
     }
@@ -206,13 +212,178 @@ impl Env {
             KernelHandle::Trap(k) => k.getpid(self.pid).await,
             KernelHandle::Msg(k) => {
                 let pid = self.pid;
-                request(k.server_for(pid), move |reply| Syscall::GetPid {
-                    pid,
-                    reply,
-                })
-                .await
-                .unwrap_or(pid)
+                k.server_for(pid)
+                    .call(move |reply| Syscall::GetPid { pid, reply })
+                    .await
+                    .unwrap_or(pid)
             }
+        }
+    }
+
+    /// Starts a pipelined syscall batch: queue calls, [`submit`] them
+    /// as one kernel message burst, then complete them in any order.
+    ///
+    /// ```ignore
+    /// let mut b = env.batch();
+    /// let pid = b.getpid();
+    /// let data = b.read(fd, 64);
+    /// b.submit().await;               // one burst, one server wake
+    /// let n = data.await;             // complete out of order
+    /// let p = pid.await;
+    /// ```
+    ///
+    /// On the message kernel this is FlexSC-style call batching: the
+    /// syscall server wakes once, drains the burst with `recv_many`,
+    /// and answers under one coalesced reply wake. On the trap kernel
+    /// there is no submission queue — which is the paper's point —
+    /// so each call simply runs when first awaited.
+    ///
+    /// [`submit`]: SyscallBatch::submit
+    pub fn batch(&self) -> SyscallBatch {
+        SyscallBatch {
+            pid: self.pid,
+            inner: match &self.kernel {
+                KernelHandle::Msg(k) => BatchInner::Msg {
+                    port: k.server_for(self.pid).clone(),
+                    buf: VecDeque::new(),
+                },
+                KernelHandle::Trap(k) => BatchInner::Trap(k.clone()),
+            },
+        }
+    }
+}
+
+enum BatchInner {
+    /// Message kernel: requests accumulate and submit as one burst.
+    Msg {
+        port: Port<Syscall>,
+        buf: VecDeque<Syscall>,
+    },
+    /// Trap kernel: no submission queue exists; calls run on await.
+    Trap(Arc<TrapKernel>),
+}
+
+/// A pipelined syscall submission queue (see [`Env::batch`]).
+///
+/// Each method returns a held [`Call`]; nothing reaches the kernel
+/// until [`SyscallBatch::submit`]. The batch is reusable: submit,
+/// queue more calls, submit again.
+pub struct SyscallBatch {
+    pid: Pid,
+    inner: BatchInner,
+}
+
+impl SyscallBatch {
+    /// Queues the null system call.
+    pub fn getpid(&mut self) -> Call<Pid> {
+        let pid = self.pid;
+        match &mut self.inner {
+            BatchInner::Msg { port, buf } => {
+                port.call_deferred(buf, move |reply| Syscall::GetPid { pid, reply })
+            }
+            BatchInner::Trap(k) => {
+                let k = k.clone();
+                Call::from_future(async move { Ok(k.getpid(pid).await) })
+            }
+        }
+    }
+
+    /// Queues an `open`.
+    pub fn open(&mut self, path: &str) -> Call<Result<Fd, KError>> {
+        let pid = self.pid;
+        let path = path.to_string();
+        match &mut self.inner {
+            BatchInner::Msg { port, buf } => {
+                port.call_deferred(buf, move |reply| Syscall::Open { pid, path, reply })
+            }
+            BatchInner::Trap(k) => {
+                let k = k.clone();
+                Call::from_future(async move { Ok(k.open(pid, &path).await) })
+            }
+        }
+    }
+
+    /// Queues a `create`.
+    pub fn create(&mut self, path: &str) -> Call<Result<Fd, KError>> {
+        let pid = self.pid;
+        let path = path.to_string();
+        match &mut self.inner {
+            BatchInner::Msg { port, buf } => {
+                port.call_deferred(buf, move |reply| Syscall::Create { pid, path, reply })
+            }
+            BatchInner::Trap(k) => {
+                let k = k.clone();
+                Call::from_future(async move { Ok(k.create(pid, &path).await) })
+            }
+        }
+    }
+
+    /// Queues a `read` at the descriptor's current offset.
+    pub fn read(&mut self, fd: Fd, len: usize) -> Call<Result<Vec<u8>, KError>> {
+        let pid = self.pid;
+        match &mut self.inner {
+            BatchInner::Msg { port, buf } => port.call_deferred(buf, move |reply| Syscall::Read {
+                pid,
+                fd,
+                len,
+                reply,
+            }),
+            BatchInner::Trap(k) => {
+                let k = k.clone();
+                Call::from_future(async move { Ok(k.read(pid, fd, len).await) })
+            }
+        }
+    }
+
+    /// Queues a `write` at the descriptor's current offset.
+    pub fn write(&mut self, fd: Fd, data: &[u8]) -> Call<Result<usize, KError>> {
+        let pid = self.pid;
+        let data = data.to_vec();
+        match &mut self.inner {
+            BatchInner::Msg { port, buf } => port.call_deferred(buf, move |reply| Syscall::Write {
+                pid,
+                fd,
+                data,
+                reply,
+            }),
+            BatchInner::Trap(k) => {
+                let k = k.clone();
+                Call::from_future(async move { Ok(k.write(pid, fd, &data).await) })
+            }
+        }
+    }
+
+    /// Queues a `close`.
+    pub fn close(&mut self, fd: Fd) -> Call<Result<(), KError>> {
+        let pid = self.pid;
+        match &mut self.inner {
+            BatchInner::Msg { port, buf } => {
+                port.call_deferred(buf, move |reply| Syscall::Close { pid, fd, reply })
+            }
+            BatchInner::Trap(k) => {
+                let k = k.clone();
+                Call::from_future(async move { Ok(k.close(pid, fd).await) })
+            }
+        }
+    }
+
+    /// Number of queued, not-yet-submitted syscalls.
+    pub fn pending(&self) -> usize {
+        match &self.inner {
+            BatchInner::Msg { buf, .. } => buf.len(),
+            BatchInner::Trap(_) => 0,
+        }
+    }
+
+    /// Submits every queued syscall as one message burst (one server
+    /// wake on real threads; one send event per call on the
+    /// simulator). Failures surface on the individual calls:
+    /// [`KError::Gone`] if the kernel is gone, [`KError::Cancelled`]
+    /// if it cancels a call mid-batch.
+    pub async fn submit(&mut self) {
+        match &mut self.inner {
+            BatchInner::Msg { port, buf } => port.submit(buf).await,
+            BatchInner::Trap(_) => {}
         }
     }
 }

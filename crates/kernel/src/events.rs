@@ -19,8 +19,8 @@
 //!   event channel. No kernel work is ever discarded.
 
 use chanos_rt::{
-    self as rt, channel, delay, reply_channel, sleep, Capacity, CoreId, Cycles, Receiver, ReplyTo,
-    Sender,
+    self as rt, channel, delay, port_channel, sleep, Capacity, CoreId, Cycles, Port, Receiver,
+    ReplyTo,
 };
 
 /// Workload parameters for the event-delivery experiment.
@@ -101,8 +101,8 @@ fn spawn_event_source(mean_gap: Cycles, n: u64, core: CoreId) -> Receiver<Event>
 }
 
 /// Spawns the interruptible kernel server.
-fn spawn_kernel_server(cfg: &EventExpCfg) -> Sender<OpReq> {
-    let (tx, rx) = channel::<OpReq>(Capacity::Unbounded);
+fn spawn_kernel_server(cfg: &EventExpCfg) -> Port<OpReq> {
+    let (tx, rx) = port_channel::<OpReq>(Capacity::Unbounded);
     let slices = cfg.op_slices;
     let slice = cfg.slice_cycles;
     rt::spawn_daemon_on("event-kernel-server", cfg.kernel_core, async move {
@@ -139,28 +139,20 @@ pub async fn run_signal_model(cfg: &EventExpCfg) -> EventExpResult {
     let mut restarts = 0u64;
     while done < cfg.n_ops {
         let (abort_tx, abort_rx) = channel::<()>(Capacity::Bounded(1));
-        let (reply_to, reply) = reply_channel::<Result<(), Interrupted>>();
-        if server
-            .send(OpReq {
-                abort: abort_rx,
-                reply: reply_to,
-            })
-            .await
-            .is_err()
-        {
-            break;
-        }
-        let mut reply_fut = Box::pin(reply.recv());
+        let mut call = server.call(|reply| OpReq {
+            abort: abort_rx,
+            reply,
+        });
         let mut events_open = true;
         let interrupted = loop {
             if !events_open {
                 // The event source has shut down; just finish the call
                 // (a perpetually-ready closed arm must not be selected
                 // on, or the choose loop spins).
-                break !matches!(reply_fut.as_mut().await, Ok(Ok(())));
+                break !matches!((&mut call).await, Ok(Ok(())));
             }
             chanos_rt::choose! {
-                r = reply_fut.as_mut() => {
+                r = &mut call => {
                     break !matches!(r, Ok(Ok(())));
                 },
                 ev = events.recv() => match ev {
@@ -210,27 +202,19 @@ pub async fn run_channel_model(cfg: &EventExpCfg) -> EventExpResult {
     while done < cfg.n_ops {
         // Never-aborted op: the abort channel stays silent.
         let (_abort_tx, abort_rx) = channel::<()>(Capacity::Bounded(1));
-        let (reply_to, reply) = reply_channel::<Result<(), Interrupted>>();
-        if server
-            .send(OpReq {
-                abort: abort_rx,
-                reply: reply_to,
-            })
-            .await
-            .is_err()
-        {
-            break;
-        }
-        let mut reply_fut = Box::pin(reply.recv());
+        let mut call = server.call(|reply| OpReq {
+            abort: abort_rx,
+            reply,
+        });
         let mut events_open = true;
         loop {
             if !events_open {
-                let _ = reply_fut.as_mut().await;
+                let _ = (&mut call).await;
                 done += 1;
                 break;
             }
             chanos_rt::choose! {
-                _r = reply_fut.as_mut() => {
+                _r = &mut call => {
                     done += 1;
                     break;
                 },

@@ -35,7 +35,7 @@ pub mod types;
 
 pub use boot::{boot, BootCfg, FsKind, KernelKind, Os};
 pub use compat::{compat_copy, CompatFile};
-pub use env::{Env, KernelHandle, ProcessTable};
+pub use env::{Env, KernelHandle, ProcessTable, SyscallBatch};
 pub use events::{run_channel_model, run_signal_model, EventExpCfg, EventExpResult};
 pub use pipe::{pipe, PipeReader, PipeWriter, PIPE_DEPTH};
 pub use placement::{Policy, ThreadPlacer};

@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use chanos_rt::{self as rt, channel, delay, Capacity, CoreId, Cycles, ReplyTo, Sender};
+use chanos_rt::{self as rt, delay, port_channel, Capacity, CoreId, Cycles, Port, ReplyTo};
 use chanos_shmem::SimMutex;
 use chanos_vfs::{FsError, Stat, Vfs};
 
@@ -274,10 +274,10 @@ impl ServerState {
 }
 
 /// The message-kernel: syscall server tasks on dedicated kernel
-/// cores.
+/// cores, addressed through typed [`Port`]s.
 #[derive(Clone)]
 pub struct MsgKernel {
-    servers: Arc<Vec<Sender<Syscall>>>,
+    servers: Arc<Vec<Port<Syscall>>>,
 }
 
 impl MsgKernel {
@@ -289,7 +289,7 @@ impl MsgKernel {
         assert!(!kernel_cores.is_empty());
         let mut servers = Vec::with_capacity(kernel_cores.len());
         for (i, &core) in kernel_cores.iter().enumerate() {
-            let (tx, rx) = channel::<Syscall>(Capacity::Unbounded);
+            let (port, rx) = port_channel::<Syscall>(Capacity::Unbounded);
             let vfs = vfs.clone();
             let costs = costs.clone();
             rt::spawn_daemon_on(&format!("syscall-server{i}"), core, async move {
@@ -343,15 +343,25 @@ impl MsgKernel {
                     }
                 }
             });
-            servers.push(tx);
+            servers.push(port);
         }
         MsgKernel {
             servers: Arc::new(servers),
         }
     }
 
-    /// The server channel responsible for `pid`.
-    pub fn server_for(&self, pid: Pid) -> &Sender<Syscall> {
+    /// Builds a kernel handle over externally provided server ports —
+    /// for supervisors that restart syscall servers and for tests
+    /// that fake a kernel.
+    pub fn from_ports(servers: Vec<Port<Syscall>>) -> MsgKernel {
+        assert!(!servers.is_empty());
+        MsgKernel {
+            servers: Arc::new(servers),
+        }
+    }
+
+    /// The server port responsible for `pid`.
+    pub fn server_for(&self, pid: Pid) -> &Port<Syscall> {
         &self.servers[(pid.0 as usize) % self.servers.len()]
     }
 }

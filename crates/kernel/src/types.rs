@@ -1,5 +1,6 @@
 //! Kernel identifier and error types.
 
+use chanos_rt::CallError;
 use chanos_vfs::FsError;
 
 /// Process identifier.
@@ -32,8 +33,13 @@ pub enum KError {
     /// The call was interrupted by a signal (the baseline event
     /// model; never produced by the channel event model).
     Interrupted,
-    /// The kernel service handling the call went away.
+    /// The kernel service handling the call went away (the syscall
+    /// was not served).
     Gone,
+    /// The kernel accepted the syscall but cancelled it without
+    /// answering (server shut down mid-batch). Distinct from
+    /// [`KError::Gone`]: the service may still be alive.
+    Cancelled,
 }
 
 impl std::fmt::Display for KError {
@@ -43,6 +49,7 @@ impl std::fmt::Display for KError {
             KError::Fs(e) => write!(f, "{e}"),
             KError::Interrupted => write!(f, "interrupted system call"),
             KError::Gone => write!(f, "kernel service unavailable"),
+            KError::Cancelled => write!(f, "system call cancelled by the kernel"),
         }
     }
 }
@@ -52,5 +59,14 @@ impl std::error::Error for KError {}
 impl From<FsError> for KError {
     fn from(e: FsError) -> Self {
         KError::Fs(e)
+    }
+}
+
+impl From<CallError> for KError {
+    fn from(e: CallError) -> Self {
+        match e {
+            CallError::ServerGone => KError::Gone,
+            CallError::Cancelled => KError::Cancelled,
+        }
     }
 }

@@ -448,3 +448,110 @@ fn kill_based_strategies_refuse_the_threads_backend() {
         other => panic!("expected a loud refusal, got {other:?}"),
     }
 }
+
+// ---------------------------------------------------------------------------
+// Typed-port error taxonomy and the pipelined batch surface.
+// ---------------------------------------------------------------------------
+
+/// The `Env` error path distinguishes "kernel service gone" from "the
+/// kernel cancelled my call" — previously every transport failure was
+/// flattened to `KError::Gone`.
+#[test]
+fn env_distinguishes_kernel_gone_from_cancellation() {
+    use chanos_kernel::{Env, KernelHandle, MsgKernel, Pid, Syscall};
+    use chanos_rt::{port_channel, Capacity};
+
+    let mut s = sim(2);
+    s.block_on(async {
+        // A kernel whose server accepts syscalls but drops every
+        // reply endpoint unanswered: callers observe a cancellation.
+        let (port, rx) = port_channel::<Syscall>(Capacity::Unbounded);
+        chanos_rt::spawn(async move {
+            while let Ok(call) = rx.recv().await {
+                drop(call);
+            }
+        });
+        let env = Env::new(Pid(1), KernelHandle::Msg(MsgKernel::from_ports(vec![port])));
+        assert_eq!(env.open("/x").await, Err(KError::Cancelled));
+
+        // A kernel with no server at all: the call was never served.
+        let (port, rx) = port_channel::<Syscall>(Capacity::Unbounded);
+        drop(rx);
+        let env = Env::new(Pid(1), KernelHandle::Msg(MsgKernel::from_ports(vec![port])));
+        assert_eq!(env.open("/x").await, Err(KError::Gone));
+    })
+    .unwrap();
+}
+
+/// `Env::batch()` pipelines syscalls through the message kernel: one
+/// submission burst, out-of-order completion, same observable results
+/// as the serial calls.
+#[test]
+fn env_batch_pipelines_syscalls_through_the_message_kernel() {
+    let mut s = sim(4);
+    let out = s
+        .block_on(async {
+            let os = boot(BootCfg::new(
+                KernelKind::Message,
+                FsKind::Message,
+                kernel_cores(2),
+            ))
+            .await;
+            let env = os.procs.env();
+            env.mkdir("/b").await.unwrap();
+            let fd = env.create("/b/f").await.unwrap();
+            env.write(fd, b"pipelined!").await.unwrap();
+            env.close(fd).await.unwrap();
+            let fd = env.open("/b/f").await.unwrap();
+
+            let mut b = env.batch();
+            let pid = b.getpid();
+            let first = b.read(fd, 4);
+            let rest = b.read(fd, 16);
+            let end = b.read(fd, 16);
+            assert_eq!(b.pending(), 4);
+            b.submit().await;
+            assert_eq!(b.pending(), 0);
+            // Complete out of submission order; per-client FIFO still
+            // means the reads advanced the offset in order.
+            let end = end.await.unwrap().unwrap();
+            let rest = rest.await.unwrap().unwrap();
+            let first = first.await.unwrap().unwrap();
+            let pid = pid.await.unwrap();
+            (pid, first, rest, end)
+        })
+        .unwrap();
+    assert_eq!(out.0 .0, 1);
+    assert_eq!(out.1, b"pipe".to_vec());
+    assert_eq!(out.2, b"lined!".to_vec());
+    assert_eq!(out.3, Vec::<u8>::new());
+}
+
+/// The same batch surface works on the trap kernel (degenerating to
+/// run-on-await, since a trap architecture has no submission queue).
+#[test]
+fn env_batch_works_on_the_trap_kernel() {
+    let mut s = sim(4);
+    let (pid, data) = s
+        .block_on(async {
+            let os = boot(BootCfg::new(
+                KernelKind::Trap,
+                FsKind::BigLock,
+                kernel_cores(1),
+            ))
+            .await;
+            let env = os.procs.env();
+            let fd = env.create("/t").await.unwrap();
+            env.write(fd, b"trap").await.unwrap();
+            env.close(fd).await.unwrap();
+            let fd = env.open("/t").await.unwrap();
+            let mut b = env.batch();
+            let pid = b.getpid();
+            let read = b.read(fd, 8);
+            b.submit().await;
+            (pid.await.unwrap(), read.await.unwrap().unwrap())
+        })
+        .unwrap();
+    assert_eq!(pid.0, 1);
+    assert_eq!(data, b"trap".to_vec());
+}

@@ -156,6 +156,8 @@ static WAKES_ELIDED: AtomicU64 = AtomicU64::new(0);
 static OVERFLOW_SPILLS: AtomicU64 = AtomicU64::new(0);
 static RECV_MANY_CALLS: AtomicU64 = AtomicU64::new(0);
 static RECV_MANY_MSGS: AtomicU64 = AtomicU64::new(0);
+static SEND_MANY_CALLS: AtomicU64 = AtomicU64::new(0);
+static SEND_MANY_MSGS: AtomicU64 = AtomicU64::new(0);
 static REPLY_WAKES_COALESCED: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
@@ -246,6 +248,8 @@ pub fn coalesce_wakes<R>(f: impl FnOnce() -> R) -> R {
 ///   ring segment into the spill deque (took the lock).
 /// * `chan.recv_many_calls` / `chan.recv_many_msgs` — batched drains
 ///   and the messages they moved.
+/// * `chan.send_many_calls` / `chan.send_many_msgs` — batched submits
+///   ([`Sender::try_send_many`]) and the messages they enqueued.
 /// * `chan.reply_wakes_coalesced` — duplicate same-task wakes
 ///   absorbed by a [`coalesce_wakes`] reply scope.
 pub fn chan_counters() -> Vec<(&'static str, u64)> {
@@ -268,6 +272,14 @@ pub fn chan_counters() -> Vec<(&'static str, u64)> {
         (
             "chan.recv_many_msgs",
             RECV_MANY_MSGS.load(Ordering::Relaxed),
+        ),
+        (
+            "chan.send_many_calls",
+            SEND_MANY_CALLS.load(Ordering::Relaxed),
+        ),
+        (
+            "chan.send_many_msgs",
+            SEND_MANY_MSGS.load(Ordering::Relaxed),
         ),
         (
             "chan.reply_wakes_coalesced",
@@ -298,6 +310,8 @@ pub fn reset_chan_counters() {
         &OVERFLOW_SPILLS,
         &RECV_MANY_CALLS,
         &RECV_MANY_MSGS,
+        &SEND_MANY_CALLS,
+        &SEND_MANY_MSGS,
         &REPLY_WAKES_COALESCED,
     ] {
         c.store(0, Ordering::Relaxed);
@@ -551,6 +565,34 @@ impl<T: Send> Sender<T> {
                 }
             }
         }
+    }
+
+    /// Enqueues the items of `buf` in order, waking the receiving
+    /// task **once for the whole burst** instead of once per item —
+    /// the send-side analogue of [`Receiver::recv_many`], and the
+    /// submission primitive behind pipelined request ports.
+    ///
+    /// Stops at the first item the channel cannot accept (full ring
+    /// or closed channel); unsent items remain at the front of `buf`.
+    /// Returns how many items were enqueued.
+    pub fn try_send_many(&self, buf: &mut VecDeque<T>) -> usize {
+        let mut n = 0usize;
+        coalesce_wakes(|| {
+            while let Some(v) = buf.pop_front() {
+                match self.try_send(v) {
+                    Ok(()) => n += 1,
+                    Err(TrySendError::Full(v)) | Err(TrySendError::Closed(v)) => {
+                        buf.push_front(v);
+                        break;
+                    }
+                }
+            }
+        });
+        if n > 0 {
+            bump(&SEND_MANY_CALLS);
+            SEND_MANY_MSGS.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        n
     }
 
     /// Closes the channel.

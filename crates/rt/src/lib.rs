@@ -41,8 +41,11 @@ use chanos_csp as csp;
 use chanos_parchan as par;
 use chanos_sim as sim;
 
+mod port;
+
 pub use chanos_select::{choose, join2, join_all, race, select_all, Either};
 pub use chanos_sim::{plock, CoreId, Cycles, Pcg32, TaskId};
+pub use port::{port_channel, Call, CallError, Port};
 
 /// Which execution substrate the calling task is on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,6 +279,34 @@ impl<T: Send + 'static> Sender<T> {
                 par::TrySendError::Full(v) => TrySendError::Full(v),
                 par::TrySendError::Closed(v) => TrySendError::Closed(v),
             }),
+        }
+    }
+
+    /// Enqueues the items of `buf` in order as one burst, stopping at
+    /// the first item the channel cannot accept; unsent items remain
+    /// at the front of `buf`. Returns how many were enqueued.
+    ///
+    /// On real threads the receiving task is woken **once for the
+    /// whole burst** (`chan.send_many_calls` / `chan.send_many_msgs`).
+    /// On the simulator each item is still charged as its own send
+    /// event, so traces stay deterministic — exactly mirroring how
+    /// [`Receiver::recv_many`] batches the other direction.
+    pub fn try_send_many(&self, buf: &mut std::collections::VecDeque<T>) -> usize {
+        match &self.0 {
+            SenderImpl::Sim(s) => {
+                let mut n = 0;
+                while let Some(v) = buf.pop_front() {
+                    match s.try_send(v) {
+                        Ok(()) => n += 1,
+                        Err(csp::TrySendError::Full(v)) | Err(csp::TrySendError::Closed(v)) => {
+                            buf.push_front(v);
+                            break;
+                        }
+                    }
+                }
+                n
+            }
+            SenderImpl::Par(s) => s.try_send_many(buf),
         }
     }
 
@@ -595,19 +626,18 @@ pub fn coalesce_replies<R>(f: impl FnOnce() -> R) -> R {
     }
 }
 
-/// Performs one RPC over a server channel: builds the request with a
-/// fresh reply channel, sends it, and awaits the response.
+/// Performs one serial RPC over a server channel: builds the request
+/// with a fresh reply channel, sends it, and awaits the response.
 ///
 /// Returns `None` if the server is gone (channel closed in either
-/// direction).
+/// direction). This is the legacy convenience shim; service clients
+/// use [`Port::call`], which pipelines, batches, and reports
+/// [`CallError`] instead of flattening every failure to `None`.
 pub async fn request<Req: Send + 'static, Resp: Send + 'static>(
     server: &Sender<Req>,
     make: impl FnOnce(ReplyTo<Resp>) -> Req,
 ) -> Option<Resp> {
-    let (reply_to, reply) = reply_channel();
-    let msg = make(reply_to);
-    server.send(msg).await.ok()?;
-    reply.recv().await.ok()
+    Port::attach(server.clone()).call(make).await.ok()
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,567 @@
+//! Typed service ports: the §3 "syscall is an RPC" pattern as a
+//! first-class, *pipelined* API.
+//!
+//! Every OS service in this repo is a task draining an enum-of-
+//! requests channel, where each variant smuggles a [`ReplyTo`].
+//! [`Port`] packages that pattern:
+//!
+//! * [`Port::call`] submits a request **immediately** and returns a
+//!   [`Call`] — a future that can be *held*. Clients issue many calls
+//!   before awaiting any (pipelining) and await them in any order.
+//! * [`Port::call_batch`] submits a slice of requests as one burst:
+//!   on real threads the server is woken **once** for the whole burst
+//!   (`chan.send_many_*`), composing with [`coalesce_replies`] on the
+//!   reply side; on the simulator each request is still charged as
+//!   its own send event, so traces stay deterministic.
+//! * [`Port::call_deferred`] + [`Port::submit`] split issue from
+//!   submission for builder surfaces (`Env::batch()` in
+//!   `chanos-kernel` is built on it).
+//!
+//! The error taxonomy replaces the lossy `unwrap_or(Err(Gone))`
+//! idiom: a failed call distinguishes [`CallError::ServerGone`] (the
+//! request channel is closed — the server died or was never there)
+//! from [`CallError::Cancelled`] (the server dropped the reply
+//! endpoint without answering *and is still serving*). The
+//! classification is as of completion time: a server that cancels a
+//! call and then exits reports `ServerGone` — by the time the client
+//! observes the failure the service **is** gone, which is the version
+//! of events a retrying caller can act on. Application-level errors
+//! ride inside the response type itself, exactly as before.
+//!
+//! Dropping an unresolved [`Call`] is a *cancellation*, not a leak:
+//! the reply channel closes (so the server's answer fails cleanly)
+//! and the drop is counted on [`Port::calls_cancelled`] and the
+//! ambient `port.calls_cancelled` statistic.
+//!
+//! [`coalesce_replies`]: crate::coalesce_replies
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+use crate::{reply_channel, Receiver, Reply, ReplyTo, Sender, TrySendError};
+
+/// Why a [`Call`] failed at the transport layer. Application errors
+/// are carried inside the response type instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallError {
+    /// The server's request channel is closed: the server is gone (or
+    /// died before answering) and the request was not served.
+    ServerGone,
+    /// The server dropped the reply endpoint without answering while
+    /// its request channel was still open — it cancelled this call
+    /// and kept serving. (A server that cancels and *then* exits
+    /// reports [`CallError::ServerGone`] instead: the classification
+    /// is as of completion time.)
+    Cancelled,
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::ServerGone => write!(f, "service is gone"),
+            CallError::Cancelled => write!(f, "call cancelled by the service"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// State shared by a port and its in-flight calls (cancellation
+/// accounting survives the port being dropped).
+#[derive(Debug, Default)]
+struct PortCore {
+    cancelled: AtomicU64,
+}
+
+/// A typed client handle to a service task: requests of type `Req` go
+/// in, each carrying its own [`ReplyTo`]; completions come back as
+/// [`Call`] futures.
+///
+/// Clone freely — clones share the underlying channel and the
+/// cancellation counter. The server side is an ordinary
+/// [`Receiver<Req>`]; servers keep draining with `recv_many` exactly
+/// as before.
+pub struct Port<Req> {
+    tx: Sender<Req>,
+    core: Arc<PortCore>,
+}
+
+impl<Req> Clone for Port<Req> {
+    fn clone(&self) -> Self {
+        Port {
+            tx: self.tx.clone(),
+            core: self.core.clone(),
+        }
+    }
+}
+
+impl<Req> std::fmt::Debug for Port<Req> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Port {{ cancelled: {} }}",
+            self.core.cancelled.load(Ordering::Relaxed)
+        )
+    }
+}
+
+/// Creates a service channel of the given capacity on the calling
+/// task's backend: the client [`Port`] and the server [`Receiver`].
+pub fn port_channel<Req: Send + 'static>(cap: crate::Capacity) -> (Port<Req>, Receiver<Req>) {
+    let (tx, rx) = crate::channel(cap);
+    (Port::attach(tx), rx)
+}
+
+impl<Req: Send + 'static> Port<Req> {
+    /// Wraps an existing server request channel into a port.
+    pub fn attach(tx: Sender<Req>) -> Port<Req> {
+        Port {
+            tx,
+            core: Arc::new(PortCore::default()),
+        }
+    }
+
+    /// The raw request channel (for supervisors that restart servers,
+    /// and for forwarding pre-built messages).
+    pub fn sender(&self) -> &Sender<Req> {
+        &self.tx
+    }
+
+    /// Returns `true` if the server can no longer receive requests.
+    pub fn is_closed(&self) -> bool {
+        self.tx.is_closed()
+    }
+
+    /// How many [`Call`]s on this port (and its clones) were dropped
+    /// before resolving — each one a cancelled RPC whose reply the
+    /// server could no longer deliver.
+    pub fn calls_cancelled(&self) -> u64 {
+        self.core.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Issues one call: builds the request around a fresh reply
+    /// channel and submits it **now**. The returned [`Call`] is only
+    /// the completion — hold several before awaiting any to pipeline
+    /// requests into the server's batch drain.
+    ///
+    /// (On a *bounded* port whose queue is momentarily full, the
+    /// request is submitted on the call's first poll instead.)
+    pub fn call<Resp, F>(&self, make: F) -> Call<Resp>
+    where
+        Resp: Send + 'static,
+        F: FnOnce(ReplyTo<Resp>) -> Req,
+    {
+        let (reply_to, reply) = reply_channel();
+        match self.tx.try_send(make(reply_to)) {
+            Ok(()) => self.waiting_call(reply),
+            Err(TrySendError::Closed(_)) => Call::failed(CallError::ServerGone),
+            Err(TrySendError::Full(msg)) => self.sending_call(msg, reply),
+        }
+    }
+
+    /// Issues a batch of same-response-type calls, submitted as one
+    /// burst: on real threads the server wakes **once** for the whole
+    /// slice; on the simulator each request is its own send event
+    /// (deterministic traces). Returns the calls in submission order;
+    /// completion order is the client's choice.
+    ///
+    /// Per-client FIFO holds for every request accepted at submission
+    /// time — always, on an unbounded port (all OS service ports are
+    /// unbounded). On a *bounded* port that fills mid-burst, the
+    /// overflow requests are submitted at each call's first poll, so
+    /// their relative order follows poll order; await such calls in
+    /// submission order if the server's processing order matters.
+    pub fn call_batch<Resp, F>(&self, makes: impl IntoIterator<Item = F>) -> Vec<Call<Resp>>
+    where
+        Resp: Send + 'static,
+        F: FnOnce(ReplyTo<Resp>) -> Req,
+    {
+        let mut msgs = VecDeque::new();
+        let mut replies = Vec::new();
+        for make in makes {
+            let (reply_to, reply) = reply_channel();
+            msgs.push_back(make(reply_to));
+            replies.push(reply);
+        }
+        let sent = self.tx.try_send_many(&mut msgs);
+        replies
+            .into_iter()
+            .enumerate()
+            .map(|(i, reply)| {
+                if i < sent {
+                    self.waiting_call(reply)
+                } else {
+                    // Full or closed mid-burst: fall back to an async
+                    // submit at poll time (which reports ServerGone
+                    // itself if the channel is closed).
+                    let msg = msgs
+                        .pop_front()
+                        .expect("one unsent request per left-over call");
+                    self.sending_call(msg, reply)
+                }
+            })
+            .collect()
+    }
+
+    /// Builds a call but only *buffers* the request into `buf`; the
+    /// caller submits the accumulated burst later with
+    /// [`Port::submit`]. This is the building block for typed batch
+    /// builders (`Env::batch()`).
+    ///
+    /// A deferred call that is never submitted resolves as
+    /// [`CallError::Cancelled`] once `buf` is dropped.
+    pub fn call_deferred<Resp, F>(&self, buf: &mut VecDeque<Req>, make: F) -> Call<Resp>
+    where
+        Resp: Send + 'static,
+        F: FnOnce(ReplyTo<Resp>) -> Req,
+    {
+        let (reply_to, reply) = reply_channel();
+        buf.push_back(make(reply_to));
+        self.waiting_call(reply)
+    }
+
+    /// Submits previously deferred requests as one burst (one server
+    /// wake on real threads, one send event per message on the
+    /// simulator). If the server is gone, the unsent requests are
+    /// dropped and their calls resolve as [`CallError::ServerGone`].
+    pub async fn submit(&self, buf: &mut VecDeque<Req>) {
+        loop {
+            self.tx.try_send_many(buf);
+            let Some(msg) = buf.pop_front() else { return };
+            // Full (bounded port): wait for space. Closed: drop the
+            // rest — the calls observe it through their replies.
+            if self.tx.send(msg).await.is_err() {
+                buf.clear();
+                return;
+            }
+        }
+    }
+
+    /// Forwards a pre-built request — e.g. delegating a message whose
+    /// [`ReplyTo`] belongs to another client further down a service
+    /// chain (channels as capabilities, §3). Returns the request if
+    /// the server is gone.
+    pub async fn forward(&self, req: Req) -> Result<(), Req> {
+        self.tx
+            .send(req)
+            .await
+            .map_err(crate::SendError::into_inner)
+    }
+
+    fn waiting_call<Resp: Send + 'static>(&self, reply: Reply<Resp>) -> Call<Resp> {
+        let probe = self.tx.clone();
+        Call {
+            state: CallState::Waiting(Box::pin(async move {
+                match reply.recv().await {
+                    Ok(v) => Ok(v),
+                    // The reply endpoint died unanswered: if the
+                    // request channel is closed too, the server is
+                    // gone; otherwise the server is alive and chose
+                    // to drop this call.
+                    Err(_) => Err(if probe.is_closed() {
+                        CallError::ServerGone
+                    } else {
+                        CallError::Cancelled
+                    }),
+                }
+            })),
+            core: Some(self.core.clone()),
+        }
+    }
+
+    fn sending_call<Resp: Send + 'static>(&self, msg: Req, reply: Reply<Resp>) -> Call<Resp> {
+        let tx = self.tx.clone();
+        Call {
+            state: CallState::Waiting(Box::pin(async move {
+                if tx.send(msg).await.is_err() {
+                    return Err(CallError::ServerGone);
+                }
+                match reply.recv().await {
+                    Ok(v) => Ok(v),
+                    Err(_) => Err(if tx.is_closed() {
+                        CallError::ServerGone
+                    } else {
+                        CallError::Cancelled
+                    }),
+                }
+            })),
+            core: Some(self.core.clone()),
+        }
+    }
+}
+
+enum CallState<Resp> {
+    /// Failed at issue time (server gone before submission).
+    Failed(Option<CallError>),
+    /// Submitted (or submitting); resolving through the reply channel.
+    Waiting(Pin<Box<dyn Future<Output = Result<Resp, CallError>> + Send>>),
+    /// Resolved; polling again is a bug.
+    Done,
+}
+
+/// An in-flight RPC issued through a [`Port`]: a future resolving to
+/// the response or a [`CallError`].
+///
+/// Calls are *held* completions: issue several, then await them in
+/// any order (each is also a valid `choose!` arm). Dropping an
+/// unresolved call cancels it — the server's reply fails cleanly and
+/// the drop is counted (`port.calls_cancelled`).
+#[must_use = "a Call does nothing unless awaited; dropping it cancels the RPC"]
+pub struct Call<Resp> {
+    state: CallState<Resp>,
+    core: Option<Arc<PortCore>>,
+}
+
+impl<Resp> Call<Resp> {
+    fn failed(e: CallError) -> Call<Resp> {
+        Call {
+            state: CallState::Failed(Some(e)),
+            core: None,
+        }
+    }
+
+    /// Wraps an arbitrary future as a call — the adapter non-message
+    /// backends use to expose the same submit-then-complete surface
+    /// (e.g. the trap kernel, which has no submission queue and runs
+    /// the call when first polled).
+    pub fn from_future<F>(fut: F) -> Call<Resp>
+    where
+        F: Future<Output = Result<Resp, CallError>> + Send + 'static,
+    {
+        Call {
+            state: CallState::Waiting(Box::pin(fut)),
+            core: None,
+        }
+    }
+
+    /// Resolves an already-available response (testing and immediate
+    /// completions).
+    pub fn ready(v: Resp) -> Call<Resp>
+    where
+        Resp: Send + 'static,
+    {
+        Call::from_future(std::future::ready(Ok(v)))
+    }
+}
+
+impl<Resp> Unpin for Call<Resp> {}
+
+impl<Resp> Future for Call<Resp> {
+    type Output = Result<Resp, CallError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match &mut this.state {
+            CallState::Failed(e) => {
+                let e = e.take().expect("failure taken once");
+                this.state = CallState::Done;
+                this.core = None;
+                Poll::Ready(Err(e))
+            }
+            CallState::Waiting(f) => match f.as_mut().poll(cx) {
+                Poll::Pending => Poll::Pending,
+                Poll::Ready(out) => {
+                    this.state = CallState::Done;
+                    this.core = None;
+                    Poll::Ready(out)
+                }
+            },
+            CallState::Done => panic!("Call polled after completion"),
+        }
+    }
+}
+
+impl<Resp> Drop for Call<Resp> {
+    fn drop(&mut self) {
+        if matches!(self.state, CallState::Waiting(_)) {
+            // An unresolved call dropped = a cancellation, observable
+            // on the port and in the runtime statistics (never a
+            // silent reply-channel leak: dropping the boxed future
+            // drops the reply receiver, closing the channel, so the
+            // server's answer fails cleanly).
+            if let Some(core) = &self.core {
+                core.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            if crate::in_runtime() {
+                crate::stat_incr("port.calls_cancelled");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, Capacity};
+    use chanos_parchan as par;
+    use chanos_sim as sim;
+
+    enum Req {
+        Add(u32, u32, ReplyTo<u32>),
+        Drop(ReplyTo<u32>),
+    }
+
+    fn spawn_server(rx: Receiver<Req>) {
+        crate::spawn(async move {
+            while let Ok(msg) = rx.recv().await {
+                match msg {
+                    Req::Add(a, b, reply) => {
+                        let _ = reply.send(a + b).await;
+                    }
+                    Req::Drop(reply) => drop(reply),
+                }
+            }
+        });
+    }
+
+    async fn pipelined_out_of_order() -> (u32, u32) {
+        let (port, rx) = port_channel::<Req>(Capacity::Unbounded);
+        spawn_server(rx);
+        let c1 = port.call(|r| Req::Add(1, 2, r));
+        let c2 = port.call(|r| Req::Add(10, 20, r));
+        // Await in reverse issue order.
+        let v2 = c2.await.unwrap();
+        let v1 = c1.await.unwrap();
+        (v1, v2)
+    }
+
+    #[test]
+    fn pipelined_calls_resolve_out_of_order_on_both_backends() {
+        let mut s = sim::Simulation::new(2);
+        assert_eq!(s.block_on(pipelined_out_of_order()).unwrap(), (3, 30));
+        let rt = par::Runtime::new(2);
+        assert_eq!(rt.block_on(pipelined_out_of_order()), (3, 30));
+        rt.shutdown();
+    }
+
+    async fn taxonomy() -> (Result<u32, CallError>, Result<u32, CallError>) {
+        // Server gone: channel with no receiver.
+        let (gone_port, rx) = port_channel::<Req>(Capacity::Unbounded);
+        drop(rx);
+        let gone = gone_port.call(|r| Req::Add(1, 1, r)).await;
+        // Cancelled: server alive but drops the reply.
+        let (port, rx) = port_channel::<Req>(Capacity::Unbounded);
+        spawn_server(rx);
+        let cancelled = port.call(Req::Drop).await;
+        (gone, cancelled)
+    }
+
+    #[test]
+    fn error_taxonomy_on_both_backends() {
+        let expect = (Err(CallError::ServerGone), Err(CallError::Cancelled));
+        let mut s = sim::Simulation::new(2);
+        assert_eq!(s.block_on(taxonomy()).unwrap(), expect);
+        let rt = par::Runtime::new(2);
+        assert_eq!(rt.block_on(taxonomy()), expect);
+        rt.shutdown();
+    }
+
+    async fn dropped_call_counts() -> u64 {
+        let (port, rx) = port_channel::<Req>(Capacity::Unbounded);
+        spawn_server(rx);
+        let c1 = port.call(|r| Req::Add(1, 2, r));
+        let c2 = port.call(|r| Req::Add(3, 4, r));
+        drop(c1);
+        let _ = c2.await;
+        port.calls_cancelled()
+    }
+
+    #[test]
+    fn dropped_call_is_a_counted_cancellation() {
+        let mut s = sim::Simulation::new(2);
+        assert_eq!(s.block_on(dropped_call_counts()).unwrap(), 1);
+        let rt = par::Runtime::new(2);
+        assert_eq!(rt.block_on(dropped_call_counts()), 1);
+        rt.shutdown();
+    }
+
+    async fn batch_fifo() -> Vec<u32> {
+        let (port, rx) = port_channel::<Req>(Capacity::Unbounded);
+        // Server that tags responses with arrival order.
+        crate::spawn(async move {
+            let mut order = 0u32;
+            while let Ok(Req::Add(a, _, reply)) = rx.recv().await {
+                order += 1;
+                let _ = reply.send(a * 100 + order).await;
+            }
+        });
+        let calls = port.call_batch((0..4u32).map(|i| move |r| Req::Add(i, 0, r)));
+        let mut out = Vec::new();
+        for c in calls {
+            out.push(c.await.unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn call_batch_preserves_per_client_fifo() {
+        // Request i arrives i+1th: submission order holds end-to-end.
+        let expect = vec![1, 102, 203, 304];
+        let mut s = sim::Simulation::new(2);
+        assert_eq!(s.block_on(batch_fifo()).unwrap(), expect);
+        let rt = par::Runtime::new(2);
+        assert_eq!(rt.block_on(batch_fifo()), expect);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn bounded_port_falls_back_to_async_submit() {
+        // Capacity 1 with 4 calls in flight: the overflowing calls
+        // submit at poll time and still resolve FIFO.
+        async fn run() -> Vec<u32> {
+            let (port, rx) = port_channel::<Req>(Capacity::Bounded(1));
+            spawn_server(rx);
+            let calls = port.call_batch((0..4u32).map(|i| move |r| Req::Add(i, 1, r)));
+            let mut out = Vec::new();
+            for c in calls {
+                out.push(c.await.unwrap());
+            }
+            out
+        }
+        let mut s = sim::Simulation::new(2);
+        assert_eq!(s.block_on(run()).unwrap(), vec![1, 2, 3, 4]);
+        let rt = par::Runtime::new(2);
+        assert_eq!(rt.block_on(run()), vec![1, 2, 3, 4]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn deferred_calls_submit_as_one_burst() {
+        async fn run() -> (u32, u32) {
+            let (port, rx) = port_channel::<Req>(Capacity::Unbounded);
+            spawn_server(rx);
+            let mut buf = VecDeque::new();
+            let c1 = port.call_deferred(&mut buf, |r| Req::Add(2, 3, r));
+            let c2 = port.call_deferred(&mut buf, |r| Req::Add(4, 5, r));
+            port.submit(&mut buf).await;
+            (c1.await.unwrap(), c2.await.unwrap())
+        }
+        let mut s = sim::Simulation::new(2);
+        assert_eq!(s.block_on(run()).unwrap(), (5, 9));
+        let rt = par::Runtime::new(2);
+        assert_eq!(rt.block_on(run()), (5, 9));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn call_is_send_and_port_clones_share_the_counter() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Port<Req>>();
+        assert_send::<Call<u32>>();
+        let rt = par::Runtime::new(1);
+        let n = rt.block_on(async {
+            assert_eq!(crate::backend(), Backend::Threads);
+            let (port, rx) = port_channel::<Req>(Capacity::Unbounded);
+            spawn_server(rx);
+            let clone = port.clone();
+            drop(clone.call(|r| Req::Add(1, 1, r)));
+            port.calls_cancelled()
+        });
+        assert_eq!(n, 1);
+        rt.shutdown();
+    }
+}

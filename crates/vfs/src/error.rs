@@ -60,3 +60,12 @@ impl From<DiskError> for FsError {
         FsError::Io(e)
     }
 }
+
+impl From<chanos_rt::CallError> for FsError {
+    fn from(_: chanos_rt::CallError) -> Self {
+        // Both transport failures (server gone, call cancelled by a
+        // reaping server) surface as the service being unavailable at
+        // the file-system API.
+        FsError::Gone
+    }
+}

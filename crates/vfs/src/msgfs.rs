@@ -23,12 +23,20 @@
 //! checks emptiness in the child vnode; a create racing into that
 //! window is refused by the tombstone the parent leaves (the child
 //! vnode stops serving Create once marked dying).
+//!
+//! Every hop is a typed [`Port`] call, so clients can pipeline
+//! requests into a server's batch drain. On real threads each server
+//! publishes a drained batch's replies under **one coalesced wake
+//! scope** (`chan.reply_wakes_coalesced`): a client with several
+//! outstanding calls against one vnode or group server is woken once
+//! per burst. The simulator keeps strictly-in-order inline replies,
+//! so its traces are unchanged.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use chanos_drivers::DiskClient;
-use chanos_rt::{self as rt, channel, request, Capacity, CoreId, ReplyTo, Sender};
+use chanos_rt::{self as rt, port_channel, Capacity, CoreId, Port, ReplyTo};
 
 use crate::core_fs::{split_parent, split_path, Allocator, FsCore, Stat};
 use crate::error::FsError;
@@ -105,7 +113,7 @@ enum VnodeMsg {
 enum VnMgrMsg {
     Get {
         ino: u64,
-        reply: ReplyTo<Result<Sender<VnodeMsg>, FsError>>,
+        reply: ReplyTo<Result<Port<VnodeMsg>, FsError>>,
     },
     Retire {
         ino: u64,
@@ -114,17 +122,17 @@ enum VnMgrMsg {
 
 struct MsgShared {
     core: FsCore<CacheClient>,
-    groups: Vec<Sender<GroupMsg>>,
-    vnmgr: Mutex<Option<Sender<VnMgrMsg>>>,
+    groups: Vec<Port<GroupMsg>>,
+    vnmgr: Mutex<Option<Port<VnMgrMsg>>>,
     vnode_cores: Vec<CoreId>,
 }
 
 impl MsgShared {
-    fn group_of_ino(&self, ino: u64) -> &Sender<GroupMsg> {
+    fn group_of_ino(&self, ino: u64) -> &Port<GroupMsg> {
         &self.groups[self.core.superblock().group_of_ino(ino) as usize]
     }
 
-    fn vnmgr(&self) -> Sender<VnMgrMsg> {
+    fn vnmgr(&self) -> Port<VnMgrMsg> {
         self.vnmgr
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -134,22 +142,21 @@ impl MsgShared {
     }
 
     async fn load_inode(&self, ino: u64) -> Result<Inode, FsError> {
-        request(self.group_of_ino(ino), |reply| GroupMsg::ReadInode {
-            ino,
-            reply,
-        })
-        .await
-        .unwrap_or(Err(FsError::Gone))
+        self.group_of_ino(ino)
+            .call(|reply| GroupMsg::ReadInode { ino, reply })
+            .await
+            .unwrap_or_else(|e| Err(e.into()))
     }
 
     async fn store_inode(&self, ino: u64, inode: Inode) -> Result<(), FsError> {
-        request(self.group_of_ino(ino), |reply| GroupMsg::WriteInode {
-            ino,
-            inode: Box::new(inode),
-            reply,
-        })
-        .await
-        .unwrap_or(Err(FsError::Gone))
+        self.group_of_ino(ino)
+            .call(|reply| GroupMsg::WriteInode {
+                ino,
+                inode: Box::new(inode),
+                reply,
+            })
+            .await
+            .unwrap_or_else(|e| Err(e.into()))
     }
 }
 
@@ -167,11 +174,10 @@ impl Allocator for MsgAllocator {
         let n = core.superblock().n_groups;
         for i in 0..n {
             let g = ((hint + i) % n) as usize;
-            let got = request(&self.shared.groups[g], |reply| GroupMsg::AllocBlock {
-                reply,
-            })
-            .await
-            .unwrap_or(Err(FsError::Gone))?;
+            let got = self.shared.groups[g]
+                .call(|reply| GroupMsg::AllocBlock { reply })
+                .await
+                .unwrap_or_else(|e| Err(e.into()))?;
             if let Some(lba) = got {
                 return Ok(lba);
             }
@@ -184,11 +190,10 @@ impl Allocator for MsgAllocator {
             .superblock()
             .group_of_block(lba)
             .ok_or(FsError::Invalid)?;
-        request(&self.shared.groups[g as usize], |reply| {
-            GroupMsg::FreeBlock { lba, reply }
-        })
-        .await
-        .unwrap_or(Err(FsError::Gone))
+        self.shared.groups[g as usize]
+            .call(|reply| GroupMsg::FreeBlock { lba, reply })
+            .await
+            .unwrap_or_else(|e| Err(e.into()))
     }
 }
 
@@ -196,55 +201,102 @@ impl Allocator for MsgAllocator {
 /// wakeup (group servers, vnode tasks).
 const FS_BATCH: usize = 32;
 
+/// Deferred reply publications for one drained batch: each closure
+/// performs one `send_now`, and the whole set flushes under a single
+/// [`rt::coalesce_replies`] scope (one wake per waiting peer per
+/// burst).
+type ReplyFlush = Vec<Box<dyn FnOnce() + Send>>;
+
+/// Publishes `out` on `reply`. With a flush buffer (real threads),
+/// the send is deferred to the batch's coalesced flush; without one
+/// (the simulator), it is sent inline in arrival order so sim traces
+/// stay unchanged.
+async fn respond<T: Send + 'static>(
+    reply: ReplyTo<T>,
+    out: T,
+    flush: &mut Option<&mut ReplyFlush>,
+) {
+    match flush {
+        Some(f) => f.push(Box::new(move || {
+            let _ = reply.send_now(out);
+        })),
+        None => {
+            let _ = reply.send(out).await;
+        }
+    }
+}
+
+/// Flushes a batch's deferred replies under one coalesced-wake scope.
+fn flush_replies(flush: &mut ReplyFlush) {
+    if !flush.is_empty() {
+        rt::coalesce_replies(|| {
+            for publish in flush.drain(..) {
+                publish();
+            }
+        });
+    }
+}
+
 /// One cylinder-group server: owns the group's bitmaps and inode
 /// table outright. Drains request bursts so allocation storms cost
-/// one wakeup per batch, not one per message.
+/// one wakeup per batch, not one per message — and, on real threads,
+/// one *reply* wake per waiting peer per batch.
 async fn group_task(g: u64, core: FsCore<CacheClient>, rx: chanos_rt::Receiver<GroupMsg>) {
+    let defer = rt::backend() == rt::Backend::Threads;
     let mut batch = Vec::with_capacity(FS_BATCH);
+    let mut flush: ReplyFlush = Vec::new();
     loop {
         let n = rx.recv_many(&mut batch, FS_BATCH).await;
         if n == 0 {
             break;
         }
         for msg in batch.drain(..) {
-            group_handle(g, &core, msg).await;
+            let mut f = defer.then_some(&mut flush);
+            group_handle(g, &core, msg, &mut f).await;
         }
+        flush_replies(&mut flush);
     }
 }
 
-async fn group_handle(g: u64, core: &FsCore<CacheClient>, msg: GroupMsg) {
+async fn group_handle(
+    g: u64,
+    core: &FsCore<CacheClient>,
+    msg: GroupMsg,
+    flush: &mut Option<&mut ReplyFlush>,
+) {
     match msg {
         GroupMsg::AllocInode { kind, reply } => {
             let out = core.alloc_inode_in(g, kind).await;
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
         GroupMsg::FreeInode { ino, reply } => {
             let out = core.free_inode(ino).await;
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
         GroupMsg::AllocBlock { reply } => {
             let out = core.alloc_block_in(g).await;
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
         GroupMsg::FreeBlock { lba, reply } => {
             let out = core.free_block(lba).await;
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
         GroupMsg::ReadInode { ino, reply } => {
             let out = core.read_inode(ino).await;
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
         GroupMsg::WriteInode { ino, inode, reply } => {
             let out = core.write_inode(ino, &inode).await;
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
     }
 }
 
 /// One vnode task: owns inode `ino` for its lifetime. Drains request
 /// bursts per wakeup; a reaping `Condemn` exits mid-batch and the
-/// remaining drained requests are dropped, exactly as queued
-/// requests died with the channel before.
+/// remaining drained requests are dropped — their callers observe a
+/// typed transport failure (`CallError::ServerGone` once the reaped
+/// vnode's channel closes) instead of a silent hang.
 async fn vnode_task(ino: u64, shared: Arc<MsgShared>, rx: chanos_rt::Receiver<VnodeMsg>) {
     rt::stat_incr("msgfs.vnode_threads_spawned");
     let mut inode = match shared.load_inode(ino).await {
@@ -259,19 +311,29 @@ async fn vnode_task(ino: u64, shared: Arc<MsgShared>, rx: chanos_rt::Receiver<Vn
     };
     let hint = shared.core.superblock().group_of_ino(ino);
     let core = shared.core.clone();
+    let defer = rt::backend() == rt::Backend::Threads;
     let mut batch = Vec::with_capacity(FS_BATCH);
+    let mut flush: ReplyFlush = Vec::new();
     loop {
         let n = rx.recv_many(&mut batch, FS_BATCH).await;
         if n == 0 {
             break;
         }
+        let mut reaped = false;
         for msg in batch.drain(..) {
-            if vnode_handle(ino, &shared, &core, &mut inode, hint, &alloc, msg)
+            let mut f = defer.then_some(&mut flush);
+            if vnode_handle(ino, &shared, &core, &mut inode, hint, &alloc, msg, &mut f)
                 .await
                 .is_break()
             {
-                return; // Reaped: the vnode thread exits with its inode.
+                reaped = true;
+                break;
             }
+        }
+        // The reaping Condemn's own reply flushes with the batch.
+        flush_replies(&mut flush);
+        if reaped {
+            return; // Reaped: the vnode thread exits with its inode.
         }
     }
 }
@@ -285,6 +347,7 @@ async fn vnode_handle(
     hint: u64,
     alloc: &MsgAllocator,
     msg: VnodeMsg,
+    flush: &mut Option<&mut ReplyFlush>,
 ) -> std::ops::ControlFlow<()> {
     match msg {
         VnodeMsg::Read { off, len, reply } => {
@@ -293,7 +356,7 @@ async fn vnode_handle(
             } else {
                 core.read_file(inode, off, len).await
             };
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
         VnodeMsg::Write { off, data, reply } => {
             let out = if inode.kind == FileKind::Dir {
@@ -304,17 +367,16 @@ async fn vnode_handle(
                     Err(e) => Err(e),
                 }
             };
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
         VnodeMsg::Stat { reply } => {
-            let _ = reply
-                .send(Ok(Stat {
-                    ino,
-                    kind: inode.kind,
-                    size: inode.size,
-                    nlink: inode.nlink,
-                }))
-                .await;
+            let out = Ok(Stat {
+                ino,
+                kind: inode.kind,
+                size: inode.size,
+                nlink: inode.nlink,
+            });
+            respond(reply, out, flush).await;
         }
         VnodeMsg::Lookup { name, reply } => {
             let out = match core.dir_lookup(inode, &name).await {
@@ -322,29 +384,29 @@ async fn vnode_handle(
                 Ok(None) => Err(FsError::NotFound),
                 Err(e) => Err(e),
             };
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
         VnodeMsg::Create { name, kind, reply } => {
             let out = vnode_create(shared, core, inode, ino, hint, alloc, name, kind).await;
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
         VnodeMsg::Unlink { name, reply } => {
             let out = vnode_unlink(shared, core, inode, ino, hint, alloc, name).await;
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
         VnodeMsg::ReadDir { reply } => {
             let out = core.dir_list(inode).await;
-            let _ = reply.send(out).await;
+            respond(reply, out, flush).await;
         }
         VnodeMsg::Condemn { reply } => {
             if inode.kind == FileKind::Dir {
                 match core.dir_list(inode).await {
                     Ok(entries) if !entries.is_empty() => {
-                        let _ = reply.send(Err(FsError::NotEmpty)).await;
+                        respond(reply, Err(FsError::NotEmpty), flush).await;
                         return std::ops::ControlFlow::Continue(());
                     }
                     Err(e) => {
-                        let _ = reply.send(Err(e)).await;
+                        respond(reply, Err(e), flush).await;
                         return std::ops::ControlFlow::Continue(());
                     }
                     Ok(_) => {}
@@ -354,18 +416,17 @@ async fn vnode_handle(
             if inode.nlink == 0 {
                 // Reap: free data, free the inode, retire.
                 let _ = core.truncate(inode, alloc).await;
-                let _ = request(shared.group_of_ino(ino), |reply| GroupMsg::FreeInode {
-                    ino,
-                    reply,
-                })
-                .await;
-                let _ = shared.vnmgr().try_send(VnMgrMsg::Retire { ino });
+                let _ = shared
+                    .group_of_ino(ino)
+                    .call(|reply| GroupMsg::FreeInode { ino, reply })
+                    .await;
+                let _ = shared.vnmgr().sender().try_send(VnMgrMsg::Retire { ino });
                 rt::stat_incr("msgfs.vnodes_reaped");
-                let _ = reply.send(Ok(true)).await;
+                respond(reply, Ok(true), flush).await;
                 return std::ops::ControlFlow::Break(());
             }
             let out = shared.store_inode(ino, inode.clone()).await;
-            let _ = reply.send(out.map(|()| false)).await;
+            respond(reply, out.map(|()| false), flush).await;
         }
     }
     std::ops::ControlFlow::Continue(())
@@ -393,12 +454,10 @@ async fn vnode_create(
     let mut ino = None;
     for i in 0..n {
         let g = ((hint + i) % n) as usize;
-        let got = request(&shared.groups[g], |reply| GroupMsg::AllocInode {
-            kind,
-            reply,
-        })
-        .await
-        .unwrap_or(Err(FsError::Gone))?;
+        let got = shared.groups[g]
+            .call(|reply| GroupMsg::AllocInode { kind, reply })
+            .await
+            .unwrap_or_else(|e| Err(e.into()))?;
         if got.is_some() {
             ino = got;
             break;
@@ -424,19 +483,22 @@ async fn vnode_unlink(
     };
     // Ask the child vnode to check emptiness and drop a link.
     let child = get_vnode(shared, child_ino).await?;
-    let reaped = request(&child, |reply| VnodeMsg::Condemn { reply })
+    let reaped = child
+        .call(|reply| VnodeMsg::Condemn { reply })
         .await
-        .unwrap_or(Err(FsError::Gone))?;
+        .unwrap_or_else(|e| Err(e.into()))?;
     let _ = reaped;
     core.dir_remove(dir, &name, hint, alloc).await?;
     shared.store_inode(dir_ino, dir.clone()).await?;
     Ok(())
 }
 
-async fn get_vnode(shared: &Arc<MsgShared>, ino: u64) -> Result<Sender<VnodeMsg>, FsError> {
-    request(&shared.vnmgr(), |reply| VnMgrMsg::Get { ino, reply })
+async fn get_vnode(shared: &Arc<MsgShared>, ino: u64) -> Result<Port<VnodeMsg>, FsError> {
+    shared
+        .vnmgr()
+        .call(|reply| VnMgrMsg::Get { ino, reply })
         .await
-        .unwrap_or(Err(FsError::Gone))
+        .unwrap_or_else(|e| Err(e.into()))
 }
 
 /// The message-passing file system client.
@@ -465,13 +527,13 @@ impl MsgFs {
         // Group servers.
         let mut groups = Vec::with_capacity(n_groups as usize);
         for g in 0..n_groups {
-            let (tx, rx) = channel::<GroupMsg>(Capacity::Unbounded);
+            let (port, rx) = port_channel::<GroupMsg>(Capacity::Unbounded);
             let core = core.clone();
             let on = service_cores[(g as usize) % service_cores.len()];
             rt::spawn_daemon_on(&format!("fs-group{g}"), on, async move {
                 group_task(g, core, rx).await;
             });
-            groups.push(tx);
+            groups.push(port);
         }
 
         let shared = Arc::new(MsgShared {
@@ -482,26 +544,26 @@ impl MsgFs {
         });
 
         // Vnode manager.
-        let (mgr_tx, mgr_rx) = channel::<VnMgrMsg>(Capacity::Unbounded);
-        *shared.vnmgr.lock().unwrap_or_else(|e| e.into_inner()) = Some(mgr_tx);
+        let (mgr_port, mgr_rx) = port_channel::<VnMgrMsg>(Capacity::Unbounded);
+        *shared.vnmgr.lock().unwrap_or_else(|e| e.into_inner()) = Some(mgr_port);
         let mgr_shared = shared.clone();
         rt::spawn_daemon_on("fs-vnmgr", service_cores[0], async move {
-            let mut registry: HashMap<u64, Sender<VnodeMsg>> = HashMap::new();
+            let mut registry: HashMap<u64, Port<VnodeMsg>> = HashMap::new();
             let mut rr = 0usize;
             while let Ok(msg) = mgr_rx.recv().await {
                 match msg {
                     VnMgrMsg::Get { ino, reply } => {
-                        let tx = registry.entry(ino).or_insert_with(|| {
-                            let (tx, rx) = channel::<VnodeMsg>(Capacity::Unbounded);
+                        let port = registry.entry(ino).or_insert_with(|| {
+                            let (port, rx) = port_channel::<VnodeMsg>(Capacity::Unbounded);
                             let on = mgr_shared.vnode_cores[rr % mgr_shared.vnode_cores.len()];
                             rr += 1;
                             let shared = mgr_shared.clone();
                             rt::spawn_daemon_on(&format!("vnode{ino}"), on, async move {
                                 vnode_task(ino, shared, rx).await;
                             });
-                            tx
+                            port
                         });
-                        let _ = reply.send(Ok(tx.clone())).await;
+                        let _ = reply.send(Ok(port.clone())).await;
                     }
                     VnMgrMsg::Retire { ino } => {
                         registry.remove(&ino);
@@ -517,12 +579,13 @@ impl MsgFs {
         let mut ino = ROOT_INO;
         for comp in comps {
             let vn = get_vnode(&self.shared, ino).await?;
-            ino = request(&vn, |reply| VnodeMsg::Lookup {
-                name: comp.to_string(),
-                reply,
-            })
-            .await
-            .unwrap_or(Err(FsError::Gone))?;
+            ino = vn
+                .call(|reply| VnodeMsg::Lookup {
+                    name: comp.to_string(),
+                    reply,
+                })
+                .await
+                .unwrap_or_else(|e| Err(e.into()))?;
         }
         Ok(ino)
     }
@@ -531,13 +594,13 @@ impl MsgFs {
         let (parent_comps, name) = split_parent(path)?;
         let parent = self.resolve(&parent_comps).await?;
         let vn = get_vnode(&self.shared, parent).await?;
-        request(&vn, |reply| VnodeMsg::Create {
+        vn.call(|reply| VnodeMsg::Create {
             name: name.to_string(),
             kind,
             reply,
         })
         .await
-        .unwrap_or(Err(FsError::Gone))
+        .unwrap_or_else(|e| Err(e.into()))
     }
 
     /// Creates a regular file; returns its inode number.
@@ -558,29 +621,44 @@ impl MsgFs {
     /// Reads `len` bytes at `off` from inode `ino`.
     pub async fn read(&self, ino: u64, off: u64, len: usize) -> Result<Vec<u8>, FsError> {
         let vn = get_vnode(&self.shared, ino).await?;
-        request(&vn, |reply| VnodeMsg::Read { off, len, reply })
+        vn.call(|reply| VnodeMsg::Read { off, len, reply })
             .await
-            .unwrap_or(Err(FsError::Gone))
+            .unwrap_or_else(|e| Err(e.into()))
     }
 
     /// Writes `data` at `off` into inode `ino`.
     pub async fn write(&self, ino: u64, off: u64, data: &[u8]) -> Result<(), FsError> {
         let vn = get_vnode(&self.shared, ino).await?;
-        request(&vn, |reply| VnodeMsg::Write {
+        vn.call(|reply| VnodeMsg::Write {
             off,
             data: data.to_vec(),
             reply,
         })
         .await
-        .unwrap_or(Err(FsError::Gone))
+        .unwrap_or_else(|e| Err(e.into()))
     }
 
     /// Returns metadata for inode `ino`.
     pub async fn stat(&self, ino: u64) -> Result<Stat, FsError> {
         let vn = get_vnode(&self.shared, ino).await?;
-        request(&vn, |reply| VnodeMsg::Stat { reply })
+        vn.call(|reply| VnodeMsg::Stat { reply })
             .await
-            .unwrap_or(Err(FsError::Gone))
+            .unwrap_or_else(|e| Err(e.into()))
+    }
+
+    /// Pipelined stat burst against one vnode: issues `n` `Stat`
+    /// calls as **one** submission burst and completes them together.
+    /// The vnode drains the burst with `recv_many` and (on real
+    /// threads) answers under one coalesced reply wake — the §3 RPC
+    /// pattern at full depth, used by tests and benches to exercise
+    /// the pipelined path.
+    pub async fn stat_burst(&self, ino: u64, n: usize) -> Result<Vec<Stat>, FsError> {
+        let vn = get_vnode(&self.shared, ino).await?;
+        let calls = vn.call_batch((0..n).map(|_| |reply| VnodeMsg::Stat { reply }));
+        let outs = chanos_rt::join_all(calls).await;
+        outs.into_iter()
+            .map(|r| r.unwrap_or_else(|e| Err(e.into())))
+            .collect()
     }
 
     /// Removes a file or empty directory.
@@ -588,21 +666,21 @@ impl MsgFs {
         let (parent_comps, name) = split_parent(path)?;
         let parent = self.resolve(&parent_comps).await?;
         let vn = get_vnode(&self.shared, parent).await?;
-        request(&vn, |reply| VnodeMsg::Unlink {
+        vn.call(|reply| VnodeMsg::Unlink {
             name: name.to_string(),
             reply,
         })
         .await
-        .unwrap_or(Err(FsError::Gone))
+        .unwrap_or_else(|e| Err(e.into()))
     }
 
     /// Lists a directory.
     pub async fn readdir(&self, path: &str) -> Result<Vec<Dirent>, FsError> {
         let ino = self.resolve(&split_path(path)?).await?;
         let vn = get_vnode(&self.shared, ino).await?;
-        request(&vn, |reply| VnodeMsg::ReadDir { reply })
+        vn.call(|reply| VnodeMsg::ReadDir { reply })
             .await
-            .unwrap_or(Err(FsError::Gone))
+            .unwrap_or_else(|e| Err(e.into()))
     }
 
     /// Flushes dirty cache blocks to disk.

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use chanos_drivers::{DiskClient, BLOCK_SIZE};
-use chanos_rt::{self as rt, channel, Capacity, CoreId, ReplyTo, Sender};
+use chanos_rt::{self as rt, port_channel, Capacity, CoreId, Port, ReplyTo};
 use chanos_shmem::SimMutex;
 
 use crate::error::FsError;
@@ -322,10 +322,10 @@ enum CacheMsg {
 ///
 /// Each shard is an autonomous task owning its blocks outright (§4):
 /// per-block read-modify-write is serialized by construction, with no
-/// locks anywhere.
+/// locks anywhere. Requests go through typed [`Port`]s.
 #[derive(Clone)]
 pub struct CacheClient {
-    shards: Arc<Vec<Sender<CacheMsg>>>,
+    shards: Arc<Vec<Port<CacheMsg>>>,
 }
 
 impl CacheClient {
@@ -340,7 +340,7 @@ impl CacheClient {
         assert!(shards > 0 && !cores.is_empty());
         let mut txs = Vec::with_capacity(shards);
         for s in 0..shards {
-            let (tx, rx) = channel::<CacheMsg>(Capacity::Unbounded);
+            let (tx, rx) = port_channel::<CacheMsg>(Capacity::Unbounded);
             let disk = disk.clone();
             let core = cores[s % cores.len()];
             rt::spawn_daemon_on(&format!("cache-shard{s}"), core, async move {
@@ -406,35 +406,33 @@ impl CacheClient {
         }
     }
 
-    fn shard(&self, lba: u64) -> &Sender<CacheMsg> {
+    fn shard(&self, lba: u64) -> &Port<CacheMsg> {
         &self.shards[(lba % self.shards.len() as u64) as usize]
     }
 }
 
 impl BlockStore for CacheClient {
     async fn read_block(&self, lba: u64) -> Result<Vec<u8>, FsError> {
-        chanos_rt::request(self.shard(lba), |reply| CacheMsg::Read { lba, reply })
+        self.shard(lba)
+            .call(|reply| CacheMsg::Read { lba, reply })
             .await
-            .unwrap_or(Err(FsError::Gone))
+            .unwrap_or_else(|e| Err(e.into()))
     }
 
     async fn write_block(&self, lba: u64, data: Vec<u8>) -> Result<(), FsError> {
         check_block_len(&data)?;
-        chanos_rt::request(self.shard(lba), |reply| CacheMsg::Write {
-            lba,
-            data,
-            reply,
-        })
-        .await
-        .unwrap_or(Err(FsError::Gone))
+        self.shard(lba)
+            .call(|reply| CacheMsg::Write { lba, data, reply })
+            .await
+            .unwrap_or_else(|e| Err(e.into()))
     }
 
     async fn sync(&self) -> Result<(), FsError> {
         for shard in self.shards.iter() {
-            let out = chanos_rt::request(shard, |reply| CacheMsg::Sync { reply })
+            shard
+                .call(|reply| CacheMsg::Sync { reply })
                 .await
-                .unwrap_or(Err(FsError::Gone));
-            out?;
+                .unwrap_or_else(|e| Err(e.into()))?;
         }
         Ok(())
     }

@@ -1,7 +1,7 @@
 //! The physical frame allocator: a single server task owning the
 //! frame free-list (the §4 pattern — no locks, one owner).
 
-use chanos_rt::{self as rt, channel, request, Capacity, CoreId, ReplyTo, Sender};
+use chanos_rt::{self as rt, port_channel, Capacity, CoreId, Port, ReplyTo};
 
 use crate::VmError;
 
@@ -21,14 +21,14 @@ enum FrameMsg {
 /// Cloneable client to the frame allocator server.
 #[derive(Clone)]
 pub struct FrameAlloc {
-    tx: Sender<FrameMsg>,
+    port: Port<FrameMsg>,
 }
 
 impl FrameAlloc {
     /// Spawns the frame-allocator server owning `frames` physical
     /// frames.
     pub fn spawn(frames: u64, core: CoreId) -> FrameAlloc {
-        let (tx, rx) = channel::<FrameMsg>(Capacity::Unbounded);
+        let (port, rx) = port_channel::<FrameMsg>(Capacity::Unbounded);
         rt::spawn_daemon_on("vm-frames", core, async move {
             // Free list: next sequential frame, then recycled frames.
             let mut next = 0u64;
@@ -61,26 +61,39 @@ impl FrameAlloc {
                 }
             }
         });
-        FrameAlloc { tx }
+        FrameAlloc { port }
     }
 
     /// Allocates one frame.
     pub async fn alloc(&self) -> Result<u64, VmError> {
-        request(&self.tx, |reply| FrameMsg::Alloc { reply })
+        self.port
+            .call(|reply| FrameMsg::Alloc { reply })
             .await
-            .unwrap_or(Err(VmError::Gone))
+            .unwrap_or_else(|e| Err(e.into()))
     }
 
     /// Returns a frame to the pool.
     pub async fn free(&self, pfn: u64) -> Result<(), VmError> {
-        request(&self.tx, |reply| FrameMsg::Free { pfn, reply })
+        self.port
+            .call(|reply| FrameMsg::Free { pfn, reply })
             .await
-            .unwrap_or(Err(VmError::Gone))
+            .unwrap_or_else(|e| Err(e.into()))
+    }
+
+    /// Returns a burst of frames in one submission (one server wake
+    /// per burst): region/page teardown frees whole ranges this way.
+    pub async fn free_batch(&self, pfns: &[u64]) {
+        let calls = self.port.call_batch(
+            pfns.iter()
+                .map(|&pfn| move |reply| FrameMsg::Free { pfn, reply }),
+        );
+        let _ = chanos_rt::join_all(calls).await;
     }
 
     /// (frames in use, total frames).
     pub async fn stats(&self) -> (u64, u64) {
-        request(&self.tx, |reply| FrameMsg::Stats { reply })
+        self.port
+            .call(|reply| FrameMsg::Stats { reply })
             .await
             .unwrap_or((0, 0))
     }

@@ -42,3 +42,9 @@ impl std::fmt::Display for VmError {
 }
 
 impl std::error::Error for VmError {}
+
+impl From<chanos_rt::CallError> for VmError {
+    fn from(_: chanos_rt::CallError) -> Self {
+        VmError::Gone
+    }
+}

@@ -20,9 +20,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use chanos_rt::{
-    self as rt, channel, delay, reply_channel, Capacity, CoreId, Cycles, ReplyTo, Sender,
-};
+use chanos_rt::{self as rt, delay, port_channel, Capacity, CoreId, Cycles, Port, ReplyTo};
 
 use crate::frames::FrameAlloc;
 use crate::VmError;
@@ -153,7 +151,8 @@ impl Region {
 
 /// Frees every table entry whose page lies in `[start, start+len)`,
 /// returning the frames and the count. (Shared with the libOS space,
-/// which keeps its page table in-process.)
+/// which keeps its page table in-process.) The frames go back as one
+/// pipelined burst — one allocator wake per range, not one per page.
 pub(crate) async fn free_range(
     table: &mut HashMap<u64, u64>,
     frames: &FrameAlloc,
@@ -167,14 +166,14 @@ pub(crate) async fn free_range(
         .copied()
         .filter(|&v| v >= first && v < last)
         .collect();
-    let mut freed = 0u64;
+    let mut pfns = Vec::with_capacity(vpns.len());
     for vpn in vpns {
         if let Some(pfn) = table.remove(&vpn) {
-            let _ = frames.free(pfn).await;
-            freed += 1;
+            pfns.push(pfn);
         }
     }
-    freed
+    frames.free_batch(&pfns).await;
+    pfns.len() as u64
 }
 
 /// The VM service: entry point for creating address spaces.
@@ -183,8 +182,8 @@ pub struct VmService {
     cfg: Arc<VmCfg>,
     frames: FrameAlloc,
     rr: Arc<AtomicUsize>,
-    /// Centralized mode: the single server channel.
-    central: Option<Sender<(u64, SpaceMsg)>>,
+    /// Centralized mode: the single server port.
+    central: Option<Port<(u64, SpaceMsg)>>,
 }
 
 impl VmService {
@@ -195,7 +194,7 @@ impl VmService {
         let frames = FrameAlloc::spawn(cfg.frames, cfg.service_cores[0]);
         let cfg = Arc::new(cfg);
         let central = if cfg.granularity == Granularity::Centralized {
-            let (tx, rx) = channel::<(u64, SpaceMsg)>(Capacity::Unbounded);
+            let (tx, rx) = port_channel::<(u64, SpaceMsg)>(Capacity::Unbounded);
             let cfg2 = cfg.clone();
             let frames2 = frames.clone();
             rt::spawn_daemon_on("vm-central", cfg.service_cores[0], async move {
@@ -238,7 +237,7 @@ impl VmService {
                 },
             },
             _ => {
-                let (tx, rx) = channel::<SpaceMsg>(Capacity::Unbounded);
+                let (tx, rx) = port_channel::<SpaceMsg>(Capacity::Unbounded);
                 let cfg = self.cfg.clone();
                 let frames = self.frames.clone();
                 let svc = self.clone();
@@ -264,30 +263,25 @@ pub struct SpaceHandle {
 #[derive(Clone)]
 enum SpaceRoute {
     /// Centralized mode: messages carry the space id.
-    Central {
-        sid: u64,
-        tx: Sender<(u64, SpaceMsg)>,
-    },
+    Central { sid: u64, tx: Port<(u64, SpaceMsg)> },
     /// A dedicated space server.
-    Dedicated { tx: Sender<SpaceMsg> },
+    Dedicated { tx: Port<SpaceMsg> },
 }
 
 impl SpaceHandle {
-    /// Sends one message to the space server and awaits `reply`.
+    /// Issues one call to the space server and awaits its reply.
     async fn roundtrip<T: Send + 'static>(
         &self,
         make: impl FnOnce(ReplyTo<Result<T, VmError>>) -> SpaceMsg,
     ) -> Result<T, VmError> {
-        let (reply_to, reply) = reply_channel();
-        let msg = make(reply_to);
-        let sent = match &self.route {
-            SpaceRoute::Central { sid, tx } => tx.send((*sid, msg)).await.is_ok(),
-            SpaceRoute::Dedicated { tx } => tx.send(msg).await.is_ok(),
+        let call = match &self.route {
+            SpaceRoute::Central { sid, tx } => {
+                let sid = *sid;
+                tx.call(move |reply| (sid, make(reply)))
+            }
+            SpaceRoute::Dedicated { tx } => tx.call(make),
         };
-        if !sent {
-            return Err(VmError::Gone);
-        }
-        reply.recv().await.unwrap_or(Err(VmError::Gone))
+        call.await.unwrap_or_else(|e| Err(e.into()))
     }
 
     /// Maps an anonymous region `[start, start+len)`.
@@ -388,7 +382,7 @@ async fn space_task(
 ) {
     let mut regions: Vec<Region> = Vec::new();
     let mut table: HashMap<u64, u64> = HashMap::new();
-    let mut region_chans: Vec<(Region, Sender<RegionMsg>)> = Vec::new();
+    let mut region_chans: Vec<(Region, Port<RegionMsg>)> = Vec::new();
     while let Ok(msg) = rx.recv().await {
         match cfg.granularity {
             Granularity::PerSpace => {
@@ -398,7 +392,7 @@ async fn space_task(
                 SpaceMsg::MapRegion { start, len, reply } => {
                     let region = Region { start, len };
                     delay(cfg.thread_spawn_cost).await;
-                    let (tx, rrx) = channel::<RegionMsg>(Capacity::Unbounded);
+                    let (tx, rrx) = port_channel::<RegionMsg>(Capacity::Unbounded);
                     let cfg2 = cfg.clone();
                     let frames2 = frames.clone();
                     let svc2 = svc.clone();
@@ -412,15 +406,15 @@ async fn space_task(
                 }
                 SpaceMsg::Unmap { start, len, reply } => {
                     // Tear down every region server inside the range;
-                    // dropping its channel afterwards retires it.
+                    // dropping its port afterwards retires it.
                     let mut freed = 0u64;
-                    let mut kept: Vec<(Region, Sender<RegionMsg>)> = Vec::new();
+                    let mut kept: Vec<(Region, Port<RegionMsg>)> = Vec::new();
                     for (region, tx) in region_chans.drain(..) {
                         if region.inside(start, len) {
-                            let (reply_to, pages) = reply_channel();
-                            if tx.send(RegionMsg::Unmap { reply: reply_to }).await.is_ok() {
-                                freed += pages.recv().await.unwrap_or(0);
-                            }
+                            freed += tx
+                                .call(|reply| RegionMsg::Unmap { reply })
+                                .await
+                                .unwrap_or(0);
                         } else {
                             kept.push((region, tx));
                         }
@@ -438,7 +432,7 @@ async fn space_task(
                             // Forward; the region server replies to the
                             // original requester directly (channels as
                             // capabilities, §3).
-                            let _ = tx.send(RegionMsg::Fault { vaddr, reply }).await;
+                            let _ = tx.forward(RegionMsg::Fault { vaddr, reply }).await;
                         }
                     }
                 }
@@ -448,7 +442,7 @@ async fn space_task(
                             let _ = reply.send(Ok(None)).await;
                         }
                         Some((_, tx)) => {
-                            let _ = tx.send(RegionMsg::Resolve { vaddr, reply }).await;
+                            let _ = tx.forward(RegionMsg::Resolve { vaddr, reply }).await;
                         }
                     }
                 }
@@ -466,7 +460,7 @@ async fn region_task(
     rx: chanos_rt::Receiver<RegionMsg>,
 ) {
     let mut table: HashMap<u64, u64> = HashMap::new();
-    let mut page_chans: HashMap<u64, Sender<PageMsg>> = HashMap::new();
+    let mut page_chans: HashMap<u64, Port<PageMsg>> = HashMap::new();
     while let Ok(msg) = rx.recv().await {
         match msg {
             RegionMsg::Fault { vaddr, reply } => {
@@ -480,7 +474,7 @@ async fn region_task(
                             delay(cfg.thread_spawn_cost).await;
                         }
                         let tx = page_chans.entry(vpn).or_insert_with(|| {
-                            let (tx, prx) = channel::<PageMsg>(Capacity::Unbounded);
+                            let (tx, prx) = port_channel::<PageMsg>(Capacity::Unbounded);
                             let frames2 = frames.clone();
                             let cfg2 = cfg.clone();
                             let core = svc.next_core();
@@ -491,7 +485,7 @@ async fn region_task(
                             rt::stat_incr("vm.page_threads");
                             tx
                         });
-                        let _ = tx.send(PageMsg::Fault { reply }).await;
+                        let _ = tx.forward(PageMsg::Fault { reply }).await;
                     }
                     _ => {
                         let out = if let Some(&pfn) = table.get(&vpn) {
@@ -519,9 +513,10 @@ async fn region_task(
                             let _ = reply.send(Ok(None)).await;
                         }
                         Some(tx) => {
-                            let (inner_to, inner) = reply_channel();
-                            let _ = tx.send(PageMsg::Resolve { reply: inner_to }).await;
-                            let out = inner.recv().await.unwrap_or(Err(VmError::Gone));
+                            let out = tx
+                                .call(|reply| PageMsg::Resolve { reply })
+                                .await
+                                .unwrap_or_else(|e| Err(e.into()));
                             let _ = reply.send(out).await;
                         }
                     },
@@ -533,14 +528,11 @@ async fn region_task(
             RegionMsg::Unmap { reply } => {
                 let mut freed = 0u64;
                 // Per-page: collect each page thread's frame and
-                // retire it (dropping the sender ends its loop).
+                // retire it (dropping the port ends its loop).
                 for (_, tx) in std::mem::take(&mut page_chans) {
-                    let (inner_to, inner) = reply_channel();
-                    if tx.send(PageMsg::Unmap { reply: inner_to }).await.is_ok() {
-                        if let Ok(Some(pfn)) = inner.recv().await {
-                            let _ = frames.free(pfn).await;
-                            freed += 1;
-                        }
+                    if let Ok(Some(pfn)) = tx.call(|reply| PageMsg::Unmap { reply }).await {
+                        let _ = frames.free(pfn).await;
+                        freed += 1;
                     }
                 }
                 freed += free_range(&mut table, &frames, region.start, region.len).await;

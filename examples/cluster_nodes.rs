@@ -11,10 +11,10 @@
 //! cargo run --example cluster_nodes
 //! ```
 
-use chanos::csp::{channel, request, Capacity, ReplyTo};
 use chanos::net::{
     connect, listen, Cluster, ClusterParams, LinkParams, NodeId, RdtParams, RpcClient, SerdeCost,
 };
+use chanos::rt::{port_channel, Capacity, ReplyTo};
 use chanos::sim::{self, Simulation};
 
 /// The job: each node asks every other node to hash a block.
@@ -82,9 +82,9 @@ fn main() {
             let cluster_cycles = sim::now() - t0;
             let cluster_ops = 12 * BLOCKS_PER_PAIR;
 
-            // The same job over on-die lightweight channels.
+            // The same job over an on-die lightweight channel port.
             struct HashReq(u64, ReplyTo<u64>);
-            let (tx, rx) = channel::<HashReq>(Capacity::Unbounded);
+            let (port, rx) = port_channel::<HashReq>(Capacity::Unbounded);
             sim::spawn_daemon("hash-local", async move {
                 while let Ok(HashReq(b, reply)) = rx.recv().await {
                     sim::delay(200).await;
@@ -95,7 +95,7 @@ fn main() {
             let mut local_sum = 0u64;
             for _ in 0..12 {
                 for b in 0..BLOCKS_PER_PAIR {
-                    let v = request(&tx, |reply| HashReq(b, reply)).await.unwrap();
+                    let v = port.call(|reply| HashReq(b, reply)).await.unwrap();
                     local_sum = local_sum.wrapping_add(v);
                 }
             }

@@ -8,7 +8,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use chanos::csp::{after, channel, choose, request, Capacity, ReplyTo};
+use chanos::rt::{after, channel, choose, port_channel, Capacity, ReplyTo};
 use chanos::sim::{spawn_on, CoreId, Simulation};
 
 enum MathReq {
@@ -21,20 +21,20 @@ fn simulated() {
     let outcome = machine
         .block_on(async {
             // A server thread on core 7 — "a listener thread on
-            // channel c that evaluates f".
-            let (tx, rx) = channel::<MathReq>(Capacity::Unbounded);
+            // channel c that evaluates f" — behind a typed port.
+            let (port, rx) = port_channel::<MathReq>(Capacity::Unbounded);
             chanos::sim::spawn_daemon_on("math-server", CoreId(7), async move {
                 while let Ok(MathReq::Add(a, b, reply)) = rx.recv().await {
                     let _ = reply.send(a + b).await;
                 }
             });
 
-            // Sixteen clients on sixteen cores.
+            // Sixteen clients on sixteen cores, one call each.
             let clients: Vec<_> = (0..16u64)
                 .map(|i| {
-                    let tx = tx.clone();
+                    let port = port.clone();
                     spawn_on(CoreId((i % 16) as u32), async move {
-                        request(&tx, |reply| MathReq::Add(i, i * 10, reply))
+                        port.call(|reply| MathReq::Add(i, i * 10, reply))
                             .await
                             .expect("server alive")
                     })
@@ -45,6 +45,14 @@ fn simulated() {
                 total += c.join().await.unwrap();
             }
 
+            // Pipelining: issue a burst of calls as one submission,
+            // then complete them in any order (§3's RPC, at depth).
+            let burst = port.call_batch((0..4u64).map(|i| move |reply| MathReq::Add(i, i, reply)));
+            let mut burst_total = 0;
+            for call in burst.into_iter().rev() {
+                burst_total += call.await.expect("server alive");
+            }
+
             // The `choose` statement: whichever becomes ready first.
             let (etx, erx) = channel::<&'static str>(Capacity::Unbounded);
             etx.send("event").await.unwrap();
@@ -52,13 +60,15 @@ fn simulated() {
                 ev = erx.recv() => ev.unwrap(),
                 _ = after(10_000) => "timeout",
             };
-            (total, what)
+            (total, burst_total, what)
         })
         .unwrap();
     println!(
-        "simulated 16-core machine: sum of 16 RPCs = {}, choose picked '{}' at t={} cycles",
+        "simulated 16-core machine: sum of 16 RPCs = {}, pipelined x4 burst = {}, \
+         choose picked '{}' at t={} cycles",
         outcome.0,
         outcome.1,
+        outcome.2,
         machine.now()
     );
 }

@@ -11,8 +11,8 @@
 
 use std::sync::{Arc, Mutex};
 
-use chanos::csp::{channel, reply_channel, Capacity, ReplyTo, Sender};
 use chanos::kernel::{ChildSpec, Restart, Strategy, Supervisor};
+use chanos::rt::{port_channel, Capacity, Port, ReplyTo};
 use chanos::sim::{CoreId, Cycles, Simulation, TaskId};
 
 struct Req {
@@ -28,7 +28,7 @@ fn main() {
     let mut machine = Simulation::new(WORKERS + 2);
     let (attempts, successes) = machine
         .block_on(async {
-            let (tx, rx) = channel::<Req>(Capacity::Unbounded);
+            let (port, rx) = port_channel::<Req>(Capacity::Unbounded);
             let registry: Arc<Mutex<Vec<TaskId>>> = Arc::new(Mutex::new(Vec::new()));
 
             // The supervised worker pool.
@@ -88,7 +88,7 @@ fn main() {
             let mut successes = 0u64;
             while chanos::sim::now() < t_end {
                 attempts += 1;
-                if call(&tx, attempts).await == Some(attempts * 2) {
+                if call(&port, attempts).await == Some(attempts * 2) {
                     successes += 1;
                 }
                 chanos::sim::sleep(300).await;
@@ -113,12 +113,13 @@ fn main() {
     );
 }
 
-async fn call(tx: &Sender<Req>, n: u64) -> Option<u64> {
-    let (reply_to, reply) = reply_channel();
-    tx.send(Req { n, reply: reply_to }).await.ok()?;
-    let mut fut = Box::pin(reply.recv());
-    chanos::csp::choose! {
-        r = fut.as_mut() => r.ok(),
-        _ = chanos::csp::after(50_000) => None,
+async fn call(port: &Port<Req>, n: u64) -> Option<u64> {
+    // A `Call` is an ordinary future, so it composes with `choose!`;
+    // losing to the timeout drops it — a *counted* cancellation
+    // (`port.calls_cancelled`), not a leaked reply channel.
+    let mut call = port.call(move |reply| Req { n, reply });
+    chanos::rt::choose! {
+        r = &mut call => r.ok(),
+        _ = chanos::rt::after(50_000) => None,
     }
 }

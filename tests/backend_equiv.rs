@@ -626,3 +626,183 @@ fn memory_backing_still_available_on_threads() {
     assert_eq!(block, vec![0x5A; 4096]);
     assert_eq!(after, before, "memory backing must not do file I/O");
 }
+
+// ---------------------------------------------------------------------------
+// Typed IPC ports: pipelined call semantics identical on both backends.
+// ---------------------------------------------------------------------------
+
+mod port_equiv {
+    use super::*;
+    use chanos::rt::{self as rt, port_channel, CallError, Capacity, ReplyTo};
+
+    enum EchoReq {
+        Double(u64, ReplyTo<u64>),
+        DropReply(ReplyTo<u64>),
+    }
+
+    /// Issues two pipelined calls; the server holds the first reply
+    /// back until both requests have arrived and answers them in
+    /// *reverse* order — completions decouple from submissions.
+    async fn pipelined_script() -> Vec<u64> {
+        let (port, rx) = port_channel::<EchoReq>(Capacity::Unbounded);
+        rt::spawn(async move {
+            let mut held = Vec::new();
+            while held.len() < 2 {
+                match rx.recv().await {
+                    Ok(m) => held.push(m),
+                    Err(_) => return,
+                }
+            }
+            for m in held.into_iter().rev() {
+                if let EchoReq::Double(x, reply) = m {
+                    let _ = reply.send(x * 2).await;
+                }
+            }
+        });
+        let first = port.call(|r| EchoReq::Double(3, r));
+        let second = port.call(|r| EchoReq::Double(10, r));
+        // Await in issue order even though replies arrive reversed.
+        vec![first.await.unwrap(), second.await.unwrap()]
+    }
+
+    #[test]
+    fn pipelined_calls_complete_out_of_order_on_both_backends() {
+        let mut s = Simulation::new(4);
+        let sim_out = s.block_on(pipelined_script()).unwrap();
+        let rt = Runtime::new(2);
+        let thr_out = rt.block_on(pipelined_script());
+        rt.shutdown();
+        assert_eq!(sim_out, vec![6, 20]);
+        assert_eq!(sim_out, thr_out);
+    }
+
+    /// A `call_batch` burst on an unbounded port reaches the server
+    /// in submission order (per-client FIFO).
+    async fn batch_fifo_script() -> Vec<u64> {
+        let (port, rx) = port_channel::<EchoReq>(Capacity::Unbounded);
+        rt::spawn(async move {
+            let mut arrival = 0u64;
+            while let Ok(EchoReq::Double(x, reply)) = rx.recv().await {
+                arrival += 1;
+                let _ = reply.send(x * 1000 + arrival).await;
+            }
+        });
+        let calls = port.call_batch((0..8u64).map(|i| move |r| EchoReq::Double(i, r)));
+        let mut out = Vec::new();
+        for c in calls {
+            out.push(c.await.unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn call_batch_is_fifo_per_client_on_both_backends() {
+        let expect: Vec<u64> = (0..8).map(|i| i * 1000 + i + 1).collect();
+        let mut s = Simulation::new(4);
+        assert_eq!(s.block_on(batch_fifo_script()).unwrap(), expect);
+        let rt = Runtime::new(2);
+        assert_eq!(rt.block_on(batch_fifo_script()), expect);
+        rt.shutdown();
+    }
+
+    /// The error taxonomy: a dead server is `ServerGone`; a live
+    /// server dropping one reply is `Cancelled`.
+    async fn taxonomy_script() -> (Result<u64, CallError>, Result<u64, CallError>) {
+        let (gone, rx) = port_channel::<EchoReq>(Capacity::Unbounded);
+        drop(rx);
+        let gone_out = gone.call(|r| EchoReq::Double(1, r)).await;
+        let (port, rx) = port_channel::<EchoReq>(Capacity::Unbounded);
+        rt::spawn(async move {
+            while let Ok(m) = rx.recv().await {
+                match m {
+                    EchoReq::DropReply(reply) => drop(reply),
+                    EchoReq::Double(x, reply) => {
+                        let _ = reply.send(x).await;
+                    }
+                }
+            }
+        });
+        let cancelled_out = port.call(EchoReq::DropReply).await;
+        // The server is still alive and serving after the drop.
+        assert_eq!(port.call(|r| EchoReq::Double(7, r)).await, Ok(7));
+        (gone_out, cancelled_out)
+    }
+
+    #[test]
+    fn server_drop_reports_server_gone_not_cancelled_on_both_backends() {
+        let expect = (Err(CallError::ServerGone), Err(CallError::Cancelled));
+        let mut s = Simulation::new(4);
+        assert_eq!(s.block_on(taxonomy_script()).unwrap(), expect);
+        let rt = Runtime::new(2);
+        assert_eq!(rt.block_on(taxonomy_script()), expect);
+        rt.shutdown();
+    }
+
+    /// Dropping a held `Call` is a counted cancellation on the port,
+    /// and the server keeps running (its reply just fails cleanly).
+    async fn cancel_count_script() -> (u64, u64) {
+        let (port, rx) = port_channel::<EchoReq>(Capacity::Unbounded);
+        rt::spawn(async move {
+            while let Ok(EchoReq::Double(x, reply)) = rx.recv().await {
+                let _ = reply.send(x).await;
+            }
+        });
+        let dropped = port.call(|r| EchoReq::Double(1, r));
+        drop(dropped);
+        let kept = port.call(|r| EchoReq::Double(2, r)).await.unwrap();
+        (port.calls_cancelled(), kept)
+    }
+
+    #[test]
+    fn dropped_call_is_counted_as_cancellation_on_both_backends() {
+        let mut s = Simulation::new(4);
+        assert_eq!(s.block_on(cancel_count_script()).unwrap(), (1, 2));
+        let rt = Runtime::new(2);
+        assert_eq!(rt.block_on(cancel_count_script()), (1, 2));
+        rt.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MsgFs reply-wake coalescing: a pipelined vnode burst on the threads
+// backend wakes the waiting client once per batch, not once per reply.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn vnode_stat_burst_coalesces_reply_wakes_on_threads() {
+    let rt = Runtime::new(2);
+    let before = chanos::parchan::chan_counter("chan.reply_wakes_coalesced");
+    let submit_before = chanos::parchan::chan_counter("chan.send_many_msgs");
+    rt.block_on(async {
+        let os = boot(cfg()).await;
+        os.vfs.mkdir("/burst").await.unwrap();
+        let env = os.procs.env();
+        let fd = env.create("/burst/f").await.unwrap();
+        env.write(fd, b"coalesce me").await.unwrap();
+        env.close(fd).await.unwrap();
+        let chanos::vfs::Vfs::Msg(fs) = &os.vfs else {
+            panic!("message FS expected");
+        };
+        let ino = fs.lookup("/burst/f").await.unwrap();
+        // Many pipelined bursts: each submits 8 Stat calls as one
+        // message burst against the same vnode; the vnode drains them
+        // with recv_many and flushes the replies under one coalesced
+        // wake scope.
+        for _ in 0..200 {
+            let stats = fs.stat_burst(ino, 8).await.unwrap();
+            assert_eq!(stats.len(), 8);
+            assert!(stats.iter().all(|s| s.size == 11));
+        }
+    });
+    rt.shutdown();
+    let coalesced = chanos::parchan::chan_counter("chan.reply_wakes_coalesced") - before;
+    let submitted = chanos::parchan::chan_counter("chan.send_many_msgs") - submit_before;
+    assert!(
+        coalesced > 0,
+        "vnode reply bursts must coalesce same-client wakes (got +{coalesced})"
+    );
+    assert!(
+        submitted >= 8,
+        "stat bursts must go through the batched submit path (got +{submitted})"
+    );
+}
