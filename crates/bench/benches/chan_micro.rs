@@ -302,10 +302,14 @@ fn main() {
             .join(out_path)
     };
     let out_path = out_path.display().to_string();
+    let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str(&format!(
         "  \"bench\": \"chan_micro\",\n  \"quick\": {quick},\n  \"workers\": 4,\n"
+    ));
+    j.push_str(&format!(
+        "  \"host_cores\": {host_cores},\n  \"backend\": \"threads\",\n  \"sched_mode\": \"work-stealing\",\n"
     ));
     j.push_str(&format!(
         "  \"rpc_ns_per_round_trip\": {{\"mutex\": {rpc_mutex:.1}, \"lock_free\": {rpc_lf:.1}}},\n"

@@ -272,10 +272,17 @@ fn bench_syscall_depth_sweep() {
             _ => 0.0,
         }
     };
+    // The machine the numbers came from: without the host core count
+    // a recorded speedup is uninterpretable (a 3x pipelining win on 2
+    // cores and on 64 cores are different results).
+    let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str(&format!(
         "  \"bench\": \"syscall_depth_sweep\",\n  \"quick\": {quick},\n  \"workers\": 4,\n  \"kernel_cores\": 2,\n"
+    ));
+    j.push_str(&format!(
+        "  \"host_cores\": {host_cores},\n  \"backend\": \"threads\",\n  \"sched_mode\": \"work-stealing\",\n"
     ));
     j.push_str(&format!(
         "  \"speedup_getpid_x8_vs_serial\": {:.3},\n  \"speedup_read_x8_vs_serial\": {:.3},\n",

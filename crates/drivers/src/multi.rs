@@ -145,18 +145,26 @@ pub fn spawn_racy_disk_driver(
 
 /// A disk client wrapper that gives up on a request after `timeout`
 /// cycles — needed to survive the racy driver's lost completions.
+/// The deadline rides inside the call itself ([`Port::call_timeout`]);
+/// no `choose!`+`after` scaffolding.
+///
+/// [`Port::call_timeout`]: chanos_rt::Port::call_timeout
 pub async fn read_with_timeout(
     client: &DiskClient,
     lba: u64,
     count: u32,
     timeout: u64,
 ) -> Option<Result<Vec<u8>, DiskError>> {
-    chanos_rt::choose! {
-        r = std::pin::pin!(client.read(lba, count)) => Some(r),
-        _ = chanos_rt::after(timeout) => {
+    let call = client
+        .port()
+        .call_timeout(timeout, move |reply| DiskReq::Read { lba, count, reply });
+    match call.await {
+        Err(rt::CallError::TimedOut) => {
             rt::stat_incr("driver.request_timeouts");
             None
-        },
+        }
+        Err(e) => Some(Err(e.into())),
+        Ok(r) => Some(r),
     }
 }
 
@@ -167,12 +175,16 @@ pub async fn write_with_timeout(
     data: Vec<u8>,
     timeout: u64,
 ) -> Option<Result<(), DiskError>> {
-    chanos_rt::choose! {
-        r = std::pin::pin!(client.write(lba, data)) => Some(r),
-        _ = chanos_rt::after(timeout) => {
+    let call = client
+        .port()
+        .call_timeout(timeout, move |reply| DiskReq::Write { lba, data, reply });
+    match call.await {
+        Err(rt::CallError::TimedOut) => {
             rt::stat_incr("driver.request_timeouts");
             None
-        },
+        }
+        Err(e) => Some(Err(e.into())),
+        Ok(r) => Some(r),
     }
 }
 

@@ -67,6 +67,10 @@ impl From<CallError> for KError {
         match e {
             CallError::ServerGone => KError::Gone,
             CallError::Cancelled => KError::Cancelled,
+            // A deadline elapsing is a client-side cancellation: the
+            // server may still be alive (and may even answer late,
+            // into a dropped endpoint).
+            CallError::TimedOut => KError::Cancelled,
         }
     }
 }

@@ -176,6 +176,12 @@ thread_local! {
     /// them on exit.
     static WAKE_SCOPE: std::cell::RefCell<Option<Vec<Waker>>> =
         const { std::cell::RefCell::new(None) };
+
+    /// The last scope's emptied waker buffer, kept for the next scope
+    /// on this thread: steady-state reply batching must not allocate
+    /// (the zero-alloc pipelined-call contract).
+    static WAKE_SCOPE_SPARE: std::cell::Cell<Option<Vec<Waker>>> =
+        const { std::cell::Cell::new(None) };
 }
 
 /// Delivers a receiver wake, honoring an active [`coalesce_wakes`]
@@ -195,6 +201,15 @@ fn deliver_recv_wake(w: Waker) {
     });
 }
 
+/// Completion-side wake for the [`crate::oneshot`] slots: same
+/// counter and same [`coalesce_wakes`] scope handling as a channel's
+/// receiver wake, so servers that publish reply bursts inside a scope
+/// coalesce oneshot completions exactly like channel replies.
+pub(crate) fn deliver_reply_wake(w: Waker) {
+    bump(&RECV_WAKES);
+    deliver_recv_wake(w);
+}
+
 /// Flushes the scope's collected wakes even if the closure panics (a
 /// swallowed wake would strand a parked peer forever).
 struct WakeScopeGuard {
@@ -205,10 +220,11 @@ impl Drop for WakeScopeGuard {
     fn drop(&mut self) {
         let collected =
             WAKE_SCOPE.with(|s| std::mem::replace(&mut *s.borrow_mut(), self.prev.take()));
-        if let Some(ws) = collected {
-            for w in ws {
+        if let Some(mut ws) = collected {
+            for w in ws.drain(..) {
                 w.wake();
             }
+            WAKE_SCOPE_SPARE.with(|s| s.set(Some(ws)));
         }
     }
 }
@@ -227,7 +243,8 @@ impl Drop for WakeScopeGuard {
 /// `f` must be synchronous (replies published with `try_send`); the
 /// scope is per-thread and must not span an `.await`.
 pub fn coalesce_wakes<R>(f: impl FnOnce() -> R) -> R {
-    let prev = WAKE_SCOPE.with(|s| s.borrow_mut().replace(Vec::new()));
+    let buf = WAKE_SCOPE_SPARE.with(|s| s.take()).unwrap_or_default();
+    let prev = WAKE_SCOPE.with(|s| s.borrow_mut().replace(buf));
     let _guard = WakeScopeGuard { prev };
     f()
 }

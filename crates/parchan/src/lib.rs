@@ -42,6 +42,7 @@
 
 mod chan;
 mod executor;
+pub mod oneshot;
 mod timer;
 
 pub use chan::{

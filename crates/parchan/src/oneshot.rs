@@ -1,0 +1,415 @@
+//! Poll-based oneshot completion slots: the allocation-free reply
+//! path under `chanos-rt`'s typed ports.
+//!
+//! A reply is not a channel. It carries exactly one value, exactly
+//! once, between exactly two parties — so the general MPMC machinery
+//! (ring, spill deque, waiter lists) is pure overhead. A [`oneshot`]
+//! is a single `Arc`'d slot driven by an atomic state machine:
+//!
+//! ```text
+//!   EMPTY ──recv polls──▶ WAITING ──send──▶ SENT ──recv──▶ TAKEN
+//!     │                      │
+//!     └──────send───────────▶┴──▶ SENT (waker fired)
+//!   either side dropping unfinished moves to TX_DROPPED / RX_DROPPED
+//! ```
+//!
+//! The receiver exposes **owned polling** ([`OneReceiver::poll_recv`])
+//! so a caller can embed completion state inline in its own future —
+//! no boxed resolver, no borrowed `RecvFut`. After resolving, the
+//! sole-owner slot can be [`OneReceiver::recycle`]d and handed back
+//! out through [`SlotHandle::pair`], which is how a warm `rt::Port`
+//! reaches zero heap allocations per steady-state call.
+//!
+//! Completion wakes route through the same scope-aware delivery as
+//! channel receiver wakes, so [`crate::coalesce_wakes`] batches
+//! oneshot completions per peer exactly like channel replies.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use crate::chan::{deliver_reply_wake, RecvError};
+
+/// Nothing has happened; the waker cell belongs to the receiver.
+const EMPTY: u8 = 0;
+/// The receiver parked a waker in the waker cell.
+const WAITING: u8 = 1;
+/// The sender published a value in the value cell.
+const SENT: u8 = 2;
+/// The sender dropped without sending.
+const TX_DROPPED: u8 = 3;
+/// The receiver dropped before taking a value.
+const RX_DROPPED: u8 = 4;
+/// The receiver took the value; the slot is spent.
+const TAKEN: u8 = 5;
+
+/// The shared slot. Cell ownership is decided by `state` alone:
+///
+/// * `value` is written by the sender *before* its swap to `SENT`,
+///   and read by the receiver only *after* observing `SENT`.
+/// * `waker` is written by the receiver only while the state is
+///   `EMPTY` (it claims a parked waker back via a `WAITING → EMPTY`
+///   CAS before replacing it), and read by the sender only when its
+///   swap observes `WAITING` — at which point the receiver can no
+///   longer touch the cell, because the state is already `SENT`.
+struct Slot<T> {
+    state: AtomicU8,
+    value: UnsafeCell<Option<T>>,
+    waker: UnsafeCell<Option<Waker>>,
+}
+
+// The cells are handed off by the atomic protocol above.
+unsafe impl<T: Send> Send for Slot<T> {}
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+impl<T> Slot<T> {
+    fn new() -> Slot<T> {
+        Slot {
+            state: AtomicU8::new(EMPTY),
+            value: UnsafeCell::new(None),
+            waker: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// Creates a connected oneshot pair on a fresh slot.
+pub fn oneshot<T: Send>() -> (OneSender<T>, OneReceiver<T>) {
+    let slot = Arc::new(Slot::new());
+    (
+        OneSender {
+            slot: Some(slot.clone()),
+        },
+        OneReceiver { slot: Some(slot) },
+    )
+}
+
+/// The completing half: consumed by [`OneSender::send`]; dropping it
+/// unsent resolves the receiver with [`RecvError::Closed`].
+pub struct OneSender<T: Send> {
+    slot: Option<Arc<Slot<T>>>,
+}
+
+impl<T: Send> OneSender<T> {
+    /// Publishes the value and wakes the receiver if it is parked.
+    /// Returns the value if the receiver has gone away.
+    pub fn send(mut self, v: T) -> Result<(), T> {
+        let slot = self.slot.take().expect("send consumes the sender");
+        // Sender owns the value cell until the state says SENT.
+        unsafe { *slot.value.get() = Some(v) };
+        match slot.state.swap(SENT, Ordering::AcqRel) {
+            EMPTY => Ok(()),
+            WAITING => {
+                // The swap transferred waker-cell ownership to us.
+                if let Some(w) = unsafe { (*slot.waker.get()).take() } {
+                    deliver_reply_wake(w);
+                }
+                Ok(())
+            }
+            RX_DROPPED => {
+                // No receiver: reclaim the value; nobody else can
+                // race us here, so a plain store restores the state.
+                let v = unsafe { (*slot.value.get()).take() };
+                slot.state.store(RX_DROPPED, Ordering::Release);
+                Err(v.expect("value written above"))
+            }
+            s => unreachable!("oneshot send from state {s}"),
+        }
+    }
+}
+
+impl<T: Send> Drop for OneSender<T> {
+    fn drop(&mut self) {
+        let Some(slot) = self.slot.take() else { return };
+        match slot.state.swap(TX_DROPPED, Ordering::AcqRel) {
+            WAITING => {
+                if let Some(w) = unsafe { (*slot.waker.get()).take() } {
+                    deliver_reply_wake(w);
+                }
+            }
+            RX_DROPPED => slot.state.store(RX_DROPPED, Ordering::Release),
+            _ => {}
+        }
+    }
+}
+
+/// The completion half: poll it in place ([`OneReceiver::poll_recv`]),
+/// await it (`impl Future`), and [`OneReceiver::recycle`] the slot
+/// once resolved.
+pub struct OneReceiver<T: Send> {
+    slot: Option<Arc<Slot<T>>>,
+}
+
+impl<T: Send> OneReceiver<T> {
+    /// Owned poll for the completion: `Ready(Ok)` once the sender
+    /// published, `Ready(Err(Closed))` if it dropped unsent.
+    ///
+    /// # Panics
+    ///
+    /// Polling again after `Ready` is a caller bug.
+    pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Result<T, RecvError>> {
+        let slot = self.slot.as_ref().expect("polled after recycle");
+        loop {
+            match slot.state.load(Ordering::Acquire) {
+                SENT => {
+                    let v = unsafe { (*slot.value.get()).take() };
+                    slot.state.store(TAKEN, Ordering::Release);
+                    return Poll::Ready(Ok(v.expect("SENT implies a value")));
+                }
+                TX_DROPPED => return Poll::Ready(Err(RecvError::Closed)),
+                EMPTY => {
+                    // We own the waker cell while EMPTY (the sender
+                    // only touches it after observing WAITING).
+                    unsafe { *slot.waker.get() = Some(cx.waker().clone()) };
+                    match slot.state.compare_exchange(
+                        EMPTY,
+                        WAITING,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => return Poll::Pending,
+                        // Sender raced us to SENT/TX_DROPPED; the
+                        // stale waker in the cell is ours to keep.
+                        Err(_) => continue,
+                    }
+                }
+                WAITING => {
+                    // Re-poll: claim the cell back to refresh the
+                    // waker; on failure the sender just resolved us.
+                    match slot.state.compare_exchange(
+                        WAITING,
+                        EMPTY,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) | Err(_) => continue,
+                    }
+                }
+                s => panic!("oneshot polled after completion (state {s})"),
+            }
+        }
+    }
+
+    /// Awaits the completion, consuming the receiver.
+    pub async fn recv(self) -> Result<T, RecvError> {
+        self.await
+    }
+
+    /// The slot allocation's address — lets recycling tests assert a
+    /// reconnected pair really reuses the same memory.
+    pub fn slot_addr(&self) -> usize {
+        self.slot
+            .as_ref()
+            .map_or(0, |s| Arc::as_ptr(s) as *const () as usize)
+    }
+
+    /// Reclaims the slot for reuse. Succeeds only once the sender
+    /// half is gone (value delivered or sender dropped) and this
+    /// receiver is the slot's sole owner; otherwise the receiver is
+    /// dropped normally.
+    pub fn recycle(mut self) -> Option<SlotHandle<T>> {
+        let mut slot = self.slot.take()?;
+        match Arc::get_mut(&mut slot) {
+            Some(exclusive) => {
+                *exclusive.value.get_mut() = None;
+                *exclusive.waker.get_mut() = None;
+                *exclusive.state.get_mut() = EMPTY;
+                Some(SlotHandle { slot })
+            }
+            None => {
+                // Sender still live: fall back to drop semantics.
+                drop_receiver_side(&slot);
+                None
+            }
+        }
+    }
+}
+
+/// The receiver's share of the teardown protocol, used by both `Drop`
+/// and a failed [`OneReceiver::recycle`].
+fn drop_receiver_side<T: Send>(slot: &Slot<T>) {
+    match slot.state.swap(RX_DROPPED, Ordering::AcqRel) {
+        // Undelivered value: the swap handed us the value cell.
+        SENT => unsafe { *slot.value.get() = None },
+        // Our own parked waker: reclaim it.
+        WAITING => unsafe { *slot.waker.get() = None },
+        _ => {}
+    }
+}
+
+impl<T: Send> Drop for OneReceiver<T> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            drop_receiver_side(&slot);
+        }
+    }
+}
+
+impl<T: Send> Future for OneReceiver<T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        self.get_mut().poll_recv(cx)
+    }
+}
+
+impl<T: Send> Unpin for OneReceiver<T> {}
+
+/// A reset, sole-owner slot reclaimed by [`OneReceiver::recycle`]:
+/// hand it back out with [`SlotHandle::pair`], or park it type-erased
+/// in a pool via [`SlotHandle::into_any`] / [`SlotHandle::from_any`].
+pub struct SlotHandle<T: Send> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T: Send> SlotHandle<T> {
+    /// Reconnects the recycled slot as a fresh oneshot pair — two
+    /// `Arc` clones, zero allocations.
+    pub fn pair(self) -> (OneSender<T>, OneReceiver<T>) {
+        (
+            OneSender {
+                slot: Some(self.slot.clone()),
+            },
+            OneReceiver {
+                slot: Some(self.slot),
+            },
+        )
+    }
+
+    /// See [`OneReceiver::slot_addr`].
+    pub fn slot_addr(&self) -> usize {
+        Arc::as_ptr(&self.slot) as *const () as usize
+    }
+}
+
+impl<T: Send + 'static> SlotHandle<T> {
+    /// Type-erases the slot for storage in a heterogeneous pool.
+    pub fn into_any(self) -> Arc<dyn Any + Send + Sync> {
+        self.slot
+    }
+
+    /// Recovers a typed handle from [`SlotHandle::into_any`] storage.
+    pub fn from_any(any: Arc<dyn Any + Send + Sync>) -> Option<SlotHandle<T>> {
+        any.downcast::<Slot<T>>()
+            .ok()
+            .map(|slot| SlotHandle { slot })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn count_waker(hits: Arc<AtomicUsize>) -> Waker {
+        use std::task::{RawWaker, RawWakerVTable};
+        fn clone(p: *const ()) -> RawWaker {
+            unsafe { Arc::increment_strong_count(p as *const AtomicUsize) };
+            RawWaker::new(p, &VTABLE)
+        }
+        fn wake(p: *const ()) {
+            unsafe {
+                let a = Arc::from_raw(p as *const AtomicUsize);
+                a.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        fn wake_by_ref(p: *const ()) {
+            unsafe { (*(p as *const AtomicUsize)).fetch_add(1, Ordering::SeqCst) };
+        }
+        fn drop_fn(p: *const ()) {
+            unsafe { drop(Arc::from_raw(p as *const AtomicUsize)) };
+        }
+        static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_fn);
+        unsafe { Waker::from_raw(RawWaker::new(Arc::into_raw(hits) as *const (), &VTABLE)) }
+    }
+
+    #[test]
+    fn send_before_poll_resolves_immediately() {
+        let (tx, mut rx) = oneshot::<u32>();
+        tx.send(7).unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let w = count_waker(hits.clone());
+        let mut cx = Context::from_waker(&w);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(7)));
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn send_after_park_wakes() {
+        let (tx, mut rx) = oneshot::<u32>();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let w = count_waker(hits.clone());
+        let mut cx = Context::from_waker(&w);
+        assert!(rx.poll_recv(&mut cx).is_pending());
+        tx.send(9).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(9)));
+    }
+
+    #[test]
+    fn sender_drop_resolves_closed_and_wakes() {
+        let (tx, mut rx) = oneshot::<u32>();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let w = count_waker(hits.clone());
+        let mut cx = Context::from_waker(&w);
+        assert!(rx.poll_recv(&mut cx).is_pending());
+        drop(tx);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Err(RecvError::Closed)));
+    }
+
+    #[test]
+    fn receiver_drop_returns_value_to_sender() {
+        let (tx, rx) = oneshot::<String>();
+        drop(rx);
+        assert_eq!(tx.send("lost".into()), Err("lost".into()));
+    }
+
+    #[test]
+    fn recycle_reuses_the_same_allocation() {
+        let (tx, mut rx) = oneshot::<u32>();
+        tx.send(1).unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let w = count_waker(hits.clone());
+        let mut cx = Context::from_waker(&w);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(1)));
+        let first = Arc::as_ptr(rx.slot.as_ref().unwrap());
+        let handle = rx.recycle().expect("sole owner after resolve");
+        let (tx2, mut rx2) = handle.pair();
+        assert_eq!(Arc::as_ptr(rx2.slot.as_ref().unwrap()), first);
+        tx2.send(2).unwrap();
+        assert_eq!(rx2.poll_recv(&mut cx), Poll::Ready(Ok(2)));
+    }
+
+    #[test]
+    fn recycle_fails_while_sender_is_live() {
+        let (tx, rx) = oneshot::<u32>();
+        // Can't recycle: the sender still holds the slot.
+        assert!(rx.recycle().is_none());
+        // And the failed recycle behaved as a receiver drop.
+        assert_eq!(tx.send(3), Err(3));
+    }
+
+    #[test]
+    fn type_erased_pool_round_trip() {
+        let (tx, rx) = oneshot::<u64>();
+        drop(tx);
+        let handle = rx.recycle().expect("sole owner");
+        let any = handle.into_any();
+        assert!(SlotHandle::<u32>::from_any(any.clone()).is_none());
+        let back = SlotHandle::<u64>::from_any(any).expect("same type");
+        let (tx2, rx2) = back.pair();
+        tx2.send(11).unwrap();
+        futures_ready(rx2, Ok(11));
+    }
+
+    fn futures_ready(mut rx: OneReceiver<u64>, want: Result<u64, RecvError>) {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let w = count_waker(hits);
+        let mut cx = Context::from_waker(&w);
+        assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(want));
+    }
+}

@@ -554,57 +554,141 @@ impl<T: Send + 'static> Future for RecvMany<'_, T> {
 // ---------------------------------------------------------------------------
 
 /// Creates a single-use reply channel on the calling task's backend.
+///
+/// On the simulator this is a `Bounded(1)` modeled channel, so the
+/// reply is charged as its own send event and traces stay
+/// deterministic. On real threads it is a `chanos-parchan` oneshot
+/// completion slot: one `Arc`'d slot with an atomic state machine —
+/// no ring, no waiter lists, and (via [`Port`]'s slot pool) no
+/// steady-state allocation.
 pub fn reply_channel<T: Send + 'static>() -> (ReplyTo<T>, Reply<T>) {
-    let (tx, rx) = channel(Capacity::Bounded(1));
-    (ReplyTo { tx }, Reply { rx })
+    match backend() {
+        Backend::Sim => {
+            let (tx, rx) = channel(Capacity::Bounded(1));
+            (
+                ReplyTo(ReplyToImpl::Sim(tx)),
+                Reply(ReplyImpl::Sim(SimReply::Idle(Some(rx)))),
+            )
+        }
+        Backend::Threads => {
+            let (tx, rx) = par::oneshot::oneshot();
+            (ReplyTo(ReplyToImpl::Par(tx)), Reply(ReplyImpl::Par(rx)))
+        }
+    }
+}
+
+enum ReplyToImpl<T: Send + 'static> {
+    Sim(Sender<T>),
+    Par(par::oneshot::OneSender<T>),
 }
 
 /// The responding half of a reply channel; consumed by `send`.
-pub struct ReplyTo<T> {
-    tx: Sender<T>,
-}
+pub struct ReplyTo<T: Send + 'static>(ReplyToImpl<T>);
 
 impl<T: Send + 'static> ReplyTo<T> {
     /// Sends the reply, consuming the endpoint.
     ///
     /// Returns the value if the requester has gone away.
     pub async fn send(self, value: T) -> Result<(), T> {
-        self.tx.send(value).await.map_err(SendError::into_inner)
+        match self.0 {
+            ReplyToImpl::Sim(tx) => tx.send(value).await.map_err(SendError::into_inner),
+            ReplyToImpl::Par(tx) => tx.send(value),
+        }
     }
 
     /// Sends the reply without suspending, consuming the endpoint.
     ///
-    /// A reply channel always has buffer space for its single reply,
-    /// so this never spuriously fails; it only returns the value when
-    /// the requester has gone away. This is the publish half of the
+    /// A reply endpoint always has room for its single reply, so this
+    /// never spuriously fails; it only returns the value when the
+    /// requester has gone away. This is the publish half of the
     /// [`coalesce_replies`] burst pattern: servers answer a drained
     /// batch synchronously so the wakes can be batched per peer.
     pub fn send_now(self, value: T) -> Result<(), T> {
-        self.tx.try_send(value).map_err(|e| match e {
-            TrySendError::Full(v) | TrySendError::Closed(v) => v,
-        })
+        match self.0 {
+            ReplyToImpl::Sim(tx) => tx.try_send(value).map_err(|e| match e {
+                TrySendError::Full(v) | TrySendError::Closed(v) => v,
+            }),
+            ReplyToImpl::Par(tx) => tx.send(value),
+        }
     }
 }
 
-impl<T> std::fmt::Debug for ReplyTo<T> {
+impl<T: Send + 'static> std::fmt::Debug for ReplyTo<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("ReplyTo")
     }
 }
 
-/// The requesting half of a reply channel; consumed by `recv`.
-pub struct Reply<T> {
-    rx: Receiver<T>,
+/// The simulator reply keeps the modeled channel; the first owned
+/// poll moves it into a boxed resolver (allocation is fine here — the
+/// zero-allocation path is the threads backend, and the consuming
+/// [`Reply::recv`] still awaits the channel directly, unboxed).
+enum SimReply<T: Send + 'static> {
+    Idle(Option<Receiver<T>>),
+    Polling(Pin<Box<dyn Future<Output = Result<T, RecvError>> + Send>>),
 }
+
+enum ReplyImpl<T: Send + 'static> {
+    Sim(SimReply<T>),
+    Par(par::oneshot::OneReceiver<T>),
+}
+
+/// The requesting half of a reply channel; consumed by `recv`, or
+/// polled in place with [`Reply::poll_recv`] (how [`Call`] embeds a
+/// completion without boxing a resolver future).
+pub struct Reply<T: Send + 'static>(ReplyImpl<T>);
 
 impl<T: Send + 'static> Reply<T> {
     /// Awaits the reply, consuming the endpoint.
     pub async fn recv(self) -> Result<T, RecvError> {
-        self.rx.recv().await
+        match self.0 {
+            ReplyImpl::Sim(SimReply::Idle(rx)) => {
+                rx.expect("unpolled reply holds its receiver").recv().await
+            }
+            ReplyImpl::Sim(SimReply::Polling(mut f)) => {
+                std::future::poll_fn(move |cx| f.as_mut().poll(cx)).await
+            }
+            ReplyImpl::Par(rx) => rx.recv().await.map_err(|_| RecvError::Closed),
+        }
+    }
+
+    /// Owned poll for the reply: `Ready(Ok)` once the server
+    /// answered, `Ready(Err(Closed))` if it dropped the endpoint
+    /// unanswered. Polling after `Ready` is a caller bug.
+    pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Result<T, RecvError>> {
+        match &mut self.0 {
+            ReplyImpl::Sim(sim_reply) => {
+                if let SimReply::Idle(rx) = sim_reply {
+                    let rx = rx.take().expect("unpolled reply holds its receiver");
+                    *sim_reply = SimReply::Polling(Box::pin(async move { rx.recv().await }));
+                }
+                match sim_reply {
+                    SimReply::Polling(f) => f.as_mut().poll(cx),
+                    SimReply::Idle(_) => unreachable!("moved to Polling above"),
+                }
+            }
+            ReplyImpl::Par(rx) => rx.poll_recv(cx).map(|r| r.map_err(|_| RecvError::Closed)),
+        }
+    }
+
+    /// Tries to reclaim the resolved reply's completion slot for
+    /// reuse (threads backend only; the slot must be sole-owned —
+    /// i.e. the server already consumed its `ReplyTo`).
+    pub(crate) fn recycle(self) -> Option<par::oneshot::SlotHandle<T>> {
+        match self.0 {
+            ReplyImpl::Par(rx) => rx.recycle(),
+            ReplyImpl::Sim(_) => None,
+        }
+    }
+
+    /// Rebuilds a connected reply pair from a recycled slot.
+    pub(crate) fn from_slot(slot: par::oneshot::SlotHandle<T>) -> (ReplyTo<T>, Reply<T>) {
+        let (tx, rx) = slot.pair();
+        (ReplyTo(ReplyToImpl::Par(tx)), Reply(ReplyImpl::Par(rx)))
     }
 }
 
-impl<T> std::fmt::Debug for Reply<T> {
+impl<T: Send + 'static> std::fmt::Debug for Reply<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("Reply")
     }

@@ -35,14 +35,19 @@
 //!
 //! [`coalesce_replies`]: crate::coalesce_replies
 
-use std::collections::VecDeque;
+use std::any::{Any, TypeId};
+use std::collections::{HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll};
 
-use crate::{reply_channel, Receiver, Reply, ReplyTo, Sender, TrySendError};
+use chanos_parchan::oneshot as par_oneshot;
+
+use crate::{
+    plock, reply_channel, Backend, Cycles, Receiver, Reply, ReplyTo, Sender, Sleep, TrySendError,
+};
 
 /// Why a [`Call`] failed at the transport layer. Application errors
 /// are carried inside the response type instead.
@@ -57,6 +62,11 @@ pub enum CallError {
     /// reports [`CallError::ServerGone`] instead: the classification
     /// is as of completion time.)
     Cancelled,
+    /// The call's deadline ([`Port::with_deadline`] /
+    /// [`Port::call_timeout`]) elapsed before the server answered.
+    /// The reply endpoint is dropped, so a late answer fails cleanly
+    /// on the server side — same as a client-side cancellation.
+    TimedOut,
 }
 
 impl std::fmt::Display for CallError {
@@ -64,17 +74,76 @@ impl std::fmt::Display for CallError {
         match self {
             CallError::ServerGone => write!(f, "service is gone"),
             CallError::Cancelled => write!(f, "call cancelled by the service"),
+            CallError::TimedOut => write!(f, "call deadline elapsed"),
         }
     }
 }
 
 impl std::error::Error for CallError {}
 
-/// State shared by a port and its in-flight calls (cancellation
-/// accounting survives the port being dropped).
-#[derive(Debug, Default)]
+/// How many recycled completion slots a port keeps per response type.
+/// Deep enough for any realistic pipeline depth (the OS stack runs
+/// depth ≤ 32); small enough that an idle port pins little memory.
+const SLOT_POOL_CAP: usize = 256;
+
+/// Recycled oneshot completion slots, keyed by response type. A warm
+/// port serves every steady-state call from here, which is what makes
+/// `port.call` allocation-free on the threads backend.
+#[derive(Default)]
+struct SlotPool {
+    slots: Mutex<HashMap<TypeId, Vec<Arc<dyn Any + Send + Sync>>>>,
+}
+
+impl SlotPool {
+    fn pop<T: Send + 'static>(&self) -> Option<par_oneshot::SlotHandle<T>> {
+        let any = plock(&self.slots).get_mut(&TypeId::of::<T>())?.pop()?;
+        par_oneshot::SlotHandle::from_any(any)
+    }
+
+    fn push<T: Send + 'static>(&self, slot: par_oneshot::SlotHandle<T>) {
+        let mut m = plock(&self.slots);
+        let v = m.entry(TypeId::of::<T>()).or_default();
+        if v.len() < SLOT_POOL_CAP {
+            v.push(slot.into_any());
+        }
+    }
+}
+
+/// State shared by a port and its in-flight calls: failure
+/// classification, cancellation/timeout/drop accounting (which
+/// survives the port being dropped), and the completion-slot pool.
 struct PortCore {
     cancelled: AtomicU64,
+    timed_out: AtomicU64,
+    dropped_at_submit: AtomicU64,
+    /// Resolve-time ServerGone-vs-Cancelled probe. One clone of the
+    /// request sender, type-erased here at attach time — calls carry
+    /// only their `Arc<PortCore>`, never a cloned `Sender`.
+    server_gone: Box<dyn Fn() -> bool + Send + Sync>,
+    pool: SlotPool,
+}
+
+impl PortCore {
+    fn classify_reply_drop(&self) -> CallError {
+        if (self.server_gone)() {
+            CallError::ServerGone
+        } else {
+            CallError::Cancelled
+        }
+    }
+}
+
+impl std::fmt::Debug for PortCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortCore")
+            .field("cancelled", &self.cancelled.load(Ordering::Relaxed))
+            .field("timed_out", &self.timed_out.load(Ordering::Relaxed))
+            .field(
+                "dropped_at_submit",
+                &self.dropped_at_submit.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
 }
 
 /// A typed client handle to a service task: requests of type `Req` go
@@ -88,6 +157,10 @@ struct PortCore {
 pub struct Port<Req> {
     tx: Sender<Req>,
     core: Arc<PortCore>,
+    /// Default deadline applied to every call issued through this
+    /// handle ([`Port::with_deadline`]); clones carry their own copy,
+    /// so one client can hold a deadlined view of a shared service.
+    deadline: Option<Cycles>,
 }
 
 impl<Req> Clone for Port<Req> {
@@ -95,6 +168,7 @@ impl<Req> Clone for Port<Req> {
         Port {
             tx: self.tx.clone(),
             core: self.core.clone(),
+            deadline: self.deadline,
         }
     }
 }
@@ -119,10 +193,28 @@ pub fn port_channel<Req: Send + 'static>(cap: crate::Capacity) -> (Port<Req>, Re
 impl<Req: Send + 'static> Port<Req> {
     /// Wraps an existing server request channel into a port.
     pub fn attach(tx: Sender<Req>) -> Port<Req> {
+        let probe = tx.clone();
         Port {
             tx,
-            core: Arc::new(PortCore::default()),
+            core: Arc::new(PortCore {
+                cancelled: AtomicU64::new(0),
+                timed_out: AtomicU64::new(0),
+                dropped_at_submit: AtomicU64::new(0),
+                server_gone: Box::new(move || probe.is_closed()),
+                pool: SlotPool::default(),
+            }),
+            deadline: None,
         }
+    }
+
+    /// Returns a handle whose every call carries a deadline of
+    /// `deadline` cycles (virtual cycles on the simulator, ≈ ns on
+    /// real threads), resolved inside [`Call`]'s own poll: no
+    /// `choose!`+`after` scaffolding at the call sites. Per-call
+    /// overrides go through [`Port::call_timeout`].
+    pub fn with_deadline(mut self, deadline: Cycles) -> Port<Req> {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// The raw request channel (for supervisors that restart servers,
@@ -143,6 +235,32 @@ impl<Req: Send + 'static> Port<Req> {
         self.core.cancelled.load(Ordering::Relaxed)
     }
 
+    /// How many [`Call`]s on this port (and its clones) resolved
+    /// [`CallError::TimedOut`].
+    pub fn calls_timed_out(&self) -> u64 {
+        self.core.timed_out.load(Ordering::Relaxed)
+    }
+
+    /// How many deferred requests [`Port::submit`] had to drop
+    /// because the server channel closed mid-burst; each corresponds
+    /// to a [`Call`] that resolves [`CallError::ServerGone`].
+    pub fn calls_dropped_at_submit(&self) -> u64 {
+        self.core.dropped_at_submit.load(Ordering::Relaxed)
+    }
+
+    /// A connected reply pair for one call: on the threads backend a
+    /// warm port serves it from the recycled-slot pool — zero
+    /// allocations; the simulator keeps its modeled `Bounded(1)`
+    /// channel (one send event per reply, deterministic traces).
+    fn reply_pair<Resp: Send + 'static>(&self) -> (ReplyTo<Resp>, Reply<Resp>) {
+        if crate::try_backend() == Some(Backend::Threads) {
+            if let Some(slot) = self.core.pool.pop::<Resp>() {
+                return Reply::from_slot(slot);
+            }
+        }
+        reply_channel()
+    }
+
     /// Issues one call: builds the request around a fresh reply
     /// channel and submits it **now**. The returned [`Call`] is only
     /// the completion — hold several before awaiting any to pipeline
@@ -155,11 +273,33 @@ impl<Req: Send + 'static> Port<Req> {
         Resp: Send + 'static,
         F: FnOnce(ReplyTo<Resp>) -> Req,
     {
-        let (reply_to, reply) = reply_channel();
+        self.call_with_deadline(self.deadline, make)
+    }
+
+    /// [`Port::call`] with a per-call deadline, overriding any
+    /// [`Port::with_deadline`] policy: the call resolves
+    /// [`CallError::TimedOut`] if the server has not answered within
+    /// `timeout` cycles of issue. The timeout is resolved inside the
+    /// call's own poll — a `Call` racing a deadline is still one
+    /// plain future, usable as a `choose!` arm or held in a pipeline.
+    pub fn call_timeout<Resp, F>(&self, timeout: Cycles, make: F) -> Call<Resp>
+    where
+        Resp: Send + 'static,
+        F: FnOnce(ReplyTo<Resp>) -> Req,
+    {
+        self.call_with_deadline(Some(timeout), make)
+    }
+
+    fn call_with_deadline<Resp, F>(&self, deadline: Option<Cycles>, make: F) -> Call<Resp>
+    where
+        Resp: Send + 'static,
+        F: FnOnce(ReplyTo<Resp>) -> Req,
+    {
+        let (reply_to, reply) = self.reply_pair();
         match self.tx.try_send(make(reply_to)) {
-            Ok(()) => self.waiting_call(reply),
+            Ok(()) => self.waiting_call(reply, deadline),
             Err(TrySendError::Closed(_)) => Call::failed(CallError::ServerGone),
-            Err(TrySendError::Full(msg)) => self.sending_call(msg, reply),
+            Err(TrySendError::Full(msg)) => self.sending_call(msg, reply, deadline),
         }
     }
 
@@ -183,7 +323,7 @@ impl<Req: Send + 'static> Port<Req> {
         let mut msgs = VecDeque::new();
         let mut replies = Vec::new();
         for make in makes {
-            let (reply_to, reply) = reply_channel();
+            let (reply_to, reply) = self.reply_pair();
             msgs.push_back(make(reply_to));
             replies.push(reply);
         }
@@ -193,7 +333,7 @@ impl<Req: Send + 'static> Port<Req> {
             .enumerate()
             .map(|(i, reply)| {
                 if i < sent {
-                    self.waiting_call(reply)
+                    self.waiting_call(reply, self.deadline)
                 } else {
                     // Full or closed mid-burst: fall back to an async
                     // submit at poll time (which reports ServerGone
@@ -201,7 +341,7 @@ impl<Req: Send + 'static> Port<Req> {
                     let msg = msgs
                         .pop_front()
                         .expect("one unsent request per left-over call");
-                    self.sending_call(msg, reply)
+                    self.sending_call(msg, reply, self.deadline)
                 }
             })
             .collect()
@@ -219,22 +359,34 @@ impl<Req: Send + 'static> Port<Req> {
         Resp: Send + 'static,
         F: FnOnce(ReplyTo<Resp>) -> Req,
     {
-        let (reply_to, reply) = reply_channel();
+        let (reply_to, reply) = self.reply_pair();
         buf.push_back(make(reply_to));
-        self.waiting_call(reply)
+        self.waiting_call(reply, self.deadline)
     }
 
     /// Submits previously deferred requests as one burst (one server
     /// wake on real threads, one send event per message on the
     /// simulator). If the server is gone, the unsent requests are
-    /// dropped and their calls resolve as [`CallError::ServerGone`].
+    /// dropped — counted on [`Port::calls_dropped_at_submit`] and the
+    /// ambient `port.calls_dropped_at_submit` statistic — and their
+    /// calls resolve as [`CallError::ServerGone`] deterministically
+    /// (the request channel *is* closed by the time they observe the
+    /// dropped reply endpoint).
     pub async fn submit(&self, buf: &mut VecDeque<Req>) {
         loop {
             self.tx.try_send_many(buf);
             let Some(msg) = buf.pop_front() else { return };
-            // Full (bounded port): wait for space. Closed: drop the
-            // rest — the calls observe it through their replies.
+            // Full (bounded port): wait for space.
             if self.tx.send(msg).await.is_err() {
+                // Closed mid-burst: the in-hand request and everything
+                // still buffered are dropped, visibly.
+                let dropped = 1 + buf.len() as u64;
+                self.core
+                    .dropped_at_submit
+                    .fetch_add(dropped, Ordering::Relaxed);
+                if crate::in_runtime() {
+                    crate::stat_add("port.calls_dropped_at_submit", dropped);
+                }
                 buf.clear();
                 return;
             }
@@ -252,31 +404,36 @@ impl<Req: Send + 'static> Port<Req> {
             .map_err(crate::SendError::into_inner)
     }
 
-    fn waiting_call<Resp: Send + 'static>(&self, reply: Reply<Resp>) -> Call<Resp> {
-        let probe = self.tx.clone();
+    fn waiting_call<Resp: Send + 'static>(
+        &self,
+        reply: Reply<Resp>,
+        deadline: Option<Cycles>,
+    ) -> Call<Resp> {
+        // The completion is held *inline*: an owned `Reply` polled in
+        // place, no boxed resolver, no cloned probe `Sender` — the
+        // ServerGone-vs-Cancelled classification happens at resolve
+        // time through the shared `PortCore`.
         Call {
-            state: CallState::Waiting(Box::pin(async move {
-                match reply.recv().await {
-                    Ok(v) => Ok(v),
-                    // The reply endpoint died unanswered: if the
-                    // request channel is closed too, the server is
-                    // gone; otherwise the server is alive and chose
-                    // to drop this call.
-                    Err(_) => Err(if probe.is_closed() {
-                        CallError::ServerGone
-                    } else {
-                        CallError::Cancelled
-                    }),
-                }
-            })),
+            state: CallState::Waiting(reply),
+            deadline: deadline.map(crate::after),
             core: Some(self.core.clone()),
         }
     }
 
-    fn sending_call<Resp: Send + 'static>(&self, msg: Req, reply: Reply<Resp>) -> Call<Resp> {
+    fn sending_call<Resp: Send + 'static>(
+        &self,
+        msg: Req,
+        reply: Reply<Resp>,
+        deadline: Option<Cycles>,
+    ) -> Call<Resp> {
+        // The bounded-port overflow path: the request itself still
+        // has to be submitted, which needs the `Req` type — boxed,
+        // and off the steady-state path (OS service ports are
+        // unbounded; only a momentarily-full bounded port lands
+        // here).
         let tx = self.tx.clone();
         Call {
-            state: CallState::Waiting(Box::pin(async move {
+            state: CallState::Boxed(Box::pin(async move {
                 if tx.send(msg).await.is_err() {
                     return Err(CallError::ServerGone);
                 }
@@ -289,16 +446,21 @@ impl<Req: Send + 'static> Port<Req> {
                     }),
                 }
             })),
+            deadline: deadline.map(crate::after),
             core: Some(self.core.clone()),
         }
     }
 }
 
-enum CallState<Resp> {
+enum CallState<Resp: Send + 'static> {
     /// Failed at issue time (server gone before submission).
     Failed(Option<CallError>),
-    /// Submitted (or submitting); resolving through the reply channel.
-    Waiting(Pin<Box<dyn Future<Output = Result<Resp, CallError>> + Send>>),
+    /// Submitted; the completion slot polled in place — the
+    /// allocation-free steady state.
+    Waiting(Reply<Resp>),
+    /// Resolving through an owned future: the bounded-port overflow
+    /// fallback and the [`Call::from_future`] adapter.
+    Boxed(Pin<Box<dyn Future<Output = Result<Resp, CallError>> + Send>>),
     /// Resolved; polling again is a bug.
     Done,
 }
@@ -309,17 +471,21 @@ enum CallState<Resp> {
 /// Calls are *held* completions: issue several, then await them in
 /// any order (each is also a valid `choose!` arm). Dropping an
 /// unresolved call cancels it — the server's reply fails cleanly and
-/// the drop is counted (`port.calls_cancelled`).
+/// the drop is counted (`port.calls_cancelled`). A call with a
+/// deadline ([`Port::with_deadline`] / [`Port::call_timeout`])
+/// resolves [`CallError::TimedOut`] from inside its own poll.
 #[must_use = "a Call does nothing unless awaited; dropping it cancels the RPC"]
-pub struct Call<Resp> {
+pub struct Call<Resp: Send + 'static> {
     state: CallState<Resp>,
+    deadline: Option<Sleep>,
     core: Option<Arc<PortCore>>,
 }
 
-impl<Resp> Call<Resp> {
+impl<Resp: Send + 'static> Call<Resp> {
     fn failed(e: CallError) -> Call<Resp> {
         Call {
             state: CallState::Failed(Some(e)),
+            deadline: None,
             core: None,
         }
     }
@@ -333,7 +499,8 @@ impl<Resp> Call<Resp> {
         F: Future<Output = Result<Resp, CallError>> + Send + 'static,
     {
         Call {
-            state: CallState::Waiting(Box::pin(fut)),
+            state: CallState::Boxed(Box::pin(fut)),
+            deadline: None,
             core: None,
         }
     }
@@ -346,11 +513,37 @@ impl<Resp> Call<Resp> {
     {
         Call::from_future(std::future::ready(Ok(v)))
     }
+
+    /// Resolves and recycles a finished `Waiting` reply: a delivered
+    /// slot goes back to the port's pool (sole-owned by now — the
+    /// server consumed its `ReplyTo`), so the next call on a warm
+    /// port allocates nothing.
+    fn finish_waiting(&mut self, out: Result<Resp, crate::RecvError>) -> Result<Resp, CallError> {
+        let CallState::Waiting(reply) = std::mem::replace(&mut self.state, CallState::Done) else {
+            unreachable!("finish_waiting outside Waiting");
+        };
+        self.deadline = None;
+        let core = self.core.take();
+        let result = match out {
+            Ok(v) => Ok(v),
+            // The reply endpoint died unanswered: if the request
+            // channel is closed too, the server is gone; otherwise
+            // the server is alive and chose to drop this call.
+            Err(_) => Err(core
+                .as_deref()
+                .map(PortCore::classify_reply_drop)
+                .unwrap_or(CallError::Cancelled)),
+        };
+        if let (Some(core), Some(slot)) = (core, reply.recycle()) {
+            core.pool.push(slot);
+        }
+        result
+    }
 }
 
-impl<Resp> Unpin for Call<Resp> {}
+impl<Resp: Send + 'static> Unpin for Call<Resp> {}
 
-impl<Resp> Future for Call<Resp> {
+impl<Resp: Send + 'static> Future for Call<Resp> {
     type Output = Result<Resp, CallError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
@@ -359,30 +552,53 @@ impl<Resp> Future for Call<Resp> {
             CallState::Failed(e) => {
                 let e = e.take().expect("failure taken once");
                 this.state = CallState::Done;
+                this.deadline = None;
                 this.core = None;
-                Poll::Ready(Err(e))
+                return Poll::Ready(Err(e));
             }
-            CallState::Waiting(f) => match f.as_mut().poll(cx) {
-                Poll::Pending => Poll::Pending,
-                Poll::Ready(out) => {
-                    this.state = CallState::Done;
-                    this.core = None;
-                    Poll::Ready(out)
+            CallState::Waiting(reply) => {
+                if let Poll::Ready(out) = reply.poll_recv(cx) {
+                    return Poll::Ready(this.finish_waiting(out));
                 }
-            },
+            }
+            CallState::Boxed(f) => {
+                if let Poll::Ready(out) = f.as_mut().poll(cx) {
+                    this.state = CallState::Done;
+                    this.deadline = None;
+                    this.core = None;
+                    return Poll::Ready(out);
+                }
+            }
             CallState::Done => panic!("Call polled after completion"),
         }
+        // Still pending: arm/check the deadline. Timing out drops the
+        // reply endpoint, so a late server answer fails cleanly —
+        // from the server's view this is a client cancellation.
+        if let Some(sleep) = &mut this.deadline {
+            if Pin::new(sleep).poll(cx).is_ready() {
+                this.state = CallState::Done;
+                this.deadline = None;
+                if let Some(core) = this.core.take() {
+                    core.timed_out.fetch_add(1, Ordering::Relaxed);
+                }
+                if crate::in_runtime() {
+                    crate::stat_incr("port.calls_timed_out");
+                }
+                return Poll::Ready(Err(CallError::TimedOut));
+            }
+        }
+        Poll::Pending
     }
 }
 
-impl<Resp> Drop for Call<Resp> {
+impl<Resp: Send + 'static> Drop for Call<Resp> {
     fn drop(&mut self) {
-        if matches!(self.state, CallState::Waiting(_)) {
+        if matches!(self.state, CallState::Waiting(_) | CallState::Boxed(_)) {
             // An unresolved call dropped = a cancellation, observable
             // on the port and in the runtime statistics (never a
-            // silent reply-channel leak: dropping the boxed future
-            // drops the reply receiver, closing the channel, so the
-            // server's answer fails cleanly).
+            // silent reply-channel leak: dropping the held reply
+            // receiver closes the completion slot, so the server's
+            // answer fails cleanly).
             if let Some(core) = &self.core {
                 core.cancelled.fetch_add(1, Ordering::Relaxed);
             }

@@ -245,6 +245,11 @@ impl<S: BlockStore> FsCore<S> {
     // -- File data ------------------------------------------------------------
 
     /// Reads up to `len` bytes at `off`; short reads at EOF.
+    ///
+    /// Maps the whole range first, then fetches every mapped block
+    /// with one [`BlockStore::read_blocks`] call — stores that batch
+    /// (the message-passing cache groups lookups per shard) serve the
+    /// read in one round-trip per shard instead of one per block.
     pub async fn read_file(&self, inode: &Inode, off: u64, len: usize) -> Result<Vec<u8>, FsError> {
         if inode.kind == FileKind::Dir {
             // Directories are read through the dirent API.
@@ -253,20 +258,29 @@ impl<S: BlockStore> FsCore<S> {
             return Ok(Vec::new());
         }
         let end = (off + len as u64).min(inode.size);
-        let mut out = Vec::with_capacity((end - off) as usize);
+        // Pass 1: map each touched block; record (start offset within
+        // the block, bytes to take, lba — 0 marks a hole).
+        let mut segs: Vec<(usize, usize, u64)> = Vec::new();
         let mut pos = off;
         while pos < end {
             let fbn = pos / BLOCK_SIZE as u64;
             let in_block = (pos % BLOCK_SIZE as u64) as usize;
             let take = ((BLOCK_SIZE - in_block) as u64).min(end - pos) as usize;
-            let lba = self.bmap(inode, fbn).await?;
+            segs.push((in_block, take, self.bmap(inode, fbn).await?));
+            pos += take as u64;
+        }
+        // Pass 2: one grouped fetch for every mapped block.
+        let lbas: Vec<u64> = segs.iter().map(|s| s.2).filter(|&l| l != 0).collect();
+        let blocks = self.store.read_blocks(&lbas).await?;
+        let mut out = Vec::with_capacity((end - off) as usize);
+        let mut next = blocks.into_iter();
+        for (in_block, take, lba) in segs {
             if lba == 0 {
                 out.extend(std::iter::repeat_n(0u8, take)); // Hole.
             } else {
-                let blk = self.store.read_block(lba).await?;
+                let blk = next.next().expect("one block per mapped segment");
                 out.extend_from_slice(&blk[in_block..in_block + take]);
             }
-            pos += take as u64;
         }
         Ok(out)
     }

@@ -49,6 +49,25 @@ pub trait BlockStore: Clone + 'static {
     ) -> impl std::future::Future<Output = Result<(), FsError>>;
     /// Flushes all dirty blocks to the device.
     fn sync(&self) -> impl std::future::Future<Output = Result<(), FsError>>;
+
+    /// Reads many blocks, returned in request order.
+    ///
+    /// The default reads them one at a time; stores with internal
+    /// concurrency structure (notably [`CacheClient`]) override this
+    /// to batch — e.g. one round-trip per cache shard instead of one
+    /// per block.
+    fn read_blocks(
+        &self,
+        lbas: &[u64],
+    ) -> impl std::future::Future<Output = Result<Vec<Vec<u8>>, FsError>> {
+        async move {
+            let mut out = Vec::with_capacity(lbas.len());
+            for &lba in lbas {
+                out.push(self.read_block(lba).await?);
+            }
+            Ok(out)
+        }
+    }
 }
 
 /// A write-back LRU cache of disk blocks (pure data structure).
@@ -308,6 +327,11 @@ enum CacheMsg {
         lba: u64,
         reply: ReplyTo<Result<Vec<u8>, FsError>>,
     },
+    /// A shard-local group of lookups: one round-trip serves them all.
+    ReadMany {
+        lbas: Vec<u64>,
+        reply: ReplyTo<Result<Vec<Vec<u8>>, FsError>>,
+    },
     Write {
         lba: u64,
         data: Vec<u8>,
@@ -316,6 +340,27 @@ enum CacheMsg {
     Sync {
         reply: ReplyTo<Result<(), FsError>>,
     },
+}
+
+/// One lookup/fill against a shard's privately-owned cache (the body
+/// of both `Read` and each element of `ReadMany`).
+async fn shard_read(cache: &mut LruCache, disk: &DiskClient, lba: u64) -> Result<Vec<u8>, FsError> {
+    if let Some(data) = cache.get(lba) {
+        rt::stat_incr("cache.hits");
+        chanos_rt::delay(copy_cost(data.len())).await;
+        return Ok(data);
+    }
+    rt::stat_incr("cache.misses");
+    match disk.read(lba, 1).await {
+        Ok(data) => {
+            if let Some((vlba, vdata)) = cache.insert_clean(lba, data.clone()) {
+                let _ = disk.write(vlba, vdata).await;
+            }
+            chanos_rt::delay(copy_cost(data.len())).await;
+            Ok(data)
+        }
+        Err(e) => Err(FsError::Io(e)),
+    }
 }
 
 /// Client handle to the buffer-cache server shards.
@@ -354,25 +399,24 @@ impl CacheClient {
                     for msg in batch.drain(..) {
                         match msg {
                             CacheMsg::Read { lba, reply } => {
-                                let out = if let Some(data) = cache.get(lba) {
-                                    rt::stat_incr("cache.hits");
-                                    chanos_rt::delay(copy_cost(data.len())).await;
-                                    Ok(data)
-                                } else {
-                                    rt::stat_incr("cache.misses");
-                                    match disk.read(lba, 1).await {
+                                let out = shard_read(&mut cache, &disk, lba).await;
+                                let _ = reply.send(out).await;
+                            }
+                            CacheMsg::ReadMany { lbas, reply } => {
+                                let mut out = Ok(Vec::with_capacity(lbas.len()));
+                                for lba in lbas {
+                                    match shard_read(&mut cache, &disk, lba).await {
                                         Ok(data) => {
-                                            if let Some((vlba, vdata)) =
-                                                cache.insert_clean(lba, data.clone())
-                                            {
-                                                let _ = disk.write(vlba, vdata).await;
+                                            if let Ok(v) = &mut out {
+                                                v.push(data);
                                             }
-                                            chanos_rt::delay(copy_cost(data.len())).await;
-                                            Ok(data)
                                         }
-                                        Err(e) => Err(FsError::Io(e)),
+                                        Err(e) => {
+                                            out = Err(e);
+                                            break;
+                                        }
                                     }
-                                };
+                                }
                                 let _ = reply.send(out).await;
                             }
                             CacheMsg::Write { lba, data, reply } => {
@@ -409,6 +453,49 @@ impl CacheClient {
     fn shard(&self, lba: u64) -> &Port<CacheMsg> {
         &self.shards[(lba % self.shards.len() as u64) as usize]
     }
+
+    /// Reads many blocks with one round-trip per *shard*, not per
+    /// block: lookups are grouped by owning shard, each group rides a
+    /// single `ReadMany` message, and the replies are scattered back
+    /// into request order. All shard calls are issued before any is
+    /// awaited, so the shards work in parallel.
+    ///
+    /// Counted as `cache.read_many_calls` (client-side batches) and
+    /// `cache.shard_groups` (shard round-trips those batches cost).
+    pub async fn read_many(&self, lbas: &[u64]) -> Result<Vec<Vec<u8>>, FsError> {
+        match lbas {
+            [] => return Ok(Vec::new()),
+            [lba] => return self.read_block(*lba).await.map(|b| vec![b]),
+            _ => {}
+        }
+        rt::stat_incr("cache.read_many_calls");
+        let nshards = self.shards.len() as u64;
+        // Per shard: which request slots it owns, and their LBAs.
+        let mut groups: Vec<(Vec<usize>, Vec<u64>)> = vec![Default::default(); self.shards.len()];
+        for (i, &lba) in lbas.iter().enumerate() {
+            let g = &mut groups[(lba % nshards) as usize];
+            g.0.push(i);
+            g.1.push(lba);
+        }
+        let mut calls = Vec::new();
+        for (s, (slots, lbas)) in groups.into_iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            rt::stat_incr("cache.shard_groups");
+            let call = self.shards[s].call(move |reply| CacheMsg::ReadMany { lbas, reply });
+            calls.push((slots, call));
+        }
+        let mut out = vec![Vec::new(); lbas.len()];
+        for (slots, call) in calls {
+            let blocks = call.await.unwrap_or_else(|e| Err(e.into()))?;
+            debug_assert_eq!(blocks.len(), slots.len());
+            for (slot, data) in slots.into_iter().zip(blocks) {
+                out[slot] = data;
+            }
+        }
+        Ok(out)
+    }
 }
 
 impl BlockStore for CacheClient {
@@ -435,6 +522,10 @@ impl BlockStore for CacheClient {
                 .unwrap_or_else(|e| Err(e.into()))?;
         }
         Ok(())
+    }
+
+    async fn read_blocks(&self, lbas: &[u64]) -> Result<Vec<Vec<u8>>, FsError> {
+        self.read_many(lbas).await
     }
 }
 

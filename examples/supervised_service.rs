@@ -114,12 +114,12 @@ fn main() {
 }
 
 async fn call(port: &Port<Req>, n: u64) -> Option<u64> {
-    // A `Call` is an ordinary future, so it composes with `choose!`;
-    // losing to the timeout drops it — a *counted* cancellation
-    // (`port.calls_cancelled`), not a leaked reply channel.
-    let mut call = port.call(move |reply| Req { n, reply });
-    chanos::rt::choose! {
-        r = &mut call => r.ok(),
-        _ = chanos::rt::after(50_000) => None,
-    }
+    // The deadline lives inside the call itself: a timed-out call
+    // resolves `CallError::TimedOut` from its own poll (counted as
+    // `port.calls_timed_out`), and the dropped reply endpoint makes
+    // a late answer from a dying worker fail cleanly — no
+    // `choose!`+`after` scaffolding, no leaked reply channel.
+    port.call_timeout(50_000, move |reply| Req { n, reply })
+        .await
+        .ok()
 }

@@ -761,6 +761,184 @@ mod port_equiv {
         assert_eq!(rt.block_on(cancel_count_script()), (1, 2));
         rt.shutdown();
     }
+
+    /// The server dying mid-burst must not silently clear a buffered
+    /// submit: every unsent request is counted, and every call in the
+    /// burst deterministically resolves `ServerGone`.
+    async fn submit_to_dead_server_script() -> (Vec<Result<u64, CallError>>, u64) {
+        let (port, rx) = port_channel::<EchoReq>(Capacity::Unbounded);
+        drop(rx);
+        let mut buf = std::collections::VecDeque::new();
+        let calls: Vec<_> = (0..3u64)
+            .map(|i| port.call_deferred(&mut buf, move |r| EchoReq::Double(i, r)))
+            .collect();
+        port.submit(&mut buf).await;
+        let mut out = Vec::new();
+        for c in calls {
+            out.push(c.await);
+        }
+        (out, port.calls_dropped_at_submit())
+    }
+
+    #[test]
+    fn submit_counts_requests_dropped_at_a_dead_server_on_both_backends() {
+        let expect = (vec![Err(CallError::ServerGone); 3], 3);
+        let mut s = Simulation::new(4);
+        assert_eq!(s.block_on(submit_to_dead_server_script()).unwrap(), expect);
+        let rt = Runtime::new(2);
+        assert_eq!(rt.block_on(submit_to_dead_server_script()), expect);
+        rt.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Port deadlines: the timeout resolves inside the call's own poll, with
+// the same taxonomy on both backends.
+// ---------------------------------------------------------------------------
+
+mod deadline_equiv {
+    use super::*;
+    use chanos::rt::{self as rt, port_channel, CallError, Capacity, ReplyTo};
+
+    enum SlowReq {
+        Echo(u64, ReplyTo<u64>),
+        /// Accepted by the server but never answered (the reply
+        /// endpoint is parked, not dropped).
+        Stall(ReplyTo<u64>),
+    }
+
+    /// One answered call under a generous deadline, one stalled call
+    /// under a tight per-call deadline, one stalled call under a
+    /// port-level deadline policy.
+    async fn deadline_script() -> Vec<Result<u64, CallError>> {
+        let (port, rx) = port_channel::<SlowReq>(Capacity::Unbounded);
+        rt::spawn_daemon("deadline-server", async move {
+            let mut parked = Vec::new();
+            while let Ok(m) = rx.recv().await {
+                match m {
+                    SlowReq::Echo(x, reply) => {
+                        let _ = reply.send(x + 1).await;
+                    }
+                    SlowReq::Stall(reply) => parked.push(reply),
+                }
+            }
+        });
+        let mut out = Vec::new();
+        // An answer that beats the deadline is an ordinary Ok.
+        out.push(port.call_timeout(50_000_000, |r| SlowReq::Echo(5, r)).await);
+        // A never-answered call resolves TimedOut from its own poll.
+        out.push(port.call_timeout(10_000, SlowReq::Stall).await);
+        // `with_deadline` applies the same policy to every plain call.
+        let strict = port.clone().with_deadline(10_000);
+        out.push(strict.call(SlowReq::Stall).await);
+        // Clones share the port's counter core.
+        assert_eq!(port.calls_timed_out(), 2);
+        assert_eq!(strict.calls_timed_out(), 2);
+        out
+    }
+
+    #[test]
+    fn call_deadlines_equivalent_on_both_backends() {
+        let expect = vec![Ok(6), Err(CallError::TimedOut), Err(CallError::TimedOut)];
+        let mut s = Simulation::new(4);
+        assert_eq!(s.block_on(deadline_script()).unwrap(), expect);
+        assert_eq!(s.stats().counter("port.calls_timed_out"), 2);
+        let rt = Runtime::new(2);
+        assert_eq!(rt.block_on(deadline_script()), expect);
+        rt.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-aware servers: the disk driver elevator-sorts drained bursts
+// and the message-passing cache groups lookups per shard — observable
+// through the same counters on both backends.
+// ---------------------------------------------------------------------------
+
+mod batch_aware_equiv {
+    use super::*;
+    use chanos::drivers::{
+        install_disk_with, spawn_disk_driver, DiskBacking, DiskParams, BLOCK_SIZE,
+    };
+    use chanos::vfs::CacheClient;
+
+    /// Issues one 8-deep burst of reads in seek-hostile (alternating
+    /// low/high LBA) order; returns the counters the sort must move.
+    async fn elevator_script(dev: CoreId) -> (u64, u64) {
+        let sorted0 = chanos::rt::stat_get("disk.bursts_sorted");
+        let saved0 = chanos::rt::stat_get("disk.seek_distance_saved");
+        let (hw, irq) = install_disk_with(128, DiskParams::default(), dev, DiskBacking::Memory);
+        let disk = spawn_disk_driver(hw, irq, CoreId(1));
+        let lbas = [0u64, 100, 10, 90, 20, 80, 30, 70];
+        for r in disk.read_batch(&lbas).await {
+            r.expect("read ok");
+        }
+        (
+            chanos::rt::stat_get("disk.bursts_sorted") - sorted0,
+            chanos::rt::stat_get("disk.seek_distance_saved") - saved0,
+        )
+    }
+
+    #[test]
+    fn burst_is_elevator_sorted_on_both_backends() {
+        let mut s = Simulation::new(4);
+        let dev = s.add_device_core();
+        let (sim_sorted, sim_saved) = s.block_on(elevator_script(dev)).unwrap();
+        assert!(sim_sorted >= 1, "sim: no burst was sorted");
+        assert!(sim_saved > 0, "sim: sort saved no head travel");
+        let rt = Runtime::new(2);
+        let (thr_sorted, thr_saved) = rt.block_on(elevator_script(CoreId(0)));
+        rt.shutdown();
+        assert!(thr_sorted >= 1, "threads: no burst was sorted");
+        assert!(thr_saved > 0, "threads: sort saved no head travel");
+    }
+
+    /// Writes distinct patterns to 8 blocks, then fetches them with
+    /// one `read_many`: the lookups must arrive grouped — one shard
+    /// round-trip per shard, not one per block.
+    async fn shard_group_script(dev: CoreId) -> (Vec<Vec<u8>>, u64, u64) {
+        let calls0 = chanos::rt::stat_get("cache.read_many_calls");
+        let groups0 = chanos::rt::stat_get("cache.shard_groups");
+        let (hw, irq) = install_disk_with(128, DiskParams::default(), dev, DiskBacking::Memory);
+        let disk = spawn_disk_driver(hw, irq, CoreId(1));
+        let cache = CacheClient::spawn(disk, 4, 64, &[CoreId(0), CoreId(1)]);
+        let lbas: Vec<u64> = (0..8u64).collect();
+        for &lba in &lbas {
+            chanos::vfs::BlockStore::write_block(&cache, lba, vec![lba as u8 + 1; BLOCK_SIZE])
+                .await
+                .expect("write ok");
+        }
+        let blocks = cache.read_many(&lbas).await.expect("read_many ok");
+        (
+            blocks,
+            chanos::rt::stat_get("cache.read_many_calls") - calls0,
+            chanos::rt::stat_get("cache.shard_groups") - groups0,
+        )
+    }
+
+    #[test]
+    fn read_many_groups_lookups_per_shard_on_both_backends() {
+        let check = |(blocks, calls, groups): (Vec<Vec<u8>>, u64, u64), tag: &str| {
+            assert_eq!(blocks.len(), 8, "{tag}: wrong block count");
+            for (i, b) in blocks.iter().enumerate() {
+                assert!(
+                    b.iter().all(|&x| x == i as u8 + 1),
+                    "{tag}: block {i} scattered back to the wrong slot"
+                );
+            }
+            assert_eq!(calls, 1, "{tag}: one client batch expected");
+            assert_eq!(
+                groups, 4,
+                "{tag}: 8 lookups over 4 shards must cost 4 round-trips"
+            );
+        };
+        let mut s = Simulation::new(4);
+        let dev = s.add_device_core();
+        check(s.block_on(shard_group_script(dev)).unwrap(), "sim");
+        let rt = Runtime::new(2);
+        check(rt.block_on(shard_group_script(CoreId(0))), "threads");
+        rt.shutdown();
+    }
 }
 
 // ---------------------------------------------------------------------------
