@@ -1,0 +1,283 @@
+//! Facade lint for the workspace — the static half of `chanos-check`
+//! (the model checker is the dynamic half).
+//!
+//! Three rules, each guarding an invariant the type system cannot:
+//!
+//! 1. **Facade bypass.** Code outside the runtime-implementing crates
+//!    must not call `std::thread::spawn`, use `std::sync::mpsc`, or
+//!    read `Instant::now()`. Those crates (`parchan`, `rt`, `bench`,
+//!    `check`) *are* the runtime or measure it; everyone else going
+//!    around the facade breaks backend portability (the simulator
+//!    cannot see an OS thread) and determinism (wall-clock reads in
+//!    sim code de-seed traces).
+//!
+//! 2. **Stat registry.** Every `"chan.*"` / `"port.*"` / `"disk.*"`
+//!    string literal must appear in `crates/check/stat_registry.txt`.
+//!    A typo'd name silently records into a fresh counter while the
+//!    assertion reading the intended name sees zero.
+//!
+//! 3. **Ordering discipline.** Inside `crates/parchan/src`, every
+//!    `SeqCst` in code must sit in a comment paragraph containing
+//!    `ordering:` stating the invariant that needs sequential
+//!    consistency. SeqCst is the "not sure" ordering; the rule forces
+//!    each survivor of the downgrade pass to carry its proof
+//!    obligation. A paragraph is a blank-line-delimited run, so one
+//!    comment covers a whole protocol step.
+//!
+//! Escape hatch: a comment containing `chanos-lint: allow` suppresses
+//! rules 1 and 2 for the rest of its blank-line-delimited paragraph —
+//! the comment is expected to say why.
+//!
+//! Run from anywhere: `cargo run -p chanos-check --bin lint`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates allowed to touch OS threads and the wall clock directly.
+const FACADE_EXEMPT: &[&str] = &[
+    "crates/parchan/", // is the threads runtime
+    "crates/rt/",      // is the facade
+    "crates/bench/",   // measures wall time by design
+    "crates/check/",   // shims std::thread itself
+];
+
+/// Substrings whose presence in a non-exempt file is a bypass.
+const BYPASS: &[(&str, &str)] = &[
+    (
+        "std::thread::spawn",
+        "spawn through the runtime facade (`rt::spawn*` / `Runtime::spawn`); \
+         raw OS threads are invisible to the simulator backend",
+    ),
+    (
+        "std::sync::mpsc",
+        "use the workspace channels (`rt::channel` / `parchan::channel`); \
+         mpsc bypasses the paper's channel discipline and its stats",
+    ),
+    (
+        "Instant::now",
+        "read time through the facade (`rt::now()`); wall-clock reads \
+         de-seed deterministic simulator traces",
+    ),
+];
+
+fn workspace_root() -> PathBuf {
+    // crates/check -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/check has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Strips `// ...` comments and string literal *contents* so rule
+/// matching sees only code. Keeps the quotes themselves (rule 2 runs
+/// on the raw line instead). Good enough for a line-based lint: raw
+/// strings and block comments are rare in this workspace and the
+/// patterns we search for do not straddle lines.
+fn code_only(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts `"chan.*"`, `"port.*"`, `"disk.*"` literals from a line.
+fn stat_literals(line: &str) -> Vec<String> {
+    let mut found = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            if let Some(end) = line[i + 1..].find('"') {
+                let lit = &line[i + 1..i + 1 + end];
+                for prefix in ["chan.", "port.", "disk."] {
+                    if let Some(rest) = lit.strip_prefix(prefix) {
+                        if !rest.is_empty()
+                            && rest
+                                .chars()
+                                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+                        {
+                            found.push(lit.to_string());
+                        }
+                    }
+                }
+                i += end + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    found
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let registry_path = root.join("crates/check/stat_registry.txt");
+    let registry: Vec<String> = fs::read_to_string(&registry_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", registry_path.display()))
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut findings: Vec<String> = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(text) = fs::read_to_string(path) else {
+            continue;
+        };
+        let lines: Vec<&str> = text.lines().collect();
+        let exempt = FACADE_EXEMPT.iter().any(|p| rel.starts_with(p));
+        // Paragraph-scoped state (reset at blank lines): has the
+        // current blank-line-delimited run seen an `ordering:` /
+        // `chanos-lint: allow` comment so far?
+        let ordering_scope = rel.starts_with("crates/parchan/src/");
+        let mut ordering_covered = false;
+        let mut allowed = false;
+
+        for (idx, raw) in lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if raw.trim().is_empty() {
+                allowed = false;
+            } else if raw.contains("chanos-lint: allow") {
+                allowed = true;
+            }
+            let code = code_only(raw);
+
+            // Rule 1: facade bypass.
+            if !exempt && !allowed {
+                for (pat, why) in BYPASS {
+                    if code.contains(pat) {
+                        findings.push(format!("{rel}:{lineno}: facade bypass `{pat}` — {why}"));
+                    }
+                }
+            }
+
+            // Rule 2: stat literals must be registered.
+            if !allowed {
+                for lit in stat_literals(raw) {
+                    if !registry.iter().any(|r| r == &lit) {
+                        findings.push(format!(
+                            "{rel}:{lineno}: stat literal \"{lit}\" not in \
+                             crates/check/stat_registry.txt — a typo'd name \
+                             records into a fresh counter nobody reads"
+                        ));
+                    }
+                }
+            }
+
+            // Rule 3: SeqCst needs an `ordering:` paragraph comment.
+            if ordering_scope {
+                if raw.trim().is_empty() {
+                    ordering_covered = false;
+                } else if raw.contains("ordering:") {
+                    ordering_covered = true;
+                } else if code.contains("SeqCst") && !ordering_covered {
+                    findings.push(format!(
+                        "{rel}:{lineno}: bare `SeqCst` — state the invariant \
+                         in an `// ordering:` comment in this paragraph, or \
+                         downgrade the ordering"
+                    ));
+                }
+            }
+        }
+    }
+
+    if findings.is_empty() {
+        println!("lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!(
+            "lint: {} finding(s) in {} files",
+            findings.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{code_only, stat_literals};
+
+    #[test]
+    fn code_only_strips_comments_and_string_contents() {
+        assert_eq!(code_only("let x = 1; // Instant::now"), "let x = 1; ");
+        assert_eq!(code_only(r#"let s = "Instant::now";"#), r#"let s = "";"#);
+        assert_eq!(code_only(r#"let s = "a\"b"; f()"#), r#"let s = ""; f()"#);
+        assert_eq!(code_only("Instant::now()"), "Instant::now()");
+    }
+
+    #[test]
+    fn stat_literal_extraction() {
+        assert_eq!(
+            stat_literals(r#"bump("chan.fast_sends"); g("disk.reads")"#),
+            vec!["chan.fast_sends", "disk.reads"]
+        );
+        // Wrong charset or empty suffix: not a stat name.
+        assert!(stat_literals(r#""chan.Weird""#).is_empty());
+        assert!(stat_literals(r#""chan.""#).is_empty());
+        assert!(stat_literals(r#"no strings here"#).is_empty());
+        assert_eq!(
+            stat_literals(r#""port.calls_timed_out""#),
+            vec!["port.calls_timed_out"]
+        );
+    }
+}

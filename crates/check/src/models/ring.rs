@@ -1,0 +1,195 @@
+//! Model of the Vyukov ring's ticket-claim / slot-publish protocol.
+//!
+//! mirrors: `parchan/src/chan.rs` — `Ring::ring_push`, `Ring::ring_pop`
+//!
+//! The real ring stores `T` in an `UnsafeCell<MaybeUninit<T>>` whose
+//! ownership is handed off by the ticket CAS + stamp publish. The
+//! model stores the value in an atomic with `0` as the "uninitialized"
+//! sentinel: reading a `0` out of a claimed slot is exactly the
+//! read-before-publish bug the stamp protocol exists to prevent, and
+//! shows up as a model assertion instead of UB.
+
+use std::sync::atomic::Ordering;
+
+use crate::sync::AtomicUsize;
+use crate::thread;
+
+/// Seeded bugs for [`ring_spsc_model`] / [`ring_mpsc_claim_model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutant {
+    /// The shipping protocol.
+    None,
+    /// Publish the stamp *before* writing the value: a concurrent pop
+    /// can read the uninitialized slot.
+    PublishBeforeWrite,
+    /// Claim the ticket with a plain store instead of a CAS: two
+    /// producers can claim the same slot and one message is lost.
+    ClaimStoreNotCas,
+}
+
+const CAP: usize = 2;
+const ONE_LAP: usize = 2;
+
+/// A 2-slot model ring. Field-for-field miniature of `Ring<T>`:
+/// `tail`/`head` are the ticket words, `stamp[i]` the per-slot lap
+/// stamps (initialized to `i`, as in `Ring::with_capacity`).
+pub struct MRing {
+    tail: AtomicUsize,
+    head: AtomicUsize,
+    stamp: [AtomicUsize; CAP],
+    value: [AtomicUsize; CAP],
+}
+
+impl Default for MRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MRing {
+    pub fn new() -> MRing {
+        MRing {
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            stamp: [AtomicUsize::new(0), AtomicUsize::new(1)],
+            value: [AtomicUsize::new(0), AtomicUsize::new(0)],
+        }
+    }
+
+    /// One push attempt; `false` means full. The bounded `Busy` retry
+    /// of the real code becomes a model yield so a spinning producer
+    /// cannot monopolize a schedule.
+    pub fn push(&self, v: usize, mutant: Mutant) -> bool {
+        assert_ne!(v, 0, "0 is the model's uninitialized sentinel");
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let index = tail & (ONE_LAP - 1);
+            let lap = tail & !(ONE_LAP - 1);
+            let stamp = self.stamp[index].load(Ordering::Acquire);
+            if stamp == tail {
+                let new_tail = if index + 1 < CAP {
+                    tail + 1
+                } else {
+                    lap.wrapping_add(ONE_LAP)
+                };
+                let claimed = if mutant == Mutant::ClaimStoreNotCas {
+                    // BUG (seeded): no ticket exclusivity.
+                    self.tail.store(new_tail, Ordering::SeqCst);
+                    true
+                } else {
+                    self.tail
+                        .compare_exchange_weak(tail, new_tail, Ordering::SeqCst, Ordering::Relaxed)
+                        .is_ok()
+                };
+                if claimed {
+                    if mutant == Mutant::PublishBeforeWrite {
+                        // BUG (seeded): stamp visible before value.
+                        self.stamp[index].store(tail.wrapping_add(1), Ordering::Release);
+                        self.value[index].store(v, Ordering::Relaxed);
+                    } else {
+                        self.value[index].store(v, Ordering::Relaxed);
+                        self.stamp[index].store(tail.wrapping_add(1), Ordering::Release);
+                    }
+                    return true;
+                }
+                tail = self.tail.load(Ordering::Relaxed);
+            } else if stamp.wrapping_add(ONE_LAP) == tail.wrapping_add(1) {
+                // Previous lap's value still present: full (the model
+                // folds the real code's mid-flight-pop retry into the
+                // caller's yield loop).
+                return false;
+            } else {
+                thread::yield_now();
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// One pop attempt; `None` means empty. Asserts the slot it
+    /// claims was actually published (sentinel check).
+    pub fn pop(&self) -> Option<usize> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let index = head & (ONE_LAP - 1);
+            let lap = head & !(ONE_LAP - 1);
+            let stamp = self.stamp[index].load(Ordering::Acquire);
+            if stamp == head.wrapping_add(1) {
+                let new_head = if index + 1 < CAP {
+                    head + 1
+                } else {
+                    lap.wrapping_add(ONE_LAP)
+                };
+                if self
+                    .head
+                    .compare_exchange_weak(head, new_head, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // The ticket CAS gave us exclusive read access;
+                    // take the value and reset the sentinel.
+                    let v = self.value[index].swap(0, Ordering::Relaxed);
+                    assert_ne!(v, 0, "popped an unpublished slot");
+                    self.stamp[index].store(head.wrapping_add(ONE_LAP), Ordering::Release);
+                    return Some(v);
+                }
+                head = self.head.load(Ordering::Relaxed);
+            } else if stamp == head {
+                return None;
+            } else {
+                thread::yield_now();
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One producer pushes `1, 2, 3` through the 2-slot ring (forcing the
+/// full/backpressure path) while a concurrent consumer pops; asserts
+/// FIFO order and no unpublished reads.
+pub fn ring_spsc_model(mutant: Mutant) {
+    let ring = std::sync::Arc::new(MRing::new());
+    let r2 = ring.clone();
+    let producer = thread::spawn(move || {
+        for v in 1..=3usize {
+            while !r2.push(v, mutant) {
+                thread::yield_now();
+            }
+        }
+    });
+    let mut got = Vec::new();
+    while got.len() < 3 {
+        match ring.pop() {
+            Some(v) => got.push(v),
+            None => thread::yield_now(),
+        }
+    }
+    producer.join();
+    assert_eq!(got, vec![1, 2, 3], "ring broke FIFO order");
+}
+
+/// Two producers race one push each for the same ticket; the root
+/// then drains single-threadedly and must find both messages. With
+/// `ClaimStoreNotCas` both producers claim ticket 0 and one message
+/// vanishes.
+pub fn ring_mpsc_claim_model(mutant: Mutant) {
+    let ring = std::sync::Arc::new(MRing::new());
+    let r1 = ring.clone();
+    let r2 = ring.clone();
+    let p1 = thread::spawn(move || {
+        while !r1.push(1, mutant) {
+            thread::yield_now();
+        }
+    });
+    let p2 = thread::spawn(move || {
+        while !r2.push(2, mutant) {
+            thread::yield_now();
+        }
+    });
+    p1.join();
+    p2.join();
+    let mut got = Vec::new();
+    while let Some(v) = ring.pop() {
+        got.push(v);
+    }
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 2], "a claimed message was lost");
+}

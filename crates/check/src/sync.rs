@@ -1,0 +1,350 @@
+//! Drop-in replacements for the `std::sync` types parchan uses.
+//!
+//! Each type wraps its `std` counterpart and adds exactly one thing:
+//! when the calling thread is a *model thread* of a live
+//! [`Explorer`](crate::sched::Explorer) execution, every visible
+//! operation first yields to the controlling scheduler (becoming an
+//! explored interleaving point) and records its declared
+//! [`Ordering`]. Outside a model execution every operation is a plain
+//! passthrough, so code compiled against these types behaves
+//! identically to `std` — that is what makes the parchan
+//! `crate::sync` facade safe to flip with one cfg.
+
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, TryLockError, TryLockResult};
+
+use crate::sched::{self, Op};
+
+/// Re-exported so a facade can `use chanos_check::sync::fence`.
+pub fn fence(order: Ordering) {
+    sched::sync_op(Op::Fence, order);
+    std::sync::atomic::fence(order);
+}
+
+macro_rules! shim_atomic {
+    ($name:ident, $std:ty, $val:ty) => {
+        /// Model-checked wrapper around the matching `std` atomic.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Const-constructible, so statics keep working.
+            pub const fn new(v: $val) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            fn loc(&self) -> usize {
+                self as *const _ as usize
+            }
+
+            pub fn load(&self, order: Ordering) -> $val {
+                sched::sync_op(Op::Load { loc: self.loc() }, order);
+                self.inner.load(order)
+            }
+
+            pub fn store(&self, v: $val, order: Ordering) {
+                sched::sync_op(Op::Store { loc: self.loc() }, order);
+                self.inner.store(v, order)
+            }
+
+            pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                sched::sync_op(Op::Rmw { loc: self.loc() }, order);
+                self.inner.swap(v, order)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $val,
+                new: $val,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$val, $val> {
+                // A failed CAS is only a load, but modeling every CAS
+                // as an RMW over-approximates dependence, which keeps
+                // sleep-set pruning sound.
+                sched::sync_op(Op::Rmw { loc: self.loc() }, success);
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $val,
+                new: $val,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$val, $val> {
+                sched::sync_op(Op::Rmw { loc: self.loc() }, success);
+                // Under the checker a weak CAS never fails spuriously:
+                // spurious failure is just a shorter interleaving of
+                // the retry loop the explorer already covers.
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Exclusive access: no concurrency, no scheduling point.
+            pub fn get_mut(&mut self) -> &mut $val {
+                self.inner.get_mut()
+            }
+
+            pub fn into_inner(self) -> $val {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! shim_atomic_arith {
+    ($name:ident, $val:ty) => {
+        impl $name {
+            pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                sched::sync_op(Op::Rmw { loc: self.loc() }, order);
+                self.inner.fetch_add(v, order)
+            }
+
+            pub fn fetch_sub(&self, v: $val, order: Ordering) -> $val {
+                sched::sync_op(Op::Rmw { loc: self.loc() }, order);
+                self.inner.fetch_sub(v, order)
+            }
+
+            pub fn fetch_or(&self, v: $val, order: Ordering) -> $val {
+                sched::sync_op(Op::Rmw { loc: self.loc() }, order);
+                self.inner.fetch_or(v, order)
+            }
+
+            pub fn fetch_and(&self, v: $val, order: Ordering) -> $val {
+                sched::sync_op(Op::Rmw { loc: self.loc() }, order);
+                self.inner.fetch_and(v, order)
+            }
+
+            pub fn fetch_max(&self, v: $val, order: Ordering) -> $val {
+                sched::sync_op(Op::Rmw { loc: self.loc() }, order);
+                self.inner.fetch_max(v, order)
+            }
+        }
+    };
+}
+
+shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+shim_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+shim_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+shim_atomic_arith!(AtomicU8, u8);
+shim_atomic_arith!(AtomicU32, u32);
+shim_atomic_arith!(AtomicU64, u64);
+shim_atomic_arith!(AtomicUsize, usize);
+
+impl AtomicBool {
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        sched::sync_op(Op::Rmw { loc: self.loc() }, order);
+        self.inner.fetch_or(v, order)
+    }
+
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        sched::sync_op(Op::Rmw { loc: self.loc() }, order);
+        self.inner.fetch_and(v, order)
+    }
+}
+
+/// Model-checked mutex. Lock acquisition is a scheduling point whose
+/// *grant* is the acquisition: the scheduler only picks a thread
+/// blocked on a lock while the mutex is free, so the inner `std`
+/// mutex below is always uncontended inside a model.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(v: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(v),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn loc(&self) -> usize {
+        self as *const _ as *const () as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        sched::mutex_lock(self.loc());
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            inner: Some(inner),
+            mutex: self,
+        })
+    }
+
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        if !sched::mutex_try_lock(self.loc()) {
+            return Err(TryLockError::WouldBlock);
+        }
+        match self.inner.try_lock() {
+            Ok(inner) => Ok(MutexGuard {
+                inner: Some(inner),
+                mutex: self,
+            }),
+            Err(TryLockError::Poisoned(e)) => Ok(MutexGuard {
+                inner: Some(e.into_inner()),
+                mutex: self,
+            }),
+            Err(TryLockError::WouldBlock) => {
+                // Unreachable in a model (the scheduler owns the
+                // claim) and means real contention outside one.
+                sched::mutex_release_claim(self.loc());
+                Err(TryLockError::WouldBlock)
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+/// Guard for [`Mutex`]; release is a scheduling point.
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `Some` until dropped or dismantled by `Condvar::wait`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            // Release the real lock first; no other model thread can
+            // run until the scheduling point below parks us anyway.
+            drop(g);
+            sched::mutex_unlock(self.mutex.loc());
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard dismantled")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard dismantled")
+    }
+}
+
+impl<T: std::fmt::Debug + ?Sized> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Mirror of `std::sync::WaitTimeoutResult` (which has no public
+/// constructor) so facade code can keep calling `.timed_out()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model-checked condition variable.
+///
+/// Inside a model, `wait` is unlock → always-enabled scheduling point
+/// → relock: the spurious wakeup `std` already permits. `notify_*`
+/// bumps an epoch so `wait_timeout` can report whether a notify
+/// happened while it was off the lock (`timed_out()` is the epoch not
+/// moving — exactly the 50 ms backstop firing with nothing to do).
+/// Because a model wait never blocks, a condvar can never deadlock a
+/// model — lost-wake bugs must be expressed through
+/// [`crate::thread::park`], whose token the scheduler does track.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    epoch: std::sync::atomic::AtomicUsize,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+            epoch: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if sched::in_model() {
+            let mutex = guard.mutex;
+            drop(guard); // scheduling point: MutexUnlock
+            sched::cond_wait();
+            return mutex.lock(); // scheduling point: MutexLock
+        }
+        let mut g = guard;
+        let inner = g.inner.take().expect("guard dismantled");
+        let mutex = g.mutex;
+        std::mem::forget(g);
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            inner: Some(inner),
+            mutex,
+        })
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if sched::in_model() {
+            let mutex = guard.mutex;
+            let before = self.epoch.load(Ordering::Relaxed);
+            drop(guard);
+            sched::cond_wait();
+            let notified = self.epoch.load(Ordering::Relaxed) != before;
+            let g = mutex.lock().unwrap_or_else(|e| e.into_inner());
+            return Ok((g, WaitTimeoutResult(!notified)));
+        }
+        let mut g = guard;
+        let inner = g.inner.take().expect("guard dismantled");
+        let mutex = g.mutex;
+        std::mem::forget(g);
+        let (inner, res) = self
+            .inner
+            .wait_timeout(inner, dur)
+            .unwrap_or_else(|e| e.into_inner());
+        Ok((
+            MutexGuard {
+                inner: Some(inner),
+                mutex,
+            },
+            WaitTimeoutResult(res.timed_out()),
+        ))
+    }
+
+    pub fn notify_one(&self) {
+        if sched::in_model() {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+            sched::cond_notify();
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if sched::in_model() {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+            sched::cond_notify();
+        }
+        self.inner.notify_all();
+    }
+}

@@ -1,0 +1,185 @@
+//! The four protocol harnesses: each shipping protocol must verify
+//! exhaustively within the preemption bound, and every seeded mutant
+//! must be caught — with its counterexample schedule replaying to the
+//! same failure (the property that turns any future counterexample
+//! into a checked-in regression test).
+
+use chanos_check::models::{coalesce, oneshot, parking, ring};
+use chanos_check::{Config, Explorer, FailureKind};
+
+fn explorer() -> Explorer {
+    Explorer::new(Config {
+        max_preemptions: 3,
+        max_schedules: 200_000,
+        max_steps: 20_000,
+        sleep_sets: true,
+    })
+}
+
+/// A mutant must be caught, and its schedule must replay to the same
+/// failure kind.
+fn assert_caught<F>(model: F, expect: &[FailureKind])
+where
+    F: Fn() + Send + Sync + Clone + 'static,
+{
+    let report = explorer().check(model.clone());
+    let failure = report
+        .failure
+        .unwrap_or_else(|| panic!("mutant not caught in {} schedules", report.schedules));
+    assert!(
+        expect.contains(&failure.kind),
+        "expected one of {expect:?}, got {failure}"
+    );
+    let replayed = explorer()
+        .replay(&failure.schedule, model)
+        .expect("counterexample schedule must replay deterministically");
+    assert_eq!(replayed.kind, failure.kind, "replay diverged: {replayed}");
+}
+
+// --- ring: ticket-claim / slot-publish vs concurrent recv ---------------
+
+#[test]
+fn ring_spsc_verifies() {
+    let report = explorer().check(|| ring::ring_spsc_model(ring::Mutant::None));
+    report.assert_ok();
+    assert!(report.schedules > 0);
+}
+
+#[test]
+fn ring_mpsc_claim_verifies() {
+    let report = explorer().check(|| ring::ring_mpsc_claim_model(ring::Mutant::None));
+    report.assert_ok();
+}
+
+#[test]
+fn ring_mutant_publish_before_write_caught() {
+    assert_caught(
+        || ring::ring_spsc_model(ring::Mutant::PublishBeforeWrite),
+        &[FailureKind::Panic],
+    );
+}
+
+#[test]
+fn ring_mutant_claim_store_not_cas_caught() {
+    assert_caught(
+        || ring::ring_mpsc_claim_model(ring::Mutant::ClaimStoreNotCas),
+        &[FailureKind::Panic],
+    );
+}
+
+// --- parking: spin-then-park vs post-publish wake (Dekker pair) ---------
+
+#[test]
+fn parking_verifies() {
+    let report = explorer().check(|| parking::parking_model(parking::Mutant::None, 2));
+    report.assert_ok();
+}
+
+#[test]
+fn parking_mutant_no_recheck_caught() {
+    // The lost wake surfaces as the built-in parked-forever deadlock.
+    assert_caught(
+        || parking::parking_model(parking::Mutant::ConsumerNoRecheck, 2),
+        &[FailureKind::Deadlock],
+    );
+}
+
+#[test]
+fn parking_mutant_scan_before_publish_caught() {
+    assert_caught(
+        || parking::parking_model(parking::Mutant::ProducerScanBeforePublish, 2),
+        &[FailureKind::Deadlock],
+    );
+}
+
+#[test]
+fn parking_relaxed_dekker_verifies_under_sc() {
+    // Documents the checker's scope boundary: with the fences dropped
+    // the protocol is STILL correct under sequential consistency —
+    // the bug the SeqCst pair prevents is a weak-memory reordering,
+    // which is TSan's job, not the explorer's. If this test ever
+    // fails, the model (not the fences) changed.
+    let report = explorer().check(|| parking::parking_model(parking::Mutant::RelaxedDekker, 2));
+    report.assert_ok();
+}
+
+// --- oneshot: CAS waker claim vs resolve vs drop vs recycle -------------
+
+#[test]
+fn oneshot_send_recv_recycle_verifies() {
+    let report =
+        explorer().check(|| oneshot::oneshot_send_recv_recycle_model(oneshot::Mutant::None));
+    report.assert_ok();
+}
+
+#[test]
+fn oneshot_tx_drop_verifies() {
+    let report = explorer().check(|| oneshot::oneshot_tx_drop_model(oneshot::Mutant::None));
+    report.assert_ok();
+}
+
+#[test]
+fn oneshot_rx_drop_verifies() {
+    let report = explorer().check(|| oneshot::oneshot_rx_drop_model(oneshot::Mutant::None));
+    report.assert_ok();
+}
+
+#[test]
+fn oneshot_mutant_repoll_store_caught() {
+    // Clobbering SENT with a plain store loses the value: the
+    // receiver re-parks and nobody is left to wake it.
+    assert_caught(
+        || oneshot::oneshot_send_recv_recycle_model(oneshot::Mutant::RepollStoreNotCas),
+        &[FailureKind::Deadlock],
+    );
+}
+
+#[test]
+fn oneshot_mutant_publish_after_swap_caught() {
+    assert_caught(
+        || oneshot::oneshot_send_recv_recycle_model(oneshot::Mutant::PublishAfterSwap),
+        &[FailureKind::Panic],
+    );
+}
+
+#[test]
+fn oneshot_mutant_publish_after_swap_caught_via_rx_drop() {
+    // The same seeded bug also violates value-cell ownership against
+    // a concurrently dropping receiver.
+    assert_caught(
+        || oneshot::oneshot_rx_drop_model(oneshot::Mutant::PublishAfterSwap),
+        &[FailureKind::Panic],
+    );
+}
+
+#[test]
+fn oneshot_mutant_recycle_skips_reset_caught() {
+    assert_caught(
+        || oneshot::oneshot_send_recv_recycle_model(oneshot::Mutant::RecycleSkipsReset),
+        &[FailureKind::Panic],
+    );
+}
+
+// --- coalesce: scope flush vs concurrent park ---------------------------
+
+#[test]
+fn coalesce_verifies() {
+    let report = explorer().check(|| coalesce::coalesce_model(coalesce::Mutant::None, 2));
+    report.assert_ok();
+}
+
+#[test]
+fn coalesce_mutant_scope_drops_wakes_caught() {
+    assert_caught(
+        || coalesce::coalesce_model(coalesce::Mutant::ScopeDropsWakes, 2),
+        &[FailureKind::Deadlock],
+    );
+}
+
+#[test]
+fn coalesce_mutant_dedup_swallows_first_wake_caught() {
+    assert_caught(
+        || coalesce::coalesce_model(coalesce::Mutant::DedupSwallowsFirstWake, 2),
+        &[FailureKind::Deadlock],
+    );
+}

@@ -48,13 +48,12 @@
 //! OS server loops (syscall servers, vnode tasks, cache shards,
 //! drivers) drain through these.
 
+use crate::sync::{fence, Arc, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Mutex, Ordering};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::mem::MaybeUninit;
 use std::pin::Pin;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
 
 use crate::executor::plock;
@@ -125,18 +124,19 @@ static DEFAULT_MODE: AtomicU8 = AtomicU8::new(0);
 
 /// Sets the process-wide default [`ChanMode`] used by [`channel`].
 pub fn set_default_chan_mode(mode: ChanMode) {
+    // Relaxed: a standalone config byte; it guards no other memory.
     DEFAULT_MODE.store(
         match mode {
             ChanMode::LockFree => 0,
             ChanMode::Mutex => 1,
         },
-        Ordering::SeqCst,
+        Ordering::Relaxed,
     );
 }
 
 /// Reads the process-wide default [`ChanMode`].
 pub fn default_chan_mode() -> ChanMode {
-    match DEFAULT_MODE.load(Ordering::SeqCst) {
+    match DEFAULT_MODE.load(Ordering::Relaxed) {
         0 => ChanMode::LockFree,
         _ => ChanMode::Mutex,
     }
@@ -479,7 +479,13 @@ impl<T> Drop for Sender<T> {
                 }
             }
             Imp::Ring(r) => {
-                if r.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // AcqRel, Arc-style: Release orders our last sends
+                // before the count drop; Acquire on the final drop
+                // orders every peer's sends before `wake_all`.
+                // Parkers see senders == 0 through the slow-lock
+                // handoff with `wake_all` (register and drain take
+                // the same mutex).
+                if r.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
                     r.wake_all();
                 }
             }
@@ -498,7 +504,8 @@ impl<T> Drop for Receiver<T> {
                 }
             }
             Imp::Ring(r) => {
-                if r.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // AcqRel: see Sender::drop.
+                if r.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
                     r.wake_all();
                 }
             }
@@ -771,7 +778,13 @@ fn close_shared<T>(shared: &Shared<T>) {
             st.wake_everyone();
         }
         Imp::Ring(r) => {
-            r.closed.store(true, Ordering::SeqCst);
+            // Release suffices: a parker that misses this store in
+            // its flag re-check registered before `wake_all` drained
+            // the waiter list (both take the slow mutex), so the
+            // drain wakes it; one that registers after the drain
+            // locks the mutex after us and the lock handoff makes
+            // the store visible.
+            r.closed.store(true, Ordering::Release);
             r.wake_all();
         }
     }
@@ -1038,6 +1051,12 @@ impl<T> Ring<T> {
                 } else {
                     lap.wrapping_add(self.one_lap)
                 };
+                // ordering: the ticket CAS stays SeqCst so it is
+                // globally ordered against the SeqCst fences in the
+                // full/empty probes below and in `ring_pop` — a
+                // probe's post-fence index read must not miss a
+                // ticket already claimed, or Full/Empty could be
+                // reported while an older message is in flight.
                 match self.tail.0.compare_exchange_weak(
                     tail,
                     new_tail,
@@ -1055,6 +1074,9 @@ impl<T> Ring<T> {
                 }
             } else if stamp.wrapping_add(self.one_lap) == tail.wrapping_add(1) {
                 // The slot still holds last lap's value: maybe full.
+                // ordering: SeqCst fence pairs with the head-side
+                // ticket CAS — after it, a stale `head` read cannot
+                // hide a pop that freed a slot before our stamp read.
                 fence(Ordering::SeqCst);
                 let head = self.head.0.load(Ordering::Relaxed);
                 if head.wrapping_add(self.one_lap) == tail {
@@ -1095,6 +1117,9 @@ impl<T> Ring<T> {
                 } else {
                     lap.wrapping_add(self.one_lap)
                 };
+                // ordering: SeqCst for the same reason as the tail
+                // ticket CAS — the full/empty probe fences order
+                // against it.
                 match self.head.0.compare_exchange_weak(
                     head,
                     new_head,
@@ -1114,6 +1139,9 @@ impl<T> Ring<T> {
             } else if stamp == head {
                 // Slot not yet written this lap: empty, unless a push
                 // claimed the ticket and is completing right now.
+                // ordering: SeqCst fence pairs with the tail-side
+                // ticket CAS — after it, a stale `tail` read cannot
+                // hide a push already claimed before our stamp read.
                 fence(Ordering::SeqCst);
                 let tail = self.tail.0.load(Ordering::Relaxed);
                 if tail == head {
@@ -1144,7 +1172,10 @@ impl<T> Ring<T> {
         }
         // Overflow nonempty ⇒ its messages predate anything we could
         // ring-push, so everyone queues behind them until they drain.
-        if self.overflow_len.load(Ordering::SeqCst) == 0 {
+        // Acquire: our *own* prior spills are program-ordered, which
+        // is all per-producer FIFO needs; cross-producer visibility
+        // rides the parking-protocol fences.
+        if self.overflow_len.load(Ordering::Acquire) == 0 {
             match self.ring_push(value) {
                 Push::Done => return Push::Done,
                 Push::Full(v) | Push::Busy(v) => return self.spill(v),
@@ -1157,7 +1188,12 @@ impl<T> Ring<T> {
         bump(&OVERFLOW_SPILLS);
         let mut ov = plock(&self.overflow);
         ov.push_back(value);
-        self.overflow_len.fetch_add(1, Ordering::SeqCst);
+        // Release publishes the count after the deque push; readers
+        // that act on it take the overflow mutex first. A parked
+        // consumer's visibility comes from the SeqCst fence pair
+        // (spill → `after_push` fence → parked scan vs. register →
+        // fence → re-pop), not from this RMW's order.
+        self.overflow_len.fetch_add(1, Ordering::Release);
         Push::Done
     }
 
@@ -1171,7 +1207,9 @@ impl<T> Ring<T> {
             Popped::Busy => return Popped::Busy,
             Popped::Empty => {}
         }
-        if !self.bounded && self.overflow_len.load(Ordering::SeqCst) > 0 {
+        // Acquire routing check; when the Dekker fences say a parked
+        // consumer must see a racing spill, they order this load too.
+        if !self.bounded && self.overflow_len.load(Ordering::Acquire) > 0 {
             let mut ov = plock(&self.overflow);
             // The ring drains first (its items are older); a racing
             // consumer may have emptied the overflow meanwhile.
@@ -1181,7 +1219,10 @@ impl<T> Ring<T> {
                 Popped::Empty => {}
             }
             if let Some(v) = ov.pop_front() {
-                self.overflow_len.fetch_sub(1, Ordering::SeqCst);
+                // Release: count drops only after the pop, so a
+                // sender reading 0 races no deque mutation (the
+                // deque itself is mutex-protected).
+                self.overflow_len.fetch_sub(1, Ordering::Release);
                 return Popped::Got(v);
             }
         }
@@ -1206,7 +1247,7 @@ impl<T> Ring<T> {
                 Popped::Empty => break,
             }
         }
-        if n < max && !busy && !self.bounded && self.overflow_len.load(Ordering::SeqCst) > 0 {
+        if n < max && !busy && !self.bounded && self.overflow_len.load(Ordering::Acquire) > 0 {
             let mut ov = plock(&self.overflow);
             // Re-drain the ring *under the lock* (as `pop_any` does):
             // between our Empty observation and acquiring the lock,
@@ -1229,7 +1270,7 @@ impl<T> Ring<T> {
             while n < max {
                 match ov.pop_front() {
                     Some(v) => {
-                        self.overflow_len.fetch_sub(1, Ordering::SeqCst);
+                        self.overflow_len.fetch_sub(1, Ordering::Release);
                         buf.push(v);
                         n += 1;
                     }
@@ -1240,11 +1281,17 @@ impl<T> Ring<T> {
         (n, busy)
     }
 
+    // Relaxed throughout: a torn-snapshot guard (the tail re-read)
+    // plus coherence is all a count needs. The one caller that acts
+    // on `len() > 0` for correctness — the cancelled-future Drop
+    // re-issuing a consumed wake — already holds a happens-before
+    // edge to the push via the slow-lock handoff that consumed its
+    // waiter entry.
     fn len(&self) -> usize {
         let ring = loop {
-            let tail = self.tail.0.load(Ordering::SeqCst);
-            let head = self.head.0.load(Ordering::SeqCst);
-            if self.tail.0.load(Ordering::SeqCst) == tail {
+            let tail = self.tail.0.load(Ordering::Relaxed);
+            let head = self.head.0.load(Ordering::Relaxed);
+            if self.tail.0.load(Ordering::Relaxed) == tail {
                 let hix = head & (self.one_lap - 1);
                 let tix = tail & (self.one_lap - 1);
                 break if hix < tix {
@@ -1258,17 +1305,23 @@ impl<T> Ring<T> {
                 };
             }
         };
-        ring + self.overflow_len.load(Ordering::SeqCst)
+        ring + self.overflow_len.load(Ordering::Relaxed)
     }
 
+    // Acquire on the shut flags (here and in `recv_shut_flags`):
+    // pre-park reads are advisory, and the post-park re-check is
+    // ordered against `close`/last-drop by the slow-lock handoff —
+    // whichever of registration and waiter-drain came second saw the
+    // other (see `close_shared`). Acquire additionally orders the
+    // drained-queue reads that follow a `true` here.
     fn send_shut(&self) -> bool {
-        self.closed.load(Ordering::SeqCst) || self.receivers.load(Ordering::SeqCst) == 0
+        self.closed.load(Ordering::Acquire) || self.receivers.load(Ordering::Acquire) == 0
     }
 
     /// Closed/disconnected flags only; the caller must re-attempt a
     /// pop *after* reading them to conclude "drained".
     fn recv_shut_flags(&self) -> bool {
-        self.closed.load(Ordering::SeqCst) || self.senders.load(Ordering::SeqCst) == 0
+        self.closed.load(Ordering::Acquire) || self.senders.load(Ordering::Acquire) == 0
     }
 
     /// Post-push wake protocol: touch the waiter lock only when a
@@ -1277,6 +1330,10 @@ impl<T> Ring<T> {
     /// either we observe `recv_parked > 0` or the parker's re-pop
     /// observes our message.
     fn after_push(&self) {
+        // ordering: SeqCst fence + SeqCst parked scan form one half
+        // of the lost-wake Dekker; the parker's register → fence →
+        // re-pop is the other. Model-checked as `parking_model`
+        // (mutant: ProducerScanBeforePublish).
         fence(Ordering::SeqCst);
         if self.recv_parked.load(Ordering::SeqCst) > 0 {
             self.wake_one_recv();
@@ -1291,6 +1348,7 @@ impl<T> Ring<T> {
         if freed == 0 || !self.bounded {
             return;
         }
+        // ordering: same Dekker as `after_push`, sender side.
         fence(Ordering::SeqCst);
         for _ in 0..freed {
             if self.send_parked.load(Ordering::SeqCst) == 0 {
@@ -1305,6 +1363,12 @@ impl<T> Ring<T> {
             let mut s = plock(&self.slow);
             let e = s.recv.pop_front();
             if e.is_some() {
+                // ordering: the parked counters are read by the
+                // lock-free `after_push`/`after_pop` scans; every
+                // mutation stays SeqCst so a scan never reads a
+                // value that un-publishes a registration it must
+                // see (stale-high is a spurious lock, stale-low a
+                // lost wake).
                 self.recv_parked.fetch_sub(1, Ordering::SeqCst);
             }
             e
@@ -1320,6 +1384,7 @@ impl<T> Ring<T> {
             let mut s = plock(&self.slow);
             let e = s.send.pop_front();
             if e.is_some() {
+                // ordering: see `wake_one_recv`.
                 self.send_parked.fetch_sub(1, Ordering::SeqCst);
             }
             e
@@ -1334,6 +1399,7 @@ impl<T> Ring<T> {
     fn wake_all(&self) {
         let (recvs, sends) = {
             let mut s = plock(&self.slow);
+            // ordering: see `wake_one_recv`.
             self.recv_parked.store(0, Ordering::SeqCst);
             self.send_parked.store(0, Ordering::SeqCst);
             (std::mem::take(&mut s.recv), std::mem::take(&mut s.send))
@@ -1367,6 +1433,9 @@ impl<T> Ring<T> {
             _max: max,
         });
         *waiter_id = Some(id);
+        // ordering: the registration write of the Dekker pair — the
+        // caller's SeqCst fence and re-pop follow. See
+        // `wake_one_recv` for why all parked-counter ops are SeqCst.
         self.recv_parked.fetch_add(1, Ordering::SeqCst);
         true
     }
@@ -1384,6 +1453,7 @@ impl<T> Ring<T> {
         let id = fresh_id();
         s.send.push_back((id, waker.clone()));
         *entry_id = Some(id);
+        // ordering: see `park_recv`.
         self.send_parked.fetch_add(1, Ordering::SeqCst);
     }
 
@@ -1397,6 +1467,7 @@ impl<T> Ring<T> {
         let before = s.recv.len();
         s.recv.retain(|w| w.id != id);
         if s.recv.len() < before {
+            // ordering: see `wake_one_recv`.
             self.recv_parked.fetch_sub(1, Ordering::SeqCst);
             true
         } else {
@@ -1412,6 +1483,7 @@ impl<T> Ring<T> {
         let before = s.send.len();
         s.send.retain(|(i, _)| *i != id);
         if s.send.len() < before {
+            // ordering: see `wake_one_recv`.
             self.send_parked.fetch_sub(1, Ordering::SeqCst);
             true
         } else {
@@ -1494,12 +1566,14 @@ fn poll_ring_send<T: Send>(
     // registration cannot strand us.
     fut.parked = true;
     ring.park_send(&mut fut.entry_id, cx.waker());
+    // ordering: the parker's half of the `after_pop` Dekker.
     fence(Ordering::SeqCst);
     match ring.push_any(v) {
         Push::Done => {
             // If our entry was already consumed by a wake, that wake
             // paid for a slot someone else will also see; passing it
             // on costs one spurious wake at most.
+            // ordering: SeqCst scan, same rules as `after_pop`'s.
             if !ring.unpark_send(&mut fut.entry_id) && ring.send_parked.load(Ordering::SeqCst) > 0 {
                 ring.wake_one_send();
             }
@@ -1639,6 +1713,7 @@ impl<T> Drop for SendFut<'_, T> {
                 // If our entry was consumed, re-issue the wake: the
                 // slot it announced is still free and another waiter
                 // may be parked for it.
+                // ordering: SeqCst scan, same rules as `after_pop`'s.
                 if !r.unpark_send(&mut self.entry_id) && r.send_parked.load(Ordering::SeqCst) > 0 {
                     r.wake_one_send();
                 }
@@ -1713,6 +1788,8 @@ fn poll_ring_recv<T: Send>(
     // Park, then re-check (paired with `after_push`'s fence).
     fut.parked = true;
     ring.park_recv(&mut fut.waiter_id, cx.waker(), 1);
+    // ordering: the parker's half of the `after_push` Dekker —
+    // model-checked as `parking_model` (mutant: ConsumerNoRecheck).
     fence(Ordering::SeqCst);
     if let Popped::Got(v) = ring.pop_any() {
         ring.unpark_recv(&mut fut.waiter_id);
@@ -1806,6 +1883,7 @@ impl<T> Drop for RecvFut<'_, T> {
             Imp::Ring(r) => {
                 // A wake consumed on our behalf must be re-issued, or
                 // its message could strand with every peer parked.
+                // ordering: SeqCst scan, same rules as `after_push`'s.
                 if !r.unpark_recv(&mut self.waiter_id)
                     && r.recv_parked.load(Ordering::SeqCst) > 0
                     && r.len() > 0
@@ -1878,6 +1956,7 @@ fn poll_ring_recv_many<T: Send>(
     }
     fut.parked = true;
     ring.park_recv(&mut fut.waiter_id, cx.waker(), fut.max);
+    // ordering: the parker's half of the `after_push` Dekker.
     fence(Ordering::SeqCst);
     let (n, _) = ring.drain_into(fut.buf, fut.max);
     if n > 0 {
@@ -1958,6 +2037,7 @@ impl<T> Drop for RecvManyFut<'_, T> {
                 }
             }
             Imp::Ring(r) => {
+                // ordering: SeqCst scan, same rules as `after_push`'s.
                 if !r.unpark_recv(&mut self.waiter_id)
                     && r.recv_parked.load(Ordering::SeqCst) > 0
                     && r.len() > 0

@@ -33,12 +33,13 @@
 //! dispatches, and pinned/local priority alternates every dispatch,
 //! so no queue can starve another.
 
+use crate::sync::{
+    Arc, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering, Weak,
+};
 use std::collections::{HashMap, VecDeque};
 use std::future::Future;
 use std::panic::{self, AssertUnwindSafe};
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::task::{Context, Poll, Wake, Waker};
 use std::time::{Duration, Instant};
 
@@ -225,6 +226,10 @@ struct RtInner {
 /// `from_wake` distinguishes waker-originated schedules from initial
 /// spawns so the `sched.wakes_*` routing counters count wakes only.
 fn schedule(rt: &Arc<RtInner>, cell: Arc<TaskCell>, from_wake: bool) {
+    // ordering: SeqCst with the store in `shutdown` keeps the
+    // graveyard decision in the global order; a schedule that still
+    // reads `false` parks its cell in a run queue, whose tasks the
+    // reaper completes through the registry.
     if rt.shutdown.load(Ordering::SeqCst) {
         // Workers are gone (or going); the shutdown reaper owns
         // completion of every registered task. Do NOT drop `cell`
@@ -287,9 +292,10 @@ fn local_worker(rt: &Arc<RtInner>) -> Option<usize> {
 impl RtInner {
     /// Wakes one parked worker, if any.
     fn unpark_any(&self) {
-        // SeqCst pairs with the worker's parked-flag publication: if
-        // we read 0 here, every worker's post-publication re-check
-        // runs after our push and finds the work itself.
+        // ordering: SeqCst pairs with the worker's parked-flag
+        // publication: if we read 0 here, every worker's
+        // post-publication re-check runs after our push and finds
+        // the work itself. Model-checked as `parking_model`.
         if self.n_parked.load(Ordering::SeqCst) == 0 {
             return;
         }
@@ -310,12 +316,17 @@ impl RtInner {
 
     fn try_unpark(&self, w: usize) -> bool {
         let ws = &self.workers[w];
+        // ordering: SeqCst claim CAS — must stay in the global order
+        // with the worker's publish → re-sweep sequence so a claim
+        // and a self-rescue never both run for one park.
         if ws
             .parked
             .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
         {
             // Whoever flips parked true→false owns the decrement.
+            // ordering: SeqCst so `unpark_any`'s fast-path load never
+            // reads a count that hides a standing registration.
             self.n_parked.fetch_sub(1, Ordering::SeqCst);
             let mut g = plock(&ws.park_lock);
             *g = true;
@@ -666,6 +677,11 @@ impl Runtime {
     /// `Panicked("runtime shut down")` and every joiner (blocking or
     /// [`Watch`]) is woken. Nothing hangs on an abandoned task.
     pub fn shutdown(self) {
+        // ordering: SeqCst store pairs with the SeqCst loads in
+        // `schedule`, `spawn_inner`, and the worker park protocol —
+        // a worker that published `parked` before this store is
+        // woken by the notify sweep below; one that parks after
+        // sees the flag in its re-sweep.
         self.inner.shutdown.store(true, Ordering::SeqCst);
         for w in &self.inner.workers {
             let mut g = plock(&w.park_lock);
@@ -776,6 +792,10 @@ where
         pin,
     });
     inner.register(&cell);
+    // ordering: SeqCst with the `shutdown` store — registration
+    // precedes this load, so either we see the flag and reap here,
+    // or the reaper's registry sweep (which runs after the store)
+    // sees our registration.
     if inner.shutdown.load(Ordering::SeqCst) {
         // The shutdown reaper may already have swept past us; either
         // way completing here is safe (reaping is idempotent).
@@ -825,10 +845,11 @@ fn worker_loop(rt: Arc<RtInner>, me: usize) {
             run_task(task, &rt);
             continue;
         }
-        // Park protocol (Dekker): publish the parked flag, then
-        // re-sweep every source. A producer publishes work, then
-        // scans parked flags; SeqCst on both sides means one of us
-        // must see the other.
+        // ordering: park protocol (Dekker): publish the parked flag,
+        // then re-sweep every source. A producer publishes work,
+        // then scans parked flags; SeqCst on both sides means one of
+        // us must see the other. Model-checked as `parking_model`
+        // (mutant: ConsumerNoRecheck).
         let ws = &rt.workers[me];
         ws.parked.store(true, Ordering::SeqCst);
         rt.n_parked.fetch_add(1, Ordering::SeqCst);
@@ -859,6 +880,9 @@ fn worker_loop(rt: Arc<RtInner>, me: usize) {
                 .wait_timeout(g, PARK_BACKSTOP)
                 .unwrap_or_else(|e| e.into_inner());
             g = ng;
+            // ordering: the backstop takes the same SeqCst claim CAS
+            // as `try_unpark` — exactly one side wins the flag and
+            // owns the matching `n_parked` decrement.
             if res.timed_out()
                 && ws
                     .parked

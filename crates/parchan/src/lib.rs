@@ -43,6 +43,7 @@
 mod chan;
 mod executor;
 pub mod oneshot;
+mod sync;
 mod timer;
 
 pub use chan::{

@@ -24,12 +24,11 @@
 //! channel receiver wakes, so [`crate::coalesce_wakes`] batches
 //! oneshot completions per peer exactly like channel replies.
 
+use crate::sync::{Arc, AtomicU8, Ordering};
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
 use crate::chan::{deliver_reply_wake, RecvError};
@@ -313,11 +312,11 @@ mod tests {
         fn wake(p: *const ()) {
             unsafe {
                 let a = Arc::from_raw(p as *const AtomicUsize);
-                a.fetch_add(1, Ordering::SeqCst);
+                a.fetch_add(1, Ordering::Relaxed);
             }
         }
         fn wake_by_ref(p: *const ()) {
-            unsafe { (*(p as *const AtomicUsize)).fetch_add(1, Ordering::SeqCst) };
+            unsafe { (*(p as *const AtomicUsize)).fetch_add(1, Ordering::Relaxed) };
         }
         fn drop_fn(p: *const ()) {
             unsafe { drop(Arc::from_raw(p as *const AtomicUsize)) };
@@ -334,7 +333,7 @@ mod tests {
         let w = count_waker(hits.clone());
         let mut cx = Context::from_waker(&w);
         assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(7)));
-        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -345,7 +344,7 @@ mod tests {
         let mut cx = Context::from_waker(&w);
         assert!(rx.poll_recv(&mut cx).is_pending());
         tx.send(9).unwrap();
-        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
         assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Ok(9)));
     }
 
@@ -357,7 +356,7 @@ mod tests {
         let mut cx = Context::from_waker(&w);
         assert!(rx.poll_recv(&mut cx).is_pending());
         drop(tx);
-        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
         assert_eq!(rx.poll_recv(&mut cx), Poll::Ready(Err(RecvError::Closed)));
     }
 

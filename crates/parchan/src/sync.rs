@@ -1,0 +1,30 @@
+//! The one `use` line the lock-free core switches on.
+//!
+//! `chan.rs`, `oneshot.rs`, `executor.rs`, and `timer.rs` import
+//! their atomics, mutexes, and condvars from here instead of
+//! `std::sync`. In a normal build these re-exports *are* `std` —
+//! zero cost, zero behavior change. Under `--features chanos_check`
+//! the same names resolve to the `chanos-check` shim types, whose
+//! every operation yields to a model-checking scheduler when the
+//! calling thread belongs to an explorer execution (and passes
+//! through to `std` otherwise).
+//!
+//! Keep the split surgical: only the types whose operations are
+//! *interleaving points* come from the shim. `Arc`, `Weak`, and
+//! `OnceLock` are always `std` (refcounting and one-time init are
+//! not schedules the checker explores), as are `std::thread` and
+//! `Instant` in the executor — the executor is the runtime the
+//! shims' non-model path runs on.
+
+#[cfg(not(feature = "chanos_check"))]
+pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
+#[cfg(not(feature = "chanos_check"))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(feature = "chanos_check")]
+pub use chanos_check::sync::{
+    fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, MutexGuard,
+};
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::{Arc, OnceLock, Weak};

@@ -11,11 +11,10 @@
 //! popped, or swept out whenever cancelled entries reach half the
 //! heap.
 
+use crate::sync::{Arc, AtomicBool, AtomicU64, Condvar, Mutex, OnceLock, Ordering};
 use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 

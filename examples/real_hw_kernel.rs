@@ -12,7 +12,7 @@
 //! cargo run --release --example real_hw_kernel
 //! ```
 
-use std::time::Instant;
+use std::time::Duration;
 
 use chanos::kernel::{boot, BootCfg, FsKind, KernelKind};
 use chanos::parchan::Runtime;
@@ -37,40 +37,47 @@ fn main() {
     });
 
     // A few processes doing real work through real message syscalls.
-    let t0 = Instant::now();
-    let results = rt.block_on(async {
-        os.vfs.mkdir("/home").await.expect("mkdir /home");
-        let handles: Vec<_> = (0..4u32)
-            .map(|p| {
-                let (pid, h) = os.procs.spawn_process(CoreId(p), move |env| async move {
-                    let path = format!("/home/user{p}");
-                    let fd = env.create(&path).await.expect("create");
-                    let payload = format!("hello from process {p} on a real thread");
-                    let n = env.write(fd, payload.as_bytes()).await.expect("write");
-                    env.close(fd).await.expect("close");
-                    let fd = env.open(&path).await.expect("open");
-                    let back = env.read(fd, 128).await.expect("read");
-                    env.close(fd).await.expect("close");
-                    assert_eq!(back, payload.as_bytes());
-                    (env.getpid().await, n)
-                });
-                (pid, h)
-            })
-            .collect();
-        let mut out = Vec::new();
-        for (pid, h) in handles {
-            let (seen_pid, bytes) = h.join().await.expect("process");
-            assert_eq!(pid, seen_pid, "getpid must agree with spawn");
-            out.push((pid, bytes));
+    // Timed with the runtime's own clock (`rt::now()` is wall-clock
+    // nanoseconds on the threads backend) — the same facade the
+    // kernel code uses, so the example stays backend-portable.
+    let (results, elapsed_ns) = rt.block_on(async {
+        let t0 = chanos::rt::now();
+        let results = async {
+            os.vfs.mkdir("/home").await.expect("mkdir /home");
+            let handles: Vec<_> = (0..4u32)
+                .map(|p| {
+                    let (pid, h) = os.procs.spawn_process(CoreId(p), move |env| async move {
+                        let path = format!("/home/user{p}");
+                        let fd = env.create(&path).await.expect("create");
+                        let payload = format!("hello from process {p} on a real thread");
+                        let n = env.write(fd, payload.as_bytes()).await.expect("write");
+                        env.close(fd).await.expect("close");
+                        let fd = env.open(&path).await.expect("open");
+                        let back = env.read(fd, 128).await.expect("read");
+                        env.close(fd).await.expect("close");
+                        assert_eq!(back, payload.as_bytes());
+                        (env.getpid().await, n)
+                    });
+                    (pid, h)
+                })
+                .collect();
+            let mut out = Vec::new();
+            for (pid, h) in handles {
+                let (seen_pid, bytes) = h.join().await.expect("process");
+                assert_eq!(pid, seen_pid, "getpid must agree with spawn");
+                out.push((pid, bytes));
+            }
+            // Directory listing through a syscall, to prove the FS is
+            // shared state across all processes.
+            let env = os.procs.env();
+            let mut names = env.readdir("/home").await.expect("readdir");
+            names.sort();
+            (out, names)
         }
-        // Directory listing through a syscall, to prove the FS is
-        // shared state across all processes.
-        let env = os.procs.env();
-        let mut names = env.readdir("/home").await.expect("readdir");
-        names.sort();
-        (out, names)
+        .await;
+        (results, chanos::rt::now() - t0)
     });
-    let elapsed = t0.elapsed();
+    let elapsed = Duration::from_nanos(elapsed_ns);
 
     let (procs, names) = results;
     for (pid, bytes) in &procs {

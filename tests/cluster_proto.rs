@@ -17,6 +17,9 @@ use chanos::sim::{self, Config, CoreId, Simulation};
 /// rotation counter, connection-id counters) starts from zero — the
 /// determinism contract is "same seed, fresh runtime, same trace".
 fn lossy_echo_trace(seed: u64) -> u64 {
+    // chanos-lint: allow — the fresh OS thread IS the point: the test
+    // needs virgin thread-local state, which no facade spawn (running
+    // inside an existing runtime) can provide.
     std::thread::spawn(move || lossy_echo_trace_inner(seed))
         .join()
         .expect("no panic")
