@@ -16,8 +16,28 @@ use std::time::Instant;
 
 use chanos_bench::harness::default_budget;
 use chanos_parchan::{
-    chan_counter, channel_with_mode, reset_chan_counters, Capacity, ChanMode, Runtime,
+    chan_counter, channel, channel_with_mode, reset_chan_counters, Capacity, ChanMode, Runtime,
 };
+
+/// How a run picks its channel implementation: an explicit mode, or
+/// whatever `channel()`'s default routing decides (which sends small
+/// bounded caps to the mutex core — the policy under test in the
+/// small-ring A/B section).
+#[derive(Clone, Copy, PartialEq)]
+enum Route {
+    Mode(ChanMode),
+    Default,
+}
+
+impl Route {
+    fn name(self) -> &'static str {
+        match self {
+            Route::Mode(ChanMode::LockFree) => "lock-free",
+            Route::Mode(ChanMode::Mutex) => "mutex",
+            Route::Default => "routed-default",
+        }
+    }
+}
 
 #[derive(Clone)]
 struct Case {
@@ -31,6 +51,7 @@ struct Case {
 struct Row {
     case: Case,
     mode: &'static str,
+    workers: usize,
     msgs: u64,
     nanos: u128,
 }
@@ -56,13 +77,16 @@ fn cap_name(c: Capacity) -> String {
 /// the larger ones).
 fn run_typed<T: Send + 'static>(
     case: &Case,
-    mode: ChanMode,
+    route: Route,
+    workers: usize,
     msgs_per_producer: u64,
     make: impl Fn() -> T + Clone + Send + 'static,
 ) -> Row {
-    let workers = 4;
     let rt = Runtime::new(workers);
-    let (tx, rx) = channel_with_mode::<T>(case.cap, mode);
+    let (tx, rx) = match route {
+        Route::Mode(mode) => channel_with_mode::<T>(case.cap, mode),
+        Route::Default => channel::<T>(case.cap),
+    };
     let total = msgs_per_producer * case.producers as u64;
 
     let t0 = Instant::now();
@@ -119,21 +143,21 @@ fn run_typed<T: Send + 'static>(
     assert_eq!(got, total, "bench lost messages");
     Row {
         case: case.clone(),
-        mode: match mode {
-            ChanMode::LockFree => "lock-free",
-            ChanMode::Mutex => "mutex",
-        },
+        mode: route.name(),
+        workers,
         msgs: total,
         nanos,
     }
 }
 
-fn run_case(case: &Case, mode: ChanMode, msgs_per_producer: u64) -> Row {
+fn run_case(case: &Case, route: Route, workers: usize, msgs_per_producer: u64) -> Row {
     if case.payload <= 8 {
-        run_typed::<u64>(case, mode, msgs_per_producer, || 0xAB)
+        run_typed::<u64>(case, route, workers, msgs_per_producer, || 0xAB)
     } else {
         let payload = case.payload;
-        run_typed::<Vec<u8>>(case, mode, msgs_per_producer, move || vec![0xAB; payload])
+        run_typed::<Vec<u8>>(case, route, workers, msgs_per_producer, move || {
+            vec![0xAB; payload]
+        })
     }
 }
 
@@ -242,8 +266,8 @@ fn main() {
     let mut key_speedup = 0.0f64;
     for case in &cases {
         let per_prod = msgs / case.producers as u64;
-        let a = run_case(case, ChanMode::Mutex, per_prod);
-        let b = run_case(case, ChanMode::LockFree, per_prod);
+        let a = run_case(case, Route::Mode(ChanMode::Mutex), 4, per_prod);
+        let b = run_case(case, Route::Mode(ChanMode::LockFree), 4, per_prod);
         let speedup = b.msgs_per_sec() / a.msgs_per_sec();
         // The headline acceptance case: 4p/4c bounded, plain recv.
         if case.cap == Capacity::Bounded(64)
@@ -266,6 +290,66 @@ fn main() {
         );
         rows.push(a);
         rows.push(b);
+    }
+
+    // Worker-count scaling on the headline contended case: the same
+    // message volume at 1, 2, 4, and host_cores workers, both modes.
+    // On a single-CPU host the counts timeshare one core, so the
+    // trajectory is flat there by construction — the rows exist so a
+    // multicore host records a real scaling curve under the same key.
+    let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut worker_counts = vec![1usize, 2, 4, host_cores.max(1)];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+    let scaling_case = Case {
+        cap: Capacity::Bounded(64),
+        producers: 4,
+        consumers: 4,
+        payload: 8,
+        batch: 1,
+    };
+    println!("\n## Worker-count scaling: bounded(64) 4p/4c, host_cores={host_cores}\n");
+    println!("| workers | mutex msgs/s | lock-free msgs/s | speedup |");
+    println!("|---|---|---|---|");
+    let mut scaling_rows: Vec<Row> = Vec::new();
+    for &w in &worker_counts {
+        let per_prod = msgs / scaling_case.producers as u64;
+        let a = run_case(&scaling_case, Route::Mode(ChanMode::Mutex), w, per_prod);
+        let b = run_case(&scaling_case, Route::Mode(ChanMode::LockFree), w, per_prod);
+        println!(
+            "| {w} | {:.0} | {:.0} | {:.2}x |",
+            a.msgs_per_sec(),
+            b.msgs_per_sec(),
+            b.msgs_per_sec() / a.msgs_per_sec(),
+        );
+        scaling_rows.push(a);
+        scaling_rows.push(b);
+    }
+
+    // Small-ring A/B: bounded(4) 1p/1c under each explicit mode and
+    // under `channel()`'s default routing, which sends caps below the
+    // route threshold to the mutex core (the ring's two-word ticket
+    // protocol costs more than a futex at tiny capacities).
+    let small_case = Case {
+        cap: Capacity::Bounded(4),
+        producers: 1,
+        consumers: 1,
+        payload: 8,
+        batch: 1,
+    };
+    let small: Vec<Row> = [
+        Route::Mode(ChanMode::Mutex),
+        Route::Mode(ChanMode::LockFree),
+        Route::Default,
+    ]
+    .into_iter()
+    .map(|route| run_case(&small_case, route, 4, msgs))
+    .collect();
+    println!("\n## Small-ring routing A/B: bounded(4) 1p/1c\n");
+    println!("| implementation | msgs/s |");
+    println!("|---|---|");
+    for r in &small {
+        println!("| {} | {:.0} |", r.mode, r.msgs_per_sec());
     }
 
     let rpc_mutex = rpc_round_trip(ChanMode::Mutex, rpc_rounds);
@@ -302,7 +386,6 @@ fn main() {
             .join(out_path)
     };
     let out_path = out_path.display().to_string();
-    let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str(&format!(
@@ -317,24 +400,39 @@ fn main() {
     j.push_str(&format!(
         "  \"key_speedup_bounded64_4p4c\": {key_speedup:.3},\n"
     ));
-    j.push_str("  \"matrix\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        j.push_str(&format!(
-            "    {{\"capacity\": \"{}\", \"producers\": {}, \"consumers\": {}, \
-             \"payload_bytes\": {}, \"drain_batch\": {}, \"mode\": \"{}\", \
-             \"msgs\": {}, \"nanos\": {}, \"msgs_per_sec\": {:.1}}}{}\n",
-            json_escape_free(&cap_name(r.case.cap)),
-            r.case.producers,
-            r.case.consumers,
-            r.case.payload,
-            r.case.batch,
-            r.mode,
-            r.msgs,
-            r.nanos,
-            r.msgs_per_sec(),
-            if i + 1 < rows.len() { "," } else { "" },
-        ));
-    }
+    // Small-ring A/B (flat keys: awk-greppable like the headline).
+    j.push_str(&format!(
+        "  \"small_ring_bounded4_1p1c\": {{\"mutex_msgs_per_sec\": {:.1}, \
+         \"lock_free_msgs_per_sec\": {:.1}, \"routed_default_msgs_per_sec\": {:.1}, \
+         \"policy\": \"default routes bounded caps < 8 to the mutex core\"}},\n",
+        small[0].msgs_per_sec(),
+        small[1].msgs_per_sec(),
+        small[2].msgs_per_sec(),
+    ));
+    let emit_rows = |j: &mut String, rows: &[Row]| {
+        for (i, r) in rows.iter().enumerate() {
+            j.push_str(&format!(
+                "    {{\"capacity\": \"{}\", \"producers\": {}, \"consumers\": {}, \
+                 \"payload_bytes\": {}, \"drain_batch\": {}, \"mode\": \"{}\", \
+                 \"workers\": {}, \"msgs\": {}, \"nanos\": {}, \"msgs_per_sec\": {:.1}}}{}\n",
+                json_escape_free(&cap_name(r.case.cap)),
+                r.case.producers,
+                r.case.consumers,
+                r.case.payload,
+                r.case.batch,
+                r.mode,
+                r.workers,
+                r.msgs,
+                r.nanos,
+                r.msgs_per_sec(),
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+    };
+    j.push_str("  \"scaling\": [\n");
+    emit_rows(&mut j, &scaling_rows);
+    j.push_str("  ],\n  \"matrix\": [\n");
+    emit_rows(&mut j, &rows);
     j.push_str("  ],\n  \"counters\": {\n");
     let counters = chanos_parchan::chan_counters();
     for (i, (name, v)) in counters.iter().enumerate() {

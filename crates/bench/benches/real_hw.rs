@@ -173,15 +173,83 @@ fn bench_e3_syscalls_real_hw() {
     rt.shutdown();
 }
 
+/// The worker counts every scaling sweep runs at: 1, 2, 4, and the
+/// host's core count, deduplicated (on a 4-core host the last two
+/// coincide; on a 1-core host the set is {1, 2, 4} and the rows
+/// document timesharing, not scaling).
+fn worker_sweep() -> Vec<usize> {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut set = vec![1usize, 2, 4, host_cores];
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+/// Everything `record_syscall_json` needs from the two scheduler
+/// benches, so the JSON can be written once after both have run.
+struct SyscallSweep {
+    /// `(op, depth, ns_per_call)` at the default 4 workers.
+    rows: Vec<(&'static str, usize, f64)>,
+    /// `(workers, serial_ns, depth32_ns)` for pipelined getpid.
+    scaling: Vec<(usize, f64, f64)>,
+}
+
+struct StealRow {
+    workers: usize,
+    mode: &'static str,
+    yields_per_sec: f64,
+    steals: u64,
+}
+
+/// Times `rounds` of `depth` in-flight calls of `op` through one
+/// booted kernel; returns ns/call.
+fn measure_pipelined(
+    rt: &Runtime,
+    env: &chanos_kernel::Env,
+    fd: chanos_kernel::Fd,
+    op: &'static str,
+    depth: usize,
+    budget: std::time::Duration,
+) -> f64 {
+    use std::time::Instant;
+    let env = env.clone();
+    // The whole timed loop runs inside ONE block_on, so the
+    // cross-thread block_on handoff is paid once per depth, not once
+    // per round — otherwise deeper batches would amortize harness
+    // overhead and inflate the speedup.
+    let (rounds, elapsed) = rt.block_on(async move {
+        let mut b = env.batch();
+        let mut rounds = 0u64;
+        let t0 = Instant::now();
+        while t0.elapsed() < budget {
+            match op {
+                "getpid" => {
+                    let calls: Vec<_> = (0..depth).map(|_| b.getpid()).collect();
+                    b.submit().await;
+                    chanos_rt::join_all(calls).await;
+                }
+                _ => {
+                    let calls: Vec<_> = (0..depth).map(|_| b.read(fd, 16)).collect();
+                    b.submit().await;
+                    chanos_rt::join_all(calls).await;
+                }
+            }
+            rounds += 1;
+        }
+        (rounds, t0.elapsed())
+    });
+    elapsed.as_nanos() as f64 / (rounds * depth as u64) as f64
+}
+
 /// Pipelined-syscall depth sweep through the booted message kernel:
 /// `depth` in-flight calls per round via `Env::batch()` (one message
 /// burst in, out-of-order completion), vs depth 1 = the classic
-/// serial round trip. Records `BENCH_syscall.json` — the perf
-/// trajectory for the typed-port API (FlexSC-style call batching).
-fn bench_syscall_depth_sweep() {
+/// serial round trip — then the headline depth re-measured at every
+/// worker count in [`worker_sweep`]. Feeds `BENCH_syscall.json` — the
+/// perf trajectory for the typed-port API (FlexSC-style batching).
+fn bench_syscall_depth_sweep() -> SyscallSweep {
     use chanos_kernel::{boot, BootCfg, FsKind, KernelKind};
     use chanos_rt::CoreId;
-    use std::time::Instant;
 
     let budget = default_budget();
     let depths = [1usize, 2, 8, 32];
@@ -212,33 +280,7 @@ fn bench_syscall_depth_sweep() {
     for op in ["getpid", "read"] {
         let mut serial_ns = 0.0f64;
         for &depth in &depths {
-            // The whole timed loop runs inside ONE block_on, so the
-            // cross-thread block_on handoff is paid once per depth,
-            // not once per round — otherwise deeper batches would
-            // amortize harness overhead and inflate the speedup.
-            let env = env.clone();
-            let (rounds, elapsed) = rt.block_on(async move {
-                let mut b = env.batch();
-                let mut rounds = 0u64;
-                let t0 = Instant::now();
-                while t0.elapsed() < budget {
-                    match op {
-                        "getpid" => {
-                            let calls: Vec<_> = (0..depth).map(|_| b.getpid()).collect();
-                            b.submit().await;
-                            chanos_rt::join_all(calls).await;
-                        }
-                        _ => {
-                            let calls: Vec<_> = (0..depth).map(|_| b.read(fd, 16)).collect();
-                            b.submit().await;
-                            chanos_rt::join_all(calls).await;
-                        }
-                    }
-                    rounds += 1;
-                }
-                (rounds, t0.elapsed())
-            });
-            let ns_per_call = elapsed.as_nanos() as f64 / (rounds * depth as u64) as f64;
+            let ns_per_call = measure_pipelined(&rt, &env, fd, op, depth, budget);
             if depth == 1 {
                 serial_ns = ns_per_call;
             }
@@ -253,7 +295,43 @@ fn bench_syscall_depth_sweep() {
     drop(os);
     rt.shutdown();
 
-    // Record the sweep (hand-rolled JSON; no serde in this build).
+    // Worker-count scaling: the headline pipelined getpid (depth 32)
+    // re-measured with the pool at each sweep size, fresh kernel per
+    // count. This is the per-core-count perf trajectory row.
+    println!("\n## Depth-32 getpid by worker count\n");
+    println!("| workers | serial ns/call | depth-32 ns/call | speedup |");
+    println!("|---|---|---|---|");
+    let mut scaling: Vec<(usize, f64, f64)> = Vec::new();
+    for &w in &worker_sweep() {
+        let rt = Runtime::new(w);
+        let os = rt.block_on(async {
+            boot(BootCfg::new(
+                KernelKind::Message,
+                FsKind::Message,
+                (0..2).map(CoreId).collect(),
+            ))
+            .await
+        });
+        let env = os.procs.env();
+        let fd = rt.block_on(async {
+            env.mkdir("/sweepw").await.unwrap();
+            env.create("/sweepw/empty").await.unwrap()
+        });
+        let serial = measure_pipelined(&rt, &env, fd, "getpid", 1, budget);
+        let deep = measure_pipelined(&rt, &env, fd, "getpid", 32, budget);
+        println!("| {w} | {serial:.0} | {deep:.0} | {:.2}x |", serial / deep);
+        scaling.push((w, serial, deep));
+        drop(os);
+        rt.shutdown();
+    }
+    SyscallSweep { rows, scaling }
+}
+
+/// Writes `BENCH_syscall.json` (hand-rolled JSON; no serde in this
+/// build) from the depth sweep and the spawn/steal A/B. Flat keys
+/// (`speedup_getpid_x8_vs_serial`, `steals_ws4`) stay one-per-line so
+/// CI can awk them without a JSON parser.
+fn record_syscall_json(sweep: &SyscallSweep, steal: &[StealRow]) {
     let out_path =
         std::env::var("CHANOS_SYSCALL_OUT").unwrap_or_else(|_| "BENCH_syscall.json".into());
     let out_path = if std::path::Path::new(&out_path).is_absolute() {
@@ -263,7 +341,8 @@ fn bench_syscall_depth_sweep() {
             .join("../..")
             .join(out_path)
     };
-    let quick = budget < std::time::Duration::from_millis(100);
+    let quick = default_budget() < std::time::Duration::from_millis(100);
+    let rows = &sweep.rows;
     let speedup = |op: &str, d: usize| {
         let serial = rows.iter().find(|r| r.0 == op && r.1 == 1).map(|r| r.2);
         let deep = rows.iter().find(|r| r.0 == op && r.1 == d).map(|r| r.2);
@@ -276,6 +355,10 @@ fn bench_syscall_depth_sweep() {
     // a recorded speedup is uninterpretable (a 3x pipelining win on 2
     // cores and on 64 cores are different results).
     let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let steals_ws4 = steal
+        .iter()
+        .find(|r| r.workers == 4 && r.mode == "work-stealing")
+        .map_or(0, |r| r.steals);
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str(&format!(
@@ -289,6 +372,7 @@ fn bench_syscall_depth_sweep() {
         speedup("getpid", 8),
         speedup("read", 8),
     ));
+    j.push_str(&format!("  \"steals_ws4\": {steals_ws4},\n"));
     j.push_str("  \"rows\": [\n");
     for (i, (op, depth, ns)) in rows.iter().enumerate() {
         j.push_str(&format!(
@@ -296,6 +380,27 @@ fn bench_syscall_depth_sweep() {
              \"calls_per_sec\": {:.1}}}{}\n",
             1e9 / ns,
             if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n  \"scaling\": [\n");
+    for (i, (w, serial, deep)) in sweep.scaling.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"workers\": {w}, \"op\": \"getpid\", \"serial_ns_per_call\": {serial:.1}, \
+             \"depth32_ns_per_call\": {deep:.1}, \"speedup\": {:.3}}}{}\n",
+            serial / deep,
+            if i + 1 < sweep.scaling.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n  \"spawn_steal\": [\n");
+    for (i, r) in steal.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"workers\": {}, \"scheduler\": \"{}\", \"yields_per_sec\": {:.1}, \
+             \"steals\": {}}}{}\n",
+            r.workers,
+            r.mode,
+            r.yields_per_sec,
+            r.steals,
+            if i + 1 < steal.len() { "," } else { "" },
         ));
     }
     j.push_str("  ]\n}\n");
@@ -668,14 +773,15 @@ fn bench_e9_placement_real_hw() {
     }
 }
 
-fn bench_spawn_steal_microbench() {
+fn bench_spawn_steal_microbench() -> Vec<StealRow> {
     let quick = default_budget() < std::time::Duration::from_millis(100);
     let yields: u64 = if quick { 200 } else { 2_000 };
 
     println!("\n## Scheduler microbench: per-worker queues + stealing vs single-mutex injector\n");
     println!("| workers | scheduler | yields/sec | steals |");
     println!("|---|---|---|---|");
-    for workers in [1usize, 4] {
+    let mut out = Vec::new();
+    for workers in worker_sweep() {
         for (mode, name) in [
             (SchedMode::GlobalQueue, "global-queue"),
             (SchedMode::WorkStealing, "work-stealing"),
@@ -703,14 +809,24 @@ fn bench_spawn_steal_microbench() {
             seeder.join_blocking().expect("seeder");
             let dt = t0.elapsed();
             let total = tasks * yields;
+            // Tasks actually migrated, not batches: the gate below
+            // ("work-stealing mode must steal at 4 workers") wants
+            // evidence of cross-worker traffic, however it batches.
+            let steals = rt.handle().stat_get("sched.steals");
             println!(
-                "| {workers} | {name} | {:.0} | {} |",
+                "| {workers} | {name} | {:.0} | {steals} |",
                 total as f64 / dt.as_secs_f64(),
-                rt.handle().steal_count()
             );
+            out.push(StealRow {
+                workers,
+                mode: name,
+                yields_per_sec: total as f64 / dt.as_secs_f64(),
+                steals,
+            });
             rt.shutdown();
         }
     }
+    out
 }
 
 /// Channel + scheduler path counters accumulated over the whole
@@ -747,11 +863,12 @@ fn print_counter_summary() {
 fn main() {
     bench_e1_msg_vs_call();
     bench_e3_syscalls_real_hw();
-    bench_syscall_depth_sweep();
+    let sweep = bench_syscall_depth_sweep();
     bench_e4_fs_scaling_real_hw();
     bench_e8_vm_granularity_threads();
     bench_e9_placement_real_hw();
     bench_e14_vm_cluster_threads();
-    bench_spawn_steal_microbench();
+    let steal = bench_spawn_steal_microbench();
+    record_syscall_json(&sweep, &steal);
     print_counter_summary();
 }

@@ -1,7 +1,7 @@
 //! Facade lint for the workspace — the static half of `chanos-check`
 //! (the model checker is the dynamic half).
 //!
-//! Three rules, each guarding an invariant the type system cannot:
+//! Four rules, each guarding an invariant the type system cannot:
 //!
 //! 1. **Facade bypass.** Code outside the runtime-implementing crates
 //!    must not call `std::thread::spawn`, use `std::sync::mpsc`, or
@@ -12,9 +12,10 @@
 //!    sim code de-seed traces).
 //!
 //! 2. **Stat registry.** Every `"chan.*"` / `"port.*"` / `"disk.*"`
-//!    string literal must appear in `crates/check/stat_registry.txt`.
-//!    A typo'd name silently records into a fresh counter while the
-//!    assertion reading the intended name sees zero.
+//!    / `"sched.*"` string literal must appear in
+//!    `crates/check/stat_registry.txt`. A typo'd name silently
+//!    records into a fresh counter while the assertion reading the
+//!    intended name sees zero.
 //!
 //! 3. **Ordering discipline.** Inside `crates/parchan/src`, every
 //!    `SeqCst` in code must sit in a comment paragraph containing
@@ -23,6 +24,15 @@
 //!    each survivor of the downgrade pass to carry its proof
 //!    obligation. A paragraph is a blank-line-delimited run, so one
 //!    comment covers a whole protocol step.
+//!
+//! 4. **Mutex-free dispatch.** The scheduler's lock-free modules
+//!    (`queue.rs`, `injector.rs`, `idle.rs` in `crates/parchan/src`)
+//!    must contain no `Mutex`, `Condvar`, `plock`, or `.lock()` in
+//!    code. These modules *are* the claim that task push/pop/steal
+//!    and the park handshake take zero locks on the dispatch fast
+//!    path; a lock creeping in would silently void the perf
+//!    trajectory the benches record. No escape hatch — blocking
+//!    belongs in `executor.rs`.
 //!
 //! Escape hatch: a comment containing `chanos-lint: allow` suppresses
 //! rules 1 and 2 for the rest of its blank-line-delimited paragraph —
@@ -124,7 +134,19 @@ fn code_only(line: &str) -> String {
     out
 }
 
-/// Extracts `"chan.*"`, `"port.*"`, `"disk.*"` literals from a line.
+/// Files that must stay mutex-free (rule 4): the lock-free dispatch
+/// core. Matched as path suffixes under `crates/parchan/src/`.
+const MUTEX_FREE: &[&str] = &[
+    "crates/parchan/src/queue.rs",
+    "crates/parchan/src/injector.rs",
+    "crates/parchan/src/idle.rs",
+];
+
+/// Code patterns that mean "a lock" for rule 4.
+const LOCKING: &[&str] = &["Mutex", "Condvar", "plock", ".lock()"];
+
+/// Extracts `"chan.*"`, `"port.*"`, `"disk.*"`, `"sched.*"` literals
+/// from a line.
 fn stat_literals(line: &str) -> Vec<String> {
     let mut found = Vec::new();
     let bytes = line.as_bytes();
@@ -133,7 +155,7 @@ fn stat_literals(line: &str) -> Vec<String> {
         if bytes[i] == b'"' {
             if let Some(end) = line[i + 1..].find('"') {
                 let lit = &line[i + 1..i + 1 + end];
-                for prefix in ["chan.", "port.", "disk."] {
+                for prefix in ["chan.", "port.", "disk.", "sched."] {
                     if let Some(rest) = lit.strip_prefix(prefix) {
                         if !rest.is_empty()
                             && rest
@@ -186,6 +208,7 @@ fn main() -> ExitCode {
         // current blank-line-delimited run seen an `ordering:` /
         // `chanos-lint: allow` comment so far?
         let ordering_scope = rel.starts_with("crates/parchan/src/");
+        let mutex_free = MUTEX_FREE.contains(&rel.as_str());
         let mut ordering_covered = false;
         let mut allowed = false;
 
@@ -215,6 +238,23 @@ fn main() -> ExitCode {
                             "{rel}:{lineno}: stat literal \"{lit}\" not in \
                              crates/check/stat_registry.txt — a typo'd name \
                              records into a fresh counter nobody reads"
+                        ));
+                    }
+                }
+            }
+
+            // Rule 4: the lock-free dispatch modules must not lock.
+            // Deliberately no `chanos-lint: allow` escape: the
+            // zero-lock fast path is an acceptance criterion, not a
+            // style preference.
+            if mutex_free {
+                for pat in LOCKING {
+                    if code.contains(pat) {
+                        findings.push(format!(
+                            "{rel}:{lineno}: `{pat}` in a mutex-free scheduler \
+                             module — task dispatch (push/pop/steal, park \
+                             handshake) must stay lock-free; blocking belongs \
+                             in executor.rs"
                         ));
                     }
                 }
@@ -279,5 +319,11 @@ mod tests {
             stat_literals(r#""port.calls_timed_out""#),
             vec!["port.calls_timed_out"]
         );
+        assert_eq!(
+            stat_literals(r#"h.stat_get("sched.steal_batches")"#),
+            vec!["sched.steal_batches"]
+        );
+        // A table-row string mentioning a counter is not a literal.
+        assert!(stat_literals(r#""| sched.steals | {} |""#).is_empty());
     }
 }

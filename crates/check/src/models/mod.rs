@@ -1,4 +1,4 @@
-//! Checked models of the four protocols that carry the stack.
+//! Checked models of the protocols that carry the stack.
 //!
 //! Each module replicates one parchan protocol — operation for
 //! operation, ordering for ordering — against [`crate::sync`] /
@@ -22,3 +22,4 @@ pub mod coalesce;
 pub mod oneshot;
 pub mod parking;
 pub mod ring;
+pub mod steal;

@@ -1,10 +1,10 @@
-//! The four protocol harnesses: each shipping protocol must verify
+//! The protocol harnesses: each shipping protocol must verify
 //! exhaustively within the preemption bound, and every seeded mutant
 //! must be caught — with its counterexample schedule replaying to the
 //! same failure (the property that turns any future counterexample
 //! into a checked-in regression test).
 
-use chanos_check::models::{coalesce, oneshot, parking, ring};
+use chanos_check::models::{coalesce, oneshot, parking, ring, steal};
 use chanos_check::{Config, Explorer, FailureKind};
 
 fn explorer() -> Explorer {
@@ -180,6 +180,67 @@ fn coalesce_mutant_scope_drops_wakes_caught() {
 fn coalesce_mutant_dedup_swallows_first_wake_caught() {
     assert_caught(
         || coalesce::coalesce_model(coalesce::Mutant::DedupSwallowsFirstWake, 2),
+        &[FailureKind::Deadlock],
+    );
+}
+
+// --- steal: owner pop vs stealer batch-claim on the packed head ---------
+
+#[test]
+fn steal_verifies() {
+    let report = explorer().check(|| steal::steal_model(steal::Mutant::None));
+    report.assert_ok();
+    assert!(report.schedules > 0);
+}
+
+#[test]
+fn steal_mutant_stale_head_caught() {
+    // The plain-store claim double-consumes a slot (sentinel panic) or
+    // loses one (multiset panic) depending on the interleaving.
+    assert_caught(
+        || steal::steal_model(steal::Mutant::StaleHeadSteal),
+        &[FailureKind::Panic],
+    );
+}
+
+#[test]
+fn steal_mutant_publish_before_write_caught() {
+    assert_caught(
+        || steal::steal_model(steal::Mutant::PublishBeforeWrite),
+        &[FailureKind::Panic],
+    );
+}
+
+// --- steal: idle-bitmask park handshake vs notify_work ------------------
+
+#[test]
+fn idle_mask_verifies() {
+    let report = explorer().check(|| steal::idle_mask_model(steal::Mutant::None, 2));
+    report.assert_ok();
+}
+
+#[test]
+fn idle_mask_mutant_scan_before_publish_caught() {
+    assert_caught(
+        || steal::idle_mask_model(steal::Mutant::ScanBeforePublish, 2),
+        &[FailureKind::Deadlock],
+    );
+}
+
+#[test]
+fn idle_mask_mutant_no_recheck_caught() {
+    assert_caught(
+        || steal::idle_mask_model(steal::Mutant::NoRecheck, 2),
+        &[FailureKind::Deadlock],
+    );
+}
+
+#[test]
+fn idle_mask_mutant_lost_searching_clear_caught() {
+    // The leaked `searching` increment makes every producer elide its
+    // wake; the worker parks forever.
+    assert_caught(
+        || steal::idle_mask_model(steal::Mutant::LostSearchingClear, 2),
         &[FailureKind::Deadlock],
     );
 }

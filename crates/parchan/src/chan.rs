@@ -358,10 +358,28 @@ struct Shared<T> {
     imp: Imp<T>,
 }
 
+/// Tiny bounded rings lose to the mutex core: with at most a
+/// handful of slots the ring is effectively always full or always
+/// empty, so senders/receivers burn their bounded-retry budget on
+/// lap conflicts and fall to the slow path anyway, while the mutex
+/// core resolves the same conflict with one uncontended lock
+/// (`BENCH_chan.json` small-ring A/B: lock-free `bounded(4)` 1p1c
+/// ran at ~0.64x of mutex). Capacities below this go to the mutex
+/// implementation *when the mode comes from the process default*;
+/// an explicit [`channel_with_mode`] still gets exactly what it
+/// asked for (the A/B benchmarks depend on that).
+const SMALL_RING_ROUTE_CAP: usize = 8;
+
 /// Creates a channel of the given capacity with the process default
-/// [`ChanMode`].
+/// [`ChanMode`]. Small bounded capacities (`< 8`) are routed to the
+/// mutex core even when the default mode is lock-free — see
+/// [`SMALL_RING_ROUTE_CAP`].
 pub fn channel<T: Send>(cap: Capacity) -> (Sender<T>, Receiver<T>) {
-    channel_with_mode(cap, default_chan_mode())
+    let mode = match (default_chan_mode(), cap) {
+        (ChanMode::LockFree, Capacity::Bounded(n)) if n < SMALL_RING_ROUTE_CAP => ChanMode::Mutex,
+        (mode, _) => mode,
+    };
+    channel_with_mode(cap, mode)
 }
 
 /// Creates a channel of the given capacity and an explicit
@@ -514,6 +532,14 @@ impl<T> Drop for Receiver<T> {
 }
 
 impl<T: Send> Sender<T> {
+    /// Which core this channel actually uses (`true` = lock-free
+    /// ring). Test/bench hook for the small-capacity routing in
+    /// [`channel`].
+    #[doc(hidden)]
+    pub fn is_lock_free(&self) -> bool {
+        matches!(self.shared.imp, Imp::Ring(_))
+    }
+
     /// Sends a value according to the channel discipline.
     pub fn send(&self, value: T) -> SendFut<'_, T> {
         SendFut {

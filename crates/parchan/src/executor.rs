@@ -7,22 +7,32 @@
 //!
 //! The pool is std-only (no external dependencies) and, like the
 //! paper argues a multicore OS must, treats *placement* as a
-//! first-class scheduler input rather than advisory metadata:
+//! first-class scheduler input rather than advisory metadata. Task
+//! dispatch — push, pop, steal, and the park/unpark handshake — is
+//! **lock-free** on the fast path (zero `Mutex::lock` calls, audited
+//! by the facade lint over the queue modules):
 //!
-//! * Each worker owns a **local run queue** — a LIFO slot for the
-//!   task that just woke (cache-hot message ping-pong) plus a FIFO
-//!   deque — so the common wake path touches only the worker's own
-//!   mutex, never a global one.
-//! * An idle worker **steals** half of a sibling's FIFO, sweeping
-//!   victims from a randomized start, and parks on its own condvar
-//!   only after a full sweep (pinned, local, injector, every victim)
-//!   comes up empty.
+//! * Each worker owns a **local run queue** ([`crate::queue`]) — an
+//!   unstealable LIFO slot for the task that just woke (cache-hot
+//!   message ping-pong) plus a fixed-size SPMC ring. The owner
+//!   pushes/pops with plain stores and a CAS; an idle sibling
+//!   **steals half the ring in one batch** via a CAS on the packed
+//!   head word, sweeping victims from a randomized start.
+//! * A global lock-free **injector** ([`crate::injector`]) absorbs
+//!   ring overflow and spawns/wakes from off-pool threads
+//!   (`block_on` callers, the timer thread); consumers drain it in
+//!   FIFO bursts.
+//! * An **idle bitmask + searching counter** ([`crate::idle`]) runs
+//!   the Dekker-style park protocol: producers publish work, fence,
+//!   and read one word; workers register, fence, and re-sweep before
+//!   blocking. `park_lock`/`park_cv` are touched only when a worker
+//!   actually sleeps.
 //! * [`Runtime::spawn_pinned`] places a task on a per-worker
 //!   **unstealable** queue: pinned tasks are polled only by their
 //!   assigned worker, which is what makes `chanos-rt::spawn_on`
-//!   placement real on this backend.
-//! * A global **injector** queue accepts spawns and wakes from
-//!   off-pool threads (`block_on` callers, the timer thread).
+//!   placement real on this backend. Pinned queues stay mutexed
+//!   (they are off the dispatch fast path) behind an atomic length
+//!   gate, so dispatch never locks an empty one.
 //!
 //! [`SchedMode::GlobalQueue`] preserves the original
 //! one-mutex-injector dispatch so the scheduler microbenchmarks can
@@ -33,8 +43,12 @@
 //! dispatches, and pinned/local priority alternates every dispatch,
 //! so no queue can starve another.
 
+use crate::idle::{IdleSet, MAX_WORKERS};
+use crate::injector::Injector;
+use crate::queue::{LifoSlot, Ring};
 use crate::sync::{
-    Arc, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering, Weak,
+    fence, Arc, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering,
+    Weak,
 };
 use std::collections::{HashMap, VecDeque};
 use std::future::Future;
@@ -75,9 +89,9 @@ pub(crate) fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// How a [`Runtime`] dispatches ready tasks to its workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedMode {
-    /// Per-worker run queues with randomized work stealing (the
-    /// default). Wakes from a worker go to its own LIFO slot/FIFO;
-    /// idle workers steal from siblings.
+    /// Per-worker lock-free run queues with randomized batch work
+    /// stealing (the default). Wakes from a worker go to its own
+    /// LIFO slot/ring; idle workers steal from siblings.
     WorkStealing,
     /// The original single shared injector under one mutex. Kept for
     /// A/B benchmarking (`real_hw` spawn/steal microbench); pinned
@@ -85,13 +99,20 @@ pub enum SchedMode {
     GlobalQueue,
 }
 
-struct TaskCell {
+pub(crate) struct TaskCell {
     future: Mutex<Option<BoxFuture>>,
     state: AtomicU8,
     rt: Weak<RtInner>,
     /// Worker this task is pinned to; pinned tasks live on that
     /// worker's unstealable queue and are polled only by it.
     pin: Option<usize>,
+    /// Intrusive link for [`crate::injector`]: a task is in at most
+    /// one queue at a time (`SCHEDULED` state exclusivity), so one
+    /// embedded pointer suffices and injector pushes allocate
+    /// nothing. Raw-pointer atomics come from `std` directly — the
+    /// chanos-check shim wraps value atomics only; the injector
+    /// protocol is modeled at the value level in `models/steal.rs`.
+    pub(crate) next_injected: std::sync::atomic::AtomicPtr<TaskCell>,
 }
 
 impl Wake for TaskCell {
@@ -150,25 +171,21 @@ struct StatsInner {
     records: HashMap<String, StatRecord>,
 }
 
-/// A worker's own run queue: the LIFO slot holds the task that woke
-/// most recently (polled next while its state is cache-hot), the
-/// FIFO holds the rest in arrival order. Thieves take from the FIFO
-/// front; the LIFO slot and the pinned queue are never stolen.
-#[derive(Default)]
-struct LocalQueue {
-    lifo: Option<Arc<TaskCell>>,
-    fifo: VecDeque<Arc<TaskCell>>,
-}
-
 struct WorkerState {
-    local: Mutex<LocalQueue>,
-    /// Unstealable queue for tasks pinned to this worker.
+    /// Lock-free SPMC ring: owner pushes/pops, siblings batch-steal.
+    rq: Ring,
+    /// Unstealable owner-only slot for the most recent local wake.
+    lifo: LifoSlot,
+    /// Unstealable queue for tasks pinned to this worker. Mutexed —
+    /// pinned dispatch is placement, not the fast path — but gated
+    /// by `pinned_len` so dispatch never locks an empty queue.
     pinned: Mutex<VecDeque<Arc<TaskCell>>>,
-    /// Dekker flag for the park protocol: set (SeqCst) before the
-    /// worker's final queue re-check; producers scan it (SeqCst)
-    /// after publishing work. Claimed back via compare-exchange.
-    parked: AtomicBool,
-    /// `true` = a wakeup was delivered and not yet consumed.
+    /// Length of `pinned`, maintained under its lock; read lock-free
+    /// by `find_task` / `has_work`.
+    pinned_len: AtomicUsize,
+    /// `true` = a wakeup was delivered and not yet consumed. Only
+    /// touched when a worker actually blocks (or is handed a token);
+    /// the lock-free handshake lives in [`IdleSet`].
     park_lock: Mutex<bool>,
     park_cv: Condvar,
 }
@@ -176,9 +193,10 @@ struct WorkerState {
 impl WorkerState {
     fn new() -> WorkerState {
         WorkerState {
-            local: Mutex::new(LocalQueue::default()),
+            rq: Ring::new(),
+            lifo: LifoSlot::new(),
             pinned: Mutex::new(VecDeque::new()),
-            parked: AtomicBool::new(false),
+            pinned_len: AtomicUsize::new(0),
             park_lock: Mutex::new(false),
             park_cv: Condvar::new(),
         }
@@ -186,8 +204,17 @@ impl WorkerState {
 }
 
 struct RtInner {
-    injector: Mutex<VecDeque<Arc<TaskCell>>>,
+    /// Lock-free injector for off-pool spawns/wakes and ring
+    /// overflow (WorkStealing mode).
+    injector: Injector,
+    /// The A/B-baseline global queue (GlobalQueue mode only): the
+    /// original one-mutex dispatch, kept for `real_hw`'s spawn/steal
+    /// microbench.
+    global: Mutex<VecDeque<Arc<TaskCell>>>,
     workers: Vec<WorkerState>,
+    /// Idle bitmask + searching counter: the lock-free park/unpark
+    /// handshake (shared by both modes).
+    idle: IdleSet,
     mode: SchedMode,
     shutdown: AtomicBool,
     live_tasks: AtomicUsize,
@@ -204,8 +231,22 @@ struct RtInner {
     /// callback (which may hold the caller's locks); the shutdown
     /// reaper drains it lock-free-ly.
     graveyard: Mutex<Vec<Arc<TaskCell>>>,
-    /// Successful steal operations (batches, not tasks).
+    /// Tasks migrated by steals (`sched.steals`).
     steals: AtomicU64,
+    /// Successful batch-claim operations (`sched.steal_batches`).
+    steal_batches: AtomicU64,
+    /// Injector take-alls that yielded at least one task
+    /// (`sched.injector_bursts`).
+    injector_bursts: AtomicU64,
+    /// Local-ring overflows spilled to the injector
+    /// (`sched.overflows`).
+    overflows: AtomicU64,
+    /// Pre-park re-checks that found work and self-rescued
+    /// (`sched.parks_skipped`).
+    parks_skipped: AtomicU64,
+    /// Producer wakes skipped because a searching worker covers the
+    /// new work (`sched.unparks_elided`).
+    unparks_elided: AtomicU64,
     /// Wakes that landed on the waking worker's own run queue
     /// (cache-hot, steal-free: no unpark, no injector).
     wakes_local: AtomicU64,
@@ -214,12 +255,6 @@ struct RtInner {
     wakes_injector: AtomicU64,
     /// Wakes routed to a pinned queue.
     wakes_pinned: AtomicU64,
-    /// Rotates the scan start of `unpark_any` across workers.
-    unpark_rr: AtomicUsize,
-    /// Number of workers with their `parked` flag set. Lets the
-    /// wake path skip the per-worker scan entirely in the steady
-    /// state where everyone is already running.
-    n_parked: AtomicUsize,
 }
 
 /// Routes a ready task to a run queue and wakes a worker for it.
@@ -246,8 +281,13 @@ fn schedule(rt: &Arc<RtInner>, cell: Arc<TaskCell>, from_wake: bool) {
         if from_wake {
             rt.wakes_pinned.fetch_add(1, Ordering::Relaxed);
         }
-        plock(&rt.workers[w].pinned).push_back(cell);
-        rt.unpark_specific(w);
+        let ws = &rt.workers[w];
+        {
+            let mut q = plock(&ws.pinned);
+            q.push_back(cell);
+            ws.pinned_len.store(q.len(), Ordering::Release);
+        }
+        rt.notify_specific(w);
         return;
     }
     if rt.mode == SchedMode::WorkStealing {
@@ -256,16 +296,16 @@ fn schedule(rt: &Arc<RtInner>, cell: Arc<TaskCell>, from_wake: bool) {
                 rt.wakes_local.fetch_add(1, Ordering::Relaxed);
             }
             let ws = &rt.workers[me];
-            let mut q = plock(&ws.local);
-            if let Some(prev) = q.lifo.replace(cell) {
-                q.fifo.push_back(prev);
-            }
-            let overflow = !q.fifo.is_empty();
-            drop(q);
-            // This worker is busy (it is running us); invite a
-            // parked sibling to steal the backlog.
-            if overflow {
-                rt.unpark_any();
+            // SAFETY: `local_worker` proved the calling thread *is*
+            // worker `me` of this runtime — the owner of its LIFO
+            // slot and ring.
+            if let Some(prev) = unsafe { ws.lifo.put(cell) } {
+                push_local_or_overflow(rt, me, prev);
+                // This worker is busy (it is running us); invite a
+                // sibling to steal the backlog.
+                rt.notify_work();
+            } else if !ws.rq.is_empty() {
+                rt.notify_work();
             }
             return;
         }
@@ -273,8 +313,32 @@ fn schedule(rt: &Arc<RtInner>, cell: Arc<TaskCell>, from_wake: bool) {
     if from_wake {
         rt.wakes_injector.fetch_add(1, Ordering::Relaxed);
     }
-    plock(&rt.injector).push_back(cell);
-    rt.unpark_any();
+    match rt.mode {
+        SchedMode::WorkStealing => rt.injector.push(cell),
+        SchedMode::GlobalQueue => plock(&rt.global).push_back(cell),
+    }
+    rt.notify_work();
+}
+
+/// Owner-side ring push with overflow: a full ring spills half of
+/// itself (plus the new task) to the injector as one pre-linked
+/// chain, keeping recent wakes local and migrating the oldest work.
+fn push_local_or_overflow(rt: &Arc<RtInner>, me: usize, task: Arc<TaskCell>) {
+    let ws = &rt.workers[me];
+    // SAFETY: caller verified the current thread is worker `me`.
+    if let Err(task) = unsafe { ws.rq.push(task) } {
+        rt.overflows.fetch_add(1, Ordering::Relaxed);
+        let mut spill = Vec::with_capacity(crate::queue::LOCAL_QUEUE_CAP / 2 + 1);
+        for _ in 0..crate::queue::LOCAL_QUEUE_CAP / 2 {
+            // SAFETY: same owner thread.
+            match unsafe { ws.rq.pop() } {
+                Some(t) => spill.push(t),
+                None => break,
+            }
+        }
+        spill.push(task);
+        rt.injector.push_batch(spill);
+    }
 }
 
 /// The calling thread's worker index, if it is a worker of *this*
@@ -290,74 +354,70 @@ fn local_worker(rt: &Arc<RtInner>) -> Option<usize> {
 }
 
 impl RtInner {
-    /// Wakes one parked worker, if any.
-    fn unpark_any(&self) {
-        // ordering: SeqCst pairs with the worker's parked-flag
-        // publication: if we read 0 here, every worker's
-        // post-publication re-check runs after our push and finds
-        // the work itself. Model-checked as `parking_model`.
-        if self.n_parked.load(Ordering::SeqCst) == 0 {
+    /// Producer half of the park protocol, for stealable work: after
+    /// publishing to a queue, wake one worker — unless a searching
+    /// worker is already guaranteed to find it.
+    fn notify_work(&self) {
+        // ordering: Dekker producer side — the SeqCst fence orders
+        // our queue publication before the `searching`/mask reads
+        // below, so a worker whose registration we miss re-checks
+        // *after* our publish and finds the work itself.
+        // Model-checked as `idle_mask_model` (mutants:
+        // ScanBeforePublish, LostSearchingClear).
+        fence(Ordering::SeqCst);
+        if self.idle.searching() > 0 {
+            // A searcher either finds this work in its sweep or
+            // re-checks for it after registering idle.
+            self.unparks_elided.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let n = self.workers.len();
-        let start = self.unpark_rr.fetch_add(1, Ordering::Relaxed) % n;
-        for k in 0..n {
-            if self.try_unpark((start + k) % n) {
-                return;
-            }
+        if let Some(w) = self.idle.claim_any(self.workers.len()) {
+            self.deliver_token(w);
         }
     }
 
-    /// Wakes worker `w` if it is parked (used for pinned pushes: only
-    /// that worker can run the task).
-    fn unpark_specific(&self, w: usize) {
-        self.try_unpark(w);
+    /// Producer half for *pinned* work: only worker `w` may run it,
+    /// so claim that specific worker (searchers don't help here).
+    fn notify_specific(&self, w: usize) {
+        // ordering: same Dekker fence as `notify_work` — publication
+        // of the pinned push (and its length gate) must precede the
+        // mask read inside `claim`.
+        fence(Ordering::SeqCst);
+        if self.idle.claim(w) {
+            self.deliver_token(w);
+        }
     }
 
-    fn try_unpark(&self, w: usize) -> bool {
+    /// Delivers the wake token claimed from the idle mask. The mutex
+    /// here is the OS-blocking backend of the protocol, reached only
+    /// for a worker that really parked (or is about to).
+    fn deliver_token(&self, w: usize) {
         let ws = &self.workers[w];
-        // ordering: SeqCst claim CAS — must stay in the global order
-        // with the worker's publish → re-sweep sequence so a claim
-        // and a self-rescue never both run for one park.
-        if ws
-            .parked
-            .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-        {
-            // Whoever flips parked true→false owns the decrement.
-            // ordering: SeqCst so `unpark_any`'s fast-path load never
-            // reads a count that hides a standing registration.
-            self.n_parked.fetch_sub(1, Ordering::SeqCst);
-            let mut g = plock(&ws.park_lock);
-            *g = true;
-            ws.park_cv.notify_one();
-            true
-        } else {
-            false
-        }
+        let mut g = plock(&ws.park_lock);
+        *g = true;
+        ws.park_cv.notify_one();
     }
 
     /// Anything worker `me` could run right now? Mirrors the sources
     /// `find_task` consults; used for the pre-park re-check.
+    /// Lock-free in WorkStealing mode.
     fn has_work(&self, me: usize) -> bool {
         let ws = &self.workers[me];
-        if !plock(&ws.pinned).is_empty() || !plock(&self.injector).is_empty() {
+        if ws.pinned_len.load(Ordering::Acquire) > 0 {
             return true;
         }
-        if self.mode == SchedMode::WorkStealing {
-            {
-                let q = plock(&ws.local);
-                if q.lifo.is_some() || !q.fifo.is_empty() {
+        match self.mode {
+            SchedMode::WorkStealing => {
+                if !self.injector.is_empty() || ws.lifo.is_occupied() || !ws.rq.is_empty() {
                     return true;
                 }
+                self.workers
+                    .iter()
+                    .enumerate()
+                    .any(|(v, vs)| v != me && !vs.rq.is_empty())
             }
-            for (v, vs) in self.workers.iter().enumerate() {
-                if v != me && !plock(&vs.local).fifo.is_empty() {
-                    return true;
-                }
-            }
+            SchedMode::GlobalQueue => !plock(&self.global).is_empty(),
         }
-        false
     }
 
     /// Registers a task for shutdown reaping. Compaction keeps the
@@ -464,10 +524,11 @@ impl Handle {
         self.inner.workers.len()
     }
 
-    /// Number of successful steal operations since start (an idle
-    /// worker taking a batch from a sibling's queue).
+    /// Number of successful steal *batches* since start (an idle
+    /// worker claiming half a sibling's ring in one CAS). The number
+    /// of individual tasks migrated is `stat_get("sched.steals")`.
     pub fn steal_count(&self) -> u64 {
-        self.inner.steals.load(Ordering::Relaxed)
+        self.inner.steal_batches.load(Ordering::Relaxed)
     }
 
     /// Nanoseconds of wall-clock time since the runtime started.
@@ -508,14 +569,24 @@ impl Handle {
     /// Reads a named counter's current value.
     ///
     /// Built-in names are served from lock-free registries instead of
-    /// the user counter map: `sched.steals`, `sched.wakes_local`
+    /// the user counter map (all per-runtime): `sched.steals` (tasks
+    /// migrated), `sched.steal_batches` (batch claims),
+    /// `sched.injector_bursts` (non-empty injector take-alls),
+    /// `sched.overflows` (ring spills), `sched.parks_skipped`
+    /// (pre-park self-rescues), `sched.unparks_elided` (wakes
+    /// covered by a searching worker), `sched.wakes_local`
     /// (steal-free wakes onto the waking worker's own queue),
-    /// `sched.wakes_injector`, `sched.wakes_pinned` (per-runtime),
-    /// and every `chan.*` counter from
-    /// [`crate::chan_counters`] (process-global).
+    /// `sched.wakes_injector`, `sched.wakes_pinned`; plus every
+    /// `chan.*` counter from [`crate::chan_counters`]
+    /// (process-global).
     pub fn stat_get(&self, name: &str) -> u64 {
         match name {
             "sched.steals" => return self.inner.steals.load(Ordering::Relaxed),
+            "sched.steal_batches" => return self.inner.steal_batches.load(Ordering::Relaxed),
+            "sched.injector_bursts" => return self.inner.injector_bursts.load(Ordering::Relaxed),
+            "sched.overflows" => return self.inner.overflows.load(Ordering::Relaxed),
+            "sched.parks_skipped" => return self.inner.parks_skipped.load(Ordering::Relaxed),
+            "sched.unparks_elided" => return self.inner.unparks_elided.load(Ordering::Relaxed),
             "sched.wakes_local" => return self.inner.wakes_local.load(Ordering::Relaxed),
             "sched.wakes_injector" => return self.inner.wakes_injector.load(Ordering::Relaxed),
             "sched.wakes_pinned" => return self.inner.wakes_pinned.load(Ordering::Relaxed),
@@ -562,12 +633,19 @@ impl Runtime {
         Runtime::with_mode(workers, SchedMode::WorkStealing)
     }
 
-    /// Starts a runtime with an explicit [`SchedMode`].
+    /// Starts a runtime with an explicit [`SchedMode`]. At most 64
+    /// workers (the idle bitmask is one word).
     pub fn with_mode(workers: usize, mode: SchedMode) -> Runtime {
         assert!(workers > 0);
+        assert!(
+            workers <= MAX_WORKERS,
+            "at most {MAX_WORKERS} workers (one-word idle bitmask)"
+        );
         let inner = Arc::new(RtInner {
-            injector: Mutex::new(VecDeque::new()),
+            injector: Injector::new(),
+            global: Mutex::new(VecDeque::new()),
             workers: (0..workers).map(|_| WorkerState::new()).collect(),
+            idle: IdleSet::new(),
             mode,
             shutdown: AtomicBool::new(false),
             live_tasks: AtomicUsize::new(0),
@@ -578,11 +656,14 @@ impl Runtime {
             tasks: Mutex::new(Vec::new()),
             graveyard: Mutex::new(Vec::new()),
             steals: AtomicU64::new(0),
+            steal_batches: AtomicU64::new(0),
+            injector_bursts: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+            parks_skipped: AtomicU64::new(0),
+            unparks_elided: AtomicU64::new(0),
             wakes_local: AtomicU64::new(0),
             wakes_injector: AtomicU64::new(0),
             wakes_pinned: AtomicU64::new(0),
-            unpark_rr: AtomicUsize::new(0),
-            n_parked: AtomicUsize::new(0),
         });
         let mut threads = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -600,12 +681,13 @@ impl Runtime {
         }
     }
 
-    /// Starts a runtime with one worker per available CPU.
+    /// Starts a runtime with one worker per available CPU (capped at
+    /// the 64-worker bitmask limit).
     pub fn new_per_core() -> Runtime {
         let n = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(2);
-        Runtime::new(n)
+        Runtime::new(n.min(MAX_WORKERS))
     }
 
     /// Returns a [`Handle`] for ambient use (spawning, stats).
@@ -679,9 +761,9 @@ impl Runtime {
     pub fn shutdown(self) {
         // ordering: SeqCst store pairs with the SeqCst loads in
         // `schedule`, `spawn_inner`, and the worker park protocol —
-        // a worker that published `parked` before this store is
-        // woken by the notify sweep below; one that parks after
-        // sees the flag in its re-sweep.
+        // a worker that registered idle before this store is woken
+        // by the notify sweep below; one that parks after sees the
+        // flag in its re-sweep.
         self.inner.shutdown.store(true, Ordering::SeqCst);
         for w in &self.inner.workers {
             let mut g = plock(&w.park_lock);
@@ -717,12 +799,21 @@ impl Runtime {
             drop(grave);
         }
         // Release queue references so cells (and their wakers) free.
-        plock(&self.inner.injector).clear();
+        // SAFETY: workers are joined and post-shutdown `schedule`
+        // calls go to the graveyard, so this thread has exclusive
+        // queue access — the owner-only contract holds vacuously.
+        while self.inner.injector.take_all().is_some() {}
+        plock(&self.inner.global).clear();
         for w in &self.inner.workers {
-            plock(&w.pinned).clear();
-            let mut q = plock(&w.local);
-            q.lifo = None;
-            q.fifo.clear();
+            {
+                let mut q = plock(&w.pinned);
+                q.clear();
+                w.pinned_len.store(0, Ordering::Release);
+            }
+            unsafe {
+                while w.rq.pop().is_some() {}
+                drop(w.lifo.take());
+            }
         }
     }
 }
@@ -750,9 +841,14 @@ impl<T> CompletionGuard<T> {
             w.wake();
         }
         if let Some(rt) = self.rt.upgrade() {
-            rt.live_tasks.fetch_sub(1, Ordering::AcqRel);
-            let _g = plock(&rt.idle_lock);
-            rt.idle_cv.notify_all();
+            // Only the completion that empties the runtime takes the
+            // idle lock; per-task completions stay lock-free (a
+            // `wait_idle` caller that loads a stale nonzero count
+            // is woken by that last completion's notify).
+            if rt.live_tasks.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _g = plock(&rt.idle_lock);
+                rt.idle_cv.notify_all();
+            }
         }
     }
 }
@@ -790,6 +886,7 @@ where
         state: AtomicU8::new(SCHEDULED),
         rt: Arc::downgrade(inner),
         pin,
+        next_injected: std::sync::atomic::AtomicPtr::new(std::ptr::null_mut()),
     });
     inner.register(&cell);
     // ordering: SeqCst with the `shutdown` store — registration
@@ -845,27 +942,26 @@ fn worker_loop(rt: Arc<RtInner>, me: usize) {
             run_task(task, &rt);
             continue;
         }
-        // ordering: park protocol (Dekker): publish the parked flag,
-        // then re-sweep every source. A producer publishes work,
-        // then scans parked flags; SeqCst on both sides means one of
-        // us must see the other. Model-checked as `parking_model`
-        // (mutant: ConsumerNoRecheck).
-        let ws = &rt.workers[me];
-        ws.parked.store(true, Ordering::SeqCst);
-        rt.n_parked.fetch_add(1, Ordering::SeqCst);
+        // ordering: park protocol (Dekker): register the idle bit,
+        // SeqCst-fence, then re-sweep every source. A producer
+        // publishes work, fences, then scans the mask; in the SeqCst
+        // order one of us must see the other. Model-checked as
+        // `idle_mask_model` (mutant: NoRecheck).
+        rt.idle.register(me);
+        fence(Ordering::SeqCst);
+        // ordering: the shutdown re-check rides the same fence — the
+        // SeqCst store in `shutdown()` either precedes it (we see the
+        // flag here) or follows our registration (the notify sweep
+        // delivers a token).
         if rt.has_work(me) || rt.shutdown.load(Ordering::SeqCst) {
-            if ws
-                .parked
-                .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                rt.n_parked.fetch_sub(1, Ordering::SeqCst);
-            } else {
-                // A producer claimed us (and decremented); its
-                // pending notification is consumed on the next park.
+            if rt.idle.deregister(me) {
+                rt.parks_skipped.fetch_add(1, Ordering::Relaxed);
             }
+            // else: a producer claimed us; its pending token is
+            // consumed on the next park.
             continue;
         }
+        let ws = &rt.workers[me];
         let mut g = plock(&ws.park_lock);
         loop {
             if rt.shutdown.load(Ordering::Acquire) {
@@ -880,18 +976,11 @@ fn worker_loop(rt: Arc<RtInner>, me: usize) {
                 .wait_timeout(g, PARK_BACKSTOP)
                 .unwrap_or_else(|e| e.into_inner());
             g = ng;
-            // ordering: the backstop takes the same SeqCst claim CAS
-            // as `try_unpark` — exactly one side wins the flag and
-            // owns the matching `n_parked` decrement.
-            if res.timed_out()
-                && ws
-                    .parked
-                    .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
-                    .is_ok()
-            {
-                // Backstop resweep: unclaimed, so no notification is
-                // owed to us.
-                rt.n_parked.fetch_sub(1, Ordering::SeqCst);
+            // Backstop resweep: `deregister` wins the bit over any
+            // concurrent claim (single RMW), so either we withdraw
+            // cleanly or a producer's token is already in flight and
+            // the next loop iteration consumes it.
+            if res.timed_out() && rt.idle.deregister(me) {
                 break;
             }
         }
@@ -901,8 +990,9 @@ fn worker_loop(rt: Arc<RtInner>, me: usize) {
 /// One dispatch: pick the next task for worker `me`.
 ///
 /// Order (with fairness rotations): pinned/local alternating, then
-/// the injector, then a randomized steal sweep over siblings. Every
-/// [`INJECTOR_INTERVAL`]-th call checks the injector first.
+/// the search phase — an injector burst, then a randomized steal
+/// sweep over siblings. Every [`INJECTOR_INTERVAL`]-th call checks
+/// the injector first.
 fn find_task(
     rt: &Arc<RtInner>,
     me: usize,
@@ -913,61 +1003,139 @@ fn find_task(
     *tick = tick.wrapping_add(1);
     let ws = &rt.workers[me];
     if (*tick).is_multiple_of(INJECTOR_INTERVAL) {
-        if let Some(t) = plock(&rt.injector).pop_front() {
+        let t = match rt.mode {
+            SchedMode::WorkStealing => {
+                let (t, extra) = take_injector_burst(rt, me);
+                if extra > 0 {
+                    rt.notify_work();
+                }
+                t
+            }
+            SchedMode::GlobalQueue => plock(&rt.global).pop_front(),
+        };
+        if let Some(t) = t {
             return Some(t);
         }
     }
     let pinned_first = (*tick).is_multiple_of(2);
     if pinned_first {
-        if let Some(t) = plock(&ws.pinned).pop_front() {
+        if let Some(t) = pop_pinned(ws) {
             return Some(t);
         }
     }
     if rt.mode == SchedMode::WorkStealing {
-        let mut q = plock(&ws.local);
-        if q.lifo.is_some() && *lifo_streak < LIFO_CAP {
-            *lifo_streak += 1;
-            return q.lifo.take();
-        }
-        if let Some(t) = q.fifo.pop_front() {
-            *lifo_streak = 0;
-            return Some(t);
-        }
-        if let Some(t) = q.lifo.take() {
-            *lifo_streak = 0;
-            return Some(t);
+        // SAFETY: this function runs only on worker `me`'s thread —
+        // the owner of its LIFO slot and ring.
+        unsafe {
+            if ws.lifo.is_occupied() && *lifo_streak < LIFO_CAP {
+                if let Some(t) = ws.lifo.take() {
+                    *lifo_streak += 1;
+                    return Some(t);
+                }
+            }
+            if let Some(t) = ws.rq.pop() {
+                *lifo_streak = 0;
+                return Some(t);
+            }
+            if let Some(t) = ws.lifo.take() {
+                *lifo_streak = 0;
+                return Some(t);
+            }
         }
     }
     if !pinned_first {
-        if let Some(t) = plock(&ws.pinned).pop_front() {
+        if let Some(t) = pop_pinned(ws) {
             return Some(t);
         }
     }
-    if let Some(t) = plock(&rt.injector).pop_front() {
-        return Some(t);
-    }
-    if rt.mode == SchedMode::WorkStealing && rt.workers.len() > 1 {
-        let n = rt.workers.len();
-        let start = next_rand(rng) as usize % n;
-        for k in 0..n {
-            let v = (start + k) % n;
-            if v == me {
-                continue;
-            }
-            let stolen: Vec<Arc<TaskCell>> = {
-                let mut vq = plock(&rt.workers[v].local);
-                // Take half (round up) from the front: the oldest
-                // work migrates, recent wakes stay victim-local.
-                let take = vq.fifo.len().div_ceil(2);
-                vq.fifo.drain(..take).collect()
-            };
-            if let Some((first, rest)) = stolen.split_first() {
-                rt.steals.fetch_add(1, Ordering::Relaxed);
-                if !rest.is_empty() {
-                    plock(&ws.local).fifo.extend(rest.iter().cloned());
+    match rt.mode {
+        SchedMode::GlobalQueue => plock(&rt.global).pop_front(),
+        SchedMode::WorkStealing => {
+            // The search phase: announce it (producers elide wakes
+            // while a searcher is out — see `IdleSet`), drain an
+            // injector burst or steal a batch, then hand off a wake
+            // if we deposited more than we are about to run.
+            rt.idle.start_search();
+            let (mut found, mut extra) = take_injector_burst(rt, me);
+            if found.is_none() {
+                if let Some((t, batch_extra)) = steal_sweep(rt, me, rng) {
+                    found = Some(t);
+                    extra = batch_extra;
                 }
-                return Some(first.clone());
             }
+            rt.idle.end_search();
+            if extra > 0 {
+                // Our ring now has backlog siblings can steal.
+                rt.notify_work();
+            }
+            found
+        }
+    }
+}
+
+fn pop_pinned(ws: &WorkerState) -> Option<Arc<TaskCell>> {
+    // The atomic gate keeps the (mutexed) pinned queue off the
+    // dispatch fast path: no lock unless it is plausibly non-empty.
+    if ws.pinned_len.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    let mut q = plock(&ws.pinned);
+    let t = q.pop_front();
+    ws.pinned_len.store(q.len(), Ordering::Release);
+    t
+}
+
+/// Drains one injector burst: the first task is returned for
+/// immediate execution, the rest are deposited into `me`'s ring
+/// (leftovers that don't fit go back to the injector as one chain).
+/// Returns `(first, redistributed)`.
+fn take_injector_burst(rt: &Arc<RtInner>, me: usize) -> (Option<Arc<TaskCell>>, usize) {
+    let Some(mut burst) = rt.injector.take_all() else {
+        return (None, 0);
+    };
+    rt.injector_bursts.fetch_add(1, Ordering::Relaxed);
+    let first = burst.pop();
+    let ws = &rt.workers[me];
+    let mut redistributed = 0;
+    while let Some(t) = burst.pop() {
+        // SAFETY: this function runs only on worker `me`'s thread.
+        match unsafe { ws.rq.push(t) } {
+            Ok(()) => redistributed += 1,
+            Err(t) => {
+                // Ring full: return the remainder (and this task) to
+                // the injector for another worker's burst.
+                rt.injector.push(t);
+                redistributed += 1;
+                redistributed += burst.len();
+                burst.put_back(&rt.injector);
+                break;
+            }
+        }
+    }
+    (first, redistributed)
+}
+
+/// Randomized steal sweep: claim half of some sibling's ring into our
+/// own. Returns the first stolen task and how many extra tasks were
+/// deposited locally.
+fn steal_sweep(rt: &Arc<RtInner>, me: usize, rng: &mut u64) -> Option<(Arc<TaskCell>, usize)> {
+    let n = rt.workers.len();
+    if n <= 1 {
+        return None;
+    }
+    let start = next_rand(rng) as usize % n;
+    for k in 0..n {
+        let v = (start + k) % n;
+        if v == me {
+            continue;
+        }
+        // SAFETY: we are worker `me` (the dst owner), and we only
+        // reach the sweep with an empty ring, so a half-ring batch
+        // always fits.
+        if let Some((first, batch)) = unsafe { rt.workers[v].rq.steal_into(&rt.workers[me].rq) } {
+            rt.steals.fetch_add(batch as u64, Ordering::Relaxed);
+            rt.steal_batches.fetch_add(1, Ordering::Relaxed);
+            return Some((first, batch - 1));
         }
     }
     None

@@ -42,7 +42,10 @@
 
 mod chan;
 mod executor;
+mod idle;
+mod injector;
 pub mod oneshot;
+mod queue;
 mod sync;
 mod timer;
 

@@ -17,13 +17,13 @@
 //! shims' non-model path runs on.
 
 #[cfg(not(feature = "chanos_check"))]
-pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
+pub use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize};
 #[cfg(not(feature = "chanos_check"))]
 pub use std::sync::{Condvar, Mutex, MutexGuard};
 
 #[cfg(feature = "chanos_check")]
 pub use chanos_check::sync::{
-    fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, MutexGuard,
+    fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, MutexGuard,
 };
 
 pub use std::sync::atomic::Ordering;

@@ -334,6 +334,142 @@ fn global_queue_mode_still_runs_everything() {
     rt.shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Randomized steal storms (deterministic PCG — seeds in the test).
+// ---------------------------------------------------------------------------
+
+/// Minimal PCG32 so the storm shape is deterministic per seed without
+/// pulling the simulator crate into parchan's dev-deps.
+struct Pcg(u64);
+
+impl Pcg {
+    fn next(&mut self) -> u32 {
+        let old = self.0;
+        self.0 = old
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(0xda3e39cb94b95bdb | 1);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    fn below(&mut self, n: u32) -> u32 {
+        self.next() % n
+    }
+}
+
+#[test]
+fn pcg_steal_storm_runs_every_task_exactly_once() {
+    // A seeded mix of remote spawns (injector), nested spawns (local
+    // ring + LIFO slot), pinned spawns, and random yield churn, at 4
+    // workers in both scheduler modes. Every task must run exactly
+    // once: a double poll-to-completion trips the fetch_or, a lost
+    // task trips the final count (or hangs the join).
+    for mode in [SchedMode::WorkStealing, SchedMode::GlobalQueue] {
+        let rt = Runtime::with_mode(4, mode);
+        let mut rng = Pcg(0x57EA_1057_0123 ^ mode as u64);
+        const N: usize = 96; // seeders
+        const FAN: usize = 4; // children per seeder
+        let ran: Arc<Vec<AtomicU64>> =
+            Arc::new((0..N * (FAN + 1)).map(|_| AtomicU64::new(0)).collect());
+        let mut seeders = Vec::new();
+        for s in 0..N {
+            let ran = ran.clone();
+            let kind = rng.below(4);
+            let pin = rng.below(4) as usize;
+            let yields = rng.below(3);
+            let body = async move {
+                // Children spawned from inside a worker land on its
+                // local ring/LIFO slot and must be stolen or drained.
+                let hd = chanos_parchan::current().expect("on runtime");
+                let children: Vec<_> = (0..FAN)
+                    .map(|c| {
+                        let ran = ran.clone();
+                        hd.spawn(async move {
+                            for _ in 0..(c % 3) {
+                                yield_now().await;
+                            }
+                            ran[N + s * FAN + c].fetch_add(1, Ordering::Relaxed);
+                        })
+                    })
+                    .collect();
+                for _ in 0..yields {
+                    yield_now().await;
+                }
+                for c in children {
+                    c.join().await.expect("child ok");
+                }
+                ran[s].fetch_add(1, Ordering::Relaxed);
+            };
+            seeders.push(if kind == 0 {
+                rt.spawn_pinned(pin, body)
+            } else {
+                rt.spawn(body)
+            });
+        }
+        for h in seeders {
+            h.join_blocking().expect("seeder ok");
+        }
+        for (i, flag) in ran.iter().enumerate() {
+            assert_eq!(
+                flag.load(Ordering::Relaxed),
+                1,
+                "task {i} ran {} times under {mode:?}",
+                flag.load(Ordering::Relaxed)
+            );
+        }
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn shutdown_while_stealing_reaps_every_handle() {
+    // Shutdown lands mid-storm: workers are popping, stealing, and
+    // spawning when the flag flips. Every top-level handle must still
+    // resolve — finished tasks with their value, abandoned ones with
+    // the shutdown error — and nothing may hang or leak.
+    let mut rng = Pcg(0xDEAD_5C3D);
+    let rt = Runtime::new(4);
+    let mut handles = Vec::new();
+    for s in 0..64u64 {
+        let yields = rng.below(4);
+        let pin = rng.below(4) as usize;
+        let body = async move {
+            let hd = chanos_parchan::current().expect("on runtime");
+            let child = hd.spawn(async move {
+                for _ in 0..yields {
+                    yield_now().await;
+                }
+                s
+            });
+            spin_for(Duration::from_micros(200));
+            child.join().await.map(|v| v + 1).unwrap_or(u64::MAX)
+        };
+        handles.push(if rng.below(3) == 0 {
+            rt.spawn_pinned(pin, body)
+        } else {
+            rt.spawn(body)
+        });
+    }
+    // Let the storm get airborne, then pull the plug.
+    std::thread::sleep(Duration::from_millis(2));
+    rt.shutdown();
+    let (mut ok, mut reaped) = (0, 0);
+    for h in handles {
+        match h.join_blocking() {
+            Ok(v) => {
+                assert!(v >= 1, "finished task returned a torn value");
+                ok += 1;
+            }
+            Err(e) => {
+                assert!(e.0.contains("shut down"), "unexpected error: {}", e.0);
+                reaped += 1;
+            }
+        }
+    }
+    assert_eq!(ok + reaped, 64, "a handle was lost");
+}
+
 #[test]
 fn spawn_after_shutdown_does_not_hang() {
     let rt = Runtime::new(1);
