@@ -412,6 +412,274 @@ fn record_syscall_json(sweep: &SyscallSweep, steal: &[StealRow]) {
     }
 }
 
+/// One measured point of the node-replication A/B: a read-heavy storm
+/// against one service, in one mode, at one worker count.
+struct NrRow {
+    service: &'static str,
+    mode: &'static str,
+    workers: usize,
+    mops: f64,
+}
+
+/// Replica-path counters captured from the headline replicated run,
+/// proving the fast path actually ran (CI gates on `nr_local_reads`).
+struct NrCounters {
+    local_reads: u64,
+    log_appends: u64,
+}
+
+/// Node-replicated pid table vs the single-server baseline: `w`
+/// pinned workers hammer `PidTable::alive` for the budget. In
+/// replicated mode every query is a local-replica map probe; in
+/// single-server mode it is a port round trip to one task.
+fn bench_nr_pid_reads(mode: chanos_kernel::NrMode, label: &'static str) -> Vec<NrRow> {
+    use chanos_kernel::{Pid, PidTable};
+    use chanos_rt::CoreId;
+
+    let budget = default_budget();
+    let live_pids = 64u32;
+    let mut rows = Vec::new();
+    for &w in &worker_sweep() {
+        let rt = Runtime::new(w);
+        let (ops, dt) = rt.block_on(async {
+            let cores: Vec<CoreId> = (0..w as u32).map(CoreId).collect();
+            let pids = PidTable::spawn(&cores, mode);
+            for p in 1..=live_pids {
+                pids.register(Pid(p), "nrbench", CoreId((p - 1) % w as u32))
+                    .await;
+            }
+            let t0 = std::time::Instant::now();
+            let hs: Vec<_> = (0..w)
+                .map(|i| {
+                    let pids = pids.clone();
+                    chanos_rt::spawn_on(CoreId(i as u32), async move {
+                        let mut n = 0u64;
+                        let mut p = i as u32;
+                        while t0.elapsed() < budget {
+                            // 32 queries per clock read; alternating
+                            // hit/miss keeps the map probe honest.
+                            for _ in 0..32 {
+                                p = p.wrapping_add(1);
+                                let q = Pid(1 + p % (live_pids * 2));
+                                std::hint::black_box(pids.alive(q).await);
+                                n += 1;
+                            }
+                        }
+                        n
+                    })
+                })
+                .collect();
+            let mut ops = 0u64;
+            for h in hs {
+                ops += h.join().await.expect("nr pid reader");
+            }
+            (ops, t0.elapsed())
+        });
+        rt.shutdown();
+        rows.push(NrRow {
+            service: "pid",
+            mode: label,
+            workers: w,
+            mops: ops as f64 / dt.as_secs_f64() / 1e6,
+        });
+    }
+    rows
+}
+
+/// Same A/B through the full kernel: `w` pinned workers stat hot
+/// inodes through MsgFs, so every op crosses the vnode registry
+/// (local read vs fs-vnmgr round trip) before the vnode call proper.
+fn bench_nr_vnmgr_lookups(mode: chanos_kernel::NrMode, label: &'static str) -> Vec<NrRow> {
+    use chanos_kernel::{boot, BootCfg, FsKind, KernelKind};
+    use chanos_rt::CoreId;
+
+    let budget = default_budget();
+    let files = 32usize;
+    let mut rows = Vec::new();
+    for &w in &worker_sweep() {
+        let rt = Runtime::new(w);
+        let os = rt.block_on(async {
+            let mut cfg = BootCfg::new(
+                KernelKind::Message,
+                FsKind::Message,
+                (0..2).map(CoreId).collect(),
+            );
+            cfg.nr = mode;
+            boot(cfg).await
+        });
+        let inos: Vec<u64> = rt.block_on(async {
+            os.vfs.mkdir("/nrb").await.unwrap();
+            let mut inos = Vec::with_capacity(files);
+            for i in 0..files {
+                inos.push(os.vfs.create(&format!("/nrb/f{i}")).await.unwrap());
+            }
+            inos
+        });
+        let (ops, dt) = rt.block_on(async {
+            let t0 = std::time::Instant::now();
+            let hs: Vec<_> = (0..w)
+                .map(|i| {
+                    let vfs = os.vfs.clone();
+                    let inos = inos.clone();
+                    chanos_rt::spawn_on(CoreId(i as u32), async move {
+                        let mut n = 0u64;
+                        let mut k = i;
+                        while t0.elapsed() < budget {
+                            for _ in 0..16 {
+                                k = k.wrapping_add(1);
+                                let ino = inos[k % inos.len()];
+                                std::hint::black_box(vfs.stat(ino).await.unwrap());
+                                n += 1;
+                            }
+                        }
+                        n
+                    })
+                })
+                .collect();
+            let mut ops = 0u64;
+            for h in hs {
+                ops += h.join().await.expect("nr vn reader");
+            }
+            (ops, t0.elapsed())
+        });
+        drop(os);
+        rt.shutdown();
+        rows.push(NrRow {
+            service: "vnmgr",
+            mode: label,
+            workers: w,
+            mops: ops as f64 / dt.as_secs_f64() / 1e6,
+        });
+    }
+    rows
+}
+
+/// The node-replication perf trajectory: pid-table and vnode-registry
+/// read storms, replicated vs single-server, at every sweep size.
+/// Also reruns the headline replicated pid storm on a fresh runtime
+/// to capture its `nr.*` counters (per-runtime stats; the sweep
+/// runtimes are gone by the time JSON is written).
+fn bench_nr_read_scaling() -> (Vec<NrRow>, NrCounters) {
+    use chanos_kernel::{NrMode, Pid, PidTable};
+    use chanos_rt::CoreId;
+
+    header("NR: node-replicated reads vs single server (pid table, vnode registry)");
+    let mut rows = Vec::new();
+    rows.extend(bench_nr_pid_reads(NrMode::SingleServer, "single"));
+    rows.extend(bench_nr_pid_reads(NrMode::Replicated, "replicated"));
+    rows.extend(bench_nr_vnmgr_lookups(NrMode::SingleServer, "single"));
+    rows.extend(bench_nr_vnmgr_lookups(NrMode::Replicated, "replicated"));
+
+    println!("| service | mode | workers | Mops/sec |");
+    println!("|---|---|---|---|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {:.3} |",
+            r.service, r.mode, r.workers, r.mops
+        );
+    }
+
+    // Counter capture: a short replicated read storm whose runtime is
+    // still alive when we read its stats.
+    let rt = Runtime::new(2);
+    rt.block_on(async {
+        let cores: Vec<CoreId> = (0..2).map(CoreId).collect();
+        let pids = PidTable::spawn(&cores, NrMode::Replicated);
+        pids.register(Pid(1), "nrcount", CoreId(0)).await;
+        for _ in 0..1000u32 {
+            std::hint::black_box(pids.alive(Pid(1)).await);
+        }
+    });
+    let h = rt.handle();
+    let counters = NrCounters {
+        local_reads: h.stat_get("nr.local_reads"),
+        log_appends: h.stat_get("nr.log_appends"),
+    };
+    println!("\n  nr.local_reads (counter run): {}", counters.local_reads);
+    println!("  nr.log_appends (counter run): {}", counters.log_appends);
+    rt.shutdown();
+    (rows, counters)
+}
+
+/// Writes `BENCH_nr.json` (same hand-rolled flat-key format as
+/// `BENCH_syscall.json`): one row per (service, mode, workers) point
+/// plus the headline `nr_read_speedup_repl_over_single_w4` ratios and
+/// the fast-path counters CI gates on.
+fn record_nr_json(rows: &[NrRow], counters: &NrCounters) {
+    let out_path = std::env::var("CHANOS_NR_OUT").unwrap_or_else(|_| "BENCH_nr.json".into());
+    let out_path = if std::path::Path::new(&out_path).is_absolute() {
+        std::path::PathBuf::from(out_path)
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(out_path)
+    };
+    let quick = default_budget() < std::time::Duration::from_millis(100);
+    let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let point = |service: &str, mode: &str, w: usize| {
+        rows.iter()
+            .find(|r| r.service == service && r.mode == mode && r.workers == w)
+            .map_or(0.0, |r| r.mops)
+    };
+    // On hosts with fewer than 4 cores the sweep still contains 4 (the
+    // oversubscribed point CI gates on); ratios guard against /0 for
+    // robustness only.
+    let ratio = |service: &str, w: usize| {
+        let s = point(service, "single", w);
+        let r = point(service, "replicated", w);
+        if s > 0.0 {
+            r / s
+        } else {
+            0.0
+        }
+    };
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str(&format!(
+        "  \"bench\": \"nr_read_scaling\",\n  \"quick\": {quick},\n  \"host_cores\": {host_cores},\n  \"backend\": \"threads\",\n"
+    ));
+    j.push_str(&format!(
+        "  \"nr_pid_read_mops_single_w4\": {:.4},\n  \"nr_pid_read_mops_repl_w4\": {:.4},\n",
+        point("pid", "single", 4),
+        point("pid", "replicated", 4),
+    ));
+    j.push_str(&format!(
+        "  \"nr_read_speedup_repl_over_single_w4\": {:.3},\n",
+        ratio("pid", 4)
+    ));
+    j.push_str(&format!(
+        "  \"nr_vn_lookup_mops_single_w4\": {:.4},\n  \"nr_vn_lookup_mops_repl_w4\": {:.4},\n",
+        point("vnmgr", "single", 4),
+        point("vnmgr", "replicated", 4),
+    ));
+    j.push_str(&format!(
+        "  \"nr_vn_speedup_repl_over_single_w4\": {:.3},\n",
+        ratio("vnmgr", 4)
+    ));
+    j.push_str(&format!(
+        "  \"nr_local_reads\": {},\n  \"nr_log_appends\": {},\n",
+        counters.local_reads, counters.log_appends,
+    ));
+    j.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"service\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \"mops_per_sec\": {:.4}}}{}\n",
+            r.service,
+            r.mode,
+            r.workers,
+            r.mops,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    let out_path = out_path.display().to_string();
+    if let Err(e) = std::fs::write(&out_path, &j) {
+        eprintln!("could not write {out_path}: {e}");
+    } else {
+        println!("\nrecorded -> {out_path}");
+    }
+}
+
 fn bench_e4_fs_scaling_real_hw() {
     use chanos_kernel::{boot, BootCfg, FsKind, KernelKind};
     use chanos_rt::CoreId;
@@ -870,5 +1138,7 @@ fn main() {
     bench_e14_vm_cluster_threads();
     let steal = bench_spawn_steal_microbench();
     record_syscall_json(&sweep, &steal);
+    let (nr_rows, nr_counters) = bench_nr_read_scaling();
+    record_nr_json(&nr_rows, &nr_counters);
     print_counter_summary();
 }

@@ -12,7 +12,7 @@
 //!    sim code de-seed traces).
 //!
 //! 2. **Stat registry.** Every `"chan.*"` / `"port.*"` / `"disk.*"`
-//!    / `"sched.*"` string literal must appear in
+//!    / `"sched.*"` / `"nr.*"` string literal must appear in
 //!    `crates/check/stat_registry.txt`. A typo'd name silently
 //!    records into a fresh counter while the assertion reading the
 //!    intended name sees zero.
@@ -145,8 +145,8 @@ const MUTEX_FREE: &[&str] = &[
 /// Code patterns that mean "a lock" for rule 4.
 const LOCKING: &[&str] = &["Mutex", "Condvar", "plock", ".lock()"];
 
-/// Extracts `"chan.*"`, `"port.*"`, `"disk.*"`, `"sched.*"` literals
-/// from a line.
+/// Extracts `"chan.*"`, `"port.*"`, `"disk.*"`, `"sched.*"`, and
+/// `"nr.*"` literals from a line.
 fn stat_literals(line: &str) -> Vec<String> {
     let mut found = Vec::new();
     let bytes = line.as_bytes();
@@ -155,7 +155,7 @@ fn stat_literals(line: &str) -> Vec<String> {
         if bytes[i] == b'"' {
             if let Some(end) = line[i + 1..].find('"') {
                 let lit = &line[i + 1..i + 1 + end];
-                for prefix in ["chan.", "port.", "disk.", "sched."] {
+                for prefix in ["chan.", "port.", "disk.", "sched.", "nr."] {
                     if let Some(rest) = lit.strip_prefix(prefix) {
                         if !rest.is_empty()
                             && rest
@@ -322,6 +322,10 @@ mod tests {
         assert_eq!(
             stat_literals(r#"h.stat_get("sched.steal_batches")"#),
             vec!["sched.steal_batches"]
+        );
+        assert_eq!(
+            stat_literals(r#"rt::stat_incr("nr.local_reads")"#),
+            vec!["nr.local_reads"]
         );
         // A table-row string mentioning a counter is not a literal.
         assert!(stat_literals(r#""| sched.steals | {} |""#).is_empty());

@@ -19,6 +19,7 @@
 //! regression, not just the proof that today's code is right.
 
 pub mod coalesce;
+pub mod nr;
 pub mod oneshot;
 pub mod parking;
 pub mod ring;

@@ -1,0 +1,272 @@
+//! Model of chanos-nr's log-append / replica-catch-up protocol: the
+//! reservation-cursor CAS, the in-reservation-order tail commit, and
+//! the per-replica applied index that local reads check before
+//! serving — plus the flat-combining handoff where one combiner
+//! answers a whole drained burst.
+//!
+//! mirrors: `nr/src/lib.rs` — `Log::{reserve_publish, wait_turn,
+//! commit, collect}`, `Replica::catch_up`, `combiner_task`,
+//! `Replicated::read`.
+//!
+//! As in the other models, log slot values live in atomics with `0`
+//! as the "unpublished" sentinel: a reader catching up past an
+//! unpublished slot (the apply-before-publish bug) reads a `0` and
+//! trips an assertion instead of UB. A combiner that loses a client's
+//! response surfaces as the checker's built-in parked-forever
+//! deadlock.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::sync::AtomicUsize;
+use crate::thread;
+
+/// Seeded bugs for [`nr_log_model`] and [`nr_combine_model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutant {
+    /// The shipping protocol.
+    None,
+    /// Appender commits the tail *before* publishing its slots: a
+    /// replica catching up to the new tail applies the unpublished
+    /// sentinel.
+    ApplyBeforePublish,
+    /// Reader serves from a tail captured before the writes it must
+    /// observe, skipping the fresh up-to-date check: its replica
+    /// misses committed entries and the read is stale.
+    StaleTailRead,
+    /// Combiner appends every op in its drained burst but hands a
+    /// response back only for the first: the second client waits for
+    /// a completion that never comes.
+    LostCombinerHandoff,
+}
+
+// --- the shared ordered log ---------------------------------------------
+
+/// Log capacity: enough for every append in the scenarios below.
+const SLOTS: usize = 4;
+
+/// A miniature of `nr::Log` + one `nr::Replica`: `resv` is the
+/// reservation cursor (CAS-advanced), `tail` the published watermark
+/// (committed in reservation order), `slots` the write-once entries,
+/// `applied`/`state` the replica a local read consults.
+pub struct MLog {
+    resv: AtomicUsize,
+    tail: AtomicUsize,
+    slots: [AtomicUsize; SLOTS],
+    /// Replica: entries applied, and a running sum standing in for
+    /// deterministic state (`sum of ops` ⇔ `HashMap contents`).
+    applied: AtomicUsize,
+    state: AtomicUsize,
+}
+
+impl Default for MLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MLog {
+    pub fn new() -> MLog {
+        MLog {
+            resv: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            slots: [
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+            ],
+            applied: AtomicUsize::new(0),
+            state: AtomicUsize::new(0),
+        }
+    }
+
+    /// `Log::reserve_publish` + `wait_turn` + `commit` for a batch of
+    /// ops: CAS-reserve a range, publish the slots, wait for the
+    /// predecessor's commit, publish the tail.
+    pub fn append(&self, ops: &[usize], mutant: Mutant) {
+        let n = ops.len();
+        let mut cur = self.resv.load(Ordering::Acquire);
+        let start = loop {
+            match self
+                .resv
+                .compare_exchange(cur, cur + n, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break cur,
+                Err(now) => cur = now,
+            }
+        };
+        if mutant == Mutant::ApplyBeforePublish {
+            // BUG (seeded): tail visible before the slot values.
+            while self.tail.load(Ordering::Acquire) != start {
+                thread::yield_now();
+            }
+            self.tail.store(start + n, Ordering::Release);
+            for (i, &op) in ops.iter().enumerate() {
+                assert_ne!(op, 0, "0 is the model's unpublished sentinel");
+                self.slots[start + i].store(op, Ordering::Release);
+            }
+        } else {
+            for (i, &op) in ops.iter().enumerate() {
+                assert_ne!(op, 0, "0 is the model's unpublished sentinel");
+                self.slots[start + i].store(op, Ordering::Release);
+            }
+            // Commit in reservation order.
+            while self.tail.load(Ordering::Acquire) != start {
+                thread::yield_now();
+            }
+            self.tail.store(start + n, Ordering::Release);
+        }
+    }
+
+    /// `Replica::catch_up`: apply committed entries up to `to`. The
+    /// real code holds the replica's write lock here; the model's
+    /// single reader thread gives the same exclusivity.
+    pub fn catch_up(&self, to: usize) {
+        let from = self.applied.load(Ordering::Acquire);
+        if from >= to {
+            return;
+        }
+        for idx in from..to {
+            let v = self.slots[idx].load(Ordering::Acquire);
+            assert_ne!(v, 0, "replica applied an unpublished log entry");
+            self.state.fetch_add(v, Ordering::SeqCst);
+        }
+        self.applied.store(to, Ordering::Release);
+    }
+
+    /// `Replicated::read`'s up-to-date check + local read.
+    pub fn local_read(&self, stale_tail: usize, mutant: Mutant) -> usize {
+        let to = if mutant == Mutant::StaleTailRead {
+            // BUG (seeded): serve from a tail captured before the
+            // writes this read must observe.
+            stale_tail
+        } else {
+            self.tail.load(Ordering::Acquire)
+        };
+        self.catch_up(to);
+        self.state.load(Ordering::SeqCst)
+    }
+}
+
+/// Two appenders race batches `[1,2]` and `[3]` into the log while
+/// the replica (model root) reads concurrently and once more at the
+/// end. Reservation + ordered commit must give every schedule a
+/// gap-free log; the final read — which starts after both appends
+/// complete — must observe both (sum 6).
+pub fn nr_log_model(mutant: Mutant) {
+    let log = Arc::new(MLog::new());
+
+    let l1 = log.clone();
+    let a1 = thread::spawn(move || l1.append(&[1, 2], mutant));
+    let l2 = log.clone();
+    let a2 = thread::spawn(move || l2.append(&[3], mutant));
+
+    // A concurrent read: may see any prefix, must not see garbage.
+    let mid = log.local_read(0, Mutant::None);
+    assert!(
+        mid == 0 || mid == 1 || mid == 2 || mid == 3 || mid == 6,
+        "read observed a torn prefix: {mid}"
+    );
+
+    a1.join();
+    a2.join();
+    // Both appends' replies have been delivered; a read starting now
+    // must observe them. StaleTailRead serves from the pre-append
+    // tail instead and misses committed entries.
+    let end = log.local_read(0, mutant);
+    assert_eq!(end, 6, "read after both appends completed is stale");
+}
+
+// --- the flat-combining handoff -----------------------------------------
+
+struct MCombine {
+    /// Client op deposit slots (`0` = empty).
+    pending: [AtomicUsize; 2],
+    /// Per-client response flags set by the combiner.
+    done: [AtomicUsize; 2],
+    /// Clients parked awaiting a response (bit per client).
+    parked: AtomicUsize,
+    log: MLog,
+}
+
+/// Two clients deposit one op each and park until the combiner
+/// responds; the combiner (model root) drains whatever has arrived
+/// into **one** batch append, then must deliver a response to every
+/// op it claimed. `LostCombinerHandoff` answers only the first —
+/// the second client parks forever, which the checker reports as a
+/// deadlock.
+pub fn nr_combine_model(mutant: Mutant) {
+    let sh = Arc::new(MCombine {
+        pending: [AtomicUsize::new(0), AtomicUsize::new(0)],
+        done: [AtomicUsize::new(0), AtomicUsize::new(0)],
+        parked: AtomicUsize::new(0),
+        log: MLog::new(),
+    });
+
+    let mut clients = Vec::new();
+    for c in 0..2usize {
+        let sh = sh.clone();
+        clients.push(thread::spawn(move || {
+            sh.pending[c].store(c + 1, Ordering::SeqCst);
+            while sh.done[c].load(Ordering::SeqCst) == 0 {
+                sh.parked.fetch_or(1 << c, Ordering::SeqCst);
+                if sh.done[c].load(Ordering::SeqCst) != 0 {
+                    sh.parked.fetch_and(!(1 << c), Ordering::SeqCst);
+                    break;
+                }
+                thread::park();
+                sh.parked.fetch_and(!(1 << c), Ordering::SeqCst);
+            }
+        }));
+    }
+
+    // The combiner: drain until both ops have been claimed and
+    // answered. Each drain pass claims every deposited op, appends
+    // the claims as one batch (the flat-combining step), then hands
+    // each claimant its response.
+    let mut answered = 0;
+    while answered < 2 {
+        let mut ops = Vec::new();
+        let mut who = Vec::new();
+        for c in 0..2 {
+            let op = sh.pending[c].swap(0, Ordering::SeqCst);
+            if op != 0 {
+                ops.push(op);
+                who.push(c);
+            }
+        }
+        if ops.is_empty() {
+            thread::yield_now();
+            continue;
+        }
+        sh.log.append(&ops, Mutant::None);
+        sh.log.catch_up(sh.log.tail.load(Ordering::Acquire));
+        let respond_to: &[usize] = if mutant == Mutant::LostCombinerHandoff && who.len() > 1 {
+            // BUG (seeded): burst claimed, only the first answered.
+            &who[..1]
+        } else {
+            &who
+        };
+        for &c in respond_to {
+            sh.done[c].store(1, Ordering::SeqCst);
+            if sh.parked.load(Ordering::SeqCst) & (1 << c) != 0 {
+                thread::unpark(clients[c].id());
+            }
+        }
+        answered += respond_to.len();
+        if mutant == Mutant::LostCombinerHandoff && respond_to.len() < who.len() {
+            // The lost op was still claimed; the combiner believes
+            // its burst is fully answered and stops.
+            answered += who.len() - respond_to.len();
+        }
+    }
+    for c in clients {
+        c.join();
+    }
+    assert_eq!(
+        sh.log.state.load(Ordering::SeqCst),
+        1 + 2,
+        "combiner lost an op"
+    );
+}

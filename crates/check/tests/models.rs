@@ -4,7 +4,7 @@
 //! same failure (the property that turns any future counterexample
 //! into a checked-in regression test).
 
-use chanos_check::models::{coalesce, oneshot, parking, ring, steal};
+use chanos_check::models::{coalesce, nr, oneshot, parking, ring, steal};
 use chanos_check::{Config, Explorer, FailureKind};
 
 fn explorer() -> Explorer {
@@ -208,6 +208,53 @@ fn steal_mutant_publish_before_write_caught() {
     assert_caught(
         || steal::steal_model(steal::Mutant::PublishBeforeWrite),
         &[FailureKind::Panic],
+    );
+}
+
+// --- nr: log-append reservation/commit vs replica catch-up --------------
+
+#[test]
+fn nr_log_verifies() {
+    let report = explorer().check(|| nr::nr_log_model(nr::Mutant::None));
+    report.assert_ok();
+    assert!(report.schedules > 0);
+}
+
+#[test]
+fn nr_mutant_apply_before_publish_caught() {
+    // Tail committed before the slots are published: a catch-up racing
+    // the appender applies the unpublished sentinel.
+    assert_caught(
+        || nr::nr_log_model(nr::Mutant::ApplyBeforePublish),
+        &[FailureKind::Panic],
+    );
+}
+
+#[test]
+fn nr_mutant_stale_tail_read_caught() {
+    // A read that starts after both appends completed but serves from
+    // a stale tail misses committed entries.
+    assert_caught(
+        || nr::nr_log_model(nr::Mutant::StaleTailRead),
+        &[FailureKind::Panic],
+    );
+}
+
+// --- nr: flat-combining burst claim vs per-client responses -------------
+
+#[test]
+fn nr_combine_verifies() {
+    let report = explorer().check(|| nr::nr_combine_model(nr::Mutant::None));
+    report.assert_ok();
+}
+
+#[test]
+fn nr_mutant_lost_combiner_handoff_caught() {
+    // The combiner claims a two-op burst but answers only the first;
+    // the second client parks forever.
+    assert_caught(
+        || nr::nr_combine_model(nr::Mutant::LostCombinerHandoff),
+        &[FailureKind::Deadlock],
     );
 }
 

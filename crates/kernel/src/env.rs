@@ -20,9 +20,11 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
+use chanos_nr::NrMode;
 use chanos_rt::{self as rt, Call, CallError, CoreId, JoinHandle, Port};
 use chanos_vfs::Stat;
 
+use crate::pids::{PidInfo, PidTable};
 use crate::syscall::{MsgKernel, Syscall, TrapKernel};
 use crate::types::{Fd, KError, Pid};
 
@@ -389,30 +391,83 @@ impl SyscallBatch {
 }
 
 /// Allocates process ids and launches processes.
+///
+/// Pid *numbers* come from a monotonic counter (never reused), so
+/// [`env`](ProcessTable::env) and
+/// [`spawn_process`](ProcessTable::spawn_process) stay synchronous.
+/// Pid *metadata* (which pids are alive, where they run) lives in the
+/// node-replicated [`PidTable`]: spawned processes register on entry
+/// and deregister on exit, and `alive`/`info`/`count` queries are
+/// served from the caller's local replica. Standalone [`Env`]s from
+/// [`env`](ProcessTable::env) are anonymous — caller-driven benches
+/// don't pay for registration.
 pub struct ProcessTable {
     kernel: KernelHandle,
     next_pid: AtomicU32,
+    pids: PidTable,
 }
 
 impl ProcessTable {
-    /// Creates a process table over a kernel.
-    pub fn new(kernel: KernelHandle) -> ProcessTable {
+    /// Creates a process table over a kernel, with the pid metadata
+    /// service replicated (or not, per `nr`) across `service_cores`.
+    pub fn new(kernel: KernelHandle, service_cores: &[CoreId], nr: NrMode) -> ProcessTable {
         ProcessTable {
             kernel,
             next_pid: AtomicU32::new(1),
+            pids: PidTable::spawn(service_cores, nr),
         }
+    }
+
+    /// The pid metadata service.
+    pub fn pids(&self) -> &PidTable {
+        &self.pids
     }
 
     /// Allocates a pid and returns a standalone [`Env`] for it — a
     /// "process" driven by the caller rather than a spawned task
-    /// (benches and REPL-style drivers use this).
+    /// (benches and REPL-style drivers use this). Not registered in
+    /// the pid table; use [`alloc`](ProcessTable::alloc) for that.
     pub fn env(&self) -> Env {
         let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
         Env::new(pid, self.kernel.clone())
     }
 
+    /// Allocates a pid, registers it in the pid table, and returns
+    /// its [`Env`] — the registered flavor of
+    /// [`env`](ProcessTable::env). Pair with
+    /// [`free`](ProcessTable::free).
+    pub async fn alloc(&self, name: &str, core: CoreId) -> Env {
+        let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        self.pids.register(pid, name, core).await;
+        Env::new(pid, self.kernel.clone())
+    }
+
+    /// Deregisters a pid allocated with [`alloc`](ProcessTable::alloc);
+    /// `true` if it was registered.
+    pub async fn free(&self, pid: Pid) -> bool {
+        self.pids.exit(pid).await
+    }
+
+    /// Is the pid registered? Served from the local replica in
+    /// replicated mode.
+    pub async fn alive(&self, pid: Pid) -> bool {
+        self.pids.alive(pid).await
+    }
+
+    /// Metadata for a registered pid.
+    pub async fn info(&self, pid: Pid) -> Option<PidInfo> {
+        self.pids.info(pid).await
+    }
+
+    /// Number of registered processes.
+    pub async fn count(&self) -> u64 {
+        self.pids.count().await
+    }
+
     /// Launches a "program" (any async closure over its [`Env`]) as a
-    /// process pinned to `core`; returns (pid, join handle).
+    /// process pinned to `core`; returns (pid, join handle). The
+    /// process registers itself in the pid table when it starts and
+    /// deregisters when its body returns.
     pub fn spawn_process<F, Fut, T>(&self, core: CoreId, body: F) -> (Pid, JoinHandle<T>)
     where
         F: FnOnce(Env) -> Fut,
@@ -421,7 +476,19 @@ impl ProcessTable {
     {
         let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
         let env = Env::new(pid, self.kernel.clone());
-        let h = rt::spawn_named_on(&format!("proc{}", pid.0), core, body(env));
+        let name = format!("proc{}", pid.0);
+        let pids = self.pids.clone();
+        let fut = body(env);
+        let task = {
+            let name = name.clone();
+            async move {
+                pids.register(pid, &name, core).await;
+                let out = fut.await;
+                pids.exit(pid).await;
+                out
+            }
+        };
+        let h = rt::spawn_named_on(&name, core, task);
         rt::stat_incr("kernel.processes_spawned");
         (pid, h)
     }

@@ -27,6 +27,7 @@ pub mod boot;
 pub mod compat;
 pub mod env;
 pub mod events;
+pub mod pids;
 pub mod pipe;
 pub mod placement;
 pub mod supervision;
@@ -34,9 +35,11 @@ pub mod syscall;
 pub mod types;
 
 pub use boot::{boot, BootCfg, FsKind, KernelKind, Os};
+pub use chanos_nr::{default_nr_mode, set_default_nr_mode, NrMode};
 pub use compat::{compat_copy, CompatFile};
 pub use env::{Env, KernelHandle, ProcessTable, SyscallBatch};
 pub use events::{run_channel_model, run_signal_model, EventExpCfg, EventExpResult};
+pub use pids::{PidInfo, PidTable};
 pub use pipe::{pipe, PipeReader, PipeWriter, PIPE_DEPTH};
 pub use placement::{Policy, ThreadPlacer};
 pub use supervision::{ChildSpec, Restart, Strategy, Supervisor, SupervisorExit};

@@ -1,0 +1,696 @@
+//! # chanos-nr — node replication for kernel services
+//!
+//! The source paper's thesis is that shared-memory kernel state won't
+//! scale: kernel state should be **replicated or partitioned, with
+//! explicit communication**. This crate is the replication half,
+//! built on the typed ports of `chanos-rt` (the communication half).
+//!
+//! A [`Replicated<S>`] service keeps one full copy of the state `S`
+//! per service core. All replicas agree on a single **shared ordered
+//! operation log** of mutating ops:
+//!
+//! ```text
+//!              writes (port call / call_batch)
+//! client ──────────────────────────────▶ combiner task (one per replica core)
+//!                                          │ drains a burst with recv_many,
+//!                                          │ appends the WHOLE burst as one
+//!                                          ▼ log append (flat combining)
+//!                                    shared ordered log
+//!                                          ▲
+//!              reads (no ports!)           │ catch-up: apply entries
+//! client ──▶ local replica ────────────────┘ up to the published tail
+//! ```
+//!
+//! * **Writes** are port calls to the combiner of the caller's local
+//!   replica. The combiner drains a burst, reserves a log range with
+//!   one CAS, publishes the ops, commits the range in reservation
+//!   order, applies its own replica through the range, and answers
+//!   the burst under one coalesced reply wake — PR 6's batch-aware
+//!   server machinery, reused as a flat combiner.
+//! * **Reads** perform **zero port round-trips**: the caller checks
+//!   the log tail against its local replica's applied index, catches
+//!   the replica up if behind (applying published entries in order),
+//!   and serves the read from local state. The common case — replica
+//!   already current — is two atomic loads and a read-lock.
+//!
+//! Because every replica applies the same ops in the same log order,
+//! and `S::apply` is deterministic, all replicas stay in lockstep;
+//! a read that starts after a write's reply sees a tail that covers
+//! the write, so reads are linearizable with writes.
+//!
+//! The single-server baseline ([`NrMode::SingleServer`]) funnels both
+//! reads and writes through one server task, exactly the shape the
+//! paper argues against; it is kept behind the mode switch for A/B
+//! benchmarking (`BENCH_nr.json`) and cross-mode equivalence tests.
+//!
+//! The log-append/catch-up protocol is modeled in
+//! `chanos-check::models::nr` (tail CAS + per-replica applied index),
+//! with seeded mutants proving the checker would catch a reordered
+//! publish, a stale-tail read, or a lost combiner handoff.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::task::{Context, Poll};
+
+use chanos_rt::{self as rt, port_channel, Call, CallError, Capacity, CoreId, Port, ReplyTo};
+
+// ---------------------------------------------------------------------------
+// Mode switch.
+// ---------------------------------------------------------------------------
+
+/// Which shape a replicated service takes (the `SchedMode`/`ChanMode`
+/// A/B pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NrMode {
+    /// One server task owns the state; every read and write is a port
+    /// round-trip to it. The pre-NR baseline.
+    SingleServer,
+    /// One replica per service core over a shared operation log;
+    /// reads are served from the local replica with no communication.
+    Replicated,
+}
+
+/// Process-global default (`1` = `Replicated`, the paper's design).
+static DEFAULT_NR_MODE: AtomicU8 = AtomicU8::new(1);
+
+/// Sets the process-global default mode picked up by
+/// [`default_nr_mode`] (and therefore by `BootCfg::new` and friends).
+/// Tests that A/B the modes should pass the mode explicitly instead.
+pub fn set_default_nr_mode(mode: NrMode) {
+    DEFAULT_NR_MODE.store(
+        match mode {
+            NrMode::SingleServer => 0,
+            NrMode::Replicated => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current process-global default mode.
+pub fn default_nr_mode() -> NrMode {
+    match DEFAULT_NR_MODE.load(Ordering::Relaxed) {
+        0 => NrMode::SingleServer,
+        _ => NrMode::Replicated,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service trait.
+// ---------------------------------------------------------------------------
+
+/// A kernel service whose state can be node-replicated.
+///
+/// `apply` must be **deterministic**: every replica applies the same
+/// write ops in the same log order, and replica agreement (and write
+/// responses, which any replica could in principle compute) depends
+/// on identical ops producing identical transitions. Side effects
+/// that must happen once (spawning a task, allocating a resource)
+/// belong in the *caller*, with the result threaded through the op —
+/// see the vnode registry in `chanos-vfs` for the pattern.
+pub trait NrService: Send + Sync + 'static {
+    /// A read-only operation (served from the local replica).
+    type ReadOp: Send + 'static;
+    /// Response to a read.
+    type ReadResp: Send + 'static;
+    /// A mutating operation: a log entry, shared read-only by every
+    /// replica (hence `Sync`) and cloned out of the log to apply.
+    type WriteOp: Clone + Send + Sync + 'static;
+    /// Response to a write.
+    type WriteResp: Send + 'static;
+
+    /// Serves a read against the current state.
+    fn read(&self, op: &Self::ReadOp) -> Self::ReadResp;
+    /// Applies a mutating op; must be deterministic.
+    fn apply(&mut self, op: &Self::WriteOp) -> Self::WriteResp;
+}
+
+// ---------------------------------------------------------------------------
+// The shared ordered log.
+// ---------------------------------------------------------------------------
+
+/// Log entries per storage chunk.
+const LOG_CHUNK: usize = 64;
+
+/// Keep at most this many fully-applied entries before garbage
+/// collecting leading chunks.
+const GC_SLACK: u64 = (4 * LOG_CHUNK) as u64;
+
+struct LogChunk<T> {
+    /// Index of `slots[0]`.
+    base: u64,
+    /// Write-once cells: published exactly once by the reserving
+    /// appender, then only read.
+    slots: Box<[OnceLock<T>]>,
+}
+
+impl<T> LogChunk<T> {
+    fn new(base: u64) -> LogChunk<T> {
+        LogChunk {
+            base,
+            slots: (0..LOG_CHUNK).map(|_| OnceLock::new()).collect(),
+        }
+    }
+}
+
+struct LogStore<T> {
+    /// First retained index (GC high-water mark).
+    base: u64,
+    chunks: VecDeque<Arc<LogChunk<T>>>,
+}
+
+/// The shared ordered operation log.
+///
+/// Append protocol (mirrored op-for-op by
+/// `chanos-check::models::nr`):
+///
+/// 1. **Reserve** a range `[start, start+n)` with a CAS on the
+///    reservation cursor (`resv`).
+/// 2. **Publish** the ops into the reserved write-once slots.
+/// 3. **Commit** in reservation order: wait until the published tail
+///    equals `start` (predecessors committed), then advance it over
+///    the range. Readers only ever see `tail` ≤ fully-published
+///    entries, so catch-up never observes a gap.
+///
+/// Entries below every replica's applied index are garbage collected
+/// a chunk at a time, which is what lets ops carry owned resources
+/// (e.g. a vnode port) without retaining them forever.
+pub(crate) struct Log<T> {
+    /// Reservation cursor: next index to hand to an appender.
+    resv: AtomicU64,
+    /// Published tail: every entry below it is committed and visible.
+    tail: AtomicU64,
+    store: Mutex<LogStore<T>>,
+    /// Each replica's applied index, for GC.
+    cursors: Vec<Arc<AtomicU64>>,
+}
+
+impl<T: Clone + Send + 'static> Log<T> {
+    fn new(cursors: Vec<Arc<AtomicU64>>) -> Log<T> {
+        Log {
+            resv: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            store: Mutex::new(LogStore {
+                base: 0,
+                chunks: VecDeque::new(),
+            }),
+            cursors,
+        }
+    }
+
+    fn tail(&self) -> u64 {
+        self.tail.load(Ordering::Acquire)
+    }
+
+    fn lock_store(&self) -> std::sync::MutexGuard<'_, LogStore<T>> {
+        self.store.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Chunks covering `[from, to)`, growing the store as needed.
+    fn chunks_covering(&self, from: u64, to: u64, grow: bool) -> (u64, Vec<Arc<LogChunk<T>>>) {
+        let mut g = self.lock_store();
+        debug_assert!(from >= g.base, "nr: reading garbage-collected log entries");
+        if grow {
+            let mut next = g.base + (g.chunks.len() * LOG_CHUNK) as u64;
+            while next < to {
+                g.chunks.push_back(Arc::new(LogChunk::new(next)));
+                next += LOG_CHUNK as u64;
+            }
+        }
+        let first = ((from - g.base) as usize) / LOG_CHUNK;
+        let last = ((to - 1 - g.base) as usize) / LOG_CHUNK;
+        let base0 = g.chunks[first].base;
+        (base0, (first..=last).map(|i| g.chunks[i].clone()).collect())
+    }
+
+    /// Steps 1–2: reserve a range and publish the ops into it.
+    /// Invisible to readers until [`Log::commit`].
+    fn reserve_publish(&self, ops: Vec<T>) -> (u64, u64) {
+        let n = ops.len() as u64;
+        debug_assert!(n > 0);
+        let mut cur = self.resv.load(Ordering::Relaxed);
+        let start = loop {
+            match self
+                .resv
+                .compare_exchange_weak(cur, cur + n, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break cur,
+                Err(now) => cur = now,
+            }
+        };
+        let (base0, chunks) = self.chunks_covering(start, start + n, true);
+        for (i, op) in ops.into_iter().enumerate() {
+            let idx = start + i as u64;
+            let c = &chunks[((idx - base0) as usize) / LOG_CHUNK];
+            if c.slots[(idx - c.base) as usize].set(op).is_err() {
+                panic!("nr: log slot {idx} double-published");
+            }
+        }
+        (start, n)
+    }
+
+    /// Waits for our commit turn (predecessor reservations
+    /// committed). Never actually suspends on the simulator — an
+    /// appender's reserve→commit window contains no await points, so
+    /// no other sim task can be observed inside one.
+    async fn wait_turn(&self, start: u64) {
+        while self.tail.load(Ordering::Acquire) != start {
+            yield_now().await;
+        }
+    }
+
+    /// Step 3: publishes the range to readers. The caller holds its
+    /// replica's state lock, so on that replica commit-and-apply is
+    /// atomic and the combiner always harvests its own responses.
+    fn commit(&self, start: u64, n: u64) {
+        debug_assert_eq!(self.tail.load(Ordering::Acquire), start);
+        self.tail.store(start + n, Ordering::Release);
+    }
+
+    /// Clones committed entries `[from, to)` out of the log.
+    fn collect(&self, from: u64, to: u64, out: &mut Vec<T>) {
+        if from >= to {
+            return;
+        }
+        let (base0, chunks) = self.chunks_covering(from, to, false);
+        for idx in from..to {
+            let c = &chunks[((idx - base0) as usize) / LOG_CHUNK];
+            let v = c.slots[(idx - c.base) as usize]
+                .get()
+                .expect("nr: committed log entry not published");
+            out.push(v.clone());
+        }
+    }
+
+    /// Drops leading chunks every replica has applied.
+    fn maybe_gc(&self) {
+        let min = self
+            .cursors
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0);
+        let mut g = self.lock_store();
+        if self.tail.load(Ordering::Acquire).saturating_sub(g.base) < GC_SLACK {
+            return;
+        }
+        while let Some(front) = g.chunks.front() {
+            if front.base + LOG_CHUNK as u64 <= min {
+                g.base = front.base + LOG_CHUNK as u64;
+                g.chunks.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Re-schedules the current task once (both backends); the commit
+/// wait's polite spin.
+fn yield_now() -> YieldNow {
+    YieldNow(false)
+}
+
+struct YieldNow(bool);
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.0 {
+            Poll::Ready(())
+        } else {
+            self.0 = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replicas.
+// ---------------------------------------------------------------------------
+
+struct Replica<S: NrService> {
+    state: RwLock<S>,
+    /// Log entries applied to `state`; advances only under the state
+    /// write lock, read lock-free by the up-to-date check.
+    applied: Arc<AtomicU64>,
+}
+
+impl<S: NrService> Replica<S> {
+    fn new(state: S) -> Replica<S> {
+        Replica {
+            state: RwLock::new(state),
+            applied: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn write_state(&self) -> std::sync::RwLockWriteGuard<'_, S> {
+        self.state.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn read_state(&self) -> std::sync::RwLockReadGuard<'_, S> {
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Applies committed log entries up to `to` (a tail observed by
+    /// the caller). No-op if another task already caught us up.
+    fn catch_up(&self, log: &Log<S::WriteOp>, to: u64) {
+        let mut s = self.write_state();
+        let from = self.applied.load(Ordering::Acquire);
+        if from >= to {
+            return;
+        }
+        let mut buf = Vec::with_capacity((to - from) as usize);
+        log.collect(from, to, &mut buf);
+        for op in &buf {
+            let _ = s.apply(op);
+        }
+        self.applied.store(to, Ordering::Release);
+        rt::stat_incr("nr.catch_ups");
+        rt::stat_add("nr.catchup_ops", buf.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+/// A write bound for a combiner (replicated mode).
+struct WriteReq<S: NrService> {
+    op: S::WriteOp,
+    reply: ReplyTo<S::WriteResp>,
+}
+
+/// Any request, bound for the single server (baseline mode).
+enum SingleReq<S: NrService> {
+    Read(S::ReadOp, ReplyTo<S::ReadResp>),
+    Write(S::WriteOp, ReplyTo<S::WriteResp>),
+}
+
+/// Requests a server drains per wakeup (and therefore the most ops a
+/// combiner folds into one log append).
+const NR_BATCH: usize = 32;
+
+/// Deferred reply publications for one drained batch (the msgfs
+/// idiom): each closure performs one `send_now`, flushed together
+/// under one coalesced-wake scope on real threads. On the simulator
+/// replies are sent inline in arrival order so traces stay unchanged.
+type ReplyFlush = Vec<Box<dyn FnOnce() + Send>>;
+
+async fn respond<T: Send + 'static>(reply: ReplyTo<T>, out: T, flush: Option<&mut ReplyFlush>) {
+    match flush {
+        Some(f) => f.push(Box::new(move || {
+            let _ = reply.send_now(out);
+        })),
+        None => {
+            let _ = reply.send(out).await;
+        }
+    }
+}
+
+fn flush_replies(flush: &mut ReplyFlush) {
+    if !flush.is_empty() {
+        rt::coalesce_replies(|| {
+            for publish in flush.drain(..) {
+                publish();
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server tasks.
+// ---------------------------------------------------------------------------
+
+/// The single-server baseline: one task owns the state outright;
+/// reads and writes alike are port round-trips to it.
+async fn single_task<S: NrService>(mut state: S, rx: rt::Receiver<SingleReq<S>>) {
+    let defer = rt::backend() == rt::Backend::Threads;
+    let mut batch = Vec::with_capacity(NR_BATCH);
+    let mut flush: ReplyFlush = Vec::new();
+    loop {
+        let n = rx.recv_many(&mut batch, NR_BATCH).await;
+        if n == 0 {
+            break;
+        }
+        for req in batch.drain(..) {
+            let f = defer.then_some(&mut flush);
+            match req {
+                SingleReq::Read(op, reply) => {
+                    rt::stat_incr("nr.server_reads");
+                    let out = state.read(&op);
+                    respond(reply, out, f).await;
+                }
+                SingleReq::Write(op, reply) => {
+                    rt::stat_incr("nr.server_writes");
+                    let out = state.apply(&op);
+                    respond(reply, out, f).await;
+                }
+            }
+        }
+        flush_replies(&mut flush);
+    }
+}
+
+/// A replica's combiner: drains a burst of writes, appends the whole
+/// burst as **one** log append, applies its replica through the
+/// range, and answers the burst under one coalesced reply wake.
+async fn combiner_task<S: NrService>(
+    replica: Arc<Replica<S>>,
+    log: Arc<Log<S::WriteOp>>,
+    rx: rt::Receiver<WriteReq<S>>,
+) {
+    let defer = rt::backend() == rt::Backend::Threads;
+    let mut batch: Vec<WriteReq<S>> = Vec::with_capacity(NR_BATCH);
+    let mut flush: ReplyFlush = Vec::new();
+    loop {
+        let n = rx.recv_many(&mut batch, NR_BATCH).await;
+        if n == 0 {
+            break;
+        }
+        let mut ops = Vec::with_capacity(n);
+        let mut replies = Vec::with_capacity(n);
+        for req in batch.drain(..) {
+            ops.push(req.op);
+            replies.push(req.reply);
+        }
+        // One reserve+publish for the whole drained burst: this is
+        // the flat-combining claim the bench's nr.append_ops /
+        // nr.log_appends ratio measures.
+        let (start, count) = log.reserve_publish(ops);
+        log.wait_turn(start).await;
+        let mut resps = Vec::with_capacity(count as usize);
+        {
+            // Commit inside the state lock: on THIS replica,
+            // commit-and-apply is atomic, so no concurrent local
+            // reader can apply our range first and discard the
+            // responses our callers are waiting for.
+            let mut s = replica.write_state();
+            log.commit(start, count);
+            let from = replica.applied.load(Ordering::Acquire);
+            debug_assert!(from <= start);
+            let mut buf = Vec::with_capacity((start + count - from) as usize);
+            log.collect(from, start + count, &mut buf);
+            for (i, op) in buf.iter().enumerate() {
+                let resp = s.apply(op);
+                if from + i as u64 >= start {
+                    resps.push(resp);
+                }
+            }
+            replica.applied.store(start + count, Ordering::Release);
+        }
+        rt::stat_incr("nr.log_appends");
+        rt::stat_add("nr.append_ops", count);
+        log.maybe_gc();
+        for (reply, resp) in replies.drain(..).zip(resps.drain(..)) {
+            let f = defer.then_some(&mut flush);
+            respond(reply, resp, f).await;
+        }
+        flush_replies(&mut flush);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The replicated service handle.
+// ---------------------------------------------------------------------------
+
+enum Inner<S: NrService> {
+    Single {
+        port: Port<SingleReq<S>>,
+    },
+    Replicated {
+        cores: Vec<CoreId>,
+        ports: Vec<Port<WriteReq<S>>>,
+        replicas: Vec<Arc<Replica<S>>>,
+        log: Arc<Log<S::WriteOp>>,
+    },
+}
+
+/// A kernel service behind the node-replication layer. Cheap to
+/// clone; all clones share the same servers.
+pub struct Replicated<S: NrService> {
+    inner: Arc<Inner<S>>,
+}
+
+impl<S: NrService> Clone for Replicated<S> {
+    fn clone(&self) -> Self {
+        Replicated {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<S: NrService> Replicated<S> {
+    /// Boots the service over `cores` in the given mode. `factory`
+    /// must build identical initial states (one per replica; once for
+    /// the single server). Must run inside a runtime.
+    pub fn spawn<F>(name: &str, cores: &[CoreId], mode: NrMode, mut factory: F) -> Replicated<S>
+    where
+        F: FnMut() -> S,
+    {
+        assert!(!cores.is_empty(), "nr: need at least one service core");
+        let inner = match mode {
+            NrMode::SingleServer => {
+                let (port, rx) = port_channel::<SingleReq<S>>(Capacity::Unbounded);
+                let state = factory();
+                rt::spawn_daemon_on(name, cores[0], async move {
+                    single_task(state, rx).await;
+                });
+                Inner::Single { port }
+            }
+            NrMode::Replicated => {
+                let replicas: Vec<Arc<Replica<S>>> = cores
+                    .iter()
+                    .map(|_| Arc::new(Replica::new(factory())))
+                    .collect();
+                let log = Arc::new(Log::new(
+                    replicas.iter().map(|r| r.applied.clone()).collect(),
+                ));
+                let mut ports = Vec::with_capacity(cores.len());
+                for (i, &core) in cores.iter().enumerate() {
+                    let (port, rx) = port_channel::<WriteReq<S>>(Capacity::Unbounded);
+                    let replica = replicas[i].clone();
+                    let log = log.clone();
+                    rt::spawn_daemon_on(&format!("{name}-r{i}"), core, async move {
+                        combiner_task(replica, log, rx).await;
+                    });
+                    ports.push(port);
+                }
+                Inner::Replicated {
+                    cores: cores.to_vec(),
+                    ports,
+                    replicas,
+                    log,
+                }
+            }
+        };
+        Replicated {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// The mode this service was spawned in.
+    pub fn mode(&self) -> NrMode {
+        match &*self.inner {
+            Inner::Single { .. } => NrMode::SingleServer,
+            Inner::Replicated { .. } => NrMode::Replicated,
+        }
+    }
+
+    /// The replica (index) serving the given core.
+    fn replica_idx(cores: &[CoreId], core: CoreId) -> usize {
+        cores
+            .iter()
+            .position(|c| *c == core)
+            .unwrap_or(core.0 as usize % cores.len())
+    }
+
+    /// Serves a read-only op.
+    ///
+    /// Replicated mode: served entirely from the caller's local
+    /// replica — an up-to-date check against the log tail, a catch-up
+    /// if behind, then the read under a replica-local read lock.
+    /// **No port round-trips, no cross-core communication.**
+    pub async fn read(&self, op: S::ReadOp) -> Result<S::ReadResp, CallError> {
+        match &*self.inner {
+            Inner::Single { port } => port.call(move |reply| SingleReq::Read(op, reply)).await,
+            Inner::Replicated {
+                cores,
+                replicas,
+                log,
+                ..
+            } => {
+                let r = &replicas[Self::replica_idx(cores, rt::current_core())];
+                let tail = log.tail();
+                if r.applied.load(Ordering::Acquire) < tail {
+                    r.catch_up(log, tail);
+                }
+                let out = r.state.read().unwrap_or_else(|e| e.into_inner()).read(&op);
+                rt::stat_incr("nr.local_reads");
+                Ok(out)
+            }
+        }
+    }
+
+    /// Submits one mutating op (replicated mode: a port call to the
+    /// local replica's combiner, which folds concurrent writers'
+    /// bursts into shared log appends).
+    pub async fn write(&self, op: S::WriteOp) -> Result<S::WriteResp, CallError> {
+        match &*self.inner {
+            Inner::Single { port } => port.call(move |reply| SingleReq::Write(op, reply)).await,
+            Inner::Replicated { cores, ports, .. } => {
+                ports[Self::replica_idx(cores, rt::current_core())]
+                    .call(move |reply| WriteReq { op, reply })
+                    .await
+            }
+        }
+    }
+
+    /// Submits several mutating ops as **one** port burst
+    /// (`call_batch`): the combiner wakes once, drains the burst, and
+    /// appends it to the log as a single reserve+publish.
+    pub fn write_batch(
+        &self,
+        ops: impl IntoIterator<Item = S::WriteOp>,
+    ) -> Vec<Call<S::WriteResp>> {
+        match &*self.inner {
+            Inner::Single { port } => port.call_batch(
+                ops.into_iter()
+                    .map(|op| move |reply| SingleReq::Write(op, reply)),
+            ),
+            Inner::Replicated { cores, ports, .. } => {
+                ports[Self::replica_idx(cores, rt::current_core())].call_batch(
+                    ops.into_iter()
+                        .map(|op| move |reply| WriteReq { op, reply }),
+                )
+            }
+        }
+    }
+
+    /// Read snapshot helper for tests/benches: applies `f` to the
+    /// caller's local replica state (replicated) or round-trips a
+    /// no-op… not provided for the single server; returns `None`
+    /// there. Used to assert replica convergence without widening the
+    /// op enums.
+    pub fn with_local_state<R>(&self, f: impl FnOnce(&S) -> R) -> Option<R> {
+        match &*self.inner {
+            Inner::Single { .. } => None,
+            Inner::Replicated {
+                cores,
+                replicas,
+                log,
+                ..
+            } => {
+                let r = &replicas[Self::replica_idx(cores, rt::current_core())];
+                let tail = log.tail();
+                if r.applied.load(Ordering::Acquire) < tail {
+                    r.catch_up(log, tail);
+                }
+                Some(f(&r.read_state()))
+            }
+        }
+    }
+}

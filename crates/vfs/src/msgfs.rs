@@ -17,12 +17,20 @@
 //!                                   └──Read/Write block───────▶ cache shard task
 //! ```
 //!
-//! There are **no locks anywhere** in this engine: every piece of
-//! shared state has exactly one owning task, and dispatch-by-channel
-//! replaces dispatch-by-function-pointer (§4). Unlink of a directory
-//! checks emptiness in the child vnode; a create racing into that
-//! window is refused by the tombstone the parent leaves (the child
-//! vnode stops serving Create once marked dying).
+//! Every piece of mutable state has exactly one owning task (or, for
+//! the vnode registry below, one replica per core over a shared op
+//! log), and dispatch-by-channel replaces dispatch-by-function-pointer
+//! (§4). Unlink of a directory checks emptiness in the child vnode; a
+//! create racing into that window is refused by the tombstone the
+//! parent leaves (the child vnode stops serving Create once marked
+//! dying).
+//!
+//! The ino→vnode-port registry itself comes in two shapes behind
+//! [`chanos_nr::NrMode`]: the pre-NR baseline (one `fs-vnmgr` task
+//! every lookup round-trips to) and the node-replicated registry
+//! (`fs-vnreg`, one replica per service core; `Get` is served from
+//! the caller's **local** replica with no cross-core communication,
+//! while `Ensure`/`Retire` flow through the shared operation log).
 //!
 //! Every hop is a typed [`Port`] call, so clients can pipeline
 //! requests into a server's batch drain. On real threads each server
@@ -33,9 +41,10 @@
 //! so its traces are unchanged.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 
 use chanos_drivers::DiskClient;
+use chanos_nr::{NrMode, NrService, Replicated};
 use chanos_rt::{self as rt, port_channel, Capacity, CoreId, Port, ReplyTo};
 
 use crate::core_fs::{split_parent, split_path, Allocator, FsCore, Stat};
@@ -120,10 +129,87 @@ enum VnMgrMsg {
     },
 }
 
+/// Read-only vnode-registry queries (served from the caller's local
+/// replica in replicated mode).
+enum VnRead {
+    /// The serving port for `ino`, if a vnode task is active.
+    Get(u64),
+}
+
+/// Mutating vnode-registry ops: the log entries every replica
+/// applies. `Ensure` carries a *candidate* port — the caller spawns
+/// the vnode task before logging, because `apply` must stay
+/// deterministic and side-effect free. The first `Ensure` for an ino
+/// wins; a loser's spare task exits once the log garbage-collects its
+/// last sender.
+#[derive(Clone)]
+enum VnWrite {
+    Ensure { ino: u64, port: Port<VnodeMsg> },
+    Retire { ino: u64 },
+}
+
+enum VnWriteResp {
+    /// The winning port (the caller's own iff `inserted`).
+    Ensured {
+        port: Port<VnodeMsg>,
+        inserted: bool,
+    },
+    Retired(bool),
+}
+
+/// The replicated ino→vnode-port registry state.
+#[derive(Default)]
+struct VnRegistry {
+    map: HashMap<u64, Port<VnodeMsg>>,
+}
+
+impl NrService for VnRegistry {
+    type ReadOp = VnRead;
+    type ReadResp = Option<Port<VnodeMsg>>;
+    type WriteOp = VnWrite;
+    type WriteResp = VnWriteResp;
+
+    fn read(&self, op: &VnRead) -> Option<Port<VnodeMsg>> {
+        match op {
+            VnRead::Get(ino) => self.map.get(ino).cloned(),
+        }
+    }
+
+    fn apply(&mut self, op: &VnWrite) -> VnWriteResp {
+        use std::collections::hash_map::Entry;
+        match op {
+            VnWrite::Ensure { ino, port } => match self.map.entry(*ino) {
+                Entry::Occupied(e) => VnWriteResp::Ensured {
+                    port: e.get().clone(),
+                    inserted: false,
+                },
+                Entry::Vacant(v) => VnWriteResp::Ensured {
+                    port: v.insert(port.clone()).clone(),
+                    inserted: true,
+                },
+            },
+            VnWrite::Retire { ino } => VnWriteResp::Retired(self.map.remove(ino).is_some()),
+        }
+    }
+}
+
+/// Vnode-manager backend: the A/B switch between the pre-NR single
+/// manager task and the node-replicated registry.
+enum VnBackend {
+    /// One `fs-vnmgr` task owns the registry; every lookup is a port
+    /// round-trip to it.
+    Single(Port<VnMgrMsg>),
+    /// One registry replica per service core over a shared op log;
+    /// `Get` reads the caller's local replica.
+    Replicated(Replicated<VnRegistry>),
+}
+
 struct MsgShared {
     core: FsCore<CacheClient>,
     groups: Vec<Port<GroupMsg>>,
-    vnmgr: Mutex<Option<Port<VnMgrMsg>>>,
+    /// Set once at boot ([`MsgFs::format`]), then read lock-free on
+    /// every lookup.
+    vnmgr: OnceLock<VnBackend>,
     vnode_cores: Vec<CoreId>,
 }
 
@@ -132,13 +218,24 @@ impl MsgShared {
         &self.groups[self.core.superblock().group_of_ino(ino) as usize]
     }
 
-    fn vnmgr(&self) -> Port<VnMgrMsg> {
-        self.vnmgr
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .as_ref()
-            .expect("vnmgr started")
-            .clone()
+    fn vn(&self) -> &VnBackend {
+        self.vnmgr.get().expect("vnmgr started")
+    }
+
+    /// Drops `ino` from the vnode registry (the reap path). In
+    /// replicated mode the retire is a logged write, so once the
+    /// reaping `Condemn` answers, every later `Get` observes it.
+    async fn retire_vnode(&self, ino: u64) {
+        match self.vn() {
+            VnBackend::Single(mgr) => {
+                let _ = mgr.sender().try_send(VnMgrMsg::Retire { ino });
+            }
+            VnBackend::Replicated(reg) => {
+                if let Ok(VnWriteResp::Retired(true)) = reg.write(VnWrite::Retire { ino }).await {
+                    rt::stat_incr("msgfs.vnodes_retired");
+                }
+            }
+        }
     }
 
     async fn load_inode(&self, ino: u64) -> Result<Inode, FsError> {
@@ -420,7 +517,7 @@ async fn vnode_handle(
                     .group_of_ino(ino)
                     .call(|reply| GroupMsg::FreeInode { ino, reply })
                     .await;
-                let _ = shared.vnmgr().sender().try_send(VnMgrMsg::Retire { ino });
+                shared.retire_vnode(ino).await;
                 rt::stat_incr("msgfs.vnodes_reaped");
                 respond(reply, Ok(true), flush).await;
                 return std::ops::ControlFlow::Break(());
@@ -493,12 +590,48 @@ async fn vnode_unlink(
     Ok(())
 }
 
+/// Spawns a vnode task for `ino` on `on`, returning its port.
+fn spawn_vnode(shared: &Arc<MsgShared>, ino: u64, on: CoreId) -> Port<VnodeMsg> {
+    let (port, rx) = port_channel::<VnodeMsg>(Capacity::Unbounded);
+    let shared = shared.clone();
+    rt::spawn_daemon_on(&format!("vnode{ino}"), on, async move {
+        vnode_task(ino, shared, rx).await;
+    });
+    port
+}
+
 async fn get_vnode(shared: &Arc<MsgShared>, ino: u64) -> Result<Port<VnodeMsg>, FsError> {
-    shared
-        .vnmgr()
-        .call(|reply| VnMgrMsg::Get { ino, reply })
-        .await
-        .unwrap_or_else(|e| Err(e.into()))
+    match shared.vn() {
+        VnBackend::Single(mgr) => mgr
+            .call(|reply| VnMgrMsg::Get { ino, reply })
+            .await
+            .unwrap_or_else(|e| Err(e.into())),
+        VnBackend::Replicated(reg) => {
+            // Fast path: the local replica already knows the vnode —
+            // zero port round-trips.
+            if let Ok(Some(port)) = reg.read(VnRead::Get(ino)).await {
+                return Ok(port);
+            }
+            // Miss: spawn a candidate task (placement is ino-mod, so
+            // every racer picks the same core), then race it through
+            // the log; the first Ensure wins and everyone adopts its
+            // port.
+            let on = shared.vnode_cores[(ino as usize) % shared.vnode_cores.len()];
+            let port = spawn_vnode(shared, ino, on);
+            match reg.write(VnWrite::Ensure { ino, port }).await {
+                Ok(VnWriteResp::Ensured { port, inserted }) => {
+                    if !inserted {
+                        // Our candidate lost the race; its spare task
+                        // exits once the log GC drops its last sender.
+                        rt::stat_incr("msgfs.vnode_races_lost");
+                    }
+                    Ok(port)
+                }
+                Ok(VnWriteResp::Retired(_)) => unreachable!("Ensure answered with Retired"),
+                Err(e) => Err(e.into()),
+            }
+        }
+    }
 }
 
 /// The message-passing file system client.
@@ -510,8 +643,9 @@ pub struct MsgFs {
 impl MsgFs {
     /// Formats a fresh volume and boots the server constellation:
     /// cache shards, one group server per cylinder group, and the
-    /// vnode manager. Vnode tasks spawn on demand, round-robin over
-    /// `service_cores`.
+    /// vnode registry in the chosen [`NrMode`]. Vnode tasks spawn on
+    /// demand over `service_cores` (round-robin in single-server
+    /// mode, ino-mod in replicated mode so racing lookups agree).
     pub async fn format(
         disk: DiskClient,
         total_blocks: u64,
@@ -519,6 +653,7 @@ impl MsgFs {
         cache_shards: usize,
         cache_blocks_per_shard: usize,
         service_cores: Vec<CoreId>,
+        nr: NrMode,
     ) -> Result<MsgFs, FsError> {
         assert!(!service_cores.is_empty());
         let store = CacheClient::spawn(disk, cache_shards, cache_blocks_per_shard, &service_cores);
@@ -539,38 +674,48 @@ impl MsgFs {
         let shared = Arc::new(MsgShared {
             core,
             groups,
-            vnmgr: Mutex::new(None),
+            vnmgr: OnceLock::new(),
             vnode_cores: service_cores.clone(),
         });
 
-        // Vnode manager.
-        let (mgr_port, mgr_rx) = port_channel::<VnMgrMsg>(Capacity::Unbounded);
-        *shared.vnmgr.lock().unwrap_or_else(|e| e.into_inner()) = Some(mgr_port);
-        let mgr_shared = shared.clone();
-        rt::spawn_daemon_on("fs-vnmgr", service_cores[0], async move {
-            let mut registry: HashMap<u64, Port<VnodeMsg>> = HashMap::new();
-            let mut rr = 0usize;
-            while let Ok(msg) = mgr_rx.recv().await {
-                match msg {
-                    VnMgrMsg::Get { ino, reply } => {
-                        let port = registry.entry(ino).or_insert_with(|| {
-                            let (port, rx) = port_channel::<VnodeMsg>(Capacity::Unbounded);
-                            let on = mgr_shared.vnode_cores[rr % mgr_shared.vnode_cores.len()];
-                            rr += 1;
-                            let shared = mgr_shared.clone();
-                            rt::spawn_daemon_on(&format!("vnode{ino}"), on, async move {
-                                vnode_task(ino, shared, rx).await;
-                            });
-                            port
-                        });
-                        let _ = reply.send(Ok(port.clone())).await;
+        let backend = match nr {
+            // The pre-NR baseline: one fs-vnmgr task owns the whole
+            // registry and every lookup round-trips to it.
+            NrMode::SingleServer => {
+                let (mgr_port, mgr_rx) = port_channel::<VnMgrMsg>(Capacity::Unbounded);
+                let mgr_shared = shared.clone();
+                rt::spawn_daemon_on("fs-vnmgr", service_cores[0], async move {
+                    let mut registry: HashMap<u64, Port<VnodeMsg>> = HashMap::new();
+                    let mut rr = 0usize;
+                    while let Ok(msg) = mgr_rx.recv().await {
+                        match msg {
+                            VnMgrMsg::Get { ino, reply } => {
+                                let port = registry.entry(ino).or_insert_with(|| {
+                                    let on =
+                                        mgr_shared.vnode_cores[rr % mgr_shared.vnode_cores.len()];
+                                    rr += 1;
+                                    spawn_vnode(&mgr_shared, ino, on)
+                                });
+                                let _ = reply.send(Ok(port.clone())).await;
+                            }
+                            VnMgrMsg::Retire { ino } => {
+                                registry.remove(&ino);
+                            }
+                        }
                     }
-                    VnMgrMsg::Retire { ino } => {
-                        registry.remove(&ino);
-                    }
-                }
+                });
+                VnBackend::Single(mgr_port)
             }
-        });
+            // §4 taken seriously: the registry is node-replicated, so
+            // the hot lookup path never leaves the caller's core.
+            NrMode::Replicated => VnBackend::Replicated(Replicated::spawn(
+                "fs-vnreg",
+                &service_cores,
+                NrMode::Replicated,
+                VnRegistry::default,
+            )),
+        };
+        let _ = shared.vnmgr.set(backend);
 
         Ok(MsgFs { shared })
     }

@@ -40,9 +40,17 @@ async fn make_fs(which: &str, cores: usize) -> Vfs {
                 .unwrap(),
         ),
         "msgfs" => Vfs::Msg(
-            MsgFs::format(disk, DISK_BLOCKS, GROUPS, 8, 32, service)
-                .await
-                .unwrap(),
+            MsgFs::format(
+                disk,
+                DISK_BLOCKS,
+                GROUPS,
+                8,
+                32,
+                service,
+                chanos_vfs::default_nr_mode(),
+            )
+            .await
+            .unwrap(),
         ),
         other => panic!("unknown engine {other}"),
     }

@@ -161,7 +161,11 @@ fn apply_script(which: &'static str, script: Vec<Op>) -> Vec<String> {
         let fs = match which {
             "biglock" => Vfs::Big(BigLockFs::format(disk, 2048, 4, 128).await.unwrap()),
             "sharded" => Vfs::Sharded(ShardedFs::format(disk, 2048, 4, 4, 32).await.unwrap()),
-            _ => Vfs::Msg(MsgFs::format(disk, 2048, 4, 4, 32, cores).await.unwrap()),
+            _ => Vfs::Msg(
+                MsgFs::format(disk, 2048, 4, 4, 32, cores, chanos_vfs::default_nr_mode())
+                    .await
+                    .unwrap(),
+            ),
         };
         let mut log = Vec::new();
         let mut sizes: std::collections::HashMap<u8, u64> = std::collections::HashMap::new();

@@ -22,6 +22,7 @@
 //! | [`proto`] | `chanos-proto` | protocol specs, static checking, monitors, deadlock detection |
 //! | [`net`] | `chanos-net` | shared-nothing cluster: frames, reliable transport, remote channels |
 //! | [`parchan`] | `chanos-parchan` | the same model on real OS threads |
+//! | [`nr`] | `chanos-nr` | node replication: operation-log replicas, local reads |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@ pub use chanos_drivers as drivers;
 pub use chanos_kernel as kernel;
 pub use chanos_net as net;
 pub use chanos_noc as noc;
+pub use chanos_nr as nr;
 pub use chanos_parchan as parchan;
 pub use chanos_proto as proto;
 pub use chanos_rt as rt;

@@ -984,3 +984,219 @@ fn vnode_stat_burst_coalesces_reply_wakes_on_threads() {
         "stat bursts must go through the batched submit path (got +{submitted})"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Node replication: replicated mode must be observationally identical to
+// the single-server baseline — concurrent pid storms and vnmgr
+// open/retire storms — across both backends, and replicated reads must
+// take zero port round-trips on the fast path.
+// ---------------------------------------------------------------------------
+
+mod nr_equiv {
+    use super::*;
+    use std::sync::Arc;
+
+    use chanos::kernel::{NrMode, Os, Pid, PidTable};
+
+    const W: usize = 3;
+    const K: usize = 6;
+
+    fn cfg_mode(nr: NrMode) -> BootCfg {
+        let mut c = cfg();
+        c.nr = nr;
+        c
+    }
+
+    /// Concurrent pid register/lookup/free storm. Pid *values* depend
+    /// on allocation interleaving, so the observables are per-worker
+    /// answer sequences plus interleaving-independent aggregates (the
+    /// final pid multiset, the final live count).
+    async fn pid_storm(os: Arc<Os>) -> Vec<String> {
+        let mut handles = Vec::new();
+        for w in 0..W {
+            let os = os.clone();
+            handles.push(chanos::rt::spawn_on(CoreId(w as u32 % 2), async move {
+                let mut obs = Vec::new();
+                let mut pids = Vec::new();
+                for k in 0..K {
+                    let env = os
+                        .procs
+                        .alloc(&format!("w{w}k{k}"), CoreId(w as u32 % 2))
+                        .await;
+                    let alive = os.procs.alive(env.pid).await;
+                    let named = os.procs.info(env.pid).await.map(|i| i.name);
+                    let freed = os.procs.free(env.pid).await;
+                    let dead = !os.procs.alive(env.pid).await;
+                    obs.push(format!(
+                        "w{w}k{k}: alive={alive} name={named:?} freed={freed} dead={dead}"
+                    ));
+                    pids.push(env.pid.0);
+                }
+                (obs, pids)
+            }));
+        }
+        let mut log = Vec::new();
+        let mut all_pids = Vec::new();
+        for h in handles {
+            let (obs, pids) = h.join().await.expect("pid storm worker");
+            log.extend(obs);
+            all_pids.extend(pids);
+        }
+        all_pids.sort_unstable();
+        let expect: Vec<u32> = (1..=(W * K) as u32).collect();
+        log.push(format!("pids contiguous: {}", all_pids == expect));
+        log.push(format!("final live count: {}", os.procs.count().await));
+        log
+    }
+
+    /// Concurrent vnmgr open/retire storm: each worker churns its own
+    /// disjoint paths under a shared parent, so every per-step result
+    /// is deterministic while the registry itself is hammered from
+    /// all cores at once.
+    async fn vnmgr_storm(os: Arc<Os>) -> Vec<String> {
+        os.vfs.mkdir("/nr").await.expect("mkdir /nr");
+        let mut handles = Vec::new();
+        for w in 0..W {
+            let os = os.clone();
+            handles.push(chanos::rt::spawn_on(CoreId(w as u32 % 2), async move {
+                let mut obs = Vec::new();
+                for k in 0..K {
+                    let path = format!("/nr/w{w}_{k}");
+                    let ino = os.vfs.create(&path).await.expect("create");
+                    let data = vec![w as u8 + 1; 64 + k];
+                    let wrote = os.vfs.write(ino, 0, &data).await.is_ok();
+                    let size = os.vfs.stat(ino).await.map(|s| s.size);
+                    let relooked = os.vfs.lookup(&path).await == Ok(ino);
+                    let gone = os.vfs.unlink(&path).await.is_ok();
+                    obs.push(format!(
+                        "w{w}k{k}: wrote={wrote} size={size:?} relooked={relooked} gone={gone}"
+                    ));
+                }
+                obs
+            }));
+        }
+        let mut log = Vec::new();
+        for h in handles {
+            log.extend(h.join().await.expect("vnmgr storm worker"));
+        }
+        let listing = os.vfs.readdir("/nr").await.expect("readdir");
+        log.push(format!("final listing: {listing:?}"));
+        log
+    }
+
+    fn storms_on_sim(nr: NrMode) -> Vec<String> {
+        let mut s = Simulation::with_config(Config {
+            cores: 6,
+            ..Config::default()
+        });
+        s.block_on(async move {
+            let os = Arc::new(boot(cfg_mode(nr)).await);
+            let mut log = pid_storm(os.clone()).await;
+            log.extend(vnmgr_storm(os).await);
+            log
+        })
+        .unwrap()
+    }
+
+    fn storms_on_threads(nr: NrMode) -> Vec<String> {
+        let rt = Runtime::new(3);
+        let out = rt.block_on(async move {
+            let os = Arc::new(boot(cfg_mode(nr)).await);
+            let mut log = pid_storm(os.clone()).await;
+            log.extend(vnmgr_storm(os).await);
+            log
+        });
+        rt.shutdown();
+        out
+    }
+
+    /// The tentpole contract: replicated vs single-server, sim vs
+    /// threads — four runs of the same storms, one observable log.
+    #[test]
+    fn replicated_equals_single_server_on_both_backends() {
+        let sim_single = storms_on_sim(NrMode::SingleServer);
+        let sim_repl = storms_on_sim(NrMode::Replicated);
+        assert_eq!(
+            sim_single, sim_repl,
+            "replicated mode diverged from the single-server baseline on sim"
+        );
+        let thr_single = storms_on_threads(NrMode::SingleServer);
+        let thr_repl = storms_on_threads(NrMode::Replicated);
+        assert_eq!(
+            thr_single, thr_repl,
+            "replicated mode diverged from the single-server baseline on threads"
+        );
+        assert_eq!(sim_single, thr_single, "backends diverged");
+    }
+
+    /// Zero-communication reads, proven with counters on the
+    /// deterministic backend: N replicated pid reads bump
+    /// `nr.local_reads` by exactly N while the simulator's channel
+    /// traffic counters (`csp.sends` — every port call is at least
+    /// one) do not move at all.
+    #[test]
+    fn replicated_reads_take_zero_port_round_trips() {
+        const N: u64 = 500;
+        let mut s = Simulation::with_config(Config {
+            cores: 4,
+            ..Config::default()
+        });
+        s.block_on(async {
+            let cores: Vec<CoreId> = (0..2).map(CoreId).collect();
+            let pids = PidTable::spawn(&cores, NrMode::Replicated);
+            pids.register(Pid(7), "w", CoreId(0)).await;
+            // Warm-up read: catches the local replica up to the tail.
+            assert!(pids.alive(Pid(7)).await);
+            let sends0 = chanos::rt::stat_get("csp.sends");
+            let local0 = chanos::rt::stat_get("nr.local_reads");
+            let served0 = chanos::rt::stat_get("nr.server_reads");
+            for _ in 0..N {
+                assert!(pids.alive(Pid(7)).await);
+            }
+            assert_eq!(
+                chanos::rt::stat_get("nr.local_reads") - local0,
+                N,
+                "every read must be served locally"
+            );
+            assert_eq!(
+                chanos::rt::stat_get("nr.server_reads") - served0,
+                0,
+                "no read may fall back to a server round-trip"
+            );
+            assert_eq!(
+                chanos::rt::stat_get("csp.sends") - sends0,
+                0,
+                "replicated reads must move zero messages"
+            );
+        })
+        .unwrap();
+    }
+
+    /// The same fast path exists on real threads: per-runtime nr.*
+    /// counters show N local reads and no server involvement.
+    #[test]
+    fn replicated_reads_stay_local_on_threads() {
+        const N: u64 = 500;
+        let rt = Runtime::new(2);
+        rt.block_on(async {
+            let cores: Vec<CoreId> = (0..2).map(CoreId).collect();
+            let pids = PidTable::spawn(&cores, NrMode::Replicated);
+            pids.register(Pid(7), "w", CoreId(0)).await;
+            assert!(pids.alive(Pid(7)).await);
+            let local0 = chanos::rt::stat_get("nr.local_reads");
+            let served0 = chanos::rt::stat_get("nr.server_reads");
+            let appends0 = chanos::rt::stat_get("nr.log_appends");
+            for _ in 0..N {
+                assert!(pids.alive(Pid(7)).await);
+            }
+            assert_eq!(chanos::rt::stat_get("nr.local_reads") - local0, N);
+            assert_eq!(chanos::rt::stat_get("nr.server_reads") - served0, 0);
+            assert_eq!(
+                chanos::rt::stat_get("nr.log_appends") - appends0,
+                0,
+                "a read-only storm must not touch the log"
+            );
+        });
+        rt.shutdown();
+    }
+}
