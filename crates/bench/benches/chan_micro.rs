@@ -375,17 +375,6 @@ fn main() {
     }
 
     // Record the run as JSON (hand-rolled; no serde in this build).
-    // Relative paths resolve against the workspace root, not the
-    // bench binary's CWD (cargo runs benches from the package dir).
-    let out_path = std::env::var("CHANOS_BENCH_OUT").unwrap_or_else(|_| "BENCH_chan.json".into());
-    let out_path = if std::path::Path::new(&out_path).is_absolute() {
-        std::path::PathBuf::from(out_path)
-    } else {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join(out_path)
-    };
-    let out_path = out_path.display().to_string();
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str(&format!(
@@ -442,11 +431,7 @@ fn main() {
         ));
     }
     j.push_str("  }\n}\n");
-    if let Err(e) = std::fs::write(&out_path, &j) {
-        eprintln!("could not write {out_path}: {e}");
-    } else {
-        println!("\nrecorded -> {out_path}");
-    }
+    chanos_bench::harness::write_bench_json("CHANOS_BENCH_OUT", "BENCH_chan.json", &j);
     // Keep one counter alive for the linker regardless of matrix.
     std::hint::black_box(chan_counter("chan.fast_sends"));
 }

@@ -332,15 +332,6 @@ fn bench_syscall_depth_sweep() -> SyscallSweep {
 /// (`speedup_getpid_x8_vs_serial`, `steals_ws4`) stay one-per-line so
 /// CI can awk them without a JSON parser.
 fn record_syscall_json(sweep: &SyscallSweep, steal: &[StealRow]) {
-    let out_path =
-        std::env::var("CHANOS_SYSCALL_OUT").unwrap_or_else(|_| "BENCH_syscall.json".into());
-    let out_path = if std::path::Path::new(&out_path).is_absolute() {
-        std::path::PathBuf::from(out_path)
-    } else {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join(out_path)
-    };
     let quick = default_budget() < std::time::Duration::from_millis(100);
     let rows = &sweep.rows;
     let speedup = |op: &str, d: usize| {
@@ -404,12 +395,7 @@ fn record_syscall_json(sweep: &SyscallSweep, steal: &[StealRow]) {
         ));
     }
     j.push_str("  ]\n}\n");
-    let out_path = out_path.display().to_string();
-    if let Err(e) = std::fs::write(&out_path, &j) {
-        eprintln!("could not write {out_path}: {e}");
-    } else {
-        println!("\nrecorded -> {out_path}");
-    }
+    chanos_bench::harness::write_bench_json("CHANOS_SYSCALL_OUT", "BENCH_syscall.json", &j);
 }
 
 /// One measured point of the node-replication A/B: a read-heavy storm
@@ -606,14 +592,6 @@ fn bench_nr_read_scaling() -> (Vec<NrRow>, NrCounters) {
 /// plus the headline `nr_read_speedup_repl_over_single_w4` ratios and
 /// the fast-path counters CI gates on.
 fn record_nr_json(rows: &[NrRow], counters: &NrCounters) {
-    let out_path = std::env::var("CHANOS_NR_OUT").unwrap_or_else(|_| "BENCH_nr.json".into());
-    let out_path = if std::path::Path::new(&out_path).is_absolute() {
-        std::path::PathBuf::from(out_path)
-    } else {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join(out_path)
-    };
     let quick = default_budget() < std::time::Duration::from_millis(100);
     let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     let point = |service: &str, mode: &str, w: usize| {
@@ -672,12 +650,7 @@ fn record_nr_json(rows: &[NrRow], counters: &NrCounters) {
         ));
     }
     j.push_str("  ]\n}\n");
-    let out_path = out_path.display().to_string();
-    if let Err(e) = std::fs::write(&out_path, &j) {
-        eprintln!("could not write {out_path}: {e}");
-    } else {
-        println!("\nrecorded -> {out_path}");
-    }
+    chanos_bench::harness::write_bench_json("CHANOS_NR_OUT", "BENCH_nr.json", &j);
 }
 
 fn bench_e4_fs_scaling_real_hw() {

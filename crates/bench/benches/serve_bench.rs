@@ -1,0 +1,257 @@
+//! Serving-layer benchmark: what an operator would measure.
+//!
+//! Two experiments, recorded into `BENCH_serve.json` (override the
+//! path with `CHANOS_SERVE_OUT`; one flat key per line for awk):
+//!
+//! 1. **Zipf KV serving, both backends.** The open-loop load
+//!    generator drives the sharded KV server with YCSB-style zipf
+//!    keys and reports tail latency (p50/p99/p999) and goodput — on
+//!    real threads (wall nanoseconds) and on the simulator (virtual
+//!    cycles), the same workload through the same facade.
+//!
+//! 2. **Overload A/B: priority vs no priority.** A flood of
+//!    compute-bound batch tasks saturates every worker while a small
+//!    KV serving stack runs through it — once spawned `Normal`
+//!    (servers, clients, and flood timeshare the same rings) and once
+//!    spawned `High` (every serving task and wake routes through the
+//!    scheduler's high-priority lane). The paper's position is that
+//!    an OS should keep interactive service responsive under batch
+//!    load; the p99/p999 gap between the two runs is that claim,
+//!    measured. On a single-CPU host the OS timeshares the worker
+//!    threads and shrinks the gap — `host_cores` is stamped in the
+//!    JSON so the reader can tell which trajectory they are looking
+//!    at.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use chanos_bench::harness::{default_budget, write_bench_json};
+use chanos_parchan::Runtime;
+use chanos_rt::Priority;
+use chanos_serve::{run_kv_load, spawn_kv, KvCfg, LoadCfg, LoadReport};
+use chanos_sim::{Config, Simulation};
+
+/// The zipf serving workload, scaled down under `--quick` budgets.
+fn serving_cfg(quick: bool) -> LoadCfg {
+    LoadCfg {
+        keys: 10_000,
+        theta: 0.99,
+        val_len: 64,
+        clients: 4,
+        depth: 32,
+        rounds: if quick { 25 } else { 250 },
+        set_percent: 10,
+        gap: 0,
+        seed: 0x5EED,
+    }
+}
+
+fn kv_on_threads(cfg: LoadCfg) -> LoadReport {
+    let rt = Runtime::new(4);
+    let report = rt.block_on(async move {
+        let kv = spawn_kv(KvCfg::default());
+        run_kv_load(&kv, cfg).await
+    });
+    rt.shutdown();
+    report
+}
+
+fn kv_on_sim(cfg: LoadCfg) -> LoadReport {
+    Simulation::with_config(Config {
+        cores: 8,
+        ..Config::default()
+    })
+    .block_on(async move {
+        let kv = spawn_kv(KvCfg::default());
+        run_kv_load(&kv, cfg).await
+    })
+    .unwrap()
+}
+
+/// One arm of the overload A/B: 16 compute-bound flood tasks over 4
+/// workers, with the whole serving stack (shards, load coordinator,
+/// and — by inheritance — every load client) spawned at `prio`.
+/// Returns the load report plus the runtime's high-lane wake count.
+fn kv_under_overload(prio: Priority, quick: bool) -> (LoadReport, u64) {
+    let rt = Runtime::new(4);
+    let handle = rt.handle();
+    let report = rt.block_on(async move {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut flood = Vec::new();
+        for _ in 0..16 {
+            let stop = stop.clone();
+            flood.push(chanos_rt::spawn_named("batch-flood", async move {
+                let mut x = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..2_000 {
+                        x = std::hint::black_box(
+                            x.wrapping_mul(6_364_136_223_846_793_005)
+                                .wrapping_add(1_442_695_040_888_963_407),
+                        );
+                    }
+                    chanos_parchan::yield_now().await;
+                }
+                x
+            }));
+        }
+        let cfg = LoadCfg {
+            keys: 2_000,
+            clients: 2,
+            depth: 16,
+            rounds: if quick { 30 } else { 300 },
+            ..serving_cfg(quick)
+        };
+        let run = chanos_rt::spawn_named_with_priority("load-run", prio, async move {
+            let kv = spawn_kv(KvCfg {
+                shards: 2,
+                priority: prio,
+            });
+            run_kv_load(&kv, cfg).await
+        });
+        let report = run.join().await.expect("overload load run ok");
+        stop.store(true, Ordering::Relaxed);
+        for f in flood {
+            let _ = f.join().await;
+        }
+        report
+    });
+    let priority_wakes = handle.stat_get("sched.priority_wakes");
+    rt.shutdown();
+    (report, priority_wakes)
+}
+
+struct BenchRow {
+    backend: &'static str,
+    scenario: &'static str,
+    report: LoadReport,
+}
+
+impl BenchRow {
+    fn print(&self) {
+        let r = &self.report;
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.0} |",
+            self.backend,
+            self.scenario,
+            r.completed,
+            r.hist.p50(),
+            r.hist.p99(),
+            r.hist.p999(),
+            r.goodput(),
+        );
+    }
+
+    fn json(&self, last: bool) -> String {
+        let r = &self.report;
+        format!(
+            "    {{\"backend\": \"{}\", \"scenario\": \"{}\", \"ops\": {}, \"errors\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"mean_ns\": {}, \
+             \"goodput_ops_per_sec\": {:.1}}}{}\n",
+            self.backend,
+            self.scenario,
+            r.completed,
+            r.errors,
+            r.hist.p50(),
+            r.hist.p99(),
+            r.hist.p999(),
+            r.hist.mean(),
+            r.goodput(),
+            if last { "" } else { "," },
+        )
+    }
+}
+
+fn main() {
+    let quick = default_budget() < Duration::from_millis(100);
+    let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+
+    println!("## Zipf KV serving (open-loop, theta=0.99, 4 clients x depth 32)\n");
+    println!("| backend | scenario | ops | p50 | p99 | p999 | goodput/s |");
+    println!("|---|---|---|---|---|---|---|");
+    let threads = BenchRow {
+        backend: "threads",
+        scenario: "zipf_kv",
+        report: kv_on_threads(serving_cfg(quick)),
+    };
+    threads.print();
+    let sim = BenchRow {
+        backend: "sim",
+        scenario: "zipf_kv",
+        report: kv_on_sim(serving_cfg(quick)),
+    };
+    sim.print();
+
+    println!("\n## Overload A/B: 16 batch-flood tasks on 4 workers, host_cores={host_cores}\n");
+    println!("| backend | scenario | ops | p50 | p99 | p999 | goodput/s |");
+    println!("|---|---|---|---|---|---|---|");
+    let (noprio_report, _) = kv_under_overload(Priority::Normal, quick);
+    let noprio = BenchRow {
+        backend: "threads",
+        scenario: "overload_noprio",
+        report: noprio_report,
+    };
+    noprio.print();
+    let (prio_report, priority_wakes) = kv_under_overload(Priority::High, quick);
+    let prio = BenchRow {
+        backend: "threads",
+        scenario: "overload_prio",
+        report: prio_report,
+    };
+    prio.print();
+    let p99_gain = noprio.report.hist.p99() as f64 / prio.report.hist.p99().max(1) as f64;
+    println!(
+        "\npriority lane p99 gain under overload: {p99_gain:.2}x \
+         ({} high-lane wakes routed)",
+        priority_wakes
+    );
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str(&format!(
+        "  \"bench\": \"serve\",\n  \"quick\": {quick},\n  \"workers\": 4,\n"
+    ));
+    j.push_str(&format!(
+        "  \"host_cores\": {host_cores},\n  \"backend\": \"threads\",\n  \"sched_mode\": \"work-stealing\",\n"
+    ));
+    j.push_str(&format!(
+        "  \"kv_p50_ns_threads\": {},\n  \"kv_p99_ns_threads\": {},\n  \"kv_p999_ns_threads\": {},\n",
+        threads.report.hist.p50(),
+        threads.report.hist.p99(),
+        threads.report.hist.p999(),
+    ));
+    j.push_str(&format!(
+        "  \"kv_goodput_ops_threads\": {:.1},\n",
+        threads.report.goodput()
+    ));
+    j.push_str(&format!(
+        "  \"kv_p50_ns_sim\": {},\n  \"kv_p99_ns_sim\": {},\n  \"kv_p999_ns_sim\": {},\n",
+        sim.report.hist.p50(),
+        sim.report.hist.p99(),
+        sim.report.hist.p999(),
+    ));
+    j.push_str(&format!(
+        "  \"kv_goodput_ops_sim\": {:.1},\n",
+        sim.report.goodput()
+    ));
+    j.push_str(&format!(
+        "  \"overload_p99_ns_prio\": {},\n  \"overload_p99_ns_noprio\": {},\n",
+        prio.report.hist.p99(),
+        noprio.report.hist.p99(),
+    ));
+    j.push_str(&format!(
+        "  \"overload_p999_ns_prio\": {},\n  \"overload_p999_ns_noprio\": {},\n",
+        prio.report.hist.p999(),
+        noprio.report.hist.p999(),
+    ));
+    j.push_str(&format!(
+        "  \"overload_p99_gain\": {p99_gain:.3},\n  \"sched_priority_wakes\": {priority_wakes},\n"
+    ));
+    j.push_str("  \"rows\": [\n");
+    let rows = [&threads, &sim, &noprio, &prio];
+    for (i, row) in rows.iter().enumerate() {
+        j.push_str(&row.json(i + 1 == rows.len()));
+    }
+    j.push_str("  ]\n}\n");
+    write_bench_json("CHANOS_SERVE_OUT", "BENCH_serve.json", &j);
+}

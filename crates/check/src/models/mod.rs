@@ -22,5 +22,6 @@ pub mod coalesce;
 pub mod nr;
 pub mod oneshot;
 pub mod parking;
+pub mod priority;
 pub mod ring;
 pub mod steal;

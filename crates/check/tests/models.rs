@@ -4,7 +4,7 @@
 //! same failure (the property that turns any future counterexample
 //! into a checked-in regression test).
 
-use chanos_check::models::{coalesce, nr, oneshot, parking, ring, steal};
+use chanos_check::models::{coalesce, nr, oneshot, parking, priority, ring, steal};
 use chanos_check::{Config, Explorer, FailureKind};
 
 fn explorer() -> Explorer {
@@ -288,6 +288,35 @@ fn idle_mask_mutant_lost_searching_clear_caught() {
     // wake; the worker parks forever.
     assert_caught(
         || steal::idle_mask_model(steal::Mutant::LostSearchingClear, 2),
+        &[FailureKind::Deadlock],
+    );
+}
+
+// --- priority: high-priority lane vs the park handshake -----------------
+
+#[test]
+fn priority_lane_verifies() {
+    let report = explorer().check(|| priority::priority_lane_model(priority::Mutant::None, 2, 1));
+    report.assert_ok();
+    assert!(report.schedules > 0);
+}
+
+#[test]
+fn priority_mutant_recheck_skips_high_lane_caught() {
+    // Priority inversion on park: the pre-park re-check misses the
+    // hi lane, so the one task that must not wait strands the worker.
+    assert_caught(
+        || priority::priority_lane_model(priority::Mutant::RecheckSkipsHighLane, 1, 1),
+        &[FailureKind::Deadlock],
+    );
+}
+
+#[test]
+fn priority_mutant_lost_high_lane_wake_caught() {
+    // Publishing High work without notify_work: running workers poll
+    // the lane every dispatch, a parked worker never does.
+    assert_caught(
+        || priority::priority_lane_model(priority::Mutant::LostHighLaneWake, 1, 1),
         &[FailureKind::Deadlock],
     );
 }

@@ -34,9 +34,19 @@
 //!   (they are off the dispatch fast path) behind an atomic length
 //!   gate, so dispatch never locks an empty one.
 //!
+//! * A second injector — the **high-priority lane** — carries tasks
+//!   spawned or woken with [`Priority::High`]. Every dispatch checks
+//!   it *before* the local LIFO slot and ring, and searching workers
+//!   drain it before stealing normal rings, so latency-critical
+//!   tasks jump any ring backlog regardless of which worker they
+//!   land on ([`Runtime::spawn_with_priority`]). The pre-park
+//!   re-check covers the lane too — a worker never sleeps while a
+//!   high task waits (model-checked: `priority_lane_model`).
+//!
 //! [`SchedMode::GlobalQueue`] preserves the original
 //! one-mutex-injector dispatch so the scheduler microbenchmarks can
-//! A/B the two designs on the same workload.
+//! A/B the two designs on the same workload (the high-priority lane
+//! works in both modes).
 //!
 //! Fairness: the LIFO slot is capped at [`LIFO_CAP`] consecutive
 //! polls, the injector is polled first every [`INJECTOR_INTERVAL`]
@@ -99,6 +109,21 @@ pub enum SchedMode {
     GlobalQueue,
 }
 
+/// Priority class of a task. The scheduler is two-level: `High`
+/// tasks route through a dedicated injector lane that every dispatch
+/// consults before its local queues, so a high task's queueing delay
+/// is bounded by one poll, not by ring depth. `Normal` is the
+/// default and the only class the plain `spawn` entry points use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Batch/background work: local LIFO slot, ring, injector.
+    #[default]
+    Normal,
+    /// Latency-critical work: the high lane, checked first on every
+    /// dispatch and preferred by steal sweeps.
+    High,
+}
+
 pub(crate) struct TaskCell {
     future: Mutex<Option<BoxFuture>>,
     state: AtomicU8,
@@ -106,6 +131,10 @@ pub(crate) struct TaskCell {
     /// Worker this task is pinned to; pinned tasks live on that
     /// worker's unstealable queue and are polled only by it.
     pin: Option<usize>,
+    /// Priority class; fixed at spawn. Placement wins over priority:
+    /// a pinned high task goes to the *front* of its worker's pinned
+    /// queue rather than the (stealable) high lane.
+    priority: Priority,
     /// Intrusive link for [`crate::injector`]: a task is in at most
     /// one queue at a time (`SCHEDULED` state exclusivity), so one
     /// embedded pointer suffices and injector pushes allocate
@@ -207,6 +236,12 @@ struct RtInner {
     /// Lock-free injector for off-pool spawns/wakes and ring
     /// overflow (WorkStealing mode).
     injector: Injector,
+    /// The high-priority lane: every spawn/wake of a `Priority::High`
+    /// task lands here (both sched modes), and every dispatch checks
+    /// it before any local queue. Trading away cache-hot LIFO
+    /// placement buys the latency guarantee: a high task is never
+    /// behind ring backlog.
+    hi: Injector,
     /// The A/B-baseline global queue (GlobalQueue mode only): the
     /// original one-mutex dispatch, kept for `real_hw`'s spawn/steal
     /// microbench.
@@ -255,6 +290,15 @@ struct RtInner {
     wakes_injector: AtomicU64,
     /// Wakes routed to a pinned queue.
     wakes_pinned: AtomicU64,
+    /// High-priority tasks spawned (`sched.priority_spawns`).
+    priority_spawns: AtomicU64,
+    /// High-priority wakes routed through the high lane
+    /// (`sched.priority_wakes`).
+    priority_wakes: AtomicU64,
+    /// Non-empty high-lane claims (`sched.priority_bursts`); zero
+    /// under high-priority load means the lane is dead and every
+    /// "high" task silently ran at normal priority.
+    priority_bursts: AtomicU64,
 }
 
 /// Routes a ready task to a run queue and wakes a worker for it.
@@ -284,10 +328,29 @@ fn schedule(rt: &Arc<RtInner>, cell: Arc<TaskCell>, from_wake: bool) {
         let ws = &rt.workers[w];
         {
             let mut q = plock(&ws.pinned);
-            q.push_back(cell);
+            // Placement wins over priority (only worker `w` may run
+            // this task), but a high task still jumps the queue it
+            // is confined to.
+            match cell.priority {
+                Priority::High => q.push_front(cell),
+                Priority::Normal => q.push_back(cell),
+            }
             ws.pinned_len.store(q.len(), Ordering::Release);
         }
         rt.notify_specific(w);
+        return;
+    }
+    if cell.priority == Priority::High {
+        // Always the high lane — even for a wake from the running
+        // worker, where the LIFO slot would be cache-hotter: the
+        // lane is what every dispatch (and every searcher) checks
+        // first, so it is the only placement that preserves the
+        // jump-the-backlog guarantee in all schedules.
+        if from_wake {
+            rt.priority_wakes.fetch_add(1, Ordering::Relaxed);
+        }
+        rt.hi.push(cell);
+        rt.notify_work();
         return;
     }
     if rt.mode == SchedMode::WorkStealing {
@@ -403,6 +466,14 @@ impl RtInner {
     /// Lock-free in WorkStealing mode.
     fn has_work(&self, me: usize) -> bool {
         let ws = &self.workers[me];
+        // The high lane is part of every pre-park re-check: a worker
+        // parking while a high task sits here would be a priority
+        // inversion (the latency-critical task waits on the park
+        // backstop). Model-checked as `priority_lane_model` (mutant:
+        // RecheckSkipsHighLane).
+        if !self.hi.is_empty() {
+            return true;
+        }
         if ws.pinned_len.load(Ordering::Acquire) > 0 {
             return true;
         }
@@ -504,7 +575,20 @@ impl Handle {
         T: Send + 'static,
         F: Future<Output = T> + Send + 'static,
     {
-        spawn_impl(&self.inner, None, fut)
+        spawn_impl(&self.inner, None, Priority::Normal, fut)
+    }
+
+    /// Spawns a task with an explicit [`Priority`]. `High` tasks
+    /// route through the high-priority injector lane, which every
+    /// dispatch checks before its local queues — use it for
+    /// latency-critical request handling that must not queue behind
+    /// batch work.
+    pub fn spawn_with_priority<T, F>(&self, priority: Priority, fut: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: Future<Output = T> + Send + 'static,
+    {
+        spawn_impl(&self.inner, None, priority, fut)
     }
 
     /// Spawns a task pinned to worker `worker % workers()`: it is
@@ -516,7 +600,7 @@ impl Handle {
         F: Future<Output = T> + Send + 'static,
     {
         let w = worker % self.inner.workers.len();
-        spawn_impl(&self.inner, Some(w), fut)
+        spawn_impl(&self.inner, Some(w), Priority::Normal, fut)
     }
 
     /// Number of worker threads in the pool.
@@ -576,8 +660,11 @@ impl Handle {
     /// (pre-park self-rescues), `sched.unparks_elided` (wakes
     /// covered by a searching worker), `sched.wakes_local`
     /// (steal-free wakes onto the waking worker's own queue),
-    /// `sched.wakes_injector`, `sched.wakes_pinned`; plus every
-    /// `chan.*` counter from [`crate::chan_counters`]
+    /// `sched.wakes_injector`, `sched.wakes_pinned`,
+    /// `sched.priority_spawns` (high-priority spawns),
+    /// `sched.priority_wakes` (wakes routed through the high lane),
+    /// `sched.priority_bursts` (non-empty high-lane claims); plus
+    /// every `chan.*` counter from [`crate::chan_counters`]
     /// (process-global).
     pub fn stat_get(&self, name: &str) -> u64 {
         match name {
@@ -590,6 +677,9 @@ impl Handle {
             "sched.wakes_local" => return self.inner.wakes_local.load(Ordering::Relaxed),
             "sched.wakes_injector" => return self.inner.wakes_injector.load(Ordering::Relaxed),
             "sched.wakes_pinned" => return self.inner.wakes_pinned.load(Ordering::Relaxed),
+            "sched.priority_spawns" => return self.inner.priority_spawns.load(Ordering::Relaxed),
+            "sched.priority_wakes" => return self.inner.priority_wakes.load(Ordering::Relaxed),
+            "sched.priority_bursts" => return self.inner.priority_bursts.load(Ordering::Relaxed),
             _ if name.starts_with("chan.") => return crate::chan::chan_counter(name),
             _ => {}
         }
@@ -643,6 +733,7 @@ impl Runtime {
         );
         let inner = Arc::new(RtInner {
             injector: Injector::new(),
+            hi: Injector::new(),
             global: Mutex::new(VecDeque::new()),
             workers: (0..workers).map(|_| WorkerState::new()).collect(),
             idle: IdleSet::new(),
@@ -664,6 +755,9 @@ impl Runtime {
             wakes_local: AtomicU64::new(0),
             wakes_injector: AtomicU64::new(0),
             wakes_pinned: AtomicU64::new(0),
+            priority_spawns: AtomicU64::new(0),
+            priority_wakes: AtomicU64::new(0),
+            priority_bursts: AtomicU64::new(0),
         });
         let mut threads = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -703,7 +797,17 @@ impl Runtime {
         T: Send + 'static,
         F: Future<Output = T> + Send + 'static,
     {
-        spawn_impl(&self.inner, None, fut)
+        spawn_impl(&self.inner, None, Priority::Normal, fut)
+    }
+
+    /// Spawns a task with an explicit [`Priority`]; see
+    /// [`Handle::spawn_with_priority`].
+    pub fn spawn_with_priority<T, F>(&self, priority: Priority, fut: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: Future<Output = T> + Send + 'static,
+    {
+        spawn_impl(&self.inner, None, priority, fut)
     }
 
     /// Spawns a task pinned to worker `worker % workers`; see
@@ -803,6 +907,7 @@ impl Runtime {
         // calls go to the graveyard, so this thread has exclusive
         // queue access — the owner-only contract holds vacuously.
         while self.inner.injector.take_all().is_some() {}
+        while self.inner.hi.take_all().is_some() {}
         plock(&self.inner.global).clear();
         for w in &self.inner.workers {
             {
@@ -859,11 +964,19 @@ impl<T> Drop for CompletionGuard<T> {
     }
 }
 
-fn spawn_impl<T, F>(inner: &Arc<RtInner>, pin: Option<usize>, fut: F) -> JoinHandle<T>
+fn spawn_impl<T, F>(
+    inner: &Arc<RtInner>,
+    pin: Option<usize>,
+    priority: Priority,
+    fut: F,
+) -> JoinHandle<T>
 where
     T: Send + 'static,
     F: Future<Output = T> + Send + 'static,
 {
+    if priority == Priority::High {
+        inner.priority_spawns.fetch_add(1, Ordering::Relaxed);
+    }
     let join = Arc::new(JoinState {
         slot: Mutex::new(JoinSlot {
             result: None,
@@ -886,6 +999,7 @@ where
         state: AtomicU8::new(SCHEDULED),
         rt: Arc::downgrade(inner),
         pin,
+        priority,
         next_injected: std::sync::atomic::AtomicPtr::new(std::ptr::null_mut()),
     });
     inner.register(&cell);
@@ -989,10 +1103,11 @@ fn worker_loop(rt: Arc<RtInner>, me: usize) {
 
 /// One dispatch: pick the next task for worker `me`.
 ///
-/// Order (with fairness rotations): pinned/local alternating, then
-/// the search phase — an injector burst, then a randomized steal
-/// sweep over siblings. Every [`INJECTOR_INTERVAL`]-th call checks
-/// the injector first.
+/// Order (with fairness rotations): the high-priority lane always
+/// first, then pinned/local alternating, then the search phase — the
+/// high lane again, an injector burst, then a randomized steal sweep
+/// over siblings. Every [`INJECTOR_INTERVAL`]-th call checks the
+/// normal injector first (after the high lane).
 fn find_task(
     rt: &Arc<RtInner>,
     me: usize,
@@ -1002,6 +1117,13 @@ fn find_task(
 ) -> Option<Arc<TaskCell>> {
     *tick = tick.wrapping_add(1);
     let ws = &rt.workers[me];
+    // The high lane outranks every other source on every dispatch
+    // (both modes): this is the whole priority guarantee — a high
+    // task waits at most one poll, never a ring's depth.
+    if let Some(t) = take_hi(rt) {
+        *lifo_streak = 0;
+        return Some(t);
+    }
     if (*tick).is_multiple_of(INJECTOR_INTERVAL) {
         let t = match rt.mode {
             SchedMode::WorkStealing => {
@@ -1052,11 +1174,16 @@ fn find_task(
         SchedMode::GlobalQueue => plock(&rt.global).pop_front(),
         SchedMode::WorkStealing => {
             // The search phase: announce it (producers elide wakes
-            // while a searcher is out — see `IdleSet`), drain an
-            // injector burst or steal a batch, then hand off a wake
-            // if we deposited more than we are about to run.
+            // while a searcher is out — see `IdleSet`), prefer the
+            // high lane, then drain an injector burst or steal a
+            // batch, then hand off a wake if we deposited more than
+            // we are about to run.
             rt.idle.start_search();
-            let (mut found, mut extra) = take_injector_burst(rt, me);
+            let mut extra = 0;
+            let mut found = take_hi(rt);
+            if found.is_none() {
+                (found, extra) = take_injector_burst(rt, me);
+            }
             if found.is_none() {
                 if let Some((t, batch_extra)) = steal_sweep(rt, me, rng) {
                     found = Some(t);
@@ -1083,6 +1210,22 @@ fn pop_pinned(ws: &WorkerState) -> Option<Arc<TaskCell>> {
     let t = q.pop_front();
     ws.pinned_len.store(q.len(), Ordering::Release);
     t
+}
+
+/// Claims the high lane: returns the oldest high task and puts the
+/// remainder *back into the lane* (not the local ring — high tasks
+/// must stay ahead of every ring, and siblings check the lane on
+/// their next dispatch anyway). A non-empty remainder triggers one
+/// wake so an idle sibling comes for it.
+fn take_hi(rt: &Arc<RtInner>) -> Option<Arc<TaskCell>> {
+    let mut burst = rt.hi.take_all()?;
+    rt.priority_bursts.fetch_add(1, Ordering::Relaxed);
+    let first = burst.pop();
+    burst.put_back(&rt.hi);
+    if !rt.hi.is_empty() {
+        rt.notify_work();
+    }
+    first
 }
 
 /// Drains one injector burst: the first task is returned for

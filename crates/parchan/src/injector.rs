@@ -18,10 +18,16 @@
 //! re-pushed through the same ownership transfer, so a head pointer
 //! seen twice still has a `next_injected` we wrote ourselves.
 //!
+//! The executor instantiates this type twice: the normal injector
+//! described above, and the **high-priority lane** that
+//! `Priority::High` spawns/wakes route through (checked before any
+//! local queue on every dispatch — see the executor's `take_hi`).
+//!
 //! Zero `Mutex::lock` calls in this module (audited by the facade
 //! lint's mutex-free rule). `SchedMode::GlobalQueue` does *not* use
-//! this type — its A/B-baseline global queue stays a mutexed
-//! `VecDeque` in the executor.
+//! this type for normal work — its A/B-baseline global queue stays a
+//! mutexed `VecDeque` in the executor (the high lane is lock-free in
+//! both modes).
 
 // chanos-lint: allow — `AtomicPtr` comes from `std::sync::atomic`
 // directly rather than the facade: the chanos-check shim wraps value

@@ -56,8 +56,8 @@ pub use chan::{
 };
 pub use chanos_select::{choose, join2, join_all, race, select_all, Either};
 pub use executor::{
-    current, current_worker, in_runtime, yield_now, Handle, JoinHandle, Panicked, Runtime,
-    SchedMode, StatRecord, Watch, YieldNow,
+    current, current_worker, in_runtime, yield_now, Handle, JoinHandle, Panicked, Priority,
+    Runtime, SchedMode, StatRecord, Watch, YieldNow,
 };
 #[doc(hidden)]
 pub use timer::timer_heap_len;

@@ -9,7 +9,9 @@ use std::sync::{Arc, Mutex};
 use std::task::{Context, Wake, Waker};
 use std::time::Duration;
 
-use chanos_parchan::{after, channel, current_worker, yield_now, Capacity, Runtime, SchedMode};
+use chanos_parchan::{
+    after, channel, current_worker, yield_now, Capacity, Priority, Runtime, SchedMode,
+};
 
 /// A waker that does nothing (for polling futures by hand).
 struct NoopWake;
@@ -480,4 +482,76 @@ fn spawn_after_shutdown_does_not_hang() {
         h.join_blocking().is_err(),
         "post-shutdown spawn must fail fast"
     );
+}
+
+#[test]
+fn high_priority_task_jumps_queued_backlog() {
+    // One worker, held hostage while a backlog queues up: the high
+    // task must be the first thing dispatched after the hostage,
+    // ahead of every earlier-spawned normal task, in both modes.
+    for mode in [SchedMode::WorkStealing, SchedMode::GlobalQueue] {
+        let rt = Runtime::with_mode(1, mode);
+        let order: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+        let started = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new(AtomicU64::new(0));
+        let (s, g) = (started.clone(), gate.clone());
+        let hostage = rt.spawn(async move {
+            s.store(1, Ordering::Release);
+            while g.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+        });
+        while started.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        let mut handles = Vec::new();
+        for i in 0..32i64 {
+            let o = order.clone();
+            handles.push(rt.spawn(async move { o.lock().unwrap().push(i) }));
+        }
+        let o = order.clone();
+        handles.push(
+            rt.spawn_with_priority(Priority::High, async move { o.lock().unwrap().push(-1) }),
+        );
+        gate.store(1, Ordering::Release);
+        hostage.join_blocking().unwrap();
+        for h in handles {
+            h.join_blocking().unwrap();
+        }
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 33);
+        assert_eq!(
+            order[0],
+            -1,
+            "{mode:?}: high task ran at position {} instead of first",
+            order.iter().position(|&v| v == -1).unwrap()
+        );
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn high_priority_wake_routing_and_counters() {
+    let rt = Runtime::new(2);
+    let h = rt.handle();
+    // Every yield self-wakes during the poll, so the re-schedule
+    // takes the from_wake path — each one must route through the
+    // high lane, not the waking worker's LIFO slot.
+    let hp = rt.spawn_with_priority(Priority::High, async move {
+        for _ in 0..8 {
+            yield_now().await;
+        }
+        42u32
+    });
+    assert_eq!(hp.join_blocking().unwrap(), 42);
+    assert_eq!(h.stat_get("sched.priority_spawns"), 1);
+    assert!(
+        h.stat_get("sched.priority_wakes") >= 8,
+        "high-priority wakes bypassed the high lane"
+    );
+    assert!(
+        h.stat_get("sched.priority_bursts") >= 1,
+        "no dispatch ever claimed the high lane"
+    );
+    rt.shutdown();
 }

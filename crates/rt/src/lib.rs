@@ -43,6 +43,7 @@ use chanos_sim as sim;
 
 mod port;
 
+pub use chanos_parchan::Priority;
 pub use chanos_select::{choose, join2, join_all, race, select_all, Either};
 pub use chanos_sim::{plock, CoreId, Cycles, Pcg32, TaskId};
 pub use port::{port_channel, Call, CallError, Port};
@@ -945,6 +946,81 @@ where
     F: Future<Output = T> + Send + 'static,
 {
     spawn_dispatch(None, None, false, fut)
+}
+
+thread_local! {
+    /// Priority of the rt-spawned task currently being polled on
+    /// this thread; `Normal` outside any priority-scoped task.
+    static CURRENT_PRIORITY: std::cell::Cell<Priority> =
+        const { std::cell::Cell::new(Priority::Normal) };
+}
+
+/// Wraps a task so [`current_priority`] observes its class at every
+/// poll, on both backends (same shape as `KeyScoped`).
+struct PriorityScoped<F> {
+    priority: Priority,
+    fut: F,
+}
+
+impl<F: Future> Future for PriorityScoped<F> {
+    type Output = F::Output;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<F::Output> {
+        // Safety: `fut` is structurally pinned (never moved out); the
+        // priority is plain data.
+        let this = unsafe { self.get_unchecked_mut() };
+        let prio = this.priority;
+        let fut = unsafe { Pin::new_unchecked(&mut this.fut) };
+        let prev = CURRENT_PRIORITY.with(|p| p.replace(prio));
+        let out = fut.poll(cx);
+        CURRENT_PRIORITY.with(|p| p.set(prev));
+        out
+    }
+}
+
+/// The [`Priority`] class of the calling task: what it was spawned
+/// with via [`spawn_with_priority`], `Normal` otherwise.
+pub fn current_priority() -> Priority {
+    CURRENT_PRIORITY.with(|p| p.get())
+}
+
+/// Spawns a named task with an explicit [`Priority`] class.
+///
+/// On real threads, `High` tasks route through the scheduler's
+/// high-priority injector lane: every dispatch checks it before the
+/// local run queues, so the task never waits behind ring backlog —
+/// use it for latency-critical request handling that must stay
+/// responsive while batch work floods the pool. On the simulator,
+/// scheduling stays deterministic virtual-time (there is no queueing
+/// contention to jump), but the class is honored observably:
+/// [`current_priority`] reports it inside the task on both backends.
+pub fn spawn_named_with_priority<T, F>(name: &str, priority: Priority, fut: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: Future<Output = T> + Send + 'static,
+{
+    let fut = PriorityScoped { priority, fut };
+    match backend() {
+        Backend::Sim => JoinHandle(JoinHandleImpl::Sim(sim::spawn_named(name, fut))),
+        Backend::Threads => {
+            let h = par_handle();
+            let fut = KeyScoped {
+                key: fresh_par_task_key(),
+                fut,
+            };
+            JoinHandle(JoinHandleImpl::Par(h.spawn_with_priority(priority, fut)))
+        }
+    }
+}
+
+/// Spawns a task with an explicit [`Priority`] class; see
+/// [`spawn_named_with_priority`].
+pub fn spawn_with_priority<T, F>(priority: Priority, fut: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: Future<Output = T> + Send + 'static,
+{
+    spawn_named_with_priority("task", priority, fut)
 }
 
 /// Spawns a task pinned to `core`: the simulated core on the

@@ -1,0 +1,215 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! Fixed memory, no dependencies, O(1) record: values below 16 get
+//! exact buckets; above that, each power of two is split into 16
+//! linear sub-buckets, so relative quantile error is bounded by
+//! ~1/16 (≈6%) across the full `u64` range. That is the resolution
+//! an HDR histogram gives at one significant-digit precision, and
+//! plenty for p50/p99/p999 reporting in cycles (≈ns on threads).
+//!
+//! Quantiles are read by rank-walking the cumulative counts and
+//! reporting the bucket's lower bound (clamped to the observed max),
+//! so a reported p999 is never an extrapolation past a real sample.
+
+/// 16 exact buckets + 16 sub-buckets for each exponent 4..=63.
+const BUCKETS: usize = 16 + 60 * 16;
+
+fn bucket_of(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (exp - 4)) & 15) as usize;
+        (exp - 3) * 16 + sub
+    }
+}
+
+/// Lower bound of bucket `b` (the smallest value that lands in it).
+fn bucket_floor(b: usize) -> u64 {
+    if b < 16 {
+        b as u64
+    } else {
+        let exp = b / 16 + 3;
+        let sub = (b % 16) as u64;
+        (16 + sub) << (exp - 4)
+    }
+}
+
+/// A log-bucketed latency histogram; merge-able across tasks.
+#[derive(Clone)]
+pub struct LatencyHist {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist::new()
+    }
+}
+
+impl LatencyHist {
+    pub fn new() -> LatencyHist {
+        LatencyHist {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample (a latency in cycles).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one (per-client histograms
+    /// merge into the run's report).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the lower bound of the
+    /// bucket holding the rank-`ceil(q·count)` sample, clamped to the
+    /// observed extremes. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// One-line human summary (the example prints these per run).
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={} p50={} p99={} p999={} max={}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.p999(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_consistent() {
+        let mut prev = 0;
+        let mut v = 0u64;
+        while v < u64::MAX / 2 {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket order broke at {v}");
+            prev = b;
+            assert!(bucket_floor(b) <= v, "floor({b}) > {v}");
+            assert!(b + 1 >= BUCKETS || v < bucket_floor(b + 1));
+            v = v + v / 17 + 1;
+        }
+    }
+
+    #[test]
+    fn exact_quantiles_on_small_values() {
+        let mut h = LatencyHist::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.p50(), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10);
+    }
+
+    #[test]
+    fn tail_quantiles_within_bucket_error() {
+        let mut h = LatencyHist::new();
+        // 999 fast ops at ~1000, one straggler at 1_000_000.
+        for _ in 0..999 {
+            h.record(1000);
+        }
+        h.record(1_000_000);
+        let p99 = h.p99();
+        assert!((900..=1100).contains(&p99), "p99={p99}");
+        let p999 = h.quantile(0.9995);
+        assert!(p999 >= 900_000, "p999={p999} missed the straggler");
+        assert!(p999 <= 1_000_000);
+    }
+
+    #[test]
+    fn merge_equals_single_histogram() {
+        let (mut a, mut b, mut whole) =
+            (LatencyHist::new(), LatencyHist::new(), LatencyHist::new());
+        for v in 0..1000u64 {
+            let x = (v * 7919) % 100_000;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.p50(), whole.p50());
+        assert_eq!(a.p99(), whole.p99());
+        assert_eq!(a.max(), whole.max());
+    }
+}

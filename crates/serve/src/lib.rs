@@ -1,0 +1,43 @@
+//! # chanos-serve — serve traffic, not microbenchmarks
+//!
+//! Every benchmark below this layer exercises the stack from the
+//! inside (channel matrices, pipelined getpid, NR read storms). This
+//! crate asks the paper's actual question — does the channel-OS
+//! design hold up as a *system serving real workloads* — by putting
+//! applications on the libOS surface and measuring what an operator
+//! would: tail latency (p50/p99/p999) and goodput, not just
+//! throughput.
+//!
+//! Three pieces:
+//!
+//! * **Applications** ([`kv`], [`file`]) — a memcached-style KV
+//!   server (GET/SET/DEL over a sharded store, each shard one task
+//!   draining its [`chanos_rt::Port`] in `recv_many` bursts) and a
+//!   static-file server whose burst drains turn into one
+//!   `DiskClient::read_batch` per burst (the driver elevator-sorts
+//!   it). Both run unchanged on the simulator and on real threads.
+//! * **An open-loop load generator** ([`load`]) — zipf-distributed
+//!   keys over the in-tree PCG, configurable arrival gap and
+//!   concurrency (clients × pipeline depth in-flight `Call`s via
+//!   `call_batch`), recording into an HDR-style log-bucketed
+//!   histogram ([`hist`]).
+//! * **Priority-aware serving** — server and load tasks take a
+//!   [`chanos_rt::Priority`]; spawning servers `High` routes them
+//!   through the scheduler's high-priority lane so request handling
+//!   keeps its tail latency while batch work floods the pool
+//!   (`benches/serve_bench.rs` A/Bs exactly that under overload).
+//!
+//! Everything goes through the `chanos-rt` facade — no raw threads,
+//! no wall-clock reads — so the whole serving stack is deterministic
+//! under the simulator and model-checkable where it touches the
+//! scheduler.
+
+pub mod file;
+pub mod hist;
+pub mod kv;
+pub mod load;
+
+pub use file::{spawn_file_server, FileClient, FileReq};
+pub use hist::LatencyHist;
+pub use kv::{spawn_kv, KvCfg, KvClient, KvReq};
+pub use load::{run_kv_load, LoadCfg, LoadReport, Zipf};

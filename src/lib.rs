@@ -23,6 +23,7 @@
 //! | [`net`] | `chanos-net` | shared-nothing cluster: frames, reliable transport, remote channels |
 //! | [`parchan`] | `chanos-parchan` | the same model on real OS threads |
 //! | [`nr`] | `chanos-nr` | node replication: operation-log replicas, local reads |
+//! | [`serve`] | `chanos-serve` | serving layer: KV & file servers, zipf load generator |
 //!
 //! ## Quickstart
 //!
@@ -65,6 +66,7 @@ pub use chanos_parchan as parchan;
 pub use chanos_proto as proto;
 pub use chanos_rt as rt;
 pub use chanos_select as select;
+pub use chanos_serve as serve;
 pub use chanos_shmem as shmem;
 pub use chanos_sim as sim;
 pub use chanos_vfs as vfs;

@@ -1200,3 +1200,188 @@ mod nr_equiv {
         rt.shutdown();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Serving layer: the KV service, the load generator's accounting, and
+// the priority contract must be backend-independent.
+// ---------------------------------------------------------------------------
+
+mod serve_equiv {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use chanos::rt::{Pcg32, Priority};
+    use chanos::serve::{run_kv_load, spawn_kv, KvCfg, LoadCfg};
+
+    /// A fixed-seed GET/SET/DEL storm over the sharded store, ops
+    /// awaited in issue order so every response is deterministic;
+    /// closes with a full batched sweep of the key space.
+    async fn kv_script() -> Vec<String> {
+        let kv = spawn_kv(KvCfg {
+            shards: 3,
+            priority: Priority::High,
+        });
+        let mut rng = Pcg32::new(0x5E4E);
+        let mut log = Vec::new();
+        for step in 0..200 {
+            let key = rng.bounded(32);
+            match rng.bounded(4) {
+                0 => {
+                    let len = 8 + rng.bounded(56) as usize;
+                    log.push(format!(
+                        "{step}: set {key} -> {:?}",
+                        kv.set(key, vec![key as u8; len]).await
+                    ));
+                }
+                1 => log.push(format!("{step}: del {key} -> {:?}", kv.del(key).await)),
+                _ => log.push(format!(
+                    "{step}: get {key} -> {:?}",
+                    kv.get(key).await.map(|v| v.map(|v| v.len()))
+                )),
+            }
+        }
+        let keys: Vec<u64> = (0..32).collect();
+        for (k, c) in keys.iter().zip(kv.get_many(&keys)) {
+            log.push(format!(
+                "final {k}: {:?}",
+                c.await.map(|v| v.map(|v| v.len()))
+            ));
+        }
+        log
+    }
+
+    #[test]
+    fn kv_storm_identical_on_both_backends() {
+        let mut s = Simulation::with_config(Config {
+            cores: 4,
+            ..Config::default()
+        });
+        let sim_log = s.block_on(kv_script()).unwrap();
+        let rt = Runtime::new(3);
+        let thr_log = rt.block_on(kv_script());
+        rt.shutdown();
+        assert_eq!(sim_log.len(), thr_log.len());
+        for (i, (a, b)) in sim_log.iter().zip(&thr_log).enumerate() {
+            assert_eq!(a, b, "KV observation {i} differs between backends");
+        }
+    }
+
+    #[test]
+    fn load_generator_accounting_identical_on_both_backends() {
+        // Latencies differ between backends by construction; the
+        // *accounting* — ops issued, ops completed, zero transport
+        // errors — must not.
+        let cfg = LoadCfg {
+            clients: 3,
+            depth: 16,
+            rounds: 6,
+            keys: 500,
+            ..LoadCfg::default()
+        };
+        let mut s = Simulation::with_config(Config {
+            cores: 4,
+            ..Config::default()
+        });
+        let sim_cfg = cfg.clone();
+        let sim = s
+            .block_on(async move {
+                let kv = spawn_kv(KvCfg::default());
+                run_kv_load(&kv, sim_cfg).await
+            })
+            .unwrap();
+        let rt = Runtime::new(3);
+        let thr = rt.block_on(async move {
+            let kv = spawn_kv(KvCfg::default());
+            run_kv_load(&kv, cfg).await
+        });
+        rt.shutdown();
+        assert_eq!(sim.completed, 3 * 16 * 6);
+        assert_eq!(sim.completed, thr.completed);
+        assert_eq!((sim.errors, thr.errors), (0, 0));
+        assert_eq!(sim.hist.count(), thr.hist.count());
+    }
+
+    /// `spawn_with_priority` must make the class observable inside
+    /// the task — at the first poll and across suspension points —
+    /// on both backends.
+    async fn priority_script() -> Vec<Priority> {
+        let mut out = Vec::new();
+        out.push(chanos::rt::current_priority());
+        let h = chanos::rt::spawn_with_priority(Priority::High, async {
+            let first = chanos::rt::current_priority();
+            chanos::rt::sleep(10_000).await;
+            (first, chanos::rt::current_priority())
+        });
+        let (first, after) = h.join().await.expect("high task ok");
+        out.push(first);
+        out.push(after);
+        let h = chanos::rt::spawn(async { chanos::rt::current_priority() });
+        out.push(h.join().await.expect("normal task ok"));
+        out
+    }
+
+    #[test]
+    fn spawn_with_priority_is_honored_on_both_backends() {
+        use Priority::{High, Normal};
+        let expect = vec![Normal, High, High, Normal];
+        let mut s = Simulation::with_config(Config {
+            cores: 2,
+            ..Config::default()
+        });
+        assert_eq!(s.block_on(priority_script()).unwrap(), expect);
+        let rt = Runtime::new(2);
+        assert_eq!(rt.block_on(priority_script()), expect);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn high_priority_is_not_starved_under_overload_on_threads() {
+        // Overload A/B on the backend where dispatch order is real:
+        // one worker, held hostage while a 64-task flood queues up,
+        // then one High task spawned *last*. The hi lane is checked
+        // before ring and injector on every dispatch, so the High
+        // task must complete before the entire earlier-spawned flood.
+        let rt = Runtime::new(1);
+        let high_rank = rt.block_on(async {
+            let started = Arc::new(AtomicU64::new(0));
+            let gate = Arc::new(AtomicU64::new(0));
+            let (s, g) = (started.clone(), gate.clone());
+            let hostage = chanos::rt::spawn(async move {
+                s.store(1, Ordering::Release);
+                while g.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+            });
+            // The main future runs on the caller thread, so spinning
+            // here leaves the single worker to the hostage.
+            while started.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            let rank = Arc::new(AtomicU64::new(0));
+            let mut flood = Vec::new();
+            for _ in 0..64 {
+                let r = rank.clone();
+                flood.push(chanos::rt::spawn(async move {
+                    r.fetch_add(1, Ordering::AcqRel)
+                }));
+            }
+            let r = rank.clone();
+            let high = chanos::rt::spawn_with_priority(Priority::High, async move {
+                assert_eq!(chanos::rt::current_priority(), Priority::High);
+                r.fetch_add(1, Ordering::AcqRel)
+            });
+            gate.store(1, Ordering::Release);
+            hostage.join().await.expect("hostage ok");
+            for h in flood {
+                h.join().await.expect("flood task ok");
+            }
+            high.join().await.expect("high task ok")
+        });
+        rt.shutdown();
+        assert_eq!(
+            high_rank, 0,
+            "High task completed at rank {high_rank}, after normal flood work"
+        );
+    }
+}
